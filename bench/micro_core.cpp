@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks of bertha's hot paths: codecs,
+// hashing, framing, chunnel transforms, queues, DAG machinery.
+#include <benchmark/benchmark.h>
+
+#include "apps/kvproto.hpp"
+#include "chunnels/compress.hpp"
+#include "chunnels/encrypt.hpp"
+#include "chunnels/shard.hpp"
+#include "core/dag.hpp"
+#include "core/negotiation.hpp"
+#include "core/optimizer.hpp"
+#include "core/wire.hpp"
+#include "serialize/text_codec.hpp"
+#include "util/hash.hpp"
+#include "util/queue.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+namespace {
+
+Bytes random_bytes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<uint8_t>(rng.next_below(256));
+  return b;
+}
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  for (auto _ : state) {
+    Writer w;
+    for (uint64_t v = 1; v < (1ULL << 60); v <<= 4) w.put_varint(v);
+    Reader r(w.bytes());
+    while (!r.at_end()) benchmark::DoNotOptimize(r.get_varint());
+  }
+}
+BENCHMARK(BM_VarintEncodeDecode);
+
+void BM_Fnv1a(benchmark::State& state) {
+  Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(fnv1a64(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_WireFrame(benchmark::State& state) {
+  Bytes payload = random_bytes(128, 2);
+  for (auto _ : state) {
+    Bytes frame = encode_frame(MsgKind::data, 12345, payload);
+    benchmark::DoNotOptimize(decode_frame(frame));
+  }
+}
+BENCHMARK(BM_WireFrame);
+
+void BM_KvRequestRoundTrip(benchmark::State& state) {
+  KvRequest req;
+  req.op = KvOp::put;
+  req.id = 77;
+  req.key = "user000000004242";
+  req.value.assign(100, 'v');
+  for (auto _ : state) {
+    Bytes b = encode_kv_request(req);
+    benchmark::DoNotOptimize(decode_kv_request(b));
+  }
+}
+BENCHMARK(BM_KvRequestRoundTrip);
+
+void BM_TextCodec(benchmark::State& state) {
+  Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    Bytes enc = text_encode(data);
+    benchmark::DoNotOptimize(text_decode(enc));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TextCodec)->Arg(256)->Arg(4096);
+
+void BM_XorKeystream(benchmark::State& state) {
+  Bytes data = random_bytes(static_cast<size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    xor_keystream(data, 0x5eed);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_XorKeystream)->Arg(256)->Arg(65536);
+
+void BM_RleCompressible(benchmark::State& state) {
+  Bytes data(4096, 'a');
+  for (auto _ : state) {
+    Bytes enc = rle_encode(data);
+    benchmark::DoNotOptimize(rle_decode(enc));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RleCompressible);
+
+void BM_ShardSteering(benchmark::State& state) {
+  ShardArgs args;
+  args.shards = {Addr::udp("127.0.0.1", 1), Addr::udp("127.0.0.1", 2),
+                 Addr::udp("127.0.0.1", 3)};
+  args.field_offset = kKvShardFieldOffset;
+  args.field_len = kKvShardFieldLen;
+  KvRequest req;
+  req.op = KvOp::get;
+  req.key = "user000000001111";
+  Bytes payload = encode_kv_request(req);
+  for (auto _ : state) benchmark::DoNotOptimize(args.pick(payload));
+}
+BENCHMARK(BM_ShardSteering);
+
+void BM_ShardFrameParse(benchmark::State& state) {
+  Bytes framed = shard_frame(Addr::udp("10.0.0.1", 9999),
+                             random_bytes(128, 5));
+  for (auto _ : state) benchmark::DoNotOptimize(parse_shard_frame(framed));
+}
+BENCHMARK(BM_ShardFrameParse);
+
+void BM_DagSerde(benchmark::State& state) {
+  ChunnelArgs args;
+  args.set("shards", "udp://1.1.1.1:1,udp://1.1.1.1:2");
+  auto dag = wrap(ChunnelSpec("serialize"), ChunnelSpec("shard", args),
+                  ChunnelSpec("reliable"));
+  for (auto _ : state) {
+    Bytes b = serialize_to_bytes(dag);
+    benchmark::DoNotOptimize(deserialize_from_bytes<ChunnelDag>(b));
+  }
+}
+BENCHMARK(BM_DagSerde);
+
+void BM_HelloRoundTrip(benchmark::State& state) {
+  HelloMsg hello;
+  hello.endpoint_name = "bench";
+  hello.host_id = "host";
+  hello.process_id = "pid";
+  for (int t = 0; t < 6; t++) {
+    ImplInfo info;
+    info.type = "type" + std::to_string(t);
+    info.name = info.type + "/impl";
+    hello.offers[info.type] = {info};
+  }
+  for (auto _ : state) {
+    Bytes b = encode_hello(hello);
+    benchmark::DoNotOptimize(decode_hello(b));
+  }
+}
+BENCHMARK(BM_HelloRoundTrip);
+
+void BM_OptimizerSixStages(benchmark::State& state) {
+  DagOptimizer opt;
+  opt.add_merge_rule({"encrypt", "tcp", "tls", true});
+  std::vector<OptStage> stages;
+  const char* types[] = {"a", "encrypt", "b", "http2", "tcp", "c"};
+  for (const char* t : types) {
+    OptStage s;
+    s.type = t;
+    s.offloadable = std::string(t) == "encrypt" || std::string(t) == "tcp";
+    s.commutes_with = {"a", "b", "c", "encrypt", "http2", "tcp"};
+    stages.push_back(s);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(opt.optimize(stages));
+}
+BENCHMARK(BM_OptimizerSixStages);
+
+void BM_QueuePushPop(benchmark::State& state) {
+  BlockingQueue<Bytes> q;
+  Bytes payload = random_bytes(64, 6);
+  for (auto _ : state) {
+    (void)q.push(payload);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_QueuePushPop);
+
+}  // namespace
+}  // namespace bertha
+
+BENCHMARK_MAIN();

@@ -1,0 +1,180 @@
+// §3.2 "Serialization": modeling serialization as a chunnel lets an
+// application pick up faster implementations with no code change.
+//
+// Two measurements:
+//  1. codec microbenchmark: encode+decode throughput of the binary
+//     serializer vs the portable text fallback across object sizes,
+//  2. end-to-end: the same client code negotiates serialize/text when
+//     that is all it has registered, and serialize/binary once the
+//     faster library is registered — message rate improves with zero
+//     application changes.
+#include <thread>
+
+#include "apps/kvproto.hpp"
+#include "bench_util.hpp"
+#include "chunnels/serialize_chunnel.hpp"
+#include "serialize/text_codec.hpp"
+
+using namespace bertha;
+using namespace bertha::bench;
+
+namespace {
+
+struct Record {
+  uint64_t id = 0;
+  std::string key;
+  std::string blob;
+  std::vector<uint64_t> tags;
+};
+
+}  // namespace
+
+namespace bertha {
+template <>
+struct Serde<Record> {
+  static void put(Writer& w, const Record& r) {
+    w.put_varint(r.id);
+    w.put_string(r.key);
+    w.put_string(r.blob);
+    serde_put(w, r.tags);
+  }
+  static Result<Record> get(Reader& rd) {
+    Record r;
+    BERTHA_TRY_ASSIGN(id, rd.get_varint());
+    BERTHA_TRY_ASSIGN(key, rd.get_string());
+    BERTHA_TRY_ASSIGN(blob, rd.get_string());
+    BERTHA_TRY_ASSIGN(tags, serde_get<std::vector<uint64_t>>(rd));
+    r.id = id;
+    r.key = std::move(key);
+    r.blob = std::move(blob);
+    r.tags = std::move(tags);
+    return r;
+  }
+};
+}  // namespace bertha
+
+namespace {
+
+Record make_record(size_t blob_size) {
+  Record r;
+  r.id = 42;
+  r.key = "user000000001234";
+  r.blob.assign(blob_size, 'x');
+  r.tags = {1, 2, 3, 999999};
+  return r;
+}
+
+double run_e2e(bool client_has_binary, int msgs) {
+  auto discovery = std::make_shared<DiscoveryState>();
+  auto make_rt = [&](bool with_binary) {
+    RuntimeConfig cfg;
+    cfg.host_id = "ser-host";
+    cfg.transports = std::make_shared<DefaultTransportFactory>();
+    cfg.discovery = discovery;
+    auto rt = Runtime::create(cfg).value();
+    if (with_binary)
+      die_on_err(rt->register_chunnel(std::make_shared<BinarySerializeChunnel>()),
+                 "binary");
+    die_on_err(rt->register_chunnel(std::make_shared<TextSerializeChunnel>()),
+               "text");
+    return rt;
+  };
+  auto srv_rt = make_rt(true);
+  auto cli_rt = make_rt(client_has_binary);
+
+  auto listener = die_on_err(
+      srv_rt->endpoint("records", wrap(ChunnelSpec("serialize")))
+          .value()
+          .listen(Addr::udp("127.0.0.1", 0)),
+      "listen");
+  std::thread server([&] {
+    auto conn = listener->accept(Deadline::after(seconds(10)));
+    if (!conn.ok()) return;
+    ObjectConnection<Record> typed(conn.value());
+    for (;;) {
+      auto r = typed.recv(Deadline::after(seconds(10)));
+      if (!r.ok()) return;
+      if (!typed.send(r.value()).ok()) return;
+    }
+  });
+
+  auto conn = die_on_err(cli_rt->endpoint("records-cli", ChunnelDag::empty())
+                             .value()
+                             .connect(listener->addr(),
+                                      Deadline::after(seconds(10))),
+                         "connect");
+  ObjectConnection<Record> typed(conn);
+  Record rec = make_record(512);
+  Stopwatch sw;
+  int done = 0;
+  for (int i = 0; i < msgs; i++) {
+    if (!typed.send(rec).ok()) break;
+    if (!typed.recv(Deadline::after(seconds(10))).ok()) break;
+    done++;
+  }
+  double secs = std::chrono::duration<double>(sw.elapsed()).count();
+  typed.close();
+  server.join();
+  return done / secs;
+}
+
+}  // namespace
+
+int main() {
+  print_header("§3.2 serialization chunnel: implementation switching",
+               "Bertha §3.2 'Serialization' (codec swap, no app change)");
+
+  // --- codec microbenchmark ---
+  std::printf("%-10s %-8s %12s %12s %8s\n", "codec", "object", "enc+dec/s",
+              "MB/s", "bytes");
+  for (size_t blob : {64u, 1024u, 16384u}) {
+    Record rec = make_record(blob);
+    const int iters = scaled(20000, 1000);
+
+    // binary: Serde bytes straight to the wire.
+    {
+      Stopwatch sw;
+      size_t wire = 0;
+      for (int i = 0; i < iters; i++) {
+        Bytes b = serialize_to_bytes(rec);
+        wire = b.size();
+        auto back = deserialize_from_bytes<Record>(b);
+        if (!back.ok()) return 1;
+      }
+      double secs = std::chrono::duration<double>(sw.elapsed()).count();
+      std::printf("%-10s %6zuB %12.0f %12.1f %8zu\n", "binary", blob,
+                  iters / secs,
+                  iters * static_cast<double>(wire) / secs / 1e6, wire);
+    }
+    // text: Serde bytes hex-armored (the portable fallback).
+    {
+      Stopwatch sw;
+      size_t wire = 0;
+      for (int i = 0; i < iters; i++) {
+        Bytes b = text_encode(serialize_to_bytes(rec));
+        wire = b.size();
+        auto raw = text_decode(b);
+        if (!raw.ok()) return 1;
+        auto back = deserialize_from_bytes<Record>(raw.value());
+        if (!back.ok()) return 1;
+      }
+      double secs = std::chrono::duration<double>(sw.elapsed()).count();
+      std::printf("%-10s %6zuB %12.0f %12.1f %8zu\n", "text", blob,
+                  iters / secs,
+                  iters * static_cast<double>(wire) / secs / 1e6, wire);
+    }
+  }
+
+  // --- end-to-end implementation switching ---
+  const int msgs = scaled(4000, 300);
+  double text_rate = run_e2e(/*client_has_binary=*/false, msgs);
+  double binary_rate = run_e2e(/*client_has_binary=*/true, msgs);
+  std::printf("\nend-to-end RPC rate (512B records, same client code):\n");
+  std::printf("  client registered text only   -> negotiated serialize/text:"
+              "   %8.0f msg/s\n", text_rate);
+  std::printf("  client registered binary too  -> negotiated serialize/binary:"
+              " %8.0f msg/s\n", binary_rate);
+  std::printf("  => %.2fx faster from registering a better implementation; "
+              "zero app changes\n", binary_rate / text_rate);
+  return 0;
+}

@@ -1,0 +1,193 @@
+// discoveryd: the Bertha discovery service as an operator tool — the
+// analogue of the prototype's burrito-discovery daemon (paper §4.2:
+// offload developers, network operators and system administrators
+// register implementations; runtimes query during negotiation).
+//
+// Usage:
+//   discoveryd serve <uds-name>
+//       run the daemon on uds://<uds-name> until killed
+//   discoveryd query <uds-name> <chunnel-type>
+//       list implementations registered for a type
+//   discoveryd register <uds-name> <type> <impl-name> <priority> [k=v ...]
+//       register an implementation (props from k=v pairs)
+//   discoveryd set-pool <uds-name> <pool> <capacity>
+//       create/update a resource pool
+//   discoveryd demo
+//       run a self-contained demo: spawn a daemon, register offloads,
+//       query them, exercise pool admission
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/discovery.hpp"
+#include "core/runtime.hpp"
+#include "net/uds.hpp"
+
+using namespace bertha;
+
+namespace {
+
+int die(const Error& e, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, e.to_string().c_str());
+  return 1;
+}
+
+Result<std::unique_ptr<RemoteDiscovery>> dial(const std::string& daemon) {
+  BERTHA_TRY_ASSIGN(t, UdsTransport::bind(Addr::uds("")));
+  return std::make_unique<RemoteDiscovery>(std::move(t), Addr::uds(daemon));
+}
+
+void print_entries(const std::vector<ImplInfo>& entries) {
+  if (entries.empty()) {
+    std::printf("  (none)\n");
+    return;
+  }
+  for (const auto& e : entries) {
+    std::printf("  %-40s scope=%-11s endpoints=%-6s priority=%d%s\n",
+                e.name.c_str(), std::string(scope_name(e.scope)).c_str(),
+                std::string(endpoint_constraint_name(e.endpoints)).c_str(),
+                e.priority, e.factory_only ? " [factory-only]" : "");
+    for (const auto& [k, v] : e.props)
+      std::printf("      %s = %s\n", k.c_str(), v.c_str());
+    for (const auto& r : e.resources)
+      std::printf("      needs %s x%llu\n", r.pool.c_str(),
+                  static_cast<unsigned long long>(r.amount));
+  }
+}
+
+int cmd_serve(const std::string& name) {
+  auto t = UdsTransport::bind(Addr::uds(name));
+  if (!t.ok()) return die(t.error(), "bind");
+  auto state = std::make_shared<DiscoveryState>();
+  DiscoveryServer server(std::move(t).value(), state);
+  std::printf("discoveryd serving on %s (ctrl-c to stop)\n",
+              server.addr().to_string().c_str());
+  // Sleep until killed; the server thread does the work.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("served %llu requests, shutting down\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
+int cmd_query(const std::string& daemon, const std::string& type) {
+  auto client = dial(daemon);
+  if (!client.ok()) return die(client.error(), "dial");
+  auto entries = client.value()->query(type);
+  if (!entries.ok()) return die(entries.error(), "query");
+  std::printf("implementations of '%s':\n", type.c_str());
+  print_entries(entries.value());
+  return 0;
+}
+
+int cmd_register(const std::string& daemon, int argc, char** argv) {
+  // argv: type impl-name priority [k=v ...]
+  if (argc < 3) {
+    std::fprintf(stderr, "register needs: <type> <impl-name> <priority>\n");
+    return 2;
+  }
+  ImplInfo info;
+  info.type = argv[0];
+  info.name = argv[1];
+  info.priority = std::atoi(argv[2]);
+  info.endpoints = EndpointConstraint::server;
+  info.scope = Scope::rack;
+  for (int i = 3; i < argc; i++) {
+    std::string kv = argv[i];
+    auto eq = kv.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "bad prop (want k=v): %s\n", argv[i]);
+      return 2;
+    }
+    info.props[kv.substr(0, eq)] = kv.substr(eq + 1);
+  }
+  auto client = dial(daemon);
+  if (!client.ok()) return die(client.error(), "dial");
+  auto r = client.value()->register_impl(info);
+  if (!r.ok()) return die(r.error(), "register");
+  std::printf("registered %s\n", info.name.c_str());
+  return 0;
+}
+
+int cmd_set_pool(const std::string& daemon, const std::string& pool,
+                 uint64_t capacity) {
+  auto client = dial(daemon);
+  if (!client.ok()) return die(client.error(), "dial");
+  auto r = client.value()->set_pool(pool, capacity);
+  if (!r.ok()) return die(r.error(), "set-pool");
+  std::printf("pool %s capacity=%llu\n", pool.c_str(),
+              static_cast<unsigned long long>(capacity));
+  return 0;
+}
+
+int cmd_demo() {
+  std::string name = "discoveryd-demo-" + make_unique_id();
+  auto t = UdsTransport::bind(Addr::uds(name));
+  if (!t.ok()) return die(t.error(), "bind");
+  auto state = std::make_shared<DiscoveryState>();
+  DiscoveryServer server(std::move(t).value(), state);
+  std::printf("daemon up at uds://%s\n", name.c_str());
+
+  auto client = dial(name);
+  if (!client.ok()) return die(client.error(), "dial");
+
+  // The operator provisions a switch pool and registers its offload.
+  (void)client.value()->set_pool("tor0.sequencer_slots", 1);
+  ImplInfo sw;
+  sw.type = "ordered_mcast";
+  sw.name = "ordered_mcast/switch:tor0";
+  sw.priority = 20;
+  sw.scope = Scope::rack;
+  sw.endpoints = EndpointConstraint::server;
+  sw.props["switch"] = "tor0";
+  sw.props["instance"] = "payments-consensus";
+  (void)client.value()->register_impl(sw);
+
+  std::printf("\nquery ordered_mcast:\n");
+  auto entries = client.value()->query("ordered_mcast");
+  if (entries.ok()) print_entries(entries.value());
+
+  std::printf("\npool admission on tor0.sequencer_slots (capacity 1):\n");
+  auto first = client.value()->acquire({{"tor0.sequencer_slots", 1}});
+  std::printf("  first acquire:  %s\n", first.ok() ? "granted" : "refused");
+  auto second = client.value()->acquire({{"tor0.sequencer_slots", 1}});
+  std::printf("  second acquire: %s (%s)\n",
+              second.ok() ? "granted" : "refused",
+              second.ok() ? "-" : second.error().to_string().c_str());
+  if (first.ok()) (void)client.value()->release(first.value());
+  auto third = client.value()->acquire({{"tor0.sequencer_slots", 1}});
+  std::printf("  after release:  %s\n", third.ok() ? "granted" : "refused");
+  std::printf("\ndaemon handled %llu requests — demo ok\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    std::string cmd = argv[1];
+    if (cmd == "demo") return cmd_demo();
+    if (cmd == "serve" && argc == 3) return cmd_serve(argv[2]);
+    if (cmd == "query" && argc == 4) return cmd_query(argv[2], argv[3]);
+    if (cmd == "register" && argc >= 5)
+      return cmd_register(argv[2], argc - 3, argv + 3);
+    if (cmd == "set-pool" && argc == 5)
+      return cmd_set_pool(argv[2], argv[3],
+                          std::strtoull(argv[4], nullptr, 10));
+  }
+  std::fprintf(stderr,
+               "usage: discoveryd serve <uds-name>\n"
+               "       discoveryd query <uds-name> <type>\n"
+               "       discoveryd register <uds-name> <type> <name> <prio> "
+               "[k=v ...]\n"
+               "       discoveryd set-pool <uds-name> <pool> <capacity>\n"
+               "       discoveryd demo\n");
+  return 2;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper figure.
+#
+#   scripts/run_all.sh          full run (the archived outputs)
+#   QUICK=1 scripts/run_all.sh  smoke variant (~30s of benches)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" --output-on-failure | tee test_output.txt
+
+if [ "${QUICK:-0}" = "1" ]; then export BERTHA_BENCH_QUICK=1; fi
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+echo "done: test_output.txt + bench_output.txt written"

@@ -1,0 +1,79 @@
+#include "apps/kvclient.hpp"
+
+namespace bertha {
+
+Result<std::unique_ptr<KvClient>> KvClient::connect(
+    std::shared_ptr<Runtime> rt, const Addr& server, Options opts,
+    Deadline deadline) {
+  if (!rt) return err(Errc::invalid_argument, "KvClient needs a runtime");
+  if (opts.rpc_timeout <= Duration::zero() || opts.retries < 0)
+    return err(Errc::invalid_argument, "bad KvClient options");
+  BERTHA_TRY_ASSIGN(ep, rt->endpoint("kv-client", ChunnelDag::empty()));
+  BERTHA_TRY_ASSIGN(conn, ep.connect(server, deadline));
+  return std::unique_ptr<KvClient>(new KvClient(std::move(conn), opts));
+}
+
+Result<KvResponse> KvClient::call(KvRequest req) {
+  req.id = next_id_++;
+  Bytes wire = encode_kv_request(req);
+  rpcs_++;
+
+  Error last = err(Errc::timed_out, "kv rpc timed out");
+  for (int attempt = 0; attempt <= opts_.retries; attempt++) {
+    if (attempt > 0) retransmissions_++;
+    Msg m;
+    m.payload = wire;  // identical bytes: idempotent retransmission
+    BERTHA_TRY(conn_->send(std::move(m)));
+    Deadline dl = Deadline::after(opts_.rpc_timeout);
+    for (;;) {
+      auto reply = conn_->recv(dl);
+      if (!reply.ok()) {
+        last = reply.error();
+        if (last.code == Errc::timed_out) break;  // retransmit
+        return last;                              // closed/unavailable
+      }
+      auto rsp = decode_kv_response(reply.value().payload);
+      if (!rsp.ok()) continue;                      // stray datagram
+      if (rsp.value().id != req.id) continue;       // stale response
+      return rsp;
+    }
+  }
+  return err(Errc::unavailable,
+             "kv rpc failed after " + std::to_string(opts_.retries + 1) +
+                 " attempts (" + last.to_string() + ")");
+}
+
+Result<std::string> KvClient::get(const std::string& key) {
+  KvRequest req;
+  req.op = KvOp::get;
+  req.key = key;
+  BERTHA_TRY_ASSIGN(rsp, call(std::move(req)));
+  if (rsp.status == KvStatus::not_found)
+    return err(Errc::not_found, "no such key: " + key);
+  if (rsp.status != KvStatus::ok)
+    return err(Errc::internal, "kv server error for key: " + key);
+  return std::move(rsp.value);
+}
+
+Result<void> KvClient::put(const std::string& key, std::string value) {
+  KvRequest req;
+  req.op = KvOp::put;
+  req.key = key;
+  req.value = std::move(value);
+  BERTHA_TRY_ASSIGN(rsp, call(std::move(req)));
+  if (rsp.status != KvStatus::ok)
+    return err(Errc::internal, "kv put failed for key: " + key);
+  return ok();
+}
+
+Result<void> KvClient::erase(const std::string& key) {
+  KvRequest req;
+  req.op = KvOp::del;
+  req.key = key;
+  BERTHA_TRY_ASSIGN(rsp, call(std::move(req)));
+  if (rsp.status == KvStatus::not_found)
+    return err(Errc::not_found, "no such key: " + key);
+  return ok();
+}
+
+}  // namespace bertha

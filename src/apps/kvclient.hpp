@@ -1,0 +1,56 @@
+// KvClient: the client library for the sharded KV service (the polished
+// form of Listing 5's get_key). Wraps a negotiated Bertha connection
+// with request/response matching, per-RPC timeouts, and idempotent
+// retransmission (GET/PUT/UPDATE/DEL are all idempotent, so resending
+// the identical request is safe).
+#pragma once
+
+#include <memory>
+
+#include "apps/kvproto.hpp"
+#include "core/endpoint.hpp"
+
+namespace bertha {
+
+class KvClient {
+ public:
+  struct Options {
+    Duration rpc_timeout = ms(500);
+    int retries = 3;
+  };
+
+  // Connects with an empty DAG: the server's chain (typically
+  // shard |> ...) governs, exactly as in Listing 5.
+  static Result<std::unique_ptr<KvClient>> connect(
+      std::shared_ptr<Runtime> rt, const Addr& server, Options opts,
+      Deadline deadline = Deadline::never());
+  static Result<std::unique_ptr<KvClient>> connect(
+      std::shared_ptr<Runtime> rt, const Addr& server,
+      Deadline deadline = Deadline::never()) {
+    return connect(std::move(rt), server, Options{}, deadline);
+  }
+
+  // Not thread-safe: one KvClient per calling thread (load generators
+  // that pipeline manage the connection directly).
+  Result<std::string> get(const std::string& key);
+  Result<void> put(const std::string& key, std::string value);
+  Result<void> erase(const std::string& key);
+
+  // Generic call: assigns the request id, retries idempotently.
+  Result<KvResponse> call(KvRequest req);
+
+  uint64_t rpcs_sent() const { return rpcs_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+  void close() { conn_->close(); }
+
+ private:
+  KvClient(ConnPtr conn, Options opts) : conn_(std::move(conn)), opts_(opts) {}
+
+  ConnPtr conn_;
+  Options opts_;
+  uint64_t next_id_ = 1;
+  uint64_t rpcs_ = 0;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace bertha

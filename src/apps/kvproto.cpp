@@ -1,0 +1,68 @@
+#include "apps/kvproto.hpp"
+
+#include "serialize/codec.hpp"
+#include "util/hash.hpp"
+
+namespace bertha {
+
+Bytes encode_kv_request(const KvRequest& req) {
+  Bytes out;
+  out.reserve(14 + req.key.size() + req.value.size() + 4);
+  out.push_back('K');
+  out.push_back(static_cast<uint8_t>(req.op));
+  put_u64_le(out, req.id);
+  put_u32_le(out, static_cast<uint32_t>(fnv1a64(req.key)));
+  Writer w(std::move(out));
+  w.put_string(req.key);
+  w.put_string(req.value);
+  return std::move(w).take();
+}
+
+Result<KvRequest> decode_kv_request(BytesView b) {
+  if (b.size() < 14 || b[0] != 'K')
+    return err(Errc::protocol_error, "bad kv request header");
+  KvRequest req;
+  if (b[1] < 1 || b[1] > 4)
+    return err(Errc::protocol_error, "bad kv op");
+  req.op = static_cast<KvOp>(b[1]);
+  req.id = get_u64_le(b, 2);
+  uint32_t key_hash = get_u32_le(b, 10);
+  Reader r(b.subspan(14));
+  BERTHA_TRY_ASSIGN(key, r.get_string());
+  BERTHA_TRY_ASSIGN(value, r.get_string());
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing bytes in kv request");
+  if (key_hash != static_cast<uint32_t>(fnv1a64(key)))
+    return err(Errc::protocol_error, "kv shard-field hash mismatch");
+  req.key = std::move(key);
+  req.value = std::move(value);
+  return req;
+}
+
+Bytes encode_kv_response(const KvResponse& rsp) {
+  Bytes out;
+  out.reserve(10 + rsp.value.size() + 4);
+  out.push_back('k');
+  out.push_back(static_cast<uint8_t>(rsp.status));
+  put_u64_le(out, rsp.id);
+  Writer w(std::move(out));
+  w.put_string(rsp.value);
+  return std::move(w).take();
+}
+
+Result<KvResponse> decode_kv_response(BytesView b) {
+  if (b.size() < 10 || b[0] != 'k')
+    return err(Errc::protocol_error, "bad kv response header");
+  if (b[1] > 2) return err(Errc::protocol_error, "bad kv status");
+  KvResponse rsp;
+  rsp.status = static_cast<KvStatus>(b[1]);
+  rsp.id = get_u64_le(b, 2);
+  Reader r(b.subspan(10));
+  BERTHA_TRY_ASSIGN(value, r.get_string());
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing bytes in kv response");
+  rsp.value = std::move(value);
+  return rsp;
+}
+
+}  // namespace bertha

@@ -1,0 +1,59 @@
+// KV wire protocol.
+//
+// The request layout is designed the way the paper's sharding function
+// expects (Listing 4: `hash(p.payload[10..14]) % 3`): a fixed-offset
+// shard-key field lives at bytes [10,14) of every request, so a
+// header-peeking dispatcher (XDP stand-in) or a programmable switch can
+// steer without parsing the variable-length tail.
+//
+//   offset 0      'K'
+//   offset 1      op (1=get 2=put 3=update 4=del)
+//   offset 2..10  request id, u64 LE
+//   offset 10..14 shard key field: fnv1a32(key), u32 LE
+//   then          varint key_len | key | varint val_len | val
+//
+// Responses: 'k' | status (0=ok 1=not_found 2=error) | id u64 LE |
+//            varint val_len | val.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+enum class KvOp : uint8_t { get = 1, put = 2, update = 3, del = 4 };
+enum class KvStatus : uint8_t { ok = 0, not_found = 1, error = 2 };
+
+struct KvRequest {
+  KvOp op = KvOp::get;
+  uint64_t id = 0;
+  std::string key;
+  std::string value;
+
+  bool operator==(const KvRequest& o) const {
+    return op == o.op && id == o.id && key == o.key && value == o.value;
+  }
+};
+
+struct KvResponse {
+  KvStatus status = KvStatus::ok;
+  uint64_t id = 0;
+  std::string value;
+
+  bool operator==(const KvResponse& o) const {
+    return status == o.status && id == o.id && value == o.value;
+  }
+};
+
+// The byte range the sharding function hashes (for ShardArgs).
+inline constexpr uint64_t kKvShardFieldOffset = 10;
+inline constexpr uint64_t kKvShardFieldLen = 4;
+
+Bytes encode_kv_request(const KvRequest& req);
+Result<KvRequest> decode_kv_request(BytesView b);
+Bytes encode_kv_response(const KvResponse& rsp);
+Result<KvResponse> decode_kv_response(BytesView b);
+
+}  // namespace bertha

@@ -1,0 +1,100 @@
+#include "apps/kvserver.hpp"
+
+#include "chunnels/common.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+KvResponse apply_kv_request(KvStore& store, const KvRequest& req) {
+  KvResponse rsp;
+  rsp.id = req.id;
+  switch (req.op) {
+    case KvOp::get: {
+      auto v = store.get(req.key);
+      if (v) {
+        rsp.status = KvStatus::ok;
+        rsp.value = std::move(*v);
+      } else {
+        rsp.status = KvStatus::not_found;
+      }
+      break;
+    }
+    case KvOp::put:
+    case KvOp::update:
+      store.put(req.key, req.value);
+      rsp.status = KvStatus::ok;
+      break;
+    case KvOp::del:
+      rsp.status = store.erase(req.key) ? KvStatus::ok : KvStatus::not_found;
+      break;
+  }
+  return rsp;
+}
+
+KvShard::KvShard(std::unique_ptr<ShardWorker> worker)
+    : worker_(std::move(worker)) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+Result<std::unique_ptr<KvShard>> KvShard::start(TransportFactory& factory,
+                                                const Addr& addr) {
+  BERTHA_TRY_ASSIGN(worker, ShardWorker::bind(factory, addr));
+  return std::unique_ptr<KvShard>(new KvShard(std::move(worker)));
+}
+
+KvShard::~KvShard() { stop(); }
+
+void KvShard::stop() {
+  worker_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void KvShard::serve() {
+  for (;;) {
+    auto msg_r = worker_->recv();
+    if (!msg_r.ok()) return;  // closed
+    const Msg& msg = msg_r.value();
+    auto req_r = decode_kv_request(msg.payload);
+    if (!req_r.ok()) {
+      BLOG(debug, "kvshard") << "bad request: " << req_r.error().to_string();
+      continue;
+    }
+    KvResponse rsp = apply_kv_request(store_, req_r.value());
+    served_.fetch_add(1, std::memory_order_relaxed);
+    (void)worker_->reply(msg.src, encode_kv_response(rsp));
+  }
+}
+
+Result<std::unique_ptr<KvBackend>> KvBackend::start(TransportFactory& factory,
+                                                    const Addr& like,
+                                                    const std::string& host_id,
+                                                    size_t num_shards) {
+  if (num_shards == 0)
+    return err(Errc::invalid_argument, "need at least one shard");
+  auto backend = std::make_unique<KvBackend>();
+  for (size_t i = 0; i < num_shards; i++) {
+    BERTHA_TRY_ASSIGN(shard,
+                      KvShard::start(factory, ephemeral_like(like, host_id)));
+    backend->shards_.push_back(std::move(shard));
+  }
+  return backend;
+}
+
+std::vector<Addr> KvBackend::shard_addrs() const {
+  std::vector<Addr> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) out.push_back(s->addr());
+  return out;
+}
+
+uint64_t KvBackend::total_served() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->requests_served();
+  return total;
+}
+
+void KvBackend::stop() {
+  for (auto& s : shards_) s->stop();
+}
+
+}  // namespace bertha

@@ -1,0 +1,63 @@
+// Sharded KV server plumbing shared by the Fig 5 bench, the example and
+// the integration tests: shard workers that serve the KV protocol over
+// the shard chunnel's data plane.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/kvproto.hpp"
+#include "apps/kvstore.hpp"
+#include "chunnels/shard.hpp"
+
+namespace bertha {
+
+// One backend shard: a ShardWorker + its own KvStore + a service thread.
+class KvShard {
+ public:
+  static Result<std::unique_ptr<KvShard>> start(TransportFactory& factory,
+                                                const Addr& addr);
+  ~KvShard();
+
+  const Addr& addr() const { return worker_->addr(); }
+  KvStore& store() { return store_; }
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  void stop();
+
+ private:
+  explicit KvShard(std::unique_ptr<ShardWorker> worker);
+  void serve();
+
+  std::unique_ptr<ShardWorker> worker_;
+  KvStore store_;
+  std::atomic<uint64_t> served_{0};
+  std::thread thread_;
+};
+
+// A full sharded KV backend: N shards on ephemeral addresses of the
+// same family as `like`.
+class KvBackend {
+ public:
+  static Result<std::unique_ptr<KvBackend>> start(TransportFactory& factory,
+                                                  const Addr& like,
+                                                  const std::string& host_id,
+                                                  size_t num_shards);
+  std::vector<Addr> shard_addrs() const;
+  KvShard& shard(size_t i) { return *shards_[i]; }
+  size_t size() const { return shards_.size(); }
+  uint64_t total_served() const;
+  void stop();
+
+ private:
+  std::vector<std::unique_ptr<KvShard>> shards_;
+};
+
+// Executes one request against a store (shared by KvShard and the RSM
+// example's state machine).
+KvResponse apply_kv_request(KvStore& store, const KvRequest& req);
+
+}  // namespace bertha

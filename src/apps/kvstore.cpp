@@ -1,0 +1,27 @@
+#include "apps/kvstore.hpp"
+
+namespace bertha {
+
+void KvStore::put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_[key] = std::move(value);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.erase(key) > 0;
+}
+
+size_t KvStore::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+}  // namespace bertha

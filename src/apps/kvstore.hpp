@@ -1,0 +1,30 @@
+// In-memory key-value store — the server application of Listing 4 and
+// the Fig 5 evaluation ("a key-value store which uses the hashmap
+// implementation from Rust's standard library").
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace bertha {
+
+// Thread-safe string KV store. Shards each own one instance, so the
+// internal lock is uncontended in the sharded deployment; it exists so
+// unsharded examples are also correct.
+class KvStore {
+ public:
+  void put(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+  // Read-modify-write (YCSB "update" semantics: replace).
+  void update(const std::string& key, std::string value) { put(key, std::move(value)); }
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,87 @@
+#include "apps/ping.hpp"
+
+namespace bertha {
+
+Result<std::unique_ptr<PingServer>> PingServer::start(
+    std::shared_ptr<Runtime> rt, ChunnelDag dag, const Addr& listen_addr) {
+  BERTHA_TRY_ASSIGN(ep, rt->endpoint("ping-server", std::move(dag)));
+  BERTHA_TRY_ASSIGN(listener, ep.listen(listen_addr));
+  return std::unique_ptr<PingServer>(new PingServer(std::move(listener)));
+}
+
+PingServer::PingServer(std::unique_ptr<Listener> listener)
+    : listener_(std::move(listener)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+PingServer::~PingServer() { stop(); }
+
+const Addr& PingServer::addr() const { return listener_->addr(); }
+
+void PingServer::stop() {
+  if (stopping_.exchange(true)) return;
+  listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    threads.swap(threads_);
+  }
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+}
+
+void PingServer::accept_loop() {
+  for (;;) {
+    auto conn_r = listener_->accept();
+    if (!conn_r.ok()) return;
+    ConnPtr conn = std::move(conn_r).value();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_.load()) {
+      conn->close();
+      return;
+    }
+    threads_.emplace_back([this, conn] {
+      for (;;) {
+        auto msg_r = conn->recv();
+        if (!msg_r.ok()) return;
+        Msg reply;
+        reply.dst = msg_r.value().src;
+        reply.payload = std::move(msg_r.value().payload);
+        // Count before sending: an observer that already received the
+        // echo must see the counter updated.
+        echoed_.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->send(std::move(reply)).ok()) return;
+      }
+    });
+  }
+}
+
+Result<Duration> ping_once(Connection& conn, size_t payload_size,
+                           Deadline deadline) {
+  Msg m;
+  m.payload.assign(payload_size, 0xab);
+  Stopwatch sw;
+  BERTHA_TRY(conn.send(std::move(m)));
+  BERTHA_TRY_ASSIGN(echo, conn.recv(deadline));
+  if (echo.payload.size() != payload_size)
+    return err(Errc::protocol_error, "echo size mismatch");
+  return sw.elapsed();
+}
+
+Result<PingRun> ping_over_new_connection(Endpoint& ep, const Addr& server,
+                                         size_t payload_size, int pings,
+                                         Deadline deadline) {
+  PingRun run;
+  Stopwatch connect_sw;
+  BERTHA_TRY_ASSIGN(conn, ep.connect(server, deadline));
+  run.connect_time = connect_sw.elapsed();
+  for (int i = 0; i < pings; i++) {
+    BERTHA_TRY_ASSIGN(rtt, ping_once(*conn, payload_size, deadline));
+    run.rtts.push_back(rtt);
+  }
+  conn->close();
+  return run;
+}
+
+}  // namespace bertha

@@ -1,0 +1,55 @@
+// Ping/echo RPC app — the "simple ping application" of Fig 3/4.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "util/stats.hpp"
+
+namespace bertha {
+
+// Echo server: accepts connections on a Bertha endpoint and echoes
+// every message back.
+class PingServer {
+ public:
+  static Result<std::unique_ptr<PingServer>> start(std::shared_ptr<Runtime> rt,
+                                                   ChunnelDag dag,
+                                                   const Addr& listen_addr);
+  ~PingServer();
+
+  const Addr& addr() const;
+  uint64_t echoed() const { return echoed_.load(std::memory_order_relaxed); }
+  void stop();
+
+ private:
+  explicit PingServer(std::unique_ptr<Listener> listener);
+  void accept_loop();
+
+  std::unique_ptr<Listener> listener_;
+  std::atomic<uint64_t> echoed_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::thread accept_thread_;
+};
+
+// One round trip: send `payload_size` bytes, wait for the echo, return
+// the elapsed time.
+Result<Duration> ping_once(Connection& conn, size_t payload_size,
+                           Deadline deadline);
+
+// Fig 3's unit of measurement: establish a connection, run `pings`
+// round trips, close. Returns per-request latencies and the
+// connection-establishment time.
+struct PingRun {
+  Duration connect_time{};
+  std::vector<Duration> rtts;
+};
+Result<PingRun> ping_over_new_connection(Endpoint& ep, const Addr& server,
+                                         size_t payload_size, int pings,
+                                         Deadline deadline);
+
+}  // namespace bertha

@@ -1,0 +1,78 @@
+// Replicated state machine over the ordered multicast chunnel
+// (paper §3.2 / Listing 2: the Speculative-Paxos / NOPaxos pattern —
+// the network orders operations, replicas apply them in sequence).
+//
+// The replicated state machine is a KV store; operations are KvRequests.
+// Every replica applies every operation in the global order; one
+// designated replica replies to clients (clients treat its response as
+// the commit acknowledgement — full view-change/recovery machinery is
+// out of scope, gaps are counted by the chunnel).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/kvproto.hpp"
+#include "apps/kvstore.hpp"
+#include "core/endpoint.hpp"
+
+namespace bertha {
+
+struct RsmReplicaConfig {
+  std::shared_ptr<Runtime> rt;
+  Addr listen_addr;  // control address (negotiation)
+  Addr member_addr;  // where sequenced operations arrive (group member)
+  // Name of the consensus group this replica belongs to; negotiation
+  // only binds sequencers advertised for this instance.
+  std::string group;
+  bool replier = false;
+  ChunnelArgs extra_mcast_args;  // e.g. explicit group/sequencer override
+};
+
+class RsmReplica {
+ public:
+  static Result<std::unique_ptr<RsmReplica>> start(RsmReplicaConfig cfg);
+  ~RsmReplica();
+
+  const Addr& control_addr() const;
+  KvStore& store() { return store_; }
+  uint64_t applied() const { return applied_.load(std::memory_order_relaxed); }
+  void stop();
+
+ private:
+  RsmReplica(RsmReplicaConfig cfg, std::unique_ptr<Listener> listener);
+  void accept_loop();
+  void drain(ConnPtr conn);
+
+  RsmReplicaConfig cfg_;
+  std::unique_ptr<Listener> listener_;
+  KvStore store_;
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex mu_;
+  std::vector<std::thread> threads_;
+  std::vector<ConnPtr> conns_;  // accepted connections, closed at stop()
+  std::thread accept_thread_;
+};
+
+// Client: executes operations against the group and waits for the
+// designated replier's response.
+class RsmClient {
+ public:
+  // Connects (and negotiates) with every replica's control address.
+  static Result<std::unique_ptr<RsmClient>> connect(
+      std::shared_ptr<Runtime> rt, const std::vector<Addr>& replicas,
+      Deadline deadline = Deadline::never());
+
+  Result<KvResponse> execute(const KvRequest& op,
+                             Deadline deadline = Deadline::never());
+  void close() { conn_->close(); }
+
+ private:
+  explicit RsmClient(ConnPtr conn) : conn_(std::move(conn)) {}
+  ConnPtr conn_;
+};
+
+}  // namespace bertha

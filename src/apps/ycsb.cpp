@@ -1,0 +1,152 @@
+#include "apps/ycsb.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.hpp"
+
+namespace bertha {
+
+namespace {
+
+double zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, Rng rng)
+    : n_(n ? n : 1), theta_(theta), rng_(rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  zetan_ = zeta(n_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::next() {
+  double u = rng_.next_double();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto v = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v >= n_ ? n_ - 1 : v;
+}
+
+YcsbGenerator::YcsbGenerator(YcsbConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      zipf_(cfg.record_count, cfg.zipf_theta, Rng(cfg.seed ^ 0x51f0f)) {}
+
+std::string YcsbGenerator::key_for(uint64_t record) {
+  // Scramble so hot zipfian records don't cluster on one shard.
+  uint64_t scrambled = mix64(record) % 1000000000000ULL;
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(scrambled));
+  return buf;
+}
+
+std::string YcsbGenerator::value_of(size_t len) {
+  std::string v(len, '\0');
+  for (auto& c : v)
+    c = static_cast<char>('a' + static_cast<char>(rng_.next_below(26)));
+  return v;
+}
+
+KvRequest YcsbGenerator::load_request(uint64_t record) {
+  KvRequest req;
+  req.op = KvOp::put;
+  req.id = next_id_++;
+  req.key = key_for(record);
+  req.value = value_of(cfg_.value_size);
+  return req;
+}
+
+uint64_t YcsbGenerator::next_record() {
+  uint64_t live = cfg_.record_count + insert_count_;
+  switch (cfg_.distribution) {
+    case KeyDistribution::uniform:
+      return rng_.next_below(live);
+    case KeyDistribution::zipfian:
+      return zipf_.next();
+    case KeyDistribution::latest: {
+      // Skew toward recently inserted records: newest = rank 0.
+      uint64_t rank = zipf_.next();
+      return rank >= live ? 0 : (live - 1 - rank);
+    }
+  }
+  return 0;
+}
+
+KvRequest YcsbGenerator::next() {
+  KvRequest req;
+  req.id = next_id_++;
+  double p = rng_.next_double();
+
+  auto read = [&] {
+    req.op = KvOp::get;
+    req.key = key_for(next_record());
+  };
+  auto update = [&] {
+    req.op = KvOp::update;
+    req.key = key_for(next_record());
+    req.value = value_of(cfg_.value_size);
+  };
+  auto insert = [&] {
+    req.op = KvOp::put;
+    req.key = key_for(cfg_.record_count + insert_count_++);
+    req.value = value_of(cfg_.value_size);
+  };
+
+  switch (cfg_.workload) {
+    case YcsbWorkload::a:
+      p < 0.5 ? read() : update();
+      break;
+    case YcsbWorkload::b:
+      p < 0.95 ? read() : update();
+      break;
+    case YcsbWorkload::c:
+      read();
+      break;
+    case YcsbWorkload::d:
+      p < 0.95 ? read() : insert();
+      break;
+    case YcsbWorkload::e:
+      // Callers wanting true scans use next_batch(); single-op callers
+      // get the first key of the scan.
+      p < 0.95 ? read() : insert();
+      break;
+    case YcsbWorkload::f:
+      // Read-modify-write issues as an update here; callers that model
+      // RMW as read-then-write can pair next() calls.
+      p < 0.5 ? read() : update();
+      break;
+  }
+  return req;
+}
+
+std::vector<KvRequest> YcsbGenerator::next_batch() {
+  if (cfg_.workload != YcsbWorkload::e) return {next()};
+  double p = rng_.next_double();
+  if (p >= 0.95) return {next()};  // the insert slice
+  // A scan: consecutive records from a random start.
+  uint64_t start = next_record();
+  uint64_t len = 1 + rng_.next_below(cfg_.max_scan_len);
+  std::vector<KvRequest> out;
+  uint64_t live = cfg_.record_count + insert_count_;
+  for (uint64_t i = 0; i < len && start + i < live; i++) {
+    KvRequest req;
+    req.op = KvOp::get;
+    req.id = next_id_++;
+    req.key = key_for(start + i);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace bertha

@@ -1,0 +1,84 @@
+// YCSB-style workload generator (Cooper et al., SoCC '10) — built from
+// scratch since the reference implementation is Java (DESIGN.md §1.4).
+//
+// Implements the standard core workload mixes:
+//   A  50% read / 50% update          (the paper's Fig 5 workload)
+//   B  95% read /  5% update
+//   C  100% read
+//   D  95% read /  5% insert, skewed to recent keys
+//   E  95% scan /  5% insert (scans issued as short multi-get batches)
+//   F  50% read / 50% read-modify-write
+// with uniform, zipfian (theta = 0.99, Gray et al. formulation) and
+// latest request distributions. Deterministic under a fixed seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/kvproto.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+
+enum class YcsbWorkload { a, b, c, d, e, f };
+enum class KeyDistribution { uniform, zipfian, latest };
+
+struct YcsbConfig {
+  YcsbWorkload workload = YcsbWorkload::a;
+  KeyDistribution distribution = KeyDistribution::uniform;
+  size_t record_count = 1000;
+  size_t value_size = 100;
+  double zipf_theta = 0.99;
+  size_t max_scan_len = 10;
+  uint64_t seed = 42;
+};
+
+// Zipfian sampler over [0, n) (reusable on its own).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, Rng rng);
+  uint64_t next();
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2_;
+  Rng rng_;
+};
+
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(YcsbConfig cfg);
+
+  // Keys are "user<12 digits>"; the digits are a scrambled record index
+  // so zipfian-popular records are spread across shards.
+  static std::string key_for(uint64_t record);
+  std::string value_of(size_t len);
+
+  // The load phase: one put per record, in index order.
+  KvRequest load_request(uint64_t record);
+  size_t record_count() const { return cfg_.record_count; }
+
+  // The run phase: next operation per the workload mix. Scans (workload
+  // E) are returned as `scan_len` get-requests on consecutive records
+  // via next_batch().
+  KvRequest next();
+  std::vector<KvRequest> next_batch();
+
+  const YcsbConfig& config() const { return cfg_; }
+
+ private:
+  uint64_t next_record();
+
+  YcsbConfig cfg_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t next_id_ = 1;
+  uint64_t insert_count_ = 0;  // records appended by insert ops (D/E)
+};
+
+}  // namespace bertha

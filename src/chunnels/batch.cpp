@@ -1,0 +1,174 @@
+#include "chunnels/batch.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <thread>
+
+#include "serialize/codec.hpp"
+
+namespace bertha {
+
+namespace {
+
+class BatchConnection final : public Connection {
+ public:
+  BatchConnection(ConnPtr inner, BatchOptions opts)
+      : inner_(std::move(inner)), opts_(opts) {
+    flusher_ = std::thread([this] { flush_loop(); });
+  }
+
+  ~BatchConnection() override { close(); }
+
+  Result<void> send(Msg m) override {
+    bool flush_now = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "connection closed");
+      pending_bytes_ += m.payload.size();
+      pending_.push_back(std::move(m.payload));
+      if (pending_.size() == 1) oldest_ = now();
+      flush_now = pending_.size() >= opts_.max_batch ||
+                  pending_bytes_ >= opts_.max_bytes;
+    }
+    if (flush_now) return flush();
+    cv_.notify_one();
+    return ok();
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!inbox_.empty()) {
+        Msg m = std::move(inbox_.front());
+        inbox_.pop_front();
+        return m;
+      }
+    }
+    for (;;) {
+      BERTHA_TRY_ASSIGN(wire, inner_->recv(deadline));
+      Reader r(wire.payload);
+      auto b0 = r.get_u8();
+      auto b1 = r.get_u8();
+      if (!b0.ok() || !b1.ok() || b0.value() != 'B' || b1.value() != 'A')
+        continue;
+      auto count_r = r.get_varint();
+      if (!count_r.ok()) continue;
+      std::vector<Bytes> items;
+      bool bad = false;
+      for (uint64_t i = 0; i < count_r.value(); i++) {
+        auto item = r.get_bytes();
+        if (!item.ok()) {
+          bad = true;
+          break;
+        }
+        items.push_back(std::move(item).value());
+      }
+      if (bad || items.empty()) continue;
+      Msg first;
+      first.src = wire.src;
+      first.dst = wire.dst;
+      first.payload = std::move(items.front());
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (size_t i = 1; i < items.size(); i++) {
+          Msg m;
+          m.src = wire.src;
+          m.dst = wire.dst;
+          m.payload = std::move(items[i]);
+          inbox_.push_back(std::move(m));
+        }
+      }
+      return first;
+    }
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+
+  void close() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+    (void)flush();  // drain what's left
+    inner_->close();
+  }
+
+ private:
+  Result<void> flush() {
+    std::vector<Bytes> batch;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (pending_.empty()) return ok();
+      batch.assign(std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.end()));
+      pending_.clear();
+      pending_bytes_ = 0;
+    }
+    Writer w;
+    w.put_u8('B');
+    w.put_u8('A');
+    w.put_varint(batch.size());
+    for (const auto& b : batch) w.put_bytes(b);
+    Msg wire;
+    wire.payload = std::move(w).take();
+    return inner_->send(std::move(wire));
+  }
+
+  void flush_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!closed_) {
+      if (pending_.empty()) {
+        cv_.wait(lk);
+        continue;
+      }
+      auto due = oldest_ + opts_.linger;
+      if (now() >= due) {
+        lk.unlock();
+        (void)flush();
+        lk.lock();
+      } else {
+        cv_.wait_until(lk, due);
+      }
+    }
+  }
+
+  ConnPtr inner_;
+  BatchOptions opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::deque<Bytes> pending_;
+  size_t pending_bytes_ = 0;
+  TimePoint oldest_{};
+  std::deque<Msg> inbox_;
+
+  std::thread flusher_;
+};
+
+}  // namespace
+
+BatchChunnel::BatchChunnel(BatchOptions opts) : opts_(opts) {
+  info_.type = "batch";
+  info_.name = "batch/linger";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 0;
+}
+
+Result<ConnPtr> BatchChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
+  BatchOptions opts = opts_;
+  opts.max_batch = ctx.args.get_u64_or("max_batch", opts_.max_batch);
+  opts.linger = us(static_cast<int64_t>(ctx.args.get_u64_or(
+      "linger_us",
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(opts_.linger)
+              .count()))));
+  return ConnPtr(std::make_shared<BatchConnection>(std::move(inner), opts));
+}
+
+}  // namespace bertha

@@ -1,0 +1,33 @@
+// Batching chunnel: coalesces small sends into one datagram.
+//
+// Sends are buffered until `max_batch` messages accumulate or
+// `linger_us` elapses (a background flusher enforces the linger). The
+// receive side transparently unbatches. Amortizes per-datagram overhead
+// for chatty small-message workloads.
+//
+// Wire format: 'B' 'A' | varint count | count x (varint len | bytes).
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct BatchOptions {
+  size_t max_batch = 16;
+  Duration linger = us(500);
+  size_t max_bytes = 32 * 1024;  // flush before exceeding a datagram
+};
+
+class BatchChunnel final : public ChunnelImpl {
+ public:
+  explicit BatchChunnel(BatchOptions opts);
+  BatchChunnel() : BatchChunnel(BatchOptions{}) {}
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  BatchOptions opts_;
+};
+
+}  // namespace bertha

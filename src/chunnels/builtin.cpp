@@ -1,0 +1,60 @@
+#include "chunnels/builtin.hpp"
+
+#include "chunnels/batch.hpp"
+#include "chunnels/compress.hpp"
+#include "chunnels/dedup.hpp"
+#include "chunnels/encrypt.hpp"
+#include "chunnels/framing.hpp"
+#include "chunnels/keepalive.hpp"
+#include "chunnels/localfastpath.hpp"
+#include "chunnels/ordered_mcast.hpp"
+#include "chunnels/ordering.hpp"
+#include "chunnels/reliable.hpp"
+#include "chunnels/serialize_chunnel.hpp"
+#include "chunnels/shard.hpp"
+#include "chunnels/telemetry.hpp"
+
+namespace bertha {
+
+Result<void> register_transport_chunnels(Runtime& rt) {
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<ReliableChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<OrderingChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<BinarySerializeChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<TextSerializeChunnel>()));
+  return ok();
+}
+
+Result<void> register_shard_chunnels(Runtime& rt, bool client_push, bool xdp,
+                                     bool fallback) {
+  if (client_push)
+    BERTHA_TRY(rt.register_chunnel(std::make_shared<ShardClientPushChunnel>()));
+  if (xdp) BERTHA_TRY(rt.register_chunnel(std::make_shared<ShardXdpChunnel>()));
+  if (fallback)
+    BERTHA_TRY(rt.register_chunnel(std::make_shared<ShardFallbackChunnel>()));
+  // The switch factory is instantiation code only (factory_only); it is
+  // registered unconditionally and becomes usable when a switch program
+  // is installed and advertised.
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<ShardSwitchChunnel>()));
+  return ok();
+}
+
+Result<void> register_builtin_chunnels(Runtime& rt) {
+  BERTHA_TRY(register_transport_chunnels(rt));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<LocalFastPathChunnel>()));
+  BERTHA_TRY(register_shard_chunnels(rt, true, true, true));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<SwitchOrderedMcastChunnel>()));
+  BERTHA_TRY(
+      rt.register_chunnel(std::make_shared<SoftwareOrderedMcastChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<SwEncryptChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<FrameChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<TcpishChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<TlsChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<CompressChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<BatchChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<DedupChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<TelemetryChunnel>()));
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<KeepaliveChunnel>()));
+  return ok();
+}
+
+}  // namespace bertha

@@ -1,0 +1,25 @@
+// Convenience registration of the stock chunnel implementations
+// (the "libraries that provide fallback implementations for common
+// Chunnels" applications link against, §4).
+#pragma once
+
+#include "core/runtime.hpp"
+
+namespace bertha {
+
+// Registers the software fallbacks every Bertha process is expected to
+// carry: reliable/arq, ordering/buffer, serialize/{binary,text},
+// local_or_remote/uds, shard/{client-push,xdp,fallback},
+// ordered_mcast/{switch,software} factories, encrypt/sw, frame/http2ish,
+// tcpish/sw, tls/sw, compress/rle, batch/linger, dedup/window, telemetry/counters.
+//
+// Device-backed variants (encrypt/nic, tls/nic) are registered by
+// whoever owns the device — see sim/simnic.hpp.
+Result<void> register_builtin_chunnels(Runtime& rt);
+
+// Subsets used by benches that want precise control over offers.
+Result<void> register_transport_chunnels(Runtime& rt);  // reliable/ordering/serialize
+Result<void> register_shard_chunnels(Runtime& rt, bool client_push,
+                                     bool xdp, bool fallback);
+
+}  // namespace bertha

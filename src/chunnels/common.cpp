@@ -1,0 +1,33 @@
+#include "chunnels/common.hpp"
+
+namespace bertha {
+
+Result<std::vector<Addr>> parse_addr_list(const std::string& csv) {
+  std::vector<Addr> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    std::string item = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      BERTHA_TRY_ASSIGN(a, Addr::parse(item));
+      out.push_back(std::move(a));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty())
+    return err(Errc::invalid_argument, "empty address list: '" + csv + "'");
+  return out;
+}
+
+std::string format_addr_list(const std::vector<Addr>& addrs) {
+  std::string s;
+  for (const auto& a : addrs) {
+    if (!s.empty()) s += ',';
+    s += a.to_string();
+  }
+  return s;
+}
+
+}  // namespace bertha

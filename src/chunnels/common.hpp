@@ -1,0 +1,31 @@
+// Shared helpers for chunnel implementations.
+#pragma once
+
+#include "core/chunnel.hpp"
+#include "net/addr.hpp"
+
+namespace bertha {
+
+// An ephemeral bind address in the same family as `like` (used by
+// chunnels that open private data-path transports: shard dispatchers,
+// multicast reply sockets, ...).
+inline Addr ephemeral_like(const Addr& like, const std::string& host_id) {
+  switch (like.kind) {
+    case AddrKind::udp: return Addr::udp("0.0.0.0", 0);
+    case AddrKind::uds: return Addr::uds("");
+    case AddrKind::mem: return Addr::mem(host_id, 0);
+    // By convention a runtime's host_id doubles as its SimNet node name.
+    case AddrKind::sim: return Addr::sim(host_id, 0);
+    case AddrKind::invalid: break;
+  }
+  return Addr();
+}
+
+// Parses a comma-separated list of address URIs (the "shards" /
+// "members" args in DAG nodes).
+Result<std::vector<Addr>> parse_addr_list(const std::string& csv);
+
+// Joins addresses back into the csv form.
+std::string format_addr_list(const std::vector<Addr>& addrs);
+
+}  // namespace bertha

@@ -1,0 +1,78 @@
+#include "chunnels/compress.hpp"
+
+#include "serialize/codec.hpp"
+
+namespace bertha {
+
+Bytes rle_encode(BytesView data) {
+  Writer w;
+  size_t i = 0;
+  while (i < data.size()) {
+    uint8_t b = data[i];
+    size_t run = 1;
+    while (i + run < data.size() && data[i + run] == b) run++;
+    w.put_u8(b);
+    w.put_varint(run);
+    i += run;
+  }
+  return std::move(w).take();
+}
+
+Result<Bytes> rle_decode(BytesView data) {
+  Reader r(data);
+  Bytes out;
+  while (!r.at_end()) {
+    BERTHA_TRY_ASSIGN(b, r.get_u8());
+    BERTHA_TRY_ASSIGN(run, r.get_varint());
+    if (run == 0 || out.size() + run > (1u << 26))
+      return err(Errc::protocol_error, "bad rle run");
+    out.insert(out.end(), run, b);
+  }
+  return out;
+}
+
+namespace {
+
+class CompressConnection final : public Connection {
+ public:
+  explicit CompressConnection(ConnPtr inner) : inner_(std::move(inner)) {}
+
+  Result<void> send(Msg m) override {
+    m.payload = rle_encode(m.payload);
+    return inner_->send(std::move(m));
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    for (;;) {
+      BERTHA_TRY_ASSIGN(m, inner_->recv(deadline));
+      auto decoded = rle_decode(m.payload);
+      if (!decoded.ok()) continue;  // not ours
+      m.payload = std::move(decoded).value();
+      return m;
+    }
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnPtr inner_;
+};
+
+}  // namespace
+
+CompressChunnel::CompressChunnel() {
+  info_.type = "compress";
+  info_.name = "compress/rle";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 0;
+  info_.props["offloadable"] = "false";
+}
+
+Result<ConnPtr> CompressChunnel::wrap(ConnPtr inner, WrapContext&) {
+  return ConnPtr(std::make_shared<CompressConnection>(std::move(inner)));
+}
+
+}  // namespace bertha

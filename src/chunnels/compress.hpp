@@ -1,0 +1,26 @@
+// Compression chunnel: run-length encoding.
+//
+// A simple byte-transforming stage for composition demos and optimizer
+// tests (its size_factor < 1 on compressible payloads, which changes
+// where the optimizer wants it relative to PCIe crossings).
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+// Codec exposed for tests. Format: pairs of [u8 byte][varint count].
+Bytes rle_encode(BytesView data);
+Result<Bytes> rle_decode(BytesView data);
+
+class CompressChunnel final : public ChunnelImpl {
+ public:
+  CompressChunnel();
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+};
+
+}  // namespace bertha

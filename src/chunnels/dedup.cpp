@@ -1,0 +1,95 @@
+#include "chunnels/dedup.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "serialize/codec.hpp"
+
+namespace bertha {
+
+Bytes dedup_stamp(uint64_t msg_id, BytesView payload) {
+  Writer w;
+  w.put_u8('D');
+  w.put_u8('1');
+  w.put_varint(msg_id);
+  w.put_raw(payload);
+  return std::move(w).take();
+}
+
+namespace {
+
+class DedupConnection final : public Connection {
+ public:
+  DedupConnection(ConnPtr inner, size_t window, uint64_t id_seed)
+      : inner_(std::move(inner)), window_(window), next_id_(id_seed) {}
+
+  Result<void> send(Msg m) override {
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      id = next_id_++;
+    }
+    m.payload = dedup_stamp(id, m.payload);
+    return inner_->send(std::move(m));
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    for (;;) {
+      BERTHA_TRY_ASSIGN(m, inner_->recv(deadline));
+      Reader r(m.payload);
+      auto m0 = r.get_u8();
+      auto m1 = r.get_u8();
+      if (!m0.ok() || !m1.ok() || m0.value() != 'D' || m1.value() != '1')
+        continue;  // not ours
+      auto id_r = r.get_varint();
+      if (!id_r.ok()) continue;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (seen_.count(id_r.value())) continue;  // duplicate: suppress
+        seen_.insert(id_r.value());
+        order_.push_back(id_r.value());
+        if (order_.size() > window_) {
+          seen_.erase(order_.front());
+          order_.pop_front();
+        }
+      }
+      Msg out;
+      out.src = std::move(m.src);
+      out.dst = std::move(m.dst);
+      out.payload.assign(r.rest().begin(), r.rest().end());
+      return out;
+    }
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnPtr inner_;
+  size_t window_;
+  std::mutex mu_;
+  uint64_t next_id_;
+  std::unordered_set<uint64_t> seen_;
+  std::deque<uint64_t> order_;
+};
+
+}  // namespace
+
+DedupChunnel::DedupChunnel(DedupOptions opts) : opts_(opts) {
+  info_.type = "dedup";
+  info_.name = "dedup/window";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 0;
+}
+
+Result<ConnPtr> DedupChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
+  size_t window = ctx.args.get_u64_or("window", opts_.window);
+  // Each direction stamps its own id sequence and each receiver tracks
+  // only its peer's ids, so the two sequences never interact.
+  return ConnPtr(std::make_shared<DedupConnection>(std::move(inner), window,
+                                                   /*id_seed=*/1));
+}
+
+}  // namespace bertha

@@ -1,0 +1,39 @@
+// Deduplication chunnel: suppresses duplicate deliveries.
+//
+// At-least-once layers (application-level retries, retransmitting
+// lower layers without their own dedup) can deliver the same message
+// twice; this chunnel gives the receiver idempotent delivery by
+// remembering recently seen message ids in a bounded window.
+//
+// Wire format: 'D' '1' | varint msg-id | payload. The sender stamps a
+// fresh id per send; retransmissions of the *same logical message* must
+// reuse the id (which application-level retry code does by re-sending
+// the same encoded bytes).
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct DedupOptions {
+  size_t window = 4096;  // remembered ids per connection
+};
+
+class DedupChunnel final : public ChunnelImpl {
+ public:
+  explicit DedupChunnel(DedupOptions opts);
+  DedupChunnel() : DedupChunnel(DedupOptions{}) {}
+
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  DedupOptions opts_;
+};
+
+// Helper used by application-level retry code: re-encode a previously
+// sent dedup payload so a retry carries the same message id.
+Bytes dedup_stamp(uint64_t msg_id, BytesView payload);
+
+}  // namespace bertha

@@ -1,0 +1,66 @@
+#include "chunnels/directory.hpp"
+
+#include <algorithm>
+
+namespace bertha {
+
+Result<void> ServiceDirectory::register_instance(const std::string& service,
+                                                 const ServiceInstance& inst) {
+  if (!inst.addr.valid())
+    return err(Errc::invalid_argument, "instance needs a valid addr");
+  ImplInfo info;
+  info.type = type_for(service);
+  info.name = info.type + "@" + inst.addr.to_string();
+  info.scope = Scope::global;
+  info.endpoints = EndpointConstraint::server;
+  info.priority = 0;
+  info.props["addr"] = inst.addr.to_string();
+  info.props["host_id"] = inst.host_id;
+  info.props["metric"] = std::to_string(inst.metric);
+  return discovery_->register_impl(info);
+}
+
+Result<void> ServiceDirectory::unregister_instance(const std::string& service,
+                                                   const Addr& addr) {
+  return discovery_->unregister_impl(type_for(service),
+                                     type_for(service) + "@" + addr.to_string());
+}
+
+Result<std::vector<ServiceInstance>> ServiceDirectory::resolve_all(
+    const std::string& service) {
+  BERTHA_TRY_ASSIGN(entries, discovery_->query(type_for(service)));
+  std::vector<ServiceInstance> out;
+  for (const auto& e : entries) {
+    auto ait = e.props.find("addr");
+    if (ait == e.props.end()) continue;
+    auto addr_r = Addr::parse(ait->second);
+    if (!addr_r.ok()) continue;
+    ServiceInstance inst;
+    inst.addr = std::move(addr_r).value();
+    if (auto hit = e.props.find("host_id"); hit != e.props.end())
+      inst.host_id = hit->second;
+    if (auto mit = e.props.find("metric"); mit != e.props.end())
+      inst.metric = static_cast<uint32_t>(std::strtoul(mit->second.c_str(),
+                                                       nullptr, 10));
+    out.push_back(std::move(inst));
+  }
+  return out;
+}
+
+Result<ServiceInstance> ServiceDirectory::resolve(
+    const std::string& service, const std::string& local_host_id) {
+  BERTHA_TRY_ASSIGN(instances, resolve_all(service));
+  if (instances.empty())
+    return err(Errc::not_found, "no instances of service '" + service + "'");
+  std::sort(instances.begin(), instances.end(),
+            [&](const ServiceInstance& a, const ServiceInstance& b) {
+              bool a_local = a.host_id == local_host_id;
+              bool b_local = b.host_id == local_host_id;
+              if (a_local != b_local) return a_local;
+              if (a.metric != b.metric) return a.metric < b.metric;
+              return a.addr < b.addr;
+            });
+  return instances.front();
+}
+
+}  // namespace bertha

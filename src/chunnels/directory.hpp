@@ -1,0 +1,52 @@
+// Service directory & anycast resolution (paper §3.2 "Anycast" and the
+// Fig 4 dynamic-name-resolution experiment).
+//
+// Server instances register under a service name with their address,
+// host id and a routing metric. Clients resolve the name *each time a
+// connection is established* — so when a closer (same-host) instance
+// appears, subsequent connections pick it up with no client changes.
+// Entries ride on the ordinary discovery service (type "service:<name>"),
+// so resolution works both in-process and across the wire protocol.
+//
+// This is the DNS-style modality; the IP-anycast modality is SimNet's
+// advertise()/anycast routing (net/simnet.hpp) — the Bertha anycast
+// story is that an application can use either without code changes,
+// because both are behind resolve-then-connect.
+#pragma once
+
+#include "core/discovery.hpp"
+#include "net/addr.hpp"
+
+namespace bertha {
+
+struct ServiceInstance {
+  Addr addr;
+  std::string host_id;
+  uint32_t metric = 100;  // lower = closer
+};
+
+class ServiceDirectory {
+ public:
+  explicit ServiceDirectory(DiscoveryPtr discovery)
+      : discovery_(std::move(discovery)) {}
+
+  Result<void> register_instance(const std::string& service,
+                                 const ServiceInstance& inst);
+  Result<void> unregister_instance(const std::string& service,
+                                   const Addr& addr);
+
+  // Resolution policy: a same-host instance always wins (it can use the
+  // local fast path); otherwise the lowest metric; ties by address.
+  Result<ServiceInstance> resolve(const std::string& service,
+                                  const std::string& local_host_id);
+
+  Result<std::vector<ServiceInstance>> resolve_all(const std::string& service);
+
+ private:
+  static std::string type_for(const std::string& service) {
+    return "service:" + service;
+  }
+  DiscoveryPtr discovery_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,56 @@
+// Framing / stream-shaping chunnels used in composition examples and by
+// the §6 optimizer pipeline (encrypt |> http2 |> tcp):
+//
+//   frame   ("http2"-ish): length-prefixed framing with a 4-byte stream
+//           header — a host-CPU stage in the optimizer's model,
+//   tcpish  reliability + ordering bundled as one coarse chunnel (the
+//           paper's note that TCP offload engines are all-or-nothing),
+//   tls     the merged encrypt+tcpish stage the optimizer can rewrite
+//           adjacent encrypt|>tcpish pairs into when the NIC offers a
+//           combined engine.
+#pragma once
+
+#include <memory>
+
+#include "chunnels/reliable.hpp"
+#include "core/chunnel.hpp"
+#include "sim/simnic.hpp"
+
+namespace bertha {
+
+class FrameChunnel final : public ChunnelImpl {
+ public:
+  FrameChunnel();
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+};
+
+class TcpishChunnel final : public ChunnelImpl {
+ public:
+  TcpishChunnel();
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  ReliableChunnel reliable_;  // delegate: tcpish == reliable (+ ordering)
+};
+
+class TlsChunnel final : public ChunnelImpl {
+ public:
+  // nic == nullptr builds the software variant ("tls/sw").
+  explicit TlsChunnel(std::shared_ptr<SimNic> nic);
+  TlsChunnel() : TlsChunnel(nullptr) {}
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  std::shared_ptr<SimNic> nic_;
+  ReliableChunnel reliable_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,138 @@
+#include "chunnels/keepalive.hpp"
+
+#include <condition_variable>
+#include <thread>
+
+namespace bertha {
+
+namespace {
+
+class KeepaliveConnection final : public Connection {
+ public:
+  KeepaliveConnection(ConnPtr inner, KeepaliveOptions opts)
+      : inner_(std::move(inner)), opts_(opts) {
+    last_sent_.store(now().time_since_epoch().count(),
+                     std::memory_order_relaxed);
+    last_heard_.store(now().time_since_epoch().count(),
+                      std::memory_order_relaxed);
+    beater_ = std::thread([this] { beat_loop(); });
+  }
+
+  ~KeepaliveConnection() override { close(); }
+
+  Result<void> send(Msg m) override {
+    Bytes framed;
+    framed.reserve(m.payload.size() + 2);
+    framed.push_back('K');
+    framed.push_back('D');
+    append(framed, m.payload);
+    m.payload = std::move(framed);
+    last_sent_.store(now().time_since_epoch().count(),
+                     std::memory_order_relaxed);
+    return inner_->send(std::move(m));
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    for (;;) {
+      // Wake at least every interval to check the silence threshold.
+      auto silence_deadline =
+          TimePoint(Duration(last_heard_.load(std::memory_order_relaxed))) +
+          opts_.dead_after;
+      if (now() >= silence_deadline)
+        return err(Errc::unavailable, "peer silent beyond dead_after");
+      Deadline slice = Deadline::at(silence_deadline);
+      if (!deadline.is_never() &&
+          deadline.as_time_point() < slice.as_time_point())
+        slice = deadline;
+
+      auto m = inner_->recv(slice);
+      if (!m.ok()) {
+        if (m.error().code == Errc::timed_out) {
+          if (deadline.expired()) return m.error();
+          continue;  // silence check fires at the top
+        }
+        return m.error();
+      }
+      last_heard_.store(now().time_since_epoch().count(),
+                        std::memory_order_relaxed);
+      const Bytes& p = m.value().payload;
+      if (p.size() >= 2 && p[0] == 'K' && p[1] == 'H') continue;  // heartbeat
+      if (p.size() < 2 || p[0] != 'K' || p[1] != 'D') continue;   // stray
+      Msg out;
+      out.src = std::move(m.value().src);
+      out.dst = std::move(m.value().dst);
+      out.payload.assign(p.begin() + 2, p.end());
+      return out;
+    }
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+
+  void close() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    cv_.notify_all();
+    inner_->close();
+    if (beater_.joinable()) beater_.join();
+  }
+
+ private:
+  void beat_loop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!closed_) {
+      cv_.wait_for(lk, opts_.interval);
+      if (closed_) return;
+      auto idle = now().time_since_epoch().count() -
+                  last_sent_.load(std::memory_order_relaxed);
+      if (Duration(idle) < opts_.interval) continue;  // traffic is flowing
+      lk.unlock();
+      Msg hb;
+      hb.payload = {'K', 'H'};
+      (void)inner_->send(std::move(hb));
+      last_sent_.store(now().time_since_epoch().count(),
+                       std::memory_order_relaxed);
+      lk.lock();
+    }
+  }
+
+  ConnPtr inner_;
+  KeepaliveOptions opts_;
+  std::atomic<int64_t> last_sent_;
+  std::atomic<int64_t> last_heard_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  std::thread beater_;
+};
+
+}  // namespace
+
+KeepaliveChunnel::KeepaliveChunnel(KeepaliveOptions opts) : opts_(opts) {
+  info_.type = "keepalive";
+  info_.name = "keepalive/heartbeat";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 0;
+}
+
+Result<ConnPtr> KeepaliveChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
+  KeepaliveOptions opts = opts_;
+  opts.interval = us(static_cast<int64_t>(ctx.args.get_u64_or(
+      "interval_us",
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(opts_.interval)
+              .count()))));
+  opts.dead_after = us(static_cast<int64_t>(ctx.args.get_u64_or(
+      "dead_after_us",
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                opts_.dead_after)
+                                .count()))));
+  return ConnPtr(
+      std::make_shared<KeepaliveConnection>(std::move(inner), opts));
+}
+
+}  // namespace bertha

@@ -1,0 +1,35 @@
+// Keepalive chunnel: connection liveness over datagrams.
+//
+// Datagram connections have no FIN/RST; a peer that vanishes (crash,
+// network partition) just goes silent. This chunnel sends heartbeats
+// when the connection is idle and fails recv() with Errc::unavailable
+// once nothing — data or heartbeat — has arrived for `dead_after`.
+// Heartbeats are filtered out before the application sees them.
+//
+// Wire format: data is passed through prefixed with 'K' 'D'; heartbeats
+// are the two bytes 'K' 'H'.
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct KeepaliveOptions {
+  Duration interval = ms(200);    // heartbeat period when idle
+  Duration dead_after = seconds(1);  // silence threshold
+};
+
+class KeepaliveChunnel final : public ChunnelImpl {
+ public:
+  explicit KeepaliveChunnel(KeepaliveOptions opts);
+  KeepaliveChunnel() : KeepaliveChunnel(KeepaliveOptions{}) {}
+
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  KeepaliveOptions opts_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,66 @@
+#include "chunnels/localfastpath.hpp"
+
+#include "core/runtime.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+LocalFastPathChunnel::LocalFastPathChunnel() {
+  info_.type = "local_or_remote";
+  info_.name = "local_or_remote/uds";
+  info_.scope = Scope::host;  // the fast path only exists host-locally
+  info_.endpoints = EndpointConstraint::server;
+  info_.priority = 5;
+}
+
+Result<void> LocalFastPathChunnel::on_listen(ListenContext& ctx) {
+  // Bind an auxiliary unix-socket listen path and advertise it. If the
+  // platform/factory can't provide one (e.g. a SimNet-only runtime),
+  // quietly skip: connections still work over the primary transport.
+  auto t = ctx.transports->bind(Addr::uds("fp-" + make_unique_id()));
+  if (!t.ok()) {
+    BLOG(info, "local_or_remote")
+        << "no unix transport available (" << t.error().to_string()
+        << "); fast path disabled for this listener";
+    return ok();
+  }
+  Addr uds_addr = t.value()->local_addr();
+  BERTHA_TRY(ctx.add_listen_transport(std::move(t).value()));
+  ctx.advertise("fastpath_addr", uds_addr.to_string());
+  ctx.advertise("fastpath_host", ctx.host_id);
+  BLOG(info, "local_or_remote") << "advertising fast path at "
+                                << uds_addr.to_string();
+  return ok();
+}
+
+Result<ConnPtr> LocalFastPathChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
+  if (ctx.role == Role::server) return inner;  // demux-by-token handles it
+
+  // Client: switch to the unix socket when both ends share a host.
+  std::string fp_addr = ctx.args.get_or("fastpath_addr", "");
+  std::string fp_host = ctx.args.get_or("fastpath_host", "");
+  if (fp_addr.empty() || fp_host != ctx.local_host_id || !ctx.rebase)
+    return inner;  // remote (or no fast path offered): plain path
+
+  auto addr_r = Addr::parse(fp_addr);
+  if (!addr_r.ok()) {
+    BLOG(warn, "local_or_remote") << "bad advertised fastpath addr: " << fp_addr;
+    return inner;
+  }
+  auto t = ctx.transports->bind(Addr::uds(""));  // autobind our side
+  if (!t.ok()) {
+    BLOG(warn, "local_or_remote")
+        << "cannot bind unix socket: " << t.error().to_string();
+    return inner;
+  }
+  auto rebased = ctx.rebase(std::move(t).value(), addr_r.value());
+  if (!rebased.ok()) {
+    BLOG(warn, "local_or_remote") << "rebase failed: "
+                                  << rebased.error().to_string();
+    return inner;
+  }
+  BLOG(info, "local_or_remote") << "connection rebased onto " << fp_addr;
+  return inner;
+}
+
+}  // namespace bertha

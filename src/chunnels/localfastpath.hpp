@@ -1,0 +1,35 @@
+// Local fast-path chunnel — the paper's `local_or_remote()` (Listing 1,
+// evaluated in Fig 3 and Fig 4).
+//
+// When client and server are on the same host, datagrams should use
+// cheap IPC (a unix socket) instead of traversing the kernel network
+// stack. The server half binds an auxiliary unix-domain listen
+// transport at listen() time and advertises its address plus the
+// server's host id. During negotiation these land in the connection's
+// merged args; the client half compares host ids and, when they match,
+// *rebases* the already-established connection onto a fresh unix socket
+// aimed at the advertised address. The server needs no special handling:
+// connections are demultiplexed by token, so replies simply follow the
+// new path ("no manual changes to network or system configuration").
+//
+// Cross-host connections are untouched (passthrough), preserving
+// interface uniformity.
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+class LocalFastPathChunnel final : public ChunnelImpl {
+ public:
+  LocalFastPathChunnel();
+
+  const ImplInfo& info() const override { return info_; }
+  Result<void> on_listen(ListenContext& ctx) override;
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+};
+
+}  // namespace bertha

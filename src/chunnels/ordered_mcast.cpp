@@ -1,0 +1,373 @@
+#include "chunnels/ordered_mcast.hpp"
+
+#include <map>
+
+#include "serialize/codec.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+// --- framing ---
+
+Bytes mcast_frame(const Addr& reply_to, BytesView op) {
+  Writer w;
+  w.put_u8('M');
+  w.put_u8('1');
+  w.put_string(reply_to.to_string());
+  w.put_raw(op);
+  return std::move(w).take();
+}
+
+Result<std::pair<Addr, BytesView>> parse_mcast_frame(BytesView datagram) {
+  Reader r(datagram);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != 'M' || m1 != '1')
+    return err(Errc::protocol_error, "bad mcast frame magic");
+  BERTHA_TRY_ASSIGN(uri, r.get_string());
+  BERTHA_TRY_ASSIGN(reply, Addr::parse(uri));
+  return std::pair<Addr, BytesView>(std::move(reply), r.rest());
+}
+
+Result<McastOp> parse_sequenced_mcast(BytesView datagram) {
+  if (datagram.size() < 8)
+    return err(Errc::protocol_error, "short sequenced mcast datagram");
+  McastOp op;
+  op.seq = get_u64_le(datagram, 0);
+  BERTHA_TRY_ASSIGN(frame, parse_mcast_frame(datagram.subspan(8)));
+  op.reply_to = std::move(frame.first);
+  op.payload = frame.second;
+  return op;
+}
+
+// --- replica-side shared state ---
+
+class McastReplicaState {
+ public:
+  McastReplicaState(std::shared_ptr<Transport> transport, Duration gap_timeout)
+      : transport_(std::move(transport)),
+        gap_timeout_(gap_timeout),
+        ordered_(65536) {
+    thread_ = std::thread([this] { pump(); });
+  }
+
+  ~McastReplicaState() { stop(); }
+
+  void stop() {
+    transport_->close();
+    ordered_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Result<Msg> next(Deadline deadline) { return ordered_.pop(deadline); }
+
+  Result<void> reply(const Addr& to, BytesView payload) {
+    return transport_->send_to(to, payload);
+  }
+
+  const Addr& member_addr() const { return transport_->local_addr(); }
+  uint64_t gaps() const { return gaps_.load(std::memory_order_relaxed); }
+
+ private:
+  // Receives sequenced datagrams and releases them in global order.
+  void pump() {
+    std::map<uint64_t, Msg> holdback;
+    uint64_t next_seq = 0;
+    std::optional<TimePoint> gap_since;
+
+    for (;;) {
+      Deadline dl = gap_since ? Deadline::at(*gap_since + gap_timeout_)
+                              : Deadline::never();
+      auto pkt_r = transport_->recv(dl);
+      if (pkt_r.ok()) {
+        auto op_r = parse_sequenced_mcast(pkt_r.value().payload);
+        if (!op_r.ok()) continue;
+        const McastOp& op = op_r.value();
+        if (op.seq < next_seq || holdback.count(op.seq)) continue;  // dup
+        Msg m;
+        m.src = op.reply_to;
+        m.dst = member_addr();
+        m.payload.assign(op.payload.begin(), op.payload.end());
+        holdback.emplace(op.seq, std::move(m));
+      } else if (pkt_r.error().code == Errc::timed_out) {
+        // Head-of-line gap aged out: skip it (recovery would run here).
+        if (!holdback.empty()) {
+          gaps_.fetch_add(holdback.begin()->first - next_seq,
+                          std::memory_order_relaxed);
+          next_seq = holdback.begin()->first;
+        }
+        gap_since.reset();
+      } else {
+        return;  // closed
+      }
+
+      while (!holdback.empty() && holdback.begin()->first == next_seq) {
+        (void)ordered_.push(std::move(holdback.begin()->second));
+        holdback.erase(holdback.begin());
+        next_seq++;
+        gap_since.reset();
+      }
+      if (!holdback.empty() && !gap_since) gap_since = now();
+    }
+  }
+
+  std::shared_ptr<Transport> transport_;
+  Duration gap_timeout_;
+  BlockingQueue<Msg> ordered_;
+  std::atomic<uint64_t> gaps_{0};
+  std::thread thread_;
+};
+
+namespace {
+
+// Replica-facing connection: recv() = next globally-ordered op, send()
+// = direct reply to a client.
+class McastReplicaConnection final : public Connection {
+ public:
+  McastReplicaConnection(ConnPtr inner, std::shared_ptr<McastReplicaState> st)
+      : inner_(std::move(inner)), st_(std::move(st)) {}
+
+  Result<void> send(Msg m) override {
+    if (!m.dst.valid())
+      return err(Errc::invalid_argument,
+                 "mcast replica reply needs dst (the request's src)");
+    return st_->reply(m.dst, m.payload);
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    // The ordered stream is shared with sibling connections, so closing
+    // this connection must not close the stream; instead we poll in
+    // short slices so close() can interrupt a blocked reader.
+    for (;;) {
+      if (closed_.load(std::memory_order_acquire))
+        return err(Errc::cancelled, "connection closed");
+      Deadline slice = Deadline::after(ms(50));
+      if (!deadline.is_never() &&
+          deadline.as_time_point() < slice.as_time_point())
+        slice = deadline;
+      auto m = st_->next(slice);
+      if (m.ok()) return m;
+      if (m.error().code != Errc::timed_out) return m;  // stream closed
+      if (deadline.expired()) return m;                 // caller's deadline
+    }
+  }
+
+  const Addr& local_addr() const override { return st_->member_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+
+  void close() override {
+    closed_.store(true, std::memory_order_release);
+    inner_->close();  // the shared state outlives this connection
+  }
+
+ private:
+  ConnPtr inner_;
+  std::shared_ptr<McastReplicaState> st_;
+  std::atomic<bool> closed_{false};
+};
+
+// Client-facing connection: send() multicasts via the sequenced target,
+// recv() collects replica replies on a private transport.
+class McastClientConnection final : public Connection {
+ public:
+  McastClientConnection(ConnPtr inner, TransportPtr transport, Addr target)
+      : inner_(std::move(inner)),
+        transport_(std::move(transport)),
+        target_(std::move(target)),
+        local_(transport_->local_addr()) {}
+
+  ~McastClientConnection() override { close(); }
+
+  Result<void> send(Msg m) override {
+    Bytes framed = mcast_frame(local_, m.payload);
+    return transport_->send_to(target_, framed);
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    BERTHA_TRY_ASSIGN(pkt, transport_->recv(deadline));
+    Msg m;
+    m.src = std::move(pkt.src);
+    m.dst = local_;
+    m.payload = std::move(pkt.payload);
+    return m;
+  }
+
+  const Addr& local_addr() const override { return local_; }
+  const Addr& peer_addr() const override { return target_; }
+
+  void close() override {
+    transport_->close();
+    inner_->close();
+  }
+
+ private:
+  ConnPtr inner_;
+  TransportPtr transport_;
+  Addr target_;
+  Addr local_;
+};
+
+}  // namespace
+
+// --- chunnel base ---
+
+OrderedMcastChunnelBase::~OrderedMcastChunnelBase() { teardown(); }
+
+namespace {
+
+// Replica states are shared *across* implementation instances: the
+// switch and software impls of the same listener must use one member
+// transport (only one bind of the member address can exist). Keyed by
+// member address; weak so states die with their last listener.
+std::mutex g_replica_mu;
+std::map<std::string, std::weak_ptr<McastReplicaState>> g_replica_states;
+
+Result<std::shared_ptr<McastReplicaState>> shared_replica_state(
+    const Addr& member_addr, TransportFactory& transports, Duration gap) {
+  std::lock_guard<std::mutex> lk(g_replica_mu);
+  std::string key = member_addr.to_string();
+  if (auto it = g_replica_states.find(key); it != g_replica_states.end()) {
+    if (auto live = it->second.lock()) return live;
+    g_replica_states.erase(it);
+  }
+  BERTHA_TRY_ASSIGN(t, transports.bind(member_addr));
+  auto st = std::make_shared<McastReplicaState>(
+      std::shared_ptr<Transport>(std::move(t)), gap);
+  g_replica_states[key] = st;
+  return st;
+}
+
+}  // namespace
+
+Result<void> OrderedMcastChunnelBase::on_listen(ListenContext& ctx) {
+  // Each replica binds its member address (provided by the application
+  // in the DAG args, as each replica knows which group member it is).
+  BERTHA_TRY_ASSIGN(member_uri, ctx.app_args.get("member_addr"));
+  BERTHA_TRY_ASSIGN(member_addr, Addr::parse(member_uri));
+
+  auto gap_us = ctx.app_args.get_u64_or("gap_timeout_us", 20000);
+  BERTHA_TRY_ASSIGN(st,
+                    shared_replica_state(member_addr, *ctx.transports,
+                                         us(static_cast<int64_t>(gap_us))));
+  std::lock_guard<std::mutex> lk(mu_);
+  replicas_[ctx.listen_addr.to_string()] = std::move(st);
+  return ok();
+}
+
+Result<ConnPtr> OrderedMcastChunnelBase::wrap(ConnPtr inner, WrapContext& ctx) {
+  if (ctx.role == Role::server) {
+    std::shared_ptr<McastReplicaState> st;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = replicas_.find(ctx.listen_addr.to_string());
+      if (it != replicas_.end()) st = it->second;
+    }
+    if (!st)
+      return err(Errc::internal,
+                 "ordered_mcast: no replica state for this listener");
+    return ConnPtr(
+        std::make_shared<McastReplicaConnection>(std::move(inner), st));
+  }
+
+  // Client: send sequenced operations toward the negotiated target.
+  BERTHA_TRY_ASSIGN(target_uri, ctx.args.get(target_arg_));
+  BERTHA_TRY_ASSIGN(target, Addr::parse(target_uri));
+  BERTHA_TRY_ASSIGN(
+      t, ctx.transports->bind(ephemeral_like(target, ctx.local_host_id)));
+  return ConnPtr(std::make_shared<McastClientConnection>(
+      std::move(inner), std::move(t), std::move(target)));
+}
+
+void OrderedMcastChunnelBase::teardown() {
+  // States are shared with the sibling implementation (and with live
+  // connections); dropping our references stops each state when its
+  // last owner goes away (~McastReplicaState joins the pump thread).
+  std::lock_guard<std::mutex> lk(mu_);
+  replicas_.clear();
+}
+
+uint64_t OrderedMcastChunnelBase::gaps_skipped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [key, st] : replicas_) total += st->gaps();
+  return total;
+}
+
+SwitchOrderedMcastChunnel::SwitchOrderedMcastChunnel()
+    : OrderedMcastChunnelBase("group_addr") {
+  info_.type = "ordered_mcast";
+  info_.name = "ordered_mcast/switch";
+  info_.scope = Scope::rack;
+  info_.endpoints = EndpointConstraint::server;
+  info_.priority = 20;
+  // Instantiation code only: usable when a switch advertises a group.
+  info_.factory_only = true;
+}
+
+SoftwareOrderedMcastChunnel::SoftwareOrderedMcastChunnel()
+    : OrderedMcastChunnelBase("sequencer_addr") {
+  info_.type = "ordered_mcast";
+  info_.name = "ordered_mcast/software";
+  info_.scope = Scope::global;
+  info_.endpoints = EndpointConstraint::server;
+  info_.priority = 5;
+  // Usable only against a running, discovery-advertised sequencer.
+  info_.factory_only = true;
+}
+
+// --- software sequencer ---
+
+SoftwareSequencer::SoftwareSequencer(std::shared_ptr<Transport> t,
+                                     std::vector<Addr> members)
+    : transport_(std::move(t)),
+      addr_(transport_->local_addr()),
+      members_(std::move(members)) {
+  thread_ = std::thread([this] {
+    for (;;) {
+      auto pkt_r = transport_->recv();
+      if (!pkt_r.ok()) return;
+      const Packet& pkt = pkt_r.value();
+      // Validate before stamping; non-mcast datagrams are dropped.
+      if (!parse_mcast_frame(pkt.payload).ok()) continue;
+      Bytes stamped;
+      stamped.reserve(8 + pkt.payload.size());
+      put_u64_le(stamped, next_seq_.fetch_add(1, std::memory_order_relaxed));
+      append(stamped, pkt.payload);
+      for (const auto& m : members_) (void)transport_->send_to(m, stamped);
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+Result<std::unique_ptr<SoftwareSequencer>> SoftwareSequencer::start(
+    TransportFactory& factory, const Addr& bind_addr,
+    std::vector<Addr> members) {
+  if (members.empty())
+    return err(Errc::invalid_argument, "sequencer needs members");
+  BERTHA_TRY_ASSIGN(t, factory.bind(bind_addr));
+  return std::unique_ptr<SoftwareSequencer>(new SoftwareSequencer(
+      std::shared_ptr<Transport>(std::move(t)), std::move(members)));
+}
+
+SoftwareSequencer::~SoftwareSequencer() { stop(); }
+
+void SoftwareSequencer::stop() {
+  transport_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+Result<void> SoftwareSequencer::register_with(DiscoveryClient& discovery,
+                                              const std::string& instance) {
+  ImplInfo info;
+  info.type = "ordered_mcast";
+  info.name = "ordered_mcast/software:" + addr_.to_string();
+  info.scope = Scope::global;
+  info.endpoints = EndpointConstraint::server;
+  info.priority = 5;
+  info.props["sequencer_addr"] = addr_.to_string();
+  info.props["sequencer"] = "software";
+  info.props["instance"] = instance;
+  return discovery.register_impl(info);
+}
+
+}  // namespace bertha

@@ -1,0 +1,123 @@
+// Ordered multicast chunnel (paper §3.2 "Network-Assisted Consensus",
+// Listing 2/3) — the NOPaxos/Speculative-Paxos building block.
+//
+// Clients send operations to a consensus group; every replica delivers
+// them in one global order. Two implementations:
+//
+//   ordered_mcast/switch    packets are sequenced *in the network*: the
+//                           SimSwitch installs a hardware-sequenced
+//                           multicast group into SimNet, which stamps a
+//                           global sequence number in transit with no
+//                           extra hop (advertised via discovery by the
+//                           switch; see sim/simswitch.hpp),
+//   ordered_mcast/software  the host fallback: a SoftwareSequencer
+//                           process receives each operation, stamps it,
+//                           and re-multicasts — one extra network hop
+//                           and a CPU on the critical path.
+//
+// Wire format reaching each replica:
+//   [u64le global seq][ 'M' '1' | varint reply_uri_len | reply_uri | op ]
+// Replies are raw payloads sent directly to reply_uri.
+//
+// Server-side semantics: every replica sees ONE globally-ordered
+// operation stream per listener; all accepted connections at that
+// listener drain the same stream (consensus applies operations from all
+// clients in one order). Gaps (drops) are skipped after a timeout and
+// counted — a real protocol would trigger its recovery path here.
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "chunnels/common.hpp"
+#include "core/chunnel.hpp"
+#include "core/discovery.hpp"
+#include "util/queue.hpp"
+
+namespace bertha {
+
+// Shared per-listener replica state: the member transport and the
+// ordered delivery queue.
+class McastReplicaState;
+
+// Base for the two implementations (they differ only in where clients
+// send: the group address vs the sequencer address).
+class OrderedMcastChunnelBase : public ChunnelImpl {
+ public:
+  ~OrderedMcastChunnelBase() override;
+  Result<void> on_listen(ListenContext& ctx) override;
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+  void teardown() override;
+
+  // Total head-of-line gaps skipped across replicas (lost sequenced
+  // packets a real consensus protocol would recover).
+  uint64_t gaps_skipped() const;
+
+ protected:
+  explicit OrderedMcastChunnelBase(std::string target_arg)
+      : target_arg_(std::move(target_arg)) {}
+  ImplInfo info_;
+
+ private:
+  std::string target_arg_;  // "group_addr" or "sequencer_addr"
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<McastReplicaState>> replicas_;
+};
+
+class SwitchOrderedMcastChunnel final : public OrderedMcastChunnelBase {
+ public:
+  SwitchOrderedMcastChunnel();
+  const ImplInfo& info() const override { return info_; }
+};
+
+class SoftwareOrderedMcastChunnel final : public OrderedMcastChunnelBase {
+ public:
+  SoftwareOrderedMcastChunnel();
+  const ImplInfo& info() const override { return info_; }
+};
+
+// The host-fallback sequencer: stamps and re-multicasts operations.
+// Start one per group, then register_with() discovery so negotiation
+// can pick it when no switch offload exists.
+class SoftwareSequencer {
+ public:
+  static Result<std::unique_ptr<SoftwareSequencer>> start(
+      TransportFactory& factory, const Addr& bind_addr,
+      std::vector<Addr> members);
+  ~SoftwareSequencer();
+
+  // Advertise this sequencer as an ordered_mcast implementation
+  // serving application instance `instance` (see the "instance" arg on
+  // ordered_mcast DAG nodes).
+  Result<void> register_with(DiscoveryClient& discovery,
+                             const std::string& instance);
+
+  const Addr& addr() const { return addr_; }
+  uint64_t sequenced() const { return count_.load(std::memory_order_relaxed); }
+  void stop();
+
+ private:
+  SoftwareSequencer(std::shared_ptr<Transport> t, std::vector<Addr> members);
+
+  std::shared_ptr<Transport> transport_;
+  Addr addr_;
+  std::vector<Addr> members_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> next_seq_{0};
+  std::thread thread_;
+};
+
+// Framing helpers (shared with tests).
+Bytes mcast_frame(const Addr& reply_to, BytesView op);
+struct McastOp {
+  uint64_t seq;
+  Addr reply_to;
+  BytesView payload;
+};
+// Parses [seq][frame] as delivered to a replica.
+Result<McastOp> parse_sequenced_mcast(BytesView datagram);
+// Parses just the frame (what a sequencer receives, before stamping).
+Result<std::pair<Addr, BytesView>> parse_mcast_frame(BytesView datagram);
+
+}  // namespace bertha

@@ -1,0 +1,34 @@
+// Ordering chunnel: in-order delivery *without* reliability.
+//
+// Stamps a sequence number on each message and delivers in order,
+// releasing messages after a gap timeout rather than retransmitting
+// (appropriate when the app tolerates loss but not reordering). One of
+// the finer-grained pieces a monolithic TCP chunnel bundles (paper §2's
+// minimality discussion).
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct OrderingOptions {
+  // How long to hold back out-of-order messages waiting for a gap to
+  // fill before skipping it.
+  Duration gap_timeout = ms(20);
+  size_t max_buffer = 1024;
+};
+
+class OrderingChunnel final : public ChunnelImpl {
+ public:
+  explicit OrderingChunnel(OrderingOptions opts);
+  OrderingChunnel() : OrderingChunnel(OrderingOptions{}) {}
+
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  OrderingOptions opts_;
+};
+
+}  // namespace bertha

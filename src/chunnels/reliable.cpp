@@ -1,0 +1,212 @@
+#include "chunnels/reliable.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <thread>
+
+#include "serialize/codec.hpp"
+#include "util/log.hpp"
+#include "util/queue.hpp"
+
+namespace bertha {
+
+namespace {
+
+constexpr uint8_t kData = 1;
+constexpr uint8_t kAck = 2;
+
+Bytes encode_data(uint64_t seq, BytesView payload) {
+  Writer w;
+  w.put_u8(kData);
+  w.put_varint(seq);
+  w.put_raw(payload);
+  return std::move(w).take();
+}
+
+Bytes encode_ack(uint64_t next_expected) {
+  Writer w;
+  w.put_u8(kAck);
+  w.put_varint(next_expected);
+  return std::move(w).take();
+}
+
+class ReliableConnection final : public Connection {
+ public:
+  ReliableConnection(ConnPtr inner, ReliableOptions opts)
+      : inner_(std::move(inner)), opts_(opts), delivered_(4096) {
+    engine_ = std::thread([this] { engine_loop(); });
+  }
+
+  ~ReliableConnection() override { close(); }
+
+  Result<void> send(Msg m) override {
+    uint64_t seq;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "connection closed");
+      // Flow control: block while the window is full.
+      auto give_up = now() + opts_.send_timeout;
+      while (in_flight_.size() >= opts_.window) {
+        if (window_cv_.wait_until(lk, give_up) == std::cv_status::timeout)
+          return err(Errc::timed_out, "reliable send window stalled");
+        if (closed_) return err(Errc::cancelled, "connection closed");
+      }
+      seq = next_send_seq_++;
+      in_flight_[seq] = m.payload;
+    }
+    Msg wire;
+    wire.dst = m.dst;
+    wire.payload = encode_data(seq, m.payload);
+    return inner_->send(std::move(wire));
+  }
+
+  Result<Msg> recv(Deadline deadline) override { return delivered_.pop(deadline); }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+
+  void close() override {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    window_cv_.notify_all();
+    inner_->close();
+    delivered_.close();
+    if (engine_.joinable()) engine_.join();
+  }
+
+ private:
+  // One background thread handles everything stateful: inner receives
+  // (data -> reorder + ack, ack -> window release) and retransmission.
+  void engine_loop() {
+    TimePoint next_retx = now() + opts_.rto;
+    for (;;) {
+      auto msg_r = inner_->recv(Deadline::at(next_retx));
+      if (msg_r.ok()) {
+        handle_incoming(std::move(msg_r).value());
+      } else if (msg_r.error().code == Errc::timed_out) {
+        retransmit();
+        next_retx = now() + opts_.rto;
+      } else {
+        // cancelled/unavailable: propagate EOF to the reader.
+        delivered_.close();
+        return;
+      }
+      if (now() >= next_retx) {
+        retransmit();
+        next_retx = now() + opts_.rto;
+      }
+    }
+  }
+
+  void handle_incoming(Msg m) {
+    Reader r(m.payload);
+    auto kind_r = r.get_u8();
+    if (!kind_r.ok()) return;
+    auto seq_r = r.get_varint();
+    if (!seq_r.ok()) return;
+
+    if (kind_r.value() == kAck) {
+      std::lock_guard<std::mutex> lk(mu_);
+      // Cumulative: everything below next_expected is delivered.
+      for (auto it = in_flight_.begin();
+           it != in_flight_.end() && it->first < seq_r.value();)
+        it = in_flight_.erase(it);
+      window_cv_.notify_all();
+      return;
+    }
+    if (kind_r.value() != kData) return;
+
+    uint64_t seq = seq_r.value();
+    Bytes payload(r.rest().begin(), r.rest().end());
+    Addr src = m.src;
+    uint64_t ack_value;
+    std::vector<Msg> to_deliver;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (seq >= next_recv_seq_ && !reorder_.count(seq) &&
+          reorder_.size() < opts_.window * 4) {
+        Msg out;
+        out.src = src;
+        out.payload = std::move(payload);
+        reorder_.emplace(seq, std::move(out));
+      }
+      while (!reorder_.empty() && reorder_.begin()->first == next_recv_seq_) {
+        to_deliver.push_back(std::move(reorder_.begin()->second));
+        reorder_.erase(reorder_.begin());
+        next_recv_seq_++;
+      }
+      ack_value = next_recv_seq_;
+    }
+    for (auto& d : to_deliver) (void)delivered_.push(std::move(d));
+    Msg ack;
+    ack.payload = encode_ack(ack_value);
+    (void)inner_->send(std::move(ack));
+  }
+
+  void retransmit() {
+    std::vector<std::pair<uint64_t, Bytes>> pending;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      for (const auto& [seq, payload] : in_flight_)
+        pending.emplace_back(seq, payload);
+    }
+    for (auto& [seq, payload] : pending) {
+      Msg wire;
+      wire.payload = encode_data(seq, payload);
+      (void)inner_->send(std::move(wire));
+    }
+  }
+
+  ConnPtr inner_;
+  ReliableOptions opts_;
+  BlockingQueue<Msg> delivered_;
+
+  std::mutex mu_;
+  std::condition_variable window_cv_;
+  bool closed_ = false;
+  uint64_t next_send_seq_ = 0;
+  uint64_t next_recv_seq_ = 0;
+  std::map<uint64_t, Bytes> in_flight_;  // seq -> payload, unacked
+  std::map<uint64_t, Msg> reorder_;      // out-of-order arrivals
+
+  std::thread engine_;
+};
+
+}  // namespace
+
+ReliableChunnel::ReliableChunnel(ReliableOptions opts) : opts_(opts) {
+  info_.type = "reliable";
+  info_.name = "reliable/arq";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 0;  // the fallback
+}
+
+Result<ConnPtr> ReliableChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
+  ReliableOptions opts = opts_;
+  opts.rto = us(static_cast<int64_t>(ctx.args.get_u64_or(
+      "rto_us", static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        opts_.rto)
+                        .count()))));
+  opts.window = ctx.args.get_u64_or("window", opts_.window);
+  return ConnPtr(std::make_shared<ReliableConnection>(std::move(inner), opts));
+}
+
+NopReliableChunnel::NopReliableChunnel() {
+  info_.type = "reliable";
+  info_.name = "reliable/nop";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = -10;  // only when policy explicitly prefers it
+}
+
+Result<ConnPtr> NopReliableChunnel::wrap(ConnPtr inner, WrapContext&) {
+  return ConnPtr(std::make_shared<PassthroughConnection>(std::move(inner)));
+}
+
+}  // namespace bertha

@@ -1,0 +1,50 @@
+// Reliability chunnel (Listing 4/5's `reliable()`).
+//
+// A software ARQ protocol layered over unreliable datagrams: sequence
+// numbers, cumulative acknowledgements, retransmission, duplicate
+// suppression and in-order delivery. This is the canonical *host
+// fallback* implementation (paper §2): always available, works on any
+// transport, slower than a hardware TCP offload engine would be.
+//
+// Inner-payload format: [u8 subkind (1=data, 2=ack)] [u64 varint seq]
+// [payload for data]. Acks carry the next expected sequence number
+// (cumulative).
+#pragma once
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct ReliableOptions {
+  Duration rto = ms(50);           // retransmission timeout
+  size_t window = 64;              // max unacknowledged messages
+  Duration send_timeout = seconds(10);  // give up blocking send after this
+};
+
+class ReliableChunnel final : public ChunnelImpl {
+ public:
+  explicit ReliableChunnel(ReliableOptions opts);
+  ReliableChunnel() : ReliableChunnel(ReliableOptions{}) {}
+
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+  ReliableOptions opts_;
+};
+
+// A no-op "reliable" implementation for transports that are already
+// lossless (in-process channels). Lower priority than the ARQ so it is
+// only chosen when explicitly preferred by policy.
+class NopReliableChunnel final : public ChunnelImpl {
+ public:
+  NopReliableChunnel();
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+};
+
+}  // namespace bertha

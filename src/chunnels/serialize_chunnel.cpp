@@ -1,0 +1,69 @@
+#include "chunnels/serialize_chunnel.hpp"
+
+#include "serialize/text_codec.hpp"
+
+namespace bertha {
+
+namespace {
+
+// Binary wire format: payload passes through untouched (it is already
+// canonical Serde bytes).
+class BinaryWireConnection final : public PassthroughConnection {
+ public:
+  using PassthroughConnection::PassthroughConnection;
+};
+
+class TextWireConnection final : public Connection {
+ public:
+  explicit TextWireConnection(ConnPtr inner) : inner_(std::move(inner)) {}
+
+  Result<void> send(Msg m) override {
+    m.payload = text_encode(m.payload);
+    return inner_->send(std::move(m));
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    for (;;) {
+      BERTHA_TRY_ASSIGN(m, inner_->recv(deadline));
+      auto decoded = text_decode(m.payload);
+      if (!decoded.ok()) continue;  // not ours: drop
+      m.payload = std::move(decoded).value();
+      return m;
+    }
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnPtr inner_;
+};
+
+}  // namespace
+
+BinarySerializeChunnel::BinarySerializeChunnel() {
+  info_.type = "serialize";
+  info_.name = "serialize/binary";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 10;  // the optimized library
+}
+
+Result<ConnPtr> BinarySerializeChunnel::wrap(ConnPtr inner, WrapContext&) {
+  return ConnPtr(std::make_shared<BinaryWireConnection>(std::move(inner)));
+}
+
+TextSerializeChunnel::TextSerializeChunnel() {
+  info_.type = "serialize";
+  info_.name = "serialize/text";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::both;
+  info_.priority = 0;  // portable fallback
+}
+
+Result<ConnPtr> TextSerializeChunnel::wrap(ConnPtr inner, WrapContext&) {
+  return ConnPtr(std::make_shared<TextWireConnection>(std::move(inner)));
+}
+
+}  // namespace bertha

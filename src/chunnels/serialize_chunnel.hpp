@@ -1,0 +1,81 @@
+// Serialization chunnel (paper §3.2, "Serialization").
+//
+// "The use of a serialization Chunnel changes the connection's
+// interface: applications send and receive objects rather than bytes."
+//
+// The typed layer is ObjectConnection<T>: the application's T is encoded
+// with the Serde framework into the connection payload. The *wire
+// representation* is the chunnel's negotiated implementation:
+//
+//   serialize/binary — compact bincode-style bytes (the fast path an
+//                      accelerated library would provide),
+//   serialize/text   — hex-text encoding (the slow, portable fallback).
+//
+// Because both sides bind the same implementation at negotiation, an
+// application upgrades from text to binary wire format by registering
+// the better implementation — no application code changes (the paper's
+// point).
+#pragma once
+
+#include "core/chunnel.hpp"
+#include "serialize/codec.hpp"
+
+namespace bertha {
+
+class BinarySerializeChunnel final : public ChunnelImpl {
+ public:
+  BinarySerializeChunnel();
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+};
+
+class TextSerializeChunnel final : public ChunnelImpl {
+ public:
+  TextSerializeChunnel();
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+ private:
+  ImplInfo info_;
+};
+
+// Typed facade over a (chunnel-wrapped) connection: send/recv T values.
+// The payload reaching the connection is always canonical Serde bytes;
+// the serialize chunnel below re-encodes for the wire as negotiated.
+template <typename T>
+class ObjectConnection {
+ public:
+  explicit ObjectConnection(ConnPtr conn) : conn_(std::move(conn)) {}
+
+  Result<void> send(const T& value, Addr dst = Addr()) {
+    Msg m;
+    m.dst = std::move(dst);
+    m.payload = serialize_to_bytes(value);
+    return conn_->send(std::move(m));
+  }
+
+  // Returns the decoded object and (via out-param overload below) its
+  // source address.
+  Result<T> recv(Deadline deadline = Deadline::never()) {
+    BERTHA_TRY_ASSIGN(m, conn_->recv(deadline));
+    return deserialize_from_bytes<T>(m.payload);
+  }
+
+  Result<std::pair<T, Addr>> recv_from(Deadline deadline = Deadline::never()) {
+    BERTHA_TRY_ASSIGN(m, conn_->recv(deadline));
+    BERTHA_TRY_ASSIGN(v, deserialize_from_bytes<T>(m.payload));
+    return std::pair<T, Addr>(std::move(v), std::move(m.src));
+  }
+
+  Connection& raw() { return *conn_; }
+  const ConnPtr& conn() const { return conn_; }
+  void close() { conn_->close(); }
+
+ private:
+  ConnPtr conn_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,101 @@
+#include "chunnels/telemetry.hpp"
+
+namespace bertha {
+
+namespace {
+
+class TelemetryConnection final : public Connection {
+ public:
+  TelemetryConnection(ConnPtr inner,
+                      std::function<void(bool sent, size_t bytes, bool error)>
+                          record)
+      : inner_(std::move(inner)), record_(std::move(record)) {}
+
+  Result<void> send(Msg m) override {
+    size_t bytes = m.payload.size();
+    auto r = inner_->send(std::move(m));
+    record_(true, bytes, !r.ok());
+    return r;
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    BERTHA_TRY_ASSIGN(m, inner_->recv(deadline));
+    record_(false, m.payload.size(), false);
+    return m;
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnPtr inner_;
+  std::function<void(bool, size_t, bool)> record_;
+};
+
+}  // namespace
+
+TelemetryChunnel::TelemetryChunnel() {
+  info_.type = "telemetry";
+  info_.name = "telemetry/counters";
+  info_.scope = Scope::application;
+  info_.endpoints = EndpointConstraint::server;  // one side suffices
+  info_.priority = 0;
+}
+
+std::shared_ptr<TelemetryChunnel::Cell> TelemetryChunnel::cell_for(
+    const std::string& label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& cell = cells_[label];
+  if (!cell) cell = std::make_shared<Cell>();
+  return cell;
+}
+
+Result<ConnPtr> TelemetryChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
+  auto cell = cell_for(ctx.args.get_or("label", "-"));
+  auto record = [cell](bool sent, size_t bytes, bool error) {
+    if (sent) {
+      cell->msgs_sent.fetch_add(1, std::memory_order_relaxed);
+      cell->bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+      if (error) cell->send_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cell->msgs_received.fetch_add(1, std::memory_order_relaxed);
+      cell->bytes_received.fetch_add(bytes, std::memory_order_relaxed);
+    }
+  };
+  return ConnPtr(
+      std::make_shared<TelemetryConnection>(std::move(inner), record));
+}
+
+TelemetryCounters TelemetryChunnel::snapshot(const std::string& label) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  TelemetryCounters out;
+  auto it = cells_.find(label);
+  if (it == cells_.end()) return out;
+  out.msgs_sent = it->second->msgs_sent.load(std::memory_order_relaxed);
+  out.msgs_received = it->second->msgs_received.load(std::memory_order_relaxed);
+  out.bytes_sent = it->second->bytes_sent.load(std::memory_order_relaxed);
+  out.bytes_received =
+      it->second->bytes_received.load(std::memory_order_relaxed);
+  out.send_errors = it->second->send_errors.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::map<std::string, TelemetryCounters> TelemetryChunnel::snapshot_all()
+    const {
+  std::map<std::string, TelemetryCounters> out;
+  std::vector<std::string> labels;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [label, cell] : cells_) labels.push_back(label);
+  }
+  for (const auto& label : labels) out[label] = snapshot(label);
+  return out;
+}
+
+void TelemetryChunnel::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  cells_.clear();
+}
+
+}  // namespace bertha

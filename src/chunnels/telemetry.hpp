@@ -1,0 +1,59 @@
+// Telemetry chunnel: transparent per-connection counters.
+//
+// An example of a purely host-local chunnel: it adds no bytes to the
+// wire, it just observes. Useful in examples/benches to show that
+// cross-cutting functionality (metrics, tracing) composes like any
+// other chunnel, and that a peer without the implementation simply gets
+// a passthrough.
+//
+// Counters aggregate per label (the "label" DAG arg; default the
+// chunnel type of the stack, "-") across all connections wrapped by
+// this impl instance.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct TelemetryCounters {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t send_errors = 0;
+};
+
+class TelemetryChunnel final : public ChunnelImpl {
+ public:
+  TelemetryChunnel();
+
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext& ctx) override;
+
+  // Snapshot of one label's counters (zeros if unknown).
+  TelemetryCounters snapshot(const std::string& label) const;
+  // Snapshot of everything.
+  std::map<std::string, TelemetryCounters> snapshot_all() const;
+  void reset();
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> msgs_sent{0};
+    std::atomic<uint64_t> msgs_received{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> send_errors{0};
+  };
+  std::shared_ptr<Cell> cell_for(const std::string& label);
+
+  ImplInfo info_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Cell>> cells_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,59 @@
+#include "core/chunnel.hpp"
+
+#include <charconv>
+
+namespace bertha {
+
+std::string_view scope_name(Scope s) {
+  switch (s) {
+    case Scope::application: return "application";
+    case Scope::host: return "host";
+    case Scope::rack: return "rack";
+    case Scope::global: return "global";
+  }
+  return "?";
+}
+
+std::string_view endpoint_constraint_name(EndpointConstraint e) {
+  switch (e) {
+    case EndpointConstraint::client: return "client";
+    case EndpointConstraint::server: return "server";
+    case EndpointConstraint::both: return "both";
+  }
+  return "?";
+}
+
+Result<std::string> ChunnelArgs::get(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end())
+    return err(Errc::not_found, "missing chunnel arg: " + key);
+  return it->second;
+}
+
+Result<uint64_t> ChunnelArgs::get_u64(const std::string& key) const {
+  BERTHA_TRY_ASSIGN(s, get(key));
+  uint64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || p != s.data() + s.size())
+    return err(Errc::invalid_argument, "chunnel arg not a u64: " + key + "=" + s);
+  return v;
+}
+
+std::string ChunnelArgs::get_or(const std::string& key,
+                                std::string fallback) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? std::move(fallback) : it->second;
+}
+
+uint64_t ChunnelArgs::get_u64_or(const std::string& key, uint64_t fallback) const {
+  auto r = get_u64(key);
+  return r.ok() ? r.value() : fallback;
+}
+
+ChunnelArgs ChunnelArgs::merged_with(const ChunnelArgs& other) const {
+  std::map<std::string, std::string> merged = kv_;
+  for (const auto& [k, v] : other.kv_) merged[k] = v;
+  return ChunnelArgs(std::move(merged));
+}
+
+}  // namespace bertha

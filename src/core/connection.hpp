@@ -1,0 +1,72 @@
+// Connection: the interface every layer of a chunnel stack implements.
+//
+// A Connection moves Msgs (datagrams with addressing metadata). Chunnel
+// implementations wrap an inner Connection and return a new one — the
+// tunnel model from the paper: each layer adds its function on send and
+// strips it on recv, transparently to the layers around it.
+#pragma once
+
+#include <memory>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+struct Msg {
+  Addr src;  // filled on recv
+  Addr dst;  // optional on send (base connections have a fixed peer)
+  Bytes payload;
+
+  Msg() = default;
+  explicit Msg(Bytes p) : payload(std::move(p)) {}
+  static Msg of(std::string_view s) { return Msg(to_bytes(s)); }
+  std::string payload_str() const { return to_string(payload); }
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Send one message. Datagram semantics: best-effort unless a
+  // reliability chunnel is in the stack.
+  virtual Result<void> send(Msg m) = 0;
+
+  // Block for the next message until the deadline (timed_out) or close
+  // (cancelled / unavailable when the peer went away).
+  virtual Result<Msg> recv(Deadline deadline = Deadline::never()) = 0;
+
+  virtual const Addr& local_addr() const = 0;
+  virtual const Addr& peer_addr() const = 0;
+
+  // Idempotent. Wakes blocked recv() calls.
+  virtual void close() = 0;
+};
+
+// Connections are shared: a wrapper holds its inner connection, and
+// helper threads (retransmitters, dispatchers) may hold references too.
+using ConnPtr = std::shared_ptr<Connection>;
+
+// A pass-through wrapper: forwards everything to the inner connection.
+// Chunnel halves that do no work on one side (e.g. the client half of a
+// server-side offload) derive from this and override selectively.
+class PassthroughConnection : public Connection {
+ public:
+  explicit PassthroughConnection(ConnPtr inner) : inner_(std::move(inner)) {}
+
+  Result<void> send(Msg m) override { return inner_->send(std::move(m)); }
+  Result<Msg> recv(Deadline deadline) override { return inner_->recv(deadline); }
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ protected:
+  const ConnPtr& inner() const { return inner_; }
+
+ private:
+  ConnPtr inner_;
+};
+
+}  // namespace bertha

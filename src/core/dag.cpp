@@ -1,0 +1,160 @@
+#include "core/dag.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace bertha {
+
+ChunnelDag ChunnelDag::chain(std::vector<ChunnelSpec> specs) {
+  ChunnelDag d;
+  d.nodes_ = std::move(specs);
+  for (size_t i = 0; i + 1 < d.nodes_.size(); i++) d.edges_.emplace_back(i, i + 1);
+  return d;
+}
+
+size_t ChunnelDag::add_node(ChunnelSpec spec) {
+  nodes_.push_back(std::move(spec));
+  return nodes_.size() - 1;
+}
+
+Result<void> ChunnelDag::add_edge(size_t from, size_t to) {
+  if (from >= nodes_.size() || to >= nodes_.size())
+    return err(Errc::invalid_argument, "dag edge index out of range");
+  if (from == to) return err(Errc::invalid_argument, "dag self loop");
+  edges_.emplace_back(from, to);
+  return ok();
+}
+
+Result<void> ChunnelDag::validate() const {
+  std::set<std::pair<size_t, size_t>> seen;
+  for (auto [a, b] : edges_) {
+    if (a >= nodes_.size() || b >= nodes_.size())
+      return err(Errc::invalid_argument, "dag edge index out of range");
+    if (a == b) return err(Errc::invalid_argument, "dag self loop");
+    if (!seen.insert({a, b}).second)
+      return err(Errc::invalid_argument, "dag duplicate edge");
+  }
+  for (const auto& n : nodes_)
+    if (n.type.empty())
+      return err(Errc::invalid_argument, "dag node with empty type");
+
+  // Kahn's algorithm for cycle detection.
+  std::vector<size_t> indeg(nodes_.size(), 0);
+  for (auto [a, b] : edges_) indeg[b]++;
+  std::vector<size_t> q;
+  for (size_t i = 0; i < nodes_.size(); i++)
+    if (indeg[i] == 0) q.push_back(i);
+  size_t visited = 0;
+  while (!q.empty()) {
+    size_t n = q.back();
+    q.pop_back();
+    visited++;
+    for (auto [a, b] : edges_)
+      if (a == n && --indeg[b] == 0) q.push_back(b);
+  }
+  if (visited != nodes_.size())
+    return err(Errc::invalid_argument, "dag contains a cycle");
+  return ok();
+}
+
+bool ChunnelDag::is_chain() const {
+  if (nodes_.empty()) return true;
+  if (edges_.size() != nodes_.size() - 1) return false;
+  std::vector<size_t> indeg(nodes_.size(), 0), outdeg(nodes_.size(), 0);
+  for (auto [a, b] : edges_) {
+    if (a >= nodes_.size() || b >= nodes_.size()) return false;
+    outdeg[a]++;
+    indeg[b]++;
+  }
+  size_t sources = 0, sinks = 0;
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (indeg[i] > 1 || outdeg[i] > 1) return false;
+    if (indeg[i] == 0) sources++;
+    if (outdeg[i] == 0) sinks++;
+  }
+  return sources == 1 && sinks == 1 && validate().ok();
+}
+
+Result<std::vector<ChunnelSpec>> ChunnelDag::as_chain() const {
+  if (nodes_.empty()) return std::vector<ChunnelSpec>{};
+  if (!is_chain()) return err(Errc::invalid_argument, "dag is not a chain");
+  // Find the source and follow next-pointers.
+  std::vector<std::optional<size_t>> next(nodes_.size());
+  std::vector<size_t> indeg(nodes_.size(), 0);
+  for (auto [a, b] : edges_) {
+    next[a] = b;
+    indeg[b]++;
+  }
+  size_t cur = 0;
+  for (size_t i = 0; i < nodes_.size(); i++)
+    if (indeg[i] == 0) cur = i;
+  std::vector<ChunnelSpec> out;
+  out.reserve(nodes_.size());
+  for (;;) {
+    out.push_back(nodes_[cur]);
+    if (!next[cur]) break;
+    cur = *next[cur];
+  }
+  return out;
+}
+
+bool ChunnelDag::same_types(const ChunnelDag& other) const {
+  auto a = as_chain();
+  auto b = other.as_chain();
+  if (!a.ok() || !b.ok()) return false;
+  if (a.value().size() != b.value().size()) return false;
+  for (size_t i = 0; i < a.value().size(); i++)
+    if (a.value()[i].type != b.value()[i].type) return false;
+  return true;
+}
+
+std::string ChunnelDag::to_string() const {
+  auto chain_r = as_chain();
+  if (!chain_r.ok()) {
+    return "dag(n=" + std::to_string(nodes_.size()) +
+           ",e=" + std::to_string(edges_.size()) + ")";
+  }
+  std::string s;
+  for (const auto& n : chain_r.value()) {
+    if (!s.empty()) s += " |> ";
+    s += n.type;
+    if (!n.args.raw().empty()) {
+      s += '(';
+      bool first = true;
+      for (const auto& [k, v] : n.args.raw()) {
+        if (!first) s += ',';
+        first = false;
+        s += k + "=" + v;
+      }
+      s += ')';
+    }
+  }
+  return s.empty() ? "(empty)" : s;
+}
+
+void Serde<ChunnelDag>::put(Writer& w, const ChunnelDag& d) {
+  serde_put(w, d.nodes());
+  w.put_varint(d.edges().size());
+  for (auto [a, b] : d.edges()) {
+    w.put_varint(a);
+    w.put_varint(b);
+  }
+}
+
+Result<ChunnelDag> Serde<ChunnelDag>::get(Reader& r) {
+  BERTHA_TRY_ASSIGN(nodes, serde_get<std::vector<ChunnelSpec>>(r));
+  BERTHA_TRY_ASSIGN(nedges, r.get_varint());
+  if (nedges > r.remaining())
+    return err(Errc::protocol_error, "dag edge count exceeds input");
+  ChunnelDag d;
+  for (auto& n : nodes) d.add_node(std::move(n));
+  for (uint64_t i = 0; i < nedges; i++) {
+    BERTHA_TRY_ASSIGN(a, r.get_varint());
+    BERTHA_TRY_ASSIGN(b, r.get_varint());
+    BERTHA_TRY(d.add_edge(a, b));
+  }
+  BERTHA_TRY(d.validate());
+  return d;
+}
+
+}  // namespace bertha

@@ -1,0 +1,127 @@
+// The Chunnel DAG (paper §3.1).
+//
+// An application specifies the processing applied to a connection's data
+// as a directed acyclic graph of Chunnel specs. The common case is a
+// chain — the paper's `wrap!(A(arg) |> B(...))` — built here with
+// `wrap({...})`; general DAGs are supported for validation and for
+// branch/merge chunnel types that embed sub-graphs in their args
+// (mirroring the paper: "branching and merging operations are performed
+// through the use of specific Chunnel types").
+//
+// Node 0 of a chain is the *outermost* chunnel: first applied on send,
+// last on recv.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+// One node: a chunnel type, its instance args, and an optional scoping
+// constraint restricting where the chosen implementation may run.
+struct ChunnelSpec {
+  std::string type;
+  ChunnelArgs args;
+  std::optional<Scope> scope_constraint;
+
+  ChunnelSpec() = default;
+  explicit ChunnelSpec(std::string t, ChunnelArgs a = ChunnelArgs(),
+                       std::optional<Scope> sc = std::nullopt)
+      : type(std::move(t)), args(std::move(a)), scope_constraint(sc) {}
+
+  bool operator==(const ChunnelSpec& o) const {
+    return type == o.type && args == o.args &&
+           scope_constraint == o.scope_constraint;
+  }
+};
+
+class ChunnelDag {
+ public:
+  ChunnelDag() = default;
+
+  // A linear pipeline: specs[0] |> specs[1] |> ... (specs[0] outermost).
+  static ChunnelDag chain(std::vector<ChunnelSpec> specs);
+  static ChunnelDag empty() { return ChunnelDag(); }
+
+  // Incremental construction for non-chain graphs.
+  size_t add_node(ChunnelSpec spec);
+  Result<void> add_edge(size_t from, size_t to);
+
+  size_t size() const { return nodes_.size(); }
+  bool empty_dag() const { return nodes_.empty(); }
+  const std::vector<ChunnelSpec>& nodes() const { return nodes_; }
+  const std::vector<std::pair<size_t, size_t>>& edges() const { return edges_; }
+
+  // Structural checks: edge indices in range, acyclic, no duplicate
+  // edges, no self loops.
+  Result<void> validate() const;
+
+  // True iff the graph is a single path covering all nodes (or empty).
+  bool is_chain() const;
+
+  // Topological order of a chain DAG; fails if not a chain.
+  Result<std::vector<ChunnelSpec>> as_chain() const;
+
+  // True when both DAGs have the same chunnel *type* sequence (args may
+  // differ) — the compatibility test negotiation uses.
+  bool same_types(const ChunnelDag& other) const;
+
+  // "A(k=v) |> B" for chains, "dag(n=3,e=2)" otherwise.
+  std::string to_string() const;
+
+  bool operator==(const ChunnelDag& o) const {
+    return nodes_ == o.nodes_ && edges_ == o.edges_;
+  }
+
+ private:
+  std::vector<ChunnelSpec> nodes_;
+  std::vector<std::pair<size_t, size_t>> edges_;
+};
+
+// Ergonomic chain builder, the analogue of the prototype's wrap! macro:
+//   auto dag = wrap(ChunnelSpec("serialize"), ChunnelSpec("reliable"));
+template <typename... Specs>
+ChunnelDag wrap(Specs... specs) {
+  std::vector<ChunnelSpec> v;
+  (v.push_back(std::move(specs)), ...);
+  return ChunnelDag::chain(std::move(v));
+}
+
+// --- Serde ---
+
+template <>
+struct Serde<ChunnelSpec> {
+  static void put(Writer& w, const ChunnelSpec& s) {
+    w.put_string(s.type);
+    serde_put(w, s.args);
+    w.put_bool(s.scope_constraint.has_value());
+    if (s.scope_constraint)
+      w.put_u8(static_cast<uint8_t>(*s.scope_constraint));
+  }
+  static Result<ChunnelSpec> get(Reader& r) {
+    ChunnelSpec out;
+    BERTHA_TRY_ASSIGN(type, r.get_string());
+    BERTHA_TRY_ASSIGN(args, serde_get<ChunnelArgs>(r));
+    BERTHA_TRY_ASSIGN(has_scope, r.get_bool());
+    out.type = std::move(type);
+    out.args = std::move(args);
+    if (has_scope) {
+      BERTHA_TRY_ASSIGN(sc, r.get_u8());
+      if (sc > static_cast<uint8_t>(Scope::global))
+        return err(Errc::protocol_error, "bad scope constraint");
+      out.scope_constraint = static_cast<Scope>(sc);
+    }
+    return out;
+  }
+};
+
+template <>
+struct Serde<ChunnelDag> {
+  static void put(Writer& w, const ChunnelDag& d);
+  static Result<ChunnelDag> get(Reader& r);
+};
+
+}  // namespace bertha

@@ -1,0 +1,478 @@
+#include "core/discovery.hpp"
+
+#include <algorithm>
+
+#include "core/wire.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+// --- Registry ---
+
+Result<void> Registry::register_impl(ChunnelImplPtr impl) {
+  if (!impl) return err(Errc::invalid_argument, "null chunnel impl");
+  const ImplInfo& info = impl->info();
+  if (info.type.empty() || info.name.empty())
+    return err(Errc::invalid_argument, "chunnel impl missing type/name");
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& by_name = impls_[info.type];
+    if (by_name.count(info.name))
+      return err(Errc::already_exists, "impl already registered: " + info.name);
+    by_name[info.name] = impl;
+  }
+  BERTHA_TRY(impl->init());
+  BLOG(debug, "registry") << "registered " << info.name;
+  return ok();
+}
+
+Result<void> Registry::unregister_impl(const std::string& type,
+                                       const std::string& name) {
+  ChunnelImplPtr removed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = impls_.find(type);
+    if (it == impls_.end()) return err(Errc::not_found, "no such type: " + type);
+    auto nit = it->second.find(name);
+    if (nit == it->second.end())
+      return err(Errc::not_found, "no such impl: " + name);
+    removed = nit->second;
+    it->second.erase(nit);
+  }
+  removed->teardown();
+  return ok();
+}
+
+Result<ChunnelImplPtr> Registry::lookup(const std::string& type,
+                                        const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = impls_.find(type);
+  if (it == impls_.end()) return err(Errc::not_found, "no impls for " + type);
+  auto nit = it->second.find(name);
+  if (nit != it->second.end()) return nit->second;
+  // Parameterized network offloads are advertised with an instance
+  // suffix ("ordered_mcast/switch:sim://g:7"); the local factory is
+  // registered under the base name ("ordered_mcast/switch").
+  auto colon = name.find(':');
+  if (colon != std::string::npos) {
+    nit = it->second.find(name.substr(0, colon));
+    if (nit != it->second.end()) return nit->second;
+  }
+  return err(Errc::not_found, "no local factory for " + name);
+}
+
+std::vector<ChunnelImplPtr> Registry::lookup_type(const std::string& type) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ChunnelImplPtr> out;
+  auto it = impls_.find(type);
+  if (it != impls_.end())
+    for (const auto& [name, impl] : it->second) out.push_back(impl);
+  return out;
+}
+
+std::vector<ImplInfo> Registry::infos_for(const std::string& type) const {
+  std::vector<ImplInfo> out;
+  for (const auto& impl : lookup_type(type)) out.push_back(impl->info());
+  return out;
+}
+
+std::vector<std::string> Registry::types() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(impls_.size());
+  for (const auto& [type, by_name] : impls_) out.push_back(type);
+  return out;
+}
+
+bool Registry::has(const std::string& type, const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = impls_.find(type);
+  return it != impls_.end() && it->second.count(name) > 0;
+}
+
+// --- DiscoveryState ---
+
+Result<void> DiscoveryState::register_impl(const ImplInfo& info) {
+  if (info.type.empty() || info.name.empty())
+    return err(Errc::invalid_argument, "impl info missing type/name");
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& v = entries_[info.type];
+  for (auto& e : v) {
+    if (e.name == info.name) {
+      e = info;  // re-registration updates metadata
+      return ok();
+    }
+  }
+  v.push_back(info);
+  return ok();
+}
+
+Result<void> DiscoveryState::unregister_impl(const std::string& type,
+                                             const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(type);
+  if (it == entries_.end()) return err(Errc::not_found, "no such type: " + type);
+  auto& v = it->second;
+  auto nit = std::find_if(v.begin(), v.end(),
+                          [&](const ImplInfo& e) { return e.name == name; });
+  if (nit == v.end()) return err(Errc::not_found, "no such impl: " + name);
+  v.erase(nit);
+  return ok();
+}
+
+Result<std::vector<ImplInfo>> DiscoveryState::query(const std::string& type) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(type);
+  if (it == entries_.end()) return std::vector<ImplInfo>{};
+  return it->second;
+}
+
+Result<uint64_t> DiscoveryState::acquire(const std::vector<ResourceReq>& reqs) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Validate the whole set, then commit — all or nothing.
+  for (const auto& r : reqs) {
+    auto it = pools_.find(r.pool);
+    if (it == pools_.end())
+      return err(Errc::not_found, "no such resource pool: " + r.pool);
+    if (it->second.used + r.amount > it->second.capacity)
+      return err(Errc::resource_exhausted, "pool exhausted: " + r.pool);
+  }
+  for (const auto& r : reqs) pools_[r.pool].used += r.amount;
+  uint64_t id = next_alloc_++;
+  allocs_[id] = reqs;
+  return id;
+}
+
+Result<void> DiscoveryState::release(uint64_t alloc_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = allocs_.find(alloc_id);
+  if (it == allocs_.end())
+    return err(Errc::not_found, "unknown allocation id");
+  for (const auto& r : it->second) {
+    auto pit = pools_.find(r.pool);
+    if (pit != pools_.end())
+      pit->second.used -= std::min(pit->second.used, r.amount);
+  }
+  allocs_.erase(it);
+  return ok();
+}
+
+Result<void> DiscoveryState::set_pool(const std::string& pool, uint64_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pools_[pool].capacity = capacity;
+  return ok();
+}
+
+uint64_t DiscoveryState::pool_in_use(const std::string& pool) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pools_.find(pool);
+  return it == pools_.end() ? 0 : it->second.used;
+}
+
+uint64_t DiscoveryState::pool_capacity(const std::string& pool) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = pools_.find(pool);
+  return it == pools_.end() ? 0 : it->second.capacity;
+}
+
+// --- Wire protocol ---
+
+namespace {
+
+enum class DiscOp : uint8_t {
+  register_impl = 1,
+  unregister_impl = 2,
+  query = 3,
+  acquire = 4,
+  release = 5,
+  set_pool = 6,
+};
+
+struct DiscRequest {
+  DiscOp op;
+  std::string type;
+  std::string name;
+  std::optional<ImplInfo> entry;
+  std::vector<ResourceReq> resources;
+  uint64_t alloc_id = 0;
+  uint64_t capacity = 0;
+};
+
+Bytes encode_request(const DiscRequest& req) {
+  Writer w;
+  w.put_u8(static_cast<uint8_t>(req.op));
+  w.put_string(req.type);
+  w.put_string(req.name);
+  serde_put(w, std::optional<ImplInfo>(req.entry));
+  serde_put(w, req.resources);
+  w.put_varint(req.alloc_id);
+  w.put_varint(req.capacity);
+  return std::move(w).take();
+}
+
+Result<DiscRequest> decode_request(BytesView b) {
+  Reader r(b);
+  DiscRequest req;
+  BERTHA_TRY_ASSIGN(op, r.get_u8());
+  if (op < 1 || op > 6) return err(Errc::protocol_error, "bad discovery op");
+  req.op = static_cast<DiscOp>(op);
+  BERTHA_TRY_ASSIGN(type, r.get_string());
+  BERTHA_TRY_ASSIGN(name, r.get_string());
+  BERTHA_TRY_ASSIGN(entry, serde_get<std::optional<ImplInfo>>(r));
+  BERTHA_TRY_ASSIGN(res, serde_get<std::vector<ResourceReq>>(r));
+  BERTHA_TRY_ASSIGN(alloc, r.get_varint());
+  BERTHA_TRY_ASSIGN(cap, r.get_varint());
+  req.type = std::move(type);
+  req.name = std::move(name);
+  req.entry = std::move(entry);
+  req.resources = std::move(res);
+  req.alloc_id = alloc;
+  req.capacity = cap;
+  return req;
+}
+
+struct DiscResponse {
+  bool success = false;
+  uint8_t errc = 0;
+  std::string error;
+  std::vector<ImplInfo> entries;
+  uint64_t alloc_id = 0;
+};
+
+Bytes encode_response(const DiscResponse& rsp) {
+  Writer w;
+  w.put_bool(rsp.success);
+  w.put_u8(rsp.errc);
+  w.put_string(rsp.error);
+  serde_put(w, rsp.entries);
+  w.put_varint(rsp.alloc_id);
+  return std::move(w).take();
+}
+
+Result<DiscResponse> decode_response(BytesView b) {
+  Reader r(b);
+  DiscResponse rsp;
+  BERTHA_TRY_ASSIGN(okb, r.get_bool());
+  BERTHA_TRY_ASSIGN(ec, r.get_u8());
+  BERTHA_TRY_ASSIGN(error, r.get_string());
+  BERTHA_TRY_ASSIGN(entries, serde_get<std::vector<ImplInfo>>(r));
+  BERTHA_TRY_ASSIGN(alloc, r.get_varint());
+  rsp.success = okb;
+  rsp.errc = ec;
+  rsp.error = std::move(error);
+  rsp.entries = std::move(entries);
+  rsp.alloc_id = alloc;
+  return rsp;
+}
+
+DiscResponse error_response(const Error& e) {
+  DiscResponse rsp;
+  rsp.success = false;
+  rsp.errc = static_cast<uint8_t>(e.code);
+  rsp.error = e.message;
+  return rsp;
+}
+
+}  // namespace
+
+DiscoveryServer::DiscoveryServer(TransportPtr transport,
+                                 std::shared_ptr<DiscoveryState> state)
+    : transport_(std::move(transport)),
+      state_(std::move(state)),
+      addr_(transport_->local_addr()) {
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+DiscoveryServer::~DiscoveryServer() {
+  transport_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t DiscoveryServer::requests_served() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return requests_;
+}
+
+void DiscoveryServer::serve_loop() {
+  for (;;) {
+    auto pkt_r = transport_->recv();
+    if (!pkt_r.ok()) return;  // closed
+    const Packet& pkt = pkt_r.value();
+
+    auto frame_r = decode_frame(pkt.payload);
+    if (!frame_r.ok() || frame_r.value().kind != MsgKind::discovery) {
+      BLOG(debug, "discovery") << "ignoring non-discovery datagram from "
+                               << pkt.src.to_string();
+      continue;
+    }
+    uint64_t req_id = frame_r.value().token;
+
+    DiscResponse rsp;
+    auto req_r = decode_request(frame_r.value().payload);
+    if (!req_r.ok()) {
+      rsp = error_response(req_r.error());
+    } else {
+      const DiscRequest& req = req_r.value();
+      switch (req.op) {
+        case DiscOp::register_impl: {
+          if (!req.entry) {
+            rsp = error_response(err(Errc::invalid_argument, "missing entry"));
+            break;
+          }
+          auto r = state_->register_impl(*req.entry);
+          if (r.ok()) rsp.success = true;
+          else rsp = error_response(r.error());
+          break;
+        }
+        case DiscOp::unregister_impl: {
+          auto r = state_->unregister_impl(req.type, req.name);
+          if (r.ok()) rsp.success = true;
+          else rsp = error_response(r.error());
+          break;
+        }
+        case DiscOp::query: {
+          auto r = state_->query(req.type);
+          if (r.ok()) {
+            rsp.success = true;
+            rsp.entries = std::move(r).value();
+          } else {
+            rsp = error_response(r.error());
+          }
+          break;
+        }
+        case DiscOp::acquire: {
+          auto r = state_->acquire(req.resources);
+          if (r.ok()) {
+            rsp.success = true;
+            rsp.alloc_id = r.value();
+          } else {
+            rsp = error_response(r.error());
+          }
+          break;
+        }
+        case DiscOp::release: {
+          auto r = state_->release(req.alloc_id);
+          if (r.ok()) rsp.success = true;
+          else rsp = error_response(r.error());
+          break;
+        }
+        case DiscOp::set_pool: {
+          auto r = state_->set_pool(req.type, req.capacity);
+          if (r.ok()) rsp.success = true;
+          else rsp = error_response(r.error());
+          break;
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      requests_++;
+    }
+    Bytes out = encode_frame(MsgKind::discovery, req_id, encode_response(rsp));
+    (void)transport_->send_to(pkt.src, out);
+  }
+}
+
+// --- RemoteDiscovery ---
+
+struct RemoteDiscovery::Rsp : DiscResponse {};
+
+RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
+                                 Options opts)
+    : transport_(std::move(transport)), server_(std::move(server)), opts_(opts) {}
+
+RemoteDiscovery::~RemoteDiscovery() { transport_->close(); }
+
+Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t req_id = next_req_++;
+  Bytes frame = encode_frame(MsgKind::discovery, req_id, request_body);
+
+  for (int attempt = 0; attempt <= opts_.retries; attempt++) {
+    BERTHA_TRY(transport_->send_to(server_, frame));
+    Deadline dl = Deadline::after(opts_.rpc_timeout);
+    for (;;) {
+      auto pkt_r = transport_->recv(dl);
+      if (!pkt_r.ok()) {
+        if (pkt_r.error().code == Errc::timed_out) break;  // retry
+        return pkt_r.error();
+      }
+      auto frame_r = decode_frame(pkt_r.value().payload);
+      if (!frame_r.ok() || frame_r.value().kind != MsgKind::discovery)
+        continue;
+      if (frame_r.value().token != req_id) continue;  // stale response
+      auto rsp_r = decode_response(frame_r.value().payload);
+      if (!rsp_r.ok()) return rsp_r.error();
+      Rsp rsp;
+      static_cast<DiscResponse&>(rsp) = std::move(rsp_r).value();
+      if (!rsp.success) {
+        Errc code = rsp.errc <= static_cast<uint8_t>(Errc::internal)
+                        ? static_cast<Errc>(rsp.errc)
+                        : Errc::internal;
+        return err(code, rsp.error);
+      }
+      return rsp;
+    }
+  }
+  return err(Errc::unavailable, "discovery service unreachable at " +
+                                    server_.to_string());
+}
+
+Result<void> RemoteDiscovery::register_impl(const ImplInfo& info) {
+  DiscRequest req;
+  req.op = DiscOp::register_impl;
+  req.entry = info;
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  (void)rsp;
+  return ok();
+}
+
+Result<void> RemoteDiscovery::unregister_impl(const std::string& type,
+                                              const std::string& name) {
+  DiscRequest req;
+  req.op = DiscOp::unregister_impl;
+  req.type = type;
+  req.name = name;
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  (void)rsp;
+  return ok();
+}
+
+Result<std::vector<ImplInfo>> RemoteDiscovery::query(const std::string& type) {
+  DiscRequest req;
+  req.op = DiscOp::query;
+  req.type = type;
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  return std::move(rsp.entries);
+}
+
+Result<uint64_t> RemoteDiscovery::acquire(const std::vector<ResourceReq>& reqs) {
+  DiscRequest req;
+  req.op = DiscOp::acquire;
+  req.resources = reqs;
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  return rsp.alloc_id;
+}
+
+Result<void> RemoteDiscovery::release(uint64_t alloc_id) {
+  DiscRequest req;
+  req.op = DiscOp::release;
+  req.alloc_id = alloc_id;
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  (void)rsp;
+  return ok();
+}
+
+Result<void> RemoteDiscovery::set_pool(const std::string& pool,
+                                       uint64_t capacity) {
+  DiscRequest req;
+  req.op = DiscOp::set_pool;
+  req.type = pool;
+  req.capacity = capacity;
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  (void)rsp;
+  return ok();
+}
+
+}  // namespace bertha

@@ -1,0 +1,169 @@
+// Discovery (paper §4.2).
+//
+// Two related pieces:
+//
+//  * Registry — the per-process table of chunnel implementation
+//    *factories* (code this process can instantiate). Applications
+//    register fallbacks at launch (Listing 5 line 2); chunnel libraries
+//    register their accelerated variants.
+//
+//  * The Bertha discovery service — tracks which implementations are
+//    available *in the deployment* (including network offloads this
+//    process didn't register) and owns resource pools (switch slots,
+//    NIC engines). The runtime queries it during connection
+//    establishment; this is one of the two extra round trips Fig 3
+//    measures when it runs as a real server (DiscoveryServer /
+//    RemoteDiscovery below).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/chunnel.hpp"
+#include "net/transport.hpp"
+
+namespace bertha {
+
+// --- Local factory registry ---
+
+class Registry {
+ public:
+  // Registers (and init()s) an implementation factory. Fails with
+  // already_exists on a duplicate (type, name).
+  Result<void> register_impl(ChunnelImplPtr impl);
+  Result<void> unregister_impl(const std::string& type, const std::string& name);
+
+  // Factory lookup for stack construction; not_found if this process
+  // cannot instantiate (type, name).
+  Result<ChunnelImplPtr> lookup(const std::string& type,
+                                const std::string& name) const;
+  std::vector<ChunnelImplPtr> lookup_type(const std::string& type) const;
+  std::vector<ImplInfo> infos_for(const std::string& type) const;
+  std::vector<std::string> types() const;
+  bool has(const std::string& type, const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  // type -> (name -> impl)
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, ChunnelImplPtr>>
+      impls_;
+};
+
+// --- Discovery service interface ---
+
+// Uniform client view of the discovery service; LocalDiscovery calls a
+// shared in-process state, RemoteDiscovery speaks the wire protocol.
+class DiscoveryClient {
+ public:
+  virtual ~DiscoveryClient() = default;
+
+  virtual Result<void> register_impl(const ImplInfo& info) = 0;
+  virtual Result<void> unregister_impl(const std::string& type,
+                                       const std::string& name) = 0;
+  // All implementations known for a chunnel type.
+  virtual Result<std::vector<ImplInfo>> query(const std::string& type) = 0;
+
+  // Multi-resource admission (§6): atomically reserve every requirement
+  // or fail with resource_exhausted. Returns an allocation id.
+  virtual Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) = 0;
+  virtual Result<void> release(uint64_t alloc_id) = 0;
+
+  // Operator action: create/update a capacity pool.
+  virtual Result<void> set_pool(const std::string& pool, uint64_t capacity) = 0;
+};
+
+// In-process discovery state; also the backing store for DiscoveryServer.
+class DiscoveryState final : public DiscoveryClient {
+ public:
+  Result<void> register_impl(const ImplInfo& info) override;
+  Result<void> unregister_impl(const std::string& type,
+                               const std::string& name) override;
+  Result<std::vector<ImplInfo>> query(const std::string& type) override;
+  Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) override;
+  Result<void> release(uint64_t alloc_id) override;
+  Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
+
+  // Introspection for tests and the scheduling bench.
+  uint64_t pool_in_use(const std::string& pool) const;
+  uint64_t pool_capacity(const std::string& pool) const;
+
+ private:
+  struct Pool {
+    uint64_t capacity = 0;
+    uint64_t used = 0;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<ImplInfo>> entries_;
+  std::unordered_map<std::string, Pool> pools_;
+  std::unordered_map<uint64_t, std::vector<ResourceReq>> allocs_;
+  uint64_t next_alloc_ = 1;
+};
+
+using DiscoveryPtr = std::shared_ptr<DiscoveryClient>;
+
+// --- Wire protocol ---
+
+// A DiscoveryServer answers RemoteDiscovery requests over any Transport
+// (typically a unix socket: the service is host-local in our
+// deployments, like the prototype's burrito-discovery daemon).
+class DiscoveryServer {
+ public:
+  // Takes ownership of the transport; serves until destroyed.
+  DiscoveryServer(TransportPtr transport, std::shared_ptr<DiscoveryState> state);
+  ~DiscoveryServer();
+
+  DiscoveryServer(const DiscoveryServer&) = delete;
+  DiscoveryServer& operator=(const DiscoveryServer&) = delete;
+
+  const Addr& addr() const { return addr_; }
+  uint64_t requests_served() const;
+
+ private:
+  void serve_loop();
+
+  std::shared_ptr<Transport> transport_;
+  std::shared_ptr<DiscoveryState> state_;
+  Addr addr_;
+  mutable std::mutex mu_;
+  uint64_t requests_ = 0;
+  std::thread thread_;
+};
+
+// Speaks the discovery protocol over a datagram transport with
+// request/response matching, timeout and retry.
+class RemoteDiscovery final : public DiscoveryClient {
+ public:
+  struct Options {
+    Duration rpc_timeout = ms(500);
+    int retries = 3;
+  };
+
+  // `transport` is a bound client endpoint used solely for discovery RPCs.
+  RemoteDiscovery(TransportPtr transport, Addr server, Options opts);
+  RemoteDiscovery(TransportPtr transport, Addr server)
+      : RemoteDiscovery(std::move(transport), std::move(server), Options{}) {}
+  ~RemoteDiscovery() override;
+
+  Result<void> register_impl(const ImplInfo& info) override;
+  Result<void> unregister_impl(const std::string& type,
+                               const std::string& name) override;
+  Result<std::vector<ImplInfo>> query(const std::string& type) override;
+  Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) override;
+  Result<void> release(uint64_t alloc_id) override;
+  Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
+
+ private:
+  struct Rsp;
+  Result<Rsp> rpc(const Bytes& request_body);
+
+  std::mutex mu_;  // one RPC at a time per client
+  TransportPtr transport_;
+  Addr server_;
+  Options opts_;
+  uint64_t next_req_ = 1;
+};
+
+}  // namespace bertha

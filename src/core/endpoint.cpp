@@ -1,0 +1,725 @@
+#include "core/endpoint.hpp"
+
+#include <atomic>
+#include <thread>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/wire.hpp"
+#include "util/log.hpp"
+#include "util/queue.hpp"
+
+namespace bertha {
+
+namespace {
+
+// Derive a client bind address matching the server's address family.
+Addr client_bind_addr(const Addr& server, const std::string& host_id) {
+  switch (server.kind) {
+    case AddrKind::udp: return Addr::udp("0.0.0.0", 0);
+    case AddrKind::uds: return Addr::uds("");  // autobind
+    case AddrKind::mem: return Addr::mem(host_id, 0);
+    case AddrKind::sim: return Addr::sim(host_id, 0);
+    case AddrKind::invalid: break;
+  }
+  return Addr();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------------
+// Client-side base connection: a transport plus one or more (peer,
+// token) bindings. Demultiplexes by token; supports rebasing onto a new
+// transport (the local fast-path switch).
+// ----------------------------------------------------------------------
+
+class ClientDataConnection final : public Connection {
+ public:
+  struct Peer {
+    Addr addr;
+    uint64_t token;
+  };
+
+  ClientDataConnection(std::shared_ptr<Transport> transport,
+                       std::vector<Peer> peers)
+      : transport_(std::move(transport)),
+        peers_(std::move(peers)),
+        local_(transport_->local_addr()),
+        initial_peer_(peers_.front().addr) {
+    for (const auto& p : peers_) live_tokens_.insert(p.token);
+  }
+
+  ~ClientDataConnection() override { close(); }
+
+  Result<void> send(Msg m) override {
+    std::shared_ptr<Transport> t;
+    std::vector<Peer> peers;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "connection closed");
+      t = transport_;
+      peers = peers_;
+    }
+    // A valid dst narrows the fan-out to that one peer.
+    bool sent = false;
+    for (const auto& p : peers) {
+      if (m.dst.valid() && !(m.dst == p.addr)) continue;
+      Bytes frame = encode_frame(MsgKind::data, p.token, m.payload);
+      BERTHA_TRY(t->send_to(p.addr, frame));
+      sent = true;
+    }
+    if (!sent)
+      return err(Errc::invalid_argument,
+                 "dst " + m.dst.to_string() + " is not a peer");
+    return ok();
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    for (;;) {
+      std::shared_ptr<Transport> t;
+      uint64_t epoch;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (closed_) return err(Errc::cancelled, "connection closed");
+        if (live_tokens_.empty())
+          return err(Errc::unavailable, "all peers closed the connection");
+        t = transport_;
+        epoch = epoch_;
+      }
+      auto pkt_r = t->recv(deadline);
+      if (!pkt_r.ok()) {
+        if (pkt_r.error().code == Errc::cancelled) {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (!closed_ && epoch_ != epoch) continue;  // rebased; retry
+        }
+        return pkt_r.error();
+      }
+      auto frame_r = decode_frame(pkt_r.value().payload);
+      if (!frame_r.ok()) continue;  // stray datagram
+      const Frame& f = frame_r.value();
+      switch (f.kind) {
+        case MsgKind::data: {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (!live_tokens_.count(f.token)) continue;
+          Msg m;
+          m.src = pkt_r.value().src;
+          m.dst = local_;
+          m.payload.assign(f.payload.begin(), f.payload.end());
+          return m;
+        }
+        case MsgKind::close: {
+          std::lock_guard<std::mutex> lk(mu_);
+          live_tokens_.erase(f.token);
+          if (live_tokens_.empty())
+            return err(Errc::unavailable, "peer closed the connection");
+          continue;
+        }
+        default:
+          continue;  // duplicate accept from a handshake retry, etc.
+      }
+    }
+  }
+
+  const Addr& local_addr() const override { return local_; }
+
+  // Note: reports the peer negotiated at establishment; a rebase (which
+  // changes the live destination) does not alter the logical peer.
+  const Addr& peer_addr() const override { return initial_peer_; }
+
+  void close() override {
+    std::shared_ptr<Transport> t;
+    std::vector<Peer> peers;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      closed_ = true;
+      t = transport_;
+      peers = peers_;
+    }
+    for (const auto& p : peers) {
+      Bytes frame = encode_frame(MsgKind::close, p.token, {});
+      (void)t->send_to(p.addr, frame);
+    }
+    t->close();
+  }
+
+  // Switch the underlying transport and (single) peer address without
+  // renegotiating; the token is preserved, so the server simply follows
+  // the new reply path. This is how local_or_remote moves an established
+  // connection onto a unix socket.
+  Result<void> rebase(TransportPtr new_transport, Addr new_peer) {
+    std::shared_ptr<Transport> old;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "connection closed");
+      if (peers_.size() != 1)
+        return err(Errc::invalid_argument,
+                   "rebase only supported for single-peer connections");
+      old = transport_;
+      transport_ = std::shared_ptr<Transport>(std::move(new_transport));
+      peers_[0].addr = std::move(new_peer);
+      epoch_++;
+    }
+    old->close();  // wakes a blocked recv, which retries on the new one
+    return ok();
+  }
+
+  uint64_t token() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peers_.front().token;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<Transport> transport_;
+  std::vector<Peer> peers_;
+  std::unordered_set<uint64_t> live_tokens_;
+  Addr local_;
+  Addr initial_peer_;
+  uint64_t epoch_ = 0;
+  bool closed_ = false;
+};
+
+// ----------------------------------------------------------------------
+// Server-side per-connection state and connection object.
+// ----------------------------------------------------------------------
+
+struct ServerConnState {
+  explicit ServerConnState(uint64_t tok) : token(tok), incoming(16384) {}
+
+  const uint64_t token;
+  BlockingQueue<Packet> incoming;  // payloads already stripped of header
+
+  std::mutex reply_mu;
+  std::shared_ptr<Transport> reply_transport;
+  Addr reply_addr;
+
+  void set_reply_path(std::shared_ptr<Transport> t, const Addr& addr) {
+    std::lock_guard<std::mutex> lk(reply_mu);
+    reply_transport = std::move(t);
+    reply_addr = addr;
+  }
+};
+
+class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
+ public:
+  Impl(std::shared_ptr<Runtime> rt, std::vector<ChunnelSpec> chain,
+       std::string endpoint_name)
+      : rt_(std::move(rt)),
+        chain_(std::move(chain)),
+        endpoint_name_(std::move(endpoint_name)),
+        accept_q_(1024) {}
+
+  ~Impl() { close(); }
+
+  Result<void> start(const Addr& addr) {
+    BERTHA_TRY_ASSIGN(t, rt_->transports().bind(addr));
+    primary_addr_ = t->local_addr();
+    std::shared_ptr<Transport> shared(std::move(t));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      transports_.push_back(shared);
+    }
+
+    // Run on_listen for every locally registered impl of every type in
+    // the chain; they may attach extra transports and advertise args.
+    for (const auto& spec : chain_) {
+      for (const auto& impl : rt_->registry().lookup_type(spec.type)) {
+        ListenContext ctx;
+        ctx.listen_addr = primary_addr_;
+        ctx.host_id = rt_->config().host_id;
+        ctx.transports = &rt_->transports();
+        ctx.app_args = spec.args;
+        auto self = shared_from_this();
+        std::string type = spec.type;
+        ctx.add_listen_transport = [self](TransportPtr extra) {
+          return self->add_transport(std::move(extra));
+        };
+        ctx.advertise = [self, type](std::string k, std::string v) {
+          std::lock_guard<std::mutex> lk(self->mu_);
+          self->advertisements_[type].set(k, std::move(v));
+        };
+        BERTHA_TRY(impl->on_listen(ctx));
+      }
+    }
+
+    start_demux(shared);
+    return ok();
+  }
+
+  Result<void> add_transport(TransportPtr t) {
+    if (!t) return err(Errc::invalid_argument, "null transport");
+    std::shared_ptr<Transport> shared(std::move(t));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closing_) return err(Errc::cancelled, "listener closed");
+      transports_.push_back(shared);
+    }
+    start_demux(shared);
+    return ok();
+  }
+
+  Result<ConnPtr> accept(Deadline deadline) { return accept_q_.pop(deadline); }
+
+  const Addr& addr() const { return primary_addr_; }
+
+  uint64_t connections_accepted() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return accepted_;
+  }
+
+  void close() {
+    std::vector<std::shared_ptr<Transport>> transports;
+    std::vector<std::shared_ptr<ServerConnState>> states;
+    std::vector<uint64_t> allocs;
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closing_) return;
+      closing_ = true;
+      transports = transports_;
+      for (auto& [tok, st] : conns_) states.push_back(st);
+      for (auto& [tok, ids] : allocs_)
+        allocs.insert(allocs.end(), ids.begin(), ids.end());
+      conns_.clear();
+      allocs_.clear();
+      threads.swap(demux_threads_);
+    }
+    for (auto& t : transports) t->close();
+    for (auto& th : threads)
+      if (th.joinable()) th.join();
+    for (auto& st : states) st->incoming.close();
+    for (uint64_t id : allocs) (void)rt_->discovery().release(id);
+    accept_q_.close();
+  }
+
+  std::map<std::string, ChunnelArgs> advertisements_snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return advertisements_;
+  }
+
+  void connection_closed(uint64_t token) {
+    std::shared_ptr<ServerConnState> st;
+    std::vector<uint64_t> ids;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      auto it = conns_.find(token);
+      if (it == conns_.end()) return;
+      st = it->second;
+      conns_.erase(it);
+      auto ait = allocs_.find(token);
+      if (ait != allocs_.end()) {
+        ids = std::move(ait->second);
+        allocs_.erase(ait);
+      }
+    }
+    st->incoming.close();
+    for (uint64_t id : ids) (void)rt_->discovery().release(id);
+  }
+
+ private:
+  void start_demux(std::shared_ptr<Transport> t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closing_) return;
+    auto self = shared_from_this();
+    demux_threads_.emplace_back([self, t] { self->demux_loop(t); });
+  }
+
+  void demux_loop(std::shared_ptr<Transport> transport) {
+    for (;;) {
+      auto pkt_r = transport->recv();
+      if (!pkt_r.ok()) return;  // closed
+      Packet& pkt = pkt_r.value();
+
+      auto frame_r = decode_frame(pkt.payload);
+      if (!frame_r.ok()) {
+        BLOG(debug, "listener") << "dropping malformed datagram from "
+                                << pkt.src.to_string();
+        continue;
+      }
+      const Frame& f = frame_r.value();
+
+      switch (f.kind) {
+        case MsgKind::hello:
+          handle_hello(transport, pkt.src, f.payload);
+          break;
+        case MsgKind::data: {
+          std::shared_ptr<ServerConnState> st;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = conns_.find(f.token);
+            if (it != conns_.end()) st = it->second;
+          }
+          if (!st) break;  // unknown token: connection gone
+          st->set_reply_path(transport, pkt.src);
+          Packet data;
+          data.src = pkt.src;
+          data.payload.assign(f.payload.begin(), f.payload.end());
+          (void)st->incoming.push(std::move(data));
+          break;
+        }
+        case MsgKind::close:
+          connection_closed(f.token);
+          break;
+        default:
+          break;  // accept/reject/discovery are not for a listener
+      }
+    }
+  }
+
+  void handle_hello(const std::shared_ptr<Transport>& transport,
+                    const Addr& src, BytesView payload);
+
+  std::shared_ptr<Runtime> rt_;
+  std::vector<ChunnelSpec> chain_;
+  std::string endpoint_name_;
+  Addr primary_addr_;
+
+  BlockingQueue<ConnPtr> accept_q_;
+
+  mutable std::mutex mu_;
+  bool closing_ = false;
+  uint64_t accepted_ = 0;
+  std::atomic<uint64_t> next_token_{1};
+  std::vector<std::shared_ptr<Transport>> transports_;
+  std::vector<std::thread> demux_threads_;
+  std::map<std::string, ChunnelArgs> advertisements_;
+  std::unordered_map<uint64_t, std::shared_ptr<ServerConnState>> conns_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> allocs_;
+  // Handshake retransmission cache: hello identity -> encoded Accept.
+  // Bounded FIFO: retransmissions arrive within the handshake window,
+  // so only recent entries matter; old ones are evicted to keep a
+  // long-lived listener's memory flat.
+  static constexpr size_t kHelloCacheCap = 1024;
+  std::unordered_map<std::string, Bytes> hello_cache_;
+  std::deque<std::string> hello_cache_order_;
+};
+
+// The server half of an established connection.
+class ServerConnection final : public Connection {
+ public:
+  ServerConnection(std::shared_ptr<ServerConnState> st,
+                   std::weak_ptr<Listener::Impl> listener, Addr local,
+                   Addr peer)
+      : st_(std::move(st)),
+        listener_(std::move(listener)),
+        local_(std::move(local)),
+        peer_(std::move(peer)) {}
+
+  ~ServerConnection() override { close(); }
+
+  Result<void> send(Msg m) override {
+    std::shared_ptr<Transport> t;
+    Addr dst;
+    {
+      std::lock_guard<std::mutex> lk(st_->reply_mu);
+      t = st_->reply_transport;
+      dst = st_->reply_addr;
+    }
+    if (!t) return err(Errc::unavailable, "no reply path yet");
+    Bytes frame = encode_frame(MsgKind::data, st_->token, m.payload);
+    return t->send_to(dst, frame);
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    BERTHA_TRY_ASSIGN(pkt, st_->incoming.pop(deadline));
+    Msg m;
+    m.src = std::move(pkt.src);
+    m.dst = local_;
+    m.payload = std::move(pkt.payload);
+    return m;
+  }
+
+  const Addr& local_addr() const override { return local_; }
+  const Addr& peer_addr() const override { return peer_; }
+
+  void close() override {
+    bool expected = false;
+    if (!closed_.compare_exchange_strong(expected, true)) return;
+    // Best-effort close notice to the client.
+    std::shared_ptr<Transport> t;
+    Addr dst;
+    {
+      std::lock_guard<std::mutex> lk(st_->reply_mu);
+      t = st_->reply_transport;
+      dst = st_->reply_addr;
+    }
+    if (t) {
+      Bytes frame = encode_frame(MsgKind::close, st_->token, {});
+      (void)t->send_to(dst, frame);
+    }
+    if (auto l = listener_.lock()) l->connection_closed(st_->token);
+  }
+
+ private:
+  std::shared_ptr<ServerConnState> st_;
+  std::weak_ptr<Listener::Impl> listener_;
+  Addr local_;
+  Addr peer_;
+  std::atomic<bool> closed_{false};
+};
+
+void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
+                                  const Addr& src, BytesView payload) {
+  auto hello_r = decode_hello(payload);
+  if (!hello_r.ok()) {
+    Bytes rej = encode_frame(
+        MsgKind::reject, 0,
+        encode_reject({static_cast<uint8_t>(Errc::protocol_error),
+                       hello_r.error().message}));
+    (void)transport->send_to(src, rej);
+    return;
+  }
+  const HelloMsg& hello = hello_r.value();
+
+  // Retransmitted hello (client handshake retry): resend the same Accept
+  // instead of creating a second connection.
+  std::string cache_key = src.to_string() + "|" + hello.process_id + "|" +
+                          hello.endpoint_name;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = hello_cache_.find(cache_key);
+    if (it != hello_cache_.end()) {
+      (void)transport->send_to(src, it->second);
+      return;
+    }
+  }
+
+  auto neg = negotiate_server(chain_, hello, rt_->registry(), rt_->discovery(),
+                              *rt_->config().policy, advertisements_snapshot(),
+                              rt_->config().host_id,
+                              rt_->config().optimizer.get());
+  if (!neg.ok()) {
+    BLOG(info, "listener") << "rejecting " << hello.endpoint_name << ": "
+                           << neg.error().to_string();
+    Bytes rej = encode_frame(
+        MsgKind::reject, 0,
+        encode_reject({static_cast<uint8_t>(neg.error().code),
+                       neg.error().message}));
+    (void)transport->send_to(src, rej);
+    return;
+  }
+
+  uint64_t token = next_token_.fetch_add(1);
+  auto st = std::make_shared<ServerConnState>(token);
+  st->set_reply_path(transport, src);
+
+  AcceptMsg accept;
+  accept.token = token;
+  accept.host_id = rt_->config().host_id;
+  accept.process_id = rt_->config().process_id;
+  accept.chain = neg.value().chain;
+  if (!rt_->config().attestation_secret.empty())
+    accept.chain_digest =
+        attest_chain(accept.chain, rt_->config().attestation_secret);
+  Bytes accept_frame = encode_frame(MsgKind::accept, token,
+                                    encode_accept(accept));
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closing_) return;
+    conns_[token] = st;
+    if (!neg.value().resource_allocs.empty())
+      allocs_[token] = neg.value().resource_allocs;
+    if (hello_cache_.emplace(cache_key, accept_frame).second) {
+      hello_cache_order_.push_back(cache_key);
+      if (hello_cache_order_.size() > kHelloCacheCap) {
+        hello_cache_.erase(hello_cache_order_.front());
+        hello_cache_order_.pop_front();
+      }
+    }
+    accepted_++;
+  }
+
+  // Wrap the server half of the stack.
+  ConnPtr base = std::make_shared<ServerConnection>(
+      st, weak_from_this(), primary_addr_, src);
+  WrapContext ctx;
+  ctx.role = Role::server;
+  ctx.local_host_id = rt_->config().host_id;
+  ctx.peer_host_id = hello.host_id;
+  ctx.token = token;
+  ctx.listen_addr = primary_addr_;
+  ctx.transports = &rt_->transports();
+  auto wrapped = build_stack(*rt_, accept.chain, std::move(base), ctx);
+  if (!wrapped.ok()) {
+    BLOG(error, "listener") << "stack build failed: "
+                            << wrapped.error().to_string();
+    connection_closed(token);
+    Bytes rej = encode_frame(
+        MsgKind::reject, 0,
+        encode_reject({static_cast<uint8_t>(wrapped.error().code),
+                       wrapped.error().message}));
+    (void)transport->send_to(src, rej);
+    return;
+  }
+
+  // Register the connection before the client learns the token, then
+  // hand it to accept().
+  (void)transport->send_to(src, accept_frame);
+  (void)accept_q_.push(std::move(wrapped).value());
+}
+
+// --- Listener public API ---
+
+Listener::~Listener() { impl_->close(); }
+const Addr& Listener::addr() const { return impl_->addr(); }
+Result<ConnPtr> Listener::accept(Deadline deadline) {
+  return impl_->accept(deadline);
+}
+void Listener::close() { impl_->close(); }
+uint64_t Listener::connections_accepted() const {
+  return impl_->connections_accepted();
+}
+
+// --- Endpoint ---
+
+Result<std::unique_ptr<Listener>> Endpoint::listen(const Addr& addr) {
+  auto impl = std::make_shared<Listener::Impl>(rt_, chain_, name_);
+  BERTHA_TRY(impl->start(addr));
+  return std::unique_ptr<Listener>(new Listener(std::move(impl)));
+}
+
+Result<ConnPtr> Endpoint::connect(const Addr& server, Deadline deadline) {
+  return connect(std::vector<Addr>{server}, deadline);
+}
+
+Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
+                                  Deadline deadline) {
+  if (servers.empty())
+    return err(Errc::invalid_argument, "connect needs at least one address");
+
+  Addr bind = client_bind_addr(servers.front(), rt_->config().host_id);
+  if (!bind.valid())
+    return err(Errc::invalid_argument,
+               "cannot derive bind addr for " + servers.front().to_string());
+  BERTHA_TRY_ASSIGN(t, rt_->transports().bind(bind));
+  std::shared_ptr<Transport> transport(std::move(t));
+
+  HelloMsg hello;
+  hello.endpoint_name = name_ + "#" + make_unique_id();
+  hello.host_id = rt_->config().host_id;
+  hello.process_id = rt_->config().process_id;
+  hello.dag = ChunnelDag::chain(chain_);
+  // Offer everything this process can instantiate for the DAG's types;
+  // with an empty DAG (Listing 5) the server's chain governs, so offer
+  // every registered type.
+  if (chain_.empty()) {
+    for (const auto& type : rt_->registry().types())
+      hello.offers[type] = rt_->registry().infos_for(type);
+  } else {
+    for (const auto& spec : chain_)
+      hello.offers[spec.type] = rt_->registry().infos_for(spec.type);
+  }
+  Bytes hello_body = encode_hello(hello);
+  Bytes hello_frame = encode_frame(MsgKind::hello, 0, hello_body);
+
+  const auto& cfg = rt_->config();
+  std::vector<ClientDataConnection::Peer> peers;
+  std::vector<AcceptMsg> accepts;
+
+  for (const Addr& server : servers) {
+    std::optional<AcceptMsg> accept;
+    Addr accepted_from = server;
+    Error last = err(Errc::timed_out, "handshake timed out");
+    for (int attempt = 0; attempt <= cfg.handshake_retries && !accept;
+         attempt++) {
+      if (deadline.expired()) return err(Errc::timed_out, "connect deadline");
+      BERTHA_TRY(transport->send_to(server, hello_frame));
+      Deadline attempt_dl = Deadline::after(cfg.handshake_timeout);
+      for (;;) {
+        auto pkt_r = transport->recv(attempt_dl);
+        if (!pkt_r.ok()) {
+          last = pkt_r.error();
+          if (last.code == Errc::timed_out) break;  // retry hello
+          return last;
+        }
+        auto frame_r = decode_frame(pkt_r.value().payload);
+        if (!frame_r.ok()) continue;
+        const Frame& f = frame_r.value();
+        if (f.kind == MsgKind::reject) {
+          auto rej = decode_reject(f.payload);
+          std::string why = rej.ok() ? rej.value().reason : "(malformed reject)";
+          return err(Errc::connection_failed,
+                     "server " + server.to_string() + " rejected: " + why);
+        }
+        if (f.kind != MsgKind::accept) continue;
+        // Multi-endpoint connects must attribute each Accept to the
+        // server it dialed. A single-target dial accepts a reply from
+        // any source: the dialed address may be an anycast/virtual
+        // address (§3.2) and the Accept arrives from the concrete
+        // instance the network routed us to.
+        if (servers.size() > 1 && !(pkt_r.value().src == server)) continue;
+        auto acc = decode_accept(f.payload);
+        if (!acc.ok()) return acc.error();
+        accept = std::move(acc).value();
+        accepted_from = pkt_r.value().src;
+        break;
+      }
+    }
+    if (!accept)
+      return err(Errc::connection_failed,
+                 "no response from " + server.to_string() + " (" +
+                     last.to_string() + ")");
+    // §6 attestation: a client configured with a deployment secret
+    // refuses chains the server did not attest with the same secret.
+    if (!cfg.attestation_secret.empty() &&
+        accept->chain_digest !=
+            attest_chain(accept->chain, cfg.attestation_secret)) {
+      return err(Errc::connection_failed,
+                 "server " + server.to_string() +
+                     " failed chain attestation (secret mismatch or "
+                     "unattested chain)");
+    }
+    // Pin the data path to the concrete instance that accepted (equal
+    // to `server` except for anycast/virtual addresses).
+    peers.push_back({accepted_from, accept->token});
+    accepts.push_back(std::move(*accept));
+  }
+
+  auto base = std::make_shared<ClientDataConnection>(transport, peers);
+
+  WrapContext ctx;
+  ctx.role = Role::client;
+  ctx.local_host_id = cfg.host_id;
+  ctx.peer_host_id = accepts.front().host_id;
+  ctx.token = peers.front().token;
+  ctx.transports = &rt_->transports();
+  if (peers.size() == 1) {
+    std::weak_ptr<ClientDataConnection> weak = base;
+    ctx.rebase = [weak](TransportPtr nt, Addr np) -> Result<void> {
+      auto conn = weak.lock();
+      if (!conn) return err(Errc::cancelled, "connection gone");
+      return conn->rebase(std::move(nt), std::move(np));
+    };
+  }
+
+  return build_stack(*rt_, accepts.front().chain, base, ctx);
+}
+
+// --- stack construction ---
+
+Result<ConnPtr> build_stack(Runtime& rt,
+                            const std::vector<NegotiatedNode>& chain,
+                            ConnPtr base, WrapContext base_ctx) {
+  ConnPtr conn = std::move(base);
+  // chain[0] is outermost: wrap from the inside out.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    auto impl_r = rt.registry().lookup(it->type, it->impl_name);
+    if (!impl_r.ok()) {
+      // No local factory: this side is a passthrough for the node (the
+      // work happens at the peer or in the network).
+      BLOG(debug, "stack") << "no local factory for " << it->impl_name
+                           << "; passthrough";
+      continue;
+    }
+    WrapContext ctx = base_ctx;
+    ctx.args = it->args;
+    BERTHA_TRY_ASSIGN(wrapped, impl_r.value()->wrap(std::move(conn), ctx));
+    conn = std::move(wrapped);
+  }
+  return conn;
+}
+
+}  // namespace bertha

@@ -1,0 +1,387 @@
+#include "core/negotiation.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+// --- message serde ---
+
+template <>
+struct Serde<NegotiatedNode> {
+  static void put(Writer& w, const NegotiatedNode& n) {
+    w.put_string(n.type);
+    w.put_string(n.impl_name);
+    serde_put(w, n.args);
+  }
+  static Result<NegotiatedNode> get(Reader& r) {
+    NegotiatedNode n;
+    BERTHA_TRY_ASSIGN(type, r.get_string());
+    BERTHA_TRY_ASSIGN(name, r.get_string());
+    BERTHA_TRY_ASSIGN(args, serde_get<ChunnelArgs>(r));
+    n.type = std::move(type);
+    n.impl_name = std::move(name);
+    n.args = std::move(args);
+    return n;
+  }
+};
+
+Bytes encode_hello(const HelloMsg& m) {
+  Writer w;
+  w.put_string(m.endpoint_name);
+  w.put_string(m.host_id);
+  w.put_string(m.process_id);
+  serde_put(w, m.dag);
+  serde_put(w, m.offers);
+  return std::move(w).take();
+}
+
+Result<HelloMsg> decode_hello(BytesView b) {
+  Reader r(b);
+  HelloMsg m;
+  BERTHA_TRY_ASSIGN(name, r.get_string());
+  BERTHA_TRY_ASSIGN(host, r.get_string());
+  BERTHA_TRY_ASSIGN(proc, r.get_string());
+  BERTHA_TRY_ASSIGN(dag, serde_get<ChunnelDag>(r));
+  BERTHA_TRY_ASSIGN(offers,
+                    (serde_get<std::map<std::string, std::vector<ImplInfo>>>(r)));
+  m.endpoint_name = std::move(name);
+  m.host_id = std::move(host);
+  m.process_id = std::move(proc);
+  m.dag = std::move(dag);
+  m.offers = std::move(offers);
+  return m;
+}
+
+Bytes encode_accept(const AcceptMsg& m) {
+  Writer w;
+  w.put_varint(m.token);
+  w.put_string(m.host_id);
+  w.put_string(m.process_id);
+  serde_put(w, m.chain);
+  w.put_varint(m.chain_digest);
+  return std::move(w).take();
+}
+
+Result<AcceptMsg> decode_accept(BytesView b) {
+  Reader r(b);
+  AcceptMsg m;
+  BERTHA_TRY_ASSIGN(token, r.get_varint());
+  BERTHA_TRY_ASSIGN(host, r.get_string());
+  BERTHA_TRY_ASSIGN(proc, r.get_string());
+  BERTHA_TRY_ASSIGN(chain, serde_get<std::vector<NegotiatedNode>>(r));
+  BERTHA_TRY_ASSIGN(digest, r.get_varint());
+  m.token = token;
+  m.host_id = std::move(host);
+  m.process_id = std::move(proc);
+  m.chain = std::move(chain);
+  m.chain_digest = digest;
+  return m;
+}
+
+Bytes encode_reject(const RejectMsg& m) {
+  Writer w;
+  w.put_u8(m.errc);
+  w.put_string(m.reason);
+  return std::move(w).take();
+}
+
+Result<RejectMsg> decode_reject(BytesView b) {
+  Reader r(b);
+  RejectMsg m;
+  BERTHA_TRY_ASSIGN(ec, r.get_u8());
+  BERTHA_TRY_ASSIGN(reason, r.get_string());
+  m.errc = ec;
+  m.reason = std::move(reason);
+  return m;
+}
+
+uint64_t attest_chain(const std::vector<NegotiatedNode>& chain,
+                      const std::string& secret) {
+  Writer w;
+  w.put_string(secret);
+  serde_put(w, chain);
+  w.put_string(secret);  // sandwich the payload between key material
+  uint64_t h = fnv1a64(w.bytes());
+  return mix64(h) | 1;  // never 0 (0 means "unattested")
+}
+
+// --- candidate assembly ---
+
+std::vector<Candidate> rank_candidates(
+    const ChunnelSpec& spec, const std::vector<ImplInfo>& client_offered,
+    const std::vector<ImplInfo>& server_registered,
+    const std::vector<ImplInfo>& network_entries, const Policy& policy,
+    bool same_host) {
+  // Merge the three sources by implementation name.
+  std::map<std::string, Candidate> by_name;
+  auto merge = [&](const ImplInfo& info, bool cli, bool srv, bool net) {
+    // Factory-only registrations are instantiation code, not available
+    // implementations; availability comes from discovery instances.
+    if (info.factory_only) return;
+    auto& c = by_name[info.name];
+    if (c.info.name.empty()) c.info = info;
+    c.client_offers |= cli;
+    c.server_offers |= srv;
+    c.network_provided |= net;
+  };
+  for (const auto& i : client_offered)
+    if (i.type == spec.type) merge(i, true, false, false);
+  for (const auto& i : server_registered)
+    if (i.type == spec.type) merge(i, false, true, false);
+  for (const auto& i : network_entries)
+    if (i.type == spec.type) merge(i, false, false, true);
+
+  // Instance scoping: offloads installed for one application instance
+  // (a particular consensus group, a particular service) advertise
+  // props["instance"]; a DAG node that names its instance only accepts
+  // matching (or instance-agnostic) implementations. Without this, a
+  // high-priority offload installed for application A would capture
+  // application B's traffic.
+  std::string wanted_instance = spec.args.get_or("instance", "");
+
+  std::vector<Candidate> out;
+  for (auto& [name, c] : by_name) {
+    if (auto it = c.info.props.find("instance"); it != c.info.props.end()) {
+      if (it->second != wanted_instance) continue;
+    }
+    // Scope constraint from the DAG node: the implementation must be
+    // placeable within the requested scope.
+    if (spec.scope_constraint && c.info.scope > *spec.scope_constraint)
+      continue;
+    // Host-scoped offloads (e.g. an XDP program or a unix-socket path on
+    // the server's machine) are only *cross-host usable* when declared;
+    // an application-scoped impl is always fine (it runs in-process at
+    // each end). A host-scoped impl whose work is shared by both ends
+    // requires the endpoints to share a host.
+    if (c.info.scope == Scope::application &&
+        c.info.endpoints == EndpointConstraint::both &&
+        !(c.client_offers && c.server_offers))
+      continue;  // both processes must have the code
+    if (c.info.scope == Scope::host &&
+        c.info.endpoints == EndpointConstraint::both && !same_host)
+      continue;
+    // Endpoint availability (§4.2).
+    switch (c.info.endpoints) {
+      case EndpointConstraint::client:
+        if (!c.client_offers) continue;
+        break;
+      case EndpointConstraint::server:
+        if (!c.server_offers && !c.network_provided) continue;
+        break;
+      case EndpointConstraint::both:
+        if (!(c.client_offers && (c.server_offers || c.network_provided)))
+          continue;
+        break;
+    }
+    if (policy.score(spec.type, c) < 0) continue;
+    out.push_back(c);
+  }
+
+  std::sort(out.begin(), out.end(), [&](const Candidate& a, const Candidate& b) {
+    int64_t sa = policy.score(spec.type, a);
+    int64_t sb = policy.score(spec.type, b);
+    if (sa != sb) return sa > sb;
+    return a.info.name < b.info.name;  // deterministic tie-break
+  });
+  return out;
+}
+
+// --- server-side negotiation ---
+
+namespace {
+
+// Binds one chain of specs to implementations. On failure, releases any
+// resources it reserved itself.
+Result<NegotiationResult> select_chain(
+    const std::vector<ChunnelSpec>& specs, const HelloMsg& hello,
+    const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
+    const std::map<std::string, ChunnelArgs>& advertisements, bool same_host) {
+  NegotiationResult result;
+  auto release_all = [&] {
+    for (uint64_t id : result.resource_allocs) (void)discovery.release(id);
+    result.resource_allocs.clear();
+  };
+
+  for (const auto& spec : specs) {
+    static const std::vector<ImplInfo> kNone;
+    const std::vector<ImplInfo>* client_offered = &kNone;
+    if (auto it = hello.offers.find(spec.type); it != hello.offers.end())
+      client_offered = &it->second;
+
+    std::vector<ImplInfo> network_entries;
+    auto q = discovery.query(spec.type);
+    if (q.ok()) {
+      network_entries = std::move(q).value();
+    } else {
+      BLOG(warn, "negotiate") << "discovery query failed for " << spec.type
+                              << ": " << q.error().to_string();
+    }
+
+    auto candidates =
+        rank_candidates(spec, *client_offered, registry.infos_for(spec.type),
+                        network_entries, policy, same_host);
+    if (candidates.empty()) {
+      release_all();
+      return err(Errc::incompatible,
+                 "no usable implementation for chunnel type '" + spec.type +
+                     "'");
+    }
+
+    // First candidate whose resource requirements can be reserved wins.
+    const Candidate* chosen = nullptr;
+    for (const auto& c : candidates) {
+      if (c.info.resources.empty()) {
+        chosen = &c;
+        break;
+      }
+      auto alloc = discovery.acquire(c.info.resources);
+      if (alloc.ok()) {
+        result.resource_allocs.push_back(alloc.value());
+        chosen = &c;
+        break;
+      }
+      BLOG(debug, "negotiate")
+          << c.info.name << " skipped: " << alloc.error().to_string();
+    }
+    if (!chosen) {
+      release_all();
+      return err(Errc::resource_exhausted,
+                 "all implementations of '" + spec.type +
+                     "' are resource-constrained");
+    }
+
+    NegotiatedNode node;
+    node.type = spec.type;
+    node.impl_name = chosen->info.name;
+    // Merge order (later wins): app DAG args < impl props < listener
+    // advertisements. The impl sees one flat map.
+    node.args = spec.args.merged_with(ChunnelArgs(chosen->info.props));
+    if (auto it = advertisements.find(spec.type); it != advertisements.end())
+      node.args = node.args.merged_with(it->second);
+    result.chain.push_back(std::move(node));
+  }
+
+  return result;
+}
+
+// Describes the tentatively-bound chain to the optimizer, using the
+// props chunnel authors declare on their implementations.
+std::vector<OptStage> to_opt_stages(const NegotiationResult& bound) {
+  std::vector<OptStage> stages;
+  for (const auto& node : bound.chain) {
+    OptStage s;
+    s.type = node.type;
+    s.offloadable = node.args.get_or("offloadable", "false") == "true";
+    char* end = nullptr;
+    std::string sf = node.args.get_or("size_factor", "1");
+    double f = std::strtod(sf.c_str(), &end);
+    s.size_factor = (end && *end == '\0' && f > 0) ? f : 1.0;
+    std::string csv = node.args.get_or("commutes_with", "");
+    size_t start = 0;
+    while (start < csv.size()) {
+      size_t comma = csv.find(',', start);
+      std::string item = csv.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!item.empty()) s.commutes_with.insert(item);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    stages.push_back(std::move(s));
+  }
+  return stages;
+}
+
+// Rebuilds a spec chain from an optimizer plan: surviving types reuse
+// their original specs; a merged type absorbs the args of the originals
+// it replaced (consumed in order).
+std::vector<ChunnelSpec> specs_from_plan(
+    const std::vector<ChunnelSpec>& original,
+    const std::vector<OptStage>& plan) {
+  std::vector<bool> used(original.size(), false);
+  auto take = [&](const std::string& type) -> const ChunnelSpec* {
+    for (size_t i = 0; i < original.size(); i++)
+      if (!used[i] && original[i].type == type) {
+        used[i] = true;
+        return &original[i];
+      }
+    return nullptr;
+  };
+  std::vector<ChunnelSpec> out;
+  for (const auto& stage : plan) {
+    if (const ChunnelSpec* spec = take(stage.type)) {
+      out.push_back(*spec);
+      continue;
+    }
+    // A merged stage: absorb the args of every remaining original (the
+    // merged impl needs e.g. the cipher key the encrypt node carried).
+    ChunnelSpec merged(stage.type);
+    for (size_t i = 0; i < original.size(); i++)
+      if (!used[i]) merged.args = merged.args.merged_with(original[i].args);
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<NegotiationResult> negotiate_server(
+    const std::vector<ChunnelSpec>& server_chain, const HelloMsg& hello,
+    const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
+    const std::map<std::string, ChunnelArgs>& advertisements,
+    const std::string& server_host_id, const DagOptimizer* optimizer) {
+  // DAG compatibility: the server's chain is authoritative (Listing 5's
+  // client specifies no chunnels); a non-empty client DAG must agree on
+  // the type sequence.
+  if (!hello.dag.empty_dag()) {
+    auto client_chain_r = hello.dag.as_chain();
+    if (!client_chain_r.ok())
+      return err(Errc::incompatible, "client dag is not a chain");
+    const auto& cc = client_chain_r.value();
+    if (cc.size() != server_chain.size())
+      return err(Errc::incompatible, "client/server dag length mismatch");
+    for (size_t i = 0; i < cc.size(); i++)
+      if (cc[i].type != server_chain[i].type)
+        return err(Errc::incompatible,
+                   "dag type mismatch at position " + std::to_string(i) +
+                       ": client=" + cc[i].type +
+                       " server=" + server_chain[i].type);
+  }
+
+  const bool same_host = hello.host_id == server_host_id;
+
+  BERTHA_TRY_ASSIGN(result, select_chain(server_chain, hello, registry,
+                                         discovery, policy, advertisements,
+                                         same_host));
+  if (!optimizer) return std::move(result);
+
+  // §6: rewrite the tentatively-bound pipeline (reorder to hug the NIC,
+  // merge into combined offloads) and re-bind. Keep the rewrite only if
+  // the types actually changed and every rewritten node still binds.
+  auto plan_r = optimizer->optimize(to_opt_stages(result));
+  if (!plan_r.ok()) return std::move(result);
+  const PipelinePlan& plan = plan_r.value();
+
+  bool changed = plan.stages.size() != result.chain.size();
+  for (size_t i = 0; !changed && i < plan.stages.size(); i++)
+    changed = plan.stages[i].type != result.chain[i].type;
+  if (!changed) return std::move(result);
+
+  auto rewritten_specs = specs_from_plan(server_chain, plan.stages);
+  auto rebound = select_chain(rewritten_specs, hello, registry, discovery,
+                              policy, advertisements, same_host);
+  if (!rebound.ok()) {
+    BLOG(info, "negotiate") << "dag rewrite abandoned: "
+                            << rebound.error().to_string();
+    return std::move(result);
+  }
+  for (const auto& what : plan.applied)
+    BLOG(info, "negotiate") << "dag rewrite: " << what;
+  for (uint64_t id : result.resource_allocs) (void)discovery.release(id);
+  return rebound;
+}
+
+}  // namespace bertha

@@ -1,0 +1,114 @@
+// Chunnel negotiation (paper §4.3).
+//
+// At connection establishment the client sends a Hello carrying its
+// endpoint name, identity, its (possibly empty) Chunnel DAG and the set
+// of implementations it can instantiate ("offers"). The server:
+//
+//   1. checks DAG compatibility (an empty client DAG adopts the server's,
+//      as in Listing 5; otherwise the type sequences must match),
+//   2. assembles the candidate implementations for each chunnel type
+//      from the client's offers, its own registry, and a discovery query,
+//   3. filters by scope constraint and endpoint availability,
+//   4. ranks with the operator Policy and reserves resources with the
+//      discovery service (first candidate whose requirements fit wins),
+//   5. replies Accept with the chosen (type, impl, merged-args) chain and
+//      the connection token — or Reject.
+//
+// Implementations are bound per *connection*: one process may use
+// different implementations of the same type on different connections
+// (the paper's "Mixed" scenario in Fig 5).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dag.hpp"
+#include "core/discovery.hpp"
+#include "core/optimizer.hpp"
+#include "core/policy.hpp"
+
+namespace bertha {
+
+struct HelloMsg {
+  std::string endpoint_name;
+  std::string host_id;
+  std::string process_id;
+  ChunnelDag dag;
+  // chunnel type -> implementations the client can instantiate
+  std::map<std::string, std::vector<ImplInfo>> offers;
+};
+
+// One bound chunnel in the negotiated stack. Outermost first.
+struct NegotiatedNode {
+  std::string type;
+  std::string impl_name;
+  ChunnelArgs args;  // app args + impl props + server advertisements
+
+  bool operator==(const NegotiatedNode& o) const {
+    return type == o.type && impl_name == o.impl_name && args == o.args;
+  }
+};
+
+struct AcceptMsg {
+  uint64_t token = 0;
+  std::string host_id;     // server's
+  std::string process_id;  // server's
+  std::vector<NegotiatedNode> chain;
+  // Chain attestation (paper §6 "Deployment Concerns"): a keyed digest
+  // over the canonical encoding of `chain`, computed with the
+  // deployment's shared attestation secret. A client configured with a
+  // secret refuses connections whose digest does not verify — a
+  // lightweight stand-in for the program-attestation schemes the paper
+  // cites (full remote attestation of switch/FPGA programs is open
+  // research). 0 = unattested.
+  uint64_t chain_digest = 0;
+};
+
+// Keyed digest over a negotiated chain. NOT a cryptographic MAC (the
+// hash is FNV-based); it models the attestation handshake's structure,
+// catching misconfiguration and accidental tampering, not adversaries.
+uint64_t attest_chain(const std::vector<NegotiatedNode>& chain,
+                      const std::string& secret);
+
+struct RejectMsg {
+  uint8_t errc = 0;
+  std::string reason;
+};
+
+Bytes encode_hello(const HelloMsg& m);
+Result<HelloMsg> decode_hello(BytesView b);
+Bytes encode_accept(const AcceptMsg& m);
+Result<AcceptMsg> decode_accept(BytesView b);
+Bytes encode_reject(const RejectMsg& m);
+Result<RejectMsg> decode_reject(BytesView b);
+
+struct NegotiationResult {
+  std::vector<NegotiatedNode> chain;
+  std::vector<uint64_t> resource_allocs;  // to release on connection close
+};
+
+// Server-side selection. `advertisements` are per-type args contributed
+// by chunnel on_listen() hooks (e.g. the fast path's unix socket addr).
+// When `optimizer` is non-null the §6 DAG rewrites run after a first
+// tentative binding: stages are described by the chosen implementations'
+// props ("offloadable", "commutes_with", "size_factor"), the optimizer
+// proposes a reorder/merge, and the rewritten chain is re-bound — kept
+// only if every rewritten node still has a usable implementation.
+// On failure any reserved resources have been released.
+Result<NegotiationResult> negotiate_server(
+    const std::vector<ChunnelSpec>& server_chain, const HelloMsg& hello,
+    const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
+    const std::map<std::string, ChunnelArgs>& advertisements,
+    const std::string& server_host_id, const DagOptimizer* optimizer = nullptr);
+
+// Pure candidate assembly/filter/rank (exposed for tests and the
+// scheduling bench): returns candidates for one node ordered best-first.
+std::vector<Candidate> rank_candidates(
+    const ChunnelSpec& spec,
+    const std::vector<ImplInfo>& client_offered,
+    const std::vector<ImplInfo>& server_registered,
+    const std::vector<ImplInfo>& network_entries, const Policy& policy,
+    bool same_host);
+
+}  // namespace bertha

@@ -1,0 +1,184 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+
+namespace bertha {
+
+namespace {
+
+// A permutation is valid iff every non-commuting pair keeps its original
+// relative order.
+bool order_valid(const std::vector<OptStage>& original,
+                 const std::vector<size_t>& perm) {
+  for (size_t i = 0; i < perm.size(); i++) {
+    for (size_t j = i + 1; j < perm.size(); j++) {
+      if (perm[i] > perm[j] &&
+          !original[perm[i]].commutes(original[perm[j]]))
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<OptStage> apply_perm(const std::vector<OptStage>& stages,
+                                 const std::vector<size_t>& perm) {
+  std::vector<OptStage> out;
+  out.reserve(perm.size());
+  for (size_t i : perm) out.push_back(stages[i]);
+  return out;
+}
+
+}  // namespace
+
+int DagOptimizer::count_crossings(const std::vector<OptStage>& stages) {
+  // Offloadable stages run on the NIC, others on the host CPU. Data
+  // starts at the host and must end at the NIC (the wire).
+  int crossings = 0;
+  bool on_nic = false;  // current location of the data
+  for (const auto& s : stages) {
+    bool want_nic = s.offloadable;
+    if (want_nic != on_nic) {
+      crossings++;
+      on_nic = want_nic;
+    }
+  }
+  if (!on_nic) crossings++;  // final hop to the wire
+  return crossings;
+}
+
+double DagOptimizer::pcie_cost(const std::vector<OptStage>& stages) {
+  double bytes = 1.0;  // per input byte
+  double cost = 0.0;
+  bool on_nic = false;
+  for (const auto& s : stages) {
+    bool want_nic = s.offloadable;
+    if (want_nic != on_nic) {
+      cost += bytes;
+      on_nic = want_nic;
+    }
+    bytes *= s.size_factor;
+  }
+  if (!on_nic) cost += bytes;
+  return cost;
+}
+
+std::vector<OptStage> DagOptimizer::best_valid_order(
+    std::vector<OptStage> stages) const {
+  if (stages.size() < 2 || stages.size() > 8) return stages;  // 8! is the cap
+  std::vector<size_t> perm(stages.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<size_t> best_perm = perm;
+  double best_cost = pcie_cost(stages);
+  do {
+    if (!order_valid(stages, perm)) continue;
+    double c = pcie_cost(apply_perm(stages, perm));
+    if (c < best_cost - 1e-12) {
+      best_cost = c;
+      best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return apply_perm(stages, best_perm);
+}
+
+namespace {
+
+// Greedily apply merge rules to adjacent stages until none fire.
+// Returns the rewrite descriptions performed.
+std::vector<std::string> apply_merges(std::vector<OptStage>& stages,
+                                      const std::vector<MergeRule>& rules) {
+  std::vector<std::string> applied;
+  bool merged_any = true;
+  while (merged_any) {
+    merged_any = false;
+    for (size_t i = 0; i + 1 < stages.size() && !merged_any; i++) {
+      for (const auto& rule : rules) {
+        if (stages[i].type == rule.first && stages[i + 1].type == rule.second) {
+          OptStage merged;
+          merged.type = rule.merged;
+          merged.offloadable = rule.merged_offloadable;
+          merged.size_factor =
+              stages[i].size_factor * stages[i + 1].size_factor;
+          // The merged stage commutes only with types both halves
+          // commuted with.
+          for (const auto& t : stages[i].commutes_with)
+            if (stages[i + 1].commutes_with.count(t))
+              merged.commutes_with.insert(t);
+          applied.push_back("merge '" + rule.first + "'+'" + rule.second +
+                            "' -> '" + rule.merged + "'");
+          stages[i] = std::move(merged);
+          stages.erase(stages.begin() + static_cast<ptrdiff_t>(i + 1));
+          merged_any = true;
+          break;
+        }
+      }
+    }
+  }
+  return applied;
+}
+
+}  // namespace
+
+Result<PipelinePlan> DagOptimizer::optimize(std::vector<OptStage> stages) const {
+  PipelinePlan plan;
+
+  // (c) elide adjacent duplicates of the same type — applying the same
+  // idempotent transformation twice in a row is redundant.
+  for (size_t i = 0; i + 1 < stages.size();) {
+    if (stages[i].type == stages[i + 1].type) {
+      plan.applied.push_back("elide duplicate '" + stages[i].type + "'");
+      stages.erase(stages.begin() + static_cast<ptrdiff_t>(i + 1));
+    } else {
+      i++;
+    }
+  }
+
+  // (a)+(b) jointly: some reorderings only pay off because they make a
+  // merge possible ("Bertha could reorder and then merge", §6), so we
+  // evaluate each valid permutation *after* greedy merging and pick the
+  // cheapest end state. Ties prefer fewer stages, then the original
+  // order (the identity permutation is enumerated first).
+  std::vector<OptStage> best_stages = stages;
+  std::vector<std::string> best_merges = apply_merges(best_stages, merges_);
+  bool best_reordered = false;
+  double best_cost = pcie_cost(best_stages);
+
+  if (stages.size() >= 2 && stages.size() <= 8) {
+    std::vector<size_t> perm(stages.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    while (std::next_permutation(perm.begin(), perm.end())) {
+      if (!order_valid(stages, perm)) continue;
+      std::vector<OptStage> candidate = apply_perm(stages, perm);
+      auto merges = apply_merges(candidate, merges_);
+      double c = pcie_cost(candidate);
+      bool better = c < best_cost - 1e-12 ||
+                    (c < best_cost + 1e-12 &&
+                     candidate.size() < best_stages.size());
+      if (better) {
+        best_cost = c;
+        best_stages = std::move(candidate);
+        best_merges = std::move(merges);
+        best_reordered = true;
+      }
+    }
+  }
+
+  if (best_reordered) {
+    std::string desc = "reorder:";
+    for (const auto& s : best_stages) desc += " " + s.type;
+    plan.applied.push_back(desc);
+  }
+  plan.applied.insert(plan.applied.end(), best_merges.begin(),
+                      best_merges.end());
+
+  // Merges can unlock a further pure reorder; run one final pass.
+  best_stages = best_valid_order(std::move(best_stages));
+
+  plan.pcie_crossings = count_crossings(best_stages);
+  plan.pcie_bytes_per_input_byte = pcie_cost(best_stages);
+  plan.stages = std::move(best_stages);
+  return plan;
+}
+
+}  // namespace bertha

@@ -1,0 +1,77 @@
+// Chunnel DAG optimizer (paper §6, "Performance Optimization").
+//
+// The runtime sees the whole pipeline a connection's data traverses and
+// can rewrite it before binding implementations:
+//
+//   (a) *reorder* commuting stages so that offloaded stages sit adjacent
+//       to the NIC, avoiding PCIe ping-pong (the paper's
+//       encrypt |> http2 |> tcp example: as written, using the NIC's
+//       crypto engine costs a 3x increase in PCIe traffic; reordered to
+//       http2 |> encrypt |> tcp it costs 1x),
+//   (b) *merge* adjacent stages into a combined offload the hardware
+//       does provide (encrypt + tcp -> tls),
+//   (c) *elide* redundant idempotent stages.
+//
+// The model: data starts at the host CPU, flows through the stages in
+// order, and ends at the NIC (the wire). Every host->nic or nic->host
+// transition crosses PCIe carrying the bytes current at that point
+// (stages scale size by their size_factor: compression < 1, framing
+// > 1). Reordering may only swap stages that commute.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace bertha {
+
+struct OptStage {
+  std::string type;
+  bool offloadable = false;  // a NIC/offload implementation exists for it
+  double size_factor = 1.0;  // output bytes per input byte
+  // Types this stage may be reordered across (commutativity is declared
+  // pairwise by chunnel authors; it must hold in both directions to
+  // allow a swap).
+  std::set<std::string> commutes_with;
+
+  bool commutes(const OptStage& other) const {
+    return commutes_with.count(other.type) > 0 &&
+           other.commutes_with.count(type) > 0;
+  }
+};
+
+struct MergeRule {
+  std::string first;
+  std::string second;
+  std::string merged;        // merged stage type (e.g. "tls")
+  bool merged_offloadable = true;
+};
+
+struct PipelinePlan {
+  std::vector<OptStage> stages;
+  // Diagnostics:
+  int pcie_crossings = 0;
+  double pcie_bytes_per_input_byte = 0.0;
+  std::vector<std::string> applied;  // human-readable rewrites performed
+};
+
+class DagOptimizer {
+ public:
+  void add_merge_rule(MergeRule rule) { merges_.push_back(std::move(rule)); }
+
+  // Cost of a pipeline as-is (no rewriting).
+  static int count_crossings(const std::vector<OptStage>& stages);
+  static double pcie_cost(const std::vector<OptStage>& stages);
+
+  // Full rewrite: elide -> reorder (exhaustive over valid permutations;
+  // chains are short) -> merge -> reorder again. Deterministic.
+  Result<PipelinePlan> optimize(std::vector<OptStage> stages) const;
+
+ private:
+  std::vector<OptStage> best_valid_order(std::vector<OptStage> stages) const;
+  std::vector<MergeRule> merges_;
+};
+
+}  // namespace bertha

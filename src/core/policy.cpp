@@ -1,0 +1,26 @@
+#include "core/policy.hpp"
+
+namespace bertha {
+
+int64_t DefaultPolicy::score(const std::string& /*type*/,
+                             const Candidate& c) const {
+  int64_t s = 0;
+  // Client-provided implementations win over server-provided ones.
+  if (c.client_offers && c.info.endpoints == EndpointConstraint::client)
+    s += 1'000'000;
+  // Then implementation priority (hardware / kernel-bypass impls are
+  // registered with higher priorities than plain software).
+  s += static_cast<int64_t>(c.info.priority) * 100;
+  // Slight preference for network-advertised offloads among equals.
+  if (c.network_provided) s += 1;
+  return s;
+}
+
+int64_t SoftwareOnlyPolicy::score(const std::string& /*type*/,
+                                  const Candidate& c) const {
+  if (c.info.scope != Scope::application) return -1;
+  if (c.network_provided) return -1;
+  return static_cast<int64_t>(c.info.priority);
+}
+
+}  // namespace bertha

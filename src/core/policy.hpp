@@ -1,0 +1,50 @@
+// Implementation-selection policy (paper §4.3).
+//
+// During negotiation the runtime collects every visible implementation
+// of each chunnel type into Candidates and asks the operator-supplied
+// Policy to score them. The DefaultPolicy reproduces the paper's
+// prototype policy: "prefers client-provided implementations over
+// server-provided implementations, and set implementation priorities to
+// prefer kernel bypass and hardware accelerated implementations over
+// standard implementations."
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/chunnel.hpp"
+
+namespace bertha {
+
+struct Candidate {
+  ImplInfo info;
+  bool client_offers = false;    // the connecting client has this factory
+  bool server_offers = false;    // the listening server has this factory
+  bool network_provided = false; // advertised by the discovery service
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Score a candidate for a chunnel type. Higher wins; a negative score
+  // forbids the candidate. Ties are broken deterministically by name.
+  virtual int64_t score(const std::string& type, const Candidate& c) const = 0;
+};
+
+class DefaultPolicy final : public Policy {
+ public:
+  int64_t score(const std::string& type, const Candidate& c) const override;
+};
+
+// An operator policy that never uses offloads: only candidates that run
+// in the application (fallbacks) are allowed. Used by tests and benches
+// to force fallback paths.
+class SoftwareOnlyPolicy final : public Policy {
+ public:
+  int64_t score(const std::string& type, const Candidate& c) const override;
+};
+
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+}  // namespace bertha

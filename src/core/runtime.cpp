@@ -1,0 +1,52 @@
+#include "core/runtime.hpp"
+
+#include <unistd.h>
+
+#include <random>
+
+#include "core/endpoint.hpp"
+
+namespace bertha {
+
+std::string make_unique_id() {
+  static std::atomic<uint64_t> counter{0};
+  std::random_device rd;
+  uint64_t v = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  v ^= static_cast<uint64_t>(::getpid()) << 48;
+  v ^= counter.fetch_add(1) * 0x9e3779b97f4a7c15ULL;
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
+  if (!cfg.transports)
+    return err(Errc::invalid_argument, "RuntimeConfig.transports is required");
+  if (cfg.host_id.empty()) {
+    char host[256] = {0};
+    if (::gethostname(host, sizeof(host) - 1) == 0 && host[0]) {
+      cfg.host_id = host;
+    } else {
+      cfg.host_id = "host-" + make_unique_id();
+    }
+  }
+  if (cfg.process_id.empty())
+    cfg.process_id = std::to_string(::getpid()) + "-" + make_unique_id();
+  if (!cfg.discovery) cfg.discovery = std::make_shared<DiscoveryState>();
+  if (!cfg.policy) cfg.policy = std::make_shared<DefaultPolicy>();
+  if (cfg.handshake_retries < 0 || cfg.handshake_timeout <= Duration::zero())
+    return err(Errc::invalid_argument, "bad handshake parameters");
+  return std::shared_ptr<Runtime>(new Runtime(std::move(cfg)));
+}
+
+Result<void> Runtime::register_chunnel(ChunnelImplPtr impl) {
+  return registry_.register_impl(std::move(impl));
+}
+
+Result<Endpoint> Runtime::endpoint(std::string name, ChunnelDag dag) {
+  BERTHA_TRY(dag.validate());
+  BERTHA_TRY_ASSIGN(chain, dag.as_chain());
+  return Endpoint(shared_from_this(), std::move(name), std::move(chain));
+}
+
+}  // namespace bertha

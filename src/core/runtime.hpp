@@ -1,0 +1,96 @@
+// The Bertha runtime (paper §4.1).
+//
+// A Runtime owns the process-local chunnel Registry, a handle to the
+// discovery service, the operator policy, and the transport factory.
+// Applications create Endpoints from it:
+//
+//   auto rt = Runtime::create({...}).value();
+//   rt->register_chunnel(std::make_shared<ReliableChunnel>());   // fallback
+//   auto ep = rt->endpoint("my-kv-srv",
+//                          wrap(ChunnelSpec("shard", args),
+//                               ChunnelSpec("reliable"))).value();
+//   auto listener = ep.listen(Addr::udp("127.0.0.1", 4242)).value();
+//
+// which is the C++ rendering of Listing 4/5's
+//   bertha::new("my-kv-srv", wrap!(shard(...) |> reliable())).listen(..)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/dag.hpp"
+#include "core/discovery.hpp"
+#include "core/optimizer.hpp"
+#include "core/policy.hpp"
+#include "net/transport.hpp"
+
+namespace bertha {
+
+class Endpoint;
+
+struct RuntimeConfig {
+  // Identity used for scope decisions (host-local fast paths) and, by
+  // convention, as this process's SimNet node name. Defaults to the OS
+  // hostname.
+  std::string host_id;
+  // Unique per process; defaults to pid + random.
+  std::string process_id;
+
+  // Required: how this runtime binds datagram endpoints.
+  std::shared_ptr<TransportFactory> transports;
+
+  // Discovery service handle; defaults to a fresh in-process
+  // DiscoveryState (i.e. no external offloads visible).
+  DiscoveryPtr discovery;
+
+  // Operator implementation-selection policy; defaults to DefaultPolicy.
+  PolicyPtr policy;
+
+  // Optional §6 DAG optimizer. When set, listeners rewrite tentatively
+  // negotiated pipelines (reorder / merge) before binding; operators add
+  // merge rules matching the combined offloads their hardware exposes.
+  std::shared_ptr<DagOptimizer> optimizer;
+
+  // Deployment attestation secret (§6 "Deployment Concerns"). When
+  // non-empty, servers stamp every Accept with a keyed digest of the
+  // negotiated chain and clients verify it, refusing connections whose
+  // chain was not attested with the same secret.
+  std::string attestation_secret;
+
+  // Connection-establishment handshake parameters.
+  Duration handshake_timeout = ms(1000);
+  int handshake_retries = 4;
+};
+
+class Runtime : public std::enable_shared_from_this<Runtime> {
+ public:
+  // Validates the config and fills defaults.
+  static Result<std::shared_ptr<Runtime>> create(RuntimeConfig cfg);
+
+  // The analogue of bertha::register_chunnel (Listing 5 line 2):
+  // makes an implementation instantiable by this process and therefore
+  // offered during negotiation.
+  Result<void> register_chunnel(ChunnelImplPtr impl);
+
+  // Creates a connection endpoint with a Chunnel DAG (bertha::new).
+  // The DAG must validate and be a chain (branch/merge chunnel types
+  // embed sub-graphs in their args).
+  Result<Endpoint> endpoint(std::string name, ChunnelDag dag);
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  DiscoveryClient& discovery() { return *cfg_.discovery; }
+  const RuntimeConfig& config() const { return cfg_; }
+  TransportFactory& transports() { return *cfg_.transports; }
+
+ private:
+  explicit Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {}
+
+  RuntimeConfig cfg_;
+  Registry registry_;
+};
+
+// Returns a process-unique random identifier (hex).
+std::string make_unique_id();
+
+}  // namespace bertha

@@ -1,0 +1,32 @@
+#include "core/wire.hpp"
+
+namespace bertha {
+
+Bytes encode_frame(MsgKind kind, uint64_t token, BytesView payload) {
+  Bytes out;
+  out.reserve(kWireHeaderSize + payload.size());
+  out.push_back(kMagic0);
+  out.push_back(kMagic1);
+  out.push_back(static_cast<uint8_t>(kind));
+  put_u64_le(out, token);
+  append(out, payload);
+  return out;
+}
+
+Result<Frame> decode_frame(BytesView datagram) {
+  if (datagram.size() < kWireHeaderSize)
+    return err(Errc::protocol_error, "short bertha frame");
+  if (datagram[0] != kMagic0 || datagram[1] != kMagic1)
+    return err(Errc::protocol_error, "bad bertha magic");
+  uint8_t k = datagram[2];
+  if (k < static_cast<uint8_t>(MsgKind::hello) ||
+      k > static_cast<uint8_t>(MsgKind::discovery))
+    return err(Errc::protocol_error, "bad bertha msg kind");
+  Frame f;
+  f.kind = static_cast<MsgKind>(k);
+  f.token = get_u64_le(datagram, 3);
+  f.payload = datagram.subspan(kWireHeaderSize);
+  return f;
+}
+
+}  // namespace bertha

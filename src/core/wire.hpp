@@ -1,0 +1,44 @@
+// Bertha wire framing.
+//
+// Every datagram a Bertha endpoint sends or receives carries an 11-byte
+// header: 2 magic bytes, a message kind, and a 64-bit connection token.
+// Connections are demultiplexed *by token*, not by peer address — this is
+// what lets a connection migrate between transports (e.g. the local
+// fast-path chunnel switching from UDP to a unix socket mid-lifetime
+// without renegotiating, Fig 3/4): the server simply updates its reply
+// path to wherever the last data packet for that token arrived from.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+enum class MsgKind : uint8_t {
+  hello = 1,      // client -> server: DAG + offers (token 0)
+  accept = 2,     // server -> client: negotiated stack + assigned token
+  reject = 3,     // server -> client: negotiation failed
+  data = 4,       // either direction, payload is application data
+  close = 5,      // either direction, best-effort teardown notice
+  discovery = 6,  // discovery service request/response (token 0)
+};
+
+inline constexpr uint8_t kMagic0 = 'B';
+inline constexpr uint8_t kMagic1 = 'H';
+inline constexpr size_t kWireHeaderSize = 11;
+
+struct Frame {
+  MsgKind kind;
+  uint64_t token;
+  BytesView payload;  // view into the input buffer
+};
+
+// header + payload -> datagram bytes.
+Bytes encode_frame(MsgKind kind, uint64_t token, BytesView payload);
+
+// Parse a datagram; the returned payload view aliases `datagram`.
+Result<Frame> decode_frame(BytesView datagram);
+
+}  // namespace bertha

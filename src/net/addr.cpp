@@ -1,0 +1,70 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+
+namespace bertha {
+
+std::string_view addr_kind_name(AddrKind k) {
+  switch (k) {
+    case AddrKind::invalid: return "invalid";
+    case AddrKind::udp: return "udp";
+    case AddrKind::uds: return "uds";
+    case AddrKind::mem: return "mem";
+    case AddrKind::sim: return "sim";
+  }
+  return "?";
+}
+
+std::string Addr::to_string() const {
+  std::string s(addr_kind_name(kind));
+  s += "://";
+  s += host;
+  if (kind != AddrKind::uds) {
+    s += ':';
+    s += std::to_string(port);
+  }
+  return s;
+}
+
+Result<Addr> Addr::parse(std::string_view uri) {
+  auto sep = uri.find("://");
+  if (sep == std::string_view::npos)
+    return err(Errc::invalid_argument, "addr missing '://': " + std::string(uri));
+  std::string_view scheme = uri.substr(0, sep);
+  std::string_view rest = uri.substr(sep + 3);
+
+  AddrKind kind;
+  if (scheme == "udp") {
+    kind = AddrKind::udp;
+  } else if (scheme == "uds") {
+    kind = AddrKind::uds;
+  } else if (scheme == "mem") {
+    kind = AddrKind::mem;
+  } else if (scheme == "sim") {
+    kind = AddrKind::sim;
+  } else {
+    return err(Errc::invalid_argument,
+               "unknown addr scheme: " + std::string(scheme));
+  }
+
+  if (kind == AddrKind::uds) {
+    if (rest.empty())
+      return err(Errc::invalid_argument, "uds addr missing name");
+    return Addr(kind, std::string(rest), 0);
+  }
+
+  auto colon = rest.rfind(':');
+  if (colon == std::string_view::npos)
+    return err(Errc::invalid_argument, "addr missing port: " + std::string(uri));
+  std::string_view host = rest.substr(0, colon);
+  std::string_view port_s = rest.substr(colon + 1);
+  uint16_t port = 0;
+  auto [p, ec] = std::from_chars(port_s.data(), port_s.data() + port_s.size(), port);
+  if (ec != std::errc() || p != port_s.data() + port_s.size())
+    return err(Errc::invalid_argument, "bad port: " + std::string(uri));
+  if (host.empty())
+    return err(Errc::invalid_argument, "addr missing host: " + std::string(uri));
+  return Addr(kind, std::string(host), port);
+}
+
+}  // namespace bertha

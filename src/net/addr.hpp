@@ -1,0 +1,77 @@
+// Address model.
+//
+// Bertha connections are datagram-oriented and can run over several
+// transports; an Addr names an endpoint on one of them. The URI string
+// form is used in wire messages (negotiation, discovery) and logs:
+//
+//   udp://127.0.0.1:5000     UDP/IPv4 socket
+//   uds://name               Linux abstract-namespace unix datagram socket
+//   mem://chan:7             in-process channel (tests)
+//   sim://node:7             SimNet node endpoint
+//   sim://group:7            SimNet multicast group address
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/hash.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+enum class AddrKind : uint8_t { invalid = 0, udp, uds, mem, sim };
+
+std::string_view addr_kind_name(AddrKind k);
+
+struct Addr {
+  AddrKind kind = AddrKind::invalid;
+  std::string host;   // ip / socket name / channel / node name
+  uint16_t port = 0;  // unused for uds
+
+  Addr() = default;
+  Addr(AddrKind k, std::string h, uint16_t p)
+      : kind(k), host(std::move(h)), port(p) {}
+
+  static Addr udp(std::string ip, uint16_t port) {
+    return Addr(AddrKind::udp, std::move(ip), port);
+  }
+  static Addr uds(std::string name) {
+    return Addr(AddrKind::uds, std::move(name), 0);
+  }
+  static Addr mem(std::string chan, uint16_t port) {
+    return Addr(AddrKind::mem, std::move(chan), port);
+  }
+  static Addr sim(std::string node, uint16_t port) {
+    return Addr(AddrKind::sim, std::move(node), port);
+  }
+
+  bool valid() const { return kind != AddrKind::invalid; }
+
+  // URI form, e.g. "udp://127.0.0.1:5000".
+  std::string to_string() const;
+
+  // Parse the URI form back into an Addr.
+  static Result<Addr> parse(std::string_view uri);
+
+  friend bool operator==(const Addr& a, const Addr& b) {
+    return a.kind == b.kind && a.port == b.port && a.host == b.host;
+  }
+  friend bool operator!=(const Addr& a, const Addr& b) { return !(a == b); }
+  friend bool operator<(const Addr& a, const Addr& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.host != b.host) return a.host < b.host;
+    return a.port < b.port;
+  }
+};
+
+struct AddrHash {
+  size_t operator()(const Addr& a) const {
+    return static_cast<size_t>(hash_combine(
+        hash_combine(static_cast<uint64_t>(a.kind), fnv1a64(a.host)),
+        a.port));
+  }
+};
+
+}  // namespace bertha

@@ -1,0 +1,32 @@
+#include "net/factory.hpp"
+
+#include "net/udp.hpp"
+#include "net/uds.hpp"
+
+namespace bertha {
+
+Result<TransportPtr> DefaultTransportFactory::bind(const Addr& addr) {
+  switch (addr.kind) {
+    case AddrKind::udp:
+      return UdpTransport::bind(addr);
+    case AddrKind::uds:
+      return UdsTransport::bind(addr);
+    case AddrKind::mem:
+      if (!mem_)
+        return err(Errc::unavailable, "no mem network configured");
+      return mem_->bind(addr);
+    case AddrKind::sim: {
+      if (!sim_)
+        return err(Errc::unavailable, "no sim network configured");
+      const std::string& node = addr.host.empty() ? sim_node_ : addr.host;
+      if (node.empty())
+        return err(Errc::invalid_argument, "sim bind without node name");
+      return sim_->attach(node, addr.port);
+    }
+    case AddrKind::invalid:
+      break;
+  }
+  return err(Errc::invalid_argument, "cannot bind " + addr.to_string());
+}
+
+}  // namespace bertha

@@ -1,0 +1,33 @@
+// DefaultTransportFactory: dispatches bind() on the address family.
+//
+// udp:// and uds:// go to the real OS sockets; mem:// and sim:// are
+// served when the factory was constructed with the corresponding network
+// object. This is what the Bertha runtime uses so that a negotiated
+// address of any family can be dialed uniformly.
+#pragma once
+
+#include <memory>
+
+#include "net/memchan.hpp"
+#include "net/simnet.hpp"
+#include "net/transport.hpp"
+
+namespace bertha {
+
+class DefaultTransportFactory final : public TransportFactory {
+ public:
+  DefaultTransportFactory() = default;
+  explicit DefaultTransportFactory(std::shared_ptr<MemNetwork> mem,
+                                   std::shared_ptr<SimNet> sim = nullptr,
+                                   std::string sim_node = "")
+      : mem_(std::move(mem)), sim_(std::move(sim)), sim_node_(std::move(sim_node)) {}
+
+  Result<TransportPtr> bind(const Addr& addr) override;
+
+ private:
+  std::shared_ptr<MemNetwork> mem_;
+  std::shared_ptr<SimNet> sim_;
+  std::string sim_node_;  // node identity used when binding sim addrs
+};
+
+}  // namespace bertha

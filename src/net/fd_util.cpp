@@ -1,0 +1,56 @@
+#include "net/fd_util.hpp"
+
+#include <poll.h>
+#include <string.h>
+#include <sys/eventfd.h>
+
+#include <cerrno>
+#include <string>
+
+namespace bertha {
+
+Result<void> wait_readable(int fd, int wake_fd, Deadline deadline) {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    fds[1] = {wake_fd, POLLIN, 0};
+
+    int timeout_ms = -1;
+    if (!deadline.is_never()) {
+      auto rem = deadline.remaining();
+      timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(rem).count());
+      // Round up so we don't spin at sub-millisecond remainders.
+      if (rem > Duration::zero() && timeout_ms == 0) timeout_ms = 1;
+    }
+
+    int rc = ::poll(fds, 2, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_error(Errc::io_error, "poll");
+    }
+    if (fds[1].revents & POLLIN)
+      return err(Errc::cancelled, "transport closed");
+    if (fds[0].revents & (POLLIN | POLLERR | POLLHUP)) return ok();
+    if (rc == 0 || deadline.expired())
+      return err(Errc::timed_out, "recv deadline expired");
+  }
+}
+
+Result<Fd> make_wake_eventfd() {
+  int fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (fd < 0) return errno_error(Errc::io_error, "eventfd");
+  return Fd(fd);
+}
+
+void fire_wake_eventfd(int fd) {
+  uint64_t one = 1;
+  // Best-effort: a full eventfd counter still wakes pollers.
+  [[maybe_unused]] ssize_t rc = ::write(fd, &one, sizeof(one));
+}
+
+Error errno_error(Errc code, const std::string& what) {
+  return err(code, what + ": " + ::strerror(errno));
+}
+
+}  // namespace bertha

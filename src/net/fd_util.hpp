@@ -1,0 +1,55 @@
+// Small RAII and poll helpers shared by the POSIX socket transports.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+// Owns a file descriptor; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Waits until `fd` is readable, `wake_fd` fires (returns cancelled), or
+// the deadline expires (timed_out). `wake_fd` is an eventfd used to
+// unblock recv() when another thread closes the transport.
+Result<void> wait_readable(int fd, int wake_fd, Deadline deadline);
+
+// Creates a nonblocking eventfd used as a close-wakeup channel.
+Result<Fd> make_wake_eventfd();
+
+// Signals the wakeup channel (safe from any thread).
+void fire_wake_eventfd(int fd);
+
+// Formats the current errno as "what: strerror(errno)".
+Error errno_error(Errc code, const std::string& what);
+
+}  // namespace bertha

@@ -1,0 +1,75 @@
+// In-memory datagram network for tests: zero-latency, lossless unless a
+// drop rate is configured, fully deterministic with a seed.
+//
+// A MemNetwork is a namespace of mem://host:port endpoints. Delivery is
+// a queue push in the sender's thread, so message interleavings are
+// driven entirely by the calling threads.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+#include "util/queue.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+
+class MemNetwork : public std::enable_shared_from_this<MemNetwork> {
+ public:
+  struct Config {
+    double drop_rate = 0.0;  // fraction of datagrams silently dropped
+    uint64_t seed = 1;       // for the drop decision
+    size_t queue_depth = 4096;
+  };
+
+  static std::shared_ptr<MemNetwork> create(Config cfg) {
+    return std::shared_ptr<MemNetwork>(new MemNetwork(cfg));
+  }
+  static std::shared_ptr<MemNetwork> create() { return create(Config{}); }
+
+  // Binds mem://<host>:<port>. Port 0 picks a fresh ephemeral port on
+  // that host name. Fails with already_exists if taken.
+  Result<TransportPtr> bind(const Addr& addr);
+
+  // Counters (for loss-injection assertions in tests).
+  uint64_t delivered() const;
+  uint64_t dropped() const;
+
+ private:
+  explicit MemNetwork(Config cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  friend class MemTransport;
+  struct Endpoint {
+    BlockingQueue<Packet> q;
+    explicit Endpoint(size_t depth) : q(depth) {}
+  };
+
+  // Called by MemTransport::send_to.
+  Result<void> deliver(const Addr& from, const Addr& to, BytesView payload);
+  void unbind(const Addr& addr);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  Rng rng_;  // guarded by mu_
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  uint16_t next_ephemeral_ = 40000;
+  std::unordered_map<Addr, std::shared_ptr<Endpoint>, AddrHash> endpoints_;
+};
+
+// Factory over a MemNetwork (satisfies TransportFactory for the runtime).
+class MemTransportFactory final : public TransportFactory {
+ public:
+  explicit MemTransportFactory(std::shared_ptr<MemNetwork> net)
+      : net_(std::move(net)) {}
+  Result<TransportPtr> bind(const Addr& addr) override {
+    return net_->bind(addr);
+  }
+
+ private:
+  std::shared_ptr<MemNetwork> net_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,24 @@
+// A connected socketpair presented as a pair of Transports.
+//
+// This is the "specialized implementation that hardcodes the use of
+// IPCs" baseline from Fig 3: two processes (threads here) that skip any
+// addressing/negotiation and talk over a pre-wired unix pipe.
+#pragma once
+
+#include <atomic>
+
+#include "net/fd_util.hpp"
+#include "net/transport.hpp"
+
+namespace bertha {
+
+struct TransportPair {
+  TransportPtr a;
+  TransportPtr b;
+};
+
+// Creates a connected SOCK_SEQPACKET unix socketpair; each side is a
+// Transport whose send_to ignores the destination (it is point-to-point).
+Result<TransportPair> make_pipe_pair();
+
+}  // namespace bertha

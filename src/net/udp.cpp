@@ -1,0 +1,110 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace bertha {
+
+namespace {
+
+constexpr size_t kMaxDatagram = 65507;
+
+Result<sockaddr_in> to_sockaddr(const Addr& a) {
+  if (a.kind != AddrKind::udp)
+    return err(Errc::invalid_argument,
+               "udp transport cannot send to " + a.to_string());
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  if (::inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) != 1)
+    return err(Errc::invalid_argument, "bad ipv4 addr: " + a.host);
+  return sa;
+}
+
+Addr from_sockaddr(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+  return Addr::udp(buf, ntohs(sa.sin_port));
+}
+
+}  // namespace
+
+Result<TransportPtr> UdpTransport::bind(const Addr& addr) {
+  if (addr.kind != AddrKind::udp)
+    return err(Errc::invalid_argument, "not a udp addr: " + addr.to_string());
+
+  Fd sock(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) return errno_error(Errc::io_error, "socket");
+
+  BERTHA_TRY_ASSIGN(sa, to_sockaddr(addr));
+  if (::bind(sock.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0)
+    return errno_error(Errc::io_error, "bind");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(sock.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+    return errno_error(Errc::io_error, "getsockname");
+
+  BERTHA_TRY_ASSIGN(wake, make_wake_eventfd());
+  return TransportPtr(new UdpTransport(std::move(sock), std::move(wake),
+                                       from_sockaddr(bound)));
+}
+
+UdpTransport::~UdpTransport() { close(); }
+
+Result<void> UdpTransport::send_to(const Addr& dst, BytesView payload) {
+  if (closed_.load(std::memory_order_acquire))
+    return err(Errc::cancelled, "transport closed");
+  if (payload.size() > kMaxDatagram)
+    return err(Errc::invalid_argument, "datagram too large");
+  BERTHA_TRY_ASSIGN(sa, to_sockaddr(dst));
+  ssize_t rc = ::sendto(sock_.get(), payload.data(), payload.size(), 0,
+                        reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (rc < 0) {
+    // Transient buffer pressure behaves like network drop for datagrams.
+    if (errno == EAGAIN || errno == ENOBUFS || errno == ECONNREFUSED)
+      return ok();
+    return errno_error(Errc::io_error, "sendto");
+  }
+  return ok();
+}
+
+Result<Packet> UdpTransport::recv(Deadline deadline) {
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire))
+      return err(Errc::cancelled, "transport closed");
+    BERTHA_TRY(wait_readable(sock_.get(), wake_.get(), deadline));
+    if (closed_.load(std::memory_order_acquire))
+      return err(Errc::cancelled, "transport closed");
+
+    // recvfrom lands in a reusable scratch buffer: resizing a fresh
+    // vector to 64 KiB would zero it on every receive, which dominates
+    // small-packet latency.
+    thread_local Bytes scratch(kMaxDatagram);
+    Packet pkt;
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    ssize_t rc = ::recvfrom(sock_.get(), scratch.data(), scratch.size(),
+                            MSG_DONTWAIT, reinterpret_cast<sockaddr*>(&sa), &len);
+    if (rc < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNREFUSED)
+        continue;  // spurious wakeup or ICMP error; retry
+      return errno_error(Errc::io_error, "recvfrom");
+    }
+    pkt.payload.assign(scratch.begin(),
+                       scratch.begin() + static_cast<ptrdiff_t>(rc));
+    pkt.src = from_sockaddr(sa);
+    return pkt;
+  }
+}
+
+void UdpTransport::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  fire_wake_eventfd(wake_.get());
+}
+
+}  // namespace bertha

@@ -1,0 +1,107 @@
+#include "serialize/codec.hpp"
+
+#include <cstring>
+
+namespace bertha {
+
+void Writer::put_varint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::put_svarint(int64_t v) {
+  // zigzag encode
+  put_varint((static_cast<uint64_t>(v) << 1) ^
+             static_cast<uint64_t>(v >> 63));
+}
+
+void Writer::put_f64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; i++)
+    buf_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+}
+
+void Writer::put_bytes(BytesView b) {
+  put_varint(b.size());
+  append(buf_, b);
+}
+
+void Writer::put_string(std::string_view s) {
+  put_varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Result<uint8_t> Reader::get_u8() {
+  if (pos_ >= data_.size()) return err(Errc::protocol_error, "eof reading u8");
+  return data_[pos_++];
+}
+
+Result<bool> Reader::get_bool() {
+  BERTHA_TRY_ASSIGN(b, get_u8());
+  if (b > 1) return err(Errc::protocol_error, "bad bool encoding");
+  return b == 1;
+}
+
+Result<uint64_t> Reader::get_varint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos_ >= data_.size())
+      return err(Errc::protocol_error, "eof reading varint");
+    uint8_t b = data_[pos_++];
+    if (shift == 63 && (b & 0x7e))
+      return err(Errc::protocol_error, "varint overflow");
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+    if (shift > 63) return err(Errc::protocol_error, "varint too long");
+  }
+}
+
+Result<int64_t> Reader::get_svarint() {
+  BERTHA_TRY_ASSIGN(z, get_varint());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+Result<double> Reader::get_f64() {
+  if (remaining() < 8) return err(Errc::protocol_error, "eof reading f64");
+  uint64_t bits = get_u64_le(data_, pos_);
+  pos_ += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<Bytes> Reader::get_bytes() {
+  BERTHA_TRY_ASSIGN(n, get_varint());
+  if (n > remaining())
+    return err(Errc::protocol_error, "bytes length exceeds input");
+  Bytes b(data_.begin() + static_cast<ptrdiff_t>(pos_),
+          data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+Result<std::string> Reader::get_string() {
+  BERTHA_TRY_ASSIGN(n, get_varint());
+  if (n > remaining())
+    return err(Errc::protocol_error, "string length exceeds input");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<Bytes> Reader::get_raw(size_t n) {
+  if (n > remaining())
+    return err(Errc::protocol_error, "raw read exceeds input");
+  Bytes b(data_.begin() + static_cast<ptrdiff_t>(pos_),
+          data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+}  // namespace bertha

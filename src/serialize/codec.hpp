@@ -1,0 +1,224 @@
+// Binary serialization framework (bincode-style).
+//
+// Writer appends primitives to a byte buffer; Reader consumes them with
+// full bounds checking (every get returns a Result). Integers use LEB128
+// varints (zigzag for signed) so small values stay small on the wire.
+//
+// User types hook in by providing free functions found by ADL:
+//   void serialize(Writer&, const T&);
+//   Result<T> deserialize_T(Reader&);   // or the Serde<T> specialization
+//
+// The Serde<T> trait below is what generic code (object connections, the
+// serialization chunnel) uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Bytes initial) : buf_(std::move(initial)) {}
+
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_varint(uint64_t v);
+  void put_svarint(int64_t v);  // zigzag
+  void put_f64(double v);
+  void put_bytes(BytesView b);                 // length-prefixed
+  void put_string(std::string_view s);         // length-prefixed
+  void put_raw(BytesView b) { append(buf_, b); }  // no length prefix
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  Result<uint8_t> get_u8();
+  Result<bool> get_bool();
+  Result<uint64_t> get_varint();
+  Result<int64_t> get_svarint();
+  Result<double> get_f64();
+  Result<Bytes> get_bytes();
+  Result<std::string> get_string();
+  // Consumes exactly n raw bytes.
+  Result<Bytes> get_raw(size_t n);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  // The unconsumed tail without advancing.
+  BytesView rest() const { return data_.subspan(pos_); }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+// Serde trait: specialize for user types, or rely on the built-in
+// specializations below (integers, bool, string, bytes, vector, map,
+// optional, pair).
+template <typename T, typename Enable = void>
+struct Serde;  // intentionally undefined for unsupported types
+
+template <typename T>
+void serde_put(Writer& w, const T& v) {
+  Serde<T>::put(w, v);
+}
+template <typename T>
+Result<T> serde_get(Reader& r) {
+  return Serde<T>::get(r);
+}
+
+// Convenience: serialize a whole value to bytes / parse from bytes,
+// requiring all input consumed.
+template <typename T>
+Bytes serialize_to_bytes(const T& v) {
+  Writer w;
+  serde_put(w, v);
+  return std::move(w).take();
+}
+
+template <typename T>
+Result<T> deserialize_from_bytes(BytesView b) {
+  Reader r(b);
+  BERTHA_TRY_ASSIGN(v, serde_get<T>(r));
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing bytes after value");
+  return v;
+}
+
+// --- Built-in Serde specializations ---
+
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_unsigned_v<T> && std::is_integral_v<T>>> {
+  static void put(Writer& w, T v) { w.put_varint(v); }
+  static Result<T> get(Reader& r) {
+    BERTHA_TRY_ASSIGN(v, r.get_varint());
+    if (v > std::numeric_limits<T>::max())
+      return err(Errc::protocol_error, "varint out of range");
+    return static_cast<T>(v);
+  }
+};
+
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_signed_v<T> && std::is_integral_v<T>>> {
+  static void put(Writer& w, T v) { w.put_svarint(v); }
+  static Result<T> get(Reader& r) {
+    BERTHA_TRY_ASSIGN(v, r.get_svarint());
+    if (v > std::numeric_limits<T>::max() || v < std::numeric_limits<T>::min())
+      return err(Errc::protocol_error, "svarint out of range");
+    return static_cast<T>(v);
+  }
+};
+
+template <>
+struct Serde<bool> {
+  static void put(Writer& w, bool v) { w.put_bool(v); }
+  static Result<bool> get(Reader& r) { return r.get_bool(); }
+};
+
+template <>
+struct Serde<double> {
+  static void put(Writer& w, double v) { w.put_f64(v); }
+  static Result<double> get(Reader& r) { return r.get_f64(); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void put(Writer& w, const std::string& v) { w.put_string(v); }
+  static Result<std::string> get(Reader& r) { return r.get_string(); }
+};
+
+template <>
+struct Serde<Bytes> {
+  static void put(Writer& w, const Bytes& v) { w.put_bytes(v); }
+  static Result<Bytes> get(Reader& r) { return r.get_bytes(); }
+};
+
+template <typename T>
+struct Serde<std::vector<T>, std::enable_if_t<!std::is_same_v<T, uint8_t>>> {
+  static void put(Writer& w, const std::vector<T>& v) {
+    w.put_varint(v.size());
+    for (const auto& e : v) serde_put(w, e);
+  }
+  static Result<std::vector<T>> get(Reader& r) {
+    BERTHA_TRY_ASSIGN(n, r.get_varint());
+    if (n > r.remaining())  // each element is >= 1 byte
+      return err(Errc::protocol_error, "vector length exceeds input");
+    std::vector<T> v;
+    v.reserve(n);
+    for (uint64_t i = 0; i < n; i++) {
+      BERTHA_TRY_ASSIGN(e, serde_get<T>(r));
+      v.push_back(std::move(e));
+    }
+    return v;
+  }
+};
+
+template <typename K, typename V>
+struct Serde<std::map<K, V>> {
+  static void put(Writer& w, const std::map<K, V>& m) {
+    w.put_varint(m.size());
+    for (const auto& [k, v] : m) {
+      serde_put(w, k);
+      serde_put(w, v);
+    }
+  }
+  static Result<std::map<K, V>> get(Reader& r) {
+    BERTHA_TRY_ASSIGN(n, r.get_varint());
+    if (n > r.remaining())
+      return err(Errc::protocol_error, "map length exceeds input");
+    std::map<K, V> m;
+    for (uint64_t i = 0; i < n; i++) {
+      BERTHA_TRY_ASSIGN(k, serde_get<K>(r));
+      BERTHA_TRY_ASSIGN(v, serde_get<V>(r));
+      m.emplace(std::move(k), std::move(v));
+    }
+    return m;
+  }
+};
+
+template <typename T>
+struct Serde<std::optional<T>> {
+  static void put(Writer& w, const std::optional<T>& v) {
+    w.put_bool(v.has_value());
+    if (v) serde_put(w, *v);
+  }
+  static Result<std::optional<T>> get(Reader& r) {
+    BERTHA_TRY_ASSIGN(has, r.get_bool());
+    if (!has) return std::optional<T>{};
+    BERTHA_TRY_ASSIGN(v, serde_get<T>(r));
+    return std::optional<T>(std::move(v));
+  }
+};
+
+template <typename A, typename B>
+struct Serde<std::pair<A, B>> {
+  static void put(Writer& w, const std::pair<A, B>& v) {
+    serde_put(w, v.first);
+    serde_put(w, v.second);
+  }
+  static Result<std::pair<A, B>> get(Reader& r) {
+    BERTHA_TRY_ASSIGN(a, serde_get<A>(r));
+    BERTHA_TRY_ASSIGN(b, serde_get<B>(r));
+    return std::pair<A, B>(std::move(a), std::move(b));
+  }
+};
+
+}  // namespace bertha

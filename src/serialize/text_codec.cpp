@@ -1,0 +1,62 @@
+#include "serialize/text_codec.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bertha {
+
+namespace {
+const char kHex[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+}  // namespace
+
+Bytes text_encode(BytesView binary) {
+  char header[32];
+  int hlen = std::snprintf(header, sizeof(header), "TXT %zu\n", binary.size());
+  Bytes out;
+  out.reserve(static_cast<size_t>(hlen) + binary.size() * 2);
+  out.insert(out.end(), header, header + hlen);
+  for (uint8_t b : binary) {
+    out.push_back(static_cast<uint8_t>(kHex[b >> 4]));
+    out.push_back(static_cast<uint8_t>(kHex[b & 0xf]));
+  }
+  return out;
+}
+
+Result<Bytes> text_decode(BytesView text) {
+  if (text.size() < 6 || std::memcmp(text.data(), "TXT ", 4) != 0)
+    return err(Errc::protocol_error, "missing TXT header");
+  size_t i = 4;
+  size_t len = 0;
+  bool any = false;
+  while (i < text.size() && text[i] != '\n') {
+    if (text[i] < '0' || text[i] > '9')
+      return err(Errc::protocol_error, "bad TXT length");
+    len = len * 10 + static_cast<size_t>(text[i] - '0');
+    if (len > (1u << 26))
+      return err(Errc::protocol_error, "TXT length too large");
+    any = true;
+    i++;
+  }
+  if (!any || i == text.size())
+    return err(Errc::protocol_error, "truncated TXT header");
+  i++;  // consume '\n'
+  if (text.size() - i != len * 2)
+    return err(Errc::protocol_error, "TXT body length mismatch");
+  Bytes out;
+  out.reserve(len);
+  for (size_t j = 0; j < len; j++) {
+    int hi = nibble(static_cast<char>(text[i + 2 * j]));
+    int lo = nibble(static_cast<char>(text[i + 2 * j + 1]));
+    if (hi < 0 || lo < 0) return err(Errc::protocol_error, "bad TXT hex");
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace bertha

@@ -1,0 +1,20 @@
+// Textual wire encoding: the deliberately-portable, deliberately-slow
+// fallback serializer.
+//
+// The serialization chunnel (§3.2 of the paper) demonstrates that an
+// application can pick up a faster serializer with no code change. This
+// codec is the "before": it re-encodes the compact binary frame as
+// hex text with a decimal length header ("TXT <len>\n<hex>"), costing
+// character-level processing and ~2x size — analogous to a JSON/text
+// protocol versus bincode.
+#pragma once
+
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+Bytes text_encode(BytesView binary);
+Result<Bytes> text_decode(BytesView text);
+
+}  // namespace bertha

@@ -1,0 +1,57 @@
+#include "sim/simnic.hpp"
+
+namespace bertha {
+
+Result<std::unique_ptr<SimNic>> SimNic::create(DiscoveryPtr discovery,
+                                               Config cfg) {
+  if (!discovery) return err(Errc::invalid_argument, "SimNic needs discovery");
+  auto nic =
+      std::unique_ptr<SimNic>(new SimNic(std::move(discovery), cfg));
+  BERTHA_TRY(nic->discovery_->set_pool(nic->crypto_pool(), cfg.crypto_engines));
+  return nic;
+}
+
+Result<void> SimNic::advertise_offloads() {
+  ImplInfo crypt;
+  crypt.type = "encrypt";
+  crypt.name = "encrypt/nic";
+  crypt.scope = Scope::host;
+  crypt.endpoints = EndpointConstraint::server;
+  crypt.priority = 10;
+  crypt.resources = {ResourceReq{crypto_pool(), 1}};
+  crypt.props["device"] = cfg_.name;
+  crypt.props["offloadable"] = "true";
+  BERTHA_TRY(discovery_->register_impl(crypt));
+
+  ImplInfo tcp;
+  tcp.type = "tcpish";
+  tcp.name = "tcpish/nic";
+  tcp.scope = Scope::host;
+  tcp.endpoints = EndpointConstraint::server;
+  tcp.priority = 10;
+  tcp.props["device"] = cfg_.name;
+  tcp.props["offloadable"] = "true";
+  BERTHA_TRY(discovery_->register_impl(tcp));
+
+  ImplInfo tls;
+  tls.type = "tls";
+  tls.name = "tls/nic";
+  tls.scope = Scope::host;
+  tls.endpoints = EndpointConstraint::server;
+  tls.priority = 15;  // the merged engine is preferred when usable
+  tls.resources = {ResourceReq{crypto_pool(), 1}};
+  tls.props["device"] = cfg_.name;
+  tls.props["offloadable"] = "true";
+  BERTHA_TRY(discovery_->register_impl(tls));
+  return ok();
+}
+
+Duration SimNic::record_pcie_transfer(size_t bytes) {
+  pcie_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  pcie_transfers_.fetch_add(1, std::memory_order_relaxed);
+  auto per_byte = cfg_.pcie_per_kib.count() / 1024.0;
+  return cfg_.pcie_setup +
+         Duration(static_cast<int64_t>(per_byte * static_cast<double>(bytes)));
+}
+
+}  // namespace bertha

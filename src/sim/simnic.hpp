@@ -1,0 +1,66 @@
+// SimNic: a simulated SmartNIC with a PCIe cost model.
+//
+// Stands in for the SmartNIC offloads of paper §6: a crypto engine, a
+// TCP engine, and a combined TLS engine, behind a PCIe link whose
+// traffic the DAG-optimizer benchmark accounts for. It also owns a
+// bounded pool of crypto engines, so negotiation exercises per-
+// connection resource admission (an engine is reserved for each
+// connection that binds the NIC crypto implementation).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "core/discovery.hpp"
+#include "util/clock.hpp"
+
+namespace bertha {
+
+class SimNic {
+ public:
+  struct Config {
+    std::string name = "nic0";
+    uint64_t crypto_engines = 4;
+    // PCIe model: time to move one KiB across the bus (both directions
+    // cost the same) plus a fixed per-transfer DMA setup cost.
+    Duration pcie_per_kib = us(2);
+    Duration pcie_setup = us(1);
+  };
+
+  static Result<std::unique_ptr<SimNic>> create(DiscoveryPtr discovery,
+                                                Config cfg);
+
+  // Registers the NIC's offload catalogue with discovery:
+  //   encrypt/nic  (priority 10, consumes one crypto engine per conn)
+  //   tcpish/nic   (priority 10)
+  //   tls/nic      (priority 15; the merged encrypt+tcpish engine)
+  Result<void> advertise_offloads();
+
+  // --- PCIe accounting (used by offloaded data paths and benches) ---
+  // Records a host<->NIC transfer and returns the modeled bus delay.
+  Duration record_pcie_transfer(size_t bytes);
+  uint64_t pcie_bytes_transferred() const {
+    return pcie_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t pcie_transfers() const {
+    return pcie_transfers_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() {
+    pcie_bytes_.store(0, std::memory_order_relaxed);
+    pcie_transfers_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return cfg_.name; }
+  std::string crypto_pool() const { return cfg_.name + ".crypto_engines"; }
+
+ private:
+  SimNic(DiscoveryPtr discovery, Config cfg)
+      : discovery_(std::move(discovery)), cfg_(cfg) {}
+
+  DiscoveryPtr discovery_;
+  Config cfg_;
+  std::atomic<uint64_t> pcie_bytes_{0};
+  std::atomic<uint64_t> pcie_transfers_{0};
+};
+
+}  // namespace bertha

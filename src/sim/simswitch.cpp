@@ -1,0 +1,123 @@
+#include "sim/simswitch.hpp"
+
+#include "util/log.hpp"
+
+namespace bertha {
+
+Result<std::unique_ptr<SimSwitch>> SimSwitch::create(
+    std::shared_ptr<SimNet> net, DiscoveryPtr discovery, Config cfg) {
+  if (!net || !discovery)
+    return err(Errc::invalid_argument, "SimSwitch needs a net and discovery");
+  auto sw = std::unique_ptr<SimSwitch>(
+      new SimSwitch(std::move(net), std::move(discovery), cfg));
+  BERTHA_TRY(sw->discovery_->set_pool(sw->slot_pool(), cfg.sequencer_slots));
+  BERTHA_TRY(sw->discovery_->set_pool(sw->match_action_pool(),
+                                      cfg.match_action_slots));
+  return sw;
+}
+
+Result<Addr> SimSwitch::install_sequencer_group(const std::string& group,
+                                                uint16_t port,
+                                                std::vector<Addr> members,
+                                                uint64_t initial_seq) {
+  // Admission: one sequencer slot per installed group.
+  BERTHA_TRY_ASSIGN(alloc,
+                    discovery_->acquire({ResourceReq{slot_pool(), 1}}));
+
+  auto created = net_->create_group(group, port, members, /*hw_sequencer=*/true,
+                                    initial_seq);
+  if (!created.ok()) {
+    (void)discovery_->release(alloc);
+    return created.error();
+  }
+  Addr gaddr = Addr::sim(group, port);
+
+  // Advertise the offload. The impl name is unique per group so several
+  // groups can coexist; the ordered_mcast chunnel keys off props.
+  ImplInfo info;
+  info.type = "ordered_mcast";
+  info.name = "ordered_mcast/switch:" + gaddr.to_string();
+  info.scope = Scope::rack;
+  info.endpoints = EndpointConstraint::server;
+  info.priority = 20;  // hardware beats software sequencers
+  info.props["group_addr"] = gaddr.to_string();
+  info.props["sequencer"] = "switch";
+  info.props["instance"] = group;  // serves only this application group
+  info.props["switch"] = cfg_.name;
+  auto reg = discovery_->register_impl(info);
+  if (!reg.ok()) {
+    net_->remove_group(group, port);
+    (void)discovery_->release(alloc);
+    return reg.error();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    groups_[gaddr] = {info.name, alloc};
+  }
+  BLOG(info, "simswitch") << cfg_.name << " installed sequencer group "
+                          << gaddr.to_string();
+  return gaddr;
+}
+
+Result<void> SimSwitch::remove_sequencer_group(const std::string& group,
+                                               uint16_t port) {
+  Addr gaddr = Addr::sim(group, port);
+  std::string impl_name;
+  uint64_t alloc = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = groups_.find(gaddr);
+    if (it == groups_.end())
+      return err(Errc::not_found, "no such group: " + gaddr.to_string());
+    impl_name = it->second.first;
+    alloc = it->second.second;
+    groups_.erase(it);
+  }
+  net_->remove_group(group, port);
+  (void)discovery_->unregister_impl("ordered_mcast", impl_name);
+  return discovery_->release(alloc);
+}
+
+Result<Addr> SimSwitch::install_match_action(
+    const std::string& vip, uint16_t port,
+    std::function<Result<Addr>(BytesView)> steer) {
+  BERTHA_TRY_ASSIGN(alloc,
+                    discovery_->acquire({ResourceReq{match_action_pool(), 1}}));
+  Addr vaddr = Addr::sim(vip, port);
+  auto installed = net_->install_program(vaddr, std::move(steer));
+  if (!installed.ok()) {
+    (void)discovery_->release(alloc);
+    return installed.error();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    match_actions_[vaddr] = alloc;
+  }
+  BLOG(info, "simswitch") << cfg_.name << " installed match-action program at "
+                          << vaddr.to_string();
+  return vaddr;
+}
+
+Result<void> SimSwitch::remove_match_action(const std::string& vip,
+                                            uint16_t port) {
+  Addr vaddr = Addr::sim(vip, port);
+  uint64_t alloc = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = match_actions_.find(vaddr);
+    if (it == match_actions_.end())
+      return err(Errc::not_found, "no program at " + vaddr.to_string());
+    alloc = it->second;
+    match_actions_.erase(it);
+  }
+  net_->remove_program(vaddr);
+  return discovery_->release(alloc);
+}
+
+uint64_t SimSwitch::groups_installed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return groups_.size();
+}
+
+}  // namespace bertha

@@ -1,0 +1,85 @@
+// SimSwitch: a simulated programmable (Tofino-style) switch.
+//
+// Stands in for the in-network sequencer hardware of NOPaxos/Speculative
+// Paxos that the ordered_mcast chunnel offloads to (paper §3.2,
+// "Network-Assisted Consensus"). The switch:
+//
+//  * owns a bounded number of sequencer program slots (the §6 scheduling
+//    example: "the switch only has capacity for one"),
+//  * installs hardware-sequenced multicast groups into a SimNet (the
+//    actual stamping happens in SimNet's delivery path, modeling the
+//    switch ASIC rewriting packets at line rate with no extra hop),
+//  * advertises each installed group to the Bertha discovery service as
+//    an "ordered_mcast/switch" implementation with the group address in
+//    its props.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "core/discovery.hpp"
+#include "net/simnet.hpp"
+
+namespace bertha {
+
+class SimSwitch {
+ public:
+  struct Config {
+    std::string name = "switch0";
+    uint64_t sequencer_slots = 1;
+    uint64_t match_action_slots = 4;
+  };
+
+  // Creates the switch and its resource pool in the discovery service.
+  static Result<std::unique_ptr<SimSwitch>> create(
+      std::shared_ptr<SimNet> net, DiscoveryPtr discovery, Config cfg);
+
+  // Installs a hardware-sequenced multicast group, consuming one
+  // sequencer slot. Fails with resource_exhausted when the switch is
+  // full. On success the group is registered with discovery and packets
+  // sent to the returned address reach every member stamped with a
+  // global sequence number starting at `initial_seq` — when taking over
+  // an existing group from another sequencer, pass its next sequence
+  // number so replicas see a continuous stream (the view-change duty a
+  // real consensus protocol performs).
+  Result<Addr> install_sequencer_group(const std::string& group, uint16_t port,
+                                       std::vector<Addr> members,
+                                       uint64_t initial_seq = 0);
+
+  // Removes the group, releases its slot and discovery entry.
+  Result<void> remove_sequencer_group(const std::string& group, uint16_t port);
+
+  // Installs a generic match-action steering program on a virtual
+  // address (the P4 model: packets to the VIP are redirected in transit
+  // by `steer`, no extra hop), consuming one match-action slot. Callers
+  // that want the offload negotiable also register a discovery entry —
+  // see install_switch_shard_offload in chunnels/shard.hpp for the
+  // paper's Fig-1 "P4 Sharding Implementation".
+  Result<Addr> install_match_action(
+      const std::string& vip, uint16_t port,
+      std::function<Result<Addr>(BytesView)> steer);
+  Result<void> remove_match_action(const std::string& vip, uint16_t port);
+  uint64_t steered(const Addr& vip) const { return net_->program_hits(vip); }
+
+  const std::string& name() const { return cfg_.name; }
+  std::string slot_pool() const { return cfg_.name + ".sequencer_slots"; }
+  std::string match_action_pool() const {
+    return cfg_.name + ".match_action_slots";
+  }
+  uint64_t groups_installed() const;
+
+ private:
+  SimSwitch(std::shared_ptr<SimNet> net, DiscoveryPtr discovery, Config cfg)
+      : net_(std::move(net)), discovery_(std::move(discovery)), cfg_(cfg) {}
+
+  std::shared_ptr<SimNet> net_;
+  DiscoveryPtr discovery_;
+  Config cfg_;
+  mutable std::mutex mu_;
+  // group addr -> discovery impl name + slot allocation id
+  std::map<Addr, std::pair<std::string, uint64_t>> groups_;
+  // vip addr -> slot allocation id
+  std::map<Addr, uint64_t> match_actions_;
+};
+
+}  // namespace bertha

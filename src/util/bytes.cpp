@@ -1,0 +1,19 @@
+#include "util/bytes.hpp"
+
+namespace bertha {
+
+std::string hex_dump(BytesView b, size_t max) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  size_t n = std::min(b.size(), max);
+  out.reserve(n * 3);
+  for (size_t i = 0; i < n; i++) {
+    if (i) out.push_back(' ');
+    out.push_back(kHex[b[i] >> 4]);
+    out.push_back(kHex[b[i] & 0xf]);
+  }
+  if (b.size() > max) out += " ...";
+  return out;
+}
+
+}  // namespace bertha

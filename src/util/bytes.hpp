@@ -1,0 +1,58 @@
+// Byte-buffer helpers used throughout the data path.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bertha {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+// Fixed-width little-endian encode/append.
+inline void put_u16_le(Bytes& b, uint16_t v) {
+  b.push_back(static_cast<uint8_t>(v));
+  b.push_back(static_cast<uint8_t>(v >> 8));
+}
+inline void put_u32_le(Bytes& b, uint32_t v) {
+  for (int i = 0; i < 4; i++) b.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+inline void put_u64_le(Bytes& b, uint64_t v) {
+  for (int i = 0; i < 8; i++) b.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+// Fixed-width little-endian decode at an offset the caller has bounds-checked.
+inline uint16_t get_u16_le(BytesView b, size_t off) {
+  return static_cast<uint16_t>(b[off]) | static_cast<uint16_t>(b[off + 1]) << 8;
+}
+inline uint32_t get_u32_le(BytesView b, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; i++) v |= static_cast<uint32_t>(b[off + i]) << (8 * i);
+  return v;
+}
+inline uint64_t get_u64_le(BytesView b, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) v |= static_cast<uint64_t>(b[off + i]) << (8 * i);
+  return v;
+}
+
+// Debugging aid: "de ad be ef" (at most `max` bytes, then "...").
+std::string hex_dump(BytesView b, size_t max = 64);
+
+}  // namespace bertha

@@ -1,0 +1,9 @@
+#include "util/clock.hpp"
+
+#include <thread>
+
+namespace bertha {
+
+void sleep_for(Duration d) { std::this_thread::sleep_for(d); }
+
+}  // namespace bertha

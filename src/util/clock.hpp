@@ -1,0 +1,72 @@
+// Time utilities: nanosecond durations, deadlines, and monotonic time.
+//
+// All bertha blocking calls take a Deadline; Deadline::never() means "block
+// until the operation completes or the owner closes".
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace bertha {
+
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+inline TimePoint now() { return std::chrono::steady_clock::now(); }
+
+inline constexpr Duration ns(int64_t v) { return Duration(v); }
+inline constexpr Duration us(int64_t v) { return std::chrono::microseconds(v); }
+inline constexpr Duration ms(int64_t v) { return std::chrono::milliseconds(v); }
+inline constexpr Duration seconds(int64_t v) { return std::chrono::seconds(v); }
+
+// A point in time after which a blocking call gives up with Errc::timed_out.
+class Deadline {
+ public:
+  // Blocks forever (until success or close()).
+  static Deadline never() { return Deadline(); }
+  // Expires `d` from now.
+  static Deadline after(Duration d) { return Deadline(now() + d); }
+  // Expires at an absolute steady-clock time.
+  static Deadline at(TimePoint tp) { return Deadline(tp); }
+
+  bool is_never() const { return !when_.has_value(); }
+  bool expired() const { return when_.has_value() && now() >= *when_; }
+
+  // Remaining time; Duration::max() when never.
+  Duration remaining() const {
+    if (!when_) return Duration::max();
+    auto r = *when_ - now();
+    return r.count() > 0 ? r : Duration::zero();
+  }
+
+  // Absolute expiry for condition_variable::wait_until; a far-future point
+  // when never.
+  TimePoint as_time_point() const {
+    if (when_) return *when_;
+    return now() + std::chrono::hours(24 * 365);
+  }
+
+ private:
+  Deadline() = default;
+  explicit Deadline(TimePoint tp) : when_(tp) {}
+  std::optional<TimePoint> when_;
+};
+
+// Busy-measurement helper: elapsed wall time since construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now()) {}
+  void reset() { start_ = now(); }
+  Duration elapsed() const { return now() - start_; }
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(elapsed()).count();
+  }
+
+ private:
+  TimePoint start_;
+};
+
+void sleep_for(Duration d);
+
+}  // namespace bertha

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace bertha {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* e = std::getenv("BERTHA_LOG");
+  if (!e) return LogLevel::warn;
+  std::string_view s(e);
+  if (s == "trace") return LogLevel::trace;
+  if (s == "debug") return LogLevel::debug;
+  if (s == "info") return LogLevel::info;
+  if (s == "warn") return LogLevel::warn;
+  if (s == "error") return LogLevel::error;
+  if (s == "off") return LogLevel::off;
+  return LogLevel::warn;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::mutex g_emit_mu;
+
+const char* level_tag(LogLevel l) {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel lvl, std::string_view component, std::string_view msg) {
+  if (lvl < log_level()) return;
+  using namespace std::chrono;
+  auto us = duration_cast<microseconds>(steady_clock::now().time_since_epoch())
+                .count();
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::fprintf(stderr, "[%10lld.%06lld] [%s] [%.*s] %.*s\n",
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), level_tag(lvl),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace bertha

@@ -1,0 +1,50 @@
+// Leveled logging to stderr.
+//
+// Logging is off by default above `warn` so benchmarks are not perturbed;
+// set the level with set_log_level() or the BERTHA_LOG environment variable
+// (trace|debug|info|warn|error|off).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace bertha {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+void set_log_level(LogLevel lvl);
+LogLevel log_level();
+
+// Internal: emit one line ("[level] [component] message") with a timestamp.
+void log_line(LogLevel lvl, std::string_view component, std::string_view msg);
+
+namespace detail {
+// Builds the message with an ostringstream; destructor emits it.
+class LogMessage {
+ public:
+  LogMessage(LogLevel lvl, std::string_view component)
+      : lvl_(lvl), component_(component) {}
+  ~LogMessage() { log_line(lvl_, component_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace bertha
+
+// Usage: BLOG(info, "discovery") << "registered " << name;
+#define BLOG(level, component)                                    \
+  if (::bertha::LogLevel::level >= ::bertha::log_level())         \
+  ::bertha::detail::LogMessage(::bertha::LogLevel::level, component)

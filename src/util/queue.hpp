@@ -1,0 +1,98 @@
+// Blocking multi-producer multi-consumer queue with deadlines and close().
+//
+// This is the backbone of every in-process transport and demux layer:
+// closing a queue wakes all blocked consumers with Errc::cancelled, which
+// is how connection close propagates through a chunnel stack.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  // Enqueue. Fails with resource_exhausted if a capacity is set and the
+  // queue is full (bounded queues drop rather than block: transports are
+  // datagram-like), or cancelled if closed.
+  Result<void> push(T item) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "queue closed");
+      if (capacity_ != 0 && q_.size() >= capacity_)
+        return err(Errc::resource_exhausted, "queue full");
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return ok();
+  }
+
+  // Dequeue, blocking until an item arrives, the deadline expires, or the
+  // queue is closed (and drained).
+  Result<T> pop(Deadline deadline = Deadline::never()) {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (q_.empty()) {
+      if (closed_) return err(Errc::cancelled, "queue closed");
+      if (deadline.is_never()) {
+        cv_.wait(lk);
+      } else {
+        if (cv_.wait_until(lk, deadline.as_time_point()) ==
+                std::cv_status::timeout &&
+            q_.empty()) {
+          if (closed_) return err(Errc::cancelled, "queue closed");
+          return err(Errc::timed_out, "queue pop deadline expired");
+        }
+      }
+    }
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  // Non-blocking dequeue.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return std::nullopt;
+    T item = std::move(q_.front());
+    q_.pop_front();
+    return item;
+  }
+
+  // Wake all waiters; subsequent pushes fail. Items already queued are
+  // still drained by pop().
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> q_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace bertha

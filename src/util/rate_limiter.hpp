@@ -1,0 +1,57 @@
+// Token-bucket rate limiter used by the load-generating benchmark clients
+// (Fig 5's offered-load sweep) and by SimNet's bandwidth model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace bertha {
+
+// Not thread-safe: each generator thread owns its own limiter.
+class TokenBucket {
+ public:
+  // rate: tokens per second; burst: bucket depth.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst), last_(now()) {}
+
+  // Consume n tokens, sleeping until they are available.
+  void acquire(double n = 1.0) {
+    refill();
+    while (tokens_ < n) {
+      double deficit = n - tokens_;
+      auto wait = std::chrono::duration_cast<Duration>(
+          std::chrono::duration<double>(deficit / rate_));
+      sleep_for(std::max<Duration>(wait, us(1)));
+      refill();
+    }
+    tokens_ -= n;
+  }
+
+  // Consume n tokens if available now; returns false (and consumes
+  // nothing) otherwise.
+  bool try_acquire(double n = 1.0) {
+    refill();
+    if (tokens_ < n) return false;
+    tokens_ -= n;
+    return true;
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  void refill() {
+    auto t = now();
+    double dt = std::chrono::duration<double>(t - last_).count();
+    last_ = t;
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  TimePoint last_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,33 @@
+#include "util/result.hpp"
+
+namespace bertha {
+
+std::string_view errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::unavailable: return "unavailable";
+    case Errc::timed_out: return "timed_out";
+    case Errc::connection_failed: return "connection_failed";
+    case Errc::protocol_error: return "protocol_error";
+    case Errc::incompatible: return "incompatible";
+    case Errc::io_error: return "io_error";
+    case Errc::cancelled: return "cancelled";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s(errc_name(code));
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+}  // namespace bertha

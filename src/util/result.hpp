@@ -1,0 +1,129 @@
+// Result<T> / Error: the library-wide error channel.
+//
+// bertha-cpp does not throw exceptions on the data path. Every operation
+// that can fail returns Result<T>, which holds either a value or an Error
+// (a code from Errc plus a human-readable message). This mirrors the
+// Rust prototype's use of Result and keeps failure handling explicit at
+// every call site.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace bertha {
+
+// Error codes, loosely modeled on absl::StatusCode / POSIX errno classes.
+enum class Errc {
+  ok = 0,
+  invalid_argument,    // caller passed something malformed
+  not_found,           // named entity does not exist
+  already_exists,      // named entity exists and must not
+  resource_exhausted,  // a capacity pool or queue is full
+  unavailable,         // transient: peer/service not reachable right now
+  timed_out,           // deadline expired
+  connection_failed,   // establishment (dial/negotiate) failed
+  protocol_error,      // malformed wire message
+  incompatible,        // negotiation found no mutually usable configuration
+  io_error,            // OS-level I/O failure
+  cancelled,           // operation aborted because the owner is closing
+  internal,            // invariant violation inside bertha itself
+};
+
+// Human-readable name for an error code ("timed_out", ...).
+std::string_view errc_name(Errc c);
+
+// An error: a code plus context. Cheap to move, fine to copy.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg) : code(c), message(std::move(msg)) {}
+
+  // "timed_out: recv deadline expired"
+  std::string to_string() const;
+};
+
+inline Error err(Errc c, std::string msg) { return Error(c, std::move(msg)); }
+
+// Result<T>: either a T or an Error. A minimal tl::expected-like type;
+// Result<void> is specialized below.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Error e) : rep_(std::move(e)) {}      // NOLINT: implicit by design
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  // Preconditions: ok() for value(), !ok() for error().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(rep_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+  // Monadic map: apply f to the value, pass errors through.
+  template <typename F>
+  auto map(F&& f) && -> Result<decltype(f(std::declval<T&&>()))> {
+    if (!ok()) return std::get<Error>(std::move(rep_));
+    return f(std::get<T>(std::move(rep_)));
+  }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error e) : err_(std::move(e)), has_err_(true) {}  // NOLINT
+
+  bool ok() const { return !has_err_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(has_err_);
+    return err_;
+  }
+
+ private:
+  Error err_;
+  bool has_err_ = false;
+};
+
+inline Result<void> ok() { return Result<void>(); }
+
+}  // namespace bertha
+
+// Propagate an error from an expression returning Result<void>.
+#define BERTHA_TRY(expr)                                \
+  do {                                                  \
+    auto bertha_try_tmp_ = (expr);                      \
+    if (!bertha_try_tmp_.ok()) return bertha_try_tmp_.error(); \
+  } while (0)
+
+// Evaluate a Result<T> expression; on success bind the value to `var`,
+// on failure propagate the error. Uses a GNU statement expression (we
+// target GCC/Clang on Linux).
+#define BERTHA_TRY_ASSIGN(var, expr)                 \
+  auto var##_res_ = (expr);                          \
+  if (!var##_res_.ok()) return var##_res_.error();   \
+  auto var = std::move(var##_res_).value()

@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace bertha {
+
+std::string Summary::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2f min=%.2f p5=%.2f p25=%.2f p50=%.2f "
+                "p75=%.2f p95=%.2f p99=%.2f max=%.2f",
+                count, mean, min, p5, p25, p50, p75, p95, p99, max);
+  return buf;
+}
+
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) return 0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+Summary SampleSet::summarize() const {
+  Summary s;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  auto pct = [&](double q) {
+    double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  };
+  s.count = sorted.size();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p5 = pct(5);
+  s.p25 = pct(25);
+  s.p50 = pct(50);
+  s.p75 = pct(75);
+  s.p95 = pct(95);
+  s.p99 = pct(99);
+  return s;
+}
+
+LogHistogram::LogHistogram()
+    : buckets_(static_cast<size_t>(kBucketsPerOctave) * kOctaves, 0) {}
+
+int LogHistogram::bucket_for(double v) const {
+  if (v < 1.0) return 0;
+  double l = std::log2(v);
+  int idx = static_cast<int>(l * kBucketsPerOctave);
+  return std::min(idx, static_cast<int>(buckets_.size()) - 1);
+}
+
+double LogHistogram::bucket_value(int i) const {
+  // Midpoint of the bucket in log space.
+  return std::exp2((static_cast<double>(i) + 0.5) / kBucketsPerOctave);
+}
+
+void LogHistogram::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  buckets_[static_cast<size_t>(bucket_for(v))]++;
+  count_++;
+  sum_ += v;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); i++) buckets_[i] += other.buckets_[i];
+  if (other.count_) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  uint64_t target =
+      static_cast<uint64_t>(q / 100.0 * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen > target) {
+      double v = bucket_value(static_cast<int>(i));
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace bertha

@@ -1,0 +1,171 @@
+// Tests for the Chunnel DAG: construction, validation, chain extraction,
+// wire round trips.
+#include <gtest/gtest.h>
+
+#include "core/dag.hpp"
+
+namespace bertha {
+namespace {
+
+ChunnelArgs args_of(std::map<std::string, std::string> kv) {
+  return ChunnelArgs(std::move(kv));
+}
+
+TEST(DagTest, ChainBuilderCreatesLinearEdges) {
+  auto dag = wrap(ChunnelSpec("a"), ChunnelSpec("b"), ChunnelSpec("c"));
+  EXPECT_EQ(dag.size(), 3u);
+  ASSERT_TRUE(dag.validate().ok());
+  EXPECT_TRUE(dag.is_chain());
+  auto chain = dag.as_chain();
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain.value()[0].type, "a");
+  EXPECT_EQ(chain.value()[2].type, "c");
+}
+
+TEST(DagTest, EmptyDagIsValidChain) {
+  ChunnelDag dag = ChunnelDag::empty();
+  EXPECT_TRUE(dag.validate().ok());
+  EXPECT_TRUE(dag.is_chain());
+  EXPECT_TRUE(dag.as_chain().value().empty());
+  EXPECT_EQ(dag.to_string(), "(empty)");
+}
+
+TEST(DagTest, SingleNodeChain) {
+  auto dag = wrap(ChunnelSpec("only"));
+  EXPECT_TRUE(dag.is_chain());
+  EXPECT_EQ(dag.as_chain().value().size(), 1u);
+}
+
+TEST(DagTest, CycleDetected) {
+  ChunnelDag dag;
+  auto a = dag.add_node(ChunnelSpec("a"));
+  auto b = dag.add_node(ChunnelSpec("b"));
+  ASSERT_TRUE(dag.add_edge(a, b).ok());
+  ASSERT_TRUE(dag.add_edge(b, a).ok());
+  auto r = dag.validate();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("cycle"), std::string::npos);
+}
+
+TEST(DagTest, SelfLoopRejected) {
+  ChunnelDag dag;
+  auto a = dag.add_node(ChunnelSpec("a"));
+  EXPECT_FALSE(dag.add_edge(a, a).ok());
+}
+
+TEST(DagTest, OutOfRangeEdgeRejected) {
+  ChunnelDag dag;
+  dag.add_node(ChunnelSpec("a"));
+  EXPECT_FALSE(dag.add_edge(0, 5).ok());
+}
+
+TEST(DagTest, DuplicateEdgeRejected) {
+  ChunnelDag dag;
+  auto a = dag.add_node(ChunnelSpec("a"));
+  auto b = dag.add_node(ChunnelSpec("b"));
+  ASSERT_TRUE(dag.add_edge(a, b).ok());
+  ASSERT_TRUE(dag.add_edge(a, b).ok());  // added, caught by validate
+  EXPECT_FALSE(dag.validate().ok());
+}
+
+TEST(DagTest, EmptyTypeRejected) {
+  auto dag = wrap(ChunnelSpec(""));
+  EXPECT_FALSE(dag.validate().ok());
+}
+
+TEST(DagTest, BranchingIsValidButNotChain) {
+  // a -> b, a -> c : the Figure 2 shape.
+  ChunnelDag dag;
+  auto a = dag.add_node(ChunnelSpec("a"));
+  auto b = dag.add_node(ChunnelSpec("b"));
+  auto c = dag.add_node(ChunnelSpec("c"));
+  ASSERT_TRUE(dag.add_edge(a, b).ok());
+  ASSERT_TRUE(dag.add_edge(a, c).ok());
+  EXPECT_TRUE(dag.validate().ok());
+  EXPECT_FALSE(dag.is_chain());
+  EXPECT_FALSE(dag.as_chain().ok());
+}
+
+TEST(DagTest, DisconnectedNotChain) {
+  ChunnelDag dag;
+  dag.add_node(ChunnelSpec("a"));
+  dag.add_node(ChunnelSpec("b"));
+  EXPECT_TRUE(dag.validate().ok());
+  EXPECT_FALSE(dag.is_chain());
+}
+
+TEST(DagTest, SameTypesIgnoresArgs) {
+  auto d1 = wrap(ChunnelSpec("shard", args_of({{"shards", "x"}})),
+                 ChunnelSpec("reliable"));
+  auto d2 = wrap(ChunnelSpec("shard"), ChunnelSpec("reliable"));
+  auto d3 = wrap(ChunnelSpec("reliable"), ChunnelSpec("shard"));
+  EXPECT_TRUE(d1.same_types(d2));
+  EXPECT_FALSE(d1.same_types(d3));
+}
+
+TEST(DagTest, ToStringShowsPipeline) {
+  auto dag = wrap(ChunnelSpec("shard", args_of({{"field_offset", "10"}})),
+                  ChunnelSpec("reliable"));
+  EXPECT_EQ(dag.to_string(), "shard(field_offset=10) |> reliable");
+}
+
+TEST(DagTest, SerdeRoundTrip) {
+  auto dag = wrap(
+      ChunnelSpec("serialize", args_of({{"codec", "binary"}})),
+      ChunnelSpec("shard", args_of({{"shards", "udp://1.2.3.4:1"}}),
+                  Scope::host),
+      ChunnelSpec("reliable"));
+  Bytes b = serialize_to_bytes(dag);
+  auto got = deserialize_from_bytes<ChunnelDag>(b);
+  ASSERT_TRUE(got.ok()) << got.error().to_string();
+  EXPECT_EQ(got.value(), dag);
+  EXPECT_EQ(got.value().nodes()[1].scope_constraint, Scope::host);
+}
+
+TEST(DagTest, SerdeRejectsCycleOnDecode) {
+  ChunnelDag dag;
+  auto a = dag.add_node(ChunnelSpec("a"));
+  auto b = dag.add_node(ChunnelSpec("b"));
+  ASSERT_TRUE(dag.add_edge(a, b).ok());
+  ASSERT_TRUE(dag.add_edge(b, a).ok());
+  Bytes bytes = serialize_to_bytes(dag);
+  EXPECT_FALSE(deserialize_from_bytes<ChunnelDag>(bytes).ok());
+}
+
+TEST(ChunnelArgsTest, GettersAndMerge) {
+  ChunnelArgs a;
+  a.set("k", "v");
+  a.set_u64("n", 42);
+  EXPECT_EQ(a.get("k").value(), "v");
+  EXPECT_EQ(a.get_u64("n").value(), 42u);
+  EXPECT_FALSE(a.get("missing").ok());
+  EXPECT_EQ(a.get_or("missing", "d"), "d");
+  EXPECT_EQ(a.get_u64_or("missing", 7), 7u);
+  EXPECT_FALSE(a.get_u64("k").ok());  // "v" is not a number
+
+  ChunnelArgs b;
+  b.set("k", "override");
+  b.set("extra", "e");
+  ChunnelArgs m = a.merged_with(b);
+  EXPECT_EQ(m.get("k").value(), "override");
+  EXPECT_EQ(m.get("extra").value(), "e");
+  EXPECT_EQ(m.get_u64("n").value(), 42u);
+}
+
+TEST(ImplInfoTest, SerdeRoundTrip) {
+  ImplInfo info;
+  info.type = "shard";
+  info.name = "shard/xdp";
+  info.scope = Scope::host;
+  info.endpoints = EndpointConstraint::server;
+  info.priority = -3;
+  info.resources = {{"nic0.engines", 2}};
+  info.props = {{"device", "nic0"}};
+  Bytes b = serialize_to_bytes(info);
+  auto got = deserialize_from_bytes<ImplInfo>(b);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), info);
+}
+
+}  // namespace
+}  // namespace bertha

@@ -1,0 +1,215 @@
+// Tests for the registry, the discovery state (entries + resource
+// pools), and the discovery wire protocol (server + remote client over
+// an in-memory network).
+#include <gtest/gtest.h>
+
+#include "core/discovery.hpp"
+#include "net/memchan.hpp"
+
+namespace bertha {
+namespace {
+
+class FakeChunnel final : public ChunnelImpl {
+ public:
+  FakeChunnel(std::string type, std::string name, int prio = 0) {
+    info_.type = std::move(type);
+    info_.name = std::move(name);
+    info_.priority = prio;
+  }
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext&) override { return inner; }
+  Result<void> init() override {
+    inited = true;
+    return ok();
+  }
+  void teardown() override { torn_down = true; }
+
+  bool inited = false;
+  bool torn_down = false;
+
+ private:
+  ImplInfo info_;
+};
+
+TEST(RegistryTest, RegisterLookupUnregister) {
+  Registry reg;
+  auto impl = std::make_shared<FakeChunnel>("t", "t/x");
+  ASSERT_TRUE(reg.register_impl(impl).ok());
+  EXPECT_TRUE(impl->inited);
+  EXPECT_TRUE(reg.has("t", "t/x"));
+  EXPECT_TRUE(reg.lookup("t", "t/x").ok());
+  EXPECT_FALSE(reg.lookup("t", "t/y").ok());
+  EXPECT_FALSE(reg.lookup("u", "t/x").ok());
+  ASSERT_TRUE(reg.unregister_impl("t", "t/x").ok());
+  EXPECT_TRUE(impl->torn_down);
+  EXPECT_FALSE(reg.has("t", "t/x"));
+  EXPECT_FALSE(reg.unregister_impl("t", "t/x").ok());
+}
+
+TEST(RegistryTest, DuplicateRejected) {
+  Registry reg;
+  ASSERT_TRUE(reg.register_impl(std::make_shared<FakeChunnel>("t", "t/x")).ok());
+  auto r = reg.register_impl(std::make_shared<FakeChunnel>("t", "t/x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::already_exists);
+}
+
+TEST(RegistryTest, NullAndAnonymousRejected) {
+  Registry reg;
+  EXPECT_FALSE(reg.register_impl(nullptr).ok());
+  EXPECT_FALSE(reg.register_impl(std::make_shared<FakeChunnel>("", "")).ok());
+}
+
+TEST(RegistryTest, ParameterizedNameFallsBackToBase) {
+  Registry reg;
+  ASSERT_TRUE(
+      reg.register_impl(std::make_shared<FakeChunnel>("m", "m/switch")).ok());
+  // Instance-suffixed names resolve to the base factory.
+  EXPECT_TRUE(reg.lookup("m", "m/switch:sim://g:7").ok());
+  EXPECT_FALSE(reg.lookup("m", "m/other:sim://g:7").ok());
+}
+
+TEST(RegistryTest, TypesAndInfos) {
+  Registry reg;
+  ASSERT_TRUE(reg.register_impl(std::make_shared<FakeChunnel>("a", "a/1")).ok());
+  ASSERT_TRUE(reg.register_impl(std::make_shared<FakeChunnel>("a", "a/2")).ok());
+  ASSERT_TRUE(reg.register_impl(std::make_shared<FakeChunnel>("b", "b/1")).ok());
+  EXPECT_EQ(reg.types().size(), 2u);
+  EXPECT_EQ(reg.infos_for("a").size(), 2u);
+  EXPECT_EQ(reg.lookup_type("b").size(), 1u);
+  EXPECT_TRUE(reg.infos_for("zzz").empty());
+}
+
+TEST(DiscoveryStateTest, RegisterQueryUnregister) {
+  DiscoveryState state;
+  ImplInfo info;
+  info.type = "shard";
+  info.name = "shard/xdp";
+  ASSERT_TRUE(state.register_impl(info).ok());
+  auto entries = state.query("shard");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "shard/xdp");
+  EXPECT_TRUE(state.query("nope").value().empty());
+  ASSERT_TRUE(state.unregister_impl("shard", "shard/xdp").ok());
+  EXPECT_TRUE(state.query("shard").value().empty());
+}
+
+TEST(DiscoveryStateTest, ReRegistrationUpdates) {
+  DiscoveryState state;
+  ImplInfo info;
+  info.type = "t";
+  info.name = "t/x";
+  info.priority = 1;
+  ASSERT_TRUE(state.register_impl(info).ok());
+  info.priority = 9;
+  ASSERT_TRUE(state.register_impl(info).ok());
+  auto entries = state.query("t").value();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].priority, 9);
+}
+
+TEST(DiscoveryStateTest, ResourcePoolsAllOrNothing) {
+  DiscoveryState state;
+  ASSERT_TRUE(state.set_pool("switch.slots", 2).ok());
+  ASSERT_TRUE(state.set_pool("nic.engines", 1).ok());
+
+  auto a1 = state.acquire({{"switch.slots", 1}, {"nic.engines", 1}});
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(state.pool_in_use("switch.slots"), 1u);
+  EXPECT_EQ(state.pool_in_use("nic.engines"), 1u);
+
+  // nic.engines exhausted: the whole acquisition fails, leaving
+  // switch.slots untouched.
+  auto a2 = state.acquire({{"switch.slots", 1}, {"nic.engines", 1}});
+  ASSERT_FALSE(a2.ok());
+  EXPECT_EQ(a2.error().code, Errc::resource_exhausted);
+  EXPECT_EQ(state.pool_in_use("switch.slots"), 1u);
+
+  ASSERT_TRUE(state.release(a1.value()).ok());
+  EXPECT_EQ(state.pool_in_use("switch.slots"), 0u);
+  EXPECT_EQ(state.pool_in_use("nic.engines"), 0u);
+  EXPECT_FALSE(state.release(a1.value()).ok());  // double release
+}
+
+TEST(DiscoveryStateTest, UnknownPoolFails) {
+  DiscoveryState state;
+  auto r = state.acquire({{"ghost", 1}});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+}
+
+TEST(DiscoveryStateTest, CapacityQueryable) {
+  DiscoveryState state;
+  ASSERT_TRUE(state.set_pool("p", 5).ok());
+  EXPECT_EQ(state.pool_capacity("p"), 5u);
+  EXPECT_EQ(state.pool_capacity("q"), 0u);
+}
+
+// --- wire protocol ---
+
+class RemoteDiscoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = MemNetwork::create();
+    state_ = std::make_shared<DiscoveryState>();
+    auto st = net_->bind(Addr::mem("discovery", 1));
+    ASSERT_TRUE(st.ok());
+    server_ = std::make_unique<DiscoveryServer>(std::move(st).value(), state_);
+    auto ct = net_->bind(Addr::mem("client", 0));
+    ASSERT_TRUE(ct.ok());
+    client_ = std::make_unique<RemoteDiscovery>(std::move(ct).value(),
+                                                server_->addr());
+  }
+
+  std::shared_ptr<MemNetwork> net_;
+  std::shared_ptr<DiscoveryState> state_;
+  std::unique_ptr<DiscoveryServer> server_;
+  std::unique_ptr<RemoteDiscovery> client_;
+};
+
+TEST_F(RemoteDiscoveryTest, RegisterAndQueryOverTheWire) {
+  ImplInfo info;
+  info.type = "encrypt";
+  info.name = "encrypt/nic";
+  info.priority = 10;
+  info.props["device"] = "nic0";
+  ASSERT_TRUE(client_->register_impl(info).ok());
+  auto entries = client_->query("encrypt");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0], info);
+  EXPECT_GE(server_->requests_served(), 2u);
+}
+
+TEST_F(RemoteDiscoveryTest, AcquireReleaseOverTheWire) {
+  ASSERT_TRUE(client_->set_pool("pool", 1).ok());
+  auto a = client_->acquire({{"pool", 1}});
+  ASSERT_TRUE(a.ok());
+  auto b = client_->acquire({{"pool", 1}});
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.error().code, Errc::resource_exhausted);
+  ASSERT_TRUE(client_->release(a.value()).ok());
+  EXPECT_TRUE(client_->acquire({{"pool", 1}}).ok());
+}
+
+TEST_F(RemoteDiscoveryTest, ErrorsPropagateWithCode) {
+  auto r = client_->unregister_impl("ghost", "ghost/x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+}
+
+TEST_F(RemoteDiscoveryTest, UnreachableServerTimesOut) {
+  auto ct = net_->bind(Addr::mem("client2", 0));
+  ASSERT_TRUE(ct.ok());
+  RemoteDiscovery::Options opts;
+  opts.rpc_timeout = ms(30);
+  opts.retries = 1;
+  RemoteDiscovery lost(std::move(ct).value(), Addr::mem("nowhere", 9), opts);
+  auto r = lost.query("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::unavailable);
+}
+
+}  // namespace
+}  // namespace bertha

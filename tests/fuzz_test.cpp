@@ -1,0 +1,252 @@
+// Robustness suite: every wire-facing decoder is fed random bytes,
+// truncations of valid messages, and bit-flipped valid messages — none
+// may crash, hang, or return success on corrupted framing where
+// integrity is checked; live listeners must survive adversarial
+// datagrams and keep serving.
+#include <gtest/gtest.h>
+
+#include "apps/kvproto.hpp"
+#include "chunnels/ordered_mcast.hpp"
+#include "chunnels/shard.hpp"
+#include "core/negotiation.hpp"
+#include "core/wire.hpp"
+#include "serialize/text_codec.hpp"
+#include "test_helpers.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+namespace {
+
+using testing_support::TestWorld;
+
+Bytes random_bytes(Rng& rng, size_t max_len) {
+  Bytes b(rng.next_below(max_len + 1));
+  for (auto& x : b) x = static_cast<uint8_t>(rng.next_below(256));
+  return b;
+}
+
+// Each decoder consumed without crashing == pass; results are ignored.
+class DecoderFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 500; iter++) {
+    Bytes data = random_bytes(rng, 512);
+    (void)decode_frame(data);
+    (void)decode_hello(data);
+    (void)decode_accept(data);
+    (void)decode_reject(data);
+    (void)decode_kv_request(data);
+    (void)decode_kv_response(data);
+    (void)parse_shard_frame(data);
+    (void)parse_mcast_frame(data);
+    (void)parse_sequenced_mcast(data);
+    (void)text_decode(data);
+    (void)deserialize_from_bytes<ChunnelDag>(data);
+    (void)deserialize_from_bytes<ImplInfo>(data);
+    (void)Addr::parse(to_string(data));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Every strict prefix of a valid message must decode to an error (or a
+// benign success for self-delimiting prefixes), never crash.
+TEST(TruncationFuzz, HelloMessagePrefixes) {
+  HelloMsg hello;
+  hello.endpoint_name = "victim";
+  hello.host_id = "h";
+  hello.process_id = "p";
+  hello.dag = wrap(ChunnelSpec("reliable"), ChunnelSpec("serialize"));
+  ImplInfo info;
+  info.type = "reliable";
+  info.name = "reliable/arq";
+  info.resources = {{"pool", 2}};
+  info.props = {{"k", "v"}};
+  hello.offers["reliable"] = {info};
+  Bytes full = encode_hello(hello);
+  for (size_t n = 0; n < full.size(); n++) {
+    BytesView prefix(full.data(), n);
+    auto r = decode_hello(prefix);
+    EXPECT_FALSE(r.ok()) << "prefix of length " << n << " decoded";
+  }
+  EXPECT_TRUE(decode_hello(full).ok());
+}
+
+TEST(TruncationFuzz, KvRequestPrefixes) {
+  KvRequest req;
+  req.op = KvOp::put;
+  req.id = 123456789;
+  req.key = "user000000000007";
+  req.value = std::string(64, 'v');
+  Bytes full = encode_kv_request(req);
+  for (size_t n = 0; n < full.size(); n++) {
+    auto r = decode_kv_request(BytesView(full.data(), n));
+    EXPECT_FALSE(r.ok()) << n;
+  }
+}
+
+TEST(TruncationFuzz, AcceptMessagePrefixes) {
+  AcceptMsg a;
+  a.token = 42;
+  a.host_id = "srv";
+  a.process_id = "p";
+  NegotiatedNode n1;
+  n1.type = "shard";
+  n1.impl_name = "shard/xdp";
+  n1.args.set("shards", "udp://1.1.1.1:1");
+  a.chain = {n1};
+  Bytes full = encode_accept(a);
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_accept(BytesView(full.data(), n)).ok()) << n;
+}
+
+// Bit flips in a KV request must be caught by the shard-field integrity
+// check or the structural checks whenever they alter semantics.
+class BitflipFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitflipFuzz, KvRequestBitflipsNeverCrash) {
+  Rng rng(GetParam());
+  KvRequest req;
+  req.op = KvOp::get;
+  req.id = 7;
+  req.key = "user000000000001";
+  Bytes good = encode_kv_request(req);
+  for (int iter = 0; iter < 300; iter++) {
+    Bytes bad = good;
+    size_t byte = rng.next_below(bad.size());
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+    auto r = decode_kv_request(bad);
+    if (r.ok()) {
+      // A flip that decodes must not have silently changed the key
+      // while keeping the shard field consistent.
+      EXPECT_EQ(r.value().key, req.key);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitflipFuzz, ::testing::Values(11, 22, 33));
+
+// A live listener bombarded with garbage keeps accepting and serving.
+TEST(AdversarialListener, SurvivesGarbageAndKeepsServing) {
+  auto world = TestWorld::make();
+  auto srv_rt = world.runtime("h1");
+  auto cli_rt = world.runtime("h2");
+  auto listener = srv_rt->endpoint("victim", wrap(ChunnelSpec("reliable")))
+                      .value()
+                      .listen(Addr::mem("h1", 700))
+                      .value();
+
+  auto attacker = world.mem->bind(Addr::mem("attacker", 0)).value();
+  Rng rng(99);
+  for (int i = 0; i < 300; i++) {
+    Bytes junk = random_bytes(rng, 128);
+    ASSERT_TRUE(attacker->send_to(listener->addr(), junk).ok());
+  }
+  // Valid-magic frames with bogus kinds/tokens/payloads.
+  for (int i = 0; i < 100; i++) {
+    Bytes frame = encode_frame(static_cast<MsgKind>(1 + rng.next_below(5)),
+                               rng.next_u64(), random_bytes(rng, 64));
+    ASSERT_TRUE(attacker->send_to(listener->addr(), frame).ok());
+  }
+
+  // Still serves real clients.
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)));
+  ASSERT_TRUE(conn.ok()) << conn.error().to_string();
+  auto srv_conn = listener->accept(Deadline::after(seconds(5))).value();
+  ASSERT_TRUE(conn.value()->send(Msg::of("still alive")).ok());
+  EXPECT_EQ(srv_conn->recv(Deadline::after(seconds(5))).value().payload_str(),
+            "still alive");
+}
+
+// Data frames with unknown tokens (stale/forged) are dropped without
+// disturbing an established connection.
+TEST(AdversarialListener, ForgedTokensIgnored) {
+  auto world = TestWorld::make();
+  auto srv_rt = world.runtime("h1");
+  auto cli_rt = world.runtime("h2");
+  auto listener = srv_rt->endpoint("victim", ChunnelDag::empty())
+                      .value()
+                      .listen(Addr::mem("h1", 701))
+                      .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv_conn = listener->accept(Deadline::after(seconds(5))).value();
+
+  auto attacker = world.mem->bind(Addr::mem("attacker", 0)).value();
+  for (uint64_t forged = 100; forged < 150; forged++) {
+    Bytes frame = encode_frame(MsgKind::data, forged, to_bytes("evil"));
+    ASSERT_TRUE(attacker->send_to(listener->addr(), frame).ok());
+  }
+  // A forged close for a token that doesn't exist is also harmless.
+  ASSERT_TRUE(attacker
+                  ->send_to(listener->addr(),
+                            encode_frame(MsgKind::close, 9999, {}))
+                  .ok());
+
+  ASSERT_TRUE(conn->send(Msg::of("legit")).ok());
+  auto got = srv_conn->recv(Deadline::after(seconds(5)));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().payload_str(), "legit");
+  // No forged payload leaked into the stream.
+  EXPECT_FALSE(srv_conn->recv(Deadline::after(ms(100))).ok());
+}
+
+// Double close from either side, in any order, is safe.
+TEST(CloseSemantics, DoubleAndCrossedClosesAreIdempotent) {
+  auto world = TestWorld::make();
+  auto srv_rt = world.runtime("h1");
+  auto cli_rt = world.runtime("h2");
+  auto listener = srv_rt->endpoint("srv", wrap(ChunnelSpec("reliable")))
+                      .value()
+                      .listen(Addr::mem("h1", 702))
+                      .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv_conn = listener->accept(Deadline::after(seconds(5))).value();
+  conn->close();
+  conn->close();
+  srv_conn->close();
+  srv_conn->close();
+  listener->close();
+  listener->close();
+  EXPECT_FALSE(conn->send(Msg::of("x")).ok());
+}
+
+// Closing the listener while a client is mid-connect doesn't hang the
+// client: it times out or fails cleanly.
+TEST(CloseSemantics, ListenerCloseDuringConnect) {
+  auto world = TestWorld::make();
+  RuntimeConfig cfg;
+  cfg.host_id = "h2";
+  cfg.transports =
+      std::make_shared<DefaultTransportFactory>(world.mem, world.sim, "h2");
+  cfg.discovery = world.discovery;
+  cfg.handshake_timeout = ms(100);
+  cfg.handshake_retries = 2;
+  auto cli_rt = Runtime::create(std::move(cfg)).value();
+
+  auto srv_rt = world.runtime("h1");
+  auto listener = srv_rt->endpoint("srv", ChunnelDag::empty())
+                      .value()
+                      .listen(Addr::mem("h1", 703))
+                      .value();
+  Addr addr = listener->addr();
+  listener->close();  // gone before the client dials
+
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(addr, Deadline::after(seconds(5)));
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.error().code, Errc::connection_failed);
+}
+
+}  // namespace
+}  // namespace bertha

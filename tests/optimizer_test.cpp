@@ -1,0 +1,167 @@
+// Tests for the §6 DAG optimizer: PCIe cost model, reorder, merge,
+// elide — including the paper's encrypt |> http2 |> tcp example.
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+
+namespace bertha {
+namespace {
+
+OptStage stage(std::string type, bool offload, double size = 1.0,
+               std::set<std::string> commutes = {}) {
+  OptStage s;
+  s.type = std::move(type);
+  s.offloadable = offload;
+  s.size_factor = size;
+  s.commutes_with = std::move(commutes);
+  return s;
+}
+
+TEST(OptimizerCostTest, AllHostPipelineCrossesOnce) {
+  std::vector<OptStage> p{stage("a", false), stage("b", false)};
+  EXPECT_EQ(DagOptimizer::count_crossings(p), 1);  // final hop to the wire
+  EXPECT_DOUBLE_EQ(DagOptimizer::pcie_cost(p), 1.0);
+}
+
+TEST(OptimizerCostTest, AllNicPipelineCrossesOnce) {
+  std::vector<OptStage> p{stage("a", true), stage("b", true)};
+  EXPECT_EQ(DagOptimizer::count_crossings(p), 1);
+  EXPECT_DOUBLE_EQ(DagOptimizer::pcie_cost(p), 1.0);
+}
+
+TEST(OptimizerCostTest, PingPongCostsThreeCrossings) {
+  // The paper's as-written example: encrypt on NIC, http2 on host, tcp
+  // on NIC = NIC-CPU-NIC, a "3x increase ... over PCIe".
+  std::vector<OptStage> p{stage("encrypt", true), stage("http2", false),
+                          stage("tcp", true)};
+  EXPECT_EQ(DagOptimizer::count_crossings(p), 3);
+  EXPECT_DOUBLE_EQ(DagOptimizer::pcie_cost(p), 3.0);
+}
+
+TEST(OptimizerCostTest, SizeFactorScalesLaterCrossings) {
+  // compress halves the data before it crosses to the NIC.
+  std::vector<OptStage> p{stage("compress", false, 0.5), stage("send", true)};
+  EXPECT_DOUBLE_EQ(DagOptimizer::pcie_cost(p), 0.5);
+}
+
+TEST(OptimizerTest, PaperExampleReorders) {
+  // encrypt |> http2 |> tcp, with encrypt<->http2 commuting: reordered
+  // to http2 |> encrypt |> tcp, PCIe drops from 3x to 1x.
+  DagOptimizer opt;
+  std::vector<OptStage> p{
+      stage("encrypt", true, 1.0, {"http2"}),
+      stage("http2", false, 1.0, {"encrypt", "tcp"}),
+      stage("tcp", true, 1.0, {"http2"}),
+  };
+  ASSERT_DOUBLE_EQ(DagOptimizer::pcie_cost(p), 3.0);
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().stages.size(), 3u);
+  EXPECT_EQ(plan.value().stages[0].type, "http2");
+  EXPECT_EQ(plan.value().stages[1].type, "encrypt");
+  EXPECT_EQ(plan.value().stages[2].type, "tcp");
+  EXPECT_EQ(plan.value().pcie_crossings, 1);
+  EXPECT_DOUBLE_EQ(plan.value().pcie_bytes_per_input_byte, 1.0);
+}
+
+TEST(OptimizerTest, NonCommutingStagesStayPut) {
+  DagOptimizer opt;
+  std::vector<OptStage> p{stage("encrypt", true), stage("http2", false),
+                          stage("tcp", true)};
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().stages[0].type, "encrypt");
+  EXPECT_EQ(plan.value().pcie_crossings, 3);  // can't improve legally
+}
+
+TEST(OptimizerTest, CommutativityMustBeMutual) {
+  DagOptimizer opt;
+  // encrypt says it commutes with http2, but http2 doesn't agree.
+  std::vector<OptStage> p{stage("encrypt", true, 1.0, {"http2"}),
+                          stage("http2", false), stage("tcp", true)};
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().stages[0].type, "encrypt");
+}
+
+TEST(OptimizerTest, MergeToTls) {
+  // "if the SmartNIC did not explicitly offer separate offloads for
+  // encryption and TCP, but did offer one for TLS, Bertha could reorder
+  // and then merge the last two Chunnels."
+  DagOptimizer opt;
+  opt.add_merge_rule({"encrypt", "tcp", "tls", true});
+  std::vector<OptStage> p{
+      stage("encrypt", false, 1.0, {"http2"}),  // no separate crypto offload
+      stage("http2", false, 1.0, {"encrypt", "tcp"}),
+      stage("tcp", false, 1.0, {"http2"}),
+  };
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().stages.size(), 2u);
+  EXPECT_EQ(plan.value().stages.back().type, "tls");
+  EXPECT_TRUE(plan.value().stages.back().offloadable);
+  EXPECT_EQ(plan.value().pcie_crossings, 1);
+  // Both rewrites are reported.
+  bool saw_merge = false;
+  for (const auto& a : plan.value().applied)
+    if (a.find("merge") != std::string::npos) saw_merge = true;
+  EXPECT_TRUE(saw_merge);
+}
+
+TEST(OptimizerTest, ElideAdjacentDuplicates) {
+  DagOptimizer opt;
+  std::vector<OptStage> p{stage("compress", false), stage("compress", false),
+                          stage("send", true)};
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().stages.size(), 2u);
+  EXPECT_EQ(plan.value().stages[0].type, "compress");
+}
+
+TEST(OptimizerTest, EmptyAndSingleStagePipelines) {
+  DagOptimizer opt;
+  auto empty = opt.optimize({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().stages.empty());
+
+  auto single = opt.optimize({stage("x", false)});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single.value().pcie_crossings, 1);
+}
+
+TEST(OptimizerTest, CompressionMovedBeforePcieWhenAllowed) {
+  // A host-side compressor that commutes with an offloaded encryptor:
+  // best order compresses first so fewer bytes cross the bus.
+  DagOptimizer opt;
+  std::vector<OptStage> p{
+      stage("encrypt", true, 1.0, {"compress"}),
+      stage("compress", false, 0.25, {"encrypt"}),
+  };
+  // as-written: host->nic (1.0) + nic->host (1.0) + host->nic (0.25)
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().stages[0].type, "compress");
+  EXPECT_DOUBLE_EQ(plan.value().pcie_bytes_per_input_byte, 0.25);
+}
+
+TEST(OptimizerTest, MergedStageInheritsCommonCommutes) {
+  DagOptimizer opt;
+  opt.add_merge_rule({"a", "b", "ab", true});
+  std::vector<OptStage> p{
+      stage("a", false, 1.0, {"b", "x"}),
+      stage("b", false, 1.0, {"a", "x"}),
+      stage("x", false, 1.0, {"a", "b", "ab"}),
+  };
+  auto plan = opt.optimize(p);
+  ASSERT_TRUE(plan.ok());
+  bool found = false;
+  for (const auto& s : plan.value().stages)
+    if (s.type == "ab") {
+      found = true;
+      EXPECT_TRUE(s.commutes_with.count("x"));
+    }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace bertha

@@ -1,0 +1,203 @@
+// Tests for the binary codec and the textual fallback codec, including
+// property-style roundtrips over randomized inputs (TEST_P over seeds).
+#include <gtest/gtest.h>
+
+#include "serialize/codec.hpp"
+#include "serialize/text_codec.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+namespace {
+
+TEST(CodecTest, VarintKnownEncodings) {
+  Writer w;
+  w.put_varint(0);
+  w.put_varint(127);
+  w.put_varint(128);
+  w.put_varint(300);
+  const Bytes& b = w.bytes();
+  EXPECT_EQ(b[0], 0x00);
+  EXPECT_EQ(b[1], 0x7f);
+  EXPECT_EQ(b[2], 0x80);
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(b[4], 0xac);
+  EXPECT_EQ(b[5], 0x02);
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+                     0xffffffffULL, 0xffffffffffffffffULL}) {
+    Writer w;
+    w.put_varint(v);
+    Reader r(w.bytes());
+    auto got = r.get_varint();
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(got.value(), v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(CodecTest, SvarintZigzag) {
+  for (int64_t v : std::initializer_list<int64_t>{0, -1, 1, -64, 63,
+                                                  INT64_MIN, INT64_MAX}) {
+    Writer w;
+    w.put_svarint(v);
+    Reader r(w.bytes());
+    auto got = r.get_svarint();
+    ASSERT_TRUE(got.ok()) << v;
+    EXPECT_EQ(got.value(), v);
+  }
+}
+
+TEST(CodecTest, SmallNegativesStaySmall) {
+  Writer w;
+  w.put_svarint(-1);
+  EXPECT_EQ(w.size(), 1u);  // zigzag: -1 -> 1
+}
+
+TEST(CodecTest, F64RoundTrip) {
+  for (double v : {0.0, -0.0, 1.5, -3.14159, 1e300, -1e-300}) {
+    Writer w;
+    w.put_f64(v);
+    Reader r(w.bytes());
+    auto got = r.get_f64();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), v);
+  }
+}
+
+TEST(CodecTest, StringAndBytes) {
+  Writer w;
+  w.put_string("hello");
+  w.put_bytes(to_bytes("world"));
+  Reader r(w.bytes());
+  EXPECT_EQ(r.get_string().value(), "hello");
+  EXPECT_EQ(to_string(r.get_bytes().value()), "world");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CodecTest, EofErrors) {
+  Bytes empty;
+  Reader r(empty);
+  EXPECT_FALSE(r.get_u8().ok());
+  EXPECT_FALSE(r.get_varint().ok());
+  EXPECT_FALSE(r.get_f64().ok());
+}
+
+TEST(CodecTest, TruncatedStringFails) {
+  Writer w;
+  w.put_varint(100);  // claims 100 bytes
+  w.put_raw(to_bytes("short"));
+  Reader r(w.bytes());
+  auto got = r.get_string();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::protocol_error);
+}
+
+TEST(CodecTest, VarintOverflowRejected) {
+  // 10 bytes of 0xff is > 64 bits.
+  Bytes b(10, 0xff);
+  Reader r(b);
+  EXPECT_FALSE(r.get_varint().ok());
+}
+
+TEST(CodecTest, BadBoolRejected) {
+  Bytes b{2};
+  Reader r(b);
+  EXPECT_FALSE(r.get_bool().ok());
+}
+
+TEST(CodecTest, ContainerSerde) {
+  std::vector<std::string> v{"a", "bb", "ccc"};
+  auto bytes = serialize_to_bytes(v);
+  auto got = deserialize_from_bytes<std::vector<std::string>>(bytes);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), v);
+
+  std::map<std::string, uint32_t> m{{"x", 1}, {"y", 2}};
+  auto mb = serialize_to_bytes(m);
+  auto mg = deserialize_from_bytes<std::map<std::string, uint32_t>>(mb);
+  ASSERT_TRUE(mg.ok());
+  EXPECT_EQ(mg.value(), m);
+
+  std::optional<int32_t> some = -5, none;
+  EXPECT_EQ(deserialize_from_bytes<std::optional<int32_t>>(
+                serialize_to_bytes(some))
+                .value(),
+            some);
+  EXPECT_EQ(deserialize_from_bytes<std::optional<int32_t>>(
+                serialize_to_bytes(none))
+                .value(),
+            none);
+}
+
+TEST(CodecTest, TrailingBytesRejected) {
+  Bytes b = serialize_to_bytes<uint32_t>(5);
+  b.push_back(0);
+  EXPECT_FALSE(deserialize_from_bytes<uint32_t>(b).ok());
+}
+
+TEST(CodecTest, LyingContainerLengthRejected) {
+  Writer w;
+  w.put_varint(1 << 30);  // vector claims 2^30 elements
+  auto got = deserialize_from_bytes<std::vector<uint64_t>>(w.bytes());
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.error().code, Errc::protocol_error);
+}
+
+// Property: arbitrary byte strings round-trip through the text codec.
+class TextCodecProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TextCodecProperty, RoundTripRandomPayloads) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 50; iter++) {
+    Bytes data(rng.next_below(512), 0);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.next_below(256));
+    Bytes encoded = text_encode(data);
+    auto decoded = text_decode(encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), data);
+    // The text form is strictly larger (header + 2x expansion).
+    EXPECT_GT(encoded.size(), data.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextCodecProperty,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+TEST(TextCodecTest, RejectsMalformed) {
+  EXPECT_FALSE(text_decode(to_bytes("")).ok());
+  EXPECT_FALSE(text_decode(to_bytes("XXX 3\nabcdef")).ok());
+  EXPECT_FALSE(text_decode(to_bytes("TXT x\nab")).ok());
+  EXPECT_FALSE(text_decode(to_bytes("TXT 3\nab")).ok());       // short body
+  EXPECT_FALSE(text_decode(to_bytes("TXT 1\nzz")).ok());       // bad hex
+  EXPECT_FALSE(text_decode(to_bytes("TXT 1")).ok());           // no newline
+}
+
+// Property: random structured values round-trip through Serde.
+class SerdeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdeProperty, RandomMapsRoundTrip) {
+  Rng rng(GetParam() ^ 0xabcd);
+  for (int iter = 0; iter < 20; iter++) {
+    std::map<std::string, std::vector<int64_t>> value;
+    size_t keys = rng.next_below(8);
+    for (size_t k = 0; k < keys; k++) {
+      std::string key(1 + rng.next_below(12), 'k');
+      for (auto& c : key) c = static_cast<char>('a' + rng.next_below(26));
+      std::vector<int64_t> v(rng.next_below(16));
+      for (auto& x : v) x = static_cast<int64_t>(rng.next_u64());
+      value[key] = std::move(v);
+    }
+    auto bytes = serialize_to_bytes(value);
+    auto got = deserialize_from_bytes<decltype(value)>(bytes);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeProperty,
+                         ::testing::Values(7, 21, 99, 1234));
+
+}  // namespace
+}  // namespace bertha

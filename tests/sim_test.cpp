@@ -1,0 +1,133 @@
+// Tests for the simulated offload devices: SimSwitch (sequencer slots,
+// discovery advertisement) and SimNic (offload catalogue, PCIe model,
+// crypto-engine admission).
+#include <gtest/gtest.h>
+
+#include "core/negotiation.hpp"
+#include "sim/simnic.hpp"
+#include "sim/simswitch.hpp"
+#include "test_helpers.hpp"
+
+namespace bertha {
+namespace {
+
+using testing_support::TestWorld;
+
+TEST(SimSwitchTest, InstallAdvertisesAndConsumesSlot) {
+  auto world = TestWorld::make();
+  SimSwitch::Config cfg;
+  cfg.sequencer_slots = 1;
+  auto sw = SimSwitch::create(world.sim, world.discovery, cfg).value();
+  EXPECT_EQ(world.discovery->pool_capacity(sw->slot_pool()), 1u);
+
+  auto m = world.sim->attach("r", 7).value();
+  auto addr = sw->install_sequencer_group("g1", 7, {m->local_addr()});
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(sw->groups_installed(), 1u);
+  EXPECT_EQ(world.discovery->pool_in_use(sw->slot_pool()), 1u);
+
+  auto entries = world.discovery->query("ordered_mcast").value();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].props.at("group_addr"), addr.value().to_string());
+  EXPECT_EQ(entries[0].props.at("sequencer"), "switch");
+}
+
+TEST(SimSwitchTest, CapacityEnforced) {
+  // The paper's §6 example: two groups want the switch, it fits one.
+  auto world = TestWorld::make();
+  SimSwitch::Config cfg;
+  cfg.sequencer_slots = 1;
+  auto sw = SimSwitch::create(world.sim, world.discovery, cfg).value();
+  auto m = world.sim->attach("r", 7).value();
+  ASSERT_TRUE(sw->install_sequencer_group("g1", 7, {m->local_addr()}).ok());
+  auto second = sw->install_sequencer_group("g2", 8, {m->local_addr()});
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, Errc::resource_exhausted);
+
+  // Removing the first frees the slot.
+  ASSERT_TRUE(sw->remove_sequencer_group("g1", 7).ok());
+  EXPECT_EQ(world.discovery->pool_in_use(sw->slot_pool()), 0u);
+  EXPECT_TRUE(world.discovery->query("ordered_mcast").value().empty());
+  EXPECT_TRUE(sw->install_sequencer_group("g2", 8, {m->local_addr()}).ok());
+}
+
+TEST(SimSwitchTest, FailedInstallReleasesSlot) {
+  auto world = TestWorld::make();
+  auto sw = SimSwitch::create(world.sim, world.discovery, {}).value();
+  auto m = world.sim->attach("r", 7).value();
+  // Non-sim member: group creation fails after the slot acquire.
+  auto bad = sw->install_sequencer_group("g", 7, {Addr::udp("1.2.3.4", 1)});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(world.discovery->pool_in_use(sw->slot_pool()), 0u);
+}
+
+TEST(SimNicTest, AdvertisesOffloadCatalogue) {
+  auto discovery = std::make_shared<DiscoveryState>();
+  auto nic = SimNic::create(discovery, {}).value();
+  ASSERT_TRUE(nic->advertise_offloads().ok());
+  EXPECT_EQ(discovery->query("encrypt").value().size(), 1u);
+  EXPECT_EQ(discovery->query("tcpish").value().size(), 1u);
+  auto tls = discovery->query("tls").value();
+  ASSERT_EQ(tls.size(), 1u);
+  EXPECT_EQ(tls[0].priority, 15);
+  EXPECT_EQ(tls[0].props.at("offloadable"), "true");
+}
+
+TEST(SimNicTest, PcieModelAccumulates) {
+  auto discovery = std::make_shared<DiscoveryState>();
+  SimNic::Config cfg;
+  cfg.pcie_per_kib = us(10);
+  cfg.pcie_setup = us(1);
+  auto nic = SimNic::create(discovery, cfg).value();
+  Duration d = nic->record_pcie_transfer(1024);
+  EXPECT_EQ(d, us(11));  // setup + 1 KiB
+  nic->record_pcie_transfer(512);
+  EXPECT_EQ(nic->pcie_bytes_transferred(), 1536u);
+  EXPECT_EQ(nic->pcie_transfers(), 2u);
+  nic->reset_counters();
+  EXPECT_EQ(nic->pcie_bytes_transferred(), 0u);
+}
+
+TEST(SimNicTest, CryptoEnginePoolGatesNegotiation) {
+  // Two connections want encrypt/nic but the NIC has one engine: the
+  // second negotiation must fall back to encrypt/sw.
+  auto world = TestWorld::make();
+  SimNic::Config cfg;
+  cfg.crypto_engines = 1;
+  auto nic_r = SimNic::create(world.discovery, cfg);
+  ASSERT_TRUE(nic_r.ok());
+  std::shared_ptr<SimNic> nic(std::move(nic_r).value());
+  ASSERT_TRUE(nic->advertise_offloads().ok());
+
+  Registry registry;
+  ImplInfo sw_info;
+  sw_info.type = "encrypt";
+  sw_info.name = "encrypt/sw";
+  sw_info.endpoints = EndpointConstraint::both;
+  struct Noop final : ChunnelImpl {
+    explicit Noop(ImplInfo i) : info_(std::move(i)) {}
+    const ImplInfo& info() const override { return info_; }
+    Result<ConnPtr> wrap(ConnPtr inner, WrapContext&) override { return inner; }
+    ImplInfo info_;
+  };
+  ASSERT_TRUE(registry.register_impl(std::make_shared<Noop>(sw_info)).ok());
+
+  HelloMsg hello;
+  hello.host_id = "h";  // same host as server -> host-scope offload usable
+  hello.offers["encrypt"] = {sw_info};
+
+  DefaultPolicy policy;
+  std::vector<ChunnelSpec> chain{ChunnelSpec("encrypt")};
+  auto first = negotiate_server(chain, hello, registry, *world.discovery,
+                                policy, {}, "h");
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_EQ(first.value().chain[0].impl_name, "encrypt/nic");
+
+  auto second = negotiate_server(chain, hello, registry, *world.discovery,
+                                 policy, {}, "h");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value().chain[0].impl_name, "encrypt/sw");
+}
+
+}  // namespace
+}  // namespace bertha
