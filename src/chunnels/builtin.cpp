@@ -1,6 +1,7 @@
 #include "chunnels/builtin.hpp"
 
 #include "chunnels/batch.hpp"
+#include "chunnels/common.hpp"
 #include "chunnels/compress.hpp"
 #include "chunnels/dedup.hpp"
 #include "chunnels/encrypt.hpp"
@@ -41,6 +42,11 @@ Result<void> register_shard_chunnels(Runtime& rt, bool client_push, bool xdp,
 Result<void> register_builtin_chunnels(Runtime& rt) {
   BERTHA_TRY(register_transport_chunnels(rt));
   BERTHA_TRY(rt.register_chunnel(std::make_shared<LocalFastPathChunnel>()));
+  // Zero-priority fallback: lets local_or_remote chains negotiate even
+  // when the fast path is unavailable, and gives live renegotiation a
+  // software implementation to fall back to on revocation.
+  BERTHA_TRY(rt.register_chunnel(std::make_shared<PassthroughChunnel>(
+      "local_or_remote", "local_or_remote/none")));
   BERTHA_TRY(register_shard_chunnels(rt, true, true, true));
   BERTHA_TRY(rt.register_chunnel(std::make_shared<SwitchOrderedMcastChunnel>()));
   BERTHA_TRY(

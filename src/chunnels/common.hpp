@@ -21,6 +21,31 @@ inline Addr ephemeral_like(const Addr& like, const std::string& host_id) {
   return Addr();
 }
 
+// A do-nothing implementation of an arbitrary chunnel type. Registered
+// as the bottom-priority fallback for types whose real implementations
+// may not exist yet (e.g. "local_or_remote/none" before an offload
+// library is loaded): negotiation can still bind the chain, and live
+// renegotiation upgrades established connections in place once a better
+// implementation registers.
+class PassthroughChunnel final : public ChunnelImpl {
+ public:
+  PassthroughChunnel(std::string type, std::string name, int32_t priority = 0,
+                     Scope scope = Scope::global,
+                     EndpointConstraint endpoints = EndpointConstraint::server) {
+    info_.type = std::move(type);
+    info_.name = std::move(name);
+    info_.scope = scope;
+    info_.endpoints = endpoints;
+    info_.priority = priority;
+  }
+
+  const ImplInfo& info() const override { return info_; }
+  Result<ConnPtr> wrap(ConnPtr inner, WrapContext&) override { return inner; }
+
+ private:
+  ImplInfo info_;
+};
+
 // Parses a comma-separated list of address URIs (the "shards" /
 // "members" args in DAG nodes).
 Result<std::vector<Addr>> parse_addr_list(const std::string& csv);

@@ -90,20 +90,93 @@ bool Registry::has(const std::string& type, const std::string& name) const {
   return it != impls_.end() && it->second.count(name) > 0;
 }
 
+// --- DiscoveryWatcher ---
+
+DiscoveryWatcher::DiscoveryWatcher(std::string type_filter, size_t capacity)
+    : filter_(std::move(type_filter)), q_(capacity) {}
+
+Result<WatchEvent> DiscoveryWatcher::next(Deadline deadline) {
+  return q_.pop(deadline);
+}
+
+std::optional<WatchEvent> DiscoveryWatcher::try_next() { return q_.try_pop(); }
+
+uint64_t DiscoveryWatcher::dropped() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
+bool DiscoveryWatcher::wants(const WatchEvent& ev) const {
+  if (filter_.empty()) return true;
+  // Typed watchers see impl events for their type; pool capacity is not
+  // owned by any one chunnel type, so pool events go to unfiltered
+  // watchers only.
+  return ev.kind != WatchKind::pool_freed && ev.type == filter_;
+}
+
+void DiscoveryWatcher::deliver(const WatchEvent& ev) {
+  if (!q_.push(ev).ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    dropped_++;
+  }
+}
+
 // --- DiscoveryState ---
+
+DiscoveryState::~DiscoveryState() {
+  // Watchers may outlive the state (e.g. the runtime shut down first);
+  // wake them with cancelled instead of leaving next() blocked forever.
+  std::vector<std::weak_ptr<DiscoveryWatcher>> watchers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    watchers.swap(watchers_);
+  }
+  for (auto& w : watchers)
+    if (auto sp = w.lock()) sp->cancel();
+}
+
+void DiscoveryState::emit(WatchEvent ev) {
+  ev.seq = ++watch_seq_;
+  size_t live = 0;
+  for (auto& w : watchers_) {
+    auto sp = w.lock();
+    if (!sp || sp->cancelled()) continue;
+    watchers_[live++] = w;
+    if (sp->wants(ev)) sp->deliver(ev);
+  }
+  watchers_.resize(live);
+}
+
+Result<WatcherPtr> DiscoveryState::watch(const std::string& type_filter) {
+  auto w = std::make_shared<DiscoveryWatcher>(type_filter);
+  std::lock_guard<std::mutex> lk(mu_);
+  watchers_.push_back(w);
+  return w;
+}
 
 Result<void> DiscoveryState::register_impl(const ImplInfo& info) {
   if (info.type.empty() || info.name.empty())
     return err(Errc::invalid_argument, "impl info missing type/name");
   std::lock_guard<std::mutex> lk(mu_);
   auto& v = entries_[info.type];
+  ImplInfo* slot = nullptr;
   for (auto& e : v) {
     if (e.name == info.name) {
       e = info;  // re-registration updates metadata
-      return ok();
+      slot = &e;
+      break;
     }
   }
-  v.push_back(info);
+  if (!slot) {
+    v.push_back(info);
+    slot = &v.back();
+  }
+  WatchEvent ev;
+  ev.kind = WatchKind::impl_registered;
+  ev.type = info.type;
+  ev.name = info.name;
+  ev.info = *slot;
+  emit(std::move(ev));
   return ok();
 }
 
@@ -117,6 +190,11 @@ Result<void> DiscoveryState::unregister_impl(const std::string& type,
                           [&](const ImplInfo& e) { return e.name == name; });
   if (nit == v.end()) return err(Errc::not_found, "no such impl: " + name);
   v.erase(nit);
+  WatchEvent ev;
+  ev.kind = WatchKind::impl_unregistered;
+  ev.type = type;
+  ev.name = name;
+  emit(std::move(ev));
   return ok();
 }
 
@@ -150,8 +228,13 @@ Result<void> DiscoveryState::release(uint64_t alloc_id) {
     return err(Errc::not_found, "unknown allocation id");
   for (const auto& r : it->second) {
     auto pit = pools_.find(r.pool);
-    if (pit != pools_.end())
-      pit->second.used -= std::min(pit->second.used, r.amount);
+    if (pit == pools_.end()) continue;
+    pit->second.used -= std::min(pit->second.used, r.amount);
+    WatchEvent ev;
+    ev.kind = WatchKind::pool_freed;
+    ev.pool = r.pool;
+    ev.available = pit->second.capacity - pit->second.used;
+    emit(std::move(ev));
   }
   allocs_.erase(it);
   return ok();
@@ -159,7 +242,18 @@ Result<void> DiscoveryState::release(uint64_t alloc_id) {
 
 Result<void> DiscoveryState::set_pool(const std::string& pool, uint64_t capacity) {
   std::lock_guard<std::mutex> lk(mu_);
-  pools_[pool].capacity = capacity;
+  auto& p = pools_[pool];
+  uint64_t before_avail = p.capacity > p.used ? p.capacity - p.used : 0;
+  p.capacity = capacity;
+  uint64_t after_avail = p.capacity > p.used ? p.capacity - p.used : 0;
+  if (after_avail > before_avail) {
+    // Growing a pool frees capacity just like releasing an allocation.
+    WatchEvent ev;
+    ev.kind = WatchKind::pool_freed;
+    ev.pool = pool;
+    ev.available = after_avail;
+    emit(std::move(ev));
+  }
   return ok();
 }
 
@@ -382,7 +476,78 @@ RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
                                  Options opts)
     : transport_(std::move(transport)), server_(std::move(server)), opts_(opts) {}
 
-RemoteDiscovery::~RemoteDiscovery() { transport_->close(); }
+RemoteDiscovery::~RemoteDiscovery() {
+  std::vector<std::pair<WatcherPtr, std::thread>> pollers;
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    stopping_ = true;
+    pollers.swap(pollers_);
+  }
+  for (auto& [w, t] : pollers) w->cancel();
+  transport_->close();
+  for (auto& [w, t] : pollers)
+    if (t.joinable()) t.join();
+}
+
+Result<WatcherPtr> RemoteDiscovery::watch(const std::string& type_filter) {
+  if (type_filter.empty())
+    return err(Errc::invalid_argument,
+               "remote watch requires a chunnel type filter");
+  auto w = std::make_shared<DiscoveryWatcher>(type_filter);
+  std::lock_guard<std::mutex> lk(watch_mu_);
+  if (stopping_) return err(Errc::cancelled, "discovery client closing");
+  pollers_.emplace_back(w, std::thread([this, w] { poll_watch(w); }));
+  return w;
+}
+
+void RemoteDiscovery::poll_watch(WatcherPtr w) {
+  // Poll-and-diff emulation of the in-process watch channel: impl events
+  // only, with per-watcher sequence numbers. Comparison is by name +
+  // metadata so a re-registration that changes an advertisement still
+  // surfaces as impl_registered. The initial snapshot is delivered as
+  // impl_registered events too: a subscriber that races its first poll
+  // against a registration sees the impl either way.
+  std::unordered_map<std::string, ImplInfo> known;
+  uint64_t seq = 0;
+  while (!w->cancelled()) {
+    auto q = query(w->filter());
+    if (q.ok()) {
+      std::unordered_map<std::string, ImplInfo> now;
+      for (auto& e : q.value()) now.emplace(e.name, e);
+      for (auto& [name, info] : now) {
+        auto it = known.find(name);
+        bool changed =
+            it == known.end() ||
+            serialize_to_bytes(it->second) != serialize_to_bytes(info);
+        if (!changed) continue;
+        WatchEvent ev;
+        ev.kind = WatchKind::impl_registered;
+        ev.seq = ++seq;
+        ev.type = info.type;
+        ev.name = name;
+        ev.info = info;
+        w->deliver(ev);
+      }
+      for (auto& [name, info] : known) {
+        if (now.count(name)) continue;
+        WatchEvent ev;
+        ev.kind = WatchKind::impl_unregistered;
+        ev.seq = ++seq;
+        ev.type = info.type;
+        ev.name = name;
+        w->deliver(ev);
+      }
+      known = std::move(now);
+    } else if (q.error().code == Errc::cancelled) {
+      break;  // transport closed under us
+    }
+    // Sleep in small steps so cancel() is honored promptly.
+    Deadline next_poll = Deadline::after(opts_.watch_poll);
+    while (!next_poll.expired() && !w->cancelled())
+      sleep_for(std::min(ms(10), next_poll.remaining()));
+  }
+  w->cancel();
+}
 
 Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
   std::lock_guard<std::mutex> lk(mu_);

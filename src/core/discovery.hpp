@@ -23,6 +23,7 @@
 
 #include "core/chunnel.hpp"
 #include "net/transport.hpp"
+#include "util/queue.hpp"
 
 namespace bertha {
 
@@ -52,6 +53,64 @@ class Registry {
       impls_;
 };
 
+// --- Watch API ---
+//
+// The live-renegotiation subsystem (core/renegotiation.hpp) needs to
+// *notice* deployment changes — an offload registering, a registration
+// being revoked, a resource slot coming free — without polling the whole
+// table. Watchers are bounded queues of WatchEvents; a slow consumer
+// drops events (and counts them) rather than blocking the service.
+
+enum class WatchKind : uint8_t {
+  impl_registered = 1,    // new impl, or metadata update of an existing one
+  impl_unregistered = 2,  // registration revoked
+  pool_freed = 3,         // capacity released into a resource pool
+};
+
+struct WatchEvent {
+  WatchKind kind{};
+  // Per-source total order. Events from one DiscoveryState carry strictly
+  // increasing seq; a gap at the consumer means the watcher dropped.
+  uint64_t seq = 0;
+  std::string type;              // impl events: chunnel type
+  std::string name;              // impl events: impl name
+  std::optional<ImplInfo> info;  // impl_registered: the registered entry
+  std::string pool;              // pool_freed: pool name
+  uint64_t available = 0;        // pool_freed: free capacity afterwards
+};
+
+// Consumer handle for a watch subscription. Thread-safe; cancel() (or the
+// source going away) wakes any blocked next() with Errc::cancelled once
+// buffered events are drained.
+class DiscoveryWatcher {
+ public:
+  explicit DiscoveryWatcher(std::string type_filter, size_t capacity = 256);
+
+  // Empty filter: all impl events plus pool events. Non-empty: impl
+  // events for that chunnel type only.
+  const std::string& filter() const { return filter_; }
+
+  Result<WatchEvent> next(Deadline deadline = Deadline::never());
+  std::optional<WatchEvent> try_next();
+
+  void cancel() { q_.close(); }
+  bool cancelled() const { return q_.closed(); }
+  // Events lost to the bounded buffer (consumer too slow).
+  uint64_t dropped() const;
+
+  // Producer side (DiscoveryState / RemoteDiscovery pollers).
+  bool wants(const WatchEvent& ev) const;
+  void deliver(const WatchEvent& ev);
+
+ private:
+  std::string filter_;
+  BlockingQueue<WatchEvent> q_;
+  mutable std::mutex mu_;
+  uint64_t dropped_ = 0;
+};
+
+using WatcherPtr = std::shared_ptr<DiscoveryWatcher>;
+
 // --- Discovery service interface ---
 
 // Uniform client view of the discovery service; LocalDiscovery calls a
@@ -73,11 +132,25 @@ class DiscoveryClient {
 
   // Operator action: create/update a capacity pool.
   virtual Result<void> set_pool(const std::string& pool, uint64_t capacity) = 0;
+
+  // Subscribe to deployment changes. The default refuses; DiscoveryState
+  // delivers events synchronously, RemoteDiscovery emulates with a
+  // poll-and-diff thread (impl events only, non-empty filter required).
+  virtual Result<WatcherPtr> watch(const std::string& type_filter) {
+    (void)type_filter;
+    return err(Errc::invalid_argument,
+               "watch not supported by this discovery client");
+  }
 };
 
 // In-process discovery state; also the backing store for DiscoveryServer.
-class DiscoveryState final : public DiscoveryClient {
+// Note: `final` was dropped so tests can interpose on release() to verify
+// the drain-before-release invariant; override points stay virtual via
+// DiscoveryClient.
+class DiscoveryState : public DiscoveryClient {
  public:
+  ~DiscoveryState() override;
+
   Result<void> register_impl(const ImplInfo& info) override;
   Result<void> unregister_impl(const std::string& type,
                                const std::string& name) override;
@@ -85,6 +158,7 @@ class DiscoveryState final : public DiscoveryClient {
   Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) override;
   Result<void> release(uint64_t alloc_id) override;
   Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
+  Result<WatcherPtr> watch(const std::string& type_filter) override;
 
   // Introspection for tests and the scheduling bench.
   uint64_t pool_in_use(const std::string& pool) const;
@@ -95,11 +169,16 @@ class DiscoveryState final : public DiscoveryClient {
     uint64_t capacity = 0;
     uint64_t used = 0;
   };
+  // Requires mu_ held; fans the event out to live watchers.
+  void emit(WatchEvent ev);
+
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<ImplInfo>> entries_;
   std::unordered_map<std::string, Pool> pools_;
   std::unordered_map<uint64_t, std::vector<ResourceReq>> allocs_;
   uint64_t next_alloc_ = 1;
+  std::vector<std::weak_ptr<DiscoveryWatcher>> watchers_;
+  uint64_t watch_seq_ = 0;
 };
 
 using DiscoveryPtr = std::shared_ptr<DiscoveryClient>;
@@ -139,6 +218,8 @@ class RemoteDiscovery final : public DiscoveryClient {
   struct Options {
     Duration rpc_timeout = ms(500);
     int retries = 3;
+    // Poll period for emulated watch subscriptions.
+    Duration watch_poll = ms(50);
   };
 
   // `transport` is a bound client endpoint used solely for discovery RPCs.
@@ -154,16 +235,24 @@ class RemoteDiscovery final : public DiscoveryClient {
   Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) override;
   Result<void> release(uint64_t alloc_id) override;
   Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
+  // Emulated via poll-and-diff: impl events only (no pool_freed — the
+  // wire protocol has no pool enumeration op; ROADMAP has the follow-on
+  // for server-pushed watch streams). Requires a non-empty type filter.
+  Result<WatcherPtr> watch(const std::string& type_filter) override;
 
  private:
   struct Rsp;
   Result<Rsp> rpc(const Bytes& request_body);
+  void poll_watch(WatcherPtr w);
 
   std::mutex mu_;  // one RPC at a time per client
   TransportPtr transport_;
   Addr server_;
   Options opts_;
   uint64_t next_req_ = 1;
+  std::mutex watch_mu_;
+  bool stopping_ = false;
+  std::vector<std::pair<WatcherPtr, std::thread>> pollers_;
 };
 
 }  // namespace bertha

@@ -1,11 +1,14 @@
 #include "core/endpoint.hpp"
 
 #include <atomic>
-#include <thread>
 #include <deque>
+#include <map>
+#include <optional>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/renegotiation.hpp"
 #include "core/wire.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
@@ -26,39 +29,116 @@ Addr client_bind_addr(const Addr& server, const std::string& host_id) {
   return Addr();
 }
 
+struct Peer {
+  Addr addr;
+  uint64_t token;
+};
+
 }  // namespace
 
 // ----------------------------------------------------------------------
-// Client-side base connection: a transport plus one or more (peer,
-// token) bindings. Demultiplexes by token; supports rebasing onto a new
-// transport (the local fast-path switch).
+// Client-side base: a *group* of per-epoch channels. Each channel is a
+// (transport, peers) binding demultiplexed by token; a live transition
+// stages a second channel for the new epoch on the same group, frames
+// are routed across channels by token, and shared transports are
+// refcounted so the old epoch keeps draining over UDP while the new one
+// rebases onto a unix socket.
 // ----------------------------------------------------------------------
 
-class ClientDataConnection final : public Connection {
- public:
-  struct Peer {
-    Addr addr;
-    uint64_t token;
-  };
+struct RoutedFrame {
+  MsgKind kind;
+  uint64_t token = 0;
+  Bytes payload;
+  Addr src;
+};
 
-  ClientDataConnection(std::shared_ptr<Transport> transport,
-                       std::vector<Peer> peers)
-      : transport_(std::move(transport)),
+class ClientChannel;
+
+class ClientChannelGroup
+    : public std::enable_shared_from_this<ClientChannelGroup> {
+ public:
+  // A transport shared by the group's channels. `pull_mu` serializes
+  // recv: at most one channel pulls a transport at a time and routes
+  // frames to their owners, so no channel can miss a frame while blocked
+  // inside the kernel.
+  struct Port {
+    std::shared_ptr<Transport> transport;
+    std::shared_ptr<std::mutex> pull_mu = std::make_shared<std::mutex>();
+    int users = 0;  // guarded by group mu_
+  };
+  using PortPtr = std::shared_ptr<Port>;
+
+  using TransitionHandler = std::function<void(
+      const TransitionMsg&, const std::shared_ptr<ClientChannel>&)>;
+
+  static PortPtr make_port(std::shared_ptr<Transport> t) {
+    auto p = std::make_shared<Port>();
+    p->transport = std::move(t);
+    return p;
+  }
+
+  std::shared_ptr<ClientChannel> add_channel(PortPtr port,
+                                             std::vector<Peer> peers);
+
+  void port_add_user(const PortPtr& p) {
+    std::lock_guard<std::mutex> lk(mu_);
+    p->users++;
+  }
+  void port_drop_user(const PortPtr& p) {
+    bool close;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      close = --p->users <= 0;
+    }
+    if (close) p->transport->close();
+  }
+
+  // Hand a frame to the channel owning its token. Unknown tokens are
+  // dropped (stragglers for an epoch that already finished).
+  void route(RoutedFrame f);
+
+  void channel_gone(const std::vector<uint64_t>& tokens) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (uint64_t t : tokens) by_token_.erase(t);
+  }
+
+  void set_transition_handler(TransitionHandler h) {
+    std::lock_guard<std::mutex> lk(mu_);
+    handler_ = std::move(h);
+  }
+  void on_transition(const TransitionMsg& msg,
+                     const std::shared_ptr<ClientChannel>& via);
+
+ private:
+  friend class ClientChannel;
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::weak_ptr<ClientChannel>> by_token_;
+  TransitionHandler handler_;
+};
+
+class ClientChannel final : public Connection,
+                            public std::enable_shared_from_this<ClientChannel> {
+ public:
+  ClientChannel(std::shared_ptr<ClientChannelGroup> group,
+                ClientChannelGroup::PortPtr port, std::vector<Peer> peers)
+      : group_(std::move(group)),
+        port_(std::move(port)),
         peers_(std::move(peers)),
-        local_(transport_->local_addr()),
+        pending_(8192),
+        local_(port_->transport->local_addr()),
         initial_peer_(peers_.front().addr) {
     for (const auto& p : peers_) live_tokens_.insert(p.token);
   }
 
-  ~ClientDataConnection() override { close(); }
+  ~ClientChannel() override { close(); }
 
   Result<void> send(Msg m) override {
-    std::shared_ptr<Transport> t;
+    ClientChannelGroup::PortPtr port;
     std::vector<Peer> peers;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (closed_) return err(Errc::cancelled, "connection closed");
-      t = transport_;
+      port = port_;
       peers = peers_;
     }
     // A valid dst narrows the fan-out to that one peer.
@@ -66,7 +146,7 @@ class ClientDataConnection final : public Connection {
     for (const auto& p : peers) {
       if (m.dst.valid() && !(m.dst == p.addr)) continue;
       Bytes frame = encode_frame(MsgKind::data, p.token, m.payload);
-      BERTHA_TRY(t->send_to(p.addr, frame));
+      BERTHA_TRY(port->transport->send_to(p.addr, frame));
       sent = true;
     }
     if (!sent)
@@ -75,73 +155,139 @@ class ClientDataConnection final : public Connection {
     return ok();
   }
 
+  // Raw control frame to the (first) peer: transition acks, fins.
+  Result<void> send_frame(MsgKind kind, uint64_t token, BytesView payload) {
+    ClientChannelGroup::PortPtr port;
+    Addr dst;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "connection closed");
+      port = port_;
+      dst = peers_.front().addr;
+    }
+    return port->transport->send_to(dst, encode_frame(kind, token, payload));
+  }
+
+  // Half-close: tells the server this epoch carries no more client data
+  // (per-path FIFO ordering puts the fin after everything sent above).
+  // The channel stays open to drain server->client traffic.
+  void send_fin() {
+    ClientChannelGroup::PortPtr port;
+    std::vector<Peer> peers;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || fin_sent_) return;
+      fin_sent_ = true;
+      port = port_;
+      peers = peers_;
+    }
+    for (const auto& p : peers)
+      (void)port->transport->send_to(p.addr,
+                                     encode_frame(MsgKind::close, p.token, {}));
+  }
+
   Result<Msg> recv(Deadline deadline) override {
     for (;;) {
-      std::shared_ptr<Transport> t;
-      uint64_t epoch;
+      // Frames another channel's puller routed to us.
+      while (auto f = pending_.try_pop()) {
+        if (auto m = handle(*f)) return std::move(*m);
+      }
+      ClientChannelGroup::PortPtr port;
       {
         std::lock_guard<std::mutex> lk(mu_);
         if (closed_) return err(Errc::cancelled, "connection closed");
         if (live_tokens_.empty())
           return err(Errc::unavailable, "all peers closed the connection");
-        t = transport_;
-        epoch = epoch_;
+        port = port_;
       }
-      auto pkt_r = t->recv(deadline);
+      std::unique_lock<std::mutex> pull(*port->pull_mu, std::try_to_lock);
+      if (!pull.owns_lock()) {
+        // Another channel is pulling this transport and will route our
+        // frames; block on our queue (its push wakes us) with a short
+        // slice so we retake the pull role when the puller leaves.
+        Deadline slice = Deadline::after(ms(10));
+        if (!deadline.is_never() && deadline.remaining() < ms(10))
+          slice = deadline;
+        auto f = pending_.pop(slice);
+        if (f.ok()) {
+          if (auto m = handle(f.value())) return std::move(*m);
+          continue;
+        }
+        if (f.error().code == Errc::cancelled)
+          return err(Errc::cancelled, "connection closed");
+        if (deadline.expired())
+          return err(Errc::timed_out, "recv deadline expired");
+        continue;
+      }
+      // We are the puller for this transport: receive and route. Tenure
+      // is bounded so a rebase (port swap) is noticed promptly.
+      Deadline slice = Deadline::after(ms(50));
+      if (!deadline.is_never() && deadline.remaining() < ms(50))
+        slice = deadline;
+      auto pkt_r = port->transport->recv(slice);
+      pull.unlock();
       if (!pkt_r.ok()) {
-        if (pkt_r.error().code == Errc::cancelled) {
+        if (pkt_r.error().code == Errc::timed_out) {
+          if (deadline.expired())
+            return err(Errc::timed_out, "recv deadline expired");
+          continue;
+        }
+        {
           std::lock_guard<std::mutex> lk(mu_);
-          if (!closed_ && epoch_ != epoch) continue;  // rebased; retry
+          if (!closed_ && port_ != port) continue;  // rebased; retry
+          if (closed_) return err(Errc::cancelled, "connection closed");
         }
         return pkt_r.error();
       }
       auto frame_r = decode_frame(pkt_r.value().payload);
       if (!frame_r.ok()) continue;  // stray datagram
-      const Frame& f = frame_r.value();
-      switch (f.kind) {
-        case MsgKind::data: {
-          std::lock_guard<std::mutex> lk(mu_);
-          if (!live_tokens_.count(f.token)) continue;
-          Msg m;
-          m.src = pkt_r.value().src;
-          m.dst = local_;
-          m.payload.assign(f.payload.begin(), f.payload.end());
-          return m;
-        }
-        case MsgKind::close: {
-          std::lock_guard<std::mutex> lk(mu_);
-          live_tokens_.erase(f.token);
-          if (live_tokens_.empty())
-            return err(Errc::unavailable, "peer closed the connection");
-          continue;
-        }
-        default:
-          continue;  // duplicate accept from a handshake retry, etc.
+      RoutedFrame rf;
+      rf.kind = frame_r.value().kind;
+      rf.token = frame_r.value().token;
+      rf.payload.assign(frame_r.value().payload.begin(),
+                        frame_r.value().payload.end());
+      rf.src = pkt_r.value().src;
+      bool mine;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        mine = live_tokens_.count(rf.token) > 0;
       }
+      if (mine) {
+        if (auto m = handle(rf)) return std::move(*m);
+        continue;
+      }
+      group_->route(std::move(rf));
     }
   }
 
   const Addr& local_addr() const override { return local_; }
 
-  // Note: reports the peer negotiated at establishment; a rebase (which
+  // Reports the peer negotiated at establishment; a rebase (which
   // changes the live destination) does not alter the logical peer.
   const Addr& peer_addr() const override { return initial_peer_; }
 
   void close() override {
-    std::shared_ptr<Transport> t;
+    ClientChannelGroup::PortPtr port;
     std::vector<Peer> peers;
+    bool fin_sent;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (closed_) return;
       closed_ = true;
-      t = transport_;
+      port = port_;
       peers = peers_;
+      fin_sent = fin_sent_;
     }
-    for (const auto& p : peers) {
-      Bytes frame = encode_frame(MsgKind::close, p.token, {});
-      (void)t->send_to(p.addr, frame);
+    if (!fin_sent) {
+      for (const auto& p : peers)
+        (void)port->transport->send_to(
+            p.addr, encode_frame(MsgKind::close, p.token, {}));
     }
-    t->close();
+    pending_.close();
+    std::vector<uint64_t> tokens;
+    for (const auto& p : peers) tokens.push_back(p.token);
+    group_->channel_gone(tokens);
+    group_->port_drop_user(port);
   }
 
   // Switch the underlying transport and (single) peer address without
@@ -149,19 +295,22 @@ class ClientDataConnection final : public Connection {
   // the new reply path. This is how local_or_remote moves an established
   // connection onto a unix socket.
   Result<void> rebase(TransportPtr new_transport, Addr new_peer) {
-    std::shared_ptr<Transport> old;
+    auto np = ClientChannelGroup::make_port(
+        std::shared_ptr<Transport>(std::move(new_transport)));
+    ClientChannelGroup::PortPtr old;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (closed_) return err(Errc::cancelled, "connection closed");
       if (peers_.size() != 1)
         return err(Errc::invalid_argument,
                    "rebase only supported for single-peer connections");
-      old = transport_;
-      transport_ = std::shared_ptr<Transport>(std::move(new_transport));
+      old = port_;
+      port_ = np;
       peers_[0].addr = std::move(new_peer);
-      epoch_++;
     }
-    old->close();  // wakes a blocked recv, which retries on the new one
+    group_->port_add_user(np);
+    group_->port_drop_user(old);  // closes the transport if we were the
+                                  // last channel on it, waking its puller
     return ok();
   }
 
@@ -170,16 +319,101 @@ class ClientDataConnection final : public Connection {
     return peers_.front().token;
   }
 
+  ClientChannelGroup::PortPtr port() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return port_;
+  }
+  Addr peer0() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return peers_.front().addr;
+  }
+
+  void deliver(RoutedFrame f) { (void)pending_.push(std::move(f)); }
+
  private:
+  // Returns a Msg to surface to the caller, or nullopt to keep looping.
+  std::optional<Msg> handle(RoutedFrame& f) {
+    switch (f.kind) {
+      case MsgKind::data: {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (!live_tokens_.count(f.token)) return std::nullopt;
+        }
+        Msg m;
+        m.src = f.src;
+        m.dst = local_;
+        m.payload = std::move(f.payload);
+        return m;
+      }
+      case MsgKind::close: {
+        std::lock_guard<std::mutex> lk(mu_);
+        live_tokens_.erase(f.token);
+        return std::nullopt;  // loop notices live_tokens_.empty()
+      }
+      case MsgKind::transition: {
+        auto msg = decode_transition(f.payload);
+        if (msg.ok()) group_->on_transition(msg.value(), shared_from_this());
+        return std::nullopt;
+      }
+      default:
+        return std::nullopt;  // duplicate accept from a retry, etc.
+    }
+  }
+
+  std::shared_ptr<ClientChannelGroup> group_;
   mutable std::mutex mu_;
-  std::shared_ptr<Transport> transport_;
+  ClientChannelGroup::PortPtr port_;
   std::vector<Peer> peers_;
   std::unordered_set<uint64_t> live_tokens_;
+  BlockingQueue<RoutedFrame> pending_;
   Addr local_;
   Addr initial_peer_;
-  uint64_t epoch_ = 0;
+  bool fin_sent_ = false;
   bool closed_ = false;
 };
+
+std::shared_ptr<ClientChannel> ClientChannelGroup::add_channel(
+    PortPtr port, std::vector<Peer> peers) {
+  auto ch =
+      std::make_shared<ClientChannel>(shared_from_this(), port, peers);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    port->users++;
+    for (const auto& p : peers) by_token_[p.token] = ch;
+  }
+  return ch;
+}
+
+void ClientChannelGroup::route(RoutedFrame f) {
+  std::shared_ptr<ClientChannel> ch;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_token_.find(f.token);
+    if (it != by_token_.end()) ch = it->second.lock();
+  }
+  if (ch) ch->deliver(std::move(f));
+}
+
+void ClientChannelGroup::on_transition(
+    const TransitionMsg& msg, const std::shared_ptr<ClientChannel>& via) {
+  TransitionHandler h;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    h = handler_;
+  }
+  if (h) {
+    h(msg, via);
+    return;
+  }
+  // No handler installed: refuse, so the server rolls back cleanly.
+  TransitionAckMsg ack;
+  ack.epoch = msg.epoch;
+  ack.accepted = false;
+  ack.errc = static_cast<uint8_t>(Errc::invalid_argument);
+  ack.reason = "peer does not support live transitions";
+  (void)via->send_frame(MsgKind::transition_ack, msg.new_token,
+                        encode_transition_ack(ack));
+}
 
 // ----------------------------------------------------------------------
 // Server-side per-connection state and connection object.
@@ -202,7 +436,52 @@ struct ServerConnState {
   }
 };
 
-class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
+// Everything the listener remembers about one established connection,
+// keyed by its *current* token (a live transition re-keys the entry to
+// the new epoch's token at cutover).
+struct ConnMeta {
+  HelloMsg hello;         // for renegotiation
+  Addr established_from;  // client handshake source (logical peer)
+  uint64_t epoch = 0;
+  std::vector<NegotiatedNode> chain;
+  std::vector<NodeAlloc> allocs;  // live reservations by chain position
+  std::weak_ptr<TransitionableConnection> conn;
+  bool transitioning = false;  // an offer is in flight
+};
+
+// One in-flight transition, indexed under both its tokens.
+struct TransitionRecord {
+  enum class Phase { awaiting_ack, draining };
+
+  uint64_t old_token = 0;
+  uint64_t new_token = 0;
+  uint64_t epoch = 0;
+  TransitionReason reason = TransitionReason::upgrade;
+  bool mandatory = false;
+  Phase phase = Phase::awaiting_ack;
+
+  Bytes offer_frame;  // retransmitted until acked
+  Deadline next_retry = Deadline::never();
+  Deadline ack_deadline = Deadline::never();
+  Deadline drain_deadline = Deadline::never();
+  TimePoint started{};
+
+  // Client fin on the old token that arrived before the ack: applied at
+  // cutover (the old incoming queue is closed once it's the old epoch).
+  bool old_fin_seen = false;
+
+  std::vector<NegotiatedNode> new_chain;
+  std::vector<NodeAlloc> kept_allocs;  // carried incumbent slots
+  std::vector<NodeAlloc> new_allocs;   // released on rollback
+  std::vector<uint64_t> retired_allocs;  // released after drain
+
+  std::shared_ptr<ServerConnState> old_st, new_st;
+  ConnPtr new_stack;
+  std::shared_ptr<TransitionableConnection> conn;
+};
+
+class Listener::Impl : public TransitionHost,
+                       public std::enable_shared_from_this<Listener::Impl> {
  public:
   Impl(std::shared_ptr<Runtime> rt, std::vector<ChunnelSpec> chain,
        std::string endpoint_name)
@@ -211,7 +490,7 @@ class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
         endpoint_name_(std::move(endpoint_name)),
         accept_q_(1024) {}
 
-  ~Impl() { close(); }
+  ~Impl() override { close(); }
 
   Result<void> start(const Addr& addr) {
     BERTHA_TRY_ASSIGN(t, rt_->transports().bind(addr));
@@ -226,26 +505,35 @@ class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
     // the chain; they may attach extra transports and advertise args.
     for (const auto& spec : chain_) {
       for (const auto& impl : rt_->registry().lookup_type(spec.type)) {
-        ListenContext ctx;
-        ctx.listen_addr = primary_addr_;
-        ctx.host_id = rt_->config().host_id;
-        ctx.transports = &rt_->transports();
-        ctx.app_args = spec.args;
-        auto self = shared_from_this();
-        std::string type = spec.type;
-        ctx.add_listen_transport = [self](TransportPtr extra) {
-          return self->add_transport(std::move(extra));
-        };
-        ctx.advertise = [self, type](std::string k, std::string v) {
-          std::lock_guard<std::mutex> lk(self->mu_);
-          self->advertisements_[type].set(k, std::move(v));
-        };
-        BERTHA_TRY(impl->on_listen(ctx));
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          activated_.insert(spec.type + "/" + impl->info().name);
+        }
+        BERTHA_TRY(run_on_listen(spec, impl));
       }
     }
 
     start_demux(shared);
     return ok();
+  }
+
+  Result<void> run_on_listen(const ChunnelSpec& spec,
+                             const ChunnelImplPtr& impl) {
+    ListenContext ctx;
+    ctx.listen_addr = primary_addr_;
+    ctx.host_id = rt_->config().host_id;
+    ctx.transports = &rt_->transports();
+    ctx.app_args = spec.args;
+    auto self = shared_from_this();
+    std::string type = spec.type;
+    ctx.add_listen_transport = [self](TransportPtr extra) {
+      return self->add_transport(std::move(extra));
+    };
+    ctx.advertise = [self, type](std::string k, std::string v) {
+      std::lock_guard<std::mutex> lk(self->mu_);
+      self->advertisements_[type].set(k, std::move(v));
+    };
+    return impl->on_listen(ctx);
   }
 
   Result<void> add_transport(TransportPtr t) {
@@ -274,16 +562,34 @@ class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
     std::vector<std::shared_ptr<ServerConnState>> states;
     std::vector<uint64_t> allocs;
     std::vector<std::thread> threads;
+    // Moved out under the lock, destroyed only after it: dropping a
+    // transition record (or connection entry) here can release the last
+    // reference to a connection stack whose destructor re-enters
+    // connection_closed() and takes mu_ again.
+    std::unordered_map<uint64_t, std::shared_ptr<ServerConnState>> conns;
+    std::unordered_map<uint64_t, ConnMeta> metas;
+    std::unordered_map<uint64_t, std::shared_ptr<TransitionRecord>> recs;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (closing_) return;
       closing_ = true;
       transports = transports_;
       for (auto& [tok, st] : conns_) states.push_back(st);
-      for (auto& [tok, ids] : allocs_)
-        allocs.insert(allocs.end(), ids.begin(), ids.end());
-      conns_.clear();
-      allocs_.clear();
+      for (auto& [tok, m] : meta_)
+        for (const auto& a : m.allocs) allocs.push_back(a.alloc_id);
+      // In-flight transitions hold slots the meta map doesn't: the
+      // not-yet-live side before cutover, the not-yet-drained side after.
+      for (auto& [tok, rec] : transitions_) {
+        if (tok != rec->old_token) continue;  // visit each record once
+        if (rec->phase == TransitionRecord::Phase::awaiting_ack) {
+          for (const auto& a : rec->new_allocs) allocs.push_back(a.alloc_id);
+        } else {
+          for (uint64_t id : rec->retired_allocs) allocs.push_back(id);
+        }
+      }
+      conns.swap(conns_);
+      metas.swap(meta_);
+      recs.swap(transitions_);
       threads.swap(demux_threads_);
     }
     for (auto& t : transports) t->close();
@@ -300,25 +606,109 @@ class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
   }
 
   void connection_closed(uint64_t token) {
-    std::shared_ptr<ServerConnState> st;
+    std::shared_ptr<ServerConnState> st, other_st;
     std::vector<uint64_t> ids;
+    std::shared_ptr<TransitionRecord> rec;
     {
       std::lock_guard<std::mutex> lk(mu_);
       auto it = conns_.find(token);
       if (it == conns_.end()) return;
       st = it->second;
       conns_.erase(it);
-      auto ait = allocs_.find(token);
-      if (ait != allocs_.end()) {
-        ids = std::move(ait->second);
-        allocs_.erase(ait);
+      auto mit = meta_.find(token);
+      if (mit != meta_.end()) {
+        for (const auto& a : mit->second.allocs) ids.push_back(a.alloc_id);
+        meta_.erase(mit);
+      }
+      auto tit = transitions_.find(token);
+      if (tit != transitions_.end()) {
+        // The whole connection is going away mid-transition: tear down
+        // the other epoch too. Its slots are disjoint from the meta
+        // entry's (pre-cutover meta holds kept+retired and the record
+        // holds new; post-cutover meta holds kept+new, record retired).
+        rec = tit->second;
+        uint64_t other =
+            token == rec->old_token ? rec->new_token : rec->old_token;
+        transitions_.erase(rec->old_token);
+        transitions_.erase(rec->new_token);
+        auto oit = conns_.find(other);
+        if (oit != conns_.end()) {
+          other_st = oit->second;
+          conns_.erase(oit);
+        }
+        auto omit = meta_.find(other);
+        if (omit != meta_.end()) {
+          for (const auto& a : omit->second.allocs) ids.push_back(a.alloc_id);
+          meta_.erase(omit);
+        }
+        if (token == rec->old_token) {
+          for (const auto& a : rec->new_allocs) ids.push_back(a.alloc_id);
+        } else {
+          for (uint64_t id : rec->retired_allocs) ids.push_back(id);
+        }
       }
     }
     st->incoming.close();
+    if (other_st) other_st->incoming.close();
     for (uint64_t id : ids) (void)rt_->discovery().release(id);
   }
 
+  // --- TransitionHost ---
+
+  std::vector<LiveConn> live_connections() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<LiveConn> out;
+    out.reserve(meta_.size());
+    for (const auto& [tok, m] : meta_) out.push_back({tok, m.chain});
+    return out;
+  }
+
+  bool refresh_advertisements() override {
+    auto before = advertisements_snapshot();
+    for (const auto& spec : chain_) {
+      for (const auto& impl : rt_->registry().lookup_type(spec.type)) {
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (closing_) return false;
+          if (!activated_.insert(spec.type + "/" + impl->info().name).second)
+            continue;  // already ran at listen() or an earlier refresh
+        }
+        auto r = run_on_listen(spec, impl);
+        if (!r.ok())
+          BLOG(warn, "listener") << "late on_listen for " << impl->info().name
+                                 << " failed: " << r.error().to_string();
+      }
+    }
+    return advertisements_snapshot() != before;
+  }
+
+  void bind_stats(StatsSinkPtr sink) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_ = std::move(sink);
+  }
+
+  Result<Begin> begin_transition(
+      uint64_t token, TransitionReason reason,
+      const std::vector<std::pair<std::string, std::string>>& banned,
+      bool mandatory) override;
+  void sweep_transitions() override;
+
  private:
+  StatsSinkPtr sink() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+  template <typename F>
+  void stat(F f) {
+    if (auto s = sink()) s->update(f);
+  }
+
+  void handle_transition_ack(const std::shared_ptr<Transport>& transport,
+                             const Addr& src, uint64_t token,
+                             BytesView payload);
+  void do_cutover(const std::shared_ptr<TransitionRecord>& rec);
+  void rollback(const std::shared_ptr<TransitionRecord>& rec, bool declined);
+  void transition_drained(uint64_t old_token, bool forced, uint64_t drained);
   void start_demux(std::shared_ptr<Transport> t) {
     std::lock_guard<std::mutex> lk(mu_);
     if (closing_) return;
@@ -359,8 +749,36 @@ class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
           (void)st->incoming.push(std::move(data));
           break;
         }
-        case MsgKind::close:
-          connection_closed(f.token);
+        case MsgKind::close: {
+          std::shared_ptr<TransitionRecord> rec;
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = transitions_.find(f.token);
+            if (it != transitions_.end()) rec = it->second;
+          }
+          if (!rec) {
+            connection_closed(f.token);
+            break;
+          }
+          if (f.token == rec->old_token) {
+            // Client fin for the pre-transition epoch: per-path FIFO means
+            // everything the client sent on the old token is already in
+            // the queue, so closing it lets the drain finish naturally.
+            std::lock_guard<std::mutex> lk(mu_);
+            if (rec->phase == TransitionRecord::Phase::draining) {
+              rec->old_st->incoming.close();
+            } else {
+              rec->old_fin_seen = true;  // applied at cutover
+            }
+          } else {
+            // Close on the new token while the transition is pending:
+            // the client abandoned the new epoch.
+            rollback(rec, /*declined=*/false);
+          }
+          break;
+        }
+        case MsgKind::transition_ack:
+          handle_transition_ack(transport, pkt.src, f.token, f.payload);
           break;
         default:
           break;  // accept/reject/discovery are not for a listener
@@ -386,7 +804,12 @@ class Listener::Impl : public std::enable_shared_from_this<Listener::Impl> {
   std::vector<std::thread> demux_threads_;
   std::map<std::string, ChunnelArgs> advertisements_;
   std::unordered_map<uint64_t, std::shared_ptr<ServerConnState>> conns_;
-  std::unordered_map<uint64_t, std::vector<uint64_t>> allocs_;
+  std::unordered_map<uint64_t, ConnMeta> meta_;
+  // Both tokens of an in-flight transition map to the same record.
+  std::unordered_map<uint64_t, std::shared_ptr<TransitionRecord>> transitions_;
+  // (type "/" impl) pairs whose on_listen already ran.
+  std::unordered_set<std::string> activated_;
+  StatsSinkPtr stats_;
   // Handshake retransmission cache: hello identity -> encoded Accept.
   // Bounded FIFO: retransmissions arrive within the handshake window,
   // so only recent entries matter; old ones are evicted to keep a
@@ -516,12 +939,19 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   Bytes accept_frame = encode_frame(MsgKind::accept, token,
                                     encode_accept(accept));
 
+  ConnMeta meta;
+  meta.hello = hello;
+  meta.established_from = src;
+  meta.chain = accept.chain;
+  for (size_t i = 0; i < neg.value().resource_allocs.size(); i++)
+    meta.allocs.push_back(
+        {neg.value().alloc_nodes[i], neg.value().resource_allocs[i]});
+
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closing_) return;
     conns_[token] = st;
-    if (!neg.value().resource_allocs.empty())
-      allocs_[token] = neg.value().resource_allocs;
+    meta_[token] = std::move(meta);
     if (hello_cache_.emplace(cache_key, accept_frame).second) {
       hello_cache_order_.push_back(cache_key);
       if (hello_cache_order_.size() > kHelloCacheCap) {
@@ -555,10 +985,342 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
     return;
   }
 
+  // Outermost wrapper: lets the transition controller swap the stack
+  // underneath the application at an epoch boundary.
+  auto tconn = std::make_shared<TransitionableConnection>(
+      std::move(wrapped).value(), accept.chain, /*external_cutover=*/true,
+      rt_->transitions().tuning(), rt_->transitions().stats_sink());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = meta_.find(token);
+    if (it != meta_.end()) it->second.conn = tconn;
+  }
+
   // Register the connection before the client learns the token, then
   // hand it to accept().
   (void)transport->send_to(src, accept_frame);
-  (void)accept_q_.push(std::move(wrapped).value());
+  (void)accept_q_.push(std::move(tconn));
+}
+
+// --- Live transitions (TransitionHost) ---
+
+Result<TransitionHost::Begin> Listener::Impl::begin_transition(
+    uint64_t token, TransitionReason reason,
+    const std::vector<std::pair<std::string, std::string>>& banned,
+    bool mandatory) {
+  HelloMsg hello;
+  std::vector<NegotiatedNode> current;
+  std::vector<NodeAlloc> cur_allocs;
+  Addr peer;
+  std::shared_ptr<TransitionableConnection> tconn;
+  std::shared_ptr<ServerConnState> old_st;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closing_) return err(Errc::cancelled, "listener closed");
+    auto it = meta_.find(token);
+    if (it == meta_.end()) return err(Errc::not_found, "no such connection");
+    if (it->second.transitioning) return Begin::busy;
+    it->second.transitioning = true;
+    hello = it->second.hello;
+    current = it->second.chain;
+    cur_allocs = it->second.allocs;
+    peer = it->second.established_from;
+    epoch = it->second.epoch + 1;
+    tconn = it->second.conn.lock();
+    auto cit = conns_.find(token);
+    if (cit != conns_.end()) old_st = cit->second;
+  }
+  auto abandon = [&] {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = meta_.find(token);
+    if (it != meta_.end()) it->second.transitioning = false;
+  };
+  if (!tconn || !old_st) {
+    abandon();
+    return err(Errc::not_found, "connection already torn down");
+  }
+
+  // Re-run selection with the incumbent seeded in (renegotiate_server
+  // does not touch slots the connection already holds).
+  auto reneg_r = renegotiate_server(
+      chain_, current, cur_allocs, hello, rt_->registry(), rt_->discovery(),
+      *rt_->config().policy, advertisements_snapshot(), rt_->config().host_id,
+      banned);
+  if (!reneg_r.ok()) {
+    abandon();
+    return reneg_r.error();
+  }
+  RenegotiationResult reneg = std::move(reneg_r).value();
+  auto release_new = [&] {
+    for (const auto& a : reneg.new_allocs)
+      (void)rt_->discovery().release(a.alloc_id);
+  };
+  if (!reneg.changed) {
+    abandon();
+    return Begin::unchanged;
+  }
+
+  // Stage the new epoch: fresh token, fresh server state, fresh stack.
+  uint64_t new_token = next_token_.fetch_add(1);
+  auto new_st = std::make_shared<ServerConnState>(new_token);
+  ConnPtr base = std::make_shared<ServerConnection>(new_st, weak_from_this(),
+                                                    primary_addr_, peer);
+  WrapContext ctx;
+  ctx.role = Role::server;
+  ctx.local_host_id = rt_->config().host_id;
+  ctx.peer_host_id = hello.host_id;
+  ctx.token = new_token;
+  ctx.listen_addr = primary_addr_;
+  ctx.transports = &rt_->transports();
+  auto stack = build_stack(*rt_, reneg.chain, std::move(base), ctx);
+  if (!stack.ok()) {
+    release_new();
+    abandon();
+    return stack.error();
+  }
+
+  TransitionMsg msg;
+  msg.epoch = epoch;
+  msg.new_token = new_token;
+  msg.reason = reason;
+  msg.mandatory = mandatory;
+  msg.chain = reneg.chain;
+  if (!rt_->config().attestation_secret.empty())
+    msg.chain_digest =
+        attest_chain(reneg.chain, rt_->config().attestation_secret);
+
+  const TransitionTuning& tun = rt_->transitions().tuning();
+  auto rec = std::make_shared<TransitionRecord>();
+  rec->old_token = token;
+  rec->new_token = new_token;
+  rec->epoch = epoch;
+  rec->reason = reason;
+  rec->mandatory = mandatory;
+  rec->offer_frame =
+      encode_frame(MsgKind::transition, token, encode_transition(msg));
+  rec->next_retry = Deadline::after(tun.offer_retry);
+  rec->ack_deadline = Deadline::after(tun.ack_timeout);
+  rec->started = now();
+  rec->new_chain = reneg.chain;
+  rec->kept_allocs = std::move(reneg.kept_allocs);
+  rec->new_allocs = std::move(reneg.new_allocs);
+  rec->retired_allocs = std::move(reneg.retired_allocs);
+  rec->old_st = old_st;
+  rec->new_st = new_st;
+  rec->new_stack = std::move(stack).value();
+  rec->conn = tconn;
+
+  bool registered = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!closing_ && meta_.count(token)) {
+      conns_[new_token] = new_st;
+      transitions_[token] = rec;
+      transitions_[new_token] = rec;
+      registered = true;
+    }
+  }
+  if (!registered) {  // lost a race with close/teardown
+    release_new();
+    rec->new_stack->close();
+    abandon();
+    return err(Errc::cancelled, "connection closed during renegotiation");
+  }
+
+  // Offer on the *current* reply path; the ack returns on the new token.
+  std::shared_ptr<Transport> reply_t;
+  Addr reply_dst;
+  {
+    std::lock_guard<std::mutex> lk(old_st->reply_mu);
+    reply_t = old_st->reply_transport;
+    reply_dst = old_st->reply_addr;
+  }
+  if (reply_t) (void)reply_t->send_to(reply_dst, rec->offer_frame);
+  stat([](TransitionStats& s) { s.offers_sent++; });
+  BLOG(info, "transition") << "offer epoch " << epoch << " token " << token
+                           << " -> " << new_token;
+  return Begin::started;
+}
+
+void Listener::Impl::sweep_transitions() {
+  std::vector<std::shared_ptr<TransitionRecord>> retransmit, give_up, force;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [tok, rec] : transitions_) {
+      if (tok != rec->old_token) continue;  // visit each record once
+      if (rec->phase == TransitionRecord::Phase::awaiting_ack) {
+        if (rec->ack_deadline.expired()) {
+          give_up.push_back(rec);
+        } else if (rec->next_retry.expired()) {
+          rec->next_retry =
+              Deadline::after(rt_->transitions().tuning().offer_retry);
+          retransmit.push_back(rec);
+        }
+      } else if (rec->drain_deadline.expired()) {
+        force.push_back(rec);
+      }
+    }
+  }
+  for (auto& rec : retransmit) {
+    std::shared_ptr<Transport> t;
+    Addr dst;
+    {
+      std::lock_guard<std::mutex> lk(rec->old_st->reply_mu);
+      t = rec->old_st->reply_transport;
+      dst = rec->old_st->reply_addr;
+    }
+    if (t) (void)t->send_to(dst, rec->offer_frame);
+    stat([](TransitionStats& s) { s.offers_sent++; });
+  }
+  for (auto& rec : give_up) {
+    if (rec->mandatory) {
+      // A revocation cannot wait on an unresponsive client: close the
+      // connection so the slot frees.
+      stat([](TransitionStats& s) { s.closed_mandatory++; });
+      rollback(rec, /*declined=*/false);
+      if (rec->conn) rec->conn->close();
+      connection_closed(rec->old_token);
+    } else {
+      rollback(rec, /*declined=*/false);
+    }
+  }
+  for (auto& rec : force) {
+    if (rec->conn) rec->conn->force_drain();  // fires transition_drained
+  }
+}
+
+void Listener::Impl::handle_transition_ack(
+    const std::shared_ptr<Transport>& transport, const Addr& src,
+    uint64_t token, BytesView payload) {
+  auto ack_r = decode_transition_ack(payload);
+  if (!ack_r.ok()) return;
+  const TransitionAckMsg& ack = ack_r.value();
+  std::shared_ptr<TransitionRecord> rec;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = transitions_.find(token);
+    if (it == transitions_.end()) return;  // stale or duplicate
+    rec = it->second;
+    if (token != rec->new_token) return;  // acks travel the new path
+    if (rec->phase != TransitionRecord::Phase::awaiting_ack) return;
+    if (ack.epoch != rec->epoch) return;
+  }
+  if (ack.accepted) {
+    // The ack arrived over the new epoch's path: that is the new
+    // reply route (it may be a different transport after a rebase).
+    rec->new_st->set_reply_path(transport, src);
+    do_cutover(rec);
+  } else {
+    BLOG(info, "transition") << "epoch " << rec->epoch
+                             << " declined: " << ack.reason;
+    bool mandatory = rec->mandatory;
+    rollback(rec, /*declined=*/true);
+    if (mandatory) {
+      // Revocations cannot be declined; the implementation is going away.
+      stat([](TransitionStats& s) { s.closed_mandatory++; });
+      if (rec->conn) rec->conn->close();
+      connection_closed(rec->old_token);
+    }
+  }
+}
+
+void Listener::Impl::do_cutover(const std::shared_ptr<TransitionRecord>& rec) {
+  bool fin_seen;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (rec->phase != TransitionRecord::Phase::awaiting_ack) return;
+    rec->phase = TransitionRecord::Phase::draining;
+    rec->drain_deadline =
+        Deadline::after(rt_->transitions().tuning().drain_timeout);
+    fin_seen = rec->old_fin_seen;
+    // Re-key the connection to its new epoch. Kept + new slots ride in
+    // the meta entry; retired slots stay on the record until drained.
+    auto mit = meta_.find(rec->old_token);
+    if (mit != meta_.end()) {
+      ConnMeta m = std::move(mit->second);
+      meta_.erase(mit);
+      m.epoch = rec->epoch;
+      m.chain = rec->new_chain;
+      m.allocs = rec->kept_allocs;
+      m.allocs.insert(m.allocs.end(), rec->new_allocs.begin(),
+                      rec->new_allocs.end());
+      m.transitioning = true;  // until the drain finishes
+      meta_[rec->new_token] = std::move(m);
+    }
+  }
+  auto self = shared_from_this();
+  uint64_t old_token = rec->old_token;
+  auto r = rec->conn->cutover(
+      rec->epoch, rec->new_stack, rec->new_chain,
+      [self, old_token](bool forced, uint64_t drained) {
+        self->transition_drained(old_token, forced, drained);
+      });
+  if (!r.ok()) {
+    // Stale epoch or the application closed the connection underneath
+    // us: tear the (already re-keyed) connection down entirely.
+    connection_closed(rec->new_token);
+    return;
+  }
+  if (fin_seen) rec->old_st->incoming.close();
+}
+
+void Listener::Impl::rollback(const std::shared_ptr<TransitionRecord>& rec,
+                              bool declined) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = transitions_.find(rec->old_token);
+    if (it == transitions_.end() || it->second != rec) return;
+    if (rec->phase != TransitionRecord::Phase::awaiting_ack)
+      return;  // already cut over; too late to roll back
+    transitions_.erase(rec->old_token);
+    transitions_.erase(rec->new_token);
+    conns_.erase(rec->new_token);
+    auto mit = meta_.find(rec->old_token);
+    if (mit != meta_.end()) mit->second.transitioning = false;
+  }
+  rec->new_st->incoming.close();
+  for (const auto& a : rec->new_allocs)
+    (void)rt_->discovery().release(a.alloc_id);
+  rec->new_stack->close();
+  stat([declined](TransitionStats& s) {
+    if (declined)
+      s.declined++;
+    else
+      s.rolled_back++;
+  });
+}
+
+void Listener::Impl::transition_drained(uint64_t old_token, bool forced,
+                                        uint64_t drained) {
+  std::shared_ptr<TransitionRecord> rec;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = transitions_.find(old_token);
+    if (it == transitions_.end()) return;
+    rec = it->second;
+    transitions_.erase(rec->old_token);
+    transitions_.erase(rec->new_token);
+    conns_.erase(old_token);
+    auto mit = meta_.find(rec->new_token);
+    if (mit != meta_.end()) mit->second.transitioning = false;
+  }
+  rec->old_st->incoming.close();
+  // Drain-before-release: only now do the replaced nodes' slots free.
+  for (uint64_t id : rec->retired_allocs) (void)rt_->discovery().release(id);
+  uint64_t dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now() -
+                                                           rec->started)
+          .count());
+  stat([forced, drained, dur_ns](TransitionStats& s) {
+    s.completed++;
+    if (forced) s.forced_cutovers++;
+    s.drained_msgs += drained;
+    s.total_cutover_ns += dur_ns;
+    if (dur_ns > s.max_cutover_ns) s.max_cutover_ns = dur_ns;
+  });
+  BLOG(info, "transition") << "epoch " << rec->epoch << " drained ("
+                           << drained << " msgs, forced=" << forced << ")";
 }
 
 // --- Listener public API ---
@@ -578,6 +1340,11 @@ uint64_t Listener::connections_accepted() const {
 Result<std::unique_ptr<Listener>> Endpoint::listen(const Addr& addr) {
   auto impl = std::make_shared<Listener::Impl>(rt_, chain_, name_);
   BERTHA_TRY(impl->start(addr));
+  // Make the listener's connections eligible for live transitions; the
+  // controller's watch/sweep thread starts with the first listener.
+  rt_->transitions().attach(impl);
+  if (!rt_->transitions().running())
+    (void)rt_->transitions().start(rt_->discovery());
   return std::unique_ptr<Listener>(new Listener(std::move(impl)));
 }
 
@@ -616,7 +1383,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   Bytes hello_frame = encode_frame(MsgKind::hello, 0, hello_body);
 
   const auto& cfg = rt_->config();
-  std::vector<ClientDataConnection::Peer> peers;
+  std::vector<Peer> peers;
   std::vector<AcceptMsg> accepts;
 
   for (const Addr& server : servers) {
@@ -678,7 +1445,9 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     accepts.push_back(std::move(*accept));
   }
 
-  auto base = std::make_shared<ClientDataConnection>(transport, peers);
+  auto group = std::make_shared<ClientChannelGroup>();
+  auto port = ClientChannelGroup::make_port(transport);
+  auto channel = group->add_channel(port, peers);
 
   WrapContext ctx;
   ctx.role = Role::client;
@@ -687,7 +1456,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   ctx.token = peers.front().token;
   ctx.transports = &rt_->transports();
   if (peers.size() == 1) {
-    std::weak_ptr<ClientDataConnection> weak = base;
+    std::weak_ptr<ClientChannel> weak = channel;
     ctx.rebase = [weak](TransportPtr nt, Addr np) -> Result<void> {
       auto conn = weak.lock();
       if (!conn) return err(Errc::cancelled, "connection gone");
@@ -695,7 +1464,122 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     };
   }
 
-  return build_stack(*rt_, accepts.front().chain, base, ctx);
+  BERTHA_TRY_ASSIGN(stack,
+                    build_stack(*rt_, accepts.front().chain, channel, ctx));
+  auto tconn = std::make_shared<TransitionableConnection>(
+      std::move(stack), accepts.front().chain, /*external_cutover=*/false,
+      rt_->transitions().tuning(), rt_->transitions().stats_sink());
+
+  // Server-initiated live transitions. The handler runs on whichever
+  // thread surfaced the offer frame (inside tconn->recv), so the swap
+  // happens on the application's own recv thread.
+  struct TransitionCtl {
+    std::mutex mu;
+    uint64_t current_epoch = 0;
+    std::unordered_set<uint64_t> in_progress;
+    struct SentAck {
+      Bytes payload;
+      uint64_t token = 0;
+      std::weak_ptr<ClientChannel> via;
+    };
+    std::map<uint64_t, SentAck> acks;  // epoch -> what we answered
+  };
+  auto ctl = std::make_shared<TransitionCtl>();
+  std::weak_ptr<ClientChannelGroup> wgroup = group;
+  std::weak_ptr<TransitionableConnection> wtconn = tconn;
+  auto runtime = rt_;
+  const bool multi_peer = peers.size() > 1;
+  const std::string secret = cfg.attestation_secret;
+  const std::string peer_host = accepts.front().host_id;
+  group->set_transition_handler([wgroup, wtconn, runtime, ctl, multi_peer,
+                                 secret, peer_host](
+                                    const TransitionMsg& msg,
+                                    const std::shared_ptr<ClientChannel>& via) {
+    auto decline = [&](Errc e, const std::string& why) {
+      TransitionAckMsg ack;
+      ack.epoch = msg.epoch;
+      ack.accepted = false;
+      ack.errc = static_cast<uint8_t>(e);
+      ack.reason = why;
+      Bytes payload = encode_transition_ack(ack);
+      (void)via->send_frame(MsgKind::transition_ack, msg.new_token, payload);
+      std::lock_guard<std::mutex> lk(ctl->mu);
+      ctl->acks[msg.epoch] = {std::move(payload), msg.new_token, via};
+      ctl->in_progress.erase(msg.epoch);
+    };
+    {
+      std::lock_guard<std::mutex> lk(ctl->mu);
+      auto it = ctl->acks.find(msg.epoch);
+      if (it != ctl->acks.end()) {
+        // Retransmitted offer: our ack was lost. Resend it on the same
+        // channel as the original so the server sees the same path.
+        auto ch = it->second.via.lock();
+        if (!ch) ch = via;
+        (void)ch->send_frame(MsgKind::transition_ack, it->second.token,
+                             it->second.payload);
+        return;
+      }
+      if (msg.epoch <= ctl->current_epoch) return;  // stale
+      if (!ctl->in_progress.insert(msg.epoch).second)
+        return;  // a duplicate raced in while we're still staging
+    }
+    auto group = wgroup.lock();
+    auto tconn = wtconn.lock();
+    if (!group || !tconn) return;  // connection being torn down
+    if (multi_peer) {
+      decline(Errc::invalid_argument,
+              "live transitions unsupported on multi-peer connections");
+      return;
+    }
+    if (!secret.empty() &&
+        msg.chain_digest != attest_chain(msg.chain, secret)) {
+      decline(Errc::connection_failed, "chain attestation failed");
+      return;
+    }
+    // Stage the new epoch's channel on the same port and peer; chunnels
+    // in the new chain may rebase it (e.g. onto a unix socket).
+    auto nch = group->add_channel(via->port(), {{via->peer0(), msg.new_token}});
+    WrapContext ctx;
+    ctx.role = Role::client;
+    ctx.local_host_id = runtime->config().host_id;
+    ctx.peer_host_id = peer_host;
+    ctx.token = msg.new_token;
+    ctx.transports = &runtime->transports();
+    std::weak_ptr<ClientChannel> wnch = nch;
+    ctx.rebase = [wnch](TransportPtr nt, Addr np) -> Result<void> {
+      auto conn = wnch.lock();
+      if (!conn) return err(Errc::cancelled, "connection gone");
+      return conn->rebase(std::move(nt), std::move(np));
+    };
+    auto stack = build_stack(*runtime, msg.chain, nch, ctx);
+    if (!stack.ok()) {
+      nch->close();
+      decline(stack.error().code, stack.error().message);
+      return;
+    }
+    auto cut = tconn->cutover(msg.epoch, std::move(stack).value(), msg.chain,
+                              [](bool, uint64_t) {});
+    if (!cut.ok()) {
+      nch->close();
+      decline(cut.error().code, cut.error().message);
+      return;
+    }
+    // Ack travels the *new* channel: its source address teaches the
+    // server the new epoch's reply path. The fin then half-closes the
+    // old epoch (it trails all previously sent data, per-path FIFO).
+    TransitionAckMsg ack;
+    ack.epoch = msg.epoch;
+    ack.accepted = true;
+    Bytes payload = encode_transition_ack(ack);
+    (void)nch->send_frame(MsgKind::transition_ack, msg.new_token, payload);
+    via->send_fin();
+    std::lock_guard<std::mutex> lk(ctl->mu);
+    ctl->current_epoch = msg.epoch;
+    ctl->acks[msg.epoch] = {std::move(payload), msg.new_token, nch};
+    ctl->in_progress.erase(msg.epoch);
+  });
+
+  return ConnPtr(std::move(tconn));
 }
 
 // --- stack construction ---

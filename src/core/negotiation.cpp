@@ -10,25 +10,6 @@ namespace bertha {
 
 // --- message serde ---
 
-template <>
-struct Serde<NegotiatedNode> {
-  static void put(Writer& w, const NegotiatedNode& n) {
-    w.put_string(n.type);
-    w.put_string(n.impl_name);
-    serde_put(w, n.args);
-  }
-  static Result<NegotiatedNode> get(Reader& r) {
-    NegotiatedNode n;
-    BERTHA_TRY_ASSIGN(type, r.get_string());
-    BERTHA_TRY_ASSIGN(name, r.get_string());
-    BERTHA_TRY_ASSIGN(args, serde_get<ChunnelArgs>(r));
-    n.type = std::move(type);
-    n.impl_name = std::move(name);
-    n.args = std::move(args);
-    return n;
-  }
-};
-
 Bytes encode_hello(const HelloMsg& m) {
   Writer w;
   w.put_string(m.endpoint_name);
@@ -204,6 +185,7 @@ Result<NegotiationResult> select_chain(
   auto release_all = [&] {
     for (uint64_t id : result.resource_allocs) (void)discovery.release(id);
     result.resource_allocs.clear();
+    result.alloc_nodes.clear();
   };
 
   for (const auto& spec : specs) {
@@ -241,6 +223,7 @@ Result<NegotiationResult> select_chain(
       auto alloc = discovery.acquire(c.info.resources);
       if (alloc.ok()) {
         result.resource_allocs.push_back(alloc.value());
+        result.alloc_nodes.push_back(result.chain.size());
         chosen = &c;
         break;
       }
@@ -382,6 +365,112 @@ Result<NegotiationResult> negotiate_server(
     BLOG(info, "negotiate") << "dag rewrite: " << what;
   for (uint64_t id : result.resource_allocs) (void)discovery.release(id);
   return rebound;
+}
+
+// --- live renegotiation ---
+
+Result<RenegotiationResult> renegotiate_server(
+    const std::vector<ChunnelSpec>& server_chain,
+    const std::vector<NegotiatedNode>& current,
+    const std::vector<NodeAlloc>& current_allocs, const HelloMsg& hello,
+    const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
+    const std::map<std::string, ChunnelArgs>& advertisements,
+    const std::string& server_host_id,
+    const std::vector<std::pair<std::string, std::string>>& banned) {
+  RenegotiationResult unchanged;
+  unchanged.chain = current;
+  unchanged.kept_allocs = current_allocs;
+
+  // Only positionally-matching chains transition; an optimizer-rewritten
+  // pipeline keeps its binding for life (ROADMAP follow-on).
+  if (current.size() != server_chain.size()) return unchanged;
+  for (size_t i = 0; i < current.size(); i++)
+    if (current[i].type != server_chain[i].type) return unchanged;
+
+  const bool same_host = hello.host_id == server_host_id;
+  auto is_banned = [&](const std::string& type, const std::string& name) {
+    for (const auto& [t, n] : banned)
+      if (t == type && n == name) return true;
+    return false;
+  };
+
+  RenegotiationResult result;
+  auto release_new = [&] {
+    for (const auto& a : result.new_allocs) (void)discovery.release(a.alloc_id);
+    result.new_allocs.clear();
+  };
+
+  for (size_t i = 0; i < server_chain.size(); i++) {
+    const ChunnelSpec& spec = server_chain[i];
+    const NegotiatedNode& cur = current[i];
+
+    static const std::vector<ImplInfo> kNone;
+    const std::vector<ImplInfo>* client_offered = &kNone;
+    if (auto it = hello.offers.find(spec.type); it != hello.offers.end())
+      client_offered = &it->second;
+
+    std::vector<ImplInfo> network_entries;
+    if (auto q = discovery.query(spec.type); q.ok())
+      network_entries = std::move(q).value();
+
+    auto candidates =
+        rank_candidates(spec, *client_offered, registry.infos_for(spec.type),
+                        network_entries, policy, same_host);
+
+    // Walk best-first. Hitting the incumbent means nothing better is
+    // usable: keep it verbatim, *without* re-acquiring the slot it
+    // already holds. A higher-ranked candidate must actually reserve its
+    // resources to displace the incumbent.
+    const Candidate* chosen = nullptr;
+    bool keep_incumbent = false;
+    for (const auto& c : candidates) {
+      if (is_banned(spec.type, c.info.name)) continue;
+      if (c.info.name == cur.impl_name) {
+        chosen = &c;
+        keep_incumbent = true;
+        break;
+      }
+      if (c.info.resources.empty()) {
+        chosen = &c;
+        break;
+      }
+      auto alloc = discovery.acquire(c.info.resources);
+      if (alloc.ok()) {
+        result.new_allocs.push_back({i, alloc.value()});
+        chosen = &c;
+        break;
+      }
+      BLOG(debug, "renegotiate")
+          << c.info.name << " skipped: " << alloc.error().to_string();
+    }
+    if (!chosen) {
+      release_new();
+      return err(Errc::incompatible,
+                 "no usable implementation for chunnel type '" + spec.type +
+                     "' after renegotiation");
+    }
+
+    if (keep_incumbent) {
+      result.chain.push_back(cur);
+      for (const auto& a : current_allocs)
+        if (a.node == i) result.kept_allocs.push_back({i, a.alloc_id});
+      continue;
+    }
+
+    result.changed = true;
+    NegotiatedNode node;
+    node.type = spec.type;
+    node.impl_name = chosen->info.name;
+    node.args = spec.args.merged_with(ChunnelArgs(chosen->info.props));
+    if (auto it = advertisements.find(spec.type); it != advertisements.end())
+      node.args = node.args.merged_with(it->second);
+    result.chain.push_back(std::move(node));
+    for (const auto& a : current_allocs)
+      if (a.node == i) result.retired_allocs.push_back(a.alloc_id);
+  }
+
+  if (!result.changed) return unchanged;
+  return result;
 }
 
 }  // namespace bertha

@@ -50,6 +50,27 @@ struct NegotiatedNode {
   }
 };
 
+// In the header (not negotiation.cpp) because transition messages
+// (core/renegotiation.hpp) embed negotiated chains too.
+template <>
+struct Serde<NegotiatedNode> {
+  static void put(Writer& w, const NegotiatedNode& n) {
+    w.put_string(n.type);
+    w.put_string(n.impl_name);
+    serde_put(w, n.args);
+  }
+  static Result<NegotiatedNode> get(Reader& r) {
+    NegotiatedNode n;
+    BERTHA_TRY_ASSIGN(type, r.get_string());
+    BERTHA_TRY_ASSIGN(name, r.get_string());
+    BERTHA_TRY_ASSIGN(args, serde_get<ChunnelArgs>(r));
+    n.type = std::move(type);
+    n.impl_name = std::move(name);
+    n.args = std::move(args);
+    return n;
+  }
+};
+
 struct AcceptMsg {
   uint64_t token = 0;
   std::string host_id;     // server's
@@ -86,6 +107,10 @@ Result<RejectMsg> decode_reject(BytesView b);
 struct NegotiationResult {
   std::vector<NegotiatedNode> chain;
   std::vector<uint64_t> resource_allocs;  // to release on connection close
+  // Parallel to resource_allocs: the chain position each allocation was
+  // reserved for. Live renegotiation needs this to carry an incumbent
+  // node's slot across a transition while retiring a replaced node's.
+  std::vector<size_t> alloc_nodes;
 };
 
 // Server-side selection. `advertisements` are per-type args contributed
@@ -101,6 +126,45 @@ Result<NegotiationResult> negotiate_server(
     const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
     const std::map<std::string, ChunnelArgs>& advertisements,
     const std::string& server_host_id, const DagOptimizer* optimizer = nullptr);
+
+// --- Live renegotiation (core/renegotiation.hpp) ---
+
+// A resource allocation pinned to one position of a negotiated chain.
+struct NodeAlloc {
+  size_t node = 0;       // index into the chain
+  uint64_t alloc_id = 0;
+};
+
+struct RenegotiationResult {
+  std::vector<NegotiatedNode> chain;
+  bool changed = false;                  // any position re-bound?
+  std::vector<NodeAlloc> kept_allocs;    // incumbent slots carried over
+  std::vector<NodeAlloc> new_allocs;     // reserved here for new nodes
+  // Slots held by replaced nodes. The caller MUST NOT release these until
+  // the old chain has drained (the drain-before-release invariant).
+  std::vector<uint64_t> retired_allocs;
+};
+
+// Re-runs selection for an *established* connection. Unlike
+// negotiate_server this is incumbent-aware: at each position the current
+// implementation is kept — without re-acquiring resources it already
+// holds (a naive re-run would evict the connection from its own slot) —
+// unless a strictly higher-ranked candidate is usable. `banned`
+// (type, impl name) pairs are excluded outright, which is how revocation
+// forces a fallback even while the registry still has the factory.
+// `current_allocs` are the connection's live reservations by chain
+// position. If the current chain's types no longer match `server_chain`
+// (e.g. the DAG optimizer rewrote it), returns unchanged — transitions
+// of rewritten pipelines are a ROADMAP follow-on. On error, any
+// newly-acquired slots have been released.
+Result<RenegotiationResult> renegotiate_server(
+    const std::vector<ChunnelSpec>& server_chain,
+    const std::vector<NegotiatedNode>& current,
+    const std::vector<NodeAlloc>& current_allocs, const HelloMsg& hello,
+    const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
+    const std::map<std::string, ChunnelArgs>& advertisements,
+    const std::string& server_host_id,
+    const std::vector<std::pair<std::string, std::string>>& banned = {});
 
 // Pure candidate assembly/filter/rank (exposed for tests and the
 // scheduling bench): returns candidates for one node ordered best-first.

@@ -39,6 +39,10 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
   return std::shared_ptr<Runtime>(new Runtime(std::move(cfg)));
 }
 
+// Out of line: stop the controller's watch/sweep thread before cfg_
+// (and with it the discovery handle) is torn down.
+Runtime::~Runtime() { transitions_->stop(); }
+
 Result<void> Runtime::register_chunnel(ChunnelImplPtr impl) {
   return registry_.register_impl(std::move(impl));
 }

@@ -22,6 +22,7 @@
 #include "core/discovery.hpp"
 #include "core/optimizer.hpp"
 #include "core/policy.hpp"
+#include "core/renegotiation.hpp"
 #include "net/transport.hpp"
 
 namespace bertha {
@@ -60,6 +61,10 @@ struct RuntimeConfig {
   // Connection-establishment handshake parameters.
   Duration handshake_timeout = ms(1000);
   int handshake_retries = 4;
+
+  // Live-renegotiation timing (core/renegotiation.hpp). Tests tighten
+  // these; production deployments mostly care about drain_timeout.
+  TransitionTuning transition_tuning;
 };
 
 class Runtime : public std::enable_shared_from_this<Runtime> {
@@ -83,11 +88,22 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
   const RuntimeConfig& config() const { return cfg_; }
   TransportFactory& transports() { return *cfg_.transports; }
 
+  // Live-renegotiation controller (paper follow-on, see
+  // core/renegotiation.hpp). Listeners attach themselves on listen();
+  // its watch/sweep thread starts lazily with the first listener.
+  TransitionController& transitions() { return *transitions_; }
+
+  ~Runtime();
+
  private:
-  explicit Runtime(RuntimeConfig cfg) : cfg_(std::move(cfg)) {}
+  explicit Runtime(RuntimeConfig cfg)
+      : cfg_(std::move(cfg)),
+        transitions_(
+            std::make_unique<TransitionController>(cfg_.transition_tuning)) {}
 
   RuntimeConfig cfg_;
   Registry registry_;
+  std::unique_ptr<TransitionController> transitions_;
 };
 
 // Returns a process-unique random identifier (hex).

@@ -23,6 +23,12 @@ enum class MsgKind : uint8_t {
   data = 4,       // either direction, payload is application data
   close = 5,      // either direction, best-effort teardown notice
   discovery = 6,  // discovery service request/response (token 0)
+  // Live renegotiation (core/renegotiation.hpp). A transition offer is
+  // sent on the connection's *current* token and carries the next
+  // epoch's chain plus the token that epoch will use; the ack flows
+  // back on the new token so the server learns the new reply path.
+  transition = 7,      // server -> client: epoch cutover offer
+  transition_ack = 8,  // client -> server: accept/decline of an offer
 };
 
 inline constexpr uint8_t kMagic0 = 'B';

@@ -3,6 +3,8 @@
 // an in-memory network).
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/discovery.hpp"
 #include "net/memchan.hpp"
 
@@ -209,6 +211,178 @@ TEST_F(RemoteDiscoveryTest, UnreachableServerTimesOut) {
   auto r = lost.query("x");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().code, Errc::unavailable);
+}
+
+// --- watch subscriptions ---
+
+ImplInfo watch_info(const std::string& type, const std::string& name,
+                    int prio = 0) {
+  ImplInfo i;
+  i.type = type;
+  i.name = name;
+  i.priority = prio;
+  return i;
+}
+
+TEST(DiscoveryWatchTest, DeliversRegisterAndUnregister) {
+  DiscoveryState state;
+  auto w = state.watch("").value();
+  ASSERT_TRUE(state.register_impl(watch_info("encrypt", "encrypt/nic", 7)).ok());
+  auto ev = w->next(Deadline::after(seconds(1)));
+  ASSERT_TRUE(ev.ok()) << ev.error().to_string();
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_registered);
+  EXPECT_EQ(ev.value().type, "encrypt");
+  EXPECT_EQ(ev.value().name, "encrypt/nic");
+  ASSERT_TRUE(ev.value().info.has_value());
+  EXPECT_EQ(ev.value().info->priority, 7);
+
+  ASSERT_TRUE(state.unregister_impl("encrypt", "encrypt/nic").ok());
+  ev = w->next(Deadline::after(seconds(1)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_unregistered);
+  EXPECT_EQ(ev.value().name, "encrypt/nic");
+}
+
+TEST(DiscoveryWatchTest, TypeFilterSelectsImplEventsOnly) {
+  DiscoveryState state;
+  ASSERT_TRUE(state.set_pool("p", 1).ok());
+  auto w = state.watch("shard").value();
+  ASSERT_TRUE(state.register_impl(watch_info("encrypt", "encrypt/nic")).ok());
+  auto alloc = state.acquire({{"p", 1}}).value();
+  ASSERT_TRUE(state.release(alloc).ok());  // pool_freed: filtered out
+  ASSERT_TRUE(state.register_impl(watch_info("shard", "shard/xdp")).ok());
+  auto ev = w->next(Deadline::after(seconds(1)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().name, "shard/xdp");  // encrypt + pool skipped
+  EXPECT_FALSE(w->try_next().has_value());
+}
+
+TEST(DiscoveryWatchTest, PoolFreedOnReleaseAndCapacityGrowth) {
+  DiscoveryState state;
+  ASSERT_TRUE(state.set_pool("nic.engines", 1).ok());
+  auto w = state.watch("").value();
+  auto alloc = state.acquire({{"nic.engines", 1}}).value();
+  ASSERT_TRUE(state.release(alloc).ok());
+  auto ev = w->next(Deadline::after(seconds(1)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::pool_freed);
+  EXPECT_EQ(ev.value().pool, "nic.engines");
+  EXPECT_EQ(ev.value().available, 1u);
+
+  // Growing a pool's capacity is also "slots came free".
+  ASSERT_TRUE(state.set_pool("nic.engines", 3).ok());
+  ev = w->next(Deadline::after(seconds(1)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::pool_freed);
+  EXPECT_EQ(ev.value().available, 3u);
+}
+
+TEST(DiscoveryWatchTest, WatcherOutlivesItsSource) {
+  WatcherPtr w;
+  {
+    DiscoveryState state;
+    w = state.watch("").value();
+    ASSERT_TRUE(state.register_impl(watch_info("t", "t/x")).ok());
+  }
+  // Buffered events still drain, then the watcher reports cancelled.
+  auto ev = w->next(Deadline::after(ms(200)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_registered);
+  auto end = w->next(Deadline::after(ms(200)));
+  ASSERT_FALSE(end.ok());
+  EXPECT_EQ(end.error().code, Errc::cancelled);
+  EXPECT_TRUE(w->cancelled());
+}
+
+TEST(DiscoveryWatchTest, SubscribeThenImmediateRevoke) {
+  // A watcher subscribed between a registration and its revocation sees
+  // only the revocation — and consuming after cancel still works.
+  DiscoveryState state;
+  ASSERT_TRUE(state.register_impl(watch_info("t", "t/x")).ok());
+  auto w = state.watch("t").value();
+  ASSERT_TRUE(state.unregister_impl("t", "t/x").ok());
+  w->cancel();
+  auto ev = w->next(Deadline::after(ms(200)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_unregistered);
+  EXPECT_FALSE(w->next(Deadline::after(ms(50))).ok());
+}
+
+TEST(DiscoveryWatchTest, SeqStrictlyIncreasesUnderConcurrentRegistrations) {
+  DiscoveryState state;
+  auto w = state.watch("").value();
+  constexpr int kPerThread = 50;
+  auto reg = [&](const std::string& prefix) {
+    for (int i = 0; i < kPerThread; i++) {
+      ASSERT_TRUE(
+          state.register_impl(watch_info("t", prefix + std::to_string(i)))
+              .ok());
+    }
+  };
+  std::thread a(reg, "t/a");
+  std::thread b(reg, "t/b");
+  a.join();
+  b.join();
+  uint64_t last_seq = 0;
+  int got = 0;
+  for (;;) {
+    auto ev = w->try_next();
+    if (!ev) break;
+    EXPECT_GT(ev->seq, last_seq);
+    last_seq = ev->seq;
+    got++;
+  }
+  EXPECT_EQ(got + static_cast<int>(w->dropped()), 2 * kPerThread);
+  EXPECT_EQ(w->dropped(), 0u);  // capacity 256 > 100 events
+}
+
+TEST(DiscoveryWatchTest, SlowConsumerDropsAreCounted) {
+  DiscoveryState state;
+  auto w = state.watch("").value();
+  for (int i = 0; i < 300; i++)
+    ASSERT_TRUE(state.register_impl(watch_info("t", "t/" + std::to_string(i)))
+                    .ok());
+  EXPECT_GT(w->dropped(), 0u);
+  int got = 0;
+  while (w->try_next()) got++;
+  EXPECT_EQ(got + static_cast<int>(w->dropped()), 300);
+}
+
+TEST_F(RemoteDiscoveryTest, WatchRequiresTypeFilter) {
+  EXPECT_FALSE(client_->watch("").ok());
+}
+
+TEST_F(RemoteDiscoveryTest, WatchEmulatedByPolling) {
+  RemoteDiscovery::Options opts;
+  opts.watch_poll = ms(20);
+  auto ct = net_->bind(Addr::mem("watcher", 0));
+  ASSERT_TRUE(ct.ok());
+  RemoteDiscovery client(std::move(ct).value(), server_->addr(), opts);
+
+  auto w = client.watch("encrypt").value();
+  ImplInfo info = watch_info("encrypt", "encrypt/nic", 1);
+  ASSERT_TRUE(state_->register_impl(info).ok());
+  auto ev = w->next(Deadline::after(seconds(2)));
+  ASSERT_TRUE(ev.ok()) << ev.error().to_string();
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_registered);
+  EXPECT_EQ(ev.value().name, "encrypt/nic");
+
+  // Metadata updates re-announce the entry.
+  info.priority = 42;
+  ASSERT_TRUE(state_->register_impl(info).ok());
+  ev = w->next(Deadline::after(seconds(2)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_registered);
+  ASSERT_TRUE(ev.value().info.has_value());
+  EXPECT_EQ(ev.value().info->priority, 42);
+
+  ASSERT_TRUE(state_->unregister_impl("encrypt", "encrypt/nic").ok());
+  ev = w->next(Deadline::after(seconds(2)));
+  ASSERT_TRUE(ev.ok());
+  EXPECT_EQ(ev.value().kind, WatchKind::impl_unregistered);
+
+  w->cancel();
+  EXPECT_FALSE(w->next(Deadline::after(ms(100))).ok());
 }
 
 }  // namespace

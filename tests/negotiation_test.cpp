@@ -457,5 +457,101 @@ TEST(RankCandidatesTest, InstanceScopingFiltersForeignOffloads) {
   EXPECT_EQ(ranked_any[0].info.name, "ordered_mcast/any");
 }
 
+// --- renegotiate_server (live transitions) ---
+
+struct RenegotiationFixture : NegotiationFixture {
+  // Registers the accelerated impl (one pool slot) alongside the
+  // software one from the base fixture.
+  void register_toe() {
+    auto hw = impl("reliable", "reliable/toe", EndpointConstraint::server,
+                   Scope::host, 50);
+    hw.resources = {{"nic.toe", 1}};
+    ASSERT_TRUE(
+        registry.register_impl(std::make_shared<PassthroughChunnel>(hw)).ok());
+    ASSERT_TRUE(discovery.set_pool("nic.toe", 1).ok());
+  }
+
+  std::vector<NodeAlloc> zip_allocs(const NegotiationResult& r) {
+    std::vector<NodeAlloc> out;
+    for (size_t i = 0; i < r.resource_allocs.size(); i++)
+      out.push_back({r.alloc_nodes[i], r.resource_allocs[i]});
+    return out;
+  }
+
+  const std::vector<ChunnelSpec> chain{ChunnelSpec("reliable")};
+};
+
+TEST_F(RenegotiationFixture, KeepsIncumbentWithoutReacquiring) {
+  register_toe();
+  auto first = negotiate_server(chain, hello_offering_reliable(), registry,
+                                discovery, policy, ads, "host-b");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().chain[0].impl_name, "reliable/toe");
+  ASSERT_EQ(discovery.pool_in_use("nic.toe"), 1u);
+
+  // The pool is exhausted by the incumbent itself. Re-running selection
+  // must not evict it by failing to re-acquire its own slot.
+  auto r = renegotiate_server(chain, first.value().chain,
+                              zip_allocs(first.value()),
+                              hello_offering_reliable(), registry, discovery,
+                              policy, ads, "host-b");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_FALSE(r.value().changed);
+  EXPECT_EQ(r.value().chain[0].impl_name, "reliable/toe");
+  ASSERT_EQ(r.value().kept_allocs.size(), 1u);
+  EXPECT_EQ(r.value().kept_allocs[0].alloc_id,
+            first.value().resource_allocs[0]);
+  EXPECT_TRUE(r.value().new_allocs.empty());
+  EXPECT_TRUE(r.value().retired_allocs.empty());
+  EXPECT_EQ(discovery.pool_in_use("nic.toe"), 1u);
+}
+
+TEST_F(RenegotiationFixture, BanForcesFallbackButDefersRelease) {
+  register_toe();
+  auto first = negotiate_server(chain, hello_offering_reliable(), registry,
+                                discovery, policy, ads, "host-b");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().chain[0].impl_name, "reliable/toe");
+
+  auto r = renegotiate_server(chain, first.value().chain,
+                              zip_allocs(first.value()),
+                              hello_offering_reliable(), registry, discovery,
+                              policy, ads, "host-b",
+                              {{"reliable", "reliable/toe"}});
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(r.value().changed);
+  EXPECT_EQ(r.value().chain[0].impl_name, "reliable/arq");
+  ASSERT_EQ(r.value().retired_allocs.size(), 1u);
+  EXPECT_EQ(r.value().retired_allocs[0], first.value().resource_allocs[0]);
+  EXPECT_TRUE(r.value().kept_allocs.empty());
+
+  // Drain-before-release: renegotiation itself must not free the slot;
+  // the caller releases retired_allocs only after the old chain drains.
+  EXPECT_EQ(discovery.pool_in_use("nic.toe"), 1u);
+  ASSERT_TRUE(discovery.release(r.value().retired_allocs[0]).ok());
+  EXPECT_EQ(discovery.pool_in_use("nic.toe"), 0u);
+}
+
+TEST_F(RenegotiationFixture, UpgradesWhenBetterImplAppears) {
+  // Start on software; the accelerated impl registers afterwards.
+  auto first = negotiate_server(chain, hello_offering_reliable(), registry,
+                                discovery, policy, ads, "host-b");
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.value().chain[0].impl_name, "reliable/arq");
+  register_toe();
+
+  auto r = renegotiate_server(chain, first.value().chain,
+                              zip_allocs(first.value()),
+                              hello_offering_reliable(), registry, discovery,
+                              policy, ads, "host-b");
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_TRUE(r.value().changed);
+  EXPECT_EQ(r.value().chain[0].impl_name, "reliable/toe");
+  ASSERT_EQ(r.value().new_allocs.size(), 1u);
+  EXPECT_EQ(r.value().new_allocs[0].node, 0u);
+  EXPECT_TRUE(r.value().retired_allocs.empty());
+  EXPECT_EQ(discovery.pool_in_use("nic.toe"), 1u);
+}
+
 }  // namespace
 }  // namespace bertha
