@@ -9,12 +9,23 @@ namespace {
 
 class KeepaliveConnection final : public Connection {
  public:
-  KeepaliveConnection(ConnPtr inner, KeepaliveOptions opts)
-      : inner_(std::move(inner)), opts_(opts) {
-    last_sent_.store(now().time_since_epoch().count(),
-                     std::memory_order_relaxed);
-    last_heard_.store(now().time_since_epoch().count(),
-                      std::memory_order_relaxed);
+  KeepaliveConnection(ConnPtr inner, KeepaliveOptions opts,
+                      ConnLivenessPtr liveness)
+      : inner_(std::move(inner)),
+        opts_(opts),
+        live_(liveness ? std::move(liveness)
+                       : std::make_shared<ConnLiveness>()) {
+    // Shared-liveness carry-over: a stack rebuilt mid-transition inherits
+    // the previous epoch's timestamps, so a peer that went silent before
+    // the cutover still trips dead_after on the original schedule. Only
+    // a fresh connection (zero timestamps) starts the clocks at now.
+    int64_t t = now().time_since_epoch().count();
+    int64_t zero = 0;
+    live_->last_sent.compare_exchange_strong(zero, t,
+                                             std::memory_order_relaxed);
+    zero = 0;
+    live_->last_heard.compare_exchange_strong(zero, t,
+                                              std::memory_order_relaxed);
     beater_ = std::thread([this] { beat_loop(); });
   }
 
@@ -27,8 +38,8 @@ class KeepaliveConnection final : public Connection {
     framed.push_back('D');
     append(framed, m.payload);
     m.payload = std::move(framed);
-    last_sent_.store(now().time_since_epoch().count(),
-                     std::memory_order_relaxed);
+    live_->last_sent.store(now().time_since_epoch().count(),
+                           std::memory_order_relaxed);
     return inner_->send(std::move(m));
   }
 
@@ -36,7 +47,8 @@ class KeepaliveConnection final : public Connection {
     for (;;) {
       // Wake at least every interval to check the silence threshold.
       auto silence_deadline =
-          TimePoint(Duration(last_heard_.load(std::memory_order_relaxed))) +
+          TimePoint(
+              Duration(live_->last_heard.load(std::memory_order_relaxed))) +
           opts_.dead_after;
       if (now() >= silence_deadline)
         return err(Errc::unavailable, "peer silent beyond dead_after");
@@ -53,8 +65,8 @@ class KeepaliveConnection final : public Connection {
         }
         return m.error();
       }
-      last_heard_.store(now().time_since_epoch().count(),
-                        std::memory_order_relaxed);
+      live_->last_heard.store(now().time_since_epoch().count(),
+                              std::memory_order_relaxed);
       const Bytes& p = m.value().payload;
       if (p.size() >= 2 && p[0] == 'K' && p[1] == 'H') continue;  // heartbeat
       if (p.size() < 2 || p[0] != 'K' || p[1] != 'D') continue;   // stray
@@ -87,22 +99,21 @@ class KeepaliveConnection final : public Connection {
       cv_.wait_for(lk, opts_.interval);
       if (closed_) return;
       auto idle = now().time_since_epoch().count() -
-                  last_sent_.load(std::memory_order_relaxed);
+                  live_->last_sent.load(std::memory_order_relaxed);
       if (Duration(idle) < opts_.interval) continue;  // traffic is flowing
       lk.unlock();
       Msg hb;
       hb.payload = {'K', 'H'};
       (void)inner_->send(std::move(hb));
-      last_sent_.store(now().time_since_epoch().count(),
-                       std::memory_order_relaxed);
+      live_->last_sent.store(now().time_since_epoch().count(),
+                             std::memory_order_relaxed);
       lk.lock();
     }
   }
 
   ConnPtr inner_;
   KeepaliveOptions opts_;
-  std::atomic<int64_t> last_sent_;
-  std::atomic<int64_t> last_heard_;
+  ConnLivenessPtr live_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool closed_ = false;
@@ -131,8 +142,8 @@ Result<ConnPtr> KeepaliveChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
       static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                 opts_.dead_after)
                                 .count()))));
-  return ConnPtr(
-      std::make_shared<KeepaliveConnection>(std::move(inner), opts));
+  return ConnPtr(std::make_shared<KeepaliveConnection>(std::move(inner), opts,
+                                                       ctx.liveness));
 }
 
 }  // namespace bertha

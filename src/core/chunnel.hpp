@@ -7,6 +7,7 @@
 // per connection at establishment via negotiation.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -123,6 +124,19 @@ struct ListenContext {
   std::function<void(std::string, std::string)> advertise;
 };
 
+// Liveness timestamps for one logical connection, shared across epoch
+// cutovers: a keepalive chunnel rebuilt for a new epoch seeds its timers
+// from here instead of restarting at "now", so a peer that died
+// mid-transition is still detected within the original dead_after
+// budget. Values are steady-clock nanos (TimePoint::time_since_epoch);
+// 0 means "not yet recorded".
+struct ConnLiveness {
+  std::atomic<int64_t> last_heard{0};
+  std::atomic<int64_t> last_sent{0};
+};
+
+using ConnLivenessPtr = std::shared_ptr<ConnLiveness>;
+
 // Passed to wrap() when building one side of a negotiated connection.
 struct WrapContext {
   Role role = Role::client;
@@ -138,6 +152,10 @@ struct WrapContext {
   // and destination (how the local fast path moves to a unix socket).
   // Null on the server side.
   std::function<Result<void>(TransportPtr, Addr)> rebase;
+  // Per-logical-connection liveness state, carried across transitions
+  // (null when the endpoint layer doesn't track it, e.g. raw stacks
+  // built in tests).
+  ConnLivenessPtr liveness;
 };
 
 // One implementation of a chunnel type. Thread-safe: a single instance

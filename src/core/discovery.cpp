@@ -1,6 +1,8 @@
 #include "core/discovery.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <random>
 
 #include "core/wire.hpp"
 #include "util/log.hpp"
@@ -124,6 +126,12 @@ void DiscoveryWatcher::deliver(const WatchEvent& ev) {
 // --- DiscoveryState ---
 
 DiscoveryState::~DiscoveryState() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  sweep_cv_.notify_all();
+  if (sweeper_.joinable()) sweeper_.join();
   // Watchers may outlive the state (e.g. the runtime shut down first);
   // wake them with cancelled instead of leaving next() blocked forever.
   std::vector<std::weak_ptr<DiscoveryWatcher>> watchers;
@@ -155,9 +163,13 @@ Result<WatcherPtr> DiscoveryState::watch(const std::string& type_filter) {
 }
 
 Result<void> DiscoveryState::register_impl(const ImplInfo& info) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return register_impl_locked(info);
+}
+
+Result<void> DiscoveryState::register_impl_locked(const ImplInfo& info) {
   if (info.type.empty() || info.name.empty())
     return err(Errc::invalid_argument, "impl info missing type/name");
-  std::lock_guard<std::mutex> lk(mu_);
   auto& v = entries_[info.type];
   ImplInfo* slot = nullptr;
   for (auto& e : v) {
@@ -183,6 +195,11 @@ Result<void> DiscoveryState::register_impl(const ImplInfo& info) {
 Result<void> DiscoveryState::unregister_impl(const std::string& type,
                                              const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
+  return unregister_impl_locked(type, name);
+}
+
+Result<void> DiscoveryState::unregister_impl_locked(const std::string& type,
+                                                    const std::string& name) {
   auto it = entries_.find(type);
   if (it == entries_.end()) return err(Errc::not_found, "no such type: " + type);
   auto& v = it->second;
@@ -207,6 +224,11 @@ Result<std::vector<ImplInfo>> DiscoveryState::query(const std::string& type) {
 
 Result<uint64_t> DiscoveryState::acquire(const std::vector<ResourceReq>& reqs) {
   std::lock_guard<std::mutex> lk(mu_);
+  return acquire_locked(reqs);
+}
+
+Result<uint64_t> DiscoveryState::acquire_locked(
+    const std::vector<ResourceReq>& reqs) {
   // Validate the whole set, then commit — all or nothing.
   for (const auto& r : reqs) {
     auto it = pools_.find(r.pool);
@@ -223,6 +245,10 @@ Result<uint64_t> DiscoveryState::acquire(const std::vector<ResourceReq>& reqs) {
 
 Result<void> DiscoveryState::release(uint64_t alloc_id) {
   std::lock_guard<std::mutex> lk(mu_);
+  return release_locked(alloc_id);
+}
+
+Result<void> DiscoveryState::release_locked(uint64_t alloc_id) {
   auto it = allocs_.find(alloc_id);
   if (it == allocs_.end())
     return err(Errc::not_found, "unknown allocation id");
@@ -269,6 +295,128 @@ uint64_t DiscoveryState::pool_capacity(const std::string& pool) const {
   return it == pools_.end() ? 0 : it->second.capacity;
 }
 
+size_t DiscoveryState::live_allocs() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return allocs_.size();
+}
+
+size_t DiscoveryState::lease_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return leases_.size();
+}
+
+void DiscoveryState::set_fault_stats(FaultStatsPtr stats) {
+  std::lock_guard<std::mutex> lk(mu_);
+  fault_stats_ = std::move(stats);
+}
+
+FaultStatsPtr DiscoveryState::fault_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fault_stats_;
+}
+
+// --- Leases ---
+
+Result<void> DiscoveryState::register_impl_leased(const ImplInfo& info,
+                                                 const std::string& owner,
+                                                 Duration ttl) {
+  if (owner.empty() || ttl <= Duration::zero())
+    return err(Errc::invalid_argument, "lease requires owner and positive ttl");
+  std::lock_guard<std::mutex> lk(mu_);
+  BERTHA_TRY(register_impl_locked(info));
+  auto [it, fresh] = leases_.try_emplace(owner);
+  Lease& l = it->second;
+  l.ttl = ttl;
+  l.expires = now() + ttl;
+  auto key = std::make_pair(info.type, info.name);
+  if (std::find(l.impls.begin(), l.impls.end(), key) == l.impls.end())
+    l.impls.push_back(std::move(key));
+  if (fresh && fault_stats_) fault_stats_->lease_grants++;
+  ensure_sweeper_locked();
+  sweep_cv_.notify_all();
+  return ok();
+}
+
+Result<uint64_t> DiscoveryState::acquire_leased(
+    const std::vector<ResourceReq>& reqs, const std::string& owner,
+    Duration ttl) {
+  if (owner.empty() || ttl <= Duration::zero())
+    return err(Errc::invalid_argument, "lease requires owner and positive ttl");
+  std::lock_guard<std::mutex> lk(mu_);
+  BERTHA_TRY_ASSIGN(id, acquire_locked(reqs));
+  auto [it, fresh] = leases_.try_emplace(owner);
+  Lease& l = it->second;
+  l.ttl = ttl;
+  l.expires = now() + ttl;
+  l.allocs.push_back(id);
+  if (fresh && fault_stats_) fault_stats_->lease_grants++;
+  ensure_sweeper_locked();
+  sweep_cv_.notify_all();
+  return id;
+}
+
+Result<void> DiscoveryState::heartbeat(const std::string& owner) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = leases_.find(owner);
+  if (it == leases_.end())
+    return err(Errc::not_found, "no lease held by " + owner);
+  it->second.expires = now() + it->second.ttl;
+  if (fault_stats_) fault_stats_->lease_renewals++;
+  return ok();
+}
+
+size_t DiscoveryState::expire_leases() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return expire_leases_locked(now());
+}
+
+size_t DiscoveryState::expire_leases_locked(TimePoint when) {
+  size_t reaped = 0;
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    Lease& l = it->second;
+    if (l.expires > when) {
+      ++it;
+      continue;
+    }
+    BLOG(warn, "discovery") << "lease expired for " << it->first << ": "
+                            << l.impls.size() << " impls, " << l.allocs.size()
+                            << " allocs reclaimed";
+    // Entries the owner already removed explicitly come back not_found —
+    // that's fine, the lease just tracks what it *may* still own.
+    for (const auto& [type, name] : l.impls)
+      (void)unregister_impl_locked(type, name);
+    for (uint64_t id : l.allocs) (void)release_locked(id);
+    it = leases_.erase(it);
+    reaped++;
+    if (fault_stats_) fault_stats_->lease_expiries++;
+  }
+  return reaped;
+}
+
+void DiscoveryState::ensure_sweeper_locked() {
+  if (sweeper_running_ || stopping_) return;
+  sweeper_running_ = true;
+  sweeper_ = std::thread([this] { sweeper_loop(); });
+}
+
+void DiscoveryState::sweeper_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    if (leases_.empty()) {
+      sweep_cv_.wait(lk);
+      continue;
+    }
+    TimePoint earliest = TimePoint::max();
+    for (const auto& [owner, l] : leases_)
+      earliest = std::min(earliest, l.expires);
+    if (now() < earliest) {
+      sweep_cv_.wait_until(lk, earliest);
+      continue;
+    }
+    expire_leases_locked(now());
+  }
+}
+
 // --- Wire protocol ---
 
 namespace {
@@ -280,6 +428,7 @@ enum class DiscOp : uint8_t {
   acquire = 4,
   release = 5,
   set_pool = 6,
+  heartbeat = 7,  // renews every lease held by client_id
 };
 
 struct DiscRequest {
@@ -290,6 +439,10 @@ struct DiscRequest {
   std::vector<ResourceReq> resources;
   uint64_t alloc_id = 0;
   uint64_t capacity = 0;
+  // Fault-tolerance extensions (zero/empty when unused).
+  std::string client_id;  // lease owner / dedup namespace
+  uint64_t idem_key = 0;  // non-zero: dedupe retries of this mutation
+  uint64_t ttl_ms = 0;    // non-zero: lease the registration/allocation
 };
 
 Bytes encode_request(const DiscRequest& req) {
@@ -301,6 +454,9 @@ Bytes encode_request(const DiscRequest& req) {
   serde_put(w, req.resources);
   w.put_varint(req.alloc_id);
   w.put_varint(req.capacity);
+  w.put_string(req.client_id);
+  w.put_varint(req.idem_key);
+  w.put_varint(req.ttl_ms);
   return std::move(w).take();
 }
 
@@ -308,7 +464,7 @@ Result<DiscRequest> decode_request(BytesView b) {
   Reader r(b);
   DiscRequest req;
   BERTHA_TRY_ASSIGN(op, r.get_u8());
-  if (op < 1 || op > 6) return err(Errc::protocol_error, "bad discovery op");
+  if (op < 1 || op > 7) return err(Errc::protocol_error, "bad discovery op");
   req.op = static_cast<DiscOp>(op);
   BERTHA_TRY_ASSIGN(type, r.get_string());
   BERTHA_TRY_ASSIGN(name, r.get_string());
@@ -316,12 +472,18 @@ Result<DiscRequest> decode_request(BytesView b) {
   BERTHA_TRY_ASSIGN(res, serde_get<std::vector<ResourceReq>>(r));
   BERTHA_TRY_ASSIGN(alloc, r.get_varint());
   BERTHA_TRY_ASSIGN(cap, r.get_varint());
+  BERTHA_TRY_ASSIGN(client, r.get_string());
+  BERTHA_TRY_ASSIGN(idem, r.get_varint());
+  BERTHA_TRY_ASSIGN(ttl, r.get_varint());
   req.type = std::move(type);
   req.name = std::move(name);
   req.entry = std::move(entry);
   req.resources = std::move(res);
   req.alloc_id = alloc;
   req.capacity = cap;
+  req.client_id = std::move(client);
+  req.idem_key = idem;
+  req.ttl_ms = ttl;
   return req;
 }
 
@@ -387,6 +549,11 @@ uint64_t DiscoveryServer::requests_served() const {
   return requests_;
 }
 
+uint64_t DiscoveryServer::dedup_hits() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dedup_hits_;
+}
+
 void DiscoveryServer::serve_loop() {
   for (;;) {
     auto pkt_r = transport_->recv();
@@ -402,18 +569,48 @@ void DiscoveryServer::serve_loop() {
     uint64_t req_id = frame_r.value().token;
 
     DiscResponse rsp;
+    std::string dedup_key;
     auto req_r = decode_request(frame_r.value().payload);
     if (!req_r.ok()) {
       rsp = error_response(req_r.error());
     } else {
       const DiscRequest& req = req_r.value();
+      // Retried mutation we already executed? Replay the recorded answer
+      // so the effect stays exactly-once (a lost acquire response must
+      // not allocate twice).
+      if (req.idem_key != 0 && !req.client_id.empty() &&
+          req.op != DiscOp::query) {
+        dedup_key = req.client_id;
+        dedup_key += '#';
+        dedup_key += std::to_string(req.idem_key);
+        bool replayed = false;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = dedup_.find(dedup_key);
+          if (it != dedup_.end()) {
+            requests_++;
+            dedup_hits_++;
+            Bytes out = encode_frame(MsgKind::discovery, req_id, it->second);
+            (void)transport_->send_to(pkt.src, out);
+            replayed = true;
+          }
+        }
+        if (replayed) {
+          if (auto st = state_->fault_stats()) st->dedup_hits++;
+          continue;
+        }
+      }
+      bool leased = req.ttl_ms != 0 && !req.client_id.empty();
+      Duration ttl = ms(static_cast<int64_t>(req.ttl_ms));
       switch (req.op) {
         case DiscOp::register_impl: {
           if (!req.entry) {
             rsp = error_response(err(Errc::invalid_argument, "missing entry"));
             break;
           }
-          auto r = state_->register_impl(*req.entry);
+          auto r = leased ? state_->register_impl_leased(*req.entry,
+                                                        req.client_id, ttl)
+                          : state_->register_impl(*req.entry);
           if (r.ok()) rsp.success = true;
           else rsp = error_response(r.error());
           break;
@@ -435,7 +632,9 @@ void DiscoveryServer::serve_loop() {
           break;
         }
         case DiscOp::acquire: {
-          auto r = state_->acquire(req.resources);
+          auto r = leased ? state_->acquire_leased(req.resources,
+                                                   req.client_id, ttl)
+                          : state_->acquire(req.resources);
           if (r.ok()) {
             rsp.success = true;
             rsp.alloc_id = r.value();
@@ -456,14 +655,29 @@ void DiscoveryServer::serve_loop() {
           else rsp = error_response(r.error());
           break;
         }
+        case DiscOp::heartbeat: {
+          auto r = state_->heartbeat(req.client_id);
+          if (r.ok()) rsp.success = true;
+          else rsp = error_response(r.error());
+          break;
+        }
       }
     }
 
+    Bytes body = encode_response(rsp);
     {
       std::lock_guard<std::mutex> lk(mu_);
       requests_++;
+      if (!dedup_key.empty() &&
+          dedup_.emplace(dedup_key, body).second) {
+        dedup_order_.push_back(std::move(dedup_key));
+        while (dedup_order_.size() > kDedupCacheCap) {
+          dedup_.erase(dedup_order_.front());
+          dedup_order_.pop_front();
+        }
+      }
     }
-    Bytes out = encode_frame(MsgKind::discovery, req_id, encode_response(rsp));
+    Bytes out = encode_frame(MsgKind::discovery, req_id, body);
     (void)transport_->send_to(pkt.src, out);
   }
 }
@@ -472,9 +686,45 @@ void DiscoveryServer::serve_loop() {
 
 struct RemoteDiscovery::Rsp : DiscResponse {};
 
+// A caller blocked in rpc() waiting for the reader thread to hand it the
+// matching response.
+struct RemoteDiscovery::Pending {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<DiscResponse> result = err(Errc::internal, "pending");
+};
+
+namespace {
+
+std::string random_client_id() {
+  std::random_device rd;
+  uint64_t v = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "c%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t lease_ttl_ms(const RemoteDiscovery::Options& opts) {
+  if (opts.lease_ttl <= Duration::zero()) return 0;
+  auto v = std::chrono::duration_cast<std::chrono::milliseconds>(
+               opts.lease_ttl)
+               .count();
+  return v > 0 ? static_cast<uint64_t>(v) : 1;
+}
+
+}  // namespace
+
 RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
                                  Options opts)
-    : transport_(std::move(transport)), server_(std::move(server)), opts_(opts) {}
+    : transport_(std::move(transport)),
+      server_(std::move(server)),
+      opts_(opts),
+      client_id_(random_client_id()) {
+  if (opts_.backoff_seed == 0)
+    opts_.backoff_seed = std::hash<std::string>{}(client_id_) | 1;
+}
 
 RemoteDiscovery::~RemoteDiscovery() {
   std::vector<std::pair<WatcherPtr, std::thread>> pollers;
@@ -484,9 +734,63 @@ RemoteDiscovery::~RemoteDiscovery() {
     pollers.swap(pollers_);
   }
   for (auto& [w, t] : pollers) w->cancel();
+  {
+    std::lock_guard<std::mutex> lk(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
   transport_->close();
+  if (hb_thread_.joinable()) hb_thread_.join();
+  if (reader_.joinable()) reader_.join();
   for (auto& [w, t] : pollers)
     if (t.joinable()) t.join();
+}
+
+void RemoteDiscovery::ensure_reader_locked() {
+  if (reader_started_) return;
+  reader_started_ = true;
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+void RemoteDiscovery::reader_loop() {
+  for (;;) {
+    auto pkt_r = transport_->recv();
+    if (!pkt_r.ok()) break;  // transport closed
+    auto frame_r = decode_frame(pkt_r.value().payload);
+    if (!frame_r.ok() || frame_r.value().kind != MsgKind::discovery) continue;
+    std::shared_ptr<Pending> p;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      auto it = pending_.find(frame_r.value().token);
+      if (it == pending_.end()) continue;  // a timed-out request's response
+      p = it->second;
+    }
+    auto rsp_r = decode_response(frame_r.value().payload);
+    {
+      std::lock_guard<std::mutex> lk(p->mu);
+      if (p->done) continue;  // duplicate response
+      if (rsp_r.ok()) p->result = std::move(rsp_r).value();
+      else p->result = rsp_r.error();
+      p->done = true;
+    }
+    p->cv.notify_all();
+  }
+  // Fail everything still waiting so callers don't block on a dead link.
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    reader_dead_ = true;
+    orphans.swap(pending_);
+  }
+  for (auto& [id, p] : orphans) {
+    {
+      std::lock_guard<std::mutex> lk(p->mu);
+      if (p->done) continue;
+      p->result = err(Errc::cancelled, "discovery client closed");
+      p->done = true;
+    }
+    p->cv.notify_all();
+  }
 }
 
 Result<WatcherPtr> RemoteDiscovery::watch(const std::string& type_filter) {
@@ -550,46 +854,129 @@ void RemoteDiscovery::poll_watch(WatcherPtr w) {
 }
 
 Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
-  std::lock_guard<std::mutex> lk(mu_);
-  uint64_t req_id = next_req_++;
+  uint64_t req_id = next_req_.fetch_add(1);
   Bytes frame = encode_frame(MsgKind::discovery, req_id, request_body);
-
-  for (int attempt = 0; attempt <= opts_.retries; attempt++) {
-    BERTHA_TRY(transport_->send_to(server_, frame));
-    Deadline dl = Deadline::after(opts_.rpc_timeout);
-    for (;;) {
-      auto pkt_r = transport_->recv(dl);
-      if (!pkt_r.ok()) {
-        if (pkt_r.error().code == Errc::timed_out) break;  // retry
-        return pkt_r.error();
-      }
-      auto frame_r = decode_frame(pkt_r.value().payload);
-      if (!frame_r.ok() || frame_r.value().kind != MsgKind::discovery)
-        continue;
-      if (frame_r.value().token != req_id) continue;  // stale response
-      auto rsp_r = decode_response(frame_r.value().payload);
-      if (!rsp_r.ok()) return rsp_r.error();
-      Rsp rsp;
-      static_cast<DiscResponse&>(rsp) = std::move(rsp_r).value();
-      if (!rsp.success) {
-        Errc code = rsp.errc <= static_cast<uint8_t>(Errc::internal)
-                        ? static_cast<Errc>(rsp.errc)
-                        : Errc::internal;
-        return err(code, rsp.error);
-      }
-      return rsp;
-    }
+  auto p = std::make_shared<Pending>();
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    if (reader_dead_) return err(Errc::cancelled, "discovery client closed");
+    ensure_reader_locked();
+    pending_[req_id] = p;
   }
-  return err(Errc::unavailable, "discovery service unreachable at " +
-                                    server_.to_string());
+
+  ExponentialBackoff backoff(opts_.backoff,
+                             opts_.backoff_seed ^ (req_id * 0x9e3779b9ull));
+  Result<DiscResponse> outcome =
+      err(Errc::unavailable,
+          "discovery service unreachable at " + server_.to_string());
+  bool exhausted = true;
+  for (int attempt = 0; attempt <= opts_.retries; attempt++) {
+    if (attempt > 0 && opts_.stats) opts_.stats->rpc_retries++;
+    auto sent = transport_->send_to(server_, frame);
+    if (!sent.ok()) {
+      outcome = sent.error();
+      exhausted = false;
+      break;
+    }
+    std::unique_lock<std::mutex> lk(p->mu);
+    if (p->cv.wait_for(lk, opts_.rpc_timeout, [&] { return p->done; })) {
+      outcome = std::move(p->result);
+      exhausted = false;
+      break;
+    }
+    lk.unlock();
+    if (attempt < opts_.retries) sleep_for(backoff.next());
+  }
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_.erase(req_id);
+  }
+
+  if (exhausted && opts_.stats) opts_.stats->rpc_failures++;
+  if (!outcome.ok()) return outcome.error();
+  DiscResponse raw = std::move(outcome).value();
+  if (!raw.success) {
+    Errc code = raw.errc <= static_cast<uint8_t>(Errc::internal)
+                    ? static_cast<Errc>(raw.errc)
+                    : Errc::internal;
+    return err(code, raw.error);
+  }
+  Rsp rsp;
+  static_cast<DiscResponse&>(rsp) = std::move(raw);
+  return rsp;
+}
+
+void RemoteDiscovery::ensure_heartbeat() {
+  if (opts_.lease_ttl <= Duration::zero()) return;
+  std::lock_guard<std::mutex> lk(hb_mu_);
+  if (hb_started_ || hb_stop_) return;
+  hb_started_ = true;
+  hb_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void RemoteDiscovery::heartbeat_loop() {
+  Duration period = opts_.heartbeat_period > Duration::zero()
+                        ? opts_.heartbeat_period
+                        : opts_.lease_ttl / 4;
+  if (period <= Duration::zero()) period = ms(10);
+  std::unique_lock<std::mutex> lk(hb_mu_);
+  while (!hb_stop_) {
+    hb_cv_.wait_for(lk, period);
+    if (hb_stop_) break;
+    lk.unlock();
+    DiscRequest req;
+    req.op = DiscOp::heartbeat;
+    req.client_id = client_id_;
+    auto r = rpc(encode_request(req));
+    if (opts_.stats) opts_.stats->heartbeats_sent++;
+    if (!r.ok() && r.error().code == Errc::not_found) {
+      // The service reaped our lease (e.g. we were partitioned past the
+      // TTL). Replay leased registrations so the deployment converges.
+      std::vector<ImplInfo> replay;
+      {
+        std::lock_guard<std::mutex> lk2(hb_mu_);
+        replay = leased_impls_;
+      }
+      BLOG(warn, "discovery") << "lease lost for " << client_id_
+                              << "; re-registering " << replay.size()
+                              << " impls";
+      for (const auto& info : replay) {
+        DiscRequest rr;
+        rr.op = DiscOp::register_impl;
+        rr.entry = info;
+        rr.client_id = client_id_;
+        rr.idem_key = next_idem();
+        rr.ttl_ms = lease_ttl_ms(opts_);
+        (void)rpc(encode_request(rr));
+      }
+      if (opts_.stats && !replay.empty()) opts_.stats->lease_recoveries++;
+    }
+    lk.lock();
+  }
 }
 
 Result<void> RemoteDiscovery::register_impl(const ImplInfo& info) {
   DiscRequest req;
   req.op = DiscOp::register_impl;
   req.entry = info;
+  req.client_id = client_id_;
+  req.idem_key = next_idem();
+  req.ttl_ms = lease_ttl_ms(opts_);
   BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
   (void)rsp;
+  if (req.ttl_ms != 0) {
+    {
+      std::lock_guard<std::mutex> lk(hb_mu_);
+      auto it = std::find_if(leased_impls_.begin(), leased_impls_.end(),
+                             [&](const ImplInfo& e) {
+                               return e.type == info.type &&
+                                      e.name == info.name;
+                             });
+      if (it != leased_impls_.end()) *it = info;
+      else leased_impls_.push_back(info);
+    }
+    ensure_heartbeat();
+  }
   return ok();
 }
 
@@ -599,8 +986,14 @@ Result<void> RemoteDiscovery::unregister_impl(const std::string& type,
   req.op = DiscOp::unregister_impl;
   req.type = type;
   req.name = name;
+  req.client_id = client_id_;
+  req.idem_key = next_idem();
   BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
   (void)rsp;
+  std::lock_guard<std::mutex> lk(hb_mu_);
+  std::erase_if(leased_impls_, [&](const ImplInfo& e) {
+    return e.type == type && e.name == name;
+  });
   return ok();
 }
 
@@ -616,7 +1009,11 @@ Result<uint64_t> RemoteDiscovery::acquire(const std::vector<ResourceReq>& reqs) 
   DiscRequest req;
   req.op = DiscOp::acquire;
   req.resources = reqs;
+  req.client_id = client_id_;
+  req.idem_key = next_idem();
+  req.ttl_ms = lease_ttl_ms(opts_);
   BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  if (req.ttl_ms != 0) ensure_heartbeat();
   return rsp.alloc_id;
 }
 
@@ -624,6 +1021,8 @@ Result<void> RemoteDiscovery::release(uint64_t alloc_id) {
   DiscRequest req;
   req.op = DiscOp::release;
   req.alloc_id = alloc_id;
+  req.client_id = client_id_;
+  req.idem_key = next_idem();
   BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
   (void)rsp;
   return ok();
@@ -635,6 +1034,8 @@ Result<void> RemoteDiscovery::set_pool(const std::string& pool,
   req.op = DiscOp::set_pool;
   req.type = pool;
   req.capacity = capacity;
+  req.client_id = client_id_;
+  req.idem_key = next_idem();
   BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
   (void)rsp;
   return ok();

@@ -16,6 +16,9 @@
 //    RemoteDiscovery below).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -23,7 +26,9 @@
 
 #include "core/chunnel.hpp"
 #include "net/transport.hpp"
+#include "util/backoff.hpp"
 #include "util/queue.hpp"
+#include "util/stats.hpp"
 
 namespace bertha {
 
@@ -141,6 +146,12 @@ class DiscoveryClient {
     return err(Errc::invalid_argument,
                "watch not supported by this discovery client");
   }
+
+  // True while the client is serving stale/cached data because the
+  // service is unreachable (see CachingDiscovery). Negotiation marks
+  // connections established in this state so the transition controller
+  // re-runs them once the service returns.
+  virtual bool degraded() const { return false; }
 };
 
 // In-process discovery state; also the backing store for DiscoveryServer.
@@ -160,17 +171,56 @@ class DiscoveryState : public DiscoveryClient {
   Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
   Result<WatcherPtr> watch(const std::string& type_filter) override;
 
+  // --- Leases ---
+  //
+  // State registered through the leased variants belongs to `owner` (a
+  // client id) and survives only while heartbeat() keeps renewing it. A
+  // background sweeper reclaims an owner's registrations and allocations
+  // once its lease expires, emitting the usual impl_unregistered /
+  // pool_freed watch events so live connections renegotiate off the
+  // vanished offload.
+  Result<void> register_impl_leased(const ImplInfo& info,
+                                    const std::string& owner, Duration ttl);
+  Result<uint64_t> acquire_leased(const std::vector<ResourceReq>& reqs,
+                                  const std::string& owner, Duration ttl);
+  // Renews every lease held by `owner`; not_found if it holds none (the
+  // client should re-register — its state was already reclaimed).
+  Result<void> heartbeat(const std::string& owner);
+  // Reclaims expired leases now (the sweeper calls this on a timer).
+  // Returns the number of owners reaped.
+  size_t expire_leases();
+
+  void set_fault_stats(FaultStatsPtr stats);
+  FaultStatsPtr fault_stats() const;
+
   // Introspection for tests and the scheduling bench.
   uint64_t pool_in_use(const std::string& pool) const;
   uint64_t pool_capacity(const std::string& pool) const;
+  size_t live_allocs() const;
+  size_t lease_count() const;
 
  private:
   struct Pool {
     uint64_t capacity = 0;
     uint64_t used = 0;
   };
+  struct Lease {
+    Duration ttl{};
+    TimePoint expires{};
+    // (type, name) registrations and allocation ids owned by this lease.
+    std::vector<std::pair<std::string, std::string>> impls;
+    std::vector<uint64_t> allocs;
+  };
   // Requires mu_ held; fans the event out to live watchers.
   void emit(WatchEvent ev);
+  Result<void> register_impl_locked(const ImplInfo& info);
+  Result<void> unregister_impl_locked(const std::string& type,
+                                      const std::string& name);
+  Result<uint64_t> acquire_locked(const std::vector<ResourceReq>& reqs);
+  Result<void> release_locked(uint64_t alloc_id);
+  size_t expire_leases_locked(TimePoint when);
+  void ensure_sweeper_locked();
+  void sweeper_loop();
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<ImplInfo>> entries_;
@@ -179,6 +229,12 @@ class DiscoveryState : public DiscoveryClient {
   uint64_t next_alloc_ = 1;
   std::vector<std::weak_ptr<DiscoveryWatcher>> watchers_;
   uint64_t watch_seq_ = 0;
+  std::unordered_map<std::string, Lease> leases_;
+  FaultStatsPtr fault_stats_;
+  std::condition_variable sweep_cv_;
+  std::thread sweeper_;
+  bool sweeper_running_ = false;
+  bool stopping_ = false;
 };
 
 using DiscoveryPtr = std::shared_ptr<DiscoveryClient>;
@@ -199,20 +255,38 @@ class DiscoveryServer {
 
   const Addr& addr() const { return addr_; }
   uint64_t requests_served() const;
+  // Requests answered from the idempotency dedup cache (i.e. retries of
+  // an already-executed mutation).
+  uint64_t dedup_hits() const;
 
  private:
   void serve_loop();
+
+  // Bounded idempotency cache: "<client_id>#<idem_key>" -> encoded
+  // response body. A retried mutation whose first response was lost is
+  // answered from here instead of re-executing (exactly-once effects).
+  static constexpr size_t kDedupCacheCap = 1024;
 
   std::shared_ptr<Transport> transport_;
   std::shared_ptr<DiscoveryState> state_;
   Addr addr_;
   mutable std::mutex mu_;
   uint64_t requests_ = 0;
+  uint64_t dedup_hits_ = 0;
+  std::unordered_map<std::string, Bytes> dedup_;
+  std::deque<std::string> dedup_order_;  // FIFO eviction
   std::thread thread_;
 };
 
 // Speaks the discovery protocol over a datagram transport with
 // request/response matching, timeout and retry.
+//
+// Concurrency: RPCs issue in parallel — a dedicated reader thread demuxes
+// responses to waiting callers by request id, so one slow call never
+// serializes the rest. Retries back off exponentially with jitter, and
+// every mutation carries a client-generated idempotency key so a retry of
+// an executed-but-unacknowledged op is answered from the server's dedup
+// cache instead of re-executing.
 class RemoteDiscovery final : public DiscoveryClient {
  public:
   struct Options {
@@ -220,6 +294,16 @@ class RemoteDiscovery final : public DiscoveryClient {
     int retries = 3;
     // Poll period for emulated watch subscriptions.
     Duration watch_poll = ms(50);
+    // Backoff between retry attempts.
+    ExponentialBackoff::Options backoff{ms(20), 2.0, ms(500), 0.5};
+    uint64_t backoff_seed = 1;
+    // Non-zero: registrations/allocations are leased with this TTL and a
+    // heartbeat thread renews them. If the service reports the lease
+    // lost (e.g. after a long partition), registrations are replayed.
+    Duration lease_ttl = Duration::zero();
+    // Defaults to lease_ttl / 4.
+    Duration heartbeat_period = Duration::zero();
+    FaultStatsPtr stats;
   };
 
   // `transport` is a bound client endpoint used solely for discovery RPCs.
@@ -240,19 +324,45 @@ class RemoteDiscovery final : public DiscoveryClient {
   // for server-pushed watch streams). Requires a non-empty type filter.
   Result<WatcherPtr> watch(const std::string& type_filter) override;
 
+  // The lease owner id sent with every request (unique per client).
+  const std::string& client_id() const { return client_id_; }
+
  private:
   struct Rsp;
+  struct Pending;
   Result<Rsp> rpc(const Bytes& request_body);
+  void reader_loop();
+  void ensure_reader_locked();
+  void heartbeat_loop();
+  void ensure_heartbeat();
   void poll_watch(WatcherPtr w);
+  uint64_t next_idem() { return next_idem_.fetch_add(1) + 1; }
 
-  std::mutex mu_;  // one RPC at a time per client
   TransportPtr transport_;
   Addr server_;
   Options opts_;
-  uint64_t next_req_ = 1;
+  std::string client_id_;
+  std::atomic<uint64_t> next_req_{1};
+  std::atomic<uint64_t> next_idem_{0};
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
+  bool reader_started_ = false;
+  bool reader_dead_ = false;
+  std::thread reader_;
+
   std::mutex watch_mu_;
   bool stopping_ = false;
   std::vector<std::pair<WatcherPtr, std::thread>> pollers_;
+
+  // Heartbeat thread (lazily started once leased state exists) plus a
+  // mirror of leased registrations to replay after a lost lease.
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  std::thread hb_thread_;
+  bool hb_started_ = false;
+  bool hb_stop_ = false;
+  std::vector<ImplInfo> leased_impls_;  // guarded by hb_mu_
 };
 
 }  // namespace bertha

@@ -1,0 +1,179 @@
+#include "core/discovery_cache.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace bertha {
+
+CachingDiscovery::CachingDiscovery(DiscoveryPtr inner, Options opts,
+                                   FaultStatsPtr stats)
+    : inner_(std::move(inner)), opts_(opts), stats_(std::move(stats)) {
+  probe_thread_ = std::thread([this] { probe_loop(); });
+}
+
+CachingDiscovery::~CachingDiscovery() {
+  std::vector<std::pair<WatcherPtr, std::thread>> forwarders;
+  std::vector<std::weak_ptr<DiscoveryWatcher>> watchers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    forwarders.swap(forwarders_);
+    watchers.swap(watchers_);
+  }
+  probe_cv_.notify_all();
+  for (auto& [w, t] : forwarders) w->cancel();
+  for (auto& w : watchers)
+    if (auto sp = w.lock()) sp->cancel();
+  if (probe_thread_.joinable()) probe_thread_.join();
+  for (auto& [w, t] : forwarders)
+    if (t.joinable()) t.join();
+}
+
+bool CachingDiscovery::degraded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return degraded_;
+}
+
+void CachingDiscovery::note(bool healthy) {
+  std::vector<WatcherPtr> notify;
+  WatchEvent ev;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (healthy == !degraded_) return;  // no edge
+    degraded_ = !healthy;
+    if (degraded_) {
+      if (stats_) stats_->degraded_entries++;
+      BLOG(warn, "discovery") << "service unreachable; entering degraded "
+                                 "mode (cached catalogue + local fallbacks)";
+      probe_cv_.notify_all();
+      return;
+    }
+    if (stats_) stats_->degraded_exits++;
+    BLOG(info, "discovery") << "service reachable again; leaving degraded "
+                               "mode";
+    // Synthetic event: kicks the transition controller into a refresh +
+    // upgrade sweep so degraded connections renegotiate for real.
+    ev.kind = WatchKind::impl_registered;
+    ev.seq = ++seq_;
+    ev.name = kDiscoveryRecoveredEvent;
+    size_t live = 0;
+    for (auto& w : watchers_) {
+      auto sp = w.lock();
+      if (!sp || sp->cancelled()) continue;
+      watchers_[live++] = w;
+      notify.push_back(std::move(sp));
+    }
+    watchers_.resize(live);
+  }
+  for (auto& w : notify)
+    if (w->wants(ev)) w->deliver(ev);
+}
+
+void CachingDiscovery::probe_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stopping_) {
+    if (!degraded_) {
+      probe_cv_.wait(lk);
+      continue;
+    }
+    lk.unlock();
+    auto q = inner_->query(opts_.probe_type);
+    note(q.ok() || !transient(q.error()));
+    lk.lock();
+    if (!stopping_ && degraded_)
+      probe_cv_.wait_for(lk, opts_.probe_period);
+  }
+}
+
+Result<std::vector<ImplInfo>> CachingDiscovery::query(
+    const std::string& type) {
+  auto r = inner_->query(type);
+  if (r.ok()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      catalogue_[type] = r.value();
+    }
+    note(true);
+    return r;
+  }
+  if (!transient(r.error())) {
+    note(true);  // the service answered, just unhappily
+    return r;
+  }
+  note(false);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = catalogue_.find(type);
+  if (it != catalogue_.end()) {
+    if (stats_) stats_->catalogue_hits++;
+    return it->second;
+  }
+  // Cold cache: report an empty deployment so negotiation falls back to
+  // locally registered software impls instead of failing establishment.
+  return std::vector<ImplInfo>{};
+}
+
+Result<void> CachingDiscovery::register_impl(const ImplInfo& info) {
+  auto r = inner_->register_impl(info);
+  note(r.ok() || !transient(r.error()));
+  return r;
+}
+
+Result<void> CachingDiscovery::unregister_impl(const std::string& type,
+                                               const std::string& name) {
+  auto r = inner_->unregister_impl(type, name);
+  note(r.ok() || !transient(r.error()));
+  return r;
+}
+
+Result<uint64_t> CachingDiscovery::acquire(
+    const std::vector<ResourceReq>& reqs) {
+  auto r = inner_->acquire(reqs);
+  note(r.ok() || !transient(r.error()));
+  return r;
+}
+
+Result<void> CachingDiscovery::release(uint64_t alloc_id) {
+  auto r = inner_->release(alloc_id);
+  note(r.ok() || !transient(r.error()));
+  return r;
+}
+
+Result<void> CachingDiscovery::set_pool(const std::string& pool,
+                                        uint64_t capacity) {
+  auto r = inner_->set_pool(pool, capacity);
+  note(r.ok() || !transient(r.error()));
+  return r;
+}
+
+Result<WatcherPtr> CachingDiscovery::watch(const std::string& type_filter) {
+  auto local = std::make_shared<DiscoveryWatcher>(type_filter);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stopping_) return err(Errc::cancelled, "discovery client closing");
+  watchers_.push_back(local);
+  if (!type_filter.empty()) {
+    // Forward the inner client's (possibly emulated) event stream into
+    // the local watcher. An inner client without watch support is fine —
+    // the local watcher still gets synthetic recovery events.
+    auto inner_w = inner_->watch(type_filter);
+    if (inner_w.ok()) {
+      WatcherPtr iw = std::move(inner_w).value();
+      forwarders_.emplace_back(
+          iw, std::thread([this, iw, local] { forward_loop(iw, local); }));
+    }
+  }
+  return local;
+}
+
+void CachingDiscovery::forward_loop(WatcherPtr inner_w, WatcherPtr local) {
+  while (!local->cancelled()) {
+    auto ev = inner_w->next(Deadline::after(ms(100)));
+    if (ev.ok()) {
+      if (local->wants(ev.value())) local->deliver(ev.value());
+      continue;
+    }
+    if (ev.error().code == Errc::cancelled) break;  // inner watch died
+  }
+}
+
+}  // namespace bertha

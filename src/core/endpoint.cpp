@@ -70,6 +70,8 @@ class ClientChannelGroup
 
   using TransitionHandler = std::function<void(
       const TransitionMsg&, const std::shared_ptr<ClientChannel>&)>;
+  using CancelHandler = std::function<void(
+      const TransitionCancelMsg&, const std::shared_ptr<ClientChannel>&)>;
 
   static PortPtr make_port(std::shared_ptr<Transport> t) {
     auto p = std::make_shared<Port>();
@@ -106,14 +108,21 @@ class ClientChannelGroup
     std::lock_guard<std::mutex> lk(mu_);
     handler_ = std::move(h);
   }
+  void set_cancel_handler(CancelHandler h) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cancel_handler_ = std::move(h);
+  }
   void on_transition(const TransitionMsg& msg,
                      const std::shared_ptr<ClientChannel>& via);
+  void on_transition_cancel(const TransitionCancelMsg& msg,
+                            const std::shared_ptr<ClientChannel>& via);
 
  private:
   friend class ClientChannel;
   std::mutex mu_;
   std::unordered_map<uint64_t, std::weak_ptr<ClientChannel>> by_token_;
   TransitionHandler handler_;
+  CancelHandler cancel_handler_;
 };
 
 class ClientChannel final : public Connection,
@@ -170,8 +179,10 @@ class ClientChannel final : public Connection,
 
   // Half-close: tells the server this epoch carries no more client data
   // (per-path FIFO ordering puts the fin after everything sent above).
-  // The channel stays open to drain server->client traffic.
-  void send_fin() {
+  // The channel stays open to drain server->client traffic. A
+  // transition-driven fin stamps the target epoch in the payload so the
+  // server can recognise it as stale after a rollback.
+  void send_fin(BytesView payload = {}) {
     ClientChannelGroup::PortPtr port;
     std::vector<Peer> peers;
     {
@@ -182,8 +193,16 @@ class ClientChannel final : public Connection,
       peers = peers_;
     }
     for (const auto& p : peers)
-      (void)port->transport->send_to(p.addr,
-                                     encode_frame(MsgKind::close, p.token, {}));
+      (void)port->transport->send_to(
+          p.addr, encode_frame(MsgKind::close, p.token, payload));
+  }
+
+  // Re-arm send_fin after a reverted transition: the epoch this channel
+  // carries became current again and a future transition must be able to
+  // half-close it.
+  void clear_fin() {
+    std::lock_guard<std::mutex> lk(mu_);
+    fin_sent_ = false;
   }
 
   Result<Msg> recv(Deadline deadline) override {
@@ -355,6 +374,12 @@ class ClientChannel final : public Connection,
         if (msg.ok()) group_->on_transition(msg.value(), shared_from_this());
         return std::nullopt;
       }
+      case MsgKind::transition_cancel: {
+        auto msg = decode_transition_cancel(f.payload);
+        if (msg.ok())
+          group_->on_transition_cancel(msg.value(), shared_from_this());
+        return std::nullopt;
+      }
       default:
         return std::nullopt;  // duplicate accept from a retry, etc.
     }
@@ -415,6 +440,17 @@ void ClientChannelGroup::on_transition(
                         encode_transition_ack(ack));
 }
 
+void ClientChannelGroup::on_transition_cancel(
+    const TransitionCancelMsg& msg, const std::shared_ptr<ClientChannel>& via) {
+  CancelHandler h;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    h = cancel_handler_;
+  }
+  if (h) h(msg, via);
+  // Without a handler there is nothing staged to discard.
+}
+
 // ----------------------------------------------------------------------
 // Server-side per-connection state and connection object.
 // ----------------------------------------------------------------------
@@ -447,6 +483,12 @@ struct ConnMeta {
   std::vector<NodeAlloc> allocs;  // live reservations by chain position
   std::weak_ptr<TransitionableConnection> conn;
   bool transitioning = false;  // an offer is in flight
+  // Negotiated while discovery was unreachable (local software fallbacks
+  // only); cleared when a later renegotiation sees a healthy catalogue.
+  bool degraded = false;
+  // Shared liveness timestamps, re-threaded into every epoch's stack so
+  // keepalive state survives cutovers.
+  ConnLivenessPtr liveness;
 };
 
 // One in-flight transition, indexed under both its tokens.
@@ -469,6 +511,8 @@ struct TransitionRecord {
   // Client fin on the old token that arrived before the ack: applied at
   // cutover (the old incoming queue is closed once it's the old epoch).
   bool old_fin_seen = false;
+
+  bool degraded = false;  // the renegotiated chain is itself degraded
 
   std::vector<NegotiatedNode> new_chain;
   std::vector<NodeAlloc> kept_allocs;  // carried incumbent slots
@@ -555,6 +599,14 @@ class Listener::Impl : public TransitionHost,
   uint64_t connections_accepted() const {
     std::lock_guard<std::mutex> lk(mu_);
     return accepted_;
+  }
+
+  uint64_t degraded_connections() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    uint64_t n = 0;
+    for (const auto& [tok, m] : meta_)
+      if (m.degraded) n++;
+    return n;
   }
 
   void close() {
@@ -757,6 +809,21 @@ class Listener::Impl : public TransitionHost,
             if (it != transitions_.end()) rec = it->second;
           }
           if (!rec) {
+            // A fin stamped with a future epoch belonged to a transition
+            // that no longer exists (the offer was rolled back and the
+            // client told to revert): ignore it instead of tearing down
+            // the reverted connection.
+            if (!f.payload.empty()) {
+              auto fin = decode_transition_cancel(f.payload);
+              bool stale = false;
+              if (fin.ok()) {
+                std::lock_guard<std::mutex> lk(mu_);
+                auto mit = meta_.find(f.token);
+                stale =
+                    mit != meta_.end() && fin.value().epoch > mit->second.epoch;
+              }
+              if (stale) break;
+            }
             connection_closed(f.token);
             break;
           }
@@ -943,6 +1010,13 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   meta.hello = hello;
   meta.established_from = src;
   meta.chain = accept.chain;
+  meta.degraded = neg.value().degraded;
+  meta.liveness = std::make_shared<ConnLiveness>();
+  ConnLivenessPtr liveness = meta.liveness;
+  if (meta.degraded)
+    BLOG(warn, "listener") << "degraded establishment for "
+                           << hello.endpoint_name
+                           << " (discovery unreachable; local fallbacks only)";
   for (size_t i = 0; i < neg.value().resource_allocs.size(); i++)
     meta.allocs.push_back(
         {neg.value().alloc_nodes[i], neg.value().resource_allocs[i]});
@@ -972,6 +1046,7 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   ctx.token = token;
   ctx.listen_addr = primary_addr_;
   ctx.transports = &rt_->transports();
+  ctx.liveness = liveness;
   auto wrapped = build_stack(*rt_, accept.chain, std::move(base), ctx);
   if (!wrapped.ok()) {
     BLOG(error, "listener") << "stack build failed: "
@@ -1014,6 +1089,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   Addr peer;
   std::shared_ptr<TransitionableConnection> tconn;
   std::shared_ptr<ServerConnState> old_st;
+  ConnLivenessPtr liveness;
   uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -1027,6 +1103,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
     cur_allocs = it->second.allocs;
     peer = it->second.established_from;
     epoch = it->second.epoch + 1;
+    liveness = it->second.liveness;
     tconn = it->second.conn.lock();
     auto cit = conns_.find(token);
     if (cit != conns_.end()) old_st = cit->second;
@@ -1073,6 +1150,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   ctx.token = new_token;
   ctx.listen_addr = primary_addr_;
   ctx.transports = &rt_->transports();
+  ctx.liveness = liveness;
   auto stack = build_stack(*rt_, reneg.chain, std::move(base), ctx);
   if (!stack.ok()) {
     release_new();
@@ -1102,6 +1180,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   rec->next_retry = Deadline::after(tun.offer_retry);
   rec->ack_deadline = Deadline::after(tun.ack_timeout);
   rec->started = now();
+  rec->degraded = reneg.degraded;
   rec->new_chain = reneg.chain;
   rec->kept_allocs = std::move(reneg.kept_allocs);
   rec->new_allocs = std::move(reneg.new_allocs);
@@ -1242,6 +1321,7 @@ void Listener::Impl::do_cutover(const std::shared_ptr<TransitionRecord>& rec) {
       meta_.erase(mit);
       m.epoch = rec->epoch;
       m.chain = rec->new_chain;
+      m.degraded = rec->degraded;
       m.allocs = rec->kept_allocs;
       m.allocs.insert(m.allocs.end(), rec->new_allocs.begin(),
                       rec->new_allocs.end());
@@ -1278,6 +1358,30 @@ void Listener::Impl::rollback(const std::shared_ptr<TransitionRecord>& rec,
     conns_.erase(rec->new_token);
     auto mit = meta_.find(rec->old_token);
     if (mit != meta_.end()) mit->second.transitioning = false;
+  }
+  // Tell the client the offer is dead. It may have cut over and acked
+  // into the void (the ack was lost); the cancel — sent on the old
+  // token, which the client still drains — makes it revert to the
+  // previous epoch instead of waiting on a stack the server will never
+  // serve. Sent before the new stack's close frame so a reverting client
+  // processes the cancel first (per-path FIFO). Best effort: a lost
+  // cancel leaves the client stuck exactly as it would have been without
+  // this notice.
+  {
+    std::shared_ptr<Transport> t;
+    Addr dst;
+    {
+      std::lock_guard<std::mutex> lk(rec->old_st->reply_mu);
+      t = rec->old_st->reply_transport;
+      dst = rec->old_st->reply_addr;
+    }
+    if (t) {
+      Bytes frame =
+          encode_frame(MsgKind::transition_cancel, rec->old_token,
+                       encode_transition_cancel({rec->epoch}));
+      (void)t->send_to(dst, frame);
+      stat([](TransitionStats& s) { s.cancels_sent++; });
+    }
   }
   rec->new_st->incoming.close();
   for (const auto& a : rec->new_allocs)
@@ -1333,6 +1437,9 @@ Result<ConnPtr> Listener::accept(Deadline deadline) {
 void Listener::close() { impl_->close(); }
 uint64_t Listener::connections_accepted() const {
   return impl_->connections_accepted();
+}
+uint64_t Listener::degraded_connections() const {
+  return impl_->degraded_connections();
 }
 
 // --- Endpoint ---
@@ -1449,12 +1556,15 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   auto port = ClientChannelGroup::make_port(transport);
   auto channel = group->add_channel(port, peers);
 
+  auto liveness = std::make_shared<ConnLiveness>();
+
   WrapContext ctx;
   ctx.role = Role::client;
   ctx.local_host_id = cfg.host_id;
   ctx.peer_host_id = accepts.front().host_id;
   ctx.token = peers.front().token;
   ctx.transports = &rt_->transports();
+  ctx.liveness = liveness;
   if (peers.size() == 1) {
     std::weak_ptr<ClientChannel> weak = channel;
     ctx.rebase = [weak](TransportPtr nt, Addr np) -> Result<void> {
@@ -1492,7 +1602,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   const std::string secret = cfg.attestation_secret;
   const std::string peer_host = accepts.front().host_id;
   group->set_transition_handler([wgroup, wtconn, runtime, ctl, multi_peer,
-                                 secret, peer_host](
+                                 secret, peer_host, liveness](
                                     const TransitionMsg& msg,
                                     const std::shared_ptr<ClientChannel>& via) {
     auto decline = [&](Errc e, const std::string& why) {
@@ -1545,6 +1655,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     ctx.peer_host_id = peer_host;
     ctx.token = msg.new_token;
     ctx.transports = &runtime->transports();
+    ctx.liveness = liveness;
     std::weak_ptr<ClientChannel> wnch = nch;
     ctx.rebase = [wnch](TransportPtr nt, Addr np) -> Result<void> {
       auto conn = wnch.lock();
@@ -1572,11 +1683,48 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     ack.accepted = true;
     Bytes payload = encode_transition_ack(ack);
     (void)nch->send_frame(MsgKind::transition_ack, msg.new_token, payload);
-    via->send_fin();
+    via->send_fin(encode_transition_cancel({msg.epoch}));
     std::lock_guard<std::mutex> lk(ctl->mu);
     ctl->current_epoch = msg.epoch;
     ctl->acks[msg.epoch] = {std::move(payload), msg.new_token, nch};
     ctl->in_progress.erase(msg.epoch);
+  });
+
+  // Server-side rollback notice: the offer we (maybe) acked is dead.
+  // Discard the cached ack — the server reuses the epoch number on its
+  // next attempt, and a replayed stale ack would poison it — and, if we
+  // already cut over, revert to the previous epoch's stack (still
+  // draining, so it is intact).
+  auto stats_sink = runtime->transitions().stats_sink();
+  group->set_cancel_handler([wtconn, ctl, stats_sink](
+                                const TransitionCancelMsg& msg,
+                                const std::shared_ptr<ClientChannel>& via) {
+    bool cut_over;
+    {
+      std::lock_guard<std::mutex> lk(ctl->mu);
+      ctl->acks.erase(msg.epoch);
+      ctl->in_progress.erase(msg.epoch);
+      cut_over = ctl->current_epoch == msg.epoch;
+    }
+    if (!cut_over) return;  // declined or never staged: nothing to undo
+    auto tc = wtconn.lock();
+    if (!tc) return;
+    auto r = tc->revert(msg.epoch);
+    if (!r.ok()) {
+      BLOG(warn, "transition") << "cannot revert epoch " << msg.epoch << ": "
+                               << r.error().to_string();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(ctl->mu);
+      if (ctl->current_epoch == msg.epoch) ctl->current_epoch = tc->epoch();
+    }
+    // The old channel is current again; a future transition must be able
+    // to half-close it.
+    via->clear_fin();
+    stats_sink->update([](TransitionStats& s) { s.reverts++; });
+    BLOG(info, "transition") << "reverted epoch " << msg.epoch
+                             << " after server rollback";
   });
 
   return ConnPtr(std::move(tconn));

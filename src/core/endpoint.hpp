@@ -65,6 +65,11 @@ class Listener {
 
   uint64_t connections_accepted() const;
 
+  // Connections currently bound to degraded chains (negotiated while the
+  // discovery service was unreachable, so only local software fallbacks
+  // were considered). Drops back to 0 once renegotiation upgrades them.
+  uint64_t degraded_connections() const;
+
   class Impl;  // public: constructed via make_shared in Endpoint::listen
 
  private:

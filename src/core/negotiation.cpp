@@ -201,7 +201,9 @@ Result<NegotiationResult> select_chain(
     } else {
       BLOG(warn, "negotiate") << "discovery query failed for " << spec.type
                               << ": " << q.error().to_string();
+      result.degraded = true;
     }
+    if (discovery.degraded()) result.degraded = true;
 
     auto candidates =
         rank_candidates(spec, *client_offered, registry.infos_for(spec.type),
@@ -412,6 +414,9 @@ Result<RenegotiationResult> renegotiate_server(
     std::vector<ImplInfo> network_entries;
     if (auto q = discovery.query(spec.type); q.ok())
       network_entries = std::move(q).value();
+    else
+      result.degraded = true;
+    if (discovery.degraded()) result.degraded = true;
 
     auto candidates =
         rank_candidates(spec, *client_offered, registry.infos_for(spec.type),

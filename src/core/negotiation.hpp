@@ -111,6 +111,10 @@ struct NegotiationResult {
   // reserved for. Live renegotiation needs this to carry an incumbent
   // node's slot across a transition while retiring a replaced node's.
   std::vector<size_t> alloc_nodes;
+  // True when selection ran without a reachable discovery service (cached
+  // or local-fallback catalogue). The connection should be upgraded by a
+  // full renegotiation once the service returns.
+  bool degraded = false;
 };
 
 // Server-side selection. `advertisements` are per-type args contributed
@@ -143,6 +147,8 @@ struct RenegotiationResult {
   // Slots held by replaced nodes. The caller MUST NOT release these until
   // the old chain has drained (the drain-before-release invariant).
   std::vector<uint64_t> retired_allocs;
+  // See NegotiationResult::degraded.
+  bool degraded = false;
 };
 
 // Re-runs selection for an *established* connection. Unlike

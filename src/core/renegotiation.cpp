@@ -62,6 +62,20 @@ Result<TransitionAckMsg> decode_transition_ack(BytesView b) {
   return m;
 }
 
+Bytes encode_transition_cancel(const TransitionCancelMsg& m) {
+  Writer w;
+  w.put_varint(m.epoch);
+  return std::move(w).take();
+}
+
+Result<TransitionCancelMsg> decode_transition_cancel(BytesView b) {
+  Reader r(b);
+  TransitionCancelMsg m;
+  BERTHA_TRY_ASSIGN(epoch, r.get_varint());
+  m.epoch = epoch;
+  return m;
+}
+
 // --- TransitionableConnection ---
 
 TransitionableConnection::TransitionableConnection(
@@ -197,12 +211,39 @@ Result<void> TransitionableConnection::cutover(
       return err(Errc::invalid_argument, "stale transition epoch");
     old_ = std::move(cur_);
     cur_ = std::move(next);
+    prev_chain_ = std::move(chain_);
+    prev_epoch_ = epoch_;
     chain_ = std::move(new_chain);
     epoch_ = epoch;
     drain_deadline_ = Deadline::after(tuning_.drain_timeout);
     on_drained_ = std::move(on_drained);
     drained_ = 0;
   }
+  return ok();
+}
+
+Result<void> TransitionableConnection::revert(uint64_t epoch) {
+  ConnPtr aborted;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_) return err(Errc::cancelled, "connection closed");
+    if (epoch_ != epoch)
+      return err(Errc::invalid_argument, "revert epoch mismatch");
+    if (!old_)
+      return err(Errc::not_found,
+                 "previous stack already drained; cannot revert");
+    aborted = std::move(cur_);
+    cur_ = std::move(old_);
+    old_ = nullptr;
+    chain_ = std::move(prev_chain_);
+    epoch_ = prev_epoch_;
+    prev_chain_.clear();
+    drain_deadline_ = Deadline::never();
+    on_drained_ = nullptr;
+    drained_ = 0;
+  }
+  if (stats_) stats_->update([](TransitionStats& s) { s.reverts++; });
+  aborted->close();
   return ok();
 }
 

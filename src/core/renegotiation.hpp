@@ -61,10 +61,19 @@ struct TransitionAckMsg {
   std::string reason;
 };
 
+// Rollback notice (wire kind transition_cancel): the server abandoned
+// the offer for `epoch`; a client that staged (or cut over to) that
+// epoch's stack must discard it and revert to the previous epoch.
+struct TransitionCancelMsg {
+  uint64_t epoch = 0;
+};
+
 Bytes encode_transition(const TransitionMsg& m);
 Result<TransitionMsg> decode_transition(BytesView b);
 Bytes encode_transition_ack(const TransitionAckMsg& m);
 Result<TransitionAckMsg> decode_transition_ack(BytesView b);
+Bytes encode_transition_cancel(const TransitionCancelMsg& m);
+Result<TransitionCancelMsg> decode_transition_cancel(BytesView b);
 
 // --- Tuning & stats ---
 
@@ -85,6 +94,8 @@ struct TransitionStats {
   uint64_t rolled_back = 0;       // no ack in time (opportunistic offers)
   uint64_t forced_cutovers = 0;   // drain/ack deadline enforced
   uint64_t closed_mandatory = 0;  // connection closed to honor a revocation
+  uint64_t cancels_sent = 0;      // rollback notices sent to clients
+  uint64_t reverts = 0;           // client-side stacks reverted on cancel
   uint64_t drained_msgs = 0;      // messages delivered from old chains
   uint64_t max_cutover_ns = 0;    // offer sent -> old chain drained
   uint64_t total_cutover_ns = 0;
@@ -148,6 +159,12 @@ class TransitionableConnection final : public Connection {
   // Deadline enforcement (controller sweep). No-op unless draining.
   void force_drain();
 
+  // Undo a cutover to `epoch` after the server rolled the offer back
+  // (transition_cancel): the staged stack is closed and the previous
+  // stack — which must still be draining — becomes current again. Fails
+  // with not_found once the old stack has finished draining.
+  Result<void> revert(uint64_t epoch);
+
   uint64_t epoch() const;
   std::vector<NegotiatedNode> chain() const;
   bool draining() const;
@@ -165,6 +182,10 @@ class TransitionableConnection final : public Connection {
   ConnPtr cur_;
   ConnPtr old_;  // non-null while draining
   std::vector<NegotiatedNode> chain_;
+  // Pre-cutover chain/epoch, kept while old_ drains so revert() can
+  // restore them.
+  std::vector<NegotiatedNode> prev_chain_;
+  uint64_t prev_epoch_ = 0;
   uint64_t epoch_ = 0;
   Deadline drain_deadline_ = Deadline::never();
   std::function<void(bool, uint64_t)> on_drained_;

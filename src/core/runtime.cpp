@@ -32,7 +32,12 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
   }
   if (cfg.process_id.empty())
     cfg.process_id = std::to_string(::getpid()) + "-" + make_unique_id();
-  if (!cfg.discovery) cfg.discovery = std::make_shared<DiscoveryState>();
+  if (!cfg.fault_stats) cfg.fault_stats = std::make_shared<FaultStats>();
+  if (!cfg.discovery) {
+    auto state = std::make_shared<DiscoveryState>();
+    state->set_fault_stats(cfg.fault_stats);
+    cfg.discovery = std::move(state);
+  }
   if (!cfg.policy) cfg.policy = std::make_shared<DefaultPolicy>();
   if (cfg.handshake_retries < 0 || cfg.handshake_timeout <= Duration::zero())
     return err(Errc::invalid_argument, "bad handshake parameters");

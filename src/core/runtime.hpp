@@ -65,6 +65,11 @@ struct RuntimeConfig {
   // Live-renegotiation timing (core/renegotiation.hpp). Tests tighten
   // these; production deployments mostly care about drain_timeout.
   TransitionTuning transition_tuning;
+
+  // Fault-tolerance counters (RPC retries, lease expiries, degraded-mode
+  // entries/exits). Defaults to a fresh FaultStats; share one instance
+  // across runtimes to aggregate.
+  FaultStatsPtr fault_stats;
 };
 
 class Runtime : public std::enable_shared_from_this<Runtime> {
@@ -92,6 +97,10 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
   // core/renegotiation.hpp). Listeners attach themselves on listen();
   // its watch/sweep thread starts lazily with the first listener.
   TransitionController& transitions() { return *transitions_; }
+
+  // Fault-tolerance counters (util/stats.hpp). Never null after create().
+  FaultStats& fault_stats() { return *cfg_.fault_stats; }
+  const FaultStatsPtr& fault_stats_ptr() const { return cfg_.fault_stats; }
 
   ~Runtime();
 

@@ -29,6 +29,11 @@ enum class MsgKind : uint8_t {
   // back on the new token so the server learns the new reply path.
   transition = 7,      // server -> client: epoch cutover offer
   transition_ack = 8,  // client -> server: accept/decline of an offer
+  // server -> client: the offer for `epoch` was rolled back; discard any
+  // staged stack and revert to the previous epoch. Sent on the old token
+  // when the ack deadline passes without an ack (the client may have cut
+  // over and acked into a void — this tells it to come back).
+  transition_cancel = 9,
 };
 
 inline constexpr uint8_t kMagic0 = 'B';

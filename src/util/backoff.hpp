@@ -1,0 +1,64 @@
+// Exponential backoff with jitter for retry loops.
+//
+// Retrying at a fixed period turns a transient outage into a synchronized
+// retry storm: every client that failed together retries together. Each
+// delay here is drawn uniformly from [step*(1-jitter), step*(1+jitter)]
+// around a geometrically growing step, capped at `max`. Seeded (via Rng)
+// so tests are reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/clock.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+
+class ExponentialBackoff {
+ public:
+  struct Options {
+    Duration base = ms(10);
+    double multiplier = 2.0;
+    Duration max = seconds(1);
+    double jitter = 0.5;  // spread as a fraction of the current step
+  };
+
+  ExponentialBackoff(Options opts, uint64_t seed) : opts_(opts), rng_(seed) {
+    if (opts_.base <= Duration::zero()) opts_.base = ms(1);
+    if (opts_.max < opts_.base) opts_.max = opts_.base;
+    opts_.multiplier = std::max(1.0, opts_.multiplier);
+    opts_.jitter = std::clamp(opts_.jitter, 0.0, 1.0);
+    step_ = opts_.base;
+  }
+
+  // The delay to sleep before the next attempt. Advances the step.
+  Duration next() {
+    attempts_++;
+    double step = static_cast<double>(step_.count());
+    double lo = step * (1.0 - opts_.jitter);
+    double span = step * 2.0 * opts_.jitter;
+    auto delay = Duration(static_cast<int64_t>(lo + span * rng_.next_double()));
+    double grown = step * opts_.multiplier;
+    double cap = static_cast<double>(opts_.max.count());
+    step_ = Duration(static_cast<int64_t>(std::min(grown, cap)));
+    return std::min(delay, opts_.max);
+  }
+
+  void reset() {
+    step_ = opts_.base;
+    attempts_ = 0;
+  }
+
+  int attempts() const { return attempts_; }
+  // The undecorated (jitter-free) step the next next() draws around.
+  Duration current_step() const { return step_; }
+
+ private:
+  Options opts_;
+  Rng rng_;
+  Duration step_;
+  int attempts_ = 0;
+};
+
+}  // namespace bertha

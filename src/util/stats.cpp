@@ -7,6 +7,28 @@
 
 namespace bertha {
 
+std::string FaultStats::to_string() const {
+  char buf[384];
+  std::snprintf(
+      buf, sizeof(buf),
+      "rpc_retries=%llu rpc_failures=%llu dedup_hits=%llu lease_grants=%llu "
+      "lease_renewals=%llu lease_expiries=%llu heartbeats_sent=%llu "
+      "lease_recoveries=%llu degraded_entries=%llu degraded_exits=%llu "
+      "catalogue_hits=%llu",
+      static_cast<unsigned long long>(rpc_retries.load()),
+      static_cast<unsigned long long>(rpc_failures.load()),
+      static_cast<unsigned long long>(dedup_hits.load()),
+      static_cast<unsigned long long>(lease_grants.load()),
+      static_cast<unsigned long long>(lease_renewals.load()),
+      static_cast<unsigned long long>(lease_expiries.load()),
+      static_cast<unsigned long long>(heartbeats_sent.load()),
+      static_cast<unsigned long long>(lease_recoveries.load()),
+      static_cast<unsigned long long>(degraded_entries.load()),
+      static_cast<unsigned long long>(degraded_exits.load()),
+      static_cast<unsigned long long>(catalogue_hits.load()));
+  return buf;
+}
+
 std::string Summary::to_string() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

@@ -5,13 +5,38 @@
 // figures: Fig 3 uses p5/p25/p50/p75/p95 box stats, Fig 5 uses p95.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/clock.hpp"
 
 namespace bertha {
+
+// Fault-tolerance counters shared across the discovery/negotiation fault
+// path: RemoteDiscovery (retries, heartbeats), DiscoveryState/Server
+// (leases, dedup) and CachingDiscovery (degraded mode). One instance per
+// runtime, exposed via Runtime::fault_stats(); all fields are atomics so
+// any thread may bump them.
+struct FaultStats {
+  std::atomic<uint64_t> rpc_retries{0};     // resends after an RPC timeout
+  std::atomic<uint64_t> rpc_failures{0};    // RPCs that exhausted retries
+  std::atomic<uint64_t> dedup_hits{0};      // replays served from the cache
+  std::atomic<uint64_t> lease_grants{0};
+  std::atomic<uint64_t> lease_renewals{0};
+  std::atomic<uint64_t> lease_expiries{0};  // owners reaped by the sweeper
+  std::atomic<uint64_t> heartbeats_sent{0};
+  std::atomic<uint64_t> lease_recoveries{0};  // re-registers after lost lease
+  std::atomic<uint64_t> degraded_entries{0};
+  std::atomic<uint64_t> degraded_exits{0};
+  std::atomic<uint64_t> catalogue_hits{0};  // degraded queries from cache
+
+  std::string to_string() const;
+};
+
+using FaultStatsPtr = std::shared_ptr<FaultStats>;
 
 // Box-plot style summary of a sample set.
 struct Summary {

@@ -668,6 +668,46 @@ TEST(KeepaliveTest, HeartbeatsKeepIdleConnectionAlive) {
   p.b->close();
 }
 
+TEST(KeepaliveTest, LivenessCarriesOverAcrossRebuild) {
+  // An epoch cutover rebuilds the keepalive stack. The rebuilt side must
+  // inherit the connection's liveness clock (WrapContext.liveness), not
+  // restart it at "now": a peer that went silent before the cutover has
+  // to be detected within the original dead_after budget.
+  KeepaliveOptions opts;
+  opts.interval = ms(20);
+  opts.dead_after = ms(400);
+  KeepaliveChunnel impl(opts);
+
+  auto net = MemNetwork::create();
+  auto ta = net->bind(Addr::mem("a", 1)).value();
+  auto tb = net->bind(Addr::mem("b", 1)).value();
+  Addr addr_a = ta->local_addr(), addr_b = tb->local_addr();
+  ConnPtr base_a = std::make_shared<FixedPeerConnection>(std::move(ta), addr_b);
+  ConnPtr base_b = std::make_shared<FixedPeerConnection>(std::move(tb), addr_a);
+
+  // The previous epoch last heard from the peer 320ms ago; the peer is
+  // dead (side a is never wrapped, so no heartbeats ever flow).
+  auto carried = std::make_shared<ConnLiveness>();
+  carried->last_heard = (now() - ms(320)).time_since_epoch().count();
+  carried->last_sent = carried->last_heard.load();
+
+  WrapContext ctx;
+  ctx.role = Role::server;
+  ctx.liveness = carried;
+  auto b = impl.wrap(base_b, ctx).value();
+
+  // Only ~80ms of the 400ms budget remains. Without carry-over the
+  // rebuilt stack would take a full dead_after from wrap() to notice.
+  Stopwatch sw;
+  auto r = b->recv(Deadline::after(seconds(5)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::unavailable) << r.error().to_string();
+  EXPECT_GE(sw.elapsed(), ms(40)) << "carried timestamps misread as expired";
+  EXPECT_LT(sw.elapsed(), ms(300)) << "liveness clock restarted at rebuild";
+  b->close();
+  base_a->close();
+}
+
 TEST(KeepaliveTest, NegotiatedEndToEnd) {
   auto world = testing_support::TestWorld::make();
   auto srv_rt = world.runtime("h1");

@@ -13,6 +13,8 @@
 #include "chunnels/localfastpath.hpp"
 #include "chunnels/telemetry.hpp"
 #include "core/renegotiation.hpp"
+#include "core/wire.hpp"
+#include "net/fault.hpp"
 #include "test_helpers.hpp"
 
 namespace bertha {
@@ -418,6 +420,109 @@ TEST(LiveTransitionTest, NoopRenegotiateAllLeavesConnectionsAlone) {
   auto stats = srv_rt->transitions().stats();
   EXPECT_EQ(stats.completed, 0u);
   EXPECT_EQ(stats.offers_sent, 0u);
+}
+
+// --- rollback notifies the client, which reverts and recovers ---
+
+TEST(LiveTransitionTest, RollbackNotifiesClientWhichRevertsAndRecovers) {
+  auto world = TestWorld::make();
+
+  // The client's transports are fault-injectable so the test can
+  // black-hole its transition acks, forcing the server's ack deadline to
+  // pass while the client has already cut over — the lost-ack rollback.
+  auto drop_acks = std::make_shared<std::atomic<bool>>(false);
+  auto cli_factory = std::make_shared<FaultInjectingFactory>(
+      std::make_shared<DefaultTransportFactory>(world.mem, world.sim, "h-cli"),
+      FaultInjectingTransport::Options{});
+  cli_factory->set_send_filter([drop_acks](const Addr&, BytesView p) {
+    return drop_acks->load() && p.size() >= kWireHeaderSize &&
+           p[2] == static_cast<uint8_t>(MsgKind::transition_ack);
+  });
+
+  // Cancel/revert needs the old epoch to still be draining when the ack
+  // deadline passes (the revert target is the draining stack), so
+  // ack_timeout < drain_timeout — the opposite of fast_tuning().
+  TransitionTuning tuning;
+  tuning.offer_retry = ms(25);
+  tuning.ack_timeout = ms(250);
+  tuning.drain_timeout = ms(2000);
+  tuning.sweep_period = ms(10);
+
+  RuntimeConfig scfg;
+  scfg.host_id = "h-srv";
+  scfg.transports =
+      std::make_shared<DefaultTransportFactory>(world.mem, world.sim, "h-srv");
+  scfg.discovery = world.discovery;
+  scfg.transition_tuning = tuning;
+  auto srv_rt = Runtime::create(std::move(scfg)).value();
+  RuntimeConfig ccfg;
+  ccfg.host_id = "h-cli";
+  ccfg.transports = cli_factory;
+  ccfg.discovery = world.discovery;
+  ccfg.transition_tuning = tuning;
+  auto cli_rt = Runtime::create(std::move(ccfg)).value();
+
+  ASSERT_TRUE(srv_rt
+                  ->register_chunnel(std::make_shared<InfoChunnel>(
+                      offload_info("offload/sw", 0)))
+                  .ok());
+
+  auto listener = srv_rt->endpoint("srv", wrap(ChunnelSpec("offload")))
+                      .value()
+                      .listen(Addr::mem("h-srv", 100))
+                      .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv = listener->accept(Deadline::after(seconds(5))).value();
+  ASSERT_TRUE(round_trip(conn, srv, 0));
+
+  // Black-hole acks, then provoke an upgrade offer.
+  drop_acks->store(true);
+  ImplInfo hw = offload_info("offload/hw", 50);
+  ASSERT_TRUE(srv_rt->register_chunnel(std::make_shared<InfoChunnel>(hw)).ok());
+  ASSERT_TRUE(world.discovery->register_impl(hw).ok());
+
+  // The client cuts over and acks into the void; at the ack deadline the
+  // server rolls back and sends transition_cancel on the old token; the
+  // client reverts onto its still-draining old stack. Keep both recv
+  // paths pumped — messages the client sends on the orphaned new token
+  // are lost by design, so no round-trip asserts inside this window.
+  Deadline dl = Deadline::after(seconds(10));
+  while (srv_rt->transitions().stats().rolled_back == 0 ||
+         cli_rt->transitions().stats().reverts == 0) {
+    ASSERT_FALSE(dl.expired()) << "rollback/revert never happened";
+    (void)conn->send(Msg::of("probe"));
+    (void)srv->recv(Deadline::after(ms(20)));
+    (void)conn->recv(Deadline::after(ms(20)));
+  }
+  auto mid = srv_rt->transitions().stats();
+  EXPECT_GE(mid.cancels_sent, 1u);
+  EXPECT_EQ(mid.completed, 0u);
+  EXPECT_EQ(bound_impl(conn, "offload"), "offload/sw") << "revert missed";
+
+  // Both sides are back on the old epoch. Drain the probes that landed
+  // on the old stack before the cutover, then verify traffic flows.
+  drop_acks->store(false);
+  while (srv->recv(Deadline::after(ms(100))).ok()) {
+  }
+  int sent = 100;
+  ASSERT_TRUE(round_trip(conn, srv, ++sent));
+
+  // The connection is not poisoned: a fresh offer (the server reuses the
+  // epoch number, so a stale cached ack would break this) now completes.
+  EXPECT_GE(srv_rt->transitions().renegotiate_all(), 1u);
+  dl = Deadline::after(seconds(10));
+  while (bound_impl(srv, "offload") != "offload/hw") {
+    ASSERT_FALSE(dl.expired()) << "post-revert upgrade never completed";
+    ASSERT_TRUE(round_trip(conn, srv, ++sent)) << "message lost after revert";
+  }
+  ASSERT_TRUE(round_trip(conn, srv, ++sent));
+  EXPECT_EQ(bound_impl(conn, "offload"), "offload/hw");
+  auto stats = srv_rt->transitions().stats();
+  EXPECT_GE(stats.completed, 1u);
+  EXPECT_GE(stats.rolled_back, 1u);
 }
 
 // --- the Fig-4 story over real sockets: UDP -> unix-socket fast path ---
