@@ -98,28 +98,91 @@ DiscoveryWatcher::DiscoveryWatcher(std::string type_filter, size_t capacity)
     : filter_(std::move(type_filter)), q_(capacity) {}
 
 Result<WatchEvent> DiscoveryWatcher::next(Deadline deadline) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!buffer_.empty()) {
+        WatchEvent ev = std::move(buffer_.front());
+        buffer_.pop_front();
+        return ev;
+      }
+    }
+    BERTHA_TRY_ASSIGN(batch, q_.pop(deadline));
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& ev : batch) buffer_.push_back(std::move(ev));
+  }
+}
+
+std::optional<WatchEvent> DiscoveryWatcher::try_next() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!buffer_.empty()) {
+        WatchEvent ev = std::move(buffer_.front());
+        buffer_.pop_front();
+        return ev;
+      }
+    }
+    auto batch = q_.try_pop();
+    if (!batch) return std::nullopt;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& ev : *batch) buffer_.push_back(std::move(ev));
+  }
+}
+
+Result<std::vector<WatchEvent>> DiscoveryWatcher::next_batch(
+    Deadline deadline) {
+  {
+    // A batch partially consumed through next() comes out first so no
+    // consumer mix ever reorders events.
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!buffer_.empty()) {
+      std::vector<WatchEvent> out(std::make_move_iterator(buffer_.begin()),
+                                  std::make_move_iterator(buffer_.end()));
+      buffer_.clear();
+      return out;
+    }
+  }
   return q_.pop(deadline);
 }
 
-std::optional<WatchEvent> DiscoveryWatcher::try_next() { return q_.try_pop(); }
+std::optional<std::vector<WatchEvent>> DiscoveryWatcher::try_next_batch() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!buffer_.empty()) {
+      std::vector<WatchEvent> out(std::make_move_iterator(buffer_.begin()),
+                                  std::make_move_iterator(buffer_.end()));
+      buffer_.clear();
+      return out;
+    }
+  }
+  return q_.try_pop();
+}
 
 uint64_t DiscoveryWatcher::dropped() const {
   std::lock_guard<std::mutex> lk(mu_);
   return dropped_;
 }
 
-bool DiscoveryWatcher::wants(const WatchEvent& ev) const {
-  if (filter_.empty()) return true;
+bool DiscoveryWatcher::matches(const std::string& filter,
+                               const WatchEvent& ev) {
+  if (filter.empty()) return true;
   // Typed watchers see impl events for their type; pool capacity is not
   // owned by any one chunnel type, so pool events go to unfiltered
   // watchers only.
-  return ev.kind != WatchKind::pool_freed && ev.type == filter_;
+  return ev.kind != WatchKind::pool_freed && ev.type == filter;
 }
 
 void DiscoveryWatcher::deliver(const WatchEvent& ev) {
-  if (!q_.push(ev).ok()) {
+  deliver_batch(std::vector<WatchEvent>{ev});
+}
+
+void DiscoveryWatcher::deliver_batch(std::vector<WatchEvent> events) {
+  if (events.empty()) return;
+  size_t n = events.size();
+  if (!q_.push(std::move(events)).ok()) {
     std::lock_guard<std::mutex> lk(mu_);
-    dropped_++;
+    dropped_ += n;
   }
 }
 
@@ -313,6 +376,15 @@ void DiscoveryState::set_fault_stats(FaultStatsPtr stats) {
 FaultStatsPtr DiscoveryState::fault_stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   return fault_stats_;
+}
+
+std::pair<std::vector<ImplInfo>, uint64_t> DiscoveryState::catalogue_snapshot()
+    const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ImplInfo> all;
+  for (const auto& [type, v] : entries_)
+    all.insert(all.end(), v.begin(), v.end());
+  return {std::move(all), watch_seq_};
 }
 
 // --- Leases ---
@@ -531,17 +603,126 @@ DiscResponse error_response(const Error& e) {
 
 }  // namespace
 
+// --- Watch subscription messages ---
+
+Bytes encode_subscribe(const SubscribeMsg& m) {
+  Writer w;
+  w.put_varint(m.sub_id);
+  w.put_string(m.client_id);
+  w.put_string(m.filter);
+  w.put_varint(m.last_seq);
+  w.put_bool(m.resume);
+  return std::move(w).take();
+}
+
+Result<SubscribeMsg> decode_subscribe(BytesView b) {
+  Reader r(b);
+  SubscribeMsg m;
+  BERTHA_TRY_ASSIGN(sub_id, r.get_varint());
+  BERTHA_TRY_ASSIGN(client, r.get_string());
+  BERTHA_TRY_ASSIGN(filter, r.get_string());
+  BERTHA_TRY_ASSIGN(last, r.get_varint());
+  BERTHA_TRY_ASSIGN(resume, r.get_bool());
+  if (sub_id == 0) return err(Errc::protocol_error, "zero subscription id");
+  if (client.empty())
+    return err(Errc::protocol_error, "subscribe missing client id");
+  m.sub_id = sub_id;
+  m.client_id = std::move(client);
+  m.filter = std::move(filter);
+  m.last_seq = last;
+  m.resume = resume;
+  return m;
+}
+
+Bytes encode_unsubscribe(const UnsubscribeMsg& m) {
+  Writer w;
+  w.put_varint(m.sub_id);
+  w.put_string(m.client_id);
+  return std::move(w).take();
+}
+
+Result<UnsubscribeMsg> decode_unsubscribe(BytesView b) {
+  Reader r(b);
+  UnsubscribeMsg m;
+  BERTHA_TRY_ASSIGN(sub_id, r.get_varint());
+  BERTHA_TRY_ASSIGN(client, r.get_string());
+  if (sub_id == 0) return err(Errc::protocol_error, "zero subscription id");
+  if (client.empty())
+    return err(Errc::protocol_error, "unsubscribe missing client id");
+  m.sub_id = sub_id;
+  m.client_id = std::move(client);
+  return m;
+}
+
+Bytes encode_event_batch(const EventBatchMsg& m) {
+  Writer w;
+  w.put_varint(m.prev_seq);
+  w.put_varint(m.last_seq);
+  w.put_bool(m.snapshot);
+  serde_put(w, m.events);
+  return std::move(w).take();
+}
+
+Result<EventBatchMsg> decode_event_batch(BytesView b) {
+  Reader r(b);
+  EventBatchMsg m;
+  BERTHA_TRY_ASSIGN(prev, r.get_varint());
+  BERTHA_TRY_ASSIGN(last, r.get_varint());
+  BERTHA_TRY_ASSIGN(snapshot, r.get_bool());
+  BERTHA_TRY_ASSIGN(events, serde_get<std::vector<WatchEvent>>(r));
+  // Seq sanity: the batch must cover a forward range and its events must
+  // fit inside it — an incremental batch strictly ordered within
+  // (prev_seq, last_seq], a snapshot pinned at last_seq. Anything else
+  // is a corrupt or forged frame, not a recoverable gap.
+  if (last < prev)
+    return err(Errc::protocol_error, "event batch seq regression");
+  if (snapshot && prev != 0)
+    return err(Errc::protocol_error, "snapshot batch with prev seq");
+  uint64_t floor = prev;
+  for (const auto& ev : events) {
+    if (snapshot) {
+      if (ev.seq != last)
+        return err(Errc::protocol_error, "snapshot event seq mismatch");
+      continue;
+    }
+    if (ev.seq <= floor || ev.seq > last)
+      return err(Errc::protocol_error, "event seq outside batch range");
+    floor = ev.seq;
+  }
+  m.prev_seq = prev;
+  m.last_seq = last;
+  m.snapshot = snapshot;
+  m.events = std::move(events);
+  return m;
+}
+
 DiscoveryServer::DiscoveryServer(TransportPtr transport,
-                                 std::shared_ptr<DiscoveryState> state)
+                                 std::shared_ptr<DiscoveryState> state,
+                                 Options opts)
     : transport_(std::move(transport)),
       state_(std::move(state)),
+      opts_(opts),
       addr_(transport_->local_addr()) {
+  // The push watcher is unfiltered and generously sized; if it still
+  // overflows, the seq gap in the event log downgrades every subscriber
+  // to a snapshot rather than silently losing events.
+  auto w = state_->watch("");
+  if (w.ok()) {
+    push_watch_ = std::move(w).value();
+    auto [unused, seq] = state_->catalogue_snapshot();
+    (void)unused;
+    pruned_through_ = seq;  // events before the server existed are gone
+    observed_through_ = seq;
+    push_thread_ = std::thread([this] { push_loop(); });
+  }
   thread_ = std::thread([this] { serve_loop(); });
 }
 
 DiscoveryServer::~DiscoveryServer() {
   transport_->close();
+  if (push_watch_) push_watch_->cancel();
   if (thread_.joinable()) thread_.join();
+  if (push_thread_.joinable()) push_thread_.join();
 }
 
 uint64_t DiscoveryServer::requests_served() const {
@@ -554,6 +735,219 @@ uint64_t DiscoveryServer::dedup_hits() const {
   return dedup_hits_;
 }
 
+uint64_t DiscoveryServer::subscribes_served() const {
+  std::lock_guard<std::mutex> lk(push_mu_);
+  return subscribes_;
+}
+
+uint64_t DiscoveryServer::batches_pushed() const {
+  std::lock_guard<std::mutex> lk(push_mu_);
+  return batches_pushed_;
+}
+
+uint64_t DiscoveryServer::events_pushed() const {
+  std::lock_guard<std::mutex> lk(push_mu_);
+  return events_pushed_;
+}
+
+uint64_t DiscoveryServer::snapshots_served() const {
+  std::lock_guard<std::mutex> lk(push_mu_);
+  return snapshots_;
+}
+
+size_t DiscoveryServer::subscriber_count() const {
+  std::lock_guard<std::mutex> lk(push_mu_);
+  return subs_.size();
+}
+
+namespace {
+
+std::string sub_key(const std::string& client_id, uint64_t sub_id) {
+  std::string key = client_id;
+  key += '#';
+  key += std::to_string(sub_id);
+  return key;
+}
+
+}  // namespace
+
+void DiscoveryServer::push_to_locked(Sub& sub,
+                                     const std::vector<WatchEvent>& events,
+                                     uint64_t round_max_seq) {
+  if (round_max_seq <= sub.last_sent_seq) return;  // already covered
+  EventBatchMsg batch;
+  batch.prev_seq = sub.last_sent_seq;
+  batch.last_seq = round_max_seq;
+  for (const auto& ev : events) {
+    if (ev.seq <= sub.last_sent_seq) continue;
+    if (DiscoveryWatcher::matches(sub.filter, ev)) batch.events.push_back(ev);
+  }
+  sub.last_sent_seq = round_max_seq;
+  batches_pushed_++;
+  events_pushed_ += batch.events.size();
+  send_to_sub_locked(sub, encode_frame(MsgKind::event_batch, sub.sub_id,
+                                       encode_event_batch(batch)));
+}
+
+void DiscoveryServer::send_to_sub_locked(Sub& sub, const Bytes& frame) {
+  if (transport_->send_to(sub.addr, frame).ok())
+    sub.send_failures = 0;
+  else
+    sub.send_failures++;
+}
+
+void DiscoveryServer::evict_dead_subs_locked() {
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->second.send_failures > kSubFailureLimit) {
+      BLOG(info, "discovery") << "evicting unreachable watch subscriber "
+                              << it->first;
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DiscoveryServer::send_snapshot_locked(Sub& sub) {
+  auto [impls, seq] = state_->catalogue_snapshot();
+  EventBatchMsg batch;
+  batch.snapshot = true;
+  batch.last_seq = seq;
+  for (const auto& info : impls) {
+    WatchEvent ev;
+    ev.kind = WatchKind::impl_registered;
+    ev.seq = seq;
+    ev.type = info.type;
+    ev.name = info.name;
+    ev.info = info;
+    if (DiscoveryWatcher::matches(sub.filter, ev))
+      batch.events.push_back(std::move(ev));
+  }
+  sub.last_sent_seq = seq;
+  snapshots_++;
+  batches_pushed_++;
+  events_pushed_ += batch.events.size();
+  send_to_sub_locked(sub, encode_frame(MsgKind::event_batch, sub.sub_id,
+                                       encode_event_batch(batch)));
+}
+
+void DiscoveryServer::handle_subscribe(const Addr& src, uint64_t sub_id,
+                                       BytesView body) {
+  auto msg_r = decode_subscribe(body);
+  if (!msg_r.ok()) {
+    BLOG(debug, "discovery") << "bad subscribe from " << src.to_string()
+                             << ": " << msg_r.error().to_string();
+    return;  // no response channel to complain on; the client times out
+  }
+  const SubscribeMsg& msg = msg_r.value();
+  if (msg.sub_id != sub_id) return;  // token/body mismatch: forged frame
+  std::lock_guard<std::mutex> lk(push_mu_);
+  subscribes_++;
+  Sub& sub = subs_[sub_key(msg.client_id, msg.sub_id)];
+  sub.addr = src;  // re-subscribe from a new address moves the stream
+  sub.sub_id = msg.sub_id;
+  sub.filter = msg.filter;
+  sub.send_failures = 0;  // the client is demonstrably alive
+  // Catch-up: replay from the event log when the client's seq is still
+  // inside the resume window, else send a full snapshot. The first
+  // batch doubles as the subscribe ack.
+  if (msg.last_seq < pruned_through_) {
+    send_snapshot_locked(sub);
+    return;
+  }
+  sub.last_sent_seq = msg.last_seq;
+  std::vector<WatchEvent> replay;
+  for (const auto& ev : event_log_)
+    if (ev.seq > msg.last_seq) replay.push_back(ev);
+  uint64_t covered = std::max(observed_through_, msg.last_seq);
+  if (!replay.empty() || covered > msg.last_seq || !msg.resume) {
+    // Forced even when empty: a fresh subscribe needs its ack batch.
+    EventBatchMsg batch;
+    batch.prev_seq = msg.last_seq;
+    batch.last_seq = covered;
+    for (auto& ev : replay)
+      if (DiscoveryWatcher::matches(sub.filter, ev))
+        batch.events.push_back(std::move(ev));
+    sub.last_sent_seq = covered;
+    batches_pushed_++;
+    events_pushed_ += batch.events.size();
+    send_to_sub_locked(sub, encode_frame(MsgKind::event_batch, sub.sub_id,
+                                         encode_event_batch(batch)));
+  }
+}
+
+void DiscoveryServer::handle_unsubscribe(BytesView body) {
+  auto msg_r = decode_unsubscribe(body);
+  if (!msg_r.ok()) return;
+  std::lock_guard<std::mutex> lk(push_mu_);
+  subs_.erase(sub_key(msg_r.value().client_id, msg_r.value().sub_id));
+}
+
+void DiscoveryServer::push_loop() {
+  Deadline keepalive = opts_.keepalive > Duration::zero()
+                           ? Deadline::after(opts_.keepalive)
+                           : Deadline::never();
+  for (;;) {
+    auto first = push_watch_->next_batch(keepalive);
+    if (!first.ok()) {
+      if (first.error().code == Errc::cancelled) return;  // shutting down
+      // Keepalive tick: an empty batch advances nothing but lets clients
+      // that missed pushes during a partition notice the seq gap.
+      std::lock_guard<std::mutex> lk(push_mu_);
+      for (auto& [key, sub] : subs_) {
+        EventBatchMsg batch;
+        batch.prev_seq = sub.last_sent_seq;
+        batch.last_seq = sub.last_sent_seq;
+        send_to_sub_locked(sub, encode_frame(MsgKind::event_batch, sub.sub_id,
+                                             encode_event_batch(batch)));
+      }
+      evict_dead_subs_locked();
+      keepalive = opts_.keepalive > Duration::zero()
+                      ? Deadline::after(opts_.keepalive)
+                      : Deadline::never();
+      continue;
+    }
+    // Coalesce the burst: fold in everything arriving inside the window.
+    std::vector<WatchEvent> round = std::move(first).value();
+    Deadline window = Deadline::after(opts_.coalesce_window);
+    while (!window.expired()) {
+      auto more = push_watch_->next_batch(window);
+      if (!more.ok()) break;
+      round.insert(round.end(), std::make_move_iterator(more.value().begin()),
+                   std::make_move_iterator(more.value().end()));
+    }
+    if (round.empty()) continue;
+
+    std::lock_guard<std::mutex> lk(push_mu_);
+    bool lost = false;
+    for (auto& ev : round) {
+      if (ev.seq <= pruned_through_) continue;  // pre-baseline straggler
+      // A gap against the log tail means our own watcher overflowed;
+      // resume past it is impossible, so snapshot everyone.
+      if (observed_through_ != 0 && ev.seq != observed_through_ + 1)
+        lost = true;
+      observed_through_ = ev.seq;
+      event_log_.push_back(ev);
+    }
+    while (event_log_.size() > opts_.event_log_cap) {
+      pruned_through_ = event_log_.front().seq;
+      event_log_.pop_front();
+    }
+    if (lost) {
+      pruned_through_ = observed_through_;
+      event_log_.clear();
+      for (auto& [key, sub] : subs_) send_snapshot_locked(sub);
+    } else {
+      for (auto& [key, sub] : subs_)
+        push_to_locked(sub, round, observed_through_);
+    }
+    evict_dead_subs_locked();
+    keepalive = opts_.keepalive > Duration::zero()
+                    ? Deadline::after(opts_.keepalive)
+                    : Deadline::never();
+  }
+}
+
 void DiscoveryServer::serve_loop() {
   for (;;) {
     auto pkt_r = transport_->recv();
@@ -561,7 +955,21 @@ void DiscoveryServer::serve_loop() {
     const Packet& pkt = pkt_r.value();
 
     auto frame_r = decode_frame(pkt.payload);
-    if (!frame_r.ok() || frame_r.value().kind != MsgKind::discovery) {
+    if (!frame_r.ok()) {
+      BLOG(debug, "discovery") << "ignoring undecodable datagram from "
+                               << pkt.src.to_string();
+      continue;
+    }
+    if (frame_r.value().kind == MsgKind::subscribe && push_watch_) {
+      handle_subscribe(pkt.src, frame_r.value().token,
+                       frame_r.value().payload);
+      continue;
+    }
+    if (frame_r.value().kind == MsgKind::unsubscribe && push_watch_) {
+      handle_unsubscribe(frame_r.value().payload);
+      continue;
+    }
+    if (frame_r.value().kind != MsgKind::discovery) {
       BLOG(debug, "discovery") << "ignoring non-discovery datagram from "
                                << pkt.src.to_string();
       continue;
@@ -695,6 +1103,19 @@ struct RemoteDiscovery::Pending {
   Result<DiscResponse> result = err(Errc::internal, "pending");
 };
 
+// A server-push watch subscription. The reader thread applies pushed
+// batches; `last_seq` is the newest catalogue seq applied, the anchor
+// for duplicate suppression and gap detection.
+struct RemoteDiscovery::Sub {
+  uint64_t id = 0;
+  std::string filter;
+  WatcherPtr watcher;
+  std::mutex mu;
+  uint64_t last_seq = 0;
+  bool acked = false;  // first batch arrived (the subscribe ack)
+  std::condition_variable cv;
+};
+
 namespace {
 
 std::string random_client_id() {
@@ -728,12 +1149,24 @@ RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
 
 RemoteDiscovery::~RemoteDiscovery() {
   std::vector<std::pair<WatcherPtr, std::thread>> pollers;
+  std::unordered_map<uint64_t, std::shared_ptr<Sub>> subs;
   {
     std::lock_guard<std::mutex> lk(watch_mu_);
     stopping_ = true;
     pollers.swap(pollers_);
+    subs.swap(subs_);
   }
   for (auto& [w, t] : pollers) w->cancel();
+  for (auto& [id, sub] : subs) {
+    // Best-effort: a lost unsubscribe just leaves the server pushing to a
+    // dead address until it notices.
+    UnsubscribeMsg m;
+    m.sub_id = id;
+    m.client_id = client_id_;
+    (void)transport_->send_to(
+        server_, encode_frame(MsgKind::unsubscribe, id, encode_unsubscribe(m)));
+    sub->watcher->cancel();
+  }
   {
     std::lock_guard<std::mutex> lk(hb_mu_);
     hb_stop_ = true;
@@ -757,7 +1190,12 @@ void RemoteDiscovery::reader_loop() {
     auto pkt_r = transport_->recv();
     if (!pkt_r.ok()) break;  // transport closed
     auto frame_r = decode_frame(pkt_r.value().payload);
-    if (!frame_r.ok() || frame_r.value().kind != MsgKind::discovery) continue;
+    if (!frame_r.ok()) continue;
+    if (frame_r.value().kind == MsgKind::event_batch) {
+      handle_event_batch(frame_r.value().token, frame_r.value().payload);
+      continue;
+    }
+    if (frame_r.value().kind != MsgKind::discovery) continue;
     std::shared_ptr<Pending> p;
     {
       std::lock_guard<std::mutex> lk(pending_mu_);
@@ -794,14 +1232,152 @@ void RemoteDiscovery::reader_loop() {
 }
 
 Result<WatcherPtr> RemoteDiscovery::watch(const std::string& type_filter) {
+  auto w = std::make_shared<DiscoveryWatcher>(type_filter);
+  auto sub = subscribe_watch(w, type_filter);
+  if (sub.ok()) return w;
+  if (sub.error().code == Errc::cancelled) return sub.error();
+  // The server never acked the subscribe — it predates server-push watch
+  // streams. Emulate with poll-and-diff (impl events only, so a type
+  // filter is required).
   if (type_filter.empty())
     return err(Errc::invalid_argument,
-               "remote watch requires a chunnel type filter");
-  auto w = std::make_shared<DiscoveryWatcher>(type_filter);
+               "remote watch without server push requires a chunnel type "
+               "filter");
+  BLOG(info, "discovery") << "watch subscription unanswered ("
+                          << sub.error().to_string()
+                          << "); falling back to poll-and-diff";
   std::lock_guard<std::mutex> lk(watch_mu_);
   if (stopping_) return err(Errc::cancelled, "discovery client closing");
   pollers_.emplace_back(w, std::thread([this, w] { poll_watch(w); }));
   return w;
+}
+
+void RemoteDiscovery::send_subscribe(const Sub& sub, uint64_t last_seq,
+                                     bool resume) {
+  SubscribeMsg m;
+  m.sub_id = sub.id;
+  m.client_id = client_id_;
+  m.filter = sub.filter;
+  m.last_seq = last_seq;
+  m.resume = resume;
+  (void)transport_->send_to(
+      server_,
+      encode_frame(MsgKind::subscribe, sub.id, encode_subscribe(m)));
+}
+
+Result<void> RemoteDiscovery::subscribe_watch(WatcherPtr w,
+                                              const std::string& filter) {
+  auto sub = std::make_shared<Sub>();
+  sub->id = next_req_.fetch_add(1);
+  sub->filter = filter;
+  sub->watcher = std::move(w);
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    if (reader_dead_) return err(Errc::cancelled, "discovery client closed");
+    ensure_reader_locked();
+  }
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    if (stopping_) return err(Errc::cancelled, "discovery client closing");
+    subs_[sub->id] = sub;
+  }
+  // The first event_batch on our token is the subscribe ack; retry the
+  // handshake like any RPC. An old server ignores the frame entirely, so
+  // exhausting retries means "no push support", not "service down".
+  ExponentialBackoff backoff(opts_.backoff,
+                             opts_.backoff_seed ^ (sub->id * 0x9e3779b9ull));
+  for (int attempt = 0; attempt <= opts_.retries; attempt++) {
+    if (attempt > 0 && opts_.stats) opts_.stats->rpc_retries++;
+    uint64_t last_seq;
+    {
+      std::lock_guard<std::mutex> lk(sub->mu);
+      if (sub->acked) return ok();
+      last_seq = sub->last_seq;
+    }
+    send_subscribe(*sub, last_seq, /*resume=*/false);
+    std::unique_lock<std::mutex> lk(sub->mu);
+    if (sub->cv.wait_for(lk, opts_.rpc_timeout, [&] { return sub->acked; }))
+      return ok();
+    lk.unlock();
+    if (attempt < opts_.retries) sleep_for(backoff.next());
+  }
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    subs_.erase(sub->id);
+  }
+  if (opts_.stats) opts_.stats->rpc_failures++;
+  return err(Errc::unavailable,
+             "discovery service did not ack the watch subscription");
+}
+
+void RemoteDiscovery::handle_event_batch(uint64_t token, BytesView payload) {
+  std::shared_ptr<Sub> sub;
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    auto it = subs_.find(token);
+    if (it == subs_.end()) return;  // unknown/closed stream
+    sub = it->second;
+  }
+  if (sub->watcher->cancelled()) {
+    // The consumer dropped its handle; close the stream server-side too.
+    {
+      std::lock_guard<std::mutex> lk(watch_mu_);
+      subs_.erase(token);
+    }
+    UnsubscribeMsg m;
+    m.sub_id = token;
+    m.client_id = client_id_;
+    (void)transport_->send_to(
+        server_,
+        encode_frame(MsgKind::unsubscribe, token, encode_unsubscribe(m)));
+    return;
+  }
+  auto batch_r = decode_event_batch(payload);
+  if (!batch_r.ok()) return;  // corrupt push; the next keepalive re-syncs us
+  EventBatchMsg batch = std::move(batch_r).value();
+
+  std::vector<WatchEvent> apply;
+  bool applied = false;
+  bool need_resume = false;
+  uint64_t resume_from = 0;
+  {
+    std::lock_guard<std::mutex> lk(sub->mu);
+    if (batch.last_seq < sub->last_seq) return;  // stale duplicate/reorder
+    if (batch.snapshot) {
+      if (batch.last_seq == sub->last_seq && sub->acked)
+        return;  // we already hold this state
+      apply = std::move(batch.events);
+      sub->last_seq = batch.last_seq;
+      applied = true;
+      if (opts_.stats) opts_.stats->watch_snapshots++;
+    } else if (batch.prev_seq > sub->last_seq) {
+      // Gap: batches between prev_seq and our seq were lost (partition,
+      // drop, or server-side overflow). Don't apply — ask the server to
+      // replay from where we actually are; the replay covers this batch.
+      need_resume = true;
+      resume_from = sub->last_seq;
+    } else {
+      // Contiguous or overlapping: apply only what we haven't seen, so a
+      // duplicated or partially re-sent batch never double-applies.
+      for (auto& ev : batch.events)
+        if (ev.seq > sub->last_seq) apply.push_back(std::move(ev));
+      sub->last_seq = batch.last_seq;
+      applied = true;
+    }
+    if (!need_resume) sub->acked = true;
+  }
+  if (need_resume) {
+    if (opts_.stats) opts_.stats->watch_resubscribes++;
+    send_subscribe(*sub, resume_from, /*resume=*/true);
+    return;
+  }
+  sub->cv.notify_all();
+  if (!applied) return;
+  if (opts_.stats && !apply.empty()) opts_.stats->watch_batches++;
+  std::vector<WatchEvent> filtered;
+  for (auto& ev : apply)
+    if (sub->watcher->wants(ev)) filtered.push_back(std::move(ev));
+  if (!filtered.empty()) sub->watcher->deliver_batch(std::move(filtered));
 }
 
 void RemoteDiscovery::poll_watch(WatcherPtr w) {

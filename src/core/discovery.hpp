@@ -84,9 +84,94 @@ struct WatchEvent {
   uint64_t available = 0;        // pool_freed: free capacity afterwards
 };
 
+template <>
+struct Serde<WatchEvent> {
+  static void put(Writer& w, const WatchEvent& ev) {
+    w.put_u8(static_cast<uint8_t>(ev.kind));
+    w.put_varint(ev.seq);
+    w.put_string(ev.type);
+    w.put_string(ev.name);
+    serde_put(w, ev.info);
+    w.put_string(ev.pool);
+    w.put_varint(ev.available);
+  }
+  static Result<WatchEvent> get(Reader& r) {
+    WatchEvent ev;
+    BERTHA_TRY_ASSIGN(kind, r.get_u8());
+    if (kind < 1 || kind > 3)
+      return err(Errc::protocol_error, "bad watch event kind");
+    ev.kind = static_cast<WatchKind>(kind);
+    BERTHA_TRY_ASSIGN(seq, r.get_varint());
+    BERTHA_TRY_ASSIGN(type, r.get_string());
+    BERTHA_TRY_ASSIGN(name, r.get_string());
+    BERTHA_TRY_ASSIGN(info, serde_get<std::optional<ImplInfo>>(r));
+    BERTHA_TRY_ASSIGN(pool, r.get_string());
+    BERTHA_TRY_ASSIGN(avail, r.get_varint());
+    ev.seq = seq;
+    ev.type = std::move(type);
+    ev.name = std::move(name);
+    ev.info = std::move(info);
+    ev.pool = std::move(pool);
+    ev.available = avail;
+    return ev;
+  }
+};
+
+// --- Watch subscription wire messages (MsgKind::subscribe / unsubscribe /
+// event_batch) ---
+//
+// A subscription is keyed by (client_id, sub_id); the sub_id doubles as
+// the frame token on every pushed batch so the client's reader thread can
+// demux pushes from RPC responses. Delivery is resumable: every batch
+// names the seq range it covers, and a client that detects a gap (after a
+// partition, a dropped datagram, or a server-side overflow) re-subscribes
+// with `resume` and its last applied seq. The server replays from its
+// bounded event log, or — if it has pruned past the requested seq — sends
+// a full catalogue snapshot batch instead.
+
+struct SubscribeMsg {
+  uint64_t sub_id = 0;    // client-chosen; pushes echo it as the token
+  std::string client_id;  // required: subscription namespace
+  std::string filter;     // empty = all events (incl. pool_freed)
+  uint64_t last_seq = 0;  // resume: last event seq the client applied
+  bool resume = false;    // re-subscribe after a detected gap
+};
+
+struct UnsubscribeMsg {
+  uint64_t sub_id = 0;
+  std::string client_id;
+};
+
+struct EventBatchMsg {
+  // Seq of the newest event this subscriber had been sent before this
+  // batch (0 for a snapshot): prev_seq != the client's last applied seq
+  // means batches were lost in between.
+  uint64_t prev_seq = 0;
+  // Newest catalogue seq this batch covers — including events the
+  // subscriber's filter suppressed, so a resume never replays them.
+  uint64_t last_seq = 0;
+  // The events are a full catalogue snapshot (all carry seq == last_seq),
+  // not an incremental diff; sent when resume is impossible.
+  bool snapshot = false;
+  std::vector<WatchEvent> events;  // empty: keepalive / pure seq advance
+};
+
+Bytes encode_subscribe(const SubscribeMsg& m);
+Result<SubscribeMsg> decode_subscribe(BytesView b);
+Bytes encode_unsubscribe(const UnsubscribeMsg& m);
+Result<UnsubscribeMsg> decode_unsubscribe(BytesView b);
+Bytes encode_event_batch(const EventBatchMsg& m);
+Result<EventBatchMsg> decode_event_batch(BytesView b);
+
 // Consumer handle for a watch subscription. Thread-safe; cancel() (or the
 // source going away) wakes any blocked next() with Errc::cancelled once
 // buffered events are drained.
+//
+// Events are queued in *batches*: a producer burst delivered through
+// deliver_batch() comes back out of next_batch() whole, so a consumer
+// like the transition controller can treat it as one unit of change.
+// next()/try_next() still hand out single events (unbatched consumers
+// see no difference; a partially consumed batch is buffered).
 class DiscoveryWatcher {
  public:
   explicit DiscoveryWatcher(std::string type_filter, size_t capacity = 256);
@@ -97,20 +182,28 @@ class DiscoveryWatcher {
 
   Result<WatchEvent> next(Deadline deadline = Deadline::never());
   std::optional<WatchEvent> try_next();
+  // Batch variants: one delivered batch per call (never a partial one).
+  Result<std::vector<WatchEvent>> next_batch(
+      Deadline deadline = Deadline::never());
+  std::optional<std::vector<WatchEvent>> try_next_batch();
 
   void cancel() { q_.close(); }
   bool cancelled() const { return q_.closed(); }
   // Events lost to the bounded buffer (consumer too slow).
   uint64_t dropped() const;
 
-  // Producer side (DiscoveryState / RemoteDiscovery pollers).
-  bool wants(const WatchEvent& ev) const;
+  // Producer side (DiscoveryState / RemoteDiscovery / DiscoveryServer).
+  bool wants(const WatchEvent& ev) const { return matches(filter_, ev); }
+  static bool matches(const std::string& filter, const WatchEvent& ev);
   void deliver(const WatchEvent& ev);
+  void deliver_batch(std::vector<WatchEvent> events);
 
  private:
   std::string filter_;
-  BlockingQueue<WatchEvent> q_;
+  BlockingQueue<std::vector<WatchEvent>> q_;
   mutable std::mutex mu_;
+  // Front of a batch partially consumed by next()/try_next().
+  std::deque<WatchEvent> buffer_;
   uint64_t dropped_ = 0;
 };
 
@@ -193,6 +286,11 @@ class DiscoveryState : public DiscoveryClient {
   void set_fault_stats(FaultStatsPtr stats);
   FaultStatsPtr fault_stats() const;
 
+  // Every registered impl plus the watch seq current at the instant the
+  // snapshot was taken, atomically — the payload of a snapshot batch sent
+  // to a subscriber that resumed from beyond the event-log horizon.
+  std::pair<std::vector<ImplInfo>, uint64_t> catalogue_snapshot() const;
+
   // Introspection for tests and the scheduling bench.
   uint64_t pool_in_use(const std::string& pool) const;
   uint64_t pool_capacity(const std::string& pool) const;
@@ -243,11 +341,30 @@ using DiscoveryPtr = std::shared_ptr<DiscoveryClient>;
 
 // A DiscoveryServer answers RemoteDiscovery requests over any Transport
 // (typically a unix socket: the service is host-local in our
-// deployments, like the prototype's burrito-discovery daemon).
+// deployments, like the prototype's burrito-discovery daemon), and pushes
+// coalesced watch-event batches to subscribed clients so idle watchers
+// cost nothing.
 class DiscoveryServer {
  public:
+  struct Options {
+    // Events landing within this window of the first one are folded into
+    // a single pushed batch; subscribers (and their transition
+    // controllers) see one event_batch per burst.
+    Duration coalesce_window = ms(10);
+    // Period of empty keepalive batches. They carry the subscriber's
+    // current seq, which is how a client that missed pushes during a
+    // silent partition discovers the gap and resumes. Zero disables.
+    Duration keepalive = ms(200);
+    // Pushed events retained for seq resume; a client resuming from
+    // before this horizon gets a catalogue snapshot instead.
+    size_t event_log_cap = 1024;
+  };
+
   // Takes ownership of the transport; serves until destroyed.
-  DiscoveryServer(TransportPtr transport, std::shared_ptr<DiscoveryState> state);
+  DiscoveryServer(TransportPtr transport, std::shared_ptr<DiscoveryState> state,
+                  Options opts);
+  DiscoveryServer(TransportPtr transport, std::shared_ptr<DiscoveryState> state)
+      : DiscoveryServer(std::move(transport), std::move(state), Options{}) {}
   ~DiscoveryServer();
 
   DiscoveryServer(const DiscoveryServer&) = delete;
@@ -258,9 +375,45 @@ class DiscoveryServer {
   // Requests answered from the idempotency dedup cache (i.e. retries of
   // an already-executed mutation).
   uint64_t dedup_hits() const;
+  // Watch-stream telemetry. Pushed batches/events do not count as
+  // requests_served(): an idle subscriber costs the server nothing and
+  // the client no RPCs.
+  uint64_t subscribes_served() const;
+  uint64_t batches_pushed() const;
+  uint64_t events_pushed() const;
+  uint64_t snapshots_served() const;
+  size_t subscriber_count() const;
 
  private:
+  struct Sub {
+    Addr addr;
+    uint64_t sub_id = 0;  // frame token on every push
+    std::string filter;
+    // Newest catalogue seq this subscriber has been sent (the prev_seq of
+    // its next batch).
+    uint64_t last_sent_seq = 0;
+    // Consecutive failed pushes; reset on any successful send or
+    // re-subscribe. A client that vanished without an unsubscribe is
+    // evicted once this passes kSubFailureLimit, so the server doesn't
+    // push to ghosts forever. (Transports that swallow errors — plain
+    // UDP — simply never trip this; eviction is best-effort hygiene,
+    // not the correctness path.)
+    uint32_t send_failures = 0;
+  };
+  static constexpr uint32_t kSubFailureLimit = 8;
+
   void serve_loop();
+  void push_loop();
+  void handle_subscribe(const Addr& src, uint64_t sub_id, BytesView body);
+  void handle_unsubscribe(BytesView body);
+  // Builds and sends one batch to `sub` covering `events` (already
+  // coalesced); updates last_sent_seq. push_mu_ held.
+  void push_to_locked(Sub& sub, const std::vector<WatchEvent>& events,
+                      uint64_t round_max_seq);
+  void send_snapshot_locked(Sub& sub);
+  // Fire-and-forget push with failure accounting for eviction.
+  void send_to_sub_locked(Sub& sub, const Bytes& frame);
+  void evict_dead_subs_locked();
 
   // Bounded idempotency cache: "<client_id>#<idem_key>" -> encoded
   // response body. A retried mutation whose first response was lost is
@@ -269,13 +422,28 @@ class DiscoveryServer {
 
   std::shared_ptr<Transport> transport_;
   std::shared_ptr<DiscoveryState> state_;
+  Options opts_;
   Addr addr_;
   mutable std::mutex mu_;
   uint64_t requests_ = 0;
   uint64_t dedup_hits_ = 0;
   std::unordered_map<std::string, Bytes> dedup_;
   std::deque<std::string> dedup_order_;  // FIFO eviction
+
+  // Subscription state (push_mu_ nests inside nothing; it may be taken
+  // while calling into state_, never the other way around).
+  mutable std::mutex push_mu_;
+  std::unordered_map<std::string, Sub> subs_;  // "<client_id>#<sub_id>"
+  std::deque<WatchEvent> event_log_;           // resume window
+  uint64_t pruned_through_ = 0;  // seqs <= this are gone from the log
+  uint64_t observed_through_ = 0;
+  uint64_t subscribes_ = 0;
+  uint64_t batches_pushed_ = 0;
+  uint64_t events_pushed_ = 0;
+  uint64_t snapshots_ = 0;
+  WatcherPtr push_watch_;
   std::thread thread_;
+  std::thread push_thread_;
 };
 
 // Speaks the discovery protocol over a datagram transport with
@@ -292,7 +460,8 @@ class RemoteDiscovery final : public DiscoveryClient {
   struct Options {
     Duration rpc_timeout = ms(500);
     int retries = 3;
-    // Poll period for emulated watch subscriptions.
+    // Poll period for the fallback watch emulation (used only when the
+    // server never answers a subscribe, i.e. predates server push).
     Duration watch_poll = ms(50);
     // Backoff between retry attempts.
     ExponentialBackoff::Options backoff{ms(20), 2.0, ms(500), 0.5};
@@ -319,9 +488,12 @@ class RemoteDiscovery final : public DiscoveryClient {
   Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) override;
   Result<void> release(uint64_t alloc_id) override;
   Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
-  // Emulated via poll-and-diff: impl events only (no pool_freed — the
-  // wire protocol has no pool enumeration op; ROADMAP has the follow-on
-  // for server-pushed watch streams). Requires a non-empty type filter.
+  // Server-push when the service supports it: a subscribe frame opens a
+  // stream of event_batch pushes (any filter, including ""), demuxed by
+  // the reader thread, with seq-gap detection and resume. If the server
+  // never acks the subscribe (it predates subscriptions), falls back to
+  // poll-and-diff emulation — impl events only, non-empty filter
+  // required.
   Result<WatcherPtr> watch(const std::string& type_filter) override;
 
   // The lease owner id sent with every request (unique per client).
@@ -330,12 +502,16 @@ class RemoteDiscovery final : public DiscoveryClient {
  private:
   struct Rsp;
   struct Pending;
+  struct Sub;
   Result<Rsp> rpc(const Bytes& request_body);
   void reader_loop();
   void ensure_reader_locked();
   void heartbeat_loop();
   void ensure_heartbeat();
   void poll_watch(WatcherPtr w);
+  Result<void> subscribe_watch(WatcherPtr w, const std::string& filter);
+  void handle_event_batch(uint64_t token, BytesView payload);
+  void send_subscribe(const Sub& sub, uint64_t last_seq, bool resume);
   uint64_t next_idem() { return next_idem_.fetch_add(1) + 1; }
 
   TransportPtr transport_;
@@ -354,6 +530,10 @@ class RemoteDiscovery final : public DiscoveryClient {
   std::mutex watch_mu_;
   bool stopping_ = false;
   std::vector<std::pair<WatcherPtr, std::thread>> pollers_;
+  // Server-push subscriptions, keyed by sub_id (the push frame token).
+  // Guarded by watch_mu_; the reader thread consults it on every
+  // event_batch frame.
+  std::unordered_map<uint64_t, std::shared_ptr<Sub>> subs_;
 
   // Heartbeat thread (lazily started once leased state exists) plus a
   // mirror of leased registrations to replay after a lost lease.

@@ -148,31 +148,70 @@ Result<void> CachingDiscovery::set_pool(const std::string& pool,
 
 Result<WatcherPtr> CachingDiscovery::watch(const std::string& type_filter) {
   auto local = std::make_shared<DiscoveryWatcher>(type_filter);
-  std::lock_guard<std::mutex> lk(mu_);
-  if (stopping_) return err(Errc::cancelled, "discovery client closing");
-  watchers_.push_back(local);
-  if (!type_filter.empty()) {
-    // Forward the inner client's (possibly emulated) event stream into
-    // the local watcher. An inner client without watch support is fine —
-    // the local watcher still gets synthetic recovery events.
-    auto inner_w = inner_->watch(type_filter);
-    if (inner_w.ok()) {
-      WatcherPtr iw = std::move(inner_w).value();
-      forwarders_.emplace_back(
-          iw, std::thread([this, iw, local] { forward_loop(iw, local); }));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return err(Errc::cancelled, "discovery client closing");
+    watchers_.push_back(local);
+  }
+  // Forward the inner client's event stream (server-push batches when the
+  // inner client is remote) into the local watcher. Done outside mu_: a
+  // remote subscribe handshake can block for an RPC timeout. An inner
+  // client without watch support is fine — the local watcher still gets
+  // synthetic recovery events.
+  auto inner_w = inner_->watch(type_filter);
+  if (inner_w.ok()) {
+    WatcherPtr iw = std::move(inner_w).value();
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      iw->cancel();
+      return err(Errc::cancelled, "discovery client closing");
     }
+    forwarders_.emplace_back(
+        iw, std::thread([this, iw, local] { forward_loop(iw, local); }));
   }
   return local;
 }
 
+void CachingDiscovery::apply_events(const std::vector<WatchEvent>& events) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case WatchKind::impl_registered: {
+        if (!ev.info) break;  // synthetic events carry no entry
+        auto& v = catalogue_[ev.type];
+        auto it = std::find_if(v.begin(), v.end(), [&](const ImplInfo& e) {
+          return e.name == ev.name;
+        });
+        if (it != v.end()) *it = *ev.info;
+        else v.push_back(*ev.info);
+        break;
+      }
+      case WatchKind::impl_unregistered: {
+        auto it = catalogue_.find(ev.type);
+        if (it == catalogue_.end()) break;
+        std::erase_if(it->second, [&](const ImplInfo& e) {
+          return e.name == ev.name;
+        });
+        break;
+      }
+      case WatchKind::pool_freed:
+        break;  // capacity is not cached
+    }
+  }
+}
+
 void CachingDiscovery::forward_loop(WatcherPtr inner_w, WatcherPtr local) {
   while (!local->cancelled()) {
-    auto ev = inner_w->next(Deadline::after(ms(100)));
-    if (ev.ok()) {
-      if (local->wants(ev.value())) local->deliver(ev.value());
+    auto batch = inner_w->next_batch(Deadline::after(ms(100)));
+    if (batch.ok()) {
+      apply_events(batch.value());
+      std::vector<WatchEvent> fwd;
+      for (auto& ev : batch.value())
+        if (local->wants(ev)) fwd.push_back(std::move(ev));
+      if (!fwd.empty()) local->deliver_batch(std::move(fwd));
       continue;
     }
-    if (ev.error().code == Errc::cancelled) break;  // inner watch died
+    if (batch.error().code == Errc::cancelled) break;  // inner watch died
   }
 }
 

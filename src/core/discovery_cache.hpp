@@ -71,6 +71,10 @@ class CachingDiscovery final : public DiscoveryClient {
   void note(bool healthy);
   void probe_loop();
   void forward_loop(WatcherPtr inner_w, WatcherPtr local);
+  // Folds a forwarded event batch into the cached catalogue so a
+  // degraded -> recovered client is caught up by the stream's seq-resume
+  // instead of re-priming every type with fresh queries.
+  void apply_events(const std::vector<WatchEvent>& events);
 
   DiscoveryPtr inner_;
   Options opts_;

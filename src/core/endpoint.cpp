@@ -416,7 +416,20 @@ void ClientChannelGroup::route(RoutedFrame f) {
     auto it = by_token_.find(f.token);
     if (it != by_token_.end()) ch = it->second.lock();
   }
-  if (ch) ch->deliver(std::move(f));
+  if (ch) {
+    ch->deliver(std::move(f));
+    return;
+  }
+  // Unknown tokens are dropped (stragglers for an epoch that already
+  // finished) — except a rollback notice: when the old stack drained
+  // before the cancel arrived, its channel (and token) are already gone,
+  // yet the cancel is exactly what tells us the epoch we cut over to is
+  // dead on the server. Hand it to the cancel handler with no via
+  // channel; there is nothing left to clear_fin() on anyway.
+  if (f.kind == MsgKind::transition_cancel) {
+    auto msg = decode_transition_cancel(f.payload);
+    if (msg.ok()) on_transition_cancel(msg.value(), nullptr);
+  }
 }
 
 void ClientChannelGroup::on_transition(
@@ -1711,6 +1724,19 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     if (!tc) return;
     auto r = tc->revert(msg.epoch);
     if (!r.ok()) {
+      if (r.error().code == Errc::not_found) {
+        // The old stack finished draining before the cancel arrived
+        // (ack_timeout > drain_timeout): the epoch we're on is dead on
+        // the server and the one we'd revert to is gone. Tear the
+        // connection down now so the application re-establishes, instead
+        // of parking until keepalive notices.
+        BLOG(warn, "transition")
+            << "cancel for epoch " << msg.epoch
+            << " after drain completed; closing dead-epoch connection";
+        stats_sink->update([](TransitionStats& s) { s.dead_epoch_closes++; });
+        tc->close();
+        return;
+      }
       BLOG(warn, "transition") << "cannot revert epoch " << msg.epoch << ": "
                                << r.error().to_string();
       return;
@@ -1720,8 +1746,9 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
       if (ctl->current_epoch == msg.epoch) ctl->current_epoch = tc->epoch();
     }
     // The old channel is current again; a future transition must be able
-    // to half-close it.
-    via->clear_fin();
+    // to half-close it. (via is null only when the cancel arrived on an
+    // already-gone token, and that path cannot reach a successful revert.)
+    if (via) via->clear_fin();
     stats_sink->update([](TransitionStats& s) { s.reverts++; });
     BLOG(info, "transition") << "reverted epoch " << msg.epoch
                              << " after server rollback";

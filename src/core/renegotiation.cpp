@@ -1,6 +1,7 @@
 #include "core/renegotiation.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "util/log.hpp"
 
@@ -376,11 +377,16 @@ void TransitionController::run_loop() {
       w = watcher_;
     }
     if (w) {
-      auto ev = w->next(Deadline::after(tuning_.sweep_period));
+      auto ev = w->next_batch(Deadline::after(tuning_.sweep_period));
       if (ev.ok()) {
-        handle_event(ev.value());
-        // Drain bursts before sweeping (concurrent registrations).
-        while (auto more = w->try_next()) handle_event(*more);
+        // Fold queued-up batches in too (concurrent registrations that
+        // missed the server's coalescing window): the whole burst is one
+        // unit — one negotiation re-run, however many events arrived.
+        std::vector<WatchEvent> events = std::move(ev).value();
+        while (auto more = w->try_next_batch())
+          events.insert(events.end(), std::make_move_iterator(more->begin()),
+                        std::make_move_iterator(more->end()));
+        handle_batch(events);
       } else if (ev.error().code == Errc::cancelled) {
         // Watch source gone (or stop()); keep sweeping if still running.
         std::lock_guard<std::mutex> lk(mu_);
@@ -398,38 +404,57 @@ void TransitionController::poll() {
   for (auto& h : hosts()) h->sweep_transitions();
 }
 
-void TransitionController::handle_event(const WatchEvent& ev) {
-  sink_->update([](TransitionStats& s) { s.watch_events++; });
-  switch (ev.kind) {
-    case WatchKind::impl_registered: {
-      {
+void TransitionController::handle_batch(const std::vector<WatchEvent>& events) {
+  if (events.empty()) return;
+  sink_->update([&](TransitionStats& s) {
+    s.watch_events += events.size();
+    s.watch_batches++;
+  });
+  // Net out the burst: the last impl event per (type, name) wins, so a
+  // register+unregister pair inside one batch acts as the unregister and
+  // an operator loading a whole offload catalogue costs one selection
+  // re-run instead of one per entry.
+  bool any_upgrade = false;
+  bool refresh = false;
+  std::map<std::pair<std::string, std::string>, WatchKind> net;
+  for (const auto& ev : events) {
+    if (ev.kind == WatchKind::pool_freed) {
+      any_upgrade = true;
+      continue;
+    }
+    net[{ev.type, ev.name}] = ev.kind;
+  }
+  std::vector<std::pair<std::string, std::string>> revoked;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [key, kind] : net) {
+      if (kind == WatchKind::impl_registered) {
         // Re-registration lifts a standing ban.
-        std::lock_guard<std::mutex> lk(mu_);
         bans_.erase(std::remove_if(bans_.begin(), bans_.end(),
-                                   [&](const auto& b) {
-                                     return b.first == ev.type &&
-                                            b.second == ev.name;
+                                   [&key = key](const auto& b) {
+                                     return b == key;
                                    }),
                     bans_.end());
+        any_upgrade = true;
+        refresh = true;
+      } else {
+        bans_.push_back(key);
+        revoked.push_back(key);
       }
-      for (auto& h : hosts()) h->refresh_advertisements();
-      trigger(TransitionReason::upgrade, /*mandatory=*/false,
-              /*use_filter=*/false, "", "");
-      break;
     }
-    case WatchKind::pool_freed:
-      trigger(TransitionReason::upgrade, /*mandatory=*/false,
-              /*use_filter=*/false, "", "");
-      break;
-    case WatchKind::impl_unregistered: {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        bans_.emplace_back(ev.type, ev.name);
-      }
-      trigger(TransitionReason::revocation, /*mandatory=*/true,
-              /*use_filter=*/true, ev.type, ev.name);
-      break;
-    }
+  }
+  if (refresh)
+    for (auto& h : hosts()) h->refresh_advertisements();
+  // Revocations first (mandatory, per impl) so affected connections are
+  // forced off the vanished impls before the opportunistic upgrade pass
+  // finds them busy.
+  for (const auto& [type, name] : revoked)
+    trigger(TransitionReason::revocation, /*mandatory=*/true,
+            /*use_filter=*/true, type, name);
+  if (any_upgrade) {
+    sink_->update([](TransitionStats& s) { s.upgrade_runs++; });
+    trigger(TransitionReason::upgrade, /*mandatory=*/false,
+            /*use_filter=*/false, "", "");
   }
 }
 

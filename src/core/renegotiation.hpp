@@ -88,6 +88,13 @@ struct TransitionTuning {
 
 struct TransitionStats {
   uint64_t watch_events = 0;
+  uint64_t watch_batches = 0;  // coalesced bursts consumed as one unit
+  // Upgrade negotiation re-runs triggered by watch batches: a burst of N
+  // registrations in one batch re-runs selection once, not N times.
+  uint64_t upgrade_runs = 0;
+  // Client torn down because a transition_cancel arrived after its old
+  // stack finished draining (nothing left to revert onto).
+  uint64_t dead_epoch_closes = 0;
   uint64_t offers_sent = 0;       // includes retransmits
   uint64_t completed = 0;         // cutover + drain finished
   uint64_t declined = 0;          // client refused an offer
@@ -273,7 +280,7 @@ class TransitionController {
 
  private:
   void run_loop();
-  void handle_event(const WatchEvent& ev);
+  void handle_batch(const std::vector<WatchEvent>& events);
   // Starts transitions on all hosts; `use_filter` restricts to
   // connections whose chain uses (type, name).
   uint64_t trigger(TransitionReason reason, bool mandatory, bool use_filter,

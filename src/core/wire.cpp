@@ -20,7 +20,7 @@ Result<Frame> decode_frame(BytesView datagram) {
     return err(Errc::protocol_error, "bad bertha magic");
   uint8_t k = datagram[2];
   if (k < static_cast<uint8_t>(MsgKind::hello) ||
-      k > static_cast<uint8_t>(MsgKind::transition_cancel))
+      k > static_cast<uint8_t>(MsgKind::event_batch))
     return err(Errc::protocol_error, "bad bertha msg kind");
   Frame f;
   f.kind = static_cast<MsgKind>(k);

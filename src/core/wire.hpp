@@ -34,6 +34,14 @@ enum class MsgKind : uint8_t {
   // when the ack deadline passes without an ack (the client may have cut
   // over and acked into a void — this tells it to come back).
   transition_cancel = 9,
+  // Server-push watch streams (core/discovery.hpp). A subscribe carries
+  // the subscription id as its token; the service then pushes event_batch
+  // frames on that token until an unsubscribe (or the client vanishes).
+  // An old server that predates these kinds silently ignores them, which
+  // is what lets RemoteDiscovery fall back to poll-and-diff.
+  subscribe = 10,    // client -> server: open/resume a watch stream
+  unsubscribe = 11,  // client -> server: close a watch stream
+  event_batch = 12,  // server -> client: coalesced watch events
 };
 
 inline constexpr uint8_t kMagic0 = 'B';

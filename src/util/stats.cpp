@@ -8,13 +8,14 @@
 namespace bertha {
 
 std::string FaultStats::to_string() const {
-  char buf[384];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "rpc_retries=%llu rpc_failures=%llu dedup_hits=%llu lease_grants=%llu "
       "lease_renewals=%llu lease_expiries=%llu heartbeats_sent=%llu "
       "lease_recoveries=%llu degraded_entries=%llu degraded_exits=%llu "
-      "catalogue_hits=%llu",
+      "catalogue_hits=%llu watch_batches=%llu watch_resubscribes=%llu "
+      "watch_snapshots=%llu",
       static_cast<unsigned long long>(rpc_retries.load()),
       static_cast<unsigned long long>(rpc_failures.load()),
       static_cast<unsigned long long>(dedup_hits.load()),
@@ -25,7 +26,10 @@ std::string FaultStats::to_string() const {
       static_cast<unsigned long long>(lease_recoveries.load()),
       static_cast<unsigned long long>(degraded_entries.load()),
       static_cast<unsigned long long>(degraded_exits.load()),
-      static_cast<unsigned long long>(catalogue_hits.load()));
+      static_cast<unsigned long long>(catalogue_hits.load()),
+      static_cast<unsigned long long>(watch_batches.load()),
+      static_cast<unsigned long long>(watch_resubscribes.load()),
+      static_cast<unsigned long long>(watch_snapshots.load()));
   return buf;
 }
 

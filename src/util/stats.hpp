@@ -32,6 +32,10 @@ struct FaultStats {
   std::atomic<uint64_t> degraded_entries{0};
   std::atomic<uint64_t> degraded_exits{0};
   std::atomic<uint64_t> catalogue_hits{0};  // degraded queries from cache
+  // Server-push watch streams (RemoteDiscovery subscriptions).
+  std::atomic<uint64_t> watch_batches{0};       // pushed batches applied
+  std::atomic<uint64_t> watch_resubscribes{0};  // seq gaps -> resume sent
+  std::atomic<uint64_t> watch_snapshots{0};     // snapshot batches applied
 
   std::string to_string() const;
 };

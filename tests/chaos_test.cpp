@@ -3,6 +3,7 @@
 // chaos, so these are regular tier-1 tests, not a flaky soak suite.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "core/discovery_cache.hpp"
@@ -198,6 +199,100 @@ TEST(ChaosTest, DegradedEstablishmentUpgradesWhenPartitionHeals) {
   EXPECT_GE(stats->degraded_exits.load(), 1u);
   EXPECT_EQ(state->pool_in_use("pool.hw"), 1u);
   EXPECT_GE(srv_rt->transitions().stats().completed, 1u);
+}
+
+// A subscribed client partitioned away mid-burst must converge after the
+// heal through seq-resume alone: the registrations it missed arrive as a
+// watch-stream replay (not a snapshot, not re-prime queries), land
+// exactly once, and are folded into the caching layer's catalogue so a
+// later partition can be served from cache.
+TEST(ChaosTest, PartitionedSubscriberConvergesViaSeqResume) {
+  auto net = MemNetwork::create();
+  auto state = std::make_shared<DiscoveryState>();
+  DiscoveryServer::Options so;
+  so.coalesce_window = ms(2);
+  so.keepalive = ms(30);  // the post-heal keepalive is what exposes the gap
+  DiscoveryServer server(net->bind(Addr::mem("disc", 1)).value(), state, so);
+
+  auto* fault = new FaultInjectingTransport(
+      net->bind(Addr::mem("cli", 0)).value(), {});
+  auto stats = std::make_shared<FaultStats>();
+  RemoteDiscovery::Options ro;
+  ro.rpc_timeout = ms(100);
+  ro.retries = 2;
+  ro.stats = stats;
+  CachingDiscovery::Options co;
+  co.probe_period = ms(50);
+  CachingDiscovery caching(
+      std::make_shared<RemoteDiscovery>(TransportPtr(fault), server.addr(),
+                                        ro),
+      co, stats);
+
+  auto w = caching.watch("offload").value();
+
+  // Seeded chaos: the seed picks how much of the burst straddles the
+  // partition; every split must converge the same way.
+  Rng rng(0xD15C0);
+  auto reg = [&](const std::string& name) {
+    ASSERT_TRUE(state->register_impl(offload_info(name, 1)).ok());
+  };
+  std::vector<std::string> pre, mid;
+  size_t n_pre = 1 + rng.next_below(3);
+  for (size_t i = 0; i < n_pre; i++) {
+    pre.push_back("offload/pre" + std::to_string(i));
+    reg(pre.back());
+  }
+  std::map<std::string, int> seen;
+  Deadline dl = Deadline::after(seconds(10));
+  while (seen.size() < pre.size() && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (ev.ok()) seen[ev.value().name]++;
+  }
+  ASSERT_EQ(seen.size(), pre.size()) << "pre-partition events lost";
+
+  fault->partition(/*tx=*/true, /*rx=*/true);
+  size_t n_mid = 4 + rng.next_below(5);
+  for (size_t i = 0; i < n_mid; i++) {
+    mid.push_back("offload/mid" + std::to_string(i));
+    reg(mid.back());
+    sleep_for(ms(3));  // spread the burst across several dropped pushes
+  }
+  sleep_for(ms(60));  // everything above hit the partition
+  fault->partition(false, false);
+
+  // Post-heal: the replay delivers exactly the missed events, once each.
+  dl = Deadline::after(seconds(10));
+  auto caught_up = [&] {
+    for (const auto& n : mid)
+      if (seen.find(n) == seen.end()) return false;
+    return true;
+  };
+  while (!caught_up() && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (ev.ok()) seen[ev.value().name]++;
+  }
+  for (const auto& n : mid)
+    EXPECT_EQ(seen[n], 1) << n << " lost or double-applied";
+  for (const auto& n : pre)
+    EXPECT_EQ(seen[n], 1) << n << " replayed after already being applied";
+  EXPECT_GE(stats->watch_resubscribes.load(), 1u);
+  EXPECT_EQ(server.snapshots_served(), 0u)
+      << "converged by snapshot, not seq-resume";
+  // The whole recovery was push-driven: the client never issued a single
+  // RPC, let alone a full catalogue re-prime.
+  EXPECT_EQ(server.requests_served(), 0u);
+
+  // The stream also primed the cache: partition again and the catch-up
+  // catalogue — including the mid-partition registrations the client
+  // never queried for — is served from cache.
+  fault->partition(true, true);
+  auto q = caching.query("offload");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  std::set<std::string> names;
+  for (const auto& i : q.value()) names.insert(i.name);
+  for (const auto& n : mid)
+    EXPECT_TRUE(names.count(n)) << n << " missing from the cached catalogue";
+  EXPECT_GE(stats->catalogue_hits.load(), 1u);
 }
 
 }  // namespace

@@ -348,8 +348,16 @@ TEST(DiscoveryWatchTest, SlowConsumerDropsAreCounted) {
   EXPECT_EQ(got + static_cast<int>(w->dropped()), 300);
 }
 
-TEST_F(RemoteDiscoveryTest, WatchRequiresTypeFilter) {
-  EXPECT_FALSE(client_->watch("").ok());
+TEST_F(RemoteDiscoveryTest, WatchWithoutFilterUsesServerPush) {
+  // An unfiltered remote watch needs server-push subscriptions (the
+  // poll-and-diff fallback cannot emulate it); against a push-capable
+  // server it succeeds and sees events of every chunnel type.
+  auto w = client_->watch("").value();
+  ASSERT_TRUE(state_->register_impl(watch_info("encrypt", "encrypt/nic", 1))
+                  .ok());
+  auto ev = w->next(Deadline::after(seconds(2)));
+  ASSERT_TRUE(ev.ok()) << ev.error().to_string();
+  EXPECT_EQ(ev.value().name, "encrypt/nic");
 }
 
 TEST_F(RemoteDiscoveryTest, WatchEmulatedByPolling) {

@@ -7,6 +7,7 @@
 
 #include "apps/kvproto.hpp"
 #include "chunnels/ordered_mcast.hpp"
+#include "core/discovery.hpp"
 #include "chunnels/shard.hpp"
 #include "core/negotiation.hpp"
 #include "core/wire.hpp"
@@ -36,6 +37,9 @@ TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
     (void)decode_hello(data);
     (void)decode_accept(data);
     (void)decode_reject(data);
+    (void)decode_subscribe(data);
+    (void)decode_unsubscribe(data);
+    (void)decode_event_batch(data);
     (void)decode_kv_request(data);
     (void)decode_kv_response(data);
     (void)parse_shard_frame(data);
@@ -100,6 +104,165 @@ TEST(TruncationFuzz, AcceptMessagePrefixes) {
   Bytes full = encode_accept(a);
   for (size_t n = 0; n < full.size(); n++)
     EXPECT_FALSE(decode_accept(BytesView(full.data(), n)).ok()) << n;
+}
+
+// --- Watch-subscription wire messages (subscribe / unsubscribe /
+// event_batch) ---
+
+WatchEvent fuzz_event(uint64_t seq, const std::string& name) {
+  WatchEvent ev;
+  ev.kind = WatchKind::impl_registered;
+  ev.seq = seq;
+  ev.type = "enc";
+  ev.name = name;
+  ImplInfo info;
+  info.type = "enc";
+  info.name = name;
+  ev.info = info;
+  return ev;
+}
+
+TEST(TruncationFuzz, SubscribeMessagePrefixes) {
+  SubscribeMsg m;
+  m.sub_id = 77;
+  m.client_id = "client-abc";
+  m.filter = "enc";
+  m.last_seq = 123456;
+  m.resume = true;
+  Bytes full = encode_subscribe(m);
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_subscribe(BytesView(full.data(), n)).ok()) << n;
+  EXPECT_TRUE(decode_subscribe(full).ok());
+}
+
+TEST(TruncationFuzz, UnsubscribeMessagePrefixes) {
+  UnsubscribeMsg m;
+  m.sub_id = 9;
+  m.client_id = "client-abc";
+  Bytes full = encode_unsubscribe(m);
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_unsubscribe(BytesView(full.data(), n)).ok()) << n;
+  EXPECT_TRUE(decode_unsubscribe(full).ok());
+}
+
+TEST(TruncationFuzz, EventBatchPrefixes) {
+  EventBatchMsg m;
+  m.prev_seq = 10;
+  m.last_seq = 12;
+  m.events = {fuzz_event(11, "enc/a"), fuzz_event(12, "enc/b")};
+  Bytes full = encode_event_batch(m);
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_event_batch(BytesView(full.data(), n)).ok()) << n;
+  EXPECT_TRUE(decode_event_batch(full).ok());
+}
+
+// Structurally valid encodings carrying nonsense must decode to errors,
+// never crash and never return success: the client trusts seq arithmetic
+// on whatever decode_event_batch accepts.
+TEST(WatchWireFuzz, AbsurdSeqValuesAreRejected) {
+  // Zero-length payloads (an empty frame body) are errors for all three.
+  Bytes empty;
+  EXPECT_FALSE(decode_subscribe(empty).ok());
+  EXPECT_FALSE(decode_unsubscribe(empty).ok());
+  EXPECT_FALSE(decode_event_batch(empty).ok());
+
+  // Subscription ids of 0 / missing client ids are meaningless.
+  SubscribeMsg s;
+  s.sub_id = 0;
+  s.client_id = "c";
+  EXPECT_FALSE(decode_subscribe(encode_subscribe(s)).ok());
+  s.sub_id = 1;
+  s.client_id = "";
+  EXPECT_FALSE(decode_subscribe(encode_subscribe(s)).ok());
+  UnsubscribeMsg u;
+  u.sub_id = 0;
+  u.client_id = "c";
+  EXPECT_FALSE(decode_unsubscribe(encode_unsubscribe(u)).ok());
+
+  // A batch running backwards: last_seq < prev_seq.
+  EventBatchMsg back;
+  back.prev_seq = 1000;
+  back.last_seq = 5;
+  EXPECT_FALSE(decode_event_batch(encode_event_batch(back)).ok());
+
+  // Maximal seqs are fine as long as the range is coherent...
+  EventBatchMsg huge;
+  huge.prev_seq = UINT64_MAX - 1;
+  huge.last_seq = UINT64_MAX;
+  huge.events = {fuzz_event(UINT64_MAX, "enc/x")};
+  EXPECT_TRUE(decode_event_batch(encode_event_batch(huge)).ok());
+
+  // ...but an event seq outside (prev_seq, last_seq] is not.
+  EventBatchMsg outside;
+  outside.prev_seq = 10;
+  outside.last_seq = 20;
+  outside.events = {fuzz_event(21, "enc/x")};
+  EXPECT_FALSE(decode_event_batch(encode_event_batch(outside)).ok());
+  outside.events = {fuzz_event(10, "enc/x")};
+  EXPECT_FALSE(decode_event_batch(encode_event_batch(outside)).ok());
+
+  // Non-increasing seqs within a batch.
+  EventBatchMsg dup;
+  dup.prev_seq = 10;
+  dup.last_seq = 20;
+  dup.events = {fuzz_event(12, "enc/x"), fuzz_event(12, "enc/y")};
+  EXPECT_FALSE(decode_event_batch(encode_event_batch(dup)).ok());
+
+  // A snapshot claiming a prev_seq, or carrying events at another seq.
+  EventBatchMsg snap;
+  snap.snapshot = true;
+  snap.prev_seq = 3;
+  snap.last_seq = 9;
+  snap.events = {fuzz_event(9, "enc/x")};
+  EXPECT_FALSE(decode_event_batch(encode_event_batch(snap)).ok());
+  snap.prev_seq = 0;
+  snap.events = {fuzz_event(8, "enc/x")};
+  EXPECT_FALSE(decode_event_batch(encode_event_batch(snap)).ok());
+  snap.events = {fuzz_event(9, "enc/x")};
+  EXPECT_TRUE(decode_event_batch(encode_event_batch(snap)).ok());
+}
+
+// The frame parser accepts the three new kinds and still rejects the
+// out-of-range ones just past them.
+TEST(WatchWireFuzz, FrameKindsCoverSubscriptionFrames) {
+  for (uint8_t k = 10; k <= 12; k++) {
+    Bytes f = encode_frame(static_cast<MsgKind>(k), 42, to_bytes("body"));
+    auto r = decode_frame(f);
+    ASSERT_TRUE(r.ok()) << "kind " << int(k);
+    EXPECT_EQ(static_cast<uint8_t>(r.value().kind), k);
+    EXPECT_EQ(r.value().token, 42u);
+  }
+  Bytes bad = encode_frame(static_cast<MsgKind>(13), 42, {});
+  EXPECT_FALSE(decode_frame(bad).ok());
+}
+
+// A subscribed server bombarded with garbage subscription frames keeps
+// pushing to its real subscriber.
+TEST(AdversarialListener, DiscoveryServerSurvivesGarbageSubscriptions) {
+  auto net = MemNetwork::create();
+  auto state = std::make_shared<DiscoveryState>();
+  DiscoveryServer::Options so;
+  so.coalesce_window = ms(2);
+  DiscoveryServer server(net->bind(Addr::mem("disc", 1)).value(), state, so);
+  RemoteDiscovery client(net->bind(Addr::mem("cli", 0)).value(),
+                         server.addr());
+  auto w = client.watch("enc").value();
+
+  auto attacker = net->bind(Addr::mem("attacker", 0)).value();
+  Rng rng(7);
+  for (int i = 0; i < 200; i++) {
+    MsgKind kind = static_cast<MsgKind>(10 + rng.next_below(3));
+    Bytes frame = encode_frame(kind, rng.next_u64(), random_bytes(rng, 96));
+    ASSERT_TRUE(attacker->send_to(server.addr(), frame).ok());
+  }
+
+  ImplInfo info;
+  info.type = "enc";
+  info.name = "enc/real";
+  ASSERT_TRUE(state->register_impl(info).ok());
+  auto ev = w->next(Deadline::after(seconds(5)));
+  ASSERT_TRUE(ev.ok()) << ev.error().to_string();
+  EXPECT_EQ(ev.value().name, "enc/real");
 }
 
 // Bit flips in a KV request must be caught by the shard-field integrity

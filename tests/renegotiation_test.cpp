@@ -525,6 +525,97 @@ TEST(LiveTransitionTest, RollbackNotifiesClientWhichRevertsAndRecovers) {
   EXPECT_GE(stats.rolled_back, 1u);
 }
 
+// Regression: a transition_cancel that arrives *after* the client's old
+// stack finished draining has nothing to revert onto (revert() reports
+// not_found). The client must close the dead-epoch connection promptly —
+// not keep sending into a token the server has rolled away from — and a
+// fresh connection must establish cleanly afterwards.
+TEST(LiveTransitionTest, CancelAfterDrainClosesDeadEpochConnection) {
+  auto world = TestWorld::make();
+
+  auto drop_acks = std::make_shared<std::atomic<bool>>(false);
+  auto cli_factory = std::make_shared<FaultInjectingFactory>(
+      std::make_shared<DefaultTransportFactory>(world.mem, world.sim, "h-cli"),
+      FaultInjectingTransport::Options{});
+  cli_factory->set_send_filter([drop_acks](const Addr&, BytesView p) {
+    return drop_acks->load() && p.size() >= kWireHeaderSize &&
+           p[2] == static_cast<uint8_t>(MsgKind::transition_ack);
+  });
+
+  // The opposite ordering from the revert test: ack_timeout > drain_timeout,
+  // so the client's old stack is fully drained by the time the server's ack
+  // deadline passes and the cancel goes out.
+  TransitionTuning tuning;
+  tuning.offer_retry = ms(25);
+  tuning.ack_timeout = ms(700);
+  tuning.drain_timeout = ms(50);
+  tuning.sweep_period = ms(10);
+
+  RuntimeConfig scfg;
+  scfg.host_id = "h-srv";
+  scfg.transports =
+      std::make_shared<DefaultTransportFactory>(world.mem, world.sim, "h-srv");
+  scfg.discovery = world.discovery;
+  scfg.transition_tuning = tuning;
+  auto srv_rt = Runtime::create(std::move(scfg)).value();
+  RuntimeConfig ccfg;
+  ccfg.host_id = "h-cli";
+  ccfg.transports = cli_factory;
+  ccfg.discovery = world.discovery;
+  ccfg.transition_tuning = tuning;
+  auto cli_rt = Runtime::create(std::move(ccfg)).value();
+
+  ASSERT_TRUE(srv_rt
+                  ->register_chunnel(std::make_shared<InfoChunnel>(
+                      offload_info("offload/sw", 0)))
+                  .ok());
+
+  auto listener = srv_rt->endpoint("srv", wrap(ChunnelSpec("offload")))
+                      .value()
+                      .listen(Addr::mem("h-srv", 101))
+                      .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv = listener->accept(Deadline::after(seconds(5))).value();
+  ASSERT_TRUE(round_trip(conn, srv, 0));
+
+  // Black-hole acks and provoke an upgrade. The client cuts over, acks
+  // into the void, and drains its old stack well before the server gives
+  // up and cancels.
+  drop_acks->store(true);
+  ImplInfo hw = offload_info("offload/hw", 50);
+  ASSERT_TRUE(srv_rt->register_chunnel(std::make_shared<InfoChunnel>(hw)).ok());
+  ASSERT_TRUE(world.discovery->register_impl(hw).ok());
+
+  Deadline dl = Deadline::after(seconds(15));
+  while (cli_rt->transitions().stats().dead_epoch_closes == 0) {
+    ASSERT_FALSE(dl.expired()) << "dead-epoch connection never closed";
+    (void)conn->send(Msg::of("probe"));
+    (void)srv->recv(Deadline::after(ms(20)));
+    (void)conn->recv(Deadline::after(ms(20)));
+  }
+  EXPECT_GE(srv_rt->transitions().stats().rolled_back, 1u);
+  EXPECT_GE(srv_rt->transitions().stats().cancels_sent, 1u);
+  EXPECT_EQ(cli_rt->transitions().stats().reverts, 0u)
+      << "there was nothing left to revert onto";
+
+  // Closed means closed: no hanging recv, no sends into the dead epoch.
+  EXPECT_FALSE(conn->recv(Deadline::after(ms(100))).ok());
+  EXPECT_FALSE(conn->send(Msg::of("into the void")).ok());
+
+  // The listener is unharmed: a fresh connection (acks flowing again)
+  // establishes and upgrades normally.
+  drop_acks->store(false);
+  auto conn2 = cli_rt->endpoint("cli2", ChunnelDag::empty())
+                   .value()
+                   .connect(listener->addr(), Deadline::after(seconds(5)))
+                   .value();
+  auto srv2 = listener->accept(Deadline::after(seconds(5))).value();
+  ASSERT_TRUE(round_trip(conn2, srv2, 1));
+}
+
 // --- the Fig-4 story over real sockets: UDP -> unix-socket fast path ---
 
 TEST(LiveTransitionTest, LiveUpgradeToLocalFastPath) {
