@@ -18,6 +18,7 @@
 // over time, message drops (must be 0), cutover delay (offer sent ->
 // old chain drained), and watch overhead (events before/after the
 // transition settles).
+#include <cstdlib>
 #include <future>
 #include <thread>
 
@@ -25,6 +26,8 @@
 #include "chunnels/common.hpp"
 #include "chunnels/localfastpath.hpp"
 #include "core/renegotiation.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 
 using namespace bertha;
 using namespace bertha::bench;
@@ -40,11 +43,12 @@ std::string bound_impl(const ConnPtr& conn, const std::string& type) {
   return "";
 }
 
-std::shared_ptr<Runtime> fig4_runtime(DiscoveryPtr disc) {
+std::shared_ptr<Runtime> fig4_runtime(DiscoveryPtr disc, TracerPtr tracer) {
   RuntimeConfig cfg;
   cfg.host_id = "fig4-host";  // client and server share the host
   cfg.transports = std::make_shared<DefaultTransportFactory>();
   cfg.discovery = std::move(disc);
+  cfg.tracer = std::move(tracer);
   TransitionTuning t;
   t.offer_retry = ms(25);
   t.sweep_period = ms(10);
@@ -64,12 +68,21 @@ int main() {
   const int pings_per_step = 20;
   const std::string payload(64, 'p');
 
+  // BERTHA_TRACE=1: share one enabled tracer across both runtimes and
+  // dump a span summary of the run (the cutover trace) at the end.
+  TracerPtr tracer;
+  if (const char* env = std::getenv("BERTHA_TRACE"); env && env[0] == '1') {
+    Tracer::Options to;
+    to.sample_every = 0;  // control-plane spans only; skip per-message paths
+    tracer = std::make_shared<Tracer>(to);
+  }
+
   auto disc = std::make_shared<DiscoveryState>();
-  auto srv_rt = fig4_runtime(disc);
+  auto srv_rt = fig4_runtime(disc, tracer);
   die_on_err(srv_rt->register_chunnel(std::make_shared<PassthroughChunnel>(
                  "local_or_remote", "local_or_remote/none")),
              "register passthrough");
-  auto cli_rt = fig4_runtime(disc);
+  auto cli_rt = fig4_runtime(disc, tracer);
   die_on_err(register_builtin_chunnels(*cli_rt), "client builtins");
 
   auto listener = die_on_err(
@@ -171,5 +184,10 @@ int main() {
   srv_conn->close();
   listener->close();
   if (echo.joinable()) echo.join();
+
+  if (tracer) {
+    std::printf("\n--- trace (BERTHA_TRACE=1) ---\n%s",
+                export_text_summary(tracer->collect()).c_str());
+  }
   return drops == 0 ? 0 : 1;
 }

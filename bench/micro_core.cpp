@@ -7,10 +7,13 @@
 #include "chunnels/encrypt.hpp"
 #include "chunnels/shard.hpp"
 #include "core/dag.hpp"
+#include "core/endpoint.hpp"
 #include "core/negotiation.hpp"
 #include "core/optimizer.hpp"
 #include "core/wire.hpp"
+#include "net/memchan.hpp"
 #include "serialize/text_codec.hpp"
+#include "trace/trace.hpp"
 #include "util/hash.hpp"
 #include "util/queue.hpp"
 #include "util/rand.hpp"
@@ -170,6 +173,100 @@ void BM_QueuePushPop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueuePushPop);
+
+// --- tracing (src/trace/) ---
+
+void BM_SpanLifecycle(benchmark::State& state) {
+  auto tracer = std::make_shared<Tracer>();
+  for (auto _ : state) {
+    Span s = tracer->span("bench");
+    s.tag_u64("n", 1);
+    s.finish();
+  }
+  (void)tracer->collect();
+}
+BENCHMARK(BM_SpanLifecycle);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  Tracer::Options o;
+  o.enabled = false;
+  auto tracer = std::make_shared<Tracer>(o);
+  for (auto _ : state) {
+    Span s = tracer->span("bench");
+    s.tag_u64("n", 1);
+    s.finish();
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// A message round trip over an in-memory pipe through a chunnel-depth
+// stack of wrappers. The pipe does the per-message work a real leaf
+// stack does — wire framing plus one keystream pass (the serialize +
+// encrypt chunnels) — so the fixed wrapper cost is measured against a
+// representative baseline, not a bare queue hop. Arg(0): tracing
+// disabled — build_stack inserts no wrappers, the true baseline.
+// Arg(1): tracing enabled but the path sampler effectively never fires
+// — the steady-state cost every message pays when tracing is on. CI's
+// bench-smoke step compares the two and fails if the
+// enabled-but-unsampled overhead exceeds 5%.
+class MemPipeConn final : public Connection {
+ public:
+  MemPipeConn(TransportPtr a, TransportPtr b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  Result<void> send(Msg m) override {
+    xor_keystream(m.payload, 0x5eed);
+    Bytes frame = encode_frame(MsgKind::data, 12345, m.payload);
+    return a_->send_to(b_->local_addr(), frame);
+  }
+  Result<Msg> recv(Deadline deadline) override {
+    BERTHA_TRY_ASSIGN(p, b_->recv(deadline));
+    auto frame = decode_frame(p.payload);
+    if (!frame.ok()) return frame.error();
+    Msg m;
+    m.payload.assign(frame.value().payload.begin(), frame.value().payload.end());
+    xor_keystream(m.payload, 0x5eed);
+    return m;
+  }
+  const Addr& local_addr() const override { return a_->local_addr(); }
+  const Addr& peer_addr() const override { return b_->local_addr(); }
+  void close() override {
+    a_->close();
+    b_->close();
+  }
+
+ private:
+  TransportPtr a_;
+  TransportPtr b_;
+};
+
+void BM_TracedStackSend(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  auto net = MemNetwork::create();
+  ConnPtr conn = std::make_shared<MemPipeConn>(
+      net->bind(Addr::mem("bench", 1)).value(),
+      net->bind(Addr::mem("bench", 2)).value());
+  TracerPtr tracer;
+  if (traced) {
+    Tracer::Options o;
+    o.sample_every = 1u << 30;  // enabled, but no message ever samples
+    tracer = std::make_shared<Tracer>(o);
+    for (const char* hop : {"serialize/bin", "encrypt/xor", "reliable/arq"})
+      conn = wrap_hop_trace(std::move(conn), tracer, hop);
+    conn = wrap_path_trace(std::move(conn), tracer);
+  }
+  Bytes payload = random_bytes(4096, 8);
+  for (auto _ : state) {
+    Msg m;
+    m.payload = payload;
+    if (!conn->send(std::move(m)).ok()) state.SkipWithError("send failed");
+    auto r = conn->recv(Deadline::after(seconds(1)));
+    if (!r.ok()) state.SkipWithError("recv failed");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_TracedStackSend)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace bertha

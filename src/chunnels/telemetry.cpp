@@ -45,10 +45,48 @@ TelemetryChunnel::TelemetryChunnel() {
 
 std::shared_ptr<TelemetryChunnel::Cell> TelemetryChunnel::cell_for(
     const std::string& label) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto& cell = cells_[label];
-  if (!cell) cell = std::make_shared<Cell>();
+  std::shared_ptr<Cell> cell;
+  MetricsPtr export_to;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& slot = cells_[label];
+    if (!slot) {
+      slot = std::make_shared<Cell>();
+      export_to = metrics_;
+    }
+    cell = slot;
+  }
+  if (export_to) export_cell(export_to, label, cell);
   return cell;
+}
+
+void TelemetryChunnel::export_cell(const MetricsPtr& m,
+                                   const std::string& label,
+                                   std::shared_ptr<Cell> cell) {
+  std::string prefix = "telemetry." + label + ".";
+  m->attach_provider("telemetry." + label,
+                     [prefix, cell](MetricsRegistry::Snapshot& snap) {
+    auto& c = snap.counters;
+    c[prefix + "msgs_sent"] = cell->msgs_sent.load(std::memory_order_relaxed);
+    c[prefix + "msgs_received"] =
+        cell->msgs_received.load(std::memory_order_relaxed);
+    c[prefix + "bytes_sent"] = cell->bytes_sent.load(std::memory_order_relaxed);
+    c[prefix + "bytes_received"] =
+        cell->bytes_received.load(std::memory_order_relaxed);
+    c[prefix + "send_errors"] =
+        cell->send_errors.load(std::memory_order_relaxed);
+  });
+}
+
+void TelemetryChunnel::bind_metrics(MetricsPtr metrics) {
+  std::vector<std::pair<std::string, std::shared_ptr<Cell>>> existing;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    metrics_ = metrics;
+    if (metrics_)
+      for (const auto& [label, cell] : cells_) existing.emplace_back(label, cell);
+  }
+  for (auto& [label, cell] : existing) export_cell(metrics, label, cell);
 }
 
 Result<ConnPtr> TelemetryChunnel::wrap(ConnPtr inner, WrapContext& ctx) {

@@ -17,6 +17,7 @@
 #include <mutex>
 
 #include "core/chunnel.hpp"
+#include "trace/metrics.hpp"
 
 namespace bertha {
 
@@ -41,6 +42,12 @@ class TelemetryChunnel final : public ChunnelImpl {
   std::map<std::string, TelemetryCounters> snapshot_all() const;
   void reset();
 
+  // Satellite view into the unified registry: per-label counters appear
+  // as "telemetry.<label>.<field>" in registry snapshots. The chunnel's
+  // own snapshot()/snapshot_all() accessors are unaffected. Runtime
+  // binds this automatically on register_chunnel.
+  void bind_metrics(MetricsPtr metrics);
+
  private:
   struct Cell {
     std::atomic<uint64_t> msgs_sent{0};
@@ -50,10 +57,16 @@ class TelemetryChunnel final : public ChunnelImpl {
     std::atomic<uint64_t> send_errors{0};
   };
   std::shared_ptr<Cell> cell_for(const std::string& label);
+  // Providers capture the shared Cell (not the chunnel), so there is no
+  // registry <-> chunnel ownership cycle and no lock nesting: snapshot()
+  // reads the cell's atomics only.
+  static void export_cell(const MetricsPtr& m, const std::string& label,
+                          std::shared_ptr<Cell> cell);
 
   ImplInfo info_;
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Cell>> cells_;
+  MetricsPtr metrics_;
 };
 
 }  // namespace bertha

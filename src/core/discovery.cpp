@@ -515,6 +515,7 @@ struct DiscRequest {
   std::string client_id;  // lease owner / dedup namespace
   uint64_t idem_key = 0;  // non-zero: dedupe retries of this mutation
   uint64_t ttl_ms = 0;    // non-zero: lease the registration/allocation
+  TraceContext trace;     // optional: caller's span, for server-side spans
 };
 
 Bytes encode_request(const DiscRequest& req) {
@@ -529,6 +530,7 @@ Bytes encode_request(const DiscRequest& req) {
   w.put_string(req.client_id);
   w.put_varint(req.idem_key);
   w.put_varint(req.ttl_ms);
+  put_trace_context(w, req.trace);
   return std::move(w).take();
 }
 
@@ -556,6 +558,7 @@ Result<DiscRequest> decode_request(BytesView b) {
   req.client_id = std::move(client);
   req.idem_key = idem;
   req.ttl_ms = ttl;
+  req.trace = read_trace_context_tail(r);
   return req;
 }
 
@@ -599,6 +602,19 @@ DiscResponse error_response(const Error& e) {
   rsp.errc = static_cast<uint8_t>(e.code);
   rsp.error = e.message;
   return rsp;
+}
+
+const char* serve_span_name(DiscOp op) {
+  switch (op) {
+    case DiscOp::register_impl: return "serve.register_impl";
+    case DiscOp::unregister_impl: return "serve.unregister_impl";
+    case DiscOp::query: return "serve.query";
+    case DiscOp::acquire: return "serve.acquire";
+    case DiscOp::release: return "serve.release";
+    case DiscOp::set_pool: return "serve.set_pool";
+    case DiscOp::heartbeat: return "serve.heartbeat";
+  }
+  return "serve.unknown";
 }
 
 }  // namespace
@@ -1005,9 +1021,15 @@ void DiscoveryServer::serve_loop() {
         }
         if (replayed) {
           if (auto st = state_->fault_stats()) st->dedup_hits++;
+          // The retry shares the original request's trace context, so
+          // this span lands in the same trace as the first execution.
+          Span s = trace_span(opts_.tracer, serve_span_name(req.op), req.trace);
+          s.tag("dedup_hit", "1");
           continue;
         }
       }
+      Span serve_span = trace_span(opts_.tracer, serve_span_name(req.op),
+                                   req.trace);
       bool leased = req.ttl_ms != 0 && !req.client_id.empty();
       Duration ttl = ms(static_cast<int64_t>(req.ttl_ms));
       switch (req.op) {
@@ -1070,6 +1092,7 @@ void DiscoveryServer::serve_loop() {
           break;
         }
       }
+      if (!rsp.success) serve_span.tag("error", rsp.error);
     }
 
     Bytes body = encode_response(rsp);
@@ -1429,7 +1452,8 @@ void RemoteDiscovery::poll_watch(WatcherPtr w) {
   w->cancel();
 }
 
-Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
+Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
+                                                  Span* span) {
   uint64_t req_id = next_req_.fetch_add(1);
   Bytes frame = encode_frame(MsgKind::discovery, req_id, request_body);
   auto p = std::make_shared<Pending>();
@@ -1446,8 +1470,15 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
       err(Errc::unavailable,
           "discovery service unreachable at " + server_.to_string());
   bool exhausted = true;
+  int attempts_used = 0;
   for (int attempt = 0; attempt <= opts_.retries; attempt++) {
     if (attempt > 0 && opts_.stats) opts_.stats->rpc_retries++;
+    attempts_used = attempt + 1;
+    // One child span per resend: retries of a logical RPC share its
+    // trace id, which is what the fault-propagation tests assert.
+    Span att = span ? trace_span(opts_.tracer, "rpc.attempt", span->context())
+                    : Span{};
+    att.tag_u64("attempt", static_cast<uint64_t>(attempt));
     auto sent = transport_->send_to(server_, frame);
     if (!sent.ok()) {
       outcome = sent.error();
@@ -1461,6 +1492,7 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
       break;
     }
     lk.unlock();
+    att.tag("timeout", "1");
     if (attempt < opts_.retries) sleep_for(backoff.next());
   }
   {
@@ -1468,6 +1500,11 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body) {
     pending_.erase(req_id);
   }
 
+  if (span && span->active()) {
+    span->tag_u64("attempts", static_cast<uint64_t>(attempts_used));
+    if (attempts_used > 1) span->tag("retried", "1");
+    if (exhausted) span->tag("exhausted", "1");
+  }
   if (exhausted && opts_.stats) opts_.stats->rpc_failures++;
   if (!outcome.ok()) return outcome.error();
   DiscResponse raw = std::move(outcome).value();
@@ -1523,7 +1560,10 @@ void RemoteDiscovery::heartbeat_loop() {
         rr.client_id = client_id_;
         rr.idem_key = next_idem();
         rr.ttl_ms = lease_ttl_ms(opts_);
-        (void)rpc(encode_request(rr));
+        Span span = trace_span(opts_.tracer, "rpc.replay_register");
+        span.tag("impl", info.name);
+        rr.trace = span.context();
+        (void)rpc(encode_request(rr), &span);
       }
       if (opts_.stats && !replay.empty()) opts_.stats->lease_recoveries++;
     }
@@ -1538,7 +1578,9 @@ Result<void> RemoteDiscovery::register_impl(const ImplInfo& info) {
   req.client_id = client_id_;
   req.idem_key = next_idem();
   req.ttl_ms = lease_ttl_ms(opts_);
-  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  Span span = trace_span(opts_.tracer, "rpc.register_impl", current_trace_context());
+  req.trace = span.context();
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req), &span));
   (void)rsp;
   if (req.ttl_ms != 0) {
     {
@@ -1564,7 +1606,9 @@ Result<void> RemoteDiscovery::unregister_impl(const std::string& type,
   req.name = name;
   req.client_id = client_id_;
   req.idem_key = next_idem();
-  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  Span span = trace_span(opts_.tracer, "rpc.unregister_impl", current_trace_context());
+  req.trace = span.context();
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req), &span));
   (void)rsp;
   std::lock_guard<std::mutex> lk(hb_mu_);
   std::erase_if(leased_impls_, [&](const ImplInfo& e) {
@@ -1577,7 +1621,9 @@ Result<std::vector<ImplInfo>> RemoteDiscovery::query(const std::string& type) {
   DiscRequest req;
   req.op = DiscOp::query;
   req.type = type;
-  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  Span span = trace_span(opts_.tracer, "rpc.query", current_trace_context());
+  req.trace = span.context();
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req), &span));
   return std::move(rsp.entries);
 }
 
@@ -1588,7 +1634,9 @@ Result<uint64_t> RemoteDiscovery::acquire(const std::vector<ResourceReq>& reqs) 
   req.client_id = client_id_;
   req.idem_key = next_idem();
   req.ttl_ms = lease_ttl_ms(opts_);
-  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  Span span = trace_span(opts_.tracer, "rpc.acquire", current_trace_context());
+  req.trace = span.context();
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req), &span));
   if (req.ttl_ms != 0) ensure_heartbeat();
   return rsp.alloc_id;
 }
@@ -1599,7 +1647,9 @@ Result<void> RemoteDiscovery::release(uint64_t alloc_id) {
   req.alloc_id = alloc_id;
   req.client_id = client_id_;
   req.idem_key = next_idem();
-  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  Span span = trace_span(opts_.tracer, "rpc.release", current_trace_context());
+  req.trace = span.context();
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req), &span));
   (void)rsp;
   return ok();
 }
@@ -1612,7 +1662,9 @@ Result<void> RemoteDiscovery::set_pool(const std::string& pool,
   req.capacity = capacity;
   req.client_id = client_id_;
   req.idem_key = next_idem();
-  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req)));
+  Span span = trace_span(opts_.tracer, "rpc.set_pool", current_trace_context());
+  req.trace = span.context();
+  BERTHA_TRY_ASSIGN(rsp, rpc(encode_request(req), &span));
   (void)rsp;
   return ok();
 }

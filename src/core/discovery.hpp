@@ -26,6 +26,7 @@
 
 #include "core/chunnel.hpp"
 #include "net/transport.hpp"
+#include "trace/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/queue.hpp"
 #include "util/stats.hpp"
@@ -358,6 +359,9 @@ class DiscoveryServer {
     // Pushed events retained for seq resume; a client resuming from
     // before this horizon gets a catalogue snapshot instead.
     size_t event_log_cap = 1024;
+    // Optional: spans per served RPC (serve.<op>), parented to the
+    // request's wire-propagated trace context.
+    TracerPtr tracer;
   };
 
   // Takes ownership of the transport; serves until destroyed.
@@ -473,6 +477,10 @@ class RemoteDiscovery final : public DiscoveryClient {
     // Defaults to lease_ttl / 4.
     Duration heartbeat_period = Duration::zero();
     FaultStatsPtr stats;
+    // Optional: spans per RPC (rpc.<op>, one child per resend attempt).
+    // The RPC span parents to the calling thread's ambient context, so
+    // discovery calls made during negotiation join the connect trace.
+    TracerPtr tracer;
   };
 
   // `transport` is a bound client endpoint used solely for discovery RPCs.
@@ -503,7 +511,9 @@ class RemoteDiscovery final : public DiscoveryClient {
   struct Rsp;
   struct Pending;
   struct Sub;
-  Result<Rsp> rpc(const Bytes& request_body);
+  // `span`, when non-null, is the logical RPC's span: resend attempts
+  // become its children and retry/outcome tags land on it.
+  Result<Rsp> rpc(const Bytes& request_body, Span* span = nullptr);
   void reader_loop();
   void ensure_reader_locked();
   void heartbeat_loop();

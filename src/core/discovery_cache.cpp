@@ -37,6 +37,7 @@ bool CachingDiscovery::degraded() const {
 
 void CachingDiscovery::note(bool healthy) {
   std::vector<WatcherPtr> notify;
+  std::vector<PendingWrite> replay;
   WatchEvent ev;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -44,6 +45,10 @@ void CachingDiscovery::note(bool healthy) {
     degraded_ = !healthy;
     if (degraded_) {
       if (stats_) stats_->degraded_entries++;
+      {
+        Span s = trace_span(opts_.tracer, "discovery.degraded_enter",
+                            current_trace_context());
+      }
       BLOG(warn, "discovery") << "service unreachable; entering degraded "
                                  "mode (cached catalogue + local fallbacks)";
       probe_cv_.notify_all();
@@ -52,6 +57,7 @@ void CachingDiscovery::note(bool healthy) {
     if (stats_) stats_->degraded_exits++;
     BLOG(info, "discovery") << "service reachable again; leaving degraded "
                                "mode";
+    replay.swap(pending_writes_);
     // Synthetic event: kicks the transition controller into a refresh +
     // upgrade sweep so degraded connections renegotiate for real.
     ev.kind = WatchKind::impl_registered;
@@ -66,8 +72,40 @@ void CachingDiscovery::note(bool healthy) {
     }
     watchers_.resize(live);
   }
+  Span exit_span = trace_span(opts_.tracer, "discovery.degraded_exit");
+  exit_span.tag_u64("replay_writes", replay.size());
+  // Replay queued degraded-mode registrations before announcing recovery,
+  // so the upgrade sweep the recovery event triggers sees them. A replay
+  // that fails transiently re-queues everything left and re-enters
+  // degraded mode — recovery was premature.
+  for (size_t i = 0; i < replay.size(); i++) {
+    Span s = trace_span(opts_.tracer, "discovery.replay_write",
+                        exit_span.context());
+    s.tag("type", replay[i].info.type);
+    s.tag("impl", replay[i].info.name);
+    auto r = inner_->register_impl(replay[i].info);
+    if (!r.ok() && transient(r.error())) {
+      s.tag("requeued", "1");
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        pending_writes_.insert(pending_writes_.end(),
+                               std::make_move_iterator(replay.begin() +
+                                                       static_cast<long>(i)),
+                               std::make_move_iterator(replay.end()));
+      }
+      exit_span.tag("aborted", "1");
+      note(false);
+      return;
+    }
+    metrics_add(opts_.metrics, "discovery.replayed_writes");
+  }
   for (auto& w : notify)
     if (w->wants(ev)) w->deliver(ev);
+}
+
+size_t CachingDiscovery::pending_writes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_writes_.size();
 }
 
 void CachingDiscovery::probe_loop() {
@@ -116,7 +154,34 @@ Result<std::vector<ImplInfo>> CachingDiscovery::query(
 Result<void> CachingDiscovery::register_impl(const ImplInfo& info) {
   auto r = inner_->register_impl(info);
   note(r.ok() || !transient(r.error()));
-  return r;
+  if (r.ok() || !transient(r.error())) return r;
+  if (info.type.empty() || info.name.empty()) return r;  // would be rejected
+  // Service unreachable: accept the mutation locally. Queue it for replay
+  // on recovery (latest-wins per type+name, mirroring the registry's
+  // upsert) and fold it into the cached catalogue so degraded queries —
+  // and the negotiations they feed — see the new impl immediately.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = std::find_if(pending_writes_.begin(), pending_writes_.end(),
+                           [&](const PendingWrite& w) {
+                             return w.info.type == info.type &&
+                                    w.info.name == info.name;
+                           });
+    if (it != pending_writes_.end()) it->info = info;
+    else pending_writes_.push_back({info});
+    auto& v = catalogue_[info.type];
+    auto cit = std::find_if(v.begin(), v.end(), [&](const ImplInfo& e) {
+      return e.name == info.name;
+    });
+    if (cit != v.end()) *cit = info;
+    else v.push_back(info);
+  }
+  metrics_add(opts_.metrics, "discovery.queued_writes");
+  Span s = trace_span(opts_.tracer, "discovery.queue_write",
+                      current_trace_context());
+  s.tag("type", info.type);
+  s.tag("impl", info.name);
+  return ok();
 }
 
 Result<void> CachingDiscovery::unregister_impl(const std::string& type,

@@ -11,6 +11,13 @@
 // and on recovery injects a synthetic impl_registered watch event so the
 // transition controller re-runs full negotiation and upgrades degraded
 // connections automatically.
+//
+// Degraded-mode writes: unleased register_impl mutations issued while the
+// service is unreachable are queued (latest-wins per type+name), folded
+// into the cached catalogue so degraded queries see them, and replayed on
+// the degraded -> healthy edge — the unleased analogue of the lease
+// heartbeat's lost-lease replay. Each replayed mutation emits a trace
+// span (discovery.replay_write).
 #pragma once
 
 #include <condition_variable>
@@ -19,6 +26,8 @@
 #include <unordered_map>
 
 #include "core/discovery.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 #include "util/stats.hpp"
 
 namespace bertha {
@@ -36,6 +45,10 @@ class CachingDiscovery final : public DiscoveryClient {
     // Chunnel type the recovery probe queries (any type works; the probe
     // only cares whether the service answers).
     std::string probe_type = "probe";
+    // Optional observability: degraded entry/exit + queued/replayed write
+    // spans, and queued_writes/replayed_writes counters.
+    TracerPtr tracer;
+    MetricsPtr metrics;
   };
 
   CachingDiscovery(DiscoveryPtr inner, Options opts,
@@ -60,7 +73,13 @@ class CachingDiscovery final : public DiscoveryClient {
   bool degraded() const override;
   DiscoveryClient& inner() { return *inner_; }
 
+  // Writes queued for replay on recovery (degraded mode only).
+  size_t pending_writes() const;
+
  private:
+  struct PendingWrite {
+    ImplInfo info;
+  };
   static bool transient(const Error& e) {
     return e.code == Errc::unavailable || e.code == Errc::timed_out ||
            e.code == Errc::connection_failed;
@@ -82,6 +101,7 @@ class CachingDiscovery final : public DiscoveryClient {
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::vector<ImplInfo>> catalogue_;
+  std::vector<PendingWrite> pending_writes_;
   bool degraded_ = false;
   uint64_t seq_ = 0;
   std::vector<std::weak_ptr<DiscoveryWatcher>> watchers_;

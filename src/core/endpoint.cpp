@@ -527,6 +527,10 @@ struct TransitionRecord {
 
   bool degraded = false;  // the renegotiated chain is itself degraded
 
+  // The establishing connection's trace context; cutover/drain/rollback
+  // spans and the cancel notice carry it.
+  TraceContext trace;
+
   std::vector<NegotiatedNode> new_chain;
   std::vector<NodeAlloc> kept_allocs;  // carried incumbent slots
   std::vector<NodeAlloc> new_allocs;   // released on rollback
@@ -984,10 +988,18 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
     std::lock_guard<std::mutex> lk(mu_);
     auto it = hello_cache_.find(cache_key);
     if (it != hello_cache_.end()) {
+      Span s = trace_span(rt_->tracer(), "server.negotiate", hello.trace);
+      s.tag("dedup_hit", "1");
       (void)transport->send_to(src, it->second);
       return;
     }
   }
+
+  // Parent to the client's wire-propagated connect span; the ambient
+  // scope makes discovery RPCs issued during negotiation children too.
+  Span neg_span = trace_span(rt_->tracer(), "server.negotiate", hello.trace);
+  neg_span.tag("endpoint", hello.endpoint_name);
+  SpanScope neg_scope(neg_span);
 
   auto neg = negotiate_server(chain_, hello, rt_->registry(), rt_->discovery(),
                               *rt_->config().policy, advertisements_snapshot(),
@@ -1024,6 +1036,7 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   meta.established_from = src;
   meta.chain = accept.chain;
   meta.degraded = neg.value().degraded;
+  if (meta.degraded) neg_span.tag("degraded", "1");
   meta.liveness = std::make_shared<ConnLiveness>();
   ConnLivenessPtr liveness = meta.liveness;
   if (meta.degraded)
@@ -1060,7 +1073,10 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   ctx.listen_addr = primary_addr_;
   ctx.transports = &rt_->transports();
   ctx.liveness = liveness;
+  Span build_span =
+      trace_span(rt_->tracer(), "server.build_stack", neg_span.context());
   auto wrapped = build_stack(*rt_, accept.chain, std::move(base), ctx);
+  build_span.finish();
   if (!wrapped.ok()) {
     BLOG(error, "listener") << "stack build failed: "
                             << wrapped.error().to_string();
@@ -1131,6 +1147,12 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
     return err(Errc::not_found, "connection already torn down");
   }
 
+  // Joins the trace that established the connection (hello.trace); the
+  // ambient scope pulls renegotiation-time discovery RPCs in as well.
+  Span offer_span = trace_span(rt_->tracer(), "transition.offer", hello.trace);
+  offer_span.tag_u64("epoch", epoch);
+  SpanScope offer_scope(offer_span);
+
   // Re-run selection with the incumbent seeded in (renegotiate_server
   // does not touch slots the connection already holds).
   auto reneg_r = renegotiate_server(
@@ -1164,7 +1186,11 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   ctx.listen_addr = primary_addr_;
   ctx.transports = &rt_->transports();
   ctx.liveness = liveness;
+  Span stage_span =
+      trace_span(rt_->tracer(), "transition.stage", offer_span.context());
+  stage_span.tag_u64("epoch", epoch);
   auto stack = build_stack(*rt_, reneg.chain, std::move(base), ctx);
+  stage_span.finish();
   if (!stack.ok()) {
     release_new();
     abandon();
@@ -1177,6 +1203,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   msg.reason = reason;
   msg.mandatory = mandatory;
   msg.chain = reneg.chain;
+  msg.trace = hello.trace;  // client-side handling joins the same trace
   if (!rt_->config().attestation_secret.empty())
     msg.chain_digest =
         attest_chain(reneg.chain, rt_->config().attestation_secret);
@@ -1194,6 +1221,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   rec->ack_deadline = Deadline::after(tun.ack_timeout);
   rec->started = now();
   rec->degraded = reneg.degraded;
+  rec->trace = hello.trace;
   rec->new_chain = reneg.chain;
   rec->kept_allocs = std::move(reneg.kept_allocs);
   rec->new_allocs = std::move(reneg.new_allocs);
@@ -1318,6 +1346,8 @@ void Listener::Impl::handle_transition_ack(
 }
 
 void Listener::Impl::do_cutover(const std::shared_ptr<TransitionRecord>& rec) {
+  Span span = trace_span(rt_->tracer(), "transition.cutover", rec->trace);
+  span.tag_u64("epoch", rec->epoch);
   bool fin_seen;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -1360,6 +1390,9 @@ void Listener::Impl::do_cutover(const std::shared_ptr<TransitionRecord>& rec) {
 
 void Listener::Impl::rollback(const std::shared_ptr<TransitionRecord>& rec,
                               bool declined) {
+  Span span = trace_span(rt_->tracer(), "transition.rollback", rec->trace);
+  span.tag_u64("epoch", rec->epoch);
+  span.tag("declined", declined ? "1" : "0");
   {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = transitions_.find(rec->old_token);
@@ -1389,9 +1422,11 @@ void Listener::Impl::rollback(const std::shared_ptr<TransitionRecord>& rec,
       dst = rec->old_st->reply_addr;
     }
     if (t) {
-      Bytes frame =
-          encode_frame(MsgKind::transition_cancel, rec->old_token,
-                       encode_transition_cancel({rec->epoch}));
+      TransitionCancelMsg cancel;
+      cancel.epoch = rec->epoch;
+      cancel.trace = rec->trace;
+      Bytes frame = encode_frame(MsgKind::transition_cancel, rec->old_token,
+                                 encode_transition_cancel(cancel));
       (void)t->send_to(dst, frame);
       stat([](TransitionStats& s) { s.cancels_sent++; });
     }
@@ -1422,6 +1457,10 @@ void Listener::Impl::transition_drained(uint64_t old_token, bool forced,
     auto mit = meta_.find(rec->new_token);
     if (mit != meta_.end()) mit->second.transitioning = false;
   }
+  Span span = trace_span(rt_->tracer(), "transition.drain", rec->trace);
+  span.tag_u64("epoch", rec->epoch);
+  span.tag_u64("drained_msgs", drained);
+  if (forced) span.tag("forced", "1");
   rec->old_st->incoming.close();
   // Drain-before-release: only now do the replaced nodes' slots free.
   for (uint64_t id : rec->retired_allocs) (void)rt_->discovery().release(id);
@@ -1484,11 +1523,20 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   BERTHA_TRY_ASSIGN(t, rt_->transports().bind(bind));
   std::shared_ptr<Transport> transport(std::move(t));
 
+  // Root span for establishment; its context rides in the hello so the
+  // server's negotiation (and the discovery RPCs it makes) join this
+  // trace. Lives until connect returns.
+  Span connect_span =
+      trace_span(rt_->tracer(), "client.connect", current_trace_context());
+  connect_span.tag("endpoint", name_);
+  SpanScope connect_scope(connect_span);
+
   HelloMsg hello;
   hello.endpoint_name = name_ + "#" + make_unique_id();
   hello.host_id = rt_->config().host_id;
   hello.process_id = rt_->config().process_id;
   hello.dag = ChunnelDag::chain(chain_);
+  hello.trace = connect_span.context();
   // Offer everything this process can instantiate for the DAG's types;
   // with an empty DAG (Listing 5) the server's chain governs, so offer
   // every registered type.
@@ -1513,6 +1561,9 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     for (int attempt = 0; attempt <= cfg.handshake_retries && !accept;
          attempt++) {
       if (deadline.expired()) return err(Errc::timed_out, "connect deadline");
+      Span att_span = trace_span(rt_->tracer(), "client.hello_attempt",
+                                 connect_span.context());
+      att_span.tag_u64("attempt", static_cast<uint64_t>(attempt));
       BERTHA_TRY(transport->send_to(server, hello_frame));
       Deadline attempt_dl = Deadline::after(cfg.handshake_timeout);
       for (;;) {
@@ -1587,8 +1638,11 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     };
   }
 
+  Span client_build_span =
+      trace_span(rt_->tracer(), "client.build_stack", connect_span.context());
   BERTHA_TRY_ASSIGN(stack,
                     build_stack(*rt_, accepts.front().chain, channel, ctx));
+  client_build_span.finish();
   auto tconn = std::make_shared<TransitionableConnection>(
       std::move(stack), accepts.front().chain, /*external_cutover=*/false,
       rt_->transitions().tuning(), rt_->transitions().stats_sink());
@@ -1649,6 +1703,12 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     auto group = wgroup.lock();
     auto tconn = wtconn.lock();
     if (!group || !tconn) return;  // connection being torn down
+    // The offer carries the connection's establishment-trace context, so
+    // client-side staging + cutover land in the same trace as the
+    // server's transition.offer span.
+    Span tspan =
+        trace_span(runtime->tracer(), "client.transition", msg.trace);
+    tspan.tag_u64("epoch", msg.epoch);
     if (multi_peer) {
       decline(Errc::invalid_argument,
               "live transitions unsupported on multi-peer connections");
@@ -1709,7 +1769,8 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   // already cut over, revert to the previous epoch's stack (still
   // draining, so it is intact).
   auto stats_sink = runtime->transitions().stats_sink();
-  group->set_cancel_handler([wtconn, ctl, stats_sink](
+  auto tracer = runtime->tracer();
+  group->set_cancel_handler([wtconn, ctl, stats_sink, tracer](
                                 const TransitionCancelMsg& msg,
                                 const std::shared_ptr<ClientChannel>& via) {
     bool cut_over;
@@ -1722,6 +1783,8 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     if (!cut_over) return;  // declined or never staged: nothing to undo
     auto tc = wtconn.lock();
     if (!tc) return;
+    Span rspan = trace_span(tracer, "client.revert", msg.trace);
+    rspan.tag_u64("epoch", msg.epoch);
     auto r = tc->revert(msg.epoch);
     if (!r.ok()) {
       if (r.error().code == Errc::not_found) {
@@ -1733,6 +1796,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
         BLOG(warn, "transition")
             << "cancel for epoch " << msg.epoch
             << " after drain completed; closing dead-epoch connection";
+        rspan.tag("dead_epoch", "1");
         stats_sink->update([](TransitionStats& s) { s.dead_epoch_closes++; });
         tc->close();
         return;
@@ -1759,9 +1823,97 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
 
 // --- stack construction ---
 
+namespace {
+
+// Child span per layer, recorded only while a path (or other ambient)
+// span is active on this thread. SpanScope re-installs the hop's own
+// context so nested hops chain parent -> child down the stack.
+class HopTraceConnection final : public Connection {
+ public:
+  HopTraceConnection(ConnPtr inner, TracerPtr tracer, std::string hop)
+      : inner_(std::move(inner)),
+        tracer_(std::move(tracer)),
+        send_name_("hop.send:" + hop),
+        recv_name_("hop.recv:" + hop) {}
+
+  Result<void> send(Msg m) override {
+    TraceContext ctx = current_trace_context();
+    if (!ctx.valid()) return inner_->send(std::move(m));
+    Span span = tracer_->span(send_name_, ctx);
+    SpanScope scope(span);
+    return inner_->send(std::move(m));
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    TraceContext ctx = current_trace_context();
+    if (!ctx.valid()) return inner_->recv(deadline);
+    Span span = tracer_->span(recv_name_, ctx);
+    SpanScope scope(span);
+    return inner_->recv(deadline);
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnPtr inner_;
+  TracerPtr tracer_;
+  std::string send_name_;
+  std::string recv_name_;
+};
+
+// Outermost wrapper: starts a sampled root span per message and makes it
+// the ambient context, so every HopTraceConnection underneath records a
+// child. Unsampled messages pay one thread-local countdown decrement.
+class PathTraceConnection final : public Connection {
+ public:
+  PathTraceConnection(ConnPtr inner, TracerPtr tracer)
+      : inner_(std::move(inner)), tracer_(std::move(tracer)) {}
+
+  Result<void> send(Msg m) override {
+    if (!tracer_->sample_path()) return inner_->send(std::move(m));
+    Span span = tracer_->span("path.send", current_trace_context());
+    span.tag_u64("bytes", m.payload.size());
+    SpanScope scope(span);
+    return inner_->send(std::move(m));
+  }
+
+  Result<Msg> recv(Deadline deadline) override {
+    if (!tracer_->sample_path()) return inner_->recv(deadline);
+    Span span = tracer_->span("path.recv", current_trace_context());
+    SpanScope scope(span);
+    auto r = inner_->recv(deadline);
+    if (r.ok()) span.tag_u64("bytes", r.value().payload.size());
+    return r;
+  }
+
+  const Addr& local_addr() const override { return inner_->local_addr(); }
+  const Addr& peer_addr() const override { return inner_->peer_addr(); }
+  void close() override { inner_->close(); }
+
+ private:
+  ConnPtr inner_;
+  TracerPtr tracer_;
+};
+
+}  // namespace
+
+ConnPtr wrap_hop_trace(ConnPtr inner, TracerPtr tracer, std::string hop_name) {
+  return ConnPtr(std::make_shared<HopTraceConnection>(
+      std::move(inner), std::move(tracer), std::move(hop_name)));
+}
+
+ConnPtr wrap_path_trace(ConnPtr inner, TracerPtr tracer) {
+  return ConnPtr(
+      std::make_shared<PathTraceConnection>(std::move(inner), std::move(tracer)));
+}
+
 Result<ConnPtr> build_stack(Runtime& rt,
                             const std::vector<NegotiatedNode>& chain,
                             ConnPtr base, WrapContext base_ctx) {
+  const TracerPtr& tracer = rt.tracer();
+  const bool tracing = tracer && tracer->enabled();
   ConnPtr conn = std::move(base);
   // chain[0] is outermost: wrap from the inside out.
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
@@ -1777,7 +1929,12 @@ Result<ConnPtr> build_stack(Runtime& rt,
     ctx.args = it->args;
     BERTHA_TRY_ASSIGN(wrapped, impl_r.value()->wrap(std::move(conn), ctx));
     conn = std::move(wrapped);
+    // Per-hop timing wrapper: each chunnel becomes a child span of the
+    // message's path span. Inserted only when tracing is on at build
+    // time, so a disabled tracer adds zero indirection to the data path.
+    if (tracing) conn = wrap_hop_trace(std::move(conn), tracer, it->impl_name);
   }
+  if (tracing && !chain.empty()) conn = wrap_path_trace(std::move(conn), tracer);
   return conn;
 }
 

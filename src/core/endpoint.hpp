@@ -86,4 +86,14 @@ Result<ConnPtr> build_stack(Runtime& rt,
                             const std::vector<NegotiatedNode>& chain,
                             ConnPtr base, WrapContext base_ctx);
 
+// Per-hop tracing wrappers. build_stack inserts them only when the
+// runtime's tracer is enabled at build time, so a disabled tracer costs
+// the data path nothing at all. The path wrapper (outermost) starts a
+// sampled path.send / path.recv span and installs its context as the
+// thread's ambient context; each hop wrapper then records a child span
+// for its layer iff an ambient context is active. Exposed for the
+// tracing micro-benchmarks.
+ConnPtr wrap_hop_trace(ConnPtr inner, TracerPtr tracer, std::string hop_name);
+ConnPtr wrap_path_trace(ConnPtr inner, TracerPtr tracer);
+
 }  // namespace bertha

@@ -17,6 +17,7 @@ Bytes encode_hello(const HelloMsg& m) {
   w.put_string(m.process_id);
   serde_put(w, m.dag);
   serde_put(w, m.offers);
+  put_trace_context(w, m.trace);  // optional tail; absent when invalid
   return std::move(w).take();
 }
 
@@ -34,6 +35,7 @@ Result<HelloMsg> decode_hello(BytesView b) {
   m.process_id = std::move(proc);
   m.dag = std::move(dag);
   m.offers = std::move(offers);
+  m.trace = read_trace_context_tail(r);  // tolerant: garbage -> no context
   return m;
 }
 

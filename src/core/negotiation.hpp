@@ -27,6 +27,7 @@
 #include "core/discovery.hpp"
 #include "core/optimizer.hpp"
 #include "core/policy.hpp"
+#include "trace/context.hpp"
 
 namespace bertha {
 
@@ -37,6 +38,9 @@ struct HelloMsg {
   ChunnelDag dag;
   // chunnel type -> implementations the client can instantiate
   std::map<std::string, std::vector<ImplInfo>> offers;
+  // Optional: the client's connect-span context, so server-side
+  // negotiation spans join the client's trace (src/trace/context.hpp).
+  TraceContext trace;
 };
 
 // One bound chunnel in the negotiated stack. Outermost first.

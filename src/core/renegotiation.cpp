@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "trace/metrics.hpp"
 #include "util/log.hpp"
 
 namespace bertha {
@@ -17,6 +18,7 @@ Bytes encode_transition(const TransitionMsg& m) {
   w.put_bool(m.mandatory);
   serde_put(w, m.chain);
   w.put_varint(m.chain_digest);
+  put_trace_context(w, m.trace);
   return std::move(w).take();
 }
 
@@ -37,6 +39,7 @@ Result<TransitionMsg> decode_transition(BytesView b) {
   m.mandatory = mandatory;
   m.chain = std::move(chain);
   m.chain_digest = digest;
+  m.trace = read_trace_context_tail(r);
   return m;
 }
 
@@ -66,6 +69,7 @@ Result<TransitionAckMsg> decode_transition_ack(BytesView b) {
 Bytes encode_transition_cancel(const TransitionCancelMsg& m) {
   Writer w;
   w.put_varint(m.epoch);
+  put_trace_context(w, m.trace);
   return std::move(w).take();
 }
 
@@ -74,6 +78,7 @@ Result<TransitionCancelMsg> decode_transition_cancel(BytesView b) {
   TransitionCancelMsg m;
   BERTHA_TRY_ASSIGN(epoch, r.get_varint());
   m.epoch = epoch;
+  m.trace = read_trace_context_tail(r);
   return m;
 }
 
@@ -297,10 +302,42 @@ uint64_t TransitionableConnection::drained_msgs() const {
   return drained_total_;
 }
 
+void attach_transition_stats_provider(
+    MetricsRegistry& m, std::shared_ptr<TransitionStatsSink> sink) {
+  if (!sink) return;
+  m.attach_provider("transition_stats",
+                    [sink](MetricsRegistry::Snapshot& snap) {
+    TransitionStats s = sink->snapshot();
+    auto& c = snap.counters;
+    c["transition.watch_events"] = s.watch_events;
+    c["transition.watch_batches"] = s.watch_batches;
+    c["transition.upgrade_runs"] = s.upgrade_runs;
+    c["transition.dead_epoch_closes"] = s.dead_epoch_closes;
+    c["transition.offers_sent"] = s.offers_sent;
+    c["transition.completed"] = s.completed;
+    c["transition.declined"] = s.declined;
+    c["transition.rolled_back"] = s.rolled_back;
+    c["transition.forced_cutovers"] = s.forced_cutovers;
+    c["transition.closed_mandatory"] = s.closed_mandatory;
+    c["transition.cancels_sent"] = s.cancels_sent;
+    c["transition.reverts"] = s.reverts;
+    c["transition.drained_msgs"] = s.drained_msgs;
+    snap.gauges["transition.max_cutover_ns"] =
+        static_cast<double>(s.max_cutover_ns);
+    snap.gauges["transition.mean_cutover_ns"] =
+        s.completed ? static_cast<double>(s.total_cutover_ns) /
+                          static_cast<double>(s.completed)
+                    : 0.0;
+  });
+}
+
 // --- TransitionController ---
 
-TransitionController::TransitionController(TransitionTuning tuning)
-    : tuning_(tuning), sink_(std::make_shared<TransitionStatsSink>()) {}
+TransitionController::TransitionController(TransitionTuning tuning,
+                                           TracerPtr tracer)
+    : tuning_(tuning),
+      sink_(std::make_shared<TransitionStatsSink>()),
+      tracer_(std::move(tracer)) {}
 
 TransitionController::~TransitionController() { stop(); }
 
@@ -406,6 +443,9 @@ void TransitionController::poll() {
 
 void TransitionController::handle_batch(const std::vector<WatchEvent>& events) {
   if (events.empty()) return;
+  Span batch_span = trace_span(tracer_, "controller.watch_batch");
+  batch_span.tag_u64("events", events.size());
+  SpanScope scope(batch_span);  // transitions started below join this trace
   sink_->update([&](TransitionStats& s) {
     s.watch_events += events.size();
     s.watch_batches++;

@@ -32,6 +32,7 @@
 #include "core/connection.hpp"
 #include "core/discovery.hpp"
 #include "core/negotiation.hpp"
+#include "trace/trace.hpp"
 
 namespace bertha {
 
@@ -52,6 +53,9 @@ struct TransitionMsg {
   bool mandatory = false;
   std::vector<NegotiatedNode> chain;
   uint64_t chain_digest = 0;  // attest_chain() when a secret is configured
+  // Optional: the connection's original trace context, so client-side
+  // transition handling joins the trace that created the connection.
+  TraceContext trace;
 };
 
 struct TransitionAckMsg {
@@ -66,6 +70,7 @@ struct TransitionAckMsg {
 // epoch's stack must discard it and revert to the previous epoch.
 struct TransitionCancelMsg {
   uint64_t epoch = 0;
+  TraceContext trace;  // optional; ties the revert into the offer's trace
 };
 
 Bytes encode_transition(const TransitionMsg& m);
@@ -107,6 +112,15 @@ struct TransitionStats {
   uint64_t max_cutover_ns = 0;    // offer sent -> old chain drained
   uint64_t total_cutover_ns = 0;
 };
+
+class MetricsRegistry;
+class TransitionStatsSink;
+
+// Registers a MetricsRegistry provider exposing a sink's stats as
+// "transition.*" counters (one snapshot covers the runtime; the sink
+// stays the source of truth).
+void attach_transition_stats_provider(MetricsRegistry& m,
+                                      std::shared_ptr<TransitionStatsSink> sink);
 
 // Shared between the controller and every attached host.
 class TransitionStatsSink {
@@ -248,7 +262,8 @@ class TransitionHost {
 // listener, driving the staged-cutover protocol above.
 class TransitionController {
  public:
-  explicit TransitionController(TransitionTuning tuning = {});
+  explicit TransitionController(TransitionTuning tuning = {},
+                                TracerPtr tracer = nullptr);
   ~TransitionController();
 
   TransitionController(const TransitionController&) = delete;
@@ -289,6 +304,7 @@ class TransitionController {
 
   const TransitionTuning tuning_;
   StatsSinkPtr sink_;
+  TracerPtr tracer_;
 
   mutable std::mutex mu_;
   std::vector<std::weak_ptr<TransitionHost>> hosts_;

@@ -4,6 +4,7 @@
 
 #include <random>
 
+#include "chunnels/telemetry.hpp"
 #include "core/endpoint.hpp"
 
 namespace bertha {
@@ -33,6 +34,12 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
   if (cfg.process_id.empty())
     cfg.process_id = std::to_string(::getpid()) + "-" + make_unique_id();
   if (!cfg.fault_stats) cfg.fault_stats = std::make_shared<FaultStats>();
+  if (!cfg.tracer) {
+    Tracer::Options topts;
+    topts.enabled = false;  // tracing is opt-in; disabled spans are inert
+    cfg.tracer = std::make_shared<Tracer>(topts);
+  }
+  if (!cfg.metrics) cfg.metrics = std::make_shared<MetricsRegistry>();
   if (!cfg.discovery) {
     auto state = std::make_shared<DiscoveryState>();
     state->set_fault_stats(cfg.fault_stats);
@@ -41,7 +48,15 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
   if (!cfg.policy) cfg.policy = std::make_shared<DefaultPolicy>();
   if (cfg.handshake_retries < 0 || cfg.handshake_timeout <= Duration::zero())
     return err(Errc::invalid_argument, "bad handshake parameters");
-  return std::shared_ptr<Runtime>(new Runtime(std::move(cfg)));
+  auto rt = std::shared_ptr<Runtime>(new Runtime(std::move(cfg)));
+  // Fold the runtime's pre-existing counter structures into the registry:
+  // the accessors (fault_stats(), transitions().stats()) stay the source
+  // of truth and the registry snapshots them on demand.
+  attach_fault_stats_provider(*rt->cfg_.metrics, rt->cfg_.fault_stats);
+  attach_transition_stats_provider(*rt->cfg_.metrics,
+                                   rt->transitions_->stats_sink());
+  attach_tracer_provider(*rt->cfg_.metrics, rt->cfg_.tracer);
+  return rt;
 }
 
 // Out of line: stop the controller's watch/sweep thread before cfg_
@@ -49,6 +64,10 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
 Runtime::~Runtime() { transitions_->stop(); }
 
 Result<void> Runtime::register_chunnel(ChunnelImplPtr impl) {
+  // Telemetry chunnels export their per-label counters through the
+  // runtime's unified registry (thin view; the chunnel accessors remain).
+  if (auto tele = std::dynamic_pointer_cast<TelemetryChunnel>(impl))
+    tele->bind_metrics(cfg_.metrics);
   return registry_.register_impl(std::move(impl));
 }
 

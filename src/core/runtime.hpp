@@ -24,6 +24,8 @@
 #include "core/policy.hpp"
 #include "core/renegotiation.hpp"
 #include "net/transport.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
 
 namespace bertha {
 
@@ -70,6 +72,17 @@ struct RuntimeConfig {
   // entries/exits). Defaults to a fresh FaultStats; share one instance
   // across runtimes to aggregate.
   FaultStatsPtr fault_stats;
+
+  // Tracing (src/trace/). Defaults to a disabled tracer (inert spans, no
+  // allocation); pass an enabled Tracer to capture cross-layer spans.
+  // create() threads it into the transition controller and, where the
+  // discovery handle is runtime-owned, the discovery client.
+  TracerPtr tracer;
+
+  // Unified metrics (src/trace/metrics.hpp). Defaults to a fresh
+  // registry; create() attaches providers exposing fault_stats and the
+  // transition controller's stats so one snapshot covers the runtime.
+  MetricsPtr metrics;
 };
 
 class Runtime : public std::enable_shared_from_this<Runtime> {
@@ -102,13 +115,18 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
   FaultStats& fault_stats() { return *cfg_.fault_stats; }
   const FaultStatsPtr& fault_stats_ptr() const { return cfg_.fault_stats; }
 
+  // Tracing + metrics. Never null after create() (the tracer defaults to
+  // disabled, the registry to empty-with-providers).
+  const TracerPtr& tracer() const { return cfg_.tracer; }
+  const MetricsPtr& metrics() const { return cfg_.metrics; }
+
   ~Runtime();
 
  private:
   explicit Runtime(RuntimeConfig cfg)
       : cfg_(std::move(cfg)),
-        transitions_(
-            std::make_unique<TransitionController>(cfg_.transition_tuning)) {}
+        transitions_(std::make_unique<TransitionController>(
+            cfg_.transition_tuning, cfg_.tracer)) {}
 
   RuntimeConfig cfg_;
   Registry registry_;

@@ -1,0 +1,58 @@
+// TraceContext: the wire-propagated half of the tracing subsystem.
+//
+// A context is a (trace id, parent span id) pair. It rides as an
+// *optional tail* appended to message payloads (hello, transition,
+// transition_cancel, discovery requests): a magic byte 0x54 ('T')
+// followed by two varints. Message decoders in this codebase never
+// require the reader to be at_end, so peers that don't know about the
+// tail simply ignore it, and peers that do call read_trace_context_tail
+// after the last mandatory field.
+//
+// Decoding is deliberately tolerant: a truncated, garbled, or absent
+// tail yields an empty (invalid) context and NEVER fails the enclosing
+// message. Tracing is observability, not protocol — a bad context must
+// not reject an otherwise-valid frame.
+#pragma once
+
+#include <cstdint>
+
+#include "serialize/codec.hpp"
+
+namespace bertha {
+
+struct TraceContext {
+  uint64_t trace_id = 0;  // 0 means "no context"
+  uint64_t span_id = 0;   // the sender-side parent span
+
+  bool valid() const { return trace_id != 0; }
+};
+
+inline constexpr uint8_t kTraceCtxMagic = 0x54;  // 'T'
+
+// Appends the context tail; appends nothing for an invalid context, so
+// untraced peers produce byte-identical frames to the pre-tracing wire
+// format (strict-prefix truncation tests stay meaningful).
+inline void put_trace_context(Writer& w, const TraceContext& ctx) {
+  if (!ctx.valid()) return;
+  w.put_u8(kTraceCtxMagic);
+  w.put_varint(ctx.trace_id);
+  w.put_varint(ctx.span_id);
+}
+
+// Reads a context tail if one is present and well-formed; otherwise
+// returns an empty context. Never errors.
+inline TraceContext read_trace_context_tail(Reader& r) {
+  if (r.at_end()) return {};
+  auto magic = r.get_u8();
+  if (!magic.ok() || magic.value() != kTraceCtxMagic) return {};
+  auto tid = r.get_varint();
+  if (!tid.ok()) return {};
+  auto sid = r.get_varint();
+  if (!sid.ok()) return {};
+  TraceContext ctx;
+  ctx.trace_id = tid.value();
+  ctx.span_id = sid.value();
+  return ctx;
+}
+
+}  // namespace bertha

@@ -1,0 +1,147 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace bertha {
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+// Per-thread cache of (tracer id -> buffer). A thread usually touches
+// one or two tracers (client + server runtime in tests); the cache is
+// capped so a test binary creating many tracers on one thread cannot
+// grow it without bound.
+struct ThreadCacheEntry {
+  uint64_t tracer_id = 0;
+  uint32_t thread_index = 0;
+  std::shared_ptr<void> buf;
+};
+constexpr size_t kThreadCacheCap = 8;
+thread_local std::vector<ThreadCacheEntry> t_bufs;
+
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Tracer::Tracer(Options opts)
+    : enabled_(opts.enabled),
+      sample_every_(opts.sample_every),
+      ring_capacity_(opts.ring_capacity == 0 ? 1 : opts.ring_capacity),
+      thread_buffer_(opts.thread_buffer == 0 ? 1 : opts.thread_buffer),
+      now_fn_(std::move(opts.now_ns)),
+      tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+uint64_t Tracer::clock_ns() const {
+  return now_fn_ ? now_fn_() : steady_now_ns();
+}
+
+Span Tracer::span(std::string_view name, TraceContext parent) {
+  Span s;
+  if (!enabled_) return s;
+  s.tracer_ = this;
+  s.rec_.name.assign(name);
+  if (parent.valid()) {
+    s.rec_.trace_id = parent.trace_id;
+    s.rec_.parent_id = parent.span_id;
+  } else {
+    // Unique across tracers in one process so two runtimes' traces never
+    // collide; counter-based so fixed workloads yield fixed ids.
+    s.rec_.trace_id = (tracer_id_ << 32) |
+                      next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  s.rec_.span_id = (tracer_id_ << 32) |
+                   next_span_.fetch_add(1, std::memory_order_relaxed);
+  s.rec_.start_ns = clock_ns();
+  return s;
+}
+
+void Span::finish() {
+  if (!tracer_) return;
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  rec_.end_ns = t->clock_ns();
+  if (rec_.end_ns < rec_.start_ns) rec_.end_ns = rec_.start_ns;
+  t->record(std::move(rec_));
+}
+
+std::shared_ptr<Tracer::ThreadBuf> Tracer::buf_for_thread(
+    uint32_t* thread_index) {
+  for (const auto& e : t_bufs) {
+    if (e.tracer_id == tracer_id_) {
+      *thread_index = e.thread_index;
+      return std::static_pointer_cast<ThreadBuf>(e.buf);
+    }
+  }
+  auto buf = std::make_shared<ThreadBuf>();
+  uint32_t index = next_thread_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bufs_.push_back(buf);
+  }
+  if (t_bufs.size() >= kThreadCacheCap) t_bufs.clear();
+  t_bufs.push_back({tracer_id_, index, buf});
+  *thread_index = index;
+  return buf;
+}
+
+void Tracer::record(SpanRecord&& rec) {
+  uint32_t thread_index = 0;
+  auto buf = buf_for_thread(&thread_index);
+  rec.thread_index = thread_index;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<SpanRecord> overflow;
+  {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    buf->spans.push_back(std::move(rec));
+    if (buf->spans.size() >= thread_buffer_) overflow.swap(buf->spans);
+  }
+  // Drain outside the buffer lock: mu_ and buffer locks are never nested.
+  if (!overflow.empty()) push_ring(std::move(overflow));
+}
+
+void Tracer::push_ring(std::vector<SpanRecord> batch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& rec : batch) {
+    if (ring_.size() >= ring_capacity_) {
+      ring_.pop_front();  // keep the most recent spans under load
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ring_.push_back(std::move(rec));
+  }
+}
+
+std::vector<SpanRecord> Tracer::collect() {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    bufs = bufs_;
+  }
+  std::vector<SpanRecord> out;
+  for (auto& buf : bufs) {
+    std::lock_guard<std::mutex> lk(buf->mu);
+    for (auto& rec : buf->spans) out.push_back(std::move(rec));
+    buf->spans.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& rec : ring_) out.push_back(std::move(rec));
+    ring_.clear();
+  }
+  std::sort(out.begin(), out.end(), [](const SpanRecord& a, const SpanRecord& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.span_id < b.span_id;
+  });
+  return out;
+}
+
+}  // namespace bertha

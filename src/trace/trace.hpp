@@ -1,0 +1,227 @@
+// Span-based tracing with lock-cheap per-thread buffers.
+//
+// A Tracer hands out Spans (RAII: started on creation, recorded on
+// finish/destruction). Finished spans land in a per-thread buffer whose
+// only lock is uncontended in steady state; full buffers drain into a
+// bounded global ring that drops the oldest spans under load. collect()
+// drains everything and returns spans ordered by start time.
+//
+// Determinism: Options::now_ns lets tests drive span timestamps from a
+// simulated clock; span and trace ids come from per-tracer counters, so
+// a fixed workload yields a fixed trace.
+//
+// Cost model: a disabled tracer returns inert Spans — no allocation, no
+// clock read, no locking (the "allocates nothing" property is asserted
+// in tests/trace_test.cpp with a counting operator new). An enabled
+// tracer costs one clock read + one buffer push per span; per-message
+// path spans are additionally sampled via sample_path() so steady-state
+// data traffic does not trace every message.
+//
+// Spans must not outlive their Tracer (the Runtime owns the tracer for
+// exactly this reason).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/context.hpp"
+
+namespace bertha {
+
+class Tracer;
+
+// One finished span. `tags` are flat key/value annotations (epoch,
+// attempt number, dedup-hit flags, ...).
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  uint32_t thread_index = 0;  // per-tracer logical thread number
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+// RAII span handle. Default-constructed (or from a disabled tracer) it
+// is inert: every member call is a no-op and nothing is allocated.
+class Span {
+ public:
+  Span() = default;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& o) noexcept : tracer_(o.tracer_), rec_(std::move(o.rec_)) {
+    o.tracer_ = nullptr;
+  }
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      finish();
+      tracer_ = o.tracer_;
+      rec_ = std::move(o.rec_);
+      o.tracer_ = nullptr;
+    }
+    return *this;
+  }
+  ~Span() { finish(); }
+
+  bool active() const { return tracer_ != nullptr; }
+
+  // The context a child span (local or remote) should parent to.
+  TraceContext context() const {
+    return active() ? TraceContext{rec_.trace_id, rec_.span_id}
+                    : TraceContext{};
+  }
+
+  void tag(std::string_view key, std::string_view value) {
+    if (active()) rec_.tags.emplace_back(std::string(key), std::string(value));
+  }
+  void tag_u64(std::string_view key, uint64_t value) {
+    if (active()) rec_.tags.emplace_back(std::string(key), std::to_string(value));
+  }
+
+  // Records the span; idempotent.
+  void finish();
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+};
+
+class Tracer {
+ public:
+  struct Options {
+    bool enabled = true;
+    // Record every Nth per-message path span (sample_path()); 0 disables
+    // path spans entirely while keeping control-plane spans.
+    uint32_t sample_every = 64;
+    size_t ring_capacity = 8192;  // global ring; oldest dropped when full
+    size_t thread_buffer = 32;    // spans buffered per thread before drain
+    // Clock override for deterministic tests; defaults to steady_clock.
+    std::function<uint64_t()> now_ns;
+  };
+
+  Tracer() : Tracer(Options{}) {}
+  explicit Tracer(Options opts);
+  ~Tracer();
+
+  bool enabled() const { return enabled_; }
+
+  // Starts a span. With a valid parent the span joins that trace;
+  // otherwise it roots a new one. Inert when disabled.
+  Span span(std::string_view name, TraceContext parent = {});
+
+  // True for 1-in-sample_every calls per thread; gates per-message path
+  // spans. Atomic-free: a thread-local countdown (the first call on each
+  // thread samples, then every Nth), so the unsampled fast path is a TLS
+  // read and a decrement. Deterministic for a fixed per-thread workload.
+  bool sample_path() {
+    if (!enabled_ || sample_every_ == 0) return false;
+    struct PathState {
+      const Tracer* owner = nullptr;
+      uint32_t countdown = 0;
+    };
+    static thread_local PathState st;
+    if (st.owner != this) {
+      st.owner = this;
+      st.countdown = 1;
+    }
+    if (--st.countdown == 0) {
+      st.countdown = sample_every_;
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t clock_ns() const;
+
+  // Drains every thread buffer and the ring; returns spans sorted by
+  // (start_ns, span_id). Subsequent calls see only new spans.
+  std::vector<SpanRecord> collect();
+
+  size_t span_count() const { return recorded_.load(std::memory_order_relaxed); }
+  size_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Span;
+  struct ThreadBuf {
+    std::mutex mu;
+    std::vector<SpanRecord> spans;
+  };
+
+  void record(SpanRecord&& rec);
+  void push_ring(std::vector<SpanRecord> batch);
+  std::shared_ptr<ThreadBuf> buf_for_thread(uint32_t* thread_index);
+
+  const bool enabled_;
+  const uint32_t sample_every_;
+  const size_t ring_capacity_;
+  const size_t thread_buffer_;
+  const std::function<uint64_t()> now_fn_;
+  const uint64_t tracer_id_;  // globally unique; keys the thread cache
+
+  std::atomic<uint64_t> next_span_{1};
+  std::atomic<uint64_t> next_trace_{1};
+  std::atomic<size_t> recorded_{0};
+  std::atomic<size_t> dropped_{0};
+  std::atomic<uint32_t> next_thread_{0};
+
+  mutable std::mutex mu_;  // guards bufs_ and ring_ (never held with a buf mu)
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::deque<SpanRecord> ring_;
+};
+
+using TracerPtr = std::shared_ptr<Tracer>;
+
+// Null-safe span start: inert when the tracer is absent or disabled.
+inline Span trace_span(const TracerPtr& t, std::string_view name,
+                       TraceContext parent = {}) {
+  if (t && t->enabled()) return t->span(name, parent);
+  return Span{};
+}
+
+// --- Ambient context -------------------------------------------------
+//
+// The current thread's trace context. Lets deep call chains (policy ->
+// discovery client -> RPC encode) pick up the caller's span without
+// threading a TraceContext through every signature. SpanScope installs
+// a span's context for a lexical region and restores the previous one.
+
+namespace trace_detail {
+// Inline thread_local so the accessors compile to a direct TLS load —
+// the hop wrappers read this on every message, sampled or not.
+inline thread_local TraceContext g_ambient_ctx;
+}  // namespace trace_detail
+
+inline TraceContext current_trace_context() {
+  return trace_detail::g_ambient_ctx;
+}
+inline void set_current_trace_context(TraceContext ctx) {
+  trace_detail::g_ambient_ctx = ctx;
+}
+
+class SpanScope {
+ public:
+  explicit SpanScope(const Span& s) : SpanScope(s.context()) {}
+  explicit SpanScope(TraceContext ctx) : prev_(current_trace_context()) {
+    if (ctx.valid()) set_current_trace_context(ctx);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() { set_current_trace_context(prev_); }
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace bertha

@@ -10,6 +10,7 @@
 #include "core/discovery.hpp"
 #include "chunnels/shard.hpp"
 #include "core/negotiation.hpp"
+#include "core/renegotiation.hpp"
 #include "core/wire.hpp"
 #include "serialize/text_codec.hpp"
 #include "test_helpers.hpp"
@@ -37,6 +38,8 @@ TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
     (void)decode_hello(data);
     (void)decode_accept(data);
     (void)decode_reject(data);
+    (void)decode_transition(data);
+    (void)decode_transition_cancel(data);
     (void)decode_subscribe(data);
     (void)decode_unsubscribe(data);
     (void)decode_event_batch(data);
@@ -104,6 +107,79 @@ TEST(TruncationFuzz, AcceptMessagePrefixes) {
   Bytes full = encode_accept(a);
   for (size_t n = 0; n < full.size(); n++)
     EXPECT_FALSE(decode_accept(BytesView(full.data(), n)).ok()) << n;
+}
+
+// --- optional trace-context tails ---
+//
+// The tail is observability, not protocol: a truncated or garbled tail
+// must degrade to "no context" and NEVER reject an otherwise-valid
+// frame. Prefixes that cut the mandatory fields still fail as before.
+
+TEST(TraceTailFuzz, HelloTailTruncationDegradesToNoContext) {
+  HelloMsg hello;
+  hello.endpoint_name = "victim";
+  hello.host_id = "h";
+  hello.process_id = "p";
+  hello.dag = wrap(ChunnelSpec("reliable"));
+  Bytes bare = encode_hello(hello);
+  hello.trace = TraceContext{0x1234567890ULL, 0x42};
+  Bytes full = encode_hello(hello);
+  ASSERT_GT(full.size(), bare.size());
+
+  // Mandatory-field prefixes still fail.
+  for (size_t n = 0; n < bare.size(); n++)
+    EXPECT_FALSE(decode_hello(BytesView(full.data(), n)).ok()) << n;
+  // Any truncation inside the tail decodes fine, context dropped.
+  for (size_t n = bare.size(); n < full.size(); n++) {
+    auto r = decode_hello(BytesView(full.data(), n));
+    ASSERT_TRUE(r.ok()) << "tail truncation at " << n << " rejected frame";
+    EXPECT_FALSE(r.value().trace.valid()) << n;
+  }
+  auto whole = decode_hello(full);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(whole.value().trace.trace_id, 0x1234567890ULL);
+}
+
+TEST(TraceTailFuzz, GarbageTailsNeverRejectValidFrames) {
+  Rng rng(17);
+  HelloMsg hello;
+  hello.endpoint_name = "victim";
+  hello.host_id = "h";
+  Bytes hello_bare = encode_hello(hello);
+  TransitionMsg t;
+  t.epoch = 3;
+  t.new_token = 9;
+  Bytes trans_bare = encode_transition(t);
+  TransitionCancelMsg c;
+  c.epoch = 3;
+  Bytes cancel_bare = encode_transition_cancel(c);
+
+  for (int iter = 0; iter < 300; iter++) {
+    Bytes junk = random_bytes(rng, 24);
+    Bytes h2 = hello_bare;
+    h2.insert(h2.end(), junk.begin(), junk.end());
+    EXPECT_TRUE(decode_hello(h2).ok()) << "garbage tail rejected hello";
+    Bytes t2 = trans_bare;
+    t2.insert(t2.end(), junk.begin(), junk.end());
+    auto tr = decode_transition(t2);
+    ASSERT_TRUE(tr.ok()) << "garbage tail rejected transition";
+    EXPECT_EQ(tr.value().epoch, 3u);
+    Bytes c2 = cancel_bare;
+    c2.insert(c2.end(), junk.begin(), junk.end());
+    EXPECT_TRUE(decode_transition_cancel(c2).ok())
+        << "garbage tail rejected cancel";
+  }
+
+  // Tails starting with the magic byte but carrying truncated/overlong
+  // varints are the nastiest case: still no rejection.
+  for (int iter = 0; iter < 100; iter++) {
+    Bytes evil = {kTraceCtxMagic};
+    Bytes junk = random_bytes(rng, 12);
+    evil.insert(evil.end(), junk.begin(), junk.end());
+    Bytes h2 = hello_bare;
+    h2.insert(h2.end(), evil.begin(), evil.end());
+    EXPECT_TRUE(decode_hello(h2).ok());
+  }
 }
 
 // --- Watch-subscription wire messages (subscribe / unsubscribe /
