@@ -108,14 +108,35 @@ class BatchConnection final : public Connection {
       pending_.clear();
       pending_bytes_ = 0;
     }
-    Writer w;
-    w.put_u8('B');
-    w.put_u8('A');
-    w.put_varint(batch.size());
-    for (const auto& b : batch) w.put_bytes(b);
-    Msg wire;
-    wire.payload = std::move(w).take();
-    return inner_->send(std::move(wire));
+    // Greedily pack messages into wire datagrams of at most max_bytes
+    // payload (send() flushes at the max_bytes watermark, but a burst
+    // can overshoot it before the flush runs). The common case is one
+    // datagram -> one plain send; an overshoot becomes a single batched
+    // send — one sendmmsg on batch-capable transports.
+    std::vector<Msg> wires;
+    size_t i = 0;
+    while (i < batch.size()) {
+      Writer w;
+      w.put_u8('B');
+      w.put_u8('A');
+      size_t first = i;
+      size_t bytes = 0;
+      size_t n = 0;
+      for (; i < batch.size(); i++) {
+        // ~10 bytes of varint length framing per item, worst case.
+        size_t cost = batch[i].size() + 10;
+        if (n > 0 && bytes + cost > opts_.max_bytes) break;
+        bytes += cost;
+        n++;
+      }
+      w.put_varint(n);
+      for (size_t k = first; k < first + n; k++) w.put_bytes(batch[k]);
+      Msg wire;
+      wire.payload = std::move(w).take();
+      wires.push_back(std::move(wire));
+    }
+    if (wires.size() == 1) return inner_->send(std::move(wires.front()));
+    return inner_->send_batch(std::span<Msg>(wires));
   }
 
   void flush_loop() {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "net/addr.hpp"
 #include "util/bytes.hpp"
@@ -34,6 +35,15 @@ class Connection {
   // reliability chunnel is in the stack.
   virtual Result<void> send(Msg m) = 0;
 
+  // Send several messages in one call. Identical semantics to sending
+  // each in order; the messages are consumed (moved from). Base
+  // connections over a batch-capable transport override this to amortize
+  // syscalls (sendmmsg); the default just loops.
+  virtual Result<void> send_batch(std::span<Msg> msgs) {
+    for (Msg& m : msgs) BERTHA_TRY(send(std::move(m)));
+    return ok();
+  }
+
   // Block for the next message until the deadline (timed_out) or close
   // (cancelled / unavailable when the peer went away).
   virtual Result<Msg> recv(Deadline deadline = Deadline::never()) = 0;
@@ -57,6 +67,9 @@ class PassthroughConnection : public Connection {
   explicit PassthroughConnection(ConnPtr inner) : inner_(std::move(inner)) {}
 
   Result<void> send(Msg m) override { return inner_->send(std::move(m)); }
+  Result<void> send_batch(std::span<Msg> msgs) override {
+    return inner_->send_batch(msgs);
+  }
   Result<Msg> recv(Deadline deadline) override { return inner_->recv(deadline); }
   const Addr& local_addr() const override { return inner_->local_addr(); }
   const Addr& peer_addr() const override { return inner_->peer_addr(); }

@@ -805,11 +805,29 @@ void DiscoveryServer::push_to_locked(Sub& sub,
                                        encode_event_batch(batch)));
 }
 
-void DiscoveryServer::send_to_sub_locked(Sub& sub, const Bytes& frame) {
-  if (transport_->send_to(sub.addr, frame).ok())
-    sub.send_failures = 0;
-  else
-    sub.send_failures++;
+void DiscoveryServer::send_to_sub_locked(Sub& sub, Bytes frame) {
+  Datagram d;
+  d.dst = sub.addr;
+  d.payload.assign(frame);
+  fanout_buf_.push_back(std::move(d));
+  fanout_subs_.push_back(&sub);
+}
+
+void DiscoveryServer::flush_fanout_locked() {
+  if (fanout_buf_.empty()) return;
+  // One batched send covers the whole round; datagrams [0, sent) were
+  // handed to the transport, the tail was not (batch sends stop at the
+  // first hard error).
+  auto r = send_batch(*transport_, fanout_buf_);
+  size_t sent = r.ok() ? r.value() : 0;
+  for (size_t i = 0; i < fanout_subs_.size(); i++) {
+    if (i < sent)
+      fanout_subs_[i]->send_failures = 0;
+    else
+      fanout_subs_[i]->send_failures++;
+  }
+  fanout_buf_.clear();
+  fanout_subs_.clear();
 }
 
 void DiscoveryServer::evict_dead_subs_locked() {
@@ -869,6 +887,7 @@ void DiscoveryServer::handle_subscribe(const Addr& src, uint64_t sub_id,
   // batch doubles as the subscribe ack.
   if (msg.last_seq < pruned_through_) {
     send_snapshot_locked(sub);
+    flush_fanout_locked();
     return;
   }
   sub.last_sent_seq = msg.last_seq;
@@ -889,6 +908,7 @@ void DiscoveryServer::handle_subscribe(const Addr& src, uint64_t sub_id,
     events_pushed_ += batch.events.size();
     send_to_sub_locked(sub, encode_frame(MsgKind::event_batch, sub.sub_id,
                                          encode_event_batch(batch)));
+    flush_fanout_locked();
   }
 }
 
@@ -917,6 +937,7 @@ void DiscoveryServer::push_loop() {
         send_to_sub_locked(sub, encode_frame(MsgKind::event_batch, sub.sub_id,
                                              encode_event_batch(batch)));
       }
+      flush_fanout_locked();
       evict_dead_subs_locked();
       keepalive = opts_.keepalive > Duration::zero()
                       ? Deadline::after(opts_.keepalive)
@@ -957,6 +978,7 @@ void DiscoveryServer::push_loop() {
       for (auto& [key, sub] : subs_)
         push_to_locked(sub, round, observed_through_);
     }
+    flush_fanout_locked();
     evict_dead_subs_locked();
     keepalive = opts_.keepalive > Duration::zero()
                     ? Deadline::after(opts_.keepalive)

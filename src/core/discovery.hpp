@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "core/chunnel.hpp"
+#include "io/batch.hpp"
 #include "net/transport.hpp"
 #include "trace/trace.hpp"
 #include "util/backoff.hpp"
@@ -415,8 +416,13 @@ class DiscoveryServer {
   void push_to_locked(Sub& sub, const std::vector<WatchEvent>& events,
                       uint64_t round_max_seq);
   void send_snapshot_locked(Sub& sub);
-  // Fire-and-forget push with failure accounting for eviction.
-  void send_to_sub_locked(Sub& sub, const Bytes& frame);
+  // Queues a push for `sub` into the fan-out buffer; flush_fanout_locked
+  // sends the whole round with one batched transport call (one sendmmsg
+  // on UDP) and does the failure accounting for eviction. Every path
+  // that queues must flush before releasing push_mu_ — the buffer holds
+  // raw Sub pointers that an erase would dangle.
+  void send_to_sub_locked(Sub& sub, Bytes frame);
+  void flush_fanout_locked();
   void evict_dead_subs_locked();
 
   // Bounded idempotency cache: "<client_id>#<idem_key>" -> encoded
@@ -445,6 +451,9 @@ class DiscoveryServer {
   uint64_t batches_pushed_ = 0;
   uint64_t events_pushed_ = 0;
   uint64_t snapshots_ = 0;
+  // Per-round fan-out batch (guarded by push_mu_; see send_to_sub_locked).
+  std::vector<Datagram> fanout_buf_;
+  std::vector<Sub*> fanout_subs_;
   WatcherPtr push_watch_;
   std::thread thread_;
   std::thread push_thread_;

@@ -10,6 +10,7 @@
 
 #include "core/renegotiation.hpp"
 #include "core/wire.hpp"
+#include "io/batch.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
 
@@ -161,6 +162,38 @@ class ClientChannel final : public Connection,
     if (!sent)
       return err(Errc::invalid_argument,
                  "dst " + m.dst.to_string() + " is not a peer");
+    return ok();
+  }
+
+  // Encodes the whole batch (with per-peer fan-out) and hands it to the
+  // transport in one send_batch call — one sendmmsg on UDP/UDS.
+  Result<void> send_batch(std::span<Msg> msgs) override {
+    if (msgs.empty()) return ok();
+    ClientChannelGroup::PortPtr port;
+    std::vector<Peer> peers;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return err(Errc::cancelled, "connection closed");
+      port = port_;
+      peers = peers_;
+    }
+    std::vector<Datagram> batch;
+    batch.reserve(msgs.size() * peers.size());
+    for (const Msg& m : msgs) {
+      bool matched = false;
+      for (const auto& p : peers) {
+        if (m.dst.valid() && !(m.dst == p.addr)) continue;
+        Datagram d;
+        d.dst = p.addr;
+        d.payload.assign(encode_frame(MsgKind::data, p.token, m.payload));
+        batch.push_back(std::move(d));
+        matched = true;
+      }
+      if (!matched)
+        return err(Errc::invalid_argument,
+                   "dst " + m.dst.to_string() + " is not a peer");
+    }
+    BERTHA_TRY(bertha::send_batch(*port->transport, batch));
     return ok();
   }
 
@@ -631,6 +664,8 @@ class Listener::Impl : public TransitionHost,
     std::vector<std::shared_ptr<ServerConnState>> states;
     std::vector<uint64_t> allocs;
     std::vector<std::thread> threads;
+    ReactorPtr reactor;
+    std::vector<uint64_t> reactor_ids;
     // Moved out under the lock, destroyed only after it: dropping a
     // transition record (or connection entry) here can release the last
     // reference to a connection stack whose destructor re-enters
@@ -660,7 +695,14 @@ class Listener::Impl : public TransitionHost,
       metas.swap(meta_);
       recs.swap(transitions_);
       threads.swap(demux_threads_);
+      reactor = std::move(reactor_);
+      reactor_ids.swap(reactor_ids_);
     }
+    // Unregister from the reactor first: remove() blocks until any
+    // in-flight handler invocation finishes, so no demux_datagram runs
+    // against the maps we are about to clear.
+    if (reactor)
+      for (uint64_t id : reactor_ids) reactor->remove(id);
     for (auto& t : transports) t->close();
     for (auto& th : threads)
       if (th.joinable()) th.join();
@@ -778,10 +820,34 @@ class Listener::Impl : public TransitionHost,
   void do_cutover(const std::shared_ptr<TransitionRecord>& rec);
   void rollback(const std::shared_ptr<TransitionRecord>& rec, bool declined);
   void transition_drained(uint64_t old_token, bool forced, uint64_t drained);
+  // Registers the transport with the runtime's shared reactor (batched
+  // epoll rx) or, when the reactor is disabled/unavailable, spawns the
+  // classic blocking demux thread.
   void start_demux(std::shared_ptr<Transport> t) {
+    auto self = shared_from_this();
+    if (ReactorPtr reactor = rt_->reactor()) {
+      auto id_r = reactor->add(t, [self, t](std::span<Datagram> batch) {
+        for (Datagram& d : batch)
+          self->demux_datagram(t, d.src, d.payload.view());
+      });
+      if (id_r.ok()) {
+        bool keep = false;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          if (!closing_) {
+            reactor_ = reactor;
+            reactor_ids_.push_back(id_r.value());
+            keep = true;
+          }
+        }
+        // Lost the race with close(): unregister outside the lock.
+        if (!keep) reactor->remove(id_r.value());
+        return;
+      }
+      // add() failed; fall back to a dedicated thread below.
+    }
     std::lock_guard<std::mutex> lk(mu_);
     if (closing_) return;
-    auto self = shared_from_this();
     demux_threads_.emplace_back([self, t] { self->demux_loop(t); });
   }
 
@@ -790,83 +856,89 @@ class Listener::Impl : public TransitionHost,
       auto pkt_r = transport->recv();
       if (!pkt_r.ok()) return;  // closed
       Packet& pkt = pkt_r.value();
+      demux_datagram(transport, pkt.src, pkt.payload);
+    }
+  }
 
-      auto frame_r = decode_frame(pkt.payload);
-      if (!frame_r.ok()) {
-        BLOG(debug, "listener") << "dropping malformed datagram from "
-                                << pkt.src.to_string();
-        continue;
+  // One datagram's worth of demux work, shared by the reactor handler
+  // and the fallback thread loop.
+  void demux_datagram(const std::shared_ptr<Transport>& transport,
+                      const Addr& src, BytesView payload) {
+    auto frame_r = decode_frame(payload);
+    if (!frame_r.ok()) {
+      BLOG(debug, "listener") << "dropping malformed datagram from "
+                              << src.to_string();
+      return;
+    }
+    const Frame& f = frame_r.value();
+
+    switch (f.kind) {
+      case MsgKind::hello:
+        handle_hello(transport, src, f.payload);
+        break;
+      case MsgKind::data: {
+        std::shared_ptr<ServerConnState> st;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = conns_.find(f.token);
+          if (it != conns_.end()) st = it->second;
+        }
+        if (!st) break;  // unknown token: connection gone
+        st->set_reply_path(transport, src);
+        Packet data;
+        data.src = src;
+        data.payload.assign(f.payload.begin(), f.payload.end());
+        (void)st->incoming.push(std::move(data));
+        break;
       }
-      const Frame& f = frame_r.value();
-
-      switch (f.kind) {
-        case MsgKind::hello:
-          handle_hello(transport, pkt.src, f.payload);
-          break;
-        case MsgKind::data: {
-          std::shared_ptr<ServerConnState> st;
-          {
-            std::lock_guard<std::mutex> lk(mu_);
-            auto it = conns_.find(f.token);
-            if (it != conns_.end()) st = it->second;
+      case MsgKind::close: {
+        std::shared_ptr<TransitionRecord> rec;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = transitions_.find(f.token);
+          if (it != transitions_.end()) rec = it->second;
+        }
+        if (!rec) {
+          // A fin stamped with a future epoch belonged to a transition
+          // that no longer exists (the offer was rolled back and the
+          // client told to revert): ignore it instead of tearing down
+          // the reverted connection.
+          if (!f.payload.empty()) {
+            auto fin = decode_transition_cancel(f.payload);
+            bool stale = false;
+            if (fin.ok()) {
+              std::lock_guard<std::mutex> lk(mu_);
+              auto mit = meta_.find(f.token);
+              stale =
+                  mit != meta_.end() && fin.value().epoch > mit->second.epoch;
+            }
+            if (stale) break;
           }
-          if (!st) break;  // unknown token: connection gone
-          st->set_reply_path(transport, pkt.src);
-          Packet data;
-          data.src = pkt.src;
-          data.payload.assign(f.payload.begin(), f.payload.end());
-          (void)st->incoming.push(std::move(data));
+          connection_closed(f.token);
           break;
         }
-        case MsgKind::close: {
-          std::shared_ptr<TransitionRecord> rec;
-          {
-            std::lock_guard<std::mutex> lk(mu_);
-            auto it = transitions_.find(f.token);
-            if (it != transitions_.end()) rec = it->second;
-          }
-          if (!rec) {
-            // A fin stamped with a future epoch belonged to a transition
-            // that no longer exists (the offer was rolled back and the
-            // client told to revert): ignore it instead of tearing down
-            // the reverted connection.
-            if (!f.payload.empty()) {
-              auto fin = decode_transition_cancel(f.payload);
-              bool stale = false;
-              if (fin.ok()) {
-                std::lock_guard<std::mutex> lk(mu_);
-                auto mit = meta_.find(f.token);
-                stale =
-                    mit != meta_.end() && fin.value().epoch > mit->second.epoch;
-              }
-              if (stale) break;
-            }
-            connection_closed(f.token);
-            break;
-          }
-          if (f.token == rec->old_token) {
-            // Client fin for the pre-transition epoch: per-path FIFO means
-            // everything the client sent on the old token is already in
-            // the queue, so closing it lets the drain finish naturally.
-            std::lock_guard<std::mutex> lk(mu_);
-            if (rec->phase == TransitionRecord::Phase::draining) {
-              rec->old_st->incoming.close();
-            } else {
-              rec->old_fin_seen = true;  // applied at cutover
-            }
+        if (f.token == rec->old_token) {
+          // Client fin for the pre-transition epoch: per-path FIFO means
+          // everything the client sent on the old token is already in
+          // the queue, so closing it lets the drain finish naturally.
+          std::lock_guard<std::mutex> lk(mu_);
+          if (rec->phase == TransitionRecord::Phase::draining) {
+            rec->old_st->incoming.close();
           } else {
-            // Close on the new token while the transition is pending:
-            // the client abandoned the new epoch.
-            rollback(rec, /*declined=*/false);
+            rec->old_fin_seen = true;  // applied at cutover
           }
-          break;
+        } else {
+          // Close on the new token while the transition is pending:
+          // the client abandoned the new epoch.
+          rollback(rec, /*declined=*/false);
         }
-        case MsgKind::transition_ack:
-          handle_transition_ack(transport, pkt.src, f.token, f.payload);
-          break;
-        default:
-          break;  // accept/reject/discovery are not for a listener
+        break;
       }
+      case MsgKind::transition_ack:
+        handle_transition_ack(transport, src, f.token, f.payload);
+        break;
+      default:
+        break;  // accept/reject/discovery are not for a listener
     }
   }
 
@@ -886,6 +958,9 @@ class Listener::Impl : public TransitionHost,
   std::atomic<uint64_t> next_token_{1};
   std::vector<std::shared_ptr<Transport>> transports_;
   std::vector<std::thread> demux_threads_;
+  // Reactor registrations (when the runtime's reactor demuxes for us).
+  ReactorPtr reactor_;
+  std::vector<uint64_t> reactor_ids_;
   std::map<std::string, ChunnelArgs> advertisements_;
   std::unordered_map<uint64_t, std::shared_ptr<ServerConnState>> conns_;
   std::unordered_map<uint64_t, ConnMeta> meta_;
@@ -927,6 +1002,26 @@ class ServerConnection final : public Connection {
     if (!t) return err(Errc::unavailable, "no reply path yet");
     Bytes frame = encode_frame(MsgKind::data, st_->token, m.payload);
     return t->send_to(dst, frame);
+  }
+
+  Result<void> send_batch(std::span<Msg> msgs) override {
+    if (msgs.empty()) return ok();
+    std::shared_ptr<Transport> t;
+    Addr dst;
+    {
+      std::lock_guard<std::mutex> lk(st_->reply_mu);
+      t = st_->reply_transport;
+      dst = st_->reply_addr;
+    }
+    if (!t) return err(Errc::unavailable, "no reply path yet");
+    std::vector<Datagram> batch(msgs.size());
+    for (size_t i = 0; i < msgs.size(); i++) {
+      batch[i].dst = dst;
+      batch[i].payload.assign(
+          encode_frame(MsgKind::data, st_->token, msgs[i].payload));
+    }
+    BERTHA_TRY(bertha::send_batch(*t, batch));
+    return ok();
   }
 
   Result<Msg> recv(Deadline deadline) override {
@@ -1830,26 +1925,38 @@ namespace {
 // context so nested hops chain parent -> child down the stack.
 class HopTraceConnection final : public Connection {
  public:
-  HopTraceConnection(ConnPtr inner, TracerPtr tracer, std::string hop)
+  HopTraceConnection(ConnPtr inner, TracerPtr tracer, std::string hop,
+                     HopLatencyStats::CellPtr cell)
       : inner_(std::move(inner)),
         tracer_(std::move(tracer)),
+        cell_(std::move(cell)),
         send_name_("hop.send:" + hop),
         recv_name_("hop.recv:" + hop) {}
 
   Result<void> send(Msg m) override {
-    TraceContext ctx = current_trace_context();
-    if (!ctx.valid()) return inner_->send(std::move(m));
-    Span span = tracer_->span(send_name_, ctx);
-    SpanScope scope(span);
-    return inner_->send(std::move(m));
+    if (!cell_) return send_spanned(std::move(m));
+    Stopwatch sw;
+    auto r = send_spanned(std::move(m));
+    cell_->send_ns.record(elapsed_ns(sw));
+    return r;
+  }
+
+  Result<void> send_batch(std::span<Msg> msgs) override {
+    // One span / one histogram sample for the whole batch: per-datagram
+    // timing inside a batched send is meaningless (the syscall is shared).
+    if (!cell_) return send_batch_spanned(msgs);
+    Stopwatch sw;
+    auto r = send_batch_spanned(msgs);
+    cell_->send_ns.record(elapsed_ns(sw));
+    return r;
   }
 
   Result<Msg> recv(Deadline deadline) override {
-    TraceContext ctx = current_trace_context();
-    if (!ctx.valid()) return inner_->recv(deadline);
-    Span span = tracer_->span(recv_name_, ctx);
-    SpanScope scope(span);
-    return inner_->recv(deadline);
+    if (!cell_) return recv_spanned(deadline);
+    Stopwatch sw;
+    auto r = recv_spanned(deadline);
+    cell_->recv_ns.record(elapsed_ns(sw));
+    return r;
   }
 
   const Addr& local_addr() const override { return inner_->local_addr(); }
@@ -1857,8 +1964,37 @@ class HopTraceConnection final : public Connection {
   void close() override { inner_->close(); }
 
  private:
+  Result<void> send_spanned(Msg m) {
+    TraceContext ctx = current_trace_context();
+    if (!ctx.valid()) return inner_->send(std::move(m));
+    Span span = tracer_->span(send_name_, ctx);
+    SpanScope scope(span);
+    return inner_->send(std::move(m));
+  }
+
+  Result<void> send_batch_spanned(std::span<Msg> msgs) {
+    TraceContext ctx = current_trace_context();
+    if (!ctx.valid()) return inner_->send_batch(msgs);
+    Span span = tracer_->span(send_name_, ctx);
+    SpanScope scope(span);
+    return inner_->send_batch(msgs);
+  }
+
+  Result<Msg> recv_spanned(Deadline deadline) {
+    TraceContext ctx = current_trace_context();
+    if (!ctx.valid()) return inner_->recv(deadline);
+    Span span = tracer_->span(recv_name_, ctx);
+    SpanScope scope(span);
+    return inner_->recv(deadline);
+  }
+
+  static uint64_t elapsed_ns(const Stopwatch& sw) {
+    return static_cast<uint64_t>(sw.elapsed().count());  // Duration is ns
+  }
+
   ConnPtr inner_;
   TracerPtr tracer_;
+  HopLatencyStats::CellPtr cell_;  // null: spans only, no histograms
   std::string send_name_;
   std::string recv_name_;
 };
@@ -1877,6 +2013,17 @@ class PathTraceConnection final : public Connection {
     span.tag_u64("bytes", m.payload.size());
     SpanScope scope(span);
     return inner_->send(std::move(m));
+  }
+
+  Result<void> send_batch(std::span<Msg> msgs) override {
+    if (!tracer_->sample_path()) return inner_->send_batch(msgs);
+    Span span = tracer_->span("path.send", current_trace_context());
+    size_t bytes = 0;
+    for (const Msg& m : msgs) bytes += m.payload.size();
+    span.tag_u64("bytes", bytes);
+    span.tag_u64("batch", msgs.size());
+    SpanScope scope(span);
+    return inner_->send_batch(msgs);
   }
 
   Result<Msg> recv(Deadline deadline) override {
@@ -1899,9 +2046,11 @@ class PathTraceConnection final : public Connection {
 
 }  // namespace
 
-ConnPtr wrap_hop_trace(ConnPtr inner, TracerPtr tracer, std::string hop_name) {
+ConnPtr wrap_hop_trace(ConnPtr inner, TracerPtr tracer, std::string hop_name,
+                       HopLatencyStats::CellPtr cell) {
   return ConnPtr(std::make_shared<HopTraceConnection>(
-      std::move(inner), std::move(tracer), std::move(hop_name)));
+      std::move(inner), std::move(tracer), std::move(hop_name),
+      std::move(cell)));
 }
 
 ConnPtr wrap_path_trace(ConnPtr inner, TracerPtr tracer) {
@@ -1930,9 +2079,12 @@ Result<ConnPtr> build_stack(Runtime& rt,
     BERTHA_TRY_ASSIGN(wrapped, impl_r.value()->wrap(std::move(conn), ctx));
     conn = std::move(wrapped);
     // Per-hop timing wrapper: each chunnel becomes a child span of the
-    // message's path span. Inserted only when tracing is on at build
+    // message's path span, and every message (sampled or not) feeds the
+    // streaming hop histograms. Inserted only when tracing is on at build
     // time, so a disabled tracer adds zero indirection to the data path.
-    if (tracing) conn = wrap_hop_trace(std::move(conn), tracer, it->impl_name);
+    if (tracing)
+      conn = wrap_hop_trace(std::move(conn), tracer, it->impl_name,
+                            rt.hop_stats()->cell(it->impl_name));
   }
   if (tracing && !chain.empty()) conn = wrap_path_trace(std::move(conn), tracer);
   return conn;

@@ -92,8 +92,11 @@ Result<ConnPtr> build_stack(Runtime& rt,
 // sampled path.send / path.recv span and installs its context as the
 // thread's ambient context; each hop wrapper then records a child span
 // for its layer iff an ambient context is active. Exposed for the
-// tracing micro-benchmarks.
-ConnPtr wrap_hop_trace(ConnPtr inner, TracerPtr tracer, std::string hop_name);
+// tracing micro-benchmarks. When a HopLatencyStats cell is supplied the
+// hop wrapper additionally records every message's latency into the
+// lock-free streaming histograms (trace/hop_stats.hpp).
+ConnPtr wrap_hop_trace(ConnPtr inner, TracerPtr tracer, std::string hop_name,
+                       HopLatencyStats::CellPtr cell = nullptr);
 ConnPtr wrap_path_trace(ConnPtr inner, TracerPtr tracer);
 
 }  // namespace bertha

@@ -6,6 +6,7 @@
 
 #include "chunnels/telemetry.hpp"
 #include "core/endpoint.hpp"
+#include "io/buffer_pool.hpp"
 
 namespace bertha {
 
@@ -56,12 +57,41 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
   attach_transition_stats_provider(*rt->cfg_.metrics,
                                    rt->transitions_->stats_sink());
   attach_tracer_provider(*rt->cfg_.metrics, rt->cfg_.tracer);
+  attach_hop_stats_provider(*rt->cfg_.metrics, rt->hop_stats_);
+  attach_buffer_pool_provider(*rt->cfg_.metrics);
   return rt;
 }
 
+ReactorPtr Runtime::reactor() {
+  std::lock_guard<std::mutex> lk(reactor_mu_);
+  if (!cfg_.io.use_reactor || reactor_failed_) return nullptr;
+  if (!reactor_) {
+    Reactor::Options opts;
+    opts.workers = cfg_.io.reactor_workers;
+    opts.batch_size = cfg_.io.rx_batch;
+    opts.metrics = cfg_.metrics;
+    auto r = Reactor::create(opts);
+    if (!r.ok()) {
+      reactor_failed_ = true;  // callers fall back to demux threads
+      return nullptr;
+    }
+    reactor_ = std::move(r).value();
+  }
+  return reactor_;
+}
+
 // Out of line: stop the controller's watch/sweep thread before cfg_
-// (and with it the discovery handle) is torn down.
-Runtime::~Runtime() { transitions_->stop(); }
+// (and with it the discovery handle) is torn down; then stop the
+// reactor so no handler runs against a dying runtime.
+Runtime::~Runtime() {
+  transitions_->stop();
+  ReactorPtr reactor;
+  {
+    std::lock_guard<std::mutex> lk(reactor_mu_);
+    reactor = std::move(reactor_);
+  }
+  if (reactor) reactor->shutdown();
+}
 
 Result<void> Runtime::register_chunnel(ChunnelImplPtr impl) {
   // Telemetry chunnels export their per-label counters through the

@@ -23,13 +23,24 @@
 #include "core/optimizer.hpp"
 #include "core/policy.hpp"
 #include "core/renegotiation.hpp"
+#include "io/reactor.hpp"
 #include "net/transport.hpp"
+#include "trace/hop_stats.hpp"
 #include "trace/metrics.hpp"
 #include "trace/trace.hpp"
 
 namespace bertha {
 
 class Endpoint;
+
+// Datapath I/O runtime knobs (src/io/). Listeners demux through a
+// shared epoll reactor instead of one blocking thread per transport;
+// disable to fall back to the thread-per-transport rx path.
+struct IoOptions {
+  bool use_reactor = true;
+  int reactor_workers = 2;
+  size_t rx_batch = 32;  // datagrams per recv_batch / handler call
+};
 
 struct RuntimeConfig {
   // Identity used for scope decisions (host-local fast paths) and, by
@@ -83,6 +94,9 @@ struct RuntimeConfig {
   // registry; create() attaches providers exposing fault_stats and the
   // transition controller's stats so one snapshot covers the runtime.
   MetricsPtr metrics;
+
+  // Batched I/O runtime (src/io/).
+  IoOptions io;
 };
 
 class Runtime : public std::enable_shared_from_this<Runtime> {
@@ -120,17 +134,32 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
   const TracerPtr& tracer() const { return cfg_.tracer; }
   const MetricsPtr& metrics() const { return cfg_.metrics; }
 
+  // Shared rx reactor (src/io/), created lazily by the first listener.
+  // Null when IoOptions.use_reactor is false or creation failed (callers
+  // then fall back to thread-per-transport demux).
+  ReactorPtr reactor();
+
+  // Per-hop streaming latency histograms, recorded by every traced
+  // connection stack (see trace/hop_stats.hpp). Never null.
+  const HopStatsPtr& hop_stats() const { return hop_stats_; }
+
   ~Runtime();
 
  private:
   explicit Runtime(RuntimeConfig cfg)
       : cfg_(std::move(cfg)),
         transitions_(std::make_unique<TransitionController>(
-            cfg_.transition_tuning, cfg_.tracer)) {}
+            cfg_.transition_tuning, cfg_.tracer)),
+        hop_stats_(std::make_shared<HopLatencyStats>()) {}
 
   RuntimeConfig cfg_;
   Registry registry_;
   std::unique_ptr<TransitionController> transitions_;
+  HopStatsPtr hop_stats_;
+
+  std::mutex reactor_mu_;
+  ReactorPtr reactor_;        // guarded by reactor_mu_
+  bool reactor_failed_ = false;
 };
 
 // Returns a process-unique random identifier (hex).

@@ -1,0 +1,36 @@
+#include "io/batch.hpp"
+
+namespace bertha {
+
+Result<size_t> send_batch(Transport& t, std::span<const Datagram> batch) {
+  if (auto* b = as_batch(&t)) return b->send_batch(batch);
+  size_t sent = 0;
+  for (const Datagram& d : batch) {
+    BERTHA_TRY(t.send_to(d.dst, d.payload.view()));
+    sent++;
+  }
+  return sent;
+}
+
+Result<size_t> recv_batch(Transport& t, std::span<Datagram> out,
+                          Deadline deadline) {
+  if (out.empty()) return size_t(0);
+  if (auto* b = as_batch(&t)) return b->recv_batch(out, deadline);
+  // Adapter: one (possibly blocking) receive, then drain whatever is
+  // already queued with expired deadlines — on both poll-based and
+  // queue-based transports that behaves as a non-blocking try.
+  BERTHA_TRY_ASSIGN(first, t.recv(deadline));
+  out[0].src = std::move(first.src);
+  out[0].payload.assign(first.payload);
+  size_t n = 1;
+  while (n < out.size()) {
+    auto more = t.recv(Deadline::after(Duration::zero()));
+    if (!more.ok()) break;  // timed_out: drained; cancelled: next call sees it
+    out[n].src = std::move(more.value().src);
+    out[n].payload.assign(more.value().payload);
+    n++;
+  }
+  return n;
+}
+
+}  // namespace bertha

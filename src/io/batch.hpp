@@ -1,0 +1,58 @@
+// Batched datagram I/O: the syscall-amortization layer under the
+// chunnel stack.
+//
+// BatchTransport is an extension interface a Transport may additionally
+// implement (UDP/UDS via sendmmsg/recvmmsg, mem/sim via single-lock bulk
+// dequeue). The free functions send_batch()/recv_batch() dispatch to the
+// native implementation when present and otherwise adapt the plain
+// Transport API, so every transport — including decorators that know
+// nothing about batching — works through one call site.
+#pragma once
+
+#include <span>
+
+#include "io/buffer_pool.hpp"
+#include "net/transport.hpp"
+
+namespace bertha {
+
+// One datagram in a batch. `src` is filled on receive, `dst` consulted
+// on send. Payloads live in pooled buffers so a reused Datagram array
+// makes the steady-state rx path allocation-free.
+struct Datagram {
+  Addr src;
+  Addr dst;
+  PooledBytes payload;
+};
+
+class BatchTransport {
+ public:
+  virtual ~BatchTransport() = default;
+
+  // Sends every datagram; returns how many were handed to the network.
+  // Like Transport::send_to, transient network-side pressure counts as a
+  // silent drop (still "sent"); errors are local problems only, and a
+  // local error may abort the batch partway (the count says where).
+  virtual Result<size_t> send_batch(std::span<const Datagram> batch) = 0;
+
+  // Blocks until at least one datagram arrives (or deadline/close), then
+  // fills as many slots of `out` as are immediately available. Returns
+  // the number filled. An already-expired deadline acts as a
+  // non-blocking poll.
+  virtual Result<size_t> recv_batch(std::span<Datagram> out,
+                                    Deadline deadline = Deadline::never()) = 0;
+};
+
+// The native batch interface of `t`, or nullptr if it has none.
+inline BatchTransport* as_batch(Transport* t) {
+  return dynamic_cast<BatchTransport*>(t);
+}
+
+// Batched send/recv over any Transport: native when implemented,
+// adapted (send_to loop / recv-then-drain with payload copies into the
+// pooled slots) when not.
+Result<size_t> send_batch(Transport& t, std::span<const Datagram> batch);
+Result<size_t> recv_batch(Transport& t, std::span<Datagram> out,
+                          Deadline deadline = Deadline::never());
+
+}  // namespace bertha

@@ -1,0 +1,225 @@
+#include "io/buffer_pool.hpp"
+
+#include <cstdlib>
+
+#include "trace/metrics.hpp"
+
+namespace bertha {
+
+namespace {
+
+// Class index for a capacity, or -1 when it exceeds the largest class.
+int class_for(size_t n) {
+  size_t cap = size_t(1) << BufferPool::kMinClassShift;
+  for (size_t c = 0; c < BufferPool::kClasses; c++, cap <<= 1)
+    if (n <= cap) return static_cast<int>(c);
+  return -1;
+}
+
+size_t class_bytes(int cls) {
+  return size_t(1) << (BufferPool::kMinClassShift + static_cast<size_t>(cls));
+}
+
+}  // namespace
+
+struct PoolCore {
+  BufferPool::Options opts;
+
+  std::mutex mu;
+  std::array<std::vector<uint8_t*>, BufferPool::kClasses> shared;  // mu
+
+  std::atomic<uint64_t> acquires{0};
+  std::atomic<uint64_t> thread_hits{0};
+  std::atomic<uint64_t> shared_hits{0};
+  std::atomic<uint64_t> fresh{0};
+  std::atomic<uint64_t> oversize{0};
+  std::atomic<uint64_t> trimmed{0};
+
+  ~PoolCore() {
+    for (auto& list : shared)
+      for (uint8_t* b : list) std::free(b);
+  }
+
+  uint8_t* take(int cls) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      auto& list = shared[static_cast<size_t>(cls)];
+      if (!list.empty()) {
+        uint8_t* b = list.back();
+        list.pop_back();
+        shared_hits.fetch_add(1, std::memory_order_relaxed);
+        return b;
+      }
+    }
+    fresh.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<uint8_t*>(std::malloc(class_bytes(cls)));
+  }
+
+  void give(int cls, uint8_t* block) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      auto& list = shared[static_cast<size_t>(cls)];
+      if (list.size() < opts.max_per_class) {
+        list.push_back(block);
+        return;
+      }
+    }
+    trimmed.fetch_add(1, std::memory_order_relaxed);
+    std::free(block);
+  }
+};
+
+namespace {
+
+// Per-thread free lists, one entry per pool the thread has touched.
+// Entries pin their core with a shared_ptr, so a thread outliving a pool
+// flushes into a still-valid core.
+struct ThreadCache {
+  struct Entry {
+    std::shared_ptr<PoolCore> core;
+    std::array<std::vector<uint8_t*>, BufferPool::kClasses> free;
+  };
+  std::vector<Entry> entries;
+
+  Entry& entry_for(const std::shared_ptr<PoolCore>& core) {
+    for (auto& e : entries)
+      if (e.core.get() == core.get()) return e;
+    entries.push_back(Entry{core, {}});
+    return entries.back();
+  }
+
+  ~ThreadCache() {
+    for (auto& e : entries)
+      for (size_t c = 0; c < e.free.size(); c++)
+        for (uint8_t* b : e.free[c]) e.core->give(static_cast<int>(c), b);
+  }
+};
+
+ThreadCache& thread_cache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+uint8_t* acquire_block(const std::shared_ptr<PoolCore>& core, int cls) {
+  auto& e = thread_cache().entry_for(core);
+  auto& list = e.free[static_cast<size_t>(cls)];
+  if (!list.empty()) {
+    uint8_t* b = list.back();
+    list.pop_back();
+    core->thread_hits.fetch_add(1, std::memory_order_relaxed);
+    return b;
+  }
+  return core->take(cls);
+}
+
+void release_block(const std::shared_ptr<PoolCore>& core, int cls,
+                   uint8_t* block) {
+  auto& e = thread_cache().entry_for(core);
+  auto& list = e.free[static_cast<size_t>(cls)];
+  if (list.size() < core->opts.thread_cache_per_class) {
+    list.push_back(block);
+    return;
+  }
+  core->give(cls, block);
+}
+
+}  // namespace
+
+void PooledBytes::resize(size_t n) {
+  if (n <= cap_) {
+    size_ = n;
+    return;
+  }
+  // Grow through the handle's pool; a detached handle adopts the default
+  // pool so transports can fill default-constructed Datagram slots.
+  std::shared_ptr<PoolCore> core =
+      core_ ? core_ : BufferPool::default_pool().core_;
+  PooledBytes grown;
+  grown.core_ = core;
+  int cls = class_for(n);
+  core->acquires.fetch_add(1, std::memory_order_relaxed);
+  if (cls >= 0) {
+    grown.data_ = acquire_block(core, cls);
+    grown.cap_ = class_bytes(cls);
+  } else {
+    core->oversize.fetch_add(1, std::memory_order_relaxed);
+    grown.data_ = static_cast<uint8_t*>(std::malloc(n));
+    grown.cap_ = n;
+  }
+  grown.cls_ = cls;
+  if (size_ > 0) std::memcpy(grown.data_, data_, size_);
+  grown.size_ = n;
+  *this = std::move(grown);
+}
+
+void PooledBytes::reset() {
+  if (!data_) {
+    core_.reset();
+    return;
+  }
+  if (cls_ >= 0 && core_) {
+    release_block(core_, cls_, data_);
+  } else {
+    std::free(data_);
+  }
+  core_.reset();
+  data_ = nullptr;
+  size_ = cap_ = 0;
+  cls_ = -1;
+}
+
+BufferPool::BufferPool() : BufferPool(Options{}) {}
+
+BufferPool::BufferPool(Options opts) : core_(std::make_shared<PoolCore>()) {
+  core_->opts = opts;
+}
+
+BufferPool::~BufferPool() = default;
+
+PooledBytes BufferPool::acquire(size_t min_cap) {
+  PooledBytes b;
+  b.core_ = core_;
+  int cls = class_for(min_cap);
+  core_->acquires.fetch_add(1, std::memory_order_relaxed);
+  if (cls >= 0) {
+    b.data_ = acquire_block(core_, cls);
+    b.cap_ = class_bytes(cls);
+  } else {
+    core_->oversize.fetch_add(1, std::memory_order_relaxed);
+    b.data_ = static_cast<uint8_t*>(std::malloc(min_cap));
+    b.cap_ = min_cap;
+  }
+  b.cls_ = cls;
+  b.size_ = min_cap;
+  return b;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.acquires = core_->acquires.load(std::memory_order_relaxed);
+  s.thread_hits = core_->thread_hits.load(std::memory_order_relaxed);
+  s.shared_hits = core_->shared_hits.load(std::memory_order_relaxed);
+  s.fresh = core_->fresh.load(std::memory_order_relaxed);
+  s.oversize = core_->oversize.load(std::memory_order_relaxed);
+  s.trimmed = core_->trimmed.load(std::memory_order_relaxed);
+  return s;
+}
+
+BufferPool& BufferPool::default_pool() {
+  static BufferPool* pool = new BufferPool();  // leaked: see header
+  return *pool;
+}
+
+void attach_buffer_pool_provider(MetricsRegistry& m) {
+  m.attach_provider("io.pool", [](MetricsRegistry::Snapshot& snap) {
+    BufferPool::Stats s = BufferPool::default_pool().stats();
+    snap.counters["io.pool.acquires"] += s.acquires;
+    snap.counters["io.pool.thread_hits"] += s.thread_hits;
+    snap.counters["io.pool.shared_hits"] += s.shared_hits;
+    snap.counters["io.pool.fresh"] += s.fresh;
+    snap.counters["io.pool.oversize"] += s.oversize;
+    snap.counters["io.pool.trimmed"] += s.trimmed;
+  });
+}
+
+}  // namespace bertha

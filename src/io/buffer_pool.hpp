@@ -1,0 +1,143 @@
+// BufferPool: size-classed datagram buffers with thread-cached free
+// lists, so the steady-state rx path recycles storage instead of
+// allocating per packet.
+//
+// PooledBytes is the RAII handle. Unlike std::vector it does NOT
+// zero-fill on resize: recvmmsg overwrites the buffer anyway, and
+// zeroing 64 KiB per small packet dominates latency (the same reason
+// udp.cpp kept a thread_local scratch vector). Growing may leave the
+// new tail uninitialized — callers resize to a capacity, let the kernel
+// (or an assign) fill it, then resize down to the produced length.
+//
+// Lifetime: buffers and thread caches hold a shared_ptr to the pool
+// core, so returning a buffer after its pool was destroyed (or from a
+// thread that outlives it) is safe — the block is recycled or freed
+// against the still-alive core.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace bertha {
+
+class MetricsRegistry;
+class BufferPool;
+
+class PooledBytes {
+ public:
+  PooledBytes() = default;
+  ~PooledBytes() { reset(); }
+  PooledBytes(PooledBytes&& o) noexcept { move_from(o); }
+  PooledBytes& operator=(PooledBytes&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return cap_; }
+  bool empty() const { return size_ == 0; }
+
+  // Grows capacity through the pool when needed; bytes past the old size
+  // are UNINITIALIZED (existing content is preserved). Shrinking keeps
+  // the block.
+  void resize(size_t n);
+  void clear() { size_ = 0; }
+
+  void assign(BytesView b) {
+    resize(b.size());
+    if (!b.empty()) std::memcpy(data_, b.data(), b.size());
+  }
+
+  BytesView view() const { return BytesView(data_, size_); }
+  operator BytesView() const { return view(); }
+  Bytes to_bytes() const { return Bytes(data_, data_ + size_); }
+
+  // Returns the block to its pool and empties the handle. Idempotent.
+  void reset();
+
+ private:
+  friend class BufferPool;
+
+  void move_from(PooledBytes& o) {
+    core_ = std::move(o.core_);
+    data_ = o.data_;
+    size_ = o.size_;
+    cap_ = o.cap_;
+    cls_ = o.cls_;
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+    o.cls_ = -1;
+  }
+
+  std::shared_ptr<struct PoolCore> core_;
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+  int cls_ = -1;  // size class; -1 for oversize (plain malloc) blocks
+};
+
+class BufferPool {
+ public:
+  struct Options {
+    // Blocks kept per class in the shared free list; overflow is freed.
+    size_t max_per_class = 256;
+    // Blocks kept per class in each thread's private cache before
+    // spilling to the shared list.
+    size_t thread_cache_per_class = 8;
+  };
+
+  // Size classes are powers of two, 256 B .. 64 KiB (>= kMaxDatagram).
+  static constexpr size_t kMinClassShift = 8;
+  static constexpr size_t kClasses = 9;
+  static constexpr size_t kMaxClassBytes = 1ull << (kMinClassShift + kClasses - 1);
+
+  struct Stats {
+    uint64_t acquires = 0;     // total blocks handed out
+    uint64_t thread_hits = 0;  // served from the caller's thread cache
+    uint64_t shared_hits = 0;  // served from the shared free list
+    uint64_t fresh = 0;        // served by a new allocation
+    uint64_t oversize = 0;     // > kMaxClassBytes, never cached
+    uint64_t trimmed = 0;      // returns freed because both lists were full
+  };
+
+  BufferPool();  // default Options
+  explicit BufferPool(Options opts);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // A buffer with capacity >= min_cap and size() == min_cap (content
+  // uninitialized). Requests above kMaxClassBytes fall back to plain
+  // allocation (still returned through the handle, never cached).
+  PooledBytes acquire(size_t min_cap);
+
+  Stats stats() const;
+
+  // Process-wide pool used by transports' rx paths and by PooledBytes
+  // growth when a handle has no pool yet. Leaked on purpose: thread
+  // caches and in-flight buffers may drain into it during program exit.
+  static BufferPool& default_pool();
+
+ private:
+  friend class PooledBytes;
+  std::shared_ptr<PoolCore> core_;
+};
+
+// Folds the default pool's counters into the snapshot as io.pool.*.
+void attach_buffer_pool_provider(MetricsRegistry& m);
+
+}  // namespace bertha

@@ -147,6 +147,102 @@ Result<Packet> FaultInjectingTransport::recv(Deadline deadline) {
   }
 }
 
+Result<size_t> FaultInjectingTransport::send_batch(
+    std::span<const Datagram> batch) {
+  // Per-datagram on purpose: each send draws its own fault decisions, so
+  // a batched sender is chaos-tested exactly like an unbatched one.
+  size_t sent = 0;
+  for (const Datagram& d : batch) {
+    BERTHA_TRY(send_to(d.dst, d.payload.view()));
+    sent++;
+  }
+  return sent;
+}
+
+Result<size_t> FaultInjectingTransport::recv_batch(std::span<Datagram> out,
+                                                   Deadline deadline) {
+  if (out.empty()) return size_t(0);
+  for (;;) {
+    size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      while (n < out.size() && !rx_pending_.empty()) {
+        out[n].src = std::move(rx_pending_.front().src);
+        out[n].payload.assign(rx_pending_.front().payload);
+        rx_pending_.pop_front();
+        n_.received++;
+        n++;
+      }
+    }
+    if (n > 0) return n;
+
+    // Pull a fresh batch from the inner transport and run every datagram
+    // through the same fault pipeline recv() applies.
+    std::vector<Datagram> fresh(out.size());
+    auto r = bertha::recv_batch(*inner_, std::span<Datagram>(fresh), deadline);
+    if (!r.ok()) {
+      // Don't strand a held (reordered) packet behind a quiet link.
+      std::lock_guard<std::mutex> lk(mu_);
+      if (rx_held_) {
+        out[0].src = std::move(rx_held_->src);
+        out[0].payload.assign(rx_held_->payload);
+        rx_held_.reset();
+        n_.received++;
+        return size_t(1);
+      }
+      return r.error();
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < r.value(); i++) {
+      Datagram& d = fresh[i];
+      if (recv_filter_ && recv_filter_(d.src, d.payload.view())) {
+        n_.rx_dropped++;
+        continue;
+      }
+      if (rx_partitioned_ || rng_.chance(opts_.drop)) {
+        n_.rx_dropped++;
+        continue;
+      }
+      auto to_packet = [&d] {
+        Packet p;
+        p.src = d.src;
+        p.payload = d.payload.to_bytes();
+        return p;
+      };
+      if (rng_.chance(opts_.duplicate)) {
+        n_.rx_duplicated++;
+        rx_pending_.push_back(to_packet());
+      }
+      if (!rx_held_ && rng_.chance(opts_.reorder)) {
+        n_.rx_reordered++;
+        rx_held_ = to_packet();
+        continue;
+      }
+      auto deliver = [&](Packet p) {
+        if (n < out.size()) {
+          out[n].src = std::move(p.src);
+          out[n].payload.assign(p.payload);
+          n_.received++;
+          n++;
+        } else {
+          rx_pending_.push_back(std::move(p));
+        }
+      };
+      // Matches recv(): the current datagram goes out first, then the
+      // held one — that inversion is what "reorder" means.
+      std::optional<Packet> held;
+      if (rx_held_) {
+        held = std::move(*rx_held_);
+        rx_held_.reset();
+      }
+      deliver(to_packet());
+      if (held) deliver(std::move(*held));
+    }
+    if (n > 0) return n;
+    // Every datagram in the pull was dropped/held; wait for more.
+  }
+}
+
 void FaultInjectingTransport::close() {
   {
     std::lock_guard<std::mutex> lk(mu_);

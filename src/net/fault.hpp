@@ -17,13 +17,15 @@
 #include <thread>
 #include <vector>
 
+#include "io/batch.hpp"
 #include "net/transport.hpp"
 #include "util/clock.hpp"
 #include "util/rand.hpp"
 
 namespace bertha {
 
-class FaultInjectingTransport final : public Transport {
+class FaultInjectingTransport final : public Transport,
+                                      public BatchTransport {
  public:
   struct Options {
     double drop = 0.0;       // per-datagram drop probability
@@ -58,6 +60,15 @@ class FaultInjectingTransport final : public Transport {
   Result<Packet> recv(Deadline deadline = Deadline::never()) override;
   const Addr& local_addr() const override { return inner_->local_addr(); }
   void close() override;
+
+  // Batch passthrough: faults apply per-datagram inside the batch, with
+  // the same seeded decision stream as the unbatched path. poll_fd()
+  // stays -1 on purpose — held/pending packets mean fd readiness would
+  // lie, so reactor users of a faulted transport take the pull-thread
+  // fallback.
+  Result<size_t> send_batch(std::span<const Datagram> batch) override;
+  Result<size_t> recv_batch(std::span<Datagram> out,
+                            Deadline deadline = Deadline::never()) override;
 
   // One-way partitions, togglable at runtime. partition(true, false)
   // blackholes everything this endpoint sends while still receiving;

@@ -1,8 +1,12 @@
 #include "net/memchan.hpp"
 
+#include <algorithm>
+
+#include "io/batch.hpp"
+
 namespace bertha {
 
-class MemTransport final : public Transport {
+class MemTransport final : public Transport, public BatchTransport {
  public:
   MemTransport(std::shared_ptr<MemNetwork> net,
                std::shared_ptr<MemNetwork::Endpoint> ep, Addr local)
@@ -19,6 +23,27 @@ class MemTransport final : public Transport {
     return ep_->q.pop(deadline);
   }
 
+  Result<size_t> send_batch(std::span<const Datagram> batch) override {
+    if (ep_->q.closed()) return err(Errc::cancelled, "transport closed");
+    for (const Datagram& d : batch)
+      BERTHA_TRY(net_->deliver(local_, d.dst, d.payload.view()));
+    return batch.size();
+  }
+
+  // One lock acquisition drains up to a chunk of queued packets.
+  Result<size_t> recv_batch(std::span<Datagram> out,
+                            Deadline deadline) override {
+    if (out.empty()) return size_t(0);
+    Packet chunk[kBatchChunk];
+    size_t max = std::min(out.size(), kBatchChunk);
+    BERTHA_TRY_ASSIGN(n, ep_->q.pop_batch(chunk, max, deadline));
+    for (size_t i = 0; i < n; i++) {
+      out[i].src = std::move(chunk[i].src);
+      out[i].payload.assign(chunk[i].payload);
+    }
+    return n;
+  }
+
   const Addr& local_addr() const override { return local_; }
 
   void close() override {
@@ -29,6 +54,8 @@ class MemTransport final : public Transport {
   }
 
  private:
+  static constexpr size_t kBatchChunk = 64;
+
   std::shared_ptr<MemNetwork> net_;
   std::shared_ptr<MemNetwork::Endpoint> ep_;
   Addr local_;

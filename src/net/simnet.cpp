@@ -2,11 +2,12 @@
 
 #include <algorithm>
 
+#include "io/batch.hpp"
 #include "util/log.hpp"
 
 namespace bertha {
 
-class SimTransport final : public Transport {
+class SimTransport final : public Transport, public BatchTransport {
  public:
   SimTransport(std::shared_ptr<SimNet> net,
                std::shared_ptr<SimNet::Endpoint> ep, Addr local)
@@ -20,6 +21,28 @@ class SimTransport final : public Transport {
   }
 
   Result<Packet> recv(Deadline deadline) override { return ep_->q.pop(deadline); }
+
+  Result<size_t> send_batch(std::span<const Datagram> batch) override {
+    if (ep_->q.closed()) return err(Errc::cancelled, "transport closed");
+    for (const Datagram& d : batch)
+      BERTHA_TRY(net_->send(local_, d.dst, d.payload.view()));
+    return batch.size();
+  }
+
+  Result<size_t> recv_batch(std::span<Datagram> out,
+                            Deadline deadline) override {
+    if (out.empty()) return size_t(0);
+    constexpr size_t kChunk = 64;
+    Packet chunk[kChunk];
+    size_t max = std::min(out.size(), kChunk);
+    BERTHA_TRY_ASSIGN(n, ep_->q.pop_batch(chunk, max, deadline));
+    for (size_t i = 0; i < n; i++) {
+      out[i].src = std::move(chunk[i].src);
+      out[i].payload.assign(chunk[i].payload);
+    }
+    return n;
+  }
+
   const Addr& local_addr() const override { return local_; }
 
   void close() override {

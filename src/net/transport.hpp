@@ -35,6 +35,12 @@ class Transport {
 
   // Idempotent; wakes blocked recv() calls with cancelled.
   virtual void close() = 0;
+
+  // OS-pollable readiness fd (readable when a datagram is waiting), or
+  // -1 for transports without one. The io Reactor multiplexes fd-backed
+  // transports on one epoll set and falls back to a pull thread for the
+  // rest.
+  virtual int poll_fd() const { return -1; }
 };
 
 using TransportPtr = std::unique_ptr<Transport>;

@@ -5,12 +5,13 @@
 
 #include <atomic>
 
+#include "io/batch.hpp"
 #include "net/fd_util.hpp"
 #include "net/transport.hpp"
 
 namespace bertha {
 
-class UdpTransport final : public Transport {
+class UdpTransport final : public Transport, public BatchTransport {
  public:
   // Binds to `addr` (kind must be udp). Port 0 requests an ephemeral
   // port; the bound address is reflected in local_addr().
@@ -22,6 +23,11 @@ class UdpTransport final : public Transport {
   Result<Packet> recv(Deadline deadline) override;
   const Addr& local_addr() const override { return local_; }
   void close() override;
+  int poll_fd() const override { return sock_.get(); }
+
+  // sendmmsg/recvmmsg: one syscall per batch of datagrams.
+  Result<size_t> send_batch(std::span<const Datagram> batch) override;
+  Result<size_t> recv_batch(std::span<Datagram> out, Deadline deadline) override;
 
  private:
   UdpTransport(Fd sock, Fd wake, Addr local)

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -156,6 +157,91 @@ Result<Packet> UdsTransport::recv(Deadline deadline) {
                        scratch.begin() + static_cast<ptrdiff_t>(rc));
     pkt.src = from_sockaddr(sa, len);
     return pkt;
+  }
+}
+
+namespace {
+constexpr size_t kMmsgChunk = 64;
+}  // namespace
+
+Result<size_t> UdsTransport::send_batch(std::span<const Datagram> batch) {
+  if (closed_.load(std::memory_order_acquire))
+    return err(Errc::cancelled, "transport closed");
+  size_t done = 0;
+  while (done < batch.size()) {
+    mmsghdr hdrs[kMmsgChunk];
+    iovec iovs[kMmsgChunk];
+    sockaddr_un sas[kMmsgChunk];
+    size_t k = std::min(kMmsgChunk, batch.size() - done);
+    for (size_t i = 0; i < k; i++) {
+      const Datagram& d = batch[done + i];
+      if (d.payload.size() > kMaxDatagram)
+        return err(Errc::invalid_argument, "datagram too large");
+      BERTHA_TRY_ASSIGN(len, to_sockaddr_any(d.dst, sas[i]));
+      iovs[i].iov_base = const_cast<uint8_t*>(d.payload.data());
+      iovs[i].iov_len = d.payload.size();
+      std::memset(&hdrs[i], 0, sizeof(hdrs[i]));
+      hdrs[i].msg_hdr.msg_name = &sas[i];
+      hdrs[i].msg_hdr.msg_namelen = len;
+      hdrs[i].msg_hdr.msg_iov = &iovs[i];
+      hdrs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int rc = ::sendmmsg(sock_.get(), hdrs, static_cast<unsigned>(k), 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      // Vanished peers / buffer pressure == packet loss (cf. send_to).
+      if (errno == ECONNREFUSED || errno == ENOENT || errno == EAGAIN ||
+          errno == ENOBUFS) {
+        done += k;
+        continue;
+      }
+      return errno_error(Errc::io_error, "sendmmsg uds");
+    }
+    done += static_cast<size_t>(rc);
+  }
+  return done;
+}
+
+Result<size_t> UdsTransport::recv_batch(std::span<Datagram> out,
+                                        Deadline deadline) {
+  if (out.empty()) return size_t(0);
+  size_t want = std::min(out.size(), kMmsgChunk);
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire))
+      return err(Errc::cancelled, "transport closed");
+    BERTHA_TRY(wait_readable(sock_.get(), wake_.get(), deadline));
+    if (closed_.load(std::memory_order_acquire))
+      return err(Errc::cancelled, "transport closed");
+
+    mmsghdr hdrs[kMmsgChunk];
+    iovec iovs[kMmsgChunk];
+    sockaddr_un sas[kMmsgChunk];
+    for (size_t i = 0; i < want; i++) {
+      PooledBytes& p = out[i].payload;
+      p.resize(kMaxDatagram);
+      iovs[i].iov_base = p.data();
+      iovs[i].iov_len = p.size();
+      std::memset(&hdrs[i], 0, sizeof(hdrs[i]));
+      hdrs[i].msg_hdr.msg_name = &sas[i];
+      hdrs[i].msg_hdr.msg_namelen = sizeof(sas[i]);
+      hdrs[i].msg_hdr.msg_iov = &iovs[i];
+      hdrs[i].msg_hdr.msg_iovlen = 1;
+    }
+    int rc = ::recvmmsg(sock_.get(), hdrs, static_cast<unsigned>(want),
+                        MSG_DONTWAIT, nullptr);
+    if (rc < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      return errno_error(Errc::io_error, "recvmmsg uds");
+    }
+    if (rc == 0) continue;
+    for (int i = 0; i < rc; i++) {
+      out[static_cast<size_t>(i)].payload.resize(hdrs[i].msg_len);
+      out[static_cast<size_t>(i)].src =
+          from_sockaddr(sas[i], hdrs[i].msg_hdr.msg_namelen);
+    }
+    for (size_t i = static_cast<size_t>(rc); i < want; i++)
+      out[i].payload.clear();
+    return static_cast<size_t>(rc);
   }
 }
 

@@ -10,12 +10,13 @@
 
 #include <atomic>
 
+#include "io/batch.hpp"
 #include "net/fd_util.hpp"
 #include "net/transport.hpp"
 
 namespace bertha {
 
-class UdsTransport final : public Transport {
+class UdsTransport final : public Transport, public BatchTransport {
  public:
   // Binds to uds://<name>; empty name autobinds a unique address.
   static Result<TransportPtr> bind(const Addr& addr);
@@ -26,6 +27,11 @@ class UdsTransport final : public Transport {
   Result<Packet> recv(Deadline deadline) override;
   const Addr& local_addr() const override { return local_; }
   void close() override;
+  int poll_fd() const override { return sock_.get(); }
+
+  // sendmmsg/recvmmsg: one syscall per batch of datagrams.
+  Result<size_t> send_batch(std::span<const Datagram> batch) override;
+  Result<size_t> recv_batch(std::span<Datagram> out, Deadline deadline) override;
 
  private:
   UdsTransport(Fd sock, Fd wake, Addr local)

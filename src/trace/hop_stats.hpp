@@ -1,0 +1,79 @@
+// Streaming per-hop latency aggregation (the ROADMAP "path-span
+// aggregation" item).
+//
+// Sampled path spans record individual messages; these histograms record
+// EVERY message's per-layer timing whenever tracing is enabled, at the
+// cost of one clock pair and two relaxed fetch_adds per hop — no mutex,
+// no allocation, no sampling decision. Exported through MetricsRegistry
+// (and therefore the text exporter) as hop.send.<name> / hop.recv.<name>
+// summaries.
+//
+// Semantics match the sampled hop spans: a hop's time is inclusive of
+// everything beneath it, and recv time includes blocking for traffic —
+// the per-layer cost is the difference between adjacent hops.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/metrics.hpp"
+#include "util/clock.hpp"
+
+namespace bertha {
+
+// Lock-free log-scale histogram: quarter-octave buckets over nanoseconds,
+// one relaxed fetch_add per record. ~9% worst-case relative error on
+// percentiles — plenty for latency distributions, and cheap enough to
+// sit on the per-message fast path.
+class AtomicHistogram {
+ public:
+  static constexpr int kSubBits = 2;  // 4 sub-buckets per octave
+  static constexpr int kOctaves = 40; // 1ns .. ~18 minutes
+  static constexpr int kBuckets = kOctaves << kSubBits;
+
+  void record(uint64_t v);
+
+  uint64_t count() const;
+  double mean() const;
+  double percentile(double q) const;  // q in [0,100]
+
+  MetricsRegistry::HistogramSummary summarize() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One send/recv histogram pair per hop name, shared by every connection
+// whose stack contains that hop.
+class HopLatencyStats {
+ public:
+  struct Cell {
+    AtomicHistogram send_ns;
+    AtomicHistogram recv_ns;
+  };
+  using CellPtr = std::shared_ptr<Cell>;
+
+  // Create-on-first-use; the returned cell is stable and safe to record
+  // into from any thread for the stats object's lifetime and beyond.
+  CellPtr cell(const std::string& hop);
+
+  // Folds hop.send.<name> / hop.recv.<name> summaries into a snapshot.
+  void fold_into(MetricsRegistry::Snapshot& snap) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, CellPtr> cells_;
+};
+
+using HopStatsPtr = std::shared_ptr<HopLatencyStats>;
+
+// Registers a provider exposing the per-hop histograms in snapshots.
+void attach_hop_stats_provider(MetricsRegistry& m, HopStatsPtr stats);
+
+}  // namespace bertha

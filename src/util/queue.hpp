@@ -58,6 +58,34 @@ class BlockingQueue {
     return item;
   }
 
+  // Bulk dequeue under one lock acquisition: blocks like pop() for the
+  // first item, then moves out up to `max` already-queued items. This is
+  // the batched-receive path for queue-backed transports.
+  Result<size_t> pop_batch(T* out, size_t max,
+                           Deadline deadline = Deadline::never()) {
+    if (max == 0) return size_t(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    while (q_.empty()) {
+      if (closed_) return err(Errc::cancelled, "queue closed");
+      if (deadline.is_never()) {
+        cv_.wait(lk);
+      } else {
+        if (cv_.wait_until(lk, deadline.as_time_point()) ==
+                std::cv_status::timeout &&
+            q_.empty()) {
+          if (closed_) return err(Errc::cancelled, "queue closed");
+          return err(Errc::timed_out, "queue pop deadline expired");
+        }
+      }
+    }
+    size_t n = 0;
+    while (n < max && !q_.empty()) {
+      out[n++] = std::move(q_.front());
+      q_.pop_front();
+    }
+    return n;
+  }
+
   // Non-blocking dequeue.
   std::optional<T> try_pop() {
     std::lock_guard<std::mutex> lk(mu_);

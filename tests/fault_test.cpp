@@ -199,6 +199,87 @@ ImplInfo impl_of(const std::string& type, const std::string& name,
 // first acquire is lost, the client retries with the same idempotency
 // key, and the server answers from its dedup cache — one allocation, not
 // two, and the pool stays balanced after a single release.
+// --- batched I/O through the fault pipeline ---
+//
+// send_batch/recv_batch must draw the same per-datagram fault decisions
+// as the scalar paths: a batched sender is chaos-tested exactly like an
+// unbatched one.
+
+TEST(FaultBatchTest, BatchSendDropsEachDatagramIndependently) {
+  auto net = MemNetwork::create();
+  FaultInjectingTransport::Options fo;
+  fo.drop = 1.0;
+  FaultInjectingTransport a(net->bind(Addr::mem("a", 1)).value(), fo);
+  auto b = net->bind(Addr::mem("b", 1)).value();
+
+  std::vector<Datagram> batch(4);
+  for (auto& d : batch) {
+    d.dst = b->local_addr();
+    d.payload.assign(payload_of("x"));
+  }
+  auto sent = a.send_batch(batch);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(sent.value(), 4u);  // silent drops still count as handled
+  EXPECT_EQ(a.counters().tx_dropped, 4u);
+  EXPECT_FALSE(b->recv(Deadline::after(ms(30))).ok());
+}
+
+TEST(FaultBatchTest, BatchRecvDuplicatesPerDatagram) {
+  auto net = MemNetwork::create();
+  auto a = net->bind(Addr::mem("a", 1)).value();
+  FaultInjectingTransport::Options fo;
+  fo.duplicate = 1.0;
+  FaultInjectingTransport b(net->bind(Addr::mem("b", 1)).value(), fo);
+
+  for (int i = 0; i < 3; i++)
+    ASSERT_TRUE(a->send_to(b.local_addr(), payload_of("d")).ok());
+  size_t got = 0;
+  std::vector<Datagram> in(16);
+  while (got < 6) {  // every datagram delivered twice
+    auto n = b.recv_batch(std::span<Datagram>(in), Deadline::after(seconds(5)));
+    ASSERT_TRUE(n.ok());
+    got += n.value();
+  }
+  EXPECT_EQ(got, 6u);
+  EXPECT_EQ(b.counters().rx_duplicated, 3u);
+  EXPECT_EQ(b.counters().received, 6u);
+}
+
+TEST(FaultBatchTest, BatchRecvReordersLikeScalarRecv) {
+  auto net = MemNetwork::create();
+  auto a = net->bind(Addr::mem("a", 1)).value();
+  FaultInjectingTransport::Options fo;
+  fo.reorder = 1.0;
+  FaultInjectingTransport b(net->bind(Addr::mem("b", 1)).value(), fo);
+
+  ASSERT_TRUE(a->send_to(b.local_addr(), payload_of("m1")).ok());
+  ASSERT_TRUE(a->send_to(b.local_addr(), payload_of("m2")).ok());
+  std::vector<std::string> order;
+  std::vector<Datagram> in(8);
+  while (order.size() < 2) {
+    auto n = b.recv_batch(std::span<Datagram>(in), Deadline::after(seconds(5)));
+    ASSERT_TRUE(n.ok());
+    for (size_t i = 0; i < n.value(); i++)
+      order.push_back(to_string(in[i].payload.view()));
+  }
+  EXPECT_EQ(order[0], "m2");  // the pair arrives swapped, same as recv()
+  EXPECT_EQ(order[1], "m1");
+}
+
+TEST(FaultBatchTest, BatchRecvDropsAndPartitions) {
+  auto net = MemNetwork::create();
+  auto a = net->bind(Addr::mem("a", 1)).value();
+  FaultInjectingTransport b(net->bind(Addr::mem("b", 1)).value(), {});
+  b.partition(/*tx=*/false, /*rx=*/true);
+  for (int i = 0; i < 5; i++)
+    ASSERT_TRUE(a->send_to(b.local_addr(), payload_of("p")).ok());
+  std::vector<Datagram> in(8);
+  auto n = b.recv_batch(std::span<Datagram>(in), Deadline::after(ms(50)));
+  ASSERT_FALSE(n.ok());  // all dropped; the wait times out
+  EXPECT_EQ(n.error().code, Errc::timed_out);
+  EXPECT_EQ(b.counters().rx_dropped, 5u);
+}
+
 TEST(IdempotentRpcTest, AcquireRetryDoesNotDoubleAllocate) {
   auto net = MemNetwork::create();
   auto state = std::make_shared<DiscoveryState>();
