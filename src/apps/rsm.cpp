@@ -5,6 +5,34 @@
 
 namespace bertha {
 
+// --- SequencedApplyWindow ---
+
+std::vector<std::pair<uint64_t, Bytes>> SequencedApplyWindow::offer(
+    uint64_t seq, Bytes item) {
+  if (seq < next_ || holdback_.count(seq)) return {};  // dup
+  holdback_.emplace(seq, std::move(item));
+  return drain();
+}
+
+std::vector<std::pair<uint64_t, Bytes>> SequencedApplyWindow::skip_to(
+    uint64_t up_to) {
+  if (up_to > next_) {
+    next_ = up_to;
+    holdback_.erase(holdback_.begin(), holdback_.lower_bound(up_to));
+  }
+  return drain();
+}
+
+std::vector<std::pair<uint64_t, Bytes>> SequencedApplyWindow::drain() {
+  std::vector<std::pair<uint64_t, Bytes>> out;
+  while (!holdback_.empty() && holdback_.begin()->first == next_) {
+    out.emplace_back(next_, std::move(holdback_.begin()->second));
+    holdback_.erase(holdback_.begin());
+    next_++;
+  }
+  return out;
+}
+
 Result<std::unique_ptr<RsmReplica>> RsmReplica::start(RsmReplicaConfig cfg) {
   if (!cfg.rt) return err(Errc::invalid_argument, "RsmReplica needs a runtime");
   ChunnelArgs args = cfg.extra_mcast_args;

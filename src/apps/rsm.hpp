@@ -10,8 +10,10 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "apps/kvproto.hpp"
@@ -19,6 +21,41 @@
 #include "core/endpoint.hpp"
 
 namespace bertha {
+
+// In-order release of a sequenced operation stream: the holdback/apply
+// half of the RSM pattern, extracted so other replicated state machines
+// (the discovery control plane's DiscoveryReplica) reuse it instead of
+// re-deriving the gap bookkeeping. Feed it (seq, op) pairs in any order;
+// it returns the maximal contiguous run starting at the expected next
+// seq. Not thread-safe — own it from one apply thread.
+class SequencedApplyWindow {
+ public:
+  explicit SequencedApplyWindow(uint64_t first_seq = 0) : next_(first_seq) {}
+
+  // Offers one sequenced item; returns every (seq, item) now releasable
+  // in order (empty while a gap blocks the head). Duplicates and
+  // already-released seqs are dropped.
+  std::vector<std::pair<uint64_t, Bytes>> offer(uint64_t seq, Bytes item);
+
+  // Next seq the window expects (everything below has been released).
+  uint64_t next_seq() const { return next_; }
+  // True when items are buffered behind a missing seq.
+  bool has_gap() const { return !holdback_.empty(); }
+  // Lowest buffered seq (call only when has_gap()): the missing range is
+  // [next_seq(), gap_end()).
+  uint64_t gap_end() const { return holdback_.begin()->first; }
+  size_t buffered() const { return holdback_.size(); }
+
+  // Gap recovery gave up on [next_seq(), up_to): skip ahead and release
+  // whatever is now contiguous.
+  std::vector<std::pair<uint64_t, Bytes>> skip_to(uint64_t up_to);
+
+ private:
+  std::vector<std::pair<uint64_t, Bytes>> drain();
+
+  uint64_t next_;
+  std::map<uint64_t, Bytes> holdback_;
+};
 
 struct RsmReplicaConfig {
   std::shared_ptr<Runtime> rt;

@@ -1,5 +1,7 @@
 #include "chunnels/ordered_mcast.hpp"
 
+#include <algorithm>
+#include <deque>
 #include <map>
 
 #include "serialize/codec.hpp"
@@ -38,6 +40,34 @@ Result<McastOp> parse_sequenced_mcast(BytesView datagram) {
   op.reply_to = std::move(frame.first);
   op.payload = frame.second;
   return op;
+}
+
+Bytes mcast_fetch_frame(const Addr& reply_to, uint64_t from, uint64_t to) {
+  Writer w;
+  w.put_u8('M');
+  w.put_u8('F');
+  w.put_string(reply_to.to_string());
+  w.put_varint(from);
+  w.put_varint(to);
+  return std::move(w).take();
+}
+
+Result<McastFetch> parse_mcast_fetch(BytesView datagram) {
+  Reader r(datagram);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != 'M' || m1 != 'F')
+    return err(Errc::protocol_error, "bad mcast fetch magic");
+  BERTHA_TRY_ASSIGN(uri, r.get_string());
+  BERTHA_TRY_ASSIGN(reply, Addr::parse(uri));
+  McastFetch f;
+  f.reply_to = std::move(reply);
+  BERTHA_TRY_ASSIGN(from, r.get_varint());
+  BERTHA_TRY_ASSIGN(to, r.get_varint());
+  f.from = from;
+  f.to = to;
+  if (f.to < f.from) return err(Errc::protocol_error, "inverted fetch range");
+  return f;
 }
 
 // --- replica-side shared state ---
@@ -318,15 +348,36 @@ SoftwareOrderedMcastChunnel::SoftwareOrderedMcastChunnel()
 // --- software sequencer ---
 
 SoftwareSequencer::SoftwareSequencer(std::shared_ptr<Transport> t,
-                                     std::vector<Addr> members)
+                                     std::vector<Addr> members,
+                                     size_t retransmit_window)
     : transport_(std::move(t)),
       addr_(transport_->local_addr()),
-      members_(std::move(members)) {
+      members_(std::move(members)),
+      window_(retransmit_window) {
   thread_ = std::thread([this] {
+    // The retransmit log lives on this thread alone: stamped packet seq
+    // s sits at log[s - log_base].
+    std::deque<Bytes> log;
+    uint64_t log_base = 0;
     for (;;) {
       auto pkt_r = transport_->recv();
       if (!pkt_r.ok()) return;
       const Packet& pkt = pkt_r.value();
+      if (window_ != 0) {
+        if (auto fetch_r = parse_mcast_fetch(pkt.payload); fetch_r.ok()) {
+          // A replica saw a gap; re-send what the log still covers. Seqs
+          // already pruned stay lost — the replica's gap timeout handles
+          // those exactly as before.
+          const McastFetch& f = fetch_r.value();
+          uint64_t from = std::max(f.from, log_base);
+          uint64_t to = std::min(f.to, log_base + log.size());
+          for (uint64_t s = from; s < to; s++) {
+            (void)transport_->send_to(f.reply_to, log[s - log_base]);
+            retransmits_.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+      }
       // Validate before stamping; non-mcast datagrams are dropped.
       if (!parse_mcast_frame(pkt.payload).ok()) continue;
       Bytes stamped;
@@ -334,6 +385,13 @@ SoftwareSequencer::SoftwareSequencer(std::shared_ptr<Transport> t,
       put_u64_le(stamped, next_seq_.fetch_add(1, std::memory_order_relaxed));
       append(stamped, pkt.payload);
       for (const auto& m : members_) (void)transport_->send_to(m, stamped);
+      if (window_ != 0) {
+        log.push_back(stamped);
+        while (log.size() > window_) {
+          log.pop_front();
+          log_base++;
+        }
+      }
       count_.fetch_add(1, std::memory_order_relaxed);
     }
   });
@@ -341,12 +399,23 @@ SoftwareSequencer::SoftwareSequencer(std::shared_ptr<Transport> t,
 
 Result<std::unique_ptr<SoftwareSequencer>> SoftwareSequencer::start(
     TransportFactory& factory, const Addr& bind_addr,
-    std::vector<Addr> members) {
+    std::vector<Addr> members, size_t retransmit_window) {
   if (members.empty())
     return err(Errc::invalid_argument, "sequencer needs members");
   BERTHA_TRY_ASSIGN(t, factory.bind(bind_addr));
+  return std::unique_ptr<SoftwareSequencer>(
+      new SoftwareSequencer(std::shared_ptr<Transport>(std::move(t)),
+                            std::move(members), retransmit_window));
+}
+
+Result<std::unique_ptr<SoftwareSequencer>> SoftwareSequencer::start_with(
+    std::shared_ptr<Transport> transport, std::vector<Addr> members,
+    size_t retransmit_window) {
+  if (!transport) return err(Errc::invalid_argument, "null transport");
+  if (members.empty())
+    return err(Errc::invalid_argument, "sequencer needs members");
   return std::unique_ptr<SoftwareSequencer>(new SoftwareSequencer(
-      std::shared_ptr<Transport>(std::move(t)), std::move(members)));
+      std::move(transport), std::move(members), retransmit_window));
 }
 
 SoftwareSequencer::~SoftwareSequencer() { stop(); }

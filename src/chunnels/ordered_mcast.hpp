@@ -82,9 +82,19 @@ class SoftwareOrderedMcastChunnel final : public OrderedMcastChunnelBase {
 // can pick it when no switch offload exists.
 class SoftwareSequencer {
  public:
+  // `retransmit_window`: stamped packets kept for gap recovery — a
+  // replica that detects a sequence gap sends a fetch frame and the
+  // sequencer re-sends the missing range from this bounded log. 0 (the
+  // default) disables retransmission, matching the original skip-on-gap
+  // behaviour.
   static Result<std::unique_ptr<SoftwareSequencer>> start(
       TransportFactory& factory, const Addr& bind_addr,
-      std::vector<Addr> members);
+      std::vector<Addr> members, size_t retransmit_window = 0);
+  // Same, over an already-bound transport (the control plane pre-binds
+  // fault-injecting transports for its sequencers).
+  static Result<std::unique_ptr<SoftwareSequencer>> start_with(
+      std::shared_ptr<Transport> transport, std::vector<Addr> members,
+      size_t retransmit_window = 0);
   ~SoftwareSequencer();
 
   // Advertise this sequencer as an ordered_mcast implementation
@@ -95,16 +105,23 @@ class SoftwareSequencer {
 
   const Addr& addr() const { return addr_; }
   uint64_t sequenced() const { return count_.load(std::memory_order_relaxed); }
+  // Stamped packets re-sent in answer to fetch frames.
+  uint64_t retransmitted() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
   void stop();
 
  private:
-  SoftwareSequencer(std::shared_ptr<Transport> t, std::vector<Addr> members);
+  SoftwareSequencer(std::shared_ptr<Transport> t, std::vector<Addr> members,
+                    size_t retransmit_window);
 
   std::shared_ptr<Transport> transport_;
   Addr addr_;
   std::vector<Addr> members_;
+  size_t window_ = 0;
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> retransmits_{0};
   std::thread thread_;
 };
 
@@ -119,5 +136,15 @@ struct McastOp {
 Result<McastOp> parse_sequenced_mcast(BytesView datagram);
 // Parses just the frame (what a sequencer receives, before stamping).
 Result<std::pair<Addr, BytesView>> parse_mcast_frame(BytesView datagram);
+
+// Gap-recovery fetch: a replica asks the sequencer to re-send stamped
+// packets with seq in [from, to).
+struct McastFetch {
+  Addr reply_to;
+  uint64_t from = 0;
+  uint64_t to = 0;
+};
+Bytes mcast_fetch_frame(const Addr& reply_to, uint64_t from, uint64_t to);
+Result<McastFetch> parse_mcast_fetch(BytesView datagram);
 
 }  // namespace bertha

@@ -21,11 +21,16 @@ Result<ShardArgs> ShardArgs::from(const ChunnelArgs& args) {
   return out;
 }
 
+size_t shard_pick(BytesView key, size_t n) {
+  if (n <= 1) return 0;
+  return static_cast<size_t>(fnv1a64(key) % n);
+}
+
 size_t ShardArgs::pick(BytesView app_payload) const {
   if (shards.size() <= 1) return 0;
   if (app_payload.size() < field_offset + field_len) return 0;
-  uint64_t h = fnv1a64(app_payload.subspan(field_offset, field_len));
-  return static_cast<size_t>(h % shards.size());
+  return shard_pick(app_payload.subspan(field_offset, field_len),
+                    shards.size());
 }
 
 Bytes shard_frame(const Addr& reply_to, BytesView app_payload) {

@@ -52,6 +52,12 @@ struct ShardArgs {
   size_t pick(BytesView app_payload) const;
 };
 
+// The raw consistent-hash step shared by every steering path —
+// ShardArgs::pick above and the discovery control plane's PartitionMap
+// (src/control/), which partitions the catalogue by chunnel type with
+// the same function so a future in-network steer stays byte-compatible.
+size_t shard_pick(BytesView key, size_t n);
+
 // Request framing helpers (exposed for ShardWorker and tests).
 Bytes shard_frame(const Addr& reply_to, BytesView app_payload);
 struct ShardRequest {

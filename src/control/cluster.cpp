@@ -1,0 +1,230 @@
+#include "control/cluster.hpp"
+
+#include "util/log.hpp"
+
+namespace bertha {
+
+// --- ClusterDiscovery ---
+
+Result<std::shared_ptr<ClusterDiscovery>> ClusterDiscovery::connect(
+    Config cfg) {
+  if (cfg.partitions.empty())
+    return err(Errc::invalid_argument, "cluster client needs partitions");
+  if (!cfg.transports)
+    return err(Errc::invalid_argument, "cluster client needs a factory");
+  for (const auto& servers : cfg.partitions)
+    if (servers.empty())
+      return err(Errc::invalid_argument, "partition with no replicas");
+
+  auto cd = std::shared_ptr<ClusterDiscovery>(
+      new ClusterDiscovery(cfg.partitions.size()));
+  for (size_t i = 0; i < cfg.partitions.size(); i++) {
+    // One client transport and one failover RemoteDiscovery per
+    // partition. Each per-partition client owns its own client_id,
+    // leases and heartbeats, so lease state lives exactly where the
+    // leased registrations do.
+    BERTHA_TRY_ASSIGN(
+        t, cfg.transports->bind(
+               client_bind_for(cfg.partitions[i][0], cfg.host_id)));
+    cd->clients_.push_back(std::make_shared<RemoteDiscovery>(
+        std::move(t), cfg.partitions[i], cfg.rpc));
+  }
+  return cd;
+}
+
+ClusterDiscovery::~ClusterDiscovery() {
+  stopping_.store(true);
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(fan_mu_);
+    for (auto& w : fan_upstreams_) w->cancel();
+    for (auto& w : fan_outs_) w->cancel();
+    threads.swap(fan_threads_);
+  }
+  for (auto& t : threads)
+    if (t.joinable()) t.join();
+}
+
+Result<void> ClusterDiscovery::register_impl(const ImplInfo& info) {
+  return clients_[map_.index_for_type(info.type)]->register_impl(info);
+}
+
+Result<void> ClusterDiscovery::unregister_impl(const std::string& type,
+                                               const std::string& name) {
+  return clients_[map_.index_for_type(type)]->unregister_impl(type, name);
+}
+
+Result<std::vector<ImplInfo>> ClusterDiscovery::query(const std::string& type) {
+  return clients_[map_.index_for_type(type)]->query(type);
+}
+
+Result<uint64_t> ClusterDiscovery::acquire(
+    const std::vector<ResourceReq>& reqs) {
+  if (reqs.empty()) return err(Errc::invalid_argument, "empty acquire");
+  size_t idx = map_.index_for_pool(reqs[0].pool);
+  for (const auto& r : reqs)
+    if (map_.index_for_pool(r.pool) != idx)
+      // Admission is atomic only within a partition; co-locate pools
+      // that must be acquired together (same hash bucket) or acquire
+      // them separately with caller-side rollback.
+      return err(Errc::invalid_argument,
+                 "acquire spans partitions: " + reqs[0].pool + " vs " + r.pool);
+  return clients_[idx]->acquire(reqs);
+}
+
+Result<void> ClusterDiscovery::release(uint64_t alloc_id) {
+  size_t idx = PartitionMap::index_for_alloc(alloc_id);
+  if (idx >= clients_.size())
+    return err(Errc::invalid_argument, "alloc id names unknown partition");
+  return clients_[idx]->release(alloc_id);
+}
+
+Result<void> ClusterDiscovery::set_pool(const std::string& pool,
+                                        uint64_t capacity) {
+  return clients_[map_.index_for_pool(pool)]->set_pool(pool, capacity);
+}
+
+Result<WatcherPtr> ClusterDiscovery::watch(const std::string& type_filter) {
+  if (!type_filter.empty())
+    return clients_[map_.index_for_type(type_filter)]->watch(type_filter);
+  // Catalogue-wide: fan in one stream per partition. The merged stream
+  // is its own seq domain (per-partition seqs are incomparable), so
+  // events are re-stamped from a local counter; per-partition order is
+  // preserved because each upstream has exactly one forwarder.
+  auto out = std::make_shared<DiscoveryWatcher>("");
+  std::vector<WatcherPtr> ups;
+  for (auto& c : clients_) {
+    BERTHA_TRY_ASSIGN(w, c->watch(""));
+    ups.push_back(std::move(w));
+  }
+  std::lock_guard<std::mutex> lk(fan_mu_);
+  for (auto& w : ups) {
+    fan_upstreams_.push_back(w);
+    fan_threads_.emplace_back(
+        [this, w, out] { fan_in_loop(w, out); });
+  }
+  fan_outs_.push_back(out);
+  return out;
+}
+
+void ClusterDiscovery::fan_in_loop(WatcherPtr upstream, WatcherPtr out) {
+  // Poll-with-deadline so cancellation of the *output* watcher (which
+  // this thread cannot block on) is noticed promptly.
+  while (!stopping_.load() && !out->cancelled()) {
+    auto batch = upstream->next_batch(Deadline::after(ms(50)));
+    if (!batch.ok()) {
+      if (batch.error().code == Errc::timed_out) continue;
+      break;  // upstream cancelled (client shutdown)
+    }
+    std::vector<WatchEvent> evs = std::move(batch).value();
+    for (auto& ev : evs) ev.seq = fan_seq_.fetch_add(1) + 1;
+    out->deliver_batch(std::move(evs));
+  }
+  upstream->cancel();
+}
+
+bool ClusterDiscovery::degraded() const {
+  for (const auto& c : clients_)
+    if (c->degraded()) return true;
+  return false;
+}
+
+size_t ClusterDiscovery::server_failovers() const {
+  size_t n = 0;
+  for (const auto& c : clients_) n += c->server_failovers();
+  return n;
+}
+
+// --- DiscoveryCluster ---
+
+Result<std::unique_ptr<DiscoveryCluster>> DiscoveryCluster::start(Config cfg) {
+  if (!cfg.transports)
+    return err(Errc::invalid_argument, "cluster needs a transport factory");
+  if (cfg.partitions == 0 || cfg.replicas == 0)
+    return err(Errc::invalid_argument, "cluster needs partitions and replicas");
+
+  auto cluster = std::unique_ptr<DiscoveryCluster>(
+      new DiscoveryCluster(std::move(cfg)));
+  const Config& c = cluster->cfg_;
+
+  for (size_t p = 0; p < c.partitions; p++) {
+    std::string pp = c.prefix + "-p" + std::to_string(p);
+
+    // Bind every replica's transports first: the sequencer needs the
+    // member list up front.
+    std::vector<TransportPtr> rpcs, members;
+    std::vector<Addr> member_addrs, rpc_addrs;
+    for (size_t r = 0; r < c.replicas; r++) {
+      std::string rr = pp + "-r" + std::to_string(r);
+      BERTHA_TRY_ASSIGN(rpc_t, cluster->bind(Addr::mem(rr, 1), rr + "-rpc"));
+      BERTHA_TRY_ASSIGN(mem_t, cluster->bind(Addr::mem(rr, 2), rr + "-member"));
+      rpc_addrs.push_back(rpc_t->local_addr());
+      member_addrs.push_back(mem_t->local_addr());
+      rpcs.push_back(std::move(rpc_t));
+      members.push_back(std::move(mem_t));
+    }
+
+    BERTHA_TRY_ASSIGN(seq_t, cluster->bind(Addr::mem(pp + "-seq", 1),
+                                           "p" + std::to_string(p) + "-seq"));
+    std::shared_ptr<Transport> seq_shared(std::move(seq_t));
+    BERTHA_TRY_ASSIGN(seq, SoftwareSequencer::start_with(
+                               seq_shared, member_addrs, c.sequencer_window));
+    Addr seq_addr = seq->addr();
+    cluster->sequencers_.push_back(std::move(seq));
+
+    std::vector<std::unique_ptr<DiscoveryReplica>> group;
+    for (size_t r = 0; r < c.replicas; r++) {
+      DiscoveryReplicaOptions opts = c.replica;
+      opts.replica_id = pp + "-r" + std::to_string(r);
+      opts.partition_index = p;
+      opts.sequencer = seq_addr;
+      BERTHA_TRY_ASSIGN(rep, DiscoveryReplica::start(std::move(rpcs[r]),
+                                                     std::move(members[r]),
+                                                     std::move(opts)));
+      group.push_back(std::move(rep));
+    }
+    cluster->replicas_.push_back(std::move(group));
+    cluster->rpc_addrs_.push_back(std::move(rpc_addrs));
+  }
+  return cluster;
+}
+
+Result<TransportPtr> DiscoveryCluster::bind(const Addr& addr,
+                                            const std::string& role) {
+  BERTHA_TRY_ASSIGN(t, cfg_.transports->bind(addr));
+  if (cfg_.decorate) {
+    t = cfg_.decorate(std::move(t), role);
+    if (!t) return err(Errc::internal, "decorate hook returned null");
+  }
+  return t;
+}
+
+DiscoveryCluster::~DiscoveryCluster() { stop(); }
+
+void DiscoveryCluster::stop() {
+  // Replicas first (they propose into the sequencers), then sequencers.
+  replicas_.clear();
+  sequencers_.clear();
+}
+
+void DiscoveryCluster::kill_replica(size_t p, size_t r) {
+  if (p >= replicas_.size() || r >= replicas_[p].size()) return;
+  replicas_[p][r].reset();
+}
+
+bool DiscoveryCluster::alive(size_t p, size_t r) const {
+  return p < replicas_.size() && r < replicas_[p].size() &&
+         replicas_[p][r] != nullptr;
+}
+
+Result<std::shared_ptr<ClusterDiscovery>> DiscoveryCluster::client(
+    const std::string& host_id, RemoteDiscovery::Options rpc) {
+  ClusterDiscovery::Config ccfg;
+  ccfg.partitions = all_servers();
+  ccfg.transports = cfg_.transports;
+  ccfg.host_id = host_id;
+  ccfg.rpc = std::move(rpc);
+  return ClusterDiscovery::connect(std::move(ccfg));
+}
+
+}  // namespace bertha

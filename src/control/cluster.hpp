@@ -1,0 +1,147 @@
+// Sharded, replicated discovery control plane.
+//
+// Two pieces:
+//
+//  * ClusterDiscovery — the client-side router. Implements
+//    DiscoveryClient over N partitions, each served by a replica group:
+//    ops are steered to their partition with the shard chunnel's
+//    consistent hash (PartitionMap), and each partition is reached
+//    through a multi-server RemoteDiscovery that fails over between the
+//    partition's replicas on RPC timeout or watch-stream silence. The
+//    catalogue-wide watch (empty filter) fans in every partition's
+//    stream into one watcher.
+//
+//  * DiscoveryCluster — the in-process harness that stands up the whole
+//    control plane (per partition: one SoftwareSequencer plus R
+//    DiscoveryReplicas) on mem transports, used by tests, the chaos
+//    suite and the failover bench. kill_replica() tears one replica down
+//    the hard way, exactly like a process death: its transports close
+//    and clients discover it by timeout.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chunnels/ordered_mcast.hpp"
+#include "control/partition_map.hpp"
+#include "control/replica.hpp"
+#include "core/discovery.hpp"
+
+namespace bertha {
+
+class ClusterDiscovery final : public DiscoveryClient {
+ public:
+  struct Config {
+    // partitions[i] = the rpc addresses of partition i's replicas.
+    std::vector<std::vector<Addr>> partitions;
+    std::shared_ptr<TransportFactory> transports;
+    std::string host_id;  // client bind identity (mem/sim channels)
+    RemoteDiscovery::Options rpc;  // per-partition client options
+  };
+
+  static Result<std::shared_ptr<ClusterDiscovery>> connect(Config cfg);
+  ~ClusterDiscovery() override;
+
+  Result<void> register_impl(const ImplInfo& info) override;
+  Result<void> unregister_impl(const std::string& type,
+                               const std::string& name) override;
+  Result<std::vector<ImplInfo>> query(const std::string& type) override;
+  Result<uint64_t> acquire(const std::vector<ResourceReq>& reqs) override;
+  Result<void> release(uint64_t alloc_id) override;
+  Result<void> set_pool(const std::string& pool, uint64_t capacity) override;
+  // Non-empty filter: the partition owning that type serves the stream
+  // directly (seq-resumable across that partition's replicas). Empty
+  // filter: one fan-in watcher over every partition, re-sequenced
+  // locally (the merged stream has its own seq domain).
+  Result<WatcherPtr> watch(const std::string& type_filter) override;
+  bool degraded() const override;
+
+  const PartitionMap& partition_map() const { return map_; }
+  // The per-partition client (diagnostics/tests).
+  RemoteDiscovery& partition_client(size_t i) { return *clients_[i]; }
+  size_t partitions() const { return clients_.size(); }
+  // Total replica failovers across all partition clients.
+  size_t server_failovers() const;
+
+ private:
+  explicit ClusterDiscovery(size_t partitions) : map_(partitions) {}
+  void fan_in_loop(WatcherPtr upstream, WatcherPtr out);
+
+  PartitionMap map_;
+  std::vector<std::shared_ptr<RemoteDiscovery>> clients_;
+
+  // Fan-in watch plumbing (empty-filter watches only).
+  std::mutex fan_mu_;
+  std::atomic<uint64_t> fan_seq_{0};
+  std::vector<WatcherPtr> fan_upstreams_;
+  std::vector<WatcherPtr> fan_outs_;
+  std::vector<std::thread> fan_threads_;
+  std::atomic<bool> stopping_{false};
+};
+
+// The full control plane, dogfooded on Bertha's own stacks: ordered
+// multicast for replication, the shard hash for partitioning, the
+// discovery server/client protocol for RPCs and watch push.
+class DiscoveryCluster {
+ public:
+  struct Config {
+    size_t partitions = 2;
+    size_t replicas = 3;
+    std::shared_ptr<TransportFactory> transports;
+    // Mem-channel prefix: partition p replica r binds
+    // mem://<prefix>-p<p>-r<r>:{1,2} (rpc, member); the sequencer binds
+    // mem://<prefix>-p<p>-seq:1.
+    std::string prefix = "ctrl";
+    // Template for every replica (replica_id / partition_index /
+    // sequencer are filled per replica).
+    DiscoveryReplicaOptions replica;
+    // Sequencer retransmit log (gap recovery window).
+    size_t sequencer_window = 4096;
+    // Optional wrapper applied to every bound transport; `role` is
+    // "p<p>-r<r>-rpc", "p<p>-r<r>-member" or "p<p>-seq" so a test can
+    // fault-inject one replica and leave the rest clean.
+    std::function<TransportPtr(TransportPtr, const std::string& role)> decorate;
+  };
+
+  static Result<std::unique_ptr<DiscoveryCluster>> start(Config cfg);
+  ~DiscoveryCluster();
+
+  size_t partitions() const { return rpc_addrs_.size(); }
+  size_t replicas() const { return cfg_.replicas; }
+  // Stable rpc address list of one partition (survives replica death —
+  // a restarted replica would rebind the same channel).
+  const std::vector<Addr>& partition_servers(size_t p) const {
+    return rpc_addrs_[p];
+  }
+  std::vector<std::vector<Addr>> all_servers() const { return rpc_addrs_; }
+
+  // Hard-kills one replica: transports close, in-flight RPCs time out,
+  // clients rotate. Idempotent.
+  void kill_replica(size_t p, size_t r);
+  bool alive(size_t p, size_t r) const;
+  // nullptr after kill_replica.
+  DiscoveryReplica* replica(size_t p, size_t r) { return replicas_[p][r].get(); }
+  SoftwareSequencer& sequencer(size_t p) { return *sequencers_[p]; }
+
+  // A routing client over this cluster. `host_id` must be unique per
+  // client (mem bind channel + lease identity namespace).
+  Result<std::shared_ptr<ClusterDiscovery>> client(
+      const std::string& host_id, RemoteDiscovery::Options rpc = {});
+
+  void stop();
+
+ private:
+  explicit DiscoveryCluster(Config cfg) : cfg_(std::move(cfg)) {}
+  Result<TransportPtr> bind(const Addr& addr, const std::string& role);
+
+  Config cfg_;
+  std::vector<std::vector<Addr>> rpc_addrs_;
+  std::vector<std::unique_ptr<SoftwareSequencer>> sequencers_;
+  std::vector<std::vector<std::unique_ptr<DiscoveryReplica>>> replicas_;
+};
+
+}  // namespace bertha

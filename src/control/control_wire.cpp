@@ -1,0 +1,33 @@
+#include "control/control_wire.hpp"
+
+namespace bertha {
+
+Bytes encode_ctrl_op(const CtrlOp& op) {
+  Writer w;
+  w.put_u8(static_cast<uint8_t>(op.kind));
+  w.put_string(op.origin);
+  w.put_varint(op.submit_id);
+  w.put_svarint(op.time_ns);
+  w.put_bytes(op.req);
+  return std::move(w).take();
+}
+
+Result<CtrlOp> decode_ctrl_op(BytesView b) {
+  Reader r(b);
+  CtrlOp op;
+  BERTHA_TRY_ASSIGN(kind, r.get_u8());
+  if (kind < 1 || kind > 2) return err(Errc::protocol_error, "bad ctrl op kind");
+  op.kind = static_cast<CtrlOpKind>(kind);
+  BERTHA_TRY_ASSIGN(origin, r.get_string());
+  BERTHA_TRY_ASSIGN(submit, r.get_varint());
+  BERTHA_TRY_ASSIGN(time_ns, r.get_svarint());
+  BERTHA_TRY_ASSIGN(req, r.get_bytes());
+  op.origin = std::move(origin);
+  op.submit_id = submit;
+  op.time_ns = time_ns;
+  op.req = std::move(req);
+  if (!r.at_end()) return err(Errc::protocol_error, "trailing ctrl op bytes");
+  return op;
+}
+
+}  // namespace bertha

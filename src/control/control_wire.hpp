@@ -1,0 +1,48 @@
+// Control-plane replication wire format.
+//
+// A CtrlOp is the unit of replication for the discovery control plane
+// (src/control/replica.hpp): one sequenced multicast frame carries one
+// CtrlOp, and every replica of a partition applies the same CtrlOp
+// stream in the same global order. Two kinds:
+//
+//   disc   a client discovery mutation (encoded DiscRequest) proposed by
+//          the replica that received the RPC,
+//   sweep  a lease-expiry tick. Leases must expire at a *replicated*
+//          time, never from a replica's local clock, or replicas diverge
+//          on which owners were reaped (and on the watch-event seq) —
+//          so the sweep itself is an op in the stream, stamped with the
+//          origin's clock and applied with expire_leases_at().
+//
+// `origin` + `submit_id` identify the proposal: the proposing replica
+// completes its pending client RPC when it sees its own op come back out
+// of the sequencer; every other replica just applies it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serialize/codec.hpp"
+#include "util/bytes.hpp"
+#include "util/result.hpp"
+
+namespace bertha {
+
+enum class CtrlOpKind : uint8_t {
+  disc = 1,   // req holds an encoded DiscRequest
+  sweep = 2,  // expire leases as of time_ns
+};
+
+struct CtrlOp {
+  CtrlOpKind kind = CtrlOpKind::disc;
+  std::string origin;      // proposing replica id
+  uint64_t submit_id = 0;  // origin-local proposal counter
+  // Origin steady-clock ns at proposal time: the deterministic time
+  // basis for lease arithmetic on every replica.
+  int64_t time_ns = 0;
+  Bytes req;  // disc only
+};
+
+Bytes encode_ctrl_op(const CtrlOp& op);
+Result<CtrlOp> decode_ctrl_op(BytesView b);
+
+}  // namespace bertha

@@ -1,0 +1,60 @@
+#include "control/partition_map.hpp"
+
+#include "chunnels/shard.hpp"
+#include "core/discovery.hpp"
+
+namespace bertha {
+
+namespace {
+BytesView key_view(const std::string& s) {
+  return BytesView(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+}  // namespace
+
+size_t PartitionMap::index_for_type(const std::string& type) const {
+  return shard_pick(key_view(type), partitions_);
+}
+
+size_t PartitionMap::index_for_pool(const std::string& pool) const {
+  return shard_pick(key_view(pool), partitions_);
+}
+
+size_t PartitionMap::index_for_alloc(uint64_t alloc_id) {
+  return static_cast<size_t>(alloc_id >> DiscoveryState::kAllocNamespaceShift);
+}
+
+Result<size_t> PartitionMap::index_for_request(const DiscRequest& req) const {
+  switch (req.op) {
+    case DiscOp::register_impl:
+      if (!req.entry) return err(Errc::invalid_argument, "register without entry");
+      return index_for_type(req.entry->type);
+    case DiscOp::unregister_impl:
+    case DiscOp::query:
+      return index_for_type(req.type);
+    case DiscOp::set_pool:
+      // execute_request carries the pool name in req.type.
+      return index_for_pool(req.type);
+    case DiscOp::acquire: {
+      if (req.resources.empty())
+        return err(Errc::invalid_argument, "acquire without resources");
+      size_t idx = index_for_pool(req.resources[0].pool);
+      for (const auto& r : req.resources)
+        if (index_for_pool(r.pool) != idx)
+          return err(Errc::invalid_argument,
+                     "acquire spans partitions: pools " + req.resources[0].pool +
+                         " and " + r.pool + " hash to different partitions");
+      return idx;
+    }
+    case DiscOp::release: {
+      size_t idx = index_for_alloc(req.alloc_id);
+      if (idx >= partitions_)
+        return err(Errc::invalid_argument, "alloc id names unknown partition");
+      return idx;
+    }
+    case DiscOp::heartbeat:
+      return err(Errc::invalid_argument, "heartbeat has no single partition");
+  }
+  return err(Errc::invalid_argument, "unroutable discovery op");
+}
+
+}  // namespace bertha

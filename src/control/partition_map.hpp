@@ -1,0 +1,48 @@
+// Catalogue partitioning for the sharded discovery control plane.
+//
+// The catalogue is partitioned by *scope key*: impl entries by their
+// chunnel type, resource pools by pool name. Steering reuses the shard
+// chunnel's consistent-hash step (shard_pick, src/chunnels/shard.hpp) so
+// the client-side router and any future in-network steer agree byte-for-
+// byte on where a key lives.
+//
+// Allocation ids route themselves: each partition mints ids namespaced
+// with its own index in the high bits (DiscoveryState::
+// set_alloc_namespace), so release() needs no key — the id names its
+// partition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/discovery_wire.hpp"
+
+namespace bertha {
+
+class PartitionMap {
+ public:
+  explicit PartitionMap(size_t partitions)
+      : partitions_(partitions == 0 ? 1 : partitions) {}
+
+  size_t partitions() const { return partitions_; }
+
+  // Impl entries: partition of a chunnel type.
+  size_t index_for_type(const std::string& type) const;
+  // Resource pools: partition of a pool name.
+  size_t index_for_pool(const std::string& pool) const;
+
+  // Partition encoded in an allocation id minted by this cluster.
+  static size_t index_for_alloc(uint64_t alloc_id);
+
+  // Routes a decoded request to its partition. Multi-pool acquires must
+  // resolve to one partition (admission is atomic only within a
+  // partition); invalid_argument otherwise. release/heartbeat callers
+  // should prefer index_for_alloc / fan-out respectively — this routes
+  // the single-partition ops.
+  Result<size_t> index_for_request(const DiscRequest& req) const;
+
+ private:
+  size_t partitions_;
+};
+
+}  // namespace bertha

@@ -1,0 +1,256 @@
+#include "control/replica.hpp"
+
+#include "apps/rsm.hpp"
+#include "chunnels/ordered_mcast.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+Result<std::unique_ptr<DiscoveryReplica>> DiscoveryReplica::start(
+    TransportPtr rpc_transport, TransportPtr member,
+    DiscoveryReplicaOptions opts) {
+  if (!rpc_transport || !member)
+    return err(Errc::invalid_argument, "replica needs rpc + member transports");
+  if (opts.replica_id.empty())
+    return err(Errc::invalid_argument, "replica needs an id");
+  if (!opts.sequencer.valid())
+    return err(Errc::invalid_argument, "replica needs a sequencer address");
+
+  std::shared_ptr<Transport> member_shared(std::move(member));
+  auto rep = std::unique_ptr<DiscoveryReplica>(
+      new DiscoveryReplica(std::move(member_shared), std::move(opts)));
+
+  DiscoveryServer::Options sopts = rep->opts_.server;
+  if (!sopts.tracer) sopts.tracer = rep->opts_.tracer;
+  // The server routes every mutation here; `rep` outlives the server
+  // (stop() tears the server down first).
+  DiscoveryReplica* raw = rep.get();
+  sopts.mutation_executor = [raw](const DiscRequest& req) {
+    return raw->propose(req);
+  };
+  rep->rpc_addr_ = rpc_transport->local_addr();
+  rep->server_ = std::make_unique<DiscoveryServer>(std::move(rpc_transport),
+                                                   rep->state_, sopts);
+  rep->member_thread_ = std::thread([raw] { raw->member_loop(); });
+  if (rep->opts_.sweep_period > Duration::zero())
+    rep->sweep_thread_ = std::thread([raw] { raw->sweep_loop(); });
+  return rep;
+}
+
+DiscoveryReplica::DiscoveryReplica(std::shared_ptr<Transport> member,
+                                   DiscoveryReplicaOptions opts)
+    : member_(std::move(member)),
+      member_addr_(member_->local_addr()),
+      opts_(std::move(opts)),
+      state_(std::make_shared<DiscoveryState>()) {
+  // Replicated state: no local-clock sweeps, partition-namespaced ids.
+  state_->set_manual_sweep(true);
+  state_->set_alloc_namespace(opts_.partition_index);
+  if (opts_.stats) state_->set_fault_stats(opts_.stats);
+}
+
+DiscoveryReplica::~DiscoveryReplica() { stop(); }
+
+void DiscoveryReplica::stop() {
+  if (stopping_.exchange(true)) return;
+  // Wake proposals first so server threads blocked in propose() bail out
+  // with unavailable instead of riding out apply_timeout.
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    for (auto& [id, w] : pending_) {
+      std::lock_guard<std::mutex> wlk(w->mu);
+      w->cv.notify_all();
+    }
+  }
+  server_.reset();  // closes the rpc transport, joins serve/push threads
+  sweep_cv_.notify_all();
+  if (sweep_thread_.joinable()) sweep_thread_.join();
+  member_->close();
+  if (member_thread_.joinable()) member_thread_.join();
+}
+
+DiscResponse DiscoveryReplica::propose(const DiscRequest& req) {
+  if (stopping_.load())
+    return error_response(err(Errc::unavailable, "replica stopping"));
+  CtrlOp op;
+  op.kind = CtrlOpKind::disc;
+  op.origin = opts_.replica_id;
+  op.submit_id = next_submit_.fetch_add(1) + 1;
+  op.time_ns = now().time_since_epoch().count();
+  op.req = encode_request(req);
+
+  auto waiter = std::make_shared<PendingApply>();
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_[op.submit_id] = waiter;
+  }
+  auto sent =
+      member_->send_to(opts_.sequencer, mcast_frame(member_addr_, encode_ctrl_op(op)));
+  bool done = false;
+  DiscResponse rsp;
+  if (sent.ok()) {
+    std::unique_lock<std::mutex> lk(waiter->mu);
+    waiter->cv.wait_for(lk, opts_.apply_timeout,
+                        [&] { return waiter->done || stopping_.load(); });
+    done = waiter->done;
+    if (done) {
+      auto decoded = decode_response(waiter->response);
+      rsp = decoded.ok()
+                ? std::move(decoded).value()
+                : error_response(err(Errc::internal, "bad replicated response"));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_.erase(op.submit_id);
+  }
+  if (!done)
+    // Transient: the server does not dedup-cache this, so the client's
+    // retry (same idem key) re-proposes and the apply-side cache absorbs
+    // any duplicate execution.
+    return error_response(
+        err(Errc::unavailable, "replication timed out (op not sequenced)"));
+  return rsp;
+}
+
+void DiscoveryReplica::member_loop() {
+  SequencedApplyWindow window;
+  bool fetch_sent = false;
+  TimePoint gap_since{};
+  for (;;) {
+    Deadline d = window.has_gap() ? Deadline::after(opts_.gap_timeout)
+                                  : Deadline::never();
+    auto pkt_r = member_->recv(d);
+    if (!pkt_r.ok()) {
+      if (pkt_r.error().code != Errc::timed_out) return;  // closed
+    } else {
+      auto op_r = parse_sequenced_mcast(pkt_r.value().payload);
+      if (op_r.ok()) {
+        const McastOp& op = op_r.value();
+        auto released =
+            window.offer(op.seq, Bytes(op.payload.begin(), op.payload.end()));
+        for (auto& [seq, frame] : released) apply(seq, frame);
+      }
+    }
+    if (!window.has_gap()) {
+      fetch_sent = false;
+      continue;
+    }
+    if (!fetch_sent) {
+      // First resort: ask the sequencer to re-send the missing range.
+      (void)member_->send_to(
+          opts_.sequencer,
+          mcast_fetch_frame(member_addr_, window.next_seq(), window.gap_end()));
+      fetches_.fetch_add(1, std::memory_order_relaxed);
+      fetch_sent = true;
+      gap_since = now();
+    } else if (now() - gap_since >= opts_.gap_timeout) {
+      // Retransmission didn't land either; skip like the datapath does.
+      auto released = window.skip_to(window.gap_end());
+      gaps_skipped_.fetch_add(1, std::memory_order_relaxed);
+      BLOG(debug, "control") << opts_.replica_id << " skipped seq gap";
+      for (auto& [seq, frame] : released) apply(seq, frame);
+      fetch_sent = false;  // a further gap gets its own fetch
+    }
+  }
+}
+
+void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
+  auto op_r = decode_ctrl_op(ctrl_frame);
+  if (!op_r.ok()) {
+    BLOG(debug, "control") << "undecodable ctrl op: "
+                           << op_r.error().to_string();
+    return;
+  }
+  CtrlOp op = std::move(op_r).value();
+  // Origin-stamped time: every replica computes identical lease expiry.
+  // (Single steady-clock domain per deployment; a multi-host cluster
+  // would substitute a hybrid clock here.)
+  TimePoint at{Duration(op.time_ns)};
+  Bytes encoded;
+
+  if (op.kind == CtrlOpKind::sweep) {
+    size_t reaped = state_->expire_leases_at(at);
+    if (reaped > 0 && opts_.tracer) {
+      Span span = trace_span(opts_.tracer, "ctrl.apply");
+      span.tag("op", "sweep");
+      span.tag_u64("seq", seq);
+      span.tag_u64("reaped", reaped);
+    }
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto req_r = decode_request(op.req);
+    if (!req_r.ok()) return;
+    DiscRequest req = std::move(req_r).value();
+    Span span = trace_span(opts_.tracer, "ctrl.apply", req.trace);
+    span.tag("op", serve_span_name(req.op));
+    span.tag("origin", op.origin);
+    span.tag_u64("seq", seq);
+
+    // Replicated idempotency: a client retry that was re-proposed (e.g.
+    // it landed on a different replica after failover) must not execute
+    // twice. The cache is part of the replicated state — maintained only
+    // from sequenced ops, bounded FIFO for deterministic eviction — so
+    // every replica agrees on which (client, idem) pairs are spent.
+    std::string dedup_key;
+    if (is_mutation(req.op) && req.idem_key != 0 && !req.client_id.empty())
+      dedup_key = req.client_id + "#" + std::to_string(req.idem_key);
+    auto hit = dedup_key.empty() ? apply_dedup_.end()
+                                 : apply_dedup_.find(dedup_key);
+    if (hit != apply_dedup_.end()) {
+      encoded = hit->second;
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      span.tag("dedup", "1");
+    } else {
+      DiscResponse rsp = execute_request(*state_, req, at);
+      if (!rsp.success) span.tag("error", rsp.error);
+      encoded = encode_response(rsp);
+      if (!dedup_key.empty() &&
+          apply_dedup_.emplace(dedup_key, encoded).second) {
+        apply_dedup_order_.push_back(dedup_key);
+        if (apply_dedup_order_.size() > kApplyDedupCap) {
+          apply_dedup_.erase(apply_dedup_order_.front());
+          apply_dedup_order_.pop_front();
+        }
+      }
+    }
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Our own proposal came back out of the sequencer: the mutation is
+  // replicated, answer the waiting client RPC.
+  if (op.submit_id != 0 && op.origin == opts_.replica_id) {
+    std::shared_ptr<PendingApply> w;
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      auto it = pending_.find(op.submit_id);
+      if (it != pending_.end()) w = it->second;
+    }
+    if (w) {
+      std::lock_guard<std::mutex> wlk(w->mu);
+      w->response = std::move(encoded);
+      w->done = true;
+      w->cv.notify_all();
+    }
+  }
+}
+
+void DiscoveryReplica::sweep_loop() {
+  std::unique_lock<std::mutex> lk(sweep_mu_);
+  while (!stopping_.load()) {
+    sweep_cv_.wait_for(lk, opts_.sweep_period);
+    if (stopping_.load()) return;
+    // Idempotent replicated sweep: every replica proposes one, all
+    // replicas apply all of them; expiry happens at a point *in the op
+    // stream*, not at a local clock tick. The steady trickle doubles as
+    // keepalive traffic that exposes sequence gaps promptly.
+    CtrlOp op;
+    op.kind = CtrlOpKind::sweep;
+    op.origin = opts_.replica_id;
+    op.time_ns = now().time_since_epoch().count();
+    (void)member_->send_to(opts_.sequencer,
+                           mcast_frame(member_addr_, encode_ctrl_op(op)));
+  }
+}
+
+}  // namespace bertha

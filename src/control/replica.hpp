@@ -1,0 +1,143 @@
+// One replica of one discovery control-plane partition.
+//
+// A DiscoveryReplica owns a full DiscoveryState copy of its partition's
+// catalogue and a DiscoveryServer that serves clients from it. Queries
+// and watch streams serve purely locally; every mutation is routed
+// through the partition's ordered-multicast sequencer (the NOPaxos
+// pattern, chunnels/ordered_mcast.hpp) and applied — in identical global
+// order, at the op's origin-stamped time — by every replica of the
+// group. Because the apply stream is identical, so is every derived
+// artifact: the catalogue, the lease table, the allocation ids, the
+// idempotency cache, and crucially the watch-event sequence — which is
+// what lets a client fail over to another replica and resume its watch
+// stream by seq alone, no snapshot needed.
+//
+// Gap handling: a replica that sees a sequence gap first asks the
+// sequencer to retransmit from its bounded log (mcast_fetch_frame); if
+// the gap still hasn't filled after gap_timeout it is skipped and
+// counted, like ordered_mcast's datapath replicas.
+//
+// Lease expiry is replicated too: each replica proposes an idempotent
+// sweep op on a timer (CtrlOpKind::sweep) instead of sweeping from its
+// local clock, so all replicas reap the same owners at the same point
+// in the op stream. The local DiscoveryState runs with manual sweep and
+// a partition-namespaced allocation counter.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "control/control_wire.hpp"
+#include "core/discovery.hpp"
+
+namespace bertha {
+
+struct DiscoveryReplicaOptions {
+  std::string replica_id;      // unique across the cluster (e.g. "p0-r1")
+  uint64_t partition_index = 0;  // alloc-id namespace for this partition
+  Addr sequencer;              // where proposals go
+  // How long a proposal waits for its own op to come back out of the
+  // sequencer before the client RPC fails transiently (the client
+  // retries; the idempotency cache absorbs duplicates).
+  Duration apply_timeout = ms(500);
+  // Period of proposed lease-sweep ops; zero disables (tests drive
+  // expiry by proposing their own sweeps).
+  Duration sweep_period = ms(50);
+  // Gap recovery: how long after the retransmit fetch a head-of-line
+  // gap may persist before it is skipped.
+  Duration gap_timeout = ms(20);
+  DiscoveryServer::Options server;  // serving options (tracer, coalesce…)
+  TracerPtr tracer;                 // ctrl.apply spans
+  FaultStatsPtr stats;
+};
+
+class DiscoveryReplica {
+ public:
+  // `rpc_transport` serves client RPCs (DiscoveryServer); `member`
+  // receives the sequenced op stream and sends proposals. Both are
+  // owned; tests pass fault-injecting wrappers.
+  static Result<std::unique_ptr<DiscoveryReplica>> start(
+      TransportPtr rpc_transport, TransportPtr member,
+      DiscoveryReplicaOptions opts);
+  ~DiscoveryReplica();
+
+  DiscoveryReplica(const DiscoveryReplica&) = delete;
+  DiscoveryReplica& operator=(const DiscoveryReplica&) = delete;
+
+  const std::string& replica_id() const { return opts_.replica_id; }
+  const Addr& rpc_addr() const { return rpc_addr_; }
+  const Addr& member_addr() const { return member_addr_; }
+  DiscoveryServer& server() { return *server_; }
+  const std::shared_ptr<DiscoveryState>& state() const { return state_; }
+
+  // Ops applied from the sequenced stream (including sweeps).
+  uint64_t applied() const { return applied_.load(std::memory_order_relaxed); }
+  // Head-of-line gaps abandoned after retransmission failed.
+  uint64_t gaps_skipped() const {
+    return gaps_skipped_.load(std::memory_order_relaxed);
+  }
+  // Retransmit fetches sent to the sequencer.
+  uint64_t fetches() const { return fetches_.load(std::memory_order_relaxed); }
+  // Mutations answered from the replicated idempotency cache at apply.
+  uint64_t replicated_dedup_hits() const {
+    return dedup_hits_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  DiscoveryReplica(std::shared_ptr<Transport> member,
+                   DiscoveryReplicaOptions opts);
+
+  struct PendingApply {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Bytes response;  // encoded DiscResponse recorded at apply
+  };
+
+  // The DiscoveryServer mutation hook: encode, sequence, wait for apply.
+  DiscResponse propose(const DiscRequest& req);
+  void member_loop();
+  void sweep_loop();
+  // Applies one decoded sequenced op to the local state.
+  void apply(uint64_t seq, BytesView ctrl_frame);
+
+  std::shared_ptr<Transport> member_;
+  Addr member_addr_;
+  Addr rpc_addr_;
+  DiscoveryReplicaOptions opts_;
+  std::shared_ptr<DiscoveryState> state_;
+  std::unique_ptr<DiscoveryServer> server_;
+
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> gaps_skipped_{0};
+  std::atomic<uint64_t> fetches_{0};
+  std::atomic<uint64_t> dedup_hits_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Proposals awaiting their sequenced apply, by submit_id.
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingApply>> pending_;
+  std::atomic<uint64_t> next_submit_{0};
+
+  // Replicated idempotency cache: identical on every replica because it
+  // is maintained at apply time, from replicated ops only. Bounded FIFO
+  // so eviction is deterministic too.
+  static constexpr size_t kApplyDedupCap = 1024;
+  std::unordered_map<std::string, Bytes> apply_dedup_;
+  std::deque<std::string> apply_dedup_order_;
+
+  std::condition_variable sweep_cv_;
+  std::mutex sweep_mu_;
+  std::thread sweep_thread_;
+  std::thread member_thread_;
+};
+
+}  // namespace bertha

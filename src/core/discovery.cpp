@@ -392,6 +392,13 @@ std::pair<std::vector<ImplInfo>, uint64_t> DiscoveryState::catalogue_snapshot()
 Result<void> DiscoveryState::register_impl_leased(const ImplInfo& info,
                                                  const std::string& owner,
                                                  Duration ttl) {
+  return register_impl_leased_at(info, owner, ttl, now());
+}
+
+Result<void> DiscoveryState::register_impl_leased_at(const ImplInfo& info,
+                                                     const std::string& owner,
+                                                     Duration ttl,
+                                                     TimePoint at) {
   if (owner.empty() || ttl <= Duration::zero())
     return err(Errc::invalid_argument, "lease requires owner and positive ttl");
   std::lock_guard<std::mutex> lk(mu_);
@@ -399,7 +406,7 @@ Result<void> DiscoveryState::register_impl_leased(const ImplInfo& info,
   auto [it, fresh] = leases_.try_emplace(owner);
   Lease& l = it->second;
   l.ttl = ttl;
-  l.expires = now() + ttl;
+  l.expires = at + ttl;
   auto key = std::make_pair(info.type, info.name);
   if (std::find(l.impls.begin(), l.impls.end(), key) == l.impls.end())
     l.impls.push_back(std::move(key));
@@ -412,6 +419,12 @@ Result<void> DiscoveryState::register_impl_leased(const ImplInfo& info,
 Result<uint64_t> DiscoveryState::acquire_leased(
     const std::vector<ResourceReq>& reqs, const std::string& owner,
     Duration ttl) {
+  return acquire_leased_at(reqs, owner, ttl, now());
+}
+
+Result<uint64_t> DiscoveryState::acquire_leased_at(
+    const std::vector<ResourceReq>& reqs, const std::string& owner,
+    Duration ttl, TimePoint at) {
   if (owner.empty() || ttl <= Duration::zero())
     return err(Errc::invalid_argument, "lease requires owner and positive ttl");
   std::lock_guard<std::mutex> lk(mu_);
@@ -419,7 +432,7 @@ Result<uint64_t> DiscoveryState::acquire_leased(
   auto [it, fresh] = leases_.try_emplace(owner);
   Lease& l = it->second;
   l.ttl = ttl;
-  l.expires = now() + ttl;
+  l.expires = at + ttl;
   l.allocs.push_back(id);
   if (fresh && fault_stats_) fault_stats_->lease_grants++;
   ensure_sweeper_locked();
@@ -428,11 +441,16 @@ Result<uint64_t> DiscoveryState::acquire_leased(
 }
 
 Result<void> DiscoveryState::heartbeat(const std::string& owner) {
+  return heartbeat_at(owner, now());
+}
+
+Result<void> DiscoveryState::heartbeat_at(const std::string& owner,
+                                          TimePoint at) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = leases_.find(owner);
   if (it == leases_.end())
     return err(Errc::not_found, "no lease held by " + owner);
-  it->second.expires = now() + it->second.ttl;
+  it->second.expires = at + it->second.ttl;
   if (fault_stats_) fault_stats_->lease_renewals++;
   return ok();
 }
@@ -440,6 +458,21 @@ Result<void> DiscoveryState::heartbeat(const std::string& owner) {
 size_t DiscoveryState::expire_leases() {
   std::lock_guard<std::mutex> lk(mu_);
   return expire_leases_locked(now());
+}
+
+size_t DiscoveryState::expire_leases_at(TimePoint when) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return expire_leases_locked(when);
+}
+
+void DiscoveryState::set_alloc_namespace(uint64_t ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  next_alloc_ = (ns << kAllocNamespaceShift) | 1;
+}
+
+void DiscoveryState::set_manual_sweep(bool on) {
+  std::lock_guard<std::mutex> lk(mu_);
+  manual_sweep_ = on;
 }
 
 size_t DiscoveryState::expire_leases_locked(TimePoint when) {
@@ -466,7 +499,10 @@ size_t DiscoveryState::expire_leases_locked(TimePoint when) {
 }
 
 void DiscoveryState::ensure_sweeper_locked() {
-  if (sweeper_running_ || stopping_) return;
+  // Manual-sweep (replicated) states expire only via expire_leases_at():
+  // a local timer firing on one replica but not its peers would diverge
+  // the replicated catalogue.
+  if (manual_sweep_ || sweeper_running_ || stopping_) return;
   sweeper_running_ = true;
   sweeper_ = std::thread([this] { sweeper_loop(); });
 }
@@ -490,135 +526,9 @@ void DiscoveryState::sweeper_loop() {
 }
 
 // --- Wire protocol ---
-
-namespace {
-
-enum class DiscOp : uint8_t {
-  register_impl = 1,
-  unregister_impl = 2,
-  query = 3,
-  acquire = 4,
-  release = 5,
-  set_pool = 6,
-  heartbeat = 7,  // renews every lease held by client_id
-};
-
-struct DiscRequest {
-  DiscOp op;
-  std::string type;
-  std::string name;
-  std::optional<ImplInfo> entry;
-  std::vector<ResourceReq> resources;
-  uint64_t alloc_id = 0;
-  uint64_t capacity = 0;
-  // Fault-tolerance extensions (zero/empty when unused).
-  std::string client_id;  // lease owner / dedup namespace
-  uint64_t idem_key = 0;  // non-zero: dedupe retries of this mutation
-  uint64_t ttl_ms = 0;    // non-zero: lease the registration/allocation
-  TraceContext trace;     // optional: caller's span, for server-side spans
-};
-
-Bytes encode_request(const DiscRequest& req) {
-  Writer w;
-  w.put_u8(static_cast<uint8_t>(req.op));
-  w.put_string(req.type);
-  w.put_string(req.name);
-  serde_put(w, std::optional<ImplInfo>(req.entry));
-  serde_put(w, req.resources);
-  w.put_varint(req.alloc_id);
-  w.put_varint(req.capacity);
-  w.put_string(req.client_id);
-  w.put_varint(req.idem_key);
-  w.put_varint(req.ttl_ms);
-  put_trace_context(w, req.trace);
-  return std::move(w).take();
-}
-
-Result<DiscRequest> decode_request(BytesView b) {
-  Reader r(b);
-  DiscRequest req;
-  BERTHA_TRY_ASSIGN(op, r.get_u8());
-  if (op < 1 || op > 7) return err(Errc::protocol_error, "bad discovery op");
-  req.op = static_cast<DiscOp>(op);
-  BERTHA_TRY_ASSIGN(type, r.get_string());
-  BERTHA_TRY_ASSIGN(name, r.get_string());
-  BERTHA_TRY_ASSIGN(entry, serde_get<std::optional<ImplInfo>>(r));
-  BERTHA_TRY_ASSIGN(res, serde_get<std::vector<ResourceReq>>(r));
-  BERTHA_TRY_ASSIGN(alloc, r.get_varint());
-  BERTHA_TRY_ASSIGN(cap, r.get_varint());
-  BERTHA_TRY_ASSIGN(client, r.get_string());
-  BERTHA_TRY_ASSIGN(idem, r.get_varint());
-  BERTHA_TRY_ASSIGN(ttl, r.get_varint());
-  req.type = std::move(type);
-  req.name = std::move(name);
-  req.entry = std::move(entry);
-  req.resources = std::move(res);
-  req.alloc_id = alloc;
-  req.capacity = cap;
-  req.client_id = std::move(client);
-  req.idem_key = idem;
-  req.ttl_ms = ttl;
-  req.trace = read_trace_context_tail(r);
-  return req;
-}
-
-struct DiscResponse {
-  bool success = false;
-  uint8_t errc = 0;
-  std::string error;
-  std::vector<ImplInfo> entries;
-  uint64_t alloc_id = 0;
-};
-
-Bytes encode_response(const DiscResponse& rsp) {
-  Writer w;
-  w.put_bool(rsp.success);
-  w.put_u8(rsp.errc);
-  w.put_string(rsp.error);
-  serde_put(w, rsp.entries);
-  w.put_varint(rsp.alloc_id);
-  return std::move(w).take();
-}
-
-Result<DiscResponse> decode_response(BytesView b) {
-  Reader r(b);
-  DiscResponse rsp;
-  BERTHA_TRY_ASSIGN(okb, r.get_bool());
-  BERTHA_TRY_ASSIGN(ec, r.get_u8());
-  BERTHA_TRY_ASSIGN(error, r.get_string());
-  BERTHA_TRY_ASSIGN(entries, serde_get<std::vector<ImplInfo>>(r));
-  BERTHA_TRY_ASSIGN(alloc, r.get_varint());
-  rsp.success = okb;
-  rsp.errc = ec;
-  rsp.error = std::move(error);
-  rsp.entries = std::move(entries);
-  rsp.alloc_id = alloc;
-  return rsp;
-}
-
-DiscResponse error_response(const Error& e) {
-  DiscResponse rsp;
-  rsp.success = false;
-  rsp.errc = static_cast<uint8_t>(e.code);
-  rsp.error = e.message;
-  return rsp;
-}
-
-const char* serve_span_name(DiscOp op) {
-  switch (op) {
-    case DiscOp::register_impl: return "serve.register_impl";
-    case DiscOp::unregister_impl: return "serve.unregister_impl";
-    case DiscOp::query: return "serve.query";
-    case DiscOp::acquire: return "serve.acquire";
-    case DiscOp::release: return "serve.release";
-    case DiscOp::set_pool: return "serve.set_pool";
-    case DiscOp::heartbeat: return "serve.heartbeat";
-  }
-  return "serve.unknown";
-}
-
-}  // namespace
-
+//
+// Request/response codec and execute_request live in discovery_wire.cpp,
+// shared with the replicated control plane (src/control/).
 // --- Watch subscription messages ---
 
 Bytes encode_subscribe(const SubscribeMsg& m) {
@@ -1024,8 +934,7 @@ void DiscoveryServer::serve_loop() {
       // Retried mutation we already executed? Replay the recorded answer
       // so the effect stays exactly-once (a lost acquire response must
       // not allocate twice).
-      if (req.idem_key != 0 && !req.client_id.empty() &&
-          req.op != DiscOp::query) {
+      if (req.idem_key != 0 && !req.client_id.empty() && is_mutation(req.op)) {
         dedup_key = req.client_id;
         dedup_key += '#';
         dedup_key += std::to_string(req.idem_key);
@@ -1052,76 +961,26 @@ void DiscoveryServer::serve_loop() {
       }
       Span serve_span = trace_span(opts_.tracer, serve_span_name(req.op),
                                    req.trace);
-      bool leased = req.ttl_ms != 0 && !req.client_id.empty();
-      Duration ttl = ms(static_cast<int64_t>(req.ttl_ms));
-      switch (req.op) {
-        case DiscOp::register_impl: {
-          if (!req.entry) {
-            rsp = error_response(err(Errc::invalid_argument, "missing entry"));
-            break;
-          }
-          auto r = leased ? state_->register_impl_leased(*req.entry,
-                                                        req.client_id, ttl)
-                          : state_->register_impl(*req.entry);
-          if (r.ok()) rsp.success = true;
-          else rsp = error_response(r.error());
-          break;
-        }
-        case DiscOp::unregister_impl: {
-          auto r = state_->unregister_impl(req.type, req.name);
-          if (r.ok()) rsp.success = true;
-          else rsp = error_response(r.error());
-          break;
-        }
-        case DiscOp::query: {
-          auto r = state_->query(req.type);
-          if (r.ok()) {
-            rsp.success = true;
-            rsp.entries = std::move(r).value();
-          } else {
-            rsp = error_response(r.error());
-          }
-          break;
-        }
-        case DiscOp::acquire: {
-          auto r = leased ? state_->acquire_leased(req.resources,
-                                                   req.client_id, ttl)
-                          : state_->acquire(req.resources);
-          if (r.ok()) {
-            rsp.success = true;
-            rsp.alloc_id = r.value();
-          } else {
-            rsp = error_response(r.error());
-          }
-          break;
-        }
-        case DiscOp::release: {
-          auto r = state_->release(req.alloc_id);
-          if (r.ok()) rsp.success = true;
-          else rsp = error_response(r.error());
-          break;
-        }
-        case DiscOp::set_pool: {
-          auto r = state_->set_pool(req.type, req.capacity);
-          if (r.ok()) rsp.success = true;
-          else rsp = error_response(r.error());
-          break;
-        }
-        case DiscOp::heartbeat: {
-          auto r = state_->heartbeat(req.client_id);
-          if (r.ok()) rsp.success = true;
-          else rsp = error_response(r.error());
-          break;
-        }
+      if (opts_.mutation_executor && is_mutation(req.op)) {
+        serve_span.tag("replicated", "1");
+        rsp = opts_.mutation_executor(req);
+      } else {
+        rsp = execute_request(*state_, req, now());
       }
       if (!rsp.success) serve_span.tag("error", rsp.error);
     }
 
+    // Transient failures (the replica group unreachable, a sequencer
+    // timeout) must not be recorded: the whole point of the client's
+    // retry is to try again, not to be handed the outage verbatim.
+    bool transient = !rsp.success &&
+                     (rsp.errc == static_cast<uint8_t>(Errc::unavailable) ||
+                      rsp.errc == static_cast<uint8_t>(Errc::timed_out));
     Bytes body = encode_response(rsp);
     {
       std::lock_guard<std::mutex> lk(mu_);
       requests_++;
-      if (!dedup_key.empty() &&
+      if (!dedup_key.empty() && !transient &&
           dedup_.emplace(dedup_key, body).second) {
         dedup_order_.push_back(std::move(dedup_key));
         while (dedup_order_.size() > kDedupCacheCap) {
@@ -1182,14 +1041,27 @@ uint64_t lease_ttl_ms(const RemoteDiscovery::Options& opts) {
 
 }  // namespace
 
-RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
-                                 Options opts)
+RemoteDiscovery::RemoteDiscovery(TransportPtr transport,
+                                 std::vector<Addr> servers, Options opts)
     : transport_(std::move(transport)),
-      server_(std::move(server)),
+      servers_(std::move(servers)),
       opts_(opts),
       client_id_(random_client_id()) {
-  if (opts_.backoff_seed == 0)
-    opts_.backoff_seed = std::hash<std::string>{}(client_id_) | 1;
+  // Per-client jitter seed: a fleet of clients whose RPCs time out
+  // together (a replica just died) must not retry in lockstep.
+  backoff_seed_ = opts_.backoff_seed != 0
+                      ? opts_.backoff_seed
+                      : (std::hash<std::string>{}(client_id_) | 1);
+}
+
+RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
+                                 Options opts)
+    : RemoteDiscovery(std::move(transport),
+                      std::vector<Addr>{std::move(server)}, std::move(opts)) {}
+
+Addr RemoteDiscovery::active_server() const {
+  std::lock_guard<std::mutex> lk(srv_mu_);
+  return servers_[active_];
 }
 
 RemoteDiscovery::~RemoteDiscovery() {
@@ -1209,7 +1081,8 @@ RemoteDiscovery::~RemoteDiscovery() {
     m.sub_id = id;
     m.client_id = client_id_;
     (void)transport_->send_to(
-        server_, encode_frame(MsgKind::unsubscribe, id, encode_unsubscribe(m)));
+        active_server(),
+        encode_frame(MsgKind::unsubscribe, id, encode_unsubscribe(m)));
     sub->watcher->cancel();
   }
   {
@@ -1217,8 +1090,10 @@ RemoteDiscovery::~RemoteDiscovery() {
     hb_stop_ = true;
   }
   hb_cv_.notify_all();
+  watchdog_cv_.notify_all();
   transport_->close();
   if (hb_thread_.joinable()) hb_thread_.join();
+  if (watchdog_.joinable()) watchdog_.join();
   if (reader_.joinable()) reader_.join();
   for (auto& [w, t] : pollers)
     if (t.joinable()) t.join();
@@ -1306,8 +1181,80 @@ void RemoteDiscovery::send_subscribe(const Sub& sub, uint64_t last_seq,
   m.last_seq = last_seq;
   m.resume = resume;
   (void)transport_->send_to(
-      server_,
+      active_server(),
       encode_frame(MsgKind::subscribe, sub.id, encode_subscribe(m)));
+}
+
+void RemoteDiscovery::rotate_server(size_t observed) {
+  if (servers_.size() < 2) return;
+  {
+    std::lock_guard<std::mutex> lk(srv_mu_);
+    if (observed != active_) return;  // a concurrent caller already rotated
+    active_ = (active_ + 1) % servers_.size();
+  }
+  failovers_.fetch_add(1);
+  if (opts_.stats) opts_.stats->server_failovers++;
+  Span span = trace_span(opts_.tracer, "ctrl.failover");
+  Addr next = active_server();
+  span.tag("server", next.to_string());
+  BLOG(warn, "discovery") << "failing over to discovery server "
+                          << next.to_string();
+  // Re-subscribe every live watch stream on the new server with resume:
+  // the replicated catalogue carries the identical watch seq on every
+  // replica, so the new server replays exactly the missed suffix (no
+  // snapshot fallback unless the gap outran its event log).
+  std::vector<std::shared_ptr<Sub>> subs;
+  {
+    std::lock_guard<std::mutex> lk(watch_mu_);
+    for (auto& [id, sub] : subs_) subs.push_back(sub);
+  }
+  for (auto& sub : subs) {
+    uint64_t last;
+    {
+      std::lock_guard<std::mutex> lk(sub->mu);
+      last = sub->last_seq;
+    }
+    if (opts_.stats) opts_.stats->watch_resubscribes++;
+    send_subscribe(*sub, last, /*resume=*/true);
+  }
+  last_push_ns_.store(now().time_since_epoch().count(),
+                      std::memory_order_relaxed);
+}
+
+void RemoteDiscovery::ensure_watchdog() {
+  if (opts_.watch_failover_timeout <= Duration::zero() || servers_.size() < 2)
+    return;
+  std::lock_guard<std::mutex> lk(watch_mu_);
+  if (watchdog_started_ || stopping_) return;
+  watchdog_started_ = true;
+  last_push_ns_.store(now().time_since_epoch().count(),
+                      std::memory_order_relaxed);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void RemoteDiscovery::watchdog_loop() {
+  // A live subscription receives at least the server's keepalive batches;
+  // silence past watch_failover_timeout means the active server stopped
+  // pushing (died, or we're partitioned from it) even though no RPC has
+  // timed out to notice — so rotate proactively.
+  const Duration limit = opts_.watch_failover_timeout;
+  std::unique_lock<std::mutex> lk(watch_mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lk, limit / 2);
+    if (stopping_) break;
+    if (subs_.empty()) continue;
+    int64_t last = last_push_ns_.load(std::memory_order_relaxed);
+    int64_t silent = now().time_since_epoch().count() - last;
+    if (silent < limit.count()) continue;
+    size_t observed;
+    {
+      std::lock_guard<std::mutex> lk2(srv_mu_);
+      observed = active_;
+    }
+    lk.unlock();
+    rotate_server(observed);
+    lk.lock();
+  }
 }
 
 Result<void> RemoteDiscovery::subscribe_watch(WatcherPtr w,
@@ -1326,11 +1273,12 @@ Result<void> RemoteDiscovery::subscribe_watch(WatcherPtr w,
     if (stopping_) return err(Errc::cancelled, "discovery client closing");
     subs_[sub->id] = sub;
   }
+  ensure_watchdog();
   // The first event_batch on our token is the subscribe ack; retry the
   // handshake like any RPC. An old server ignores the frame entirely, so
   // exhausting retries means "no push support", not "service down".
   ExponentialBackoff backoff(opts_.backoff,
-                             opts_.backoff_seed ^ (sub->id * 0x9e3779b9ull));
+                             backoff_seed_ ^ (sub->id * 0x9e3779b9ull));
   for (int attempt = 0; attempt <= opts_.retries; attempt++) {
     if (attempt > 0 && opts_.stats) opts_.stats->rpc_retries++;
     uint64_t last_seq;
@@ -1363,6 +1311,8 @@ void RemoteDiscovery::handle_event_batch(uint64_t token, BytesView payload) {
     if (it == subs_.end()) return;  // unknown/closed stream
     sub = it->second;
   }
+  last_push_ns_.store(now().time_since_epoch().count(),
+                      std::memory_order_relaxed);
   if (sub->watcher->cancelled()) {
     // The consumer dropped its handle; close the stream server-side too.
     {
@@ -1373,7 +1323,7 @@ void RemoteDiscovery::handle_event_batch(uint64_t token, BytesView payload) {
     m.sub_id = token;
     m.client_id = client_id_;
     (void)transport_->send_to(
-        server_,
+        active_server(),
         encode_frame(MsgKind::unsubscribe, token, encode_unsubscribe(m)));
     return;
   }
@@ -1487,10 +1437,10 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
   }
 
   ExponentialBackoff backoff(opts_.backoff,
-                             opts_.backoff_seed ^ (req_id * 0x9e3779b9ull));
+                             backoff_seed_ ^ (req_id * 0x9e3779b9ull));
   Result<DiscResponse> outcome =
-      err(Errc::unavailable,
-          "discovery service unreachable at " + server_.to_string());
+      err(Errc::unavailable, "discovery service unreachable at " +
+                                 active_server().to_string());
   bool exhausted = true;
   int attempts_used = 0;
   for (int attempt = 0; attempt <= opts_.retries; attempt++) {
@@ -1501,7 +1451,15 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
     Span att = span ? trace_span(opts_.tracer, "rpc.attempt", span->context())
                     : Span{};
     att.tag_u64("attempt", static_cast<uint64_t>(attempt));
-    auto sent = transport_->send_to(server_, frame);
+    size_t observed;
+    Addr target;
+    {
+      std::lock_guard<std::mutex> lk(srv_mu_);
+      observed = active_;
+      target = servers_[active_];
+    }
+    att.tag("server", target.to_string());
+    auto sent = transport_->send_to(target, frame);
     if (!sent.ok()) {
       outcome = sent.error();
       exhausted = false;
@@ -1515,6 +1473,9 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
     }
     lk.unlock();
     att.tag("timeout", "1");
+    // The active server let an RPC time out: assume it died and try the
+    // next replica on the following attempt (no-op with one server).
+    rotate_server(observed);
     if (attempt < opts_.retries) sleep_for(backoff.next());
   }
   {
@@ -1554,9 +1515,15 @@ void RemoteDiscovery::heartbeat_loop() {
                         ? opts_.heartbeat_period
                         : opts_.lease_ttl / 4;
   if (period <= Duration::zero()) period = ms(10);
+  // Jitter each interval ±12.5% (per-client seed): heartbeats from a
+  // fleet of clients started together must not stay phase-locked, or a
+  // recovering server absorbs them all in one burst.
+  Rng jitter(backoff_seed_ ^ 0x48454152544a4954ull);
+  int64_t half_spread = std::max<int64_t>(period.count() / 8, 1);
   std::unique_lock<std::mutex> lk(hb_mu_);
   while (!hb_stop_) {
-    hb_cv_.wait_for(lk, period);
+    hb_cv_.wait_for(lk, period + Duration(jitter.next_in(-half_spread,
+                                                         half_spread)));
     if (hb_stop_) break;
     lk.unlock();
     DiscRequest req;

@@ -25,11 +25,13 @@
 #include <unordered_map>
 
 #include "core/chunnel.hpp"
+#include "core/discovery_wire.hpp"
 #include "io/batch.hpp"
 #include "net/transport.hpp"
 #include "trace/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/queue.hpp"
+#include "util/rand.hpp"
 #include "util/stats.hpp"
 
 namespace bertha {
@@ -285,6 +287,32 @@ class DiscoveryState : public DiscoveryClient {
   // Returns the number of owners reaped.
   size_t expire_leases();
 
+  // Deterministic-time variants for replicated state machines
+  // (src/control/): `at` is the op's origin-stamped time, so every
+  // replica applying the same op computes the identical lease expiry.
+  // The plain variants above delegate here with now().
+  Result<void> register_impl_leased_at(const ImplInfo& info,
+                                       const std::string& owner, Duration ttl,
+                                       TimePoint at);
+  Result<uint64_t> acquire_leased_at(const std::vector<ResourceReq>& reqs,
+                                     const std::string& owner, Duration ttl,
+                                     TimePoint at);
+  Result<void> heartbeat_at(const std::string& owner, TimePoint at);
+  size_t expire_leases_at(TimePoint when);
+
+  // Replicated deployments only:
+  //  - set_alloc_namespace stamps every allocation id with a partition
+  //    index in the high bits (ids become (ns << kAllocNamespaceShift) |
+  //    counter), so ids minted by different partitions never collide and
+  //    a cluster client can route release() by id alone;
+  //  - set_manual_sweep disables the background lease sweeper — expiry
+  //    must arrive as explicit expire_leases_at() calls (replicated
+  //    sweep ops), never from a local clock, or replicas diverge.
+  // Both must be called before the state serves traffic.
+  static constexpr uint64_t kAllocNamespaceShift = 48;
+  void set_alloc_namespace(uint64_t ns);
+  void set_manual_sweep(bool on);
+
   void set_fault_stats(FaultStatsPtr stats);
   FaultStatsPtr fault_stats() const;
 
@@ -334,6 +362,7 @@ class DiscoveryState : public DiscoveryClient {
   std::condition_variable sweep_cv_;
   std::thread sweeper_;
   bool sweeper_running_ = false;
+  bool manual_sweep_ = false;
   bool stopping_ = false;
 };
 
@@ -363,6 +392,16 @@ class DiscoveryServer {
     // Optional: spans per served RPC (serve.<op>), parented to the
     // request's wire-propagated trace context.
     TracerPtr tracer;
+    // Replication hook (src/control/): when set, every mutation (any op
+    // but query) is routed here instead of being executed against the
+    // local state; the returned response goes back to the client.
+    // Queries and watch streams still serve from the local state — which
+    // the executor's owner keeps current by applying the sequenced op
+    // stream to it. Responses that fail with Errc::unavailable or
+    // timed_out are treated as transient and NOT recorded in the
+    // idempotency cache, so a client retry re-submits instead of
+    // replaying the outage.
+    std::function<DiscResponse(const DiscRequest&)> mutation_executor;
   };
 
   // Takes ownership of the transport; serves until destroyed.
@@ -478,7 +517,11 @@ class RemoteDiscovery final : public DiscoveryClient {
     Duration watch_poll = ms(50);
     // Backoff between retry attempts.
     ExponentialBackoff::Options backoff{ms(20), 2.0, ms(500), 0.5};
-    uint64_t backoff_seed = 1;
+    // 0 (the default) derives the jitter seed from this client's id, so a
+    // fleet of clients retrying into a recovering server spreads out
+    // instead of thundering in lockstep. Set non-zero only when a test
+    // needs a reproducible backoff schedule.
+    uint64_t backoff_seed = 0;
     // Non-zero: registrations/allocations are leased with this TTL and a
     // heartbeat thread renews them. If the service reports the lease
     // lost (e.g. after a long partition), registrations are replayed.
@@ -490,9 +533,21 @@ class RemoteDiscovery final : public DiscoveryClient {
     // The RPC span parents to the calling thread's ambient context, so
     // discovery calls made during negotiation join the connect trace.
     TracerPtr tracer;
+    // Multi-server only: if no event batch (not even a keepalive) arrives
+    // on a live subscription for this long, assume the server pushing it
+    // died and fail over: rotate to the next server and resubscribe with
+    // resume. Zero disables the watchdog (RPC timeouts still rotate).
+    // Should comfortably exceed the server's keepalive period.
+    Duration watch_failover_timeout = Duration::zero();
   };
 
   // `transport` is a bound client endpoint used solely for discovery RPCs.
+  // The multi-server form holds the replica set of one partition: RPCs go
+  // to the active server, and any timed-out attempt rotates to the next
+  // replica (resubscribing live watch streams with seq-resume), so a
+  // replica death costs one RPC timeout, not an outage.
+  RemoteDiscovery(TransportPtr transport, std::vector<Addr> servers,
+                  Options opts);
   RemoteDiscovery(TransportPtr transport, Addr server, Options opts);
   RemoteDiscovery(TransportPtr transport, Addr server)
       : RemoteDiscovery(std::move(transport), std::move(server), Options{}) {}
@@ -515,6 +570,12 @@ class RemoteDiscovery final : public DiscoveryClient {
 
   // The lease owner id sent with every request (unique per client).
   const std::string& client_id() const { return client_id_; }
+  // The server currently receiving RPCs, and how many failovers rotated
+  // us here. Diagnostics/tests only.
+  Addr active_server() const;
+  size_t server_failovers() const { return failovers_.load(); }
+  // The effective jitter seed (after client-id derivation).
+  uint64_t backoff_seed() const { return backoff_seed_; }
 
  private:
   struct Rsp;
@@ -532,10 +593,23 @@ class RemoteDiscovery final : public DiscoveryClient {
   void handle_event_batch(uint64_t token, BytesView payload);
   void send_subscribe(const Sub& sub, uint64_t last_seq, bool resume);
   uint64_t next_idem() { return next_idem_.fetch_add(1) + 1; }
+  // Failover: if `observed` is still the active index, advance to the
+  // next server and resubscribe every live watch stream there with
+  // resume (the replicated watch seq is identical on all replicas, so
+  // the new server replays exactly the missed suffix). Passing the
+  // observed index makes concurrent timed-out RPCs rotate once, not
+  // once each.
+  void rotate_server(size_t observed);
+  void watchdog_loop();
+  void ensure_watchdog();
 
   TransportPtr transport_;
-  Addr server_;
+  std::vector<Addr> servers_;
+  mutable std::mutex srv_mu_;
+  size_t active_ = 0;  // index into servers_; guarded by srv_mu_
+  std::atomic<size_t> failovers_{0};
   Options opts_;
+  uint64_t backoff_seed_ = 0;
   std::string client_id_;
   std::atomic<uint64_t> next_req_{1};
   std::atomic<uint64_t> next_idem_{0};
@@ -553,6 +627,13 @@ class RemoteDiscovery final : public DiscoveryClient {
   // Guarded by watch_mu_; the reader thread consults it on every
   // event_batch frame.
   std::unordered_map<uint64_t, std::shared_ptr<Sub>> subs_;
+  // Push-silence watchdog (multi-server; see watch_failover_timeout).
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
+  bool watchdog_started_ = false;
+  // Steady-clock ns of the last event_batch received (any subscription,
+  // keepalives included).
+  std::atomic<int64_t> last_push_ns_{0};
 
   // Heartbeat thread (lazily started once leased state exists) plus a
   // mirror of leased registrations to replay after a lost lease.

@@ -18,18 +18,6 @@ namespace bertha {
 
 namespace {
 
-// Derive a client bind address matching the server's address family.
-Addr client_bind_addr(const Addr& server, const std::string& host_id) {
-  switch (server.kind) {
-    case AddrKind::udp: return Addr::udp("0.0.0.0", 0);
-    case AddrKind::uds: return Addr::uds("");  // autobind
-    case AddrKind::mem: return Addr::mem(host_id, 0);
-    case AddrKind::sim: return Addr::sim(host_id, 0);
-    case AddrKind::invalid: break;
-  }
-  return Addr();
-}
-
 struct Peer {
   Addr addr;
   uint64_t token;
@@ -589,6 +577,9 @@ class Listener::Impl : public TransitionHost,
   Result<void> start(const Addr& addr) {
     BERTHA_TRY_ASSIGN(t, rt_->transports().bind(addr));
     primary_addr_ = t->local_addr();
+    epoch_salt_ = mint_epoch_salt(rt_->config().host_id + "|" +
+                                  rt_->config().process_id + "|" +
+                                  primary_addr_.to_string());
     std::shared_ptr<Transport> shared(std::move(t));
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -949,6 +940,10 @@ class Listener::Impl : public TransitionHost,
   std::vector<ChunnelSpec> chain_;
   std::string endpoint_name_;
   Addr primary_addr_;
+  // High-bits namespace for minted transition epochs (see
+  // mint_epoch_salt); derived from host/process/listen address so
+  // distinct servers never mint colliding epoch identifiers.
+  uint64_t epoch_salt_ = 0;
 
   BlockingQueue<ConnPtr> accept_q_;
 
@@ -1226,7 +1221,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
     current = it->second.chain;
     cur_allocs = it->second.allocs;
     peer = it->second.established_from;
-    epoch = it->second.epoch + 1;
+    epoch = epoch_salt_ | ((it->second.epoch + 1) & kEpochCounterMask);
     liveness = it->second.liveness;
     tconn = it->second.conn.lock();
     auto cit = conns_.find(token);
@@ -1611,7 +1606,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   if (servers.empty())
     return err(Errc::invalid_argument, "connect needs at least one address");
 
-  Addr bind = client_bind_addr(servers.front(), rt_->config().host_id);
+  Addr bind = client_bind_for(servers.front(), rt_->config().host_id);
   if (!bind.valid())
     return err(Errc::invalid_argument,
                "cannot derive bind addr for " + servers.front().to_string());

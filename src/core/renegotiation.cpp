@@ -4,9 +4,14 @@
 #include <map>
 
 #include "trace/metrics.hpp"
+#include "util/hash.hpp"
 #include "util/log.hpp"
 
 namespace bertha {
+
+uint64_t mint_epoch_salt(std::string_view server_identity) {
+  return mix64(fnv1a64(server_identity)) << kEpochCounterBits;
+}
 
 // --- message serde ---
 

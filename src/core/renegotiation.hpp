@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -37,6 +38,21 @@
 namespace bertha {
 
 // --- Transition handshake messages ---
+
+// Transition epochs are namespaced per listener: the top 16 bits carry
+// a salt derived from the minting server's identity (host, process,
+// listen address) and the low 48 bits count transitions on the
+// connection. Without the salt, two servers independently minting
+// "epoch 1" for the same logical flow (e.g. a client re-established
+// against a control-plane replica after failover) produce colliding
+// epoch identifiers in traces and ack/cancel matching.
+inline constexpr int kEpochCounterBits = 48;
+inline constexpr uint64_t kEpochCounterMask =
+    (uint64_t{1} << kEpochCounterBits) - 1;
+
+// Salt for `server_identity` (any stable identity string); the result
+// occupies only the bits above kEpochCounterBits.
+uint64_t mint_epoch_salt(std::string_view server_identity);
 
 enum class TransitionReason : uint8_t {
   upgrade = 1,        // a better implementation became usable

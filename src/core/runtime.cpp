@@ -41,6 +41,16 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
     cfg.tracer = std::make_shared<Tracer>(topts);
   }
   if (!cfg.metrics) cfg.metrics = std::make_shared<MetricsRegistry>();
+  if (!cfg.discovery && !cfg.discovery_servers.empty()) {
+    BERTHA_TRY_ASSIGN(
+        t, cfg.transports->bind(
+               client_bind_for(cfg.discovery_servers.front(), cfg.host_id)));
+    RemoteDiscovery::Options ropts = cfg.discovery_rpc;
+    if (!ropts.stats) ropts.stats = cfg.fault_stats;
+    if (!ropts.tracer) ropts.tracer = cfg.tracer;
+    cfg.discovery = std::make_shared<RemoteDiscovery>(
+        std::move(t), cfg.discovery_servers, std::move(ropts));
+  }
   if (!cfg.discovery) {
     auto state = std::make_shared<DiscoveryState>();
     state->set_fault_stats(cfg.fault_stats);

@@ -57,6 +57,17 @@ struct RuntimeConfig {
   // DiscoveryState (i.e. no external offloads visible).
   DiscoveryPtr discovery;
 
+  // Alternative to `discovery`: the replica set of a remote discovery
+  // service (e.g. one partition of the src/control/ cluster). When
+  // `discovery` is null and this is non-empty, create() binds a client
+  // transport of the first server's family and builds a failover
+  // RemoteDiscovery over the whole list with `discovery_rpc` (stats and
+  // tracer are threaded in automatically). For a *sharded* cluster,
+  // build a ClusterDiscovery (src/control/cluster.hpp) and pass it as
+  // `discovery` instead.
+  std::vector<Addr> discovery_servers;
+  RemoteDiscovery::Options discovery_rpc;
+
   // Operator implementation-selection policy; defaults to DefaultPolicy.
   PolicyPtr policy;
 

@@ -67,4 +67,15 @@ Result<Addr> Addr::parse(std::string_view uri) {
   return Addr(kind, std::string(host), port);
 }
 
+Addr client_bind_for(const Addr& server, const std::string& host_id) {
+  switch (server.kind) {
+    case AddrKind::udp: return Addr::udp("0.0.0.0", 0);
+    case AddrKind::uds: return Addr::uds("");  // autobind
+    case AddrKind::mem: return Addr::mem(host_id, 0);
+    case AddrKind::sim: return Addr::sim(host_id, 0);
+    case AddrKind::invalid: break;
+  }
+  return Addr();
+}
+
 }  // namespace bertha

@@ -74,4 +74,10 @@ struct AddrHash {
   }
 };
 
+// Derive a client bind address matching the server's address family
+// (udp: wildcard ephemeral; uds: autobind; mem/sim: the host's own
+// channel/node with an ephemeral port). Shared by the endpoint layer,
+// RemoteDiscovery bootstrap and the control-plane cluster client.
+Addr client_bind_for(const Addr& server, const std::string& host_id);
+
 }  // namespace bertha

@@ -75,6 +75,7 @@ void attach_fault_stats_provider(MetricsRegistry& m, FaultStatsPtr stats) {
     c["fault.watch_batches"] = stats->watch_batches.load();
     c["fault.watch_resubscribes"] = stats->watch_resubscribes.load();
     c["fault.watch_snapshots"] = stats->watch_snapshots.load();
+    c["fault.server_failovers"] = stats->server_failovers.load();
   });
 }
 

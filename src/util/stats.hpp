@@ -36,6 +36,8 @@ struct FaultStats {
   std::atomic<uint64_t> watch_batches{0};       // pushed batches applied
   std::atomic<uint64_t> watch_resubscribes{0};  // seq gaps -> resume sent
   std::atomic<uint64_t> watch_snapshots{0};     // snapshot batches applied
+  // Multi-server failover (replicated discovery control plane).
+  std::atomic<uint64_t> server_failovers{0};  // rotations to the next replica
 
   std::string to_string() const;
 };

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "control/cluster.hpp"
 #include "core/discovery_cache.hpp"
 #include "core/renegotiation.hpp"
 #include "net/fault.hpp"
@@ -293,6 +294,166 @@ TEST(ChaosTest, PartitionedSubscriberConvergesViaSeqResume) {
   for (const auto& n : mid)
     EXPECT_TRUE(names.count(n)) << n << " missing from the cached catalogue";
   EXPECT_GE(stats->catalogue_hits.load(), 1u);
+}
+
+// The control-plane acceptance run: a 2-partition x 3-replica discovery
+// cluster serving two runtimes' establishment path, with every replica's
+// client-facing link dropping 5% of datagrams. Mid-run, the replica
+// actively serving the partition that owns the "offload" catalogue is
+// killed. Required: zero acknowledged registrations/leases/allocations
+// lost, watch streams converge by seq-resume (never a snapshot), and
+// establishment keeps succeeding at full fidelity throughout.
+TEST(ChaosTest, ReplicatedControlPlaneSurvivesReplicaLossUnderDrop) {
+  auto net = MemNetwork::create();
+  auto stats = std::make_shared<FaultStats>();
+
+  DiscoveryCluster::Config ccfg;
+  ccfg.partitions = 2;
+  ccfg.replicas = 3;
+  ccfg.transports =
+      std::make_shared<DefaultTransportFactory>(net, nullptr, "ctrl");
+  ccfg.replica.sweep_period = ms(25);
+  ccfg.replica.server.coalesce_window = ms(2);
+  ccfg.replica.server.keepalive = ms(30);
+  // Chaos on the client-facing links only: the replication channel's own
+  // loss recovery is exercised by mcast_test; here the fault under test
+  // is replica death as seen by retrying clients.
+  ccfg.decorate = [](TransportPtr t, const std::string& role) -> TransportPtr {
+    if (role.find("-rpc") == std::string::npos) return t;
+    FaultInjectingTransport::Options fo;
+    fo.drop = 0.05;
+    fo.seed = std::hash<std::string>{}(role) | 1;
+    return TransportPtr(new FaultInjectingTransport(std::move(t), fo));
+  };
+  auto cluster = DiscoveryCluster::start(std::move(ccfg)).value();
+
+  RemoteDiscovery::Options rpc;
+  rpc.rpc_timeout = ms(80);
+  rpc.retries = 8;
+  rpc.backoff = {ms(5), 2.0, ms(40), 0.3};
+  rpc.watch_failover_timeout = ms(250);
+  rpc.stats = stats;
+
+  // The catalogue is published under a lease, heartbeat-renewed across
+  // the lossy link and (later) across the failover.
+  RemoteDiscovery::Options wrpc = rpc;
+  wrpc.lease_ttl = ms(400);
+  auto writer = cluster->client("chaos-wr", wrpc).value();
+  ASSERT_TRUE(writer->set_pool("pool.hw", 64).ok());
+  ImplInfo hw = offload_info("offload/hw", 50, {{"pool.hw", 1}});
+  ImplInfo sw = offload_info("offload/sw", 0);
+  ASSERT_TRUE(writer->register_impl(hw).ok());
+  ASSERT_TRUE(writer->register_impl(sw).ok());
+
+  auto obs = cluster->client("chaos-obs", rpc).value();
+  auto w = obs->watch("offload").value();
+
+  auto mk = [&](const std::string& host) {
+    RuntimeConfig cfg;
+    cfg.host_id = host;
+    cfg.transports =
+        std::make_shared<DefaultTransportFactory>(net, nullptr, host);
+    cfg.discovery = cluster->client(host + "-disc", rpc).value();
+    cfg.fault_stats = stats;
+    cfg.handshake_timeout = ms(500);
+    cfg.handshake_retries = 10;
+    auto rt = Runtime::create(std::move(cfg)).value();
+    EXPECT_TRUE(rt->register_chunnel(std::make_shared<InfoChunnel>(hw)).ok());
+    EXPECT_TRUE(rt->register_chunnel(std::make_shared<InfoChunnel>(sw)).ok());
+    return rt;
+  };
+  auto srv_rt = mk("h-srv");
+  auto cli_rt = mk("h-cli");
+
+  auto listener = srv_rt->endpoint("srv", wrap(ChunnelSpec("offload")))
+                      .value()
+                      .listen(Addr::mem("h-srv", 100))
+                      .value();
+  auto ep = cli_rt->endpoint("cli", ChunnelDag::empty()).value();
+
+  // Connections hold their pool.hw slot, so pool accounting at the end
+  // audits every acknowledged acquire.
+  std::vector<std::pair<ConnPtr, ConnPtr>> held;
+  auto establish = [&](int i) {
+    auto conn = ep.connect(listener->addr(), Deadline::after(seconds(10)));
+    ASSERT_TRUE(conn.ok()) << "establishment " << i << " failed: "
+                           << conn.error().to_string();
+    auto srv = listener->accept(Deadline::after(seconds(10)));
+    ASSERT_TRUE(srv.ok());
+    EXPECT_EQ(bound_impl(srv.value(), "offload"), "offload/hw")
+        << "conn " << i << " degraded instead of riding the failover";
+    ASSERT_TRUE(round_trip(conn.value(), srv.value(), i));
+    held.emplace_back(conn.value(), srv.value());
+  };
+
+  const int kTotal = 12;
+  for (int i = 0; i < kTotal / 2; i++) {
+    establish(i);
+    if (HasFatalFailure()) return;
+  }
+
+  // Kill the replica actively serving the partition that owns the
+  // "offload" catalogue, as seen by the server runtime's client.
+  auto srv_disc =
+      std::dynamic_pointer_cast<ClusterDiscovery>(srv_rt->config().discovery);
+  ASSERT_NE(srv_disc, nullptr);
+  size_t part = srv_disc->partition_map().index_for_type("offload");
+  Addr active = srv_disc->partition_client(part).active_server();
+  const auto& servers = cluster->partition_servers(part);
+  size_t victim = 0;
+  for (size_t r = 0; r < servers.size(); r++)
+    if (servers[r] == active) victim = r;
+  cluster->kill_replica(part, victim);
+
+  for (int i = kTotal / 2; i < kTotal; i++) {
+    establish(i);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_GE(srv_disc->server_failovers(), 1u);
+
+  // Zero acknowledged loss: the full catalogue answers from a fresh
+  // client, and every surviving replica of the pool's partition accounts
+  // for every held allocation.
+  auto audit = cluster->client("chaos-audit", rpc).value();
+  auto q = audit->query("offload");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  std::set<std::string> names;
+  for (const auto& e : q.value()) names.insert(e.name);
+  EXPECT_TRUE(names.count("offload/hw"));
+  EXPECT_TRUE(names.count("offload/sw"));
+  size_t pool_part = audit->partition_map().index_for_pool("pool.hw");
+  Deadline dl = Deadline::after(seconds(5));
+  auto settled = [&] {
+    for (size_t r = 0; r < 3; r++)
+      if (cluster->alive(pool_part, r) &&
+          cluster->replica(pool_part, r)->state()->pool_in_use("pool.hw") !=
+              static_cast<uint64_t>(kTotal))
+        return false;
+    return true;
+  };
+  while (!settled() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(settled()) << "pool accounting diverged or lost allocations";
+
+  // The watch stream delivered each registration exactly once across the
+  // drop-induced resubscribes AND the replica kill — by seq-resume, never
+  // a snapshot — and no lease was spuriously reaped.
+  std::map<std::string, int> seen;
+  dl = Deadline::after(seconds(10));
+  while (seen.size() < 2 && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (!ev.ok()) continue;
+    ASSERT_NE(ev.value().kind, WatchKind::impl_unregistered)
+        << "spurious lease expiry for " << ev.value().name;
+    seen[ev.value().name]++;
+  }
+  EXPECT_EQ(seen["offload/hw"], 1);
+  EXPECT_EQ(seen["offload/sw"], 1);
+  EXPECT_EQ(stats->watch_snapshots.load(), 0u);
+  for (size_t p = 0; p < 2; p++)
+    for (size_t r = 0; r < 3; r++)
+      if (cluster->alive(p, r)) {
+        EXPECT_EQ(cluster->replica(p, r)->server().snapshots_served(), 0u);
+      }
 }
 
 }  // namespace

@@ -1,0 +1,531 @@
+// The sharded, replicated discovery control plane (src/control/):
+// partition routing, sequenced apply, replica convergence, exactly-once
+// mutations across replicas, watch seq-resume across failover, lease
+// survival across failover, and the runtime bootstrap path.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/rsm.hpp"
+#include "chunnels/shard.hpp"
+#include "control/cluster.hpp"
+#include "core/wire.hpp"
+#include "test_helpers.hpp"
+
+namespace bertha {
+namespace {
+
+ImplInfo info_of(const std::string& type, const std::string& name,
+                 std::vector<ResourceReq> resources = {}) {
+  ImplInfo i;
+  i.type = type;
+  i.name = name;
+  i.scope = Scope::host;
+  i.endpoints = EndpointConstraint::server;
+  i.priority = 1;
+  i.resources = std::move(resources);
+  return i;
+}
+
+BytesView key_of(const std::string& s) {
+  return BytesView(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+std::shared_ptr<DefaultTransportFactory> mem_factory(
+    const std::shared_ptr<MemNetwork>& net, const std::string& host) {
+  return std::make_shared<DefaultTransportFactory>(net, nullptr, host);
+}
+
+// Finds two keys (prefix0..prefixN) hashing to different partitions.
+std::pair<std::string, std::string> split_keys(const PartitionMap& pm,
+                                               const std::string& prefix) {
+  std::string first = prefix + "0";
+  for (int i = 1; i < 64; i++) {
+    std::string k = prefix + std::to_string(i);
+    if (pm.index_for_type(k) != pm.index_for_type(first)) return {first, k};
+  }
+  ADD_FAILURE() << "no split key found for " << prefix;
+  return {first, first};
+}
+
+// --- PartitionMap ---
+
+TEST(PartitionMapTest, AgreesWithShardHashAndRoutesOps) {
+  PartitionMap pm(4);
+  for (const std::string t : {"offload", "reliable", "shard", "ordered_mcast",
+                              "serialize", "pool.hw"}) {
+    EXPECT_EQ(pm.index_for_type(t), shard_pick(key_of(t), 4)) << t;
+    EXPECT_EQ(pm.index_for_pool(t), pm.index_for_type(t)) << t;
+    EXPECT_LT(pm.index_for_type(t), 4u);
+  }
+  // Single partition: everything maps to 0 (and shard_pick agrees).
+  PartitionMap one(1);
+  EXPECT_EQ(one.index_for_type("anything"), 0u);
+
+  // Allocation ids carry their partition in the high bits.
+  uint64_t id = (uint64_t{3} << DiscoveryState::kAllocNamespaceShift) | 17;
+  EXPECT_EQ(PartitionMap::index_for_alloc(id), 3u);
+
+  DiscRequest reg;
+  reg.op = DiscOp::register_impl;
+  reg.entry = info_of("offload", "offload/hw");
+  auto reg_idx = pm.index_for_request(reg);
+  ASSERT_TRUE(reg_idx.ok());
+  EXPECT_EQ(reg_idx.value(), pm.index_for_type("offload"));
+
+  // A multi-pool acquire is routable only when every pool co-locates.
+  auto [pa, pb] = split_keys(pm, "pool.split");
+  DiscRequest acq;
+  acq.op = DiscOp::acquire;
+  acq.resources = {{pa, 1}, {pb, 1}};
+  auto split = pm.index_for_request(acq);
+  ASSERT_FALSE(split.ok());
+  EXPECT_EQ(split.error().code, Errc::invalid_argument);
+  acq.resources = {{pa, 1}, {pa, 2}};
+  ASSERT_TRUE(pm.index_for_request(acq).ok());
+
+  // Release routes by id namespace; out-of-range ids are rejected.
+  DiscRequest rel;
+  rel.op = DiscOp::release;
+  rel.alloc_id = (uint64_t{9} << DiscoveryState::kAllocNamespaceShift) | 1;
+  EXPECT_FALSE(pm.index_for_request(rel).ok());
+}
+
+// --- SequencedApplyWindow ---
+
+TEST(SequencedApplyWindowTest, ReleasesInOrderAcrossGapsAndDuplicates) {
+  SequencedApplyWindow w;
+  auto seqs = [](const std::vector<std::pair<uint64_t, Bytes>>& v) {
+    std::vector<uint64_t> out;
+    for (const auto& [s, b] : v) out.push_back(s);
+    return out;
+  };
+
+  EXPECT_EQ(seqs(w.offer(0, to_bytes("a"))), (std::vector<uint64_t>{0}));
+  // Gap: 2 buffers behind missing 1.
+  EXPECT_TRUE(w.offer(2, to_bytes("c")).empty());
+  EXPECT_TRUE(w.has_gap());
+  EXPECT_EQ(w.next_seq(), 1u);
+  EXPECT_EQ(w.gap_end(), 2u);
+  // Duplicates of buffered and already-released seqs are dropped.
+  EXPECT_TRUE(w.offer(2, to_bytes("c-dup")).empty());
+  EXPECT_TRUE(w.offer(0, to_bytes("a-dup")).empty());
+  EXPECT_EQ(w.buffered(), 1u);
+  // Filling the gap releases the whole run.
+  EXPECT_EQ(seqs(w.offer(1, to_bytes("b"))), (std::vector<uint64_t>{1, 2}));
+  EXPECT_FALSE(w.has_gap());
+
+  // Abandoning a gap releases what is contiguous beyond it.
+  EXPECT_TRUE(w.offer(5, to_bytes("f")).empty());
+  EXPECT_TRUE(w.offer(6, to_bytes("g")).empty());
+  EXPECT_EQ(seqs(w.skip_to(5)), (std::vector<uint64_t>{5, 6}));
+  EXPECT_EQ(w.next_seq(), 7u);
+  // skip_to never rewinds.
+  EXPECT_TRUE(w.skip_to(3).empty());
+  EXPECT_EQ(w.next_seq(), 7u);
+}
+
+// --- Cluster routing ---
+
+TEST(ControlTest, ShardedClusterRoutesRegistrationsQueriesAndPools) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 2;
+  cfg.replicas = 1;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = ms(20);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+  auto client = cluster->client("c0").value();
+
+  const PartitionMap& pm = client->partition_map();
+  auto [t0, t1] = split_keys(pm, "type");
+  ASSERT_TRUE(client->register_impl(info_of(t0, t0 + "/x")).ok());
+  ASSERT_TRUE(client->register_impl(info_of(t1, t1 + "/y")).ok());
+
+  // Queries route back to the owning partition.
+  auto q0 = client->query(t0);
+  ASSERT_TRUE(q0.ok());
+  ASSERT_EQ(q0.value().size(), 1u);
+  EXPECT_EQ(q0.value()[0].name, t0 + "/x");
+  ASSERT_TRUE(client->query(t1).ok());
+
+  // And the entries physically live on exactly one partition's replicas.
+  size_t p0 = pm.index_for_type(t0);
+  EXPECT_EQ(cluster->replica(p0, 0)->state()->query(t0).value().size(), 1u);
+  EXPECT_TRUE(cluster->replica(1 - p0, 0)->state()->query(t0).value().empty());
+
+  // Pools: capacity, admission, and id-routed release.
+  auto [pa, pb] = split_keys(pm, "pool.q");
+  ASSERT_TRUE(client->set_pool(pa, 2).ok());
+  ASSERT_TRUE(client->set_pool(pb, 2).ok());
+  auto a = client->acquire({{pa, 1}});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(PartitionMap::index_for_alloc(a.value()), pm.index_for_pool(pa))
+      << "alloc id not namespaced by its partition";
+  auto b = client->acquire({{pb, 2}});
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+
+  // Cross-partition admission is refused, not half-applied.
+  auto cross = client->acquire({{pa, 1}, {pb, 1}});
+  ASSERT_FALSE(cross.ok());
+  EXPECT_EQ(cross.error().code, Errc::invalid_argument);
+  EXPECT_EQ(cluster->replica(pm.index_for_pool(pa), 0)->state()->pool_in_use(pa),
+            1u);
+
+  ASSERT_TRUE(client->release(a.value()).ok());
+  ASSERT_TRUE(client->release(b.value()).ok());
+  EXPECT_FALSE(
+      client->release(uint64_t{9} << DiscoveryState::kAllocNamespaceShift)
+          .ok());
+  EXPECT_EQ(cluster->replica(pm.index_for_pool(pa), 0)->state()->pool_in_use(pa),
+            0u);
+}
+
+TEST(ControlTest, EmptyFilterWatchFansInAllPartitions) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 2;
+  cfg.replicas = 1;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.server.coalesce_window = ms(2);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+  auto obs = cluster->client("obs").value();
+  auto writer = cluster->client("wr").value();
+
+  auto w = obs->watch("").value();
+  auto [t0, t1] = split_keys(obs->partition_map(), "fan");
+  ASSERT_TRUE(writer->register_impl(info_of(t0, t0 + "/a")).ok());
+  ASSERT_TRUE(writer->register_impl(info_of(t1, t1 + "/b")).ok());
+
+  std::set<std::string> seen;
+  uint64_t last_seq = 0;
+  Deadline dl = Deadline::after(seconds(10));
+  while (seen.size() < 2 && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (!ev.ok()) continue;
+    // The fan-in re-stamps a single strictly-increasing seq domain.
+    EXPECT_GT(ev.value().seq, last_seq);
+    last_seq = ev.value().seq;
+    seen.insert(ev.value().name);
+  }
+  EXPECT_TRUE(seen.count(t0 + "/a"));
+  EXPECT_TRUE(seen.count(t1 + "/b"));
+}
+
+// --- Replication ---
+
+TEST(ControlTest, ReplicasApplyIdenticallyAndConverge) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = ms(20);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+  auto client = cluster->client("c0").value();
+
+  ASSERT_TRUE(client->set_pool("pool.c", 4).ok());
+  for (int i = 0; i < 8; i++)
+    ASSERT_TRUE(
+        client->register_impl(info_of("offload", "o" + std::to_string(i)))
+            .ok());
+  auto a = client->acquire({{"pool.c", 2}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(client->unregister_impl("offload", "o7").ok());
+
+  // Every replica converges to the identical catalogue, pool accounting
+  // AND watch seq (the invariant seq-resume failover rests on).
+  auto converged = [&] {
+    auto [e0, s0] = cluster->replica(0, 0)->state()->catalogue_snapshot();
+    for (size_t r = 1; r < 3; r++) {
+      auto [e, s] = cluster->replica(0, r)->state()->catalogue_snapshot();
+      if (s != s0 || e.size() != e0.size()) return false;
+      if (cluster->replica(0, r)->state()->pool_in_use("pool.c") != 2)
+        return false;
+    }
+    return e0.size() == 7;
+  };
+  Deadline dl = Deadline::after(seconds(10));
+  while (!converged() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(converged()) << "replicas diverged";
+  for (size_t r = 0; r < 3; r++) {
+    EXPECT_EQ(cluster->replica(0, r)->state()->live_allocs(), 1u);
+    EXPECT_EQ(cluster->replica(0, r)->gaps_skipped(), 0u);
+  }
+}
+
+TEST(ControlTest, RetriedMutationLandingOnAnotherReplicaExecutesOnce) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+  auto client = cluster->client("c0").value();
+  ASSERT_TRUE(client->set_pool("pool.d", 4).ok());
+
+  // The failover-retry shape, driven at the protocol level: the same
+  // idempotent mutation submitted to TWO different replicas (as a client
+  // whose first response was lost would after rotating). The replicated
+  // dedup cache must return the recorded response, not execute twice.
+  DiscRequest req;
+  req.op = DiscOp::acquire;
+  req.resources = {{"pool.d", 1}};
+  req.client_id = "retry-client";
+  req.idem_key = 99;
+  Bytes body = encode_request(req);
+
+  auto raw = net->bind(Addr::mem("raw-cli", 0)).value();
+  auto submit_to = [&](const Addr& server) -> uint64_t {
+    EXPECT_TRUE(
+        raw->send_to(server, encode_frame(MsgKind::discovery, 1, body)).ok());
+    auto pkt = raw->recv(Deadline::after(seconds(5)));
+    EXPECT_TRUE(pkt.ok());
+    auto frame = decode_frame(pkt.value().payload);
+    EXPECT_TRUE(frame.ok());
+    auto rsp = decode_response(frame.value().payload);
+    EXPECT_TRUE(rsp.ok() && rsp.value().success);
+    return rsp.ok() ? rsp.value().alloc_id : 0;
+  };
+  uint64_t first = submit_to(cluster->partition_servers(0)[0]);
+  uint64_t second = submit_to(cluster->partition_servers(0)[1]);
+  EXPECT_EQ(first, second) << "retry re-executed instead of deduping";
+  ASSERT_NE(first, 0u);
+
+  uint64_t hits = 0;
+  for (size_t r = 0; r < 3; r++)
+    hits += cluster->replica(0, r)->replicated_dedup_hits();
+  EXPECT_GE(hits, 1u);
+  Deadline dl = Deadline::after(seconds(5));
+  auto settled = [&] {
+    for (size_t r = 0; r < 3; r++)
+      if (cluster->replica(0, r)->state()->pool_in_use("pool.d") != 1)
+        return false;
+    return true;
+  };
+  while (!settled() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(settled()) << "duplicate execution leaked pool capacity";
+}
+
+// --- Failover ---
+
+TEST(ControlTest, WatchStreamResumesAcrossReplicaFailoverWithoutSnapshot) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.server.coalesce_window = ms(2);
+  cfg.replica.server.keepalive = ms(25);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  auto stats = std::make_shared<FaultStats>();
+  RemoteDiscovery::Options rpc;
+  rpc.rpc_timeout = ms(60);
+  rpc.retries = 5;
+  rpc.watch_failover_timeout = ms(150);  // >> keepalive
+  rpc.stats = stats;
+  auto obs = cluster->client("obs", rpc).value();
+  auto writer = cluster->client("wr").value();
+
+  auto w = obs->watch("offload").value();
+  std::map<std::string, int> seen;
+  uint64_t last_seq = 0;
+  auto expect_events = [&](int upto) {
+    Deadline dl = Deadline::after(seconds(10));
+    while (static_cast<int>(seen.size()) < upto && !dl.expired()) {
+      auto ev = w->next(Deadline::after(ms(100)));
+      if (!ev.ok()) continue;
+      EXPECT_GT(ev.value().seq, last_seq)
+          << "replicated watch seq went backwards across failover";
+      last_seq = ev.value().seq;
+      seen[ev.value().name]++;
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), upto);
+    for (const auto& [name, n] : seen)
+      EXPECT_EQ(n, 1) << name << " duplicated";
+  };
+
+  for (int i = 0; i < 3; i++)
+    ASSERT_TRUE(
+        writer->register_impl(info_of("offload", "pre" + std::to_string(i)))
+            .ok());
+  expect_events(3);
+
+  // Kill the replica pushing the observer's stream. The observer issues
+  // no RPCs, so only the push-silence watchdog can notice.
+  Addr active = obs->partition_client(0).active_server();
+  const auto& servers = cluster->partition_servers(0);
+  size_t victim = 0;
+  for (size_t r = 0; r < servers.size(); r++)
+    if (servers[r] == active) victim = r;
+  cluster->kill_replica(0, victim);
+
+  for (int i = 0; i < 3; i++)
+    ASSERT_TRUE(
+        writer->register_impl(info_of("offload", "post" + std::to_string(i)))
+            .ok());
+  expect_events(6);
+  for (int i = 0; i < 3; i++) {
+    EXPECT_TRUE(seen.count("pre" + std::to_string(i)));
+    EXPECT_TRUE(seen.count("post" + std::to_string(i)));
+  }
+
+  EXPECT_GE(obs->server_failovers(), 1u) << "watchdog never rotated";
+  EXPECT_GE(stats->watch_resubscribes.load(), 1u);
+  // The resume was served from the new replica's replicated event log by
+  // seq alone — never the snapshot fallback.
+  EXPECT_EQ(stats->watch_snapshots.load(), 0u);
+  for (size_t r = 0; r < 3; r++)
+    if (cluster->alive(0, r)) {
+      EXPECT_EQ(cluster->replica(0, r)->server().snapshots_served(), 0u);
+    }
+}
+
+TEST(ControlTest, LeasesSurviveReplicaFailoverWithoutSpuriousExpiry) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = ms(25);
+  cfg.replica.server.coalesce_window = ms(2);
+  cfg.replica.server.keepalive = ms(25);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  // The observer needs the push-silence watchdog too: its stream may be
+  // attached to the replica we kill.
+  RemoteDiscovery::Options orpc;
+  orpc.rpc_timeout = ms(60);
+  orpc.retries = 5;
+  orpc.watch_failover_timeout = ms(150);
+  auto obs = cluster->client("obs", orpc).value();
+  auto w = obs->watch("offload").value();
+
+  RemoteDiscovery::Options wrpc;
+  wrpc.rpc_timeout = ms(60);
+  wrpc.retries = 5;
+  wrpc.lease_ttl = ms(250);  // heartbeat every ~62ms
+  auto writer = cluster->client("wr", wrpc).value();
+  ASSERT_TRUE(writer->register_impl(info_of("offload", "leased/hw")).ok());
+
+  // Wait for the registration to be visible.
+  Deadline dl = Deadline::after(seconds(5));
+  bool registered = false;
+  while (!registered && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    registered = ev.ok() && ev.value().kind == WatchKind::impl_registered;
+  }
+  ASSERT_TRUE(registered);
+
+  // Kill the replica the writer heartbeats into. The next heartbeat
+  // times out, rotates, and lands on a live replica — replicated, so
+  // every replica's lease table stays renewed and NO replica's sweep
+  // reaps the owner.
+  Addr active = writer->partition_client(0).active_server();
+  const auto& servers = cluster->partition_servers(0);
+  size_t victim = 0;
+  for (size_t r = 0; r < servers.size(); r++)
+    if (servers[r] == active) victim = r;
+  cluster->kill_replica(0, victim);
+
+  // Watch for spurious expiry across several TTL windows (>> the one
+  // sweep interval the failover is allowed to straddle).
+  Deadline quiet = Deadline::after(ms(800));
+  while (!quiet.expired()) {
+    auto ev = w->try_next();
+    if (ev && ev->kind == WatchKind::impl_unregistered)
+      FAIL() << "lease expired spuriously during failover: " << ev->name;
+    sleep_for(ms(10));
+  }
+  for (size_t r = 0; r < 3; r++)
+    if (cluster->alive(0, r)) {
+      EXPECT_EQ(cluster->replica(0, r)->state()->query("offload").value().size(),
+                1u);
+      EXPECT_EQ(cluster->replica(0, r)->state()->lease_count(), 1u);
+    }
+
+  // Now stop heartbeating (drop the writer): the lease must expire
+  // exactly once, via the replicated sweep.
+  writer.reset();
+  dl = Deadline::after(seconds(5));
+  int expiries = 0;
+  while (!dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (ev.ok() && ev.value().kind == WatchKind::impl_unregistered &&
+        ev.value().name == "leased/hw")
+      expiries++;
+  }
+  EXPECT_EQ(expiries, 1);
+  for (size_t r = 0; r < 3; r++)
+    if (cluster->alive(0, r)) {
+      EXPECT_TRUE(
+          cluster->replica(0, r)->state()->query("offload").value().empty());
+      EXPECT_EQ(cluster->replica(0, r)->state()->lease_count(), 0u);
+    }
+}
+
+// --- Satellite: retry jitter decorrelation ---
+
+TEST(ControlTest, BackoffSeedsDecorrelatePerClient) {
+  auto net = MemNetwork::create();
+  auto state = std::make_shared<DiscoveryState>();
+  DiscoveryServer server(net->bind(Addr::mem("disc", 1)).value(), state);
+
+  RemoteDiscovery::Options opts;  // backoff_seed = 0: derive from client id
+  RemoteDiscovery a(net->bind(Addr::mem("a", 0)).value(), server.addr(), opts);
+  RemoteDiscovery b(net->bind(Addr::mem("b", 0)).value(), server.addr(), opts);
+  EXPECT_NE(a.backoff_seed(), 0u);
+  EXPECT_NE(b.backoff_seed(), 0u);
+  // Identical options, different clients, different retry schedules: a
+  // fleet retrying into a recovering replica spreads out instead of
+  // thundering in lockstep.
+  EXPECT_NE(a.backoff_seed(), b.backoff_seed());
+
+  RemoteDiscovery::Options pinned;
+  pinned.backoff_seed = 42;  // tests that need reproducible backoff
+  RemoteDiscovery c(net->bind(Addr::mem("c", 0)).value(), server.addr(),
+                    pinned);
+  EXPECT_EQ(c.backoff_seed(), 42u);
+}
+
+// --- Runtime bootstrap ---
+
+TEST(ControlTest, RuntimeBootstrapsFailoverDiscoveryFromServerList) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 2;
+  cfg.transports = mem_factory(net, "ctrl");
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  RuntimeConfig rcfg;
+  rcfg.host_id = "h-boot";
+  rcfg.transports = mem_factory(net, "h-boot");
+  rcfg.discovery_servers = cluster->partition_servers(0);
+  rcfg.discovery_rpc.rpc_timeout = ms(60);
+  rcfg.discovery_rpc.retries = 5;
+  auto rt = Runtime::create(std::move(rcfg)).value();
+
+  ASSERT_TRUE(rt->discovery().register_impl(info_of("offload", "boot/x")).ok());
+  ASSERT_EQ(rt->discovery().query("offload").value().size(), 1u);
+
+  // Kill the active replica: the runtime's discovery handle rotates and
+  // keeps answering.
+  auto remote =
+      std::dynamic_pointer_cast<RemoteDiscovery>(rt->config().discovery);
+  ASSERT_NE(remote, nullptr);
+  const auto& servers = cluster->partition_servers(0);
+  size_t victim = remote->active_server() == servers[0] ? 0 : 1;
+  cluster->kill_replica(0, victim);
+
+  auto q = rt->discovery().query("offload");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_EQ(q.value().size(), 1u);
+  EXPECT_GE(remote->server_failovers(), 1u);
+}
+
+}  // namespace
+}  // namespace bertha

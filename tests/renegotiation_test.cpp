@@ -692,5 +692,68 @@ TEST(LiveTransitionTest, LiveUpgradeToLocalFastPath) {
   EXPECT_GT(stats.max_cutover_ns, 0u);
 }
 
+// --- epoch minting ---
+
+// Transition epochs are namespaced by server identity: a restarted or
+// migrated peer (same connection token, different listener) can never
+// re-mint an epoch number an old listener already used, so stale acks and
+// cached per-epoch state can't collide across server generations.
+TEST(LiveTransitionTest, TransitionEpochsCarryServerIdentitySalt) {
+  // The salt is deterministic per identity, occupies only the bits above
+  // the counter, and distinct identities mint from disjoint spaces.
+  uint64_t s1 = mint_epoch_salt("h-a|p0|mem:h-a:100");
+  uint64_t s2 = mint_epoch_salt("h-b|p0|mem:h-b:100");
+  EXPECT_EQ(s1, mint_epoch_salt("h-a|p0|mem:h-a:100"));
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(s1 & kEpochCounterMask, 0u);
+  EXPECT_EQ(s2 & kEpochCounterMask, 0u);
+  EXPECT_NE(s1, 0u);
+
+  // Live check: an upgrade mints salt | 1 — the low bits count
+  // transitions on this connection, the high bits are this listener's.
+  auto world = TestWorld::make();
+  auto srv_rt = mem_runtime(world, "h-srv", world.discovery, false);
+  auto cli_rt = mem_runtime(world, "h-cli", world.discovery, false);
+  ASSERT_TRUE(srv_rt
+                  ->register_chunnel(std::make_shared<InfoChunnel>(
+                      offload_info("offload/sw", 0)))
+                  .ok());
+
+  auto listener = srv_rt->endpoint("srv", wrap(ChunnelSpec("offload")))
+                      .value()
+                      .listen(Addr::mem("h-srv", 100))
+                      .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv = listener->accept(Deadline::after(seconds(5))).value();
+
+  ImplInfo hw = offload_info("offload/hw", 50);
+  ASSERT_TRUE(srv_rt->register_chunnel(std::make_shared<InfoChunnel>(hw)).ok());
+  ASSERT_TRUE(world.discovery->register_impl(hw).ok());
+
+  int sent = 0;
+  Deadline dl = Deadline::after(seconds(10));
+  while (bound_impl(srv, "offload") != "offload/hw") {
+    ASSERT_FALSE(dl.expired()) << "no transition after 10s";
+    ASSERT_TRUE(round_trip(conn, srv, ++sent));
+  }
+
+  auto* t = dynamic_cast<TransitionableConnection*>(srv.get());
+  ASSERT_NE(t, nullptr);
+  uint64_t expected_salt = mint_epoch_salt(
+      srv_rt->config().host_id + "|" + srv_rt->config().process_id + "|" +
+      listener->addr().to_string());
+  EXPECT_EQ(t->epoch() & ~kEpochCounterMask, expected_salt)
+      << "minted epoch not salted with the listener identity";
+  EXPECT_EQ(t->epoch() & kEpochCounterMask, 1u)
+      << "first transition should mint counter 1";
+  // Both ends agree on the full (salted) epoch.
+  auto* tc = dynamic_cast<TransitionableConnection*>(conn.get());
+  ASSERT_NE(tc, nullptr);
+  EXPECT_EQ(tc->epoch(), t->epoch());
+}
+
 }  // namespace
 }  // namespace bertha
