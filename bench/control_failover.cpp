@@ -1,20 +1,26 @@
 // Sharded, replicated discovery control plane: establishment latency
-// with the catalogue served by a 2-partition x 3-replica cluster,
-// steady-state vs during a single-replica failure.
+// with the catalogue served by a 2-partition x 3-replica cluster, across
+// the full self-healing ladder — steady state, one replica dead, the
+// dead replica restarted (peer-snapshot catch-up), and the active
+// sequencer killed (view change to the standby candidate).
 //
-// The claim under test: killing one replica of the partition the
-// establishment path depends on costs the clients one RPC timeout (they
-// rotate to a live replica and resubscribe watch streams by seq), not an
-// outage — establishment keeps succeeding and the during-failover p99
-// stays bounded.
+// The claims under test: a replica kill costs clients one RPC timeout
+// (rotate + seq-resume), a replica restart converges by snapshot +
+// suffix replay without touching the serving path, and a sequencer kill
+// costs one view-change round — establishment keeps succeeding through
+// all of it.
 //
 // BERTHA_CONTROL_GATE=1 turns the run into a pass/fail check: any
-// failed establishment, or a during-failover p99 above
-// BERTHA_CONTROL_P99_MS (default 250), exits non-zero. CI runs this in
-// the bench-smoke job.
+// failed establishment, a during-failover p99 above
+// BERTHA_CONTROL_P99_MS (default 250), or a during-view-change worst
+// establishment above BERTHA_CONTROL_VIEW_MAX_MS (default 1000) exits
+// non-zero. CI runs this in the bench-smoke job.
+#include <algorithm>
+
 #include "apps/ping.hpp"
 #include "bench_util.hpp"
 #include "control/cluster.hpp"
+#include "util/clock.hpp"
 
 using namespace bertha;
 using namespace bertha::bench;
@@ -56,6 +62,9 @@ int main() {
   double p99_bound_ms = 250;
   if (const char* env = std::getenv("BERTHA_CONTROL_P99_MS"))
     p99_bound_ms = std::atof(env);
+  double view_max_ms = 1000;
+  if (const char* env = std::getenv("BERTHA_CONTROL_VIEW_MAX_MS"))
+    view_max_ms = std::atof(env);
 
   auto net = MemNetwork::create();
   auto factory =
@@ -64,10 +73,13 @@ int main() {
   DiscoveryCluster::Config ccfg;
   ccfg.partitions = 2;
   ccfg.replicas = 3;
+  ccfg.sequencer_candidates = 2;  // standby for the view-change phase
   ccfg.transports = factory;
   ccfg.replica.apply_timeout = ms(250);
   ccfg.replica.sweep_period = ms(25);
   ccfg.replica.server.keepalive = ms(50);
+  ccfg.tuning.view_silence_timeout = ms(120);
+  ccfg.tuning.view_ack_timeout = ms(25);
   auto cluster = die_on_err(DiscoveryCluster::start(std::move(ccfg)),
                             "cluster");
 
@@ -113,32 +125,106 @@ int main() {
 
   Phase failover = measure(ep, server->addr(), failover_conns);
 
+  // Phase 3: restart the killed replica. It catches up from a peer
+  // snapshot + sequenced suffix off the serving path; we time the full
+  // rejoin (boot -> installed -> converged with the group).
+  Stopwatch rejoin_sw;
+  die_on_err(cluster->restart_replica(part, victim), "restart_replica");
+  if (!cluster->replica(part, victim)->wait_ready(seconds(30))) {
+    std::fprintf(stderr, "restarted replica never became ready\n");
+    return 1;
+  }
+  double ready_ms = rejoin_sw.elapsed_us() / 1000.0;
+  auto converged = [&] {
+    auto [e0, s0] = cluster->replica(part, 0)->state()->catalogue_snapshot();
+    auto [e1, s1] =
+        cluster->replica(part, victim)->state()->catalogue_snapshot();
+    return s1 == s0 && e1.size() == e0.size();
+  };
+  Deadline conv_dl = Deadline::after(seconds(30));
+  while (!converged() && !conv_dl.expired()) sleep_for(ms(5));
+  double converge_ms = rejoin_sw.elapsed_us() / 1000.0;
+  bool conv_ok = converged();
+  Phase rejoined = measure(ep, server->addr(), failover_conns);
+
+  // Phase 4: kill the active sequencer of the partition the
+  // establishment path depends on. Replicas detect the sequenced-stream
+  // silence (replicated sweeps double as keepalives), elect the standby
+  // candidate, and re-propose in-flight ops. The election time IS the
+  // mutation outage; establishments run right through it.
+  cluster->kill_sequencer(part, 0);
+  Stopwatch vc_sw;
+  Phase viewchange = measure(ep, server->addr(), failover_conns);
+  auto in_next_view = [&] {
+    for (size_t r = 0; r < 3; r++)
+      if (cluster->alive(part, r) &&
+          cluster->replica(part, r)->current_view() >= 1)
+        return true;
+    return false;
+  };
+  Deadline vc_dl = Deadline::after(seconds(10));
+  while (!in_next_view() && !vc_dl.expired()) sleep_for(ms(2));
+  double election_ms = vc_sw.elapsed_us() / 1000.0;
+  bool elected = in_next_view();
+  // A post-election mutation on the affected partition ("reliable"
+  // hashes there by construction) proves the new sequencer serves
+  // writes.
+  auto probe = die_on_err(cluster->client("vc-probe", rpc), "probe client");
+  ImplInfo probe_info;
+  probe_info.type = "reliable";
+  probe_info.name = "reliable/vc-probe";
+  probe_info.scope = Scope::host;
+  probe_info.endpoints = EndpointConstraint::server;
+  bool write_ok = probe->register_impl(probe_info).ok();
+  double write_ms = vc_sw.elapsed_us() / 1000.0;
+
   size_t rotations = srv_disc->server_failovers();
   auto cli_disc =
       std::dynamic_pointer_cast<ClusterDiscovery>(cli_rt->config().discovery);
   rotations += cli_disc->server_failovers();
+  uint64_t view_changes = 0, catchups = 0, skips = 0;
+  for (size_t r = 0; r < 3; r++) {
+    if (!cluster->alive(part, r)) continue;
+    view_changes =
+        std::max(view_changes, cluster->replica(part, r)->view_changes());
+    catchups += cluster->replica(part, r)->catchups();
+    skips += cluster->replica(part, r)->gaps_skipped();
+  }
 
-  std::printf("\n%-28s %8s %10s %10s %10s %6s\n", "phase", "conns", "p50(us)",
-              "p95(us)", "p99(us)", "fail");
-  std::printf("%-28s %8d %10.1f %10.1f %10.1f %6d\n", "steady (3/3 replicas)",
-              steady_conns, steady.connect_us.p50, steady.connect_us.p95,
-              steady.connect_us.p99, steady.failures);
-  std::printf("%-28s %8d %10.1f %10.1f %10.1f %6d\n",
-              "failover (replica killed)", failover_conns,
-              failover.connect_us.p50, failover.connect_us.p95,
-              failover.connect_us.p99, failover.failures);
+  std::printf("\n%-28s %8s %10s %10s %10s %10s %6s\n", "phase", "conns",
+              "p50(us)", "p95(us)", "p99(us)", "max(us)", "fail");
+  auto row = [](const char* name, int n, const Phase& ph) {
+    std::printf("%-28s %8d %10.1f %10.1f %10.1f %10.1f %6d\n", name, n,
+                ph.connect_us.p50, ph.connect_us.p95, ph.connect_us.p99,
+                ph.connect_us.max, ph.failures);
+  };
+  row("steady (3/3 replicas)", steady_conns, steady);
+  row("failover (replica killed)", failover_conns, failover);
+  row("rejoined (after catch-up)", failover_conns, rejoined);
+  row("view change (seq killed)", failover_conns, viewchange);
   std::printf("=> killed p%zu-r%zu mid-run; clients rotated %zu time(s); the\n"
-              "   failover p99 absorbs one RPC timeout (%lldms) + retry, then\n"
-              "   establishment returns to steady-state latency\n",
+              "   failover p99 absorbs one RPC timeout (%lldms) + retry\n",
               part, victim, rotations,
               static_cast<long long>(rpc.rpc_timeout.count() / 1000000));
+  std::printf("=> restart: ready (snapshot installed) in %.1fms, converged\n"
+              "   with the group in %.1fms (%llu catch-up(s), %llu skips)\n",
+              ready_ms, converge_ms, static_cast<unsigned long long>(catchups),
+              static_cast<unsigned long long>(skips));
+  std::printf("=> sequencer kill: standby elected (view %llu) in %.1fms, "
+              "first post-\n   election write landed at %.1fms; worst "
+              "establishment during the\n   change %.1fms\n",
+              static_cast<unsigned long long>(view_changes), election_ms,
+              write_ms, viewchange.connect_us.max / 1000.0);
 
   if (gate) {
     bool ok = true;
-    if (steady.failures || failover.failures) {
-      std::fprintf(stderr, "GATE FAIL: %d steady + %d failover establishment "
-                           "failures (want 0)\n",
-                   steady.failures, failover.failures);
+    int fails = steady.failures + failover.failures + rejoined.failures +
+                viewchange.failures;
+    if (fails) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %d establishment failures across phases "
+                   "(want 0)\n",
+                   fails);
       ok = false;
     }
     if (failover.connect_us.p99 > p99_bound_ms * 1000.0) {
@@ -147,9 +233,37 @@ int main() {
                    failover.connect_us.p99, p99_bound_ms);
       ok = false;
     }
+    if (viewchange.connect_us.max > view_max_ms * 1000.0) {
+      std::fprintf(stderr,
+                   "GATE FAIL: during-view-change worst establishment "
+                   "%.1fus exceeds %.0fms\n",
+                   viewchange.connect_us.max, view_max_ms);
+      ok = false;
+    }
+    if (!elected || !write_ok || write_ms > view_max_ms) {
+      std::fprintf(stderr,
+                   "GATE FAIL: view change did not restore writes within "
+                   "%.0fms (elected=%d write_ok=%d at %.1fms)\n",
+                   view_max_ms, elected ? 1 : 0, write_ok ? 1 : 0, write_ms);
+      ok = false;
+    }
+    if (!conv_ok) {
+      std::fprintf(stderr,
+                   "GATE FAIL: restarted replica never converged\n");
+      ok = false;
+    }
+    if (skips) {
+      std::fprintf(stderr,
+                   "GATE FAIL: %llu bounded skips (recovery must use "
+                   "catch-up)\n",
+                   static_cast<unsigned long long>(skips));
+      ok = false;
+    }
     if (!ok) return 1;
-    std::printf("GATE PASS: zero failures, failover p99 %.1fus <= %.0fms\n",
-                failover.connect_us.p99, p99_bound_ms);
+    std::printf("GATE PASS: zero failures, failover p99 %.1fus <= %.0fms, "
+                "view-change max %.1fus <= %.0fms, catch-up converged\n",
+                failover.connect_us.p99, p99_bound_ms,
+                viewchange.connect_us.max, view_max_ms);
   }
   return 0;
 }

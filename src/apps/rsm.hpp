@@ -50,6 +50,17 @@ class SequencedApplyWindow {
   // whatever is now contiguous.
   std::vector<std::pair<uint64_t, Bytes>> skip_to(uint64_t up_to);
 
+  // Hands back the buffered holdback, emptying the window — used when a
+  // catch-up replaces the window wholesale: the caller re-offers these
+  // into the replacement so received-but-gapped items aren't lost.
+  std::vector<std::pair<uint64_t, Bytes>> take_buffered() {
+    std::vector<std::pair<uint64_t, Bytes>> out;
+    out.reserve(holdback_.size());
+    for (auto& [seq, item] : holdback_) out.emplace_back(seq, std::move(item));
+    holdback_.clear();
+    return out;
+  }
+
  private:
   std::vector<std::pair<uint64_t, Bytes>> drain();
 

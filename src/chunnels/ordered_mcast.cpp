@@ -35,7 +35,9 @@ Result<McastOp> parse_sequenced_mcast(BytesView datagram) {
   if (datagram.size() < 8)
     return err(Errc::protocol_error, "short sequenced mcast datagram");
   McastOp op;
-  op.seq = get_u64_le(datagram, 0);
+  uint64_t stamp = get_u64_le(datagram, 0);
+  op.seq = stamp & kMcastSeqMask;
+  op.view = static_cast<uint32_t>(stamp >> kMcastSeqBits);
   BERTHA_TRY_ASSIGN(frame, parse_mcast_frame(datagram.subspan(8)));
   op.reply_to = std::move(frame.first);
   op.payload = frame.second;
@@ -68,6 +70,66 @@ Result<McastFetch> parse_mcast_fetch(BytesView datagram) {
   f.to = to;
   if (f.to < f.from) return err(Errc::protocol_error, "inverted fetch range");
   return f;
+}
+
+Bytes mcast_fetch_miss_frame(uint32_t view, uint64_t from, uint64_t to) {
+  Writer w;
+  w.put_u8('M');
+  w.put_u8('X');
+  w.put_varint(view);
+  w.put_varint(from);
+  w.put_varint(to);
+  return std::move(w).take();
+}
+
+Result<McastFetchMiss> parse_mcast_fetch_miss(BytesView datagram) {
+  Reader r(datagram);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != 'M' || m1 != 'X')
+    return err(Errc::protocol_error, "bad mcast fetch-miss magic");
+  McastFetchMiss m;
+  BERTHA_TRY_ASSIGN(view, r.get_varint());
+  if (view > 0xffff) return err(Errc::protocol_error, "fetch-miss view range");
+  m.view = static_cast<uint32_t>(view);
+  BERTHA_TRY_ASSIGN(from, r.get_varint());
+  BERTHA_TRY_ASSIGN(to, r.get_varint());
+  m.from = from;
+  m.to = to;
+  if (m.to < m.from)
+    return err(Errc::protocol_error, "inverted fetch-miss range");
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing bytes after fetch-miss");
+  return m;
+}
+
+Bytes mcast_view_start_frame(uint32_t view, uint64_t start_seq) {
+  Writer w;
+  w.put_u8('M');
+  w.put_u8('S');
+  w.put_varint(view);
+  w.put_varint(start_seq);
+  return std::move(w).take();
+}
+
+Result<McastViewStart> parse_mcast_view_start(BytesView datagram) {
+  Reader r(datagram);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != 'M' || m1 != 'S')
+    return err(Errc::protocol_error, "bad mcast view-start magic");
+  McastViewStart vs;
+  BERTHA_TRY_ASSIGN(view, r.get_varint());
+  if (view == 0 || view > 0xffff)
+    return err(Errc::protocol_error, "view-start view range");
+  vs.view = static_cast<uint32_t>(view);
+  BERTHA_TRY_ASSIGN(start, r.get_varint());
+  if (start > kMcastSeqMask)
+    return err(Errc::protocol_error, "view-start seq range");
+  vs.start_seq = start;
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing bytes after view-start");
+  return vs;
 }
 
 // --- replica-side shared state ---
@@ -349,26 +411,88 @@ SoftwareOrderedMcastChunnel::SoftwareOrderedMcastChunnel()
 
 SoftwareSequencer::SoftwareSequencer(std::shared_ptr<Transport> t,
                                      std::vector<Addr> members,
-                                     size_t retransmit_window)
+                                     size_t retransmit_window, uint32_t view,
+                                     bool standby)
     : transport_(std::move(t)),
       addr_(transport_->local_addr()),
       members_(std::move(members)),
       window_(retransmit_window) {
+  view_.store(view, std::memory_order_release);
+  active_.store(!standby, std::memory_order_release);
   thread_ = std::thread([this] {
     // The retransmit log lives on this thread alone: stamped packet seq
     // s sits at log[s - log_base].
     std::deque<Bytes> log;
     uint64_t log_base = 0;
+    auto multicast = [this](const Bytes& pkt) {
+      std::vector<Addr> members;
+      {
+        std::lock_guard<std::mutex> lk(members_mu_);
+        members = members_;
+      }
+      for (const auto& m : members) (void)transport_->send_to(m, pkt);
+    };
+    auto stamp_and_send = [&](BytesView frame) {
+      uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+      Bytes stamped;
+      stamped.reserve(8 + frame.size());
+      put_u64_le(stamped,
+                 mcast_stamp(view_.load(std::memory_order_relaxed), seq));
+      append(stamped, frame);
+      multicast(stamped);
+      if (window_ != 0) {
+        log.push_back(std::move(stamped));
+        while (log.size() > window_) {
+          log.pop_front();
+          log_base++;
+        }
+      }
+      count_.fetch_add(1, std::memory_order_relaxed);
+    };
     for (;;) {
       auto pkt_r = transport_->recv();
       if (!pkt_r.ok()) return;
       const Packet& pkt = pkt_r.value();
+      if (auto vs_r = parse_mcast_view_start(pkt.payload); vs_r.ok()) {
+        // Election result. Activation is idempotent and only moves
+        // forward: a standby wakes at the elected view, an active
+        // sequencer re-elected at a higher view (candidate-list
+        // wrap-around) adopts it. The old log is from a dead view —
+        // drop it and resume the seq chain at the quorum's agreed
+        // point.
+        const McastViewStart& vs = vs_r.value();
+        uint32_t cur = view_.load(std::memory_order_relaxed);
+        bool adopt = vs.view > cur ||
+                     (vs.view == cur && !active_.load(std::memory_order_relaxed));
+        if (!adopt) continue;
+        view_.store(vs.view, std::memory_order_release);
+        uint64_t ns =
+            std::max(next_seq_.load(std::memory_order_relaxed), vs.start_seq);
+        next_seq_.store(ns, std::memory_order_relaxed);
+        log.clear();
+        log_base = ns;
+        active_.store(true, std::memory_order_release);
+        // Announce the view with a stamped no-op so replicas adopt it
+        // (and re-propose in-flight ops) even before any client op
+        // reaches us.
+        stamp_and_send(mcast_frame(addr_, BytesView{}));
+        continue;
+      }
+      if (!active_.load(std::memory_order_relaxed)) continue;  // standby
       if (window_ != 0) {
         if (auto fetch_r = parse_mcast_fetch(pkt.payload); fetch_r.ok()) {
-          // A replica saw a gap; re-send what the log still covers. Seqs
-          // already pruned stay lost — the replica's gap timeout handles
-          // those exactly as before.
+          // A replica saw a gap; re-send what the log still covers. For
+          // the prefix already pruned from the log, answer with a miss
+          // frame — the replica catches up from a peer snapshot instead
+          // of skipping. Seqs beyond the log's head have simply not
+          // been stamped yet and are not a miss.
           const McastFetch& f = fetch_r.value();
+          if (f.from < log_base) {
+            (void)transport_->send_to(
+                f.reply_to,
+                mcast_fetch_miss_frame(view_.load(std::memory_order_relaxed),
+                                       f.from, std::min(f.to, log_base)));
+          }
           uint64_t from = std::max(f.from, log_base);
           uint64_t to = std::min(f.to, log_base + log.size());
           for (uint64_t s = from; s < to; s++) {
@@ -380,42 +504,37 @@ SoftwareSequencer::SoftwareSequencer(std::shared_ptr<Transport> t,
       }
       // Validate before stamping; non-mcast datagrams are dropped.
       if (!parse_mcast_frame(pkt.payload).ok()) continue;
-      Bytes stamped;
-      stamped.reserve(8 + pkt.payload.size());
-      put_u64_le(stamped, next_seq_.fetch_add(1, std::memory_order_relaxed));
-      append(stamped, pkt.payload);
-      for (const auto& m : members_) (void)transport_->send_to(m, stamped);
-      if (window_ != 0) {
-        log.push_back(stamped);
-        while (log.size() > window_) {
-          log.pop_front();
-          log_base++;
-        }
-      }
-      count_.fetch_add(1, std::memory_order_relaxed);
+      stamp_and_send(pkt.payload);
     }
   });
 }
 
+void SoftwareSequencer::update_members(std::vector<Addr> members) {
+  std::lock_guard<std::mutex> lk(members_mu_);
+  members_ = std::move(members);
+}
+
 Result<std::unique_ptr<SoftwareSequencer>> SoftwareSequencer::start(
     TransportFactory& factory, const Addr& bind_addr,
-    std::vector<Addr> members, size_t retransmit_window) {
+    std::vector<Addr> members, size_t retransmit_window, uint32_t view,
+    bool standby) {
   if (members.empty())
     return err(Errc::invalid_argument, "sequencer needs members");
   BERTHA_TRY_ASSIGN(t, factory.bind(bind_addr));
-  return std::unique_ptr<SoftwareSequencer>(
-      new SoftwareSequencer(std::shared_ptr<Transport>(std::move(t)),
-                            std::move(members), retransmit_window));
+  return std::unique_ptr<SoftwareSequencer>(new SoftwareSequencer(
+      std::shared_ptr<Transport>(std::move(t)), std::move(members),
+      retransmit_window, view, standby));
 }
 
 Result<std::unique_ptr<SoftwareSequencer>> SoftwareSequencer::start_with(
     std::shared_ptr<Transport> transport, std::vector<Addr> members,
-    size_t retransmit_window) {
+    size_t retransmit_window, uint32_t view, bool standby) {
   if (!transport) return err(Errc::invalid_argument, "null transport");
   if (members.empty())
     return err(Errc::invalid_argument, "sequencer needs members");
-  return std::unique_ptr<SoftwareSequencer>(new SoftwareSequencer(
-      std::move(transport), std::move(members), retransmit_window));
+  return std::unique_ptr<SoftwareSequencer>(
+      new SoftwareSequencer(std::move(transport), std::move(members),
+                            retransmit_window, view, standby));
 }
 
 SoftwareSequencer::~SoftwareSequencer() { stop(); }

@@ -16,8 +16,11 @@
 //                           and a CPU on the critical path.
 //
 // Wire format reaching each replica:
-//   [u64le global seq][ 'M' '1' | varint reply_uri_len | reply_uri | op ]
-// Replies are raw payloads sent directly to reply_uri.
+//   [u64le stamp][ 'M' '1' | varint reply_uri_len | reply_uri | op ]
+// where stamp packs a sequencer view number into the top 16 bits and
+// the global sequence number into the low 48 (view 0 == the original
+// unversioned format, so pre-view traffic parses unchanged). Replies
+// are raw payloads sent directly to reply_uri.
 //
 // Server-side semantics: every replica sees ONE globally-ordered
 // operation stream per listener; all accepted connections at that
@@ -87,14 +90,20 @@ class SoftwareSequencer {
   // sequencer re-sends the missing range from this bounded log. 0 (the
   // default) disables retransmission, matching the original skip-on-gap
   // behaviour.
+  //
+  // `standby`: start passive — drop all traffic until a view-start
+  // frame activates this sequencer at some view > `view`. A view-change
+  // round (src/control/replica) elects standbys in candidate-list
+  // order.
   static Result<std::unique_ptr<SoftwareSequencer>> start(
       TransportFactory& factory, const Addr& bind_addr,
-      std::vector<Addr> members, size_t retransmit_window = 0);
+      std::vector<Addr> members, size_t retransmit_window = 0,
+      uint32_t view = 0, bool standby = false);
   // Same, over an already-bound transport (the control plane pre-binds
   // fault-injecting transports for its sequencers).
   static Result<std::unique_ptr<SoftwareSequencer>> start_with(
       std::shared_ptr<Transport> transport, std::vector<Addr> members,
-      size_t retransmit_window = 0);
+      size_t retransmit_window = 0, uint32_t view = 0, bool standby = false);
   ~SoftwareSequencer();
 
   // Advertise this sequencer as an ordered_mcast implementation
@@ -109,16 +118,26 @@ class SoftwareSequencer {
   uint64_t retransmitted() const {
     return retransmits_.load(std::memory_order_relaxed);
   }
+  // The view this sequencer stamps with; advances when a view-start
+  // frame re-elects it.
+  uint32_t view() const { return view_.load(std::memory_order_acquire); }
+  // False while standing by (pre-election).
+  bool active() const { return active_.load(std::memory_order_acquire); }
+  // Replace the multicast member list (membership reconfiguration).
+  void update_members(std::vector<Addr> members);
   void stop();
 
  private:
   SoftwareSequencer(std::shared_ptr<Transport> t, std::vector<Addr> members,
-                    size_t retransmit_window);
+                    size_t retransmit_window, uint32_t view, bool standby);
 
   std::shared_ptr<Transport> transport_;
   Addr addr_;
+  mutable std::mutex members_mu_;
   std::vector<Addr> members_;
   size_t window_ = 0;
+  std::atomic<uint32_t> view_{0};
+  std::atomic<bool> active_{true};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> next_seq_{0};
   std::atomic<uint64_t> retransmits_{0};
@@ -126,9 +145,23 @@ class SoftwareSequencer {
 };
 
 // Framing helpers (shared with tests).
+
+// The u64 stamp prefixed to every sequenced datagram packs the
+// sequencer's view into the top 16 bits and the global sequence number
+// into the low 48. Seq stays monotonic *across* views (a new sequencer
+// resumes from the agreed last-contiguous seq), so ordered delivery
+// logic keys on seq alone and view only gates staleness.
+inline constexpr unsigned kMcastSeqBits = 48;
+inline constexpr uint64_t kMcastSeqMask =
+    (uint64_t(1) << kMcastSeqBits) - 1;
+inline constexpr uint64_t mcast_stamp(uint32_t view, uint64_t seq) {
+  return (uint64_t(view) << kMcastSeqBits) | (seq & kMcastSeqMask);
+}
+
 Bytes mcast_frame(const Addr& reply_to, BytesView op);
 struct McastOp {
   uint64_t seq;
+  uint32_t view = 0;
   Addr reply_to;
   BytesView payload;
 };
@@ -146,5 +179,27 @@ struct McastFetch {
 };
 Bytes mcast_fetch_frame(const Addr& reply_to, uint64_t from, uint64_t to);
 Result<McastFetch> parse_mcast_fetch(BytesView datagram);
+
+// Fetch miss: the sequencer's answer when (part of) a fetched range
+// has been evicted from its bounded resend log — those seqs cannot be
+// retransmitted, and the replica should catch up from a peer snapshot
+// instead of skipping.
+struct McastFetchMiss {
+  uint32_t view = 0;
+  uint64_t from = 0;
+  uint64_t to = 0;  // exclusive; the evicted subrange of the fetch
+};
+Bytes mcast_fetch_miss_frame(uint32_t view, uint64_t from, uint64_t to);
+Result<McastFetchMiss> parse_mcast_fetch_miss(BytesView datagram);
+
+// View start: sent by a replica that collected a view-change quorum to
+// the elected candidate sequencer. Activates it at `view`, resuming the
+// seq chain at `start_seq` (the quorum's max last-contiguous seq).
+struct McastViewStart {
+  uint32_t view = 0;
+  uint64_t start_seq = 0;
+};
+Bytes mcast_view_start_frame(uint32_t view, uint64_t start_seq);
+Result<McastViewStart> parse_mcast_view_start(BytesView datagram);
 
 }  // namespace bertha

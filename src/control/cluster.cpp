@@ -129,6 +129,15 @@ bool ClusterDiscovery::degraded() const {
   return false;
 }
 
+Result<void> ClusterDiscovery::apply_membership(const ClusterMembership& m) {
+  BERTHA_TRY(map_.apply(m));
+  // The epoch is recorded; steer every partition client at its new
+  // replica list (no-op for a client already on a member server).
+  for (size_t i = 0; i < clients_.size() && i < m.partitions.size(); i++)
+    clients_[i]->update_servers(m.partitions[i]);
+  return ok();
+}
+
 size_t ClusterDiscovery::server_failovers() const {
   size_t n = 0;
   for (const auto& c : clients_) n += c->server_failovers();
@@ -137,11 +146,34 @@ size_t ClusterDiscovery::server_failovers() const {
 
 // --- DiscoveryCluster ---
 
+std::string DiscoveryCluster::replica_name(size_t p, size_t r) const {
+  return cfg_.prefix + "-p" + std::to_string(p) + "-r" + std::to_string(r);
+}
+
+DiscoveryReplicaOptions DiscoveryCluster::replica_opts(size_t p,
+                                                       size_t r) const {
+  DiscoveryReplicaOptions opts = cfg_.replica;
+  opts.replica_id = replica_name(p, r);
+  opts.partition_index = p;
+  opts.sequencers = seq_addrs_[p];
+  opts.sequencer = seq_addrs_[p][0];
+  opts.peers.clear();
+  for (size_t i = 0; i < member_addrs_[p].size(); i++)
+    if (i != r) opts.peers.push_back(member_addrs_[p][i]);
+  opts.catchup_timeout = cfg_.tuning.catchup_timeout;
+  opts.view_ack_timeout = cfg_.tuning.view_ack_timeout;
+  opts.view_silence_timeout = cfg_.sequencer_candidates > 1
+                                  ? cfg_.tuning.view_silence_timeout
+                                  : Duration::zero();
+  return opts;
+}
+
 Result<std::unique_ptr<DiscoveryCluster>> DiscoveryCluster::start(Config cfg) {
   if (!cfg.transports)
     return err(Errc::invalid_argument, "cluster needs a transport factory");
   if (cfg.partitions == 0 || cfg.replicas == 0)
     return err(Errc::invalid_argument, "cluster needs partitions and replicas");
+  if (cfg.sequencer_candidates == 0) cfg.sequencer_candidates = 1;
 
   auto cluster = std::unique_ptr<DiscoveryCluster>(
       new DiscoveryCluster(std::move(cfg)));
@@ -150,12 +182,12 @@ Result<std::unique_ptr<DiscoveryCluster>> DiscoveryCluster::start(Config cfg) {
   for (size_t p = 0; p < c.partitions; p++) {
     std::string pp = c.prefix + "-p" + std::to_string(p);
 
-    // Bind every replica's transports first: the sequencer needs the
+    // Bind every replica's transports first: the sequencers need the
     // member list up front.
     std::vector<TransportPtr> rpcs, members;
     std::vector<Addr> member_addrs, rpc_addrs;
     for (size_t r = 0; r < c.replicas; r++) {
-      std::string rr = pp + "-r" + std::to_string(r);
+      std::string rr = cluster->replica_name(p, r);
       BERTHA_TRY_ASSIGN(rpc_t, cluster->bind(Addr::mem(rr, 1), rr + "-rpc"));
       BERTHA_TRY_ASSIGN(mem_t, cluster->bind(Addr::mem(rr, 2), rr + "-member"));
       rpc_addrs.push_back(rpc_t->local_addr());
@@ -164,28 +196,36 @@ Result<std::unique_ptr<DiscoveryCluster>> DiscoveryCluster::start(Config cfg) {
       members.push_back(std::move(mem_t));
     }
 
-    BERTHA_TRY_ASSIGN(seq_t, cluster->bind(Addr::mem(pp + "-seq", 1),
-                                           "p" + std::to_string(p) + "-seq"));
-    std::shared_ptr<Transport> seq_shared(std::move(seq_t));
-    BERTHA_TRY_ASSIGN(seq, SoftwareSequencer::start_with(
-                               seq_shared, member_addrs, c.sequencer_window));
-    Addr seq_addr = seq->addr();
-    cluster->sequencers_.push_back(std::move(seq));
+    // Sequencer candidates: candidate 0 starts active in view 0, the
+    // rest stand by until a view-start frame elects them.
+    std::vector<std::unique_ptr<SoftwareSequencer>> cands;
+    std::vector<Addr> seq_addrs;
+    for (size_t s = 0; s < c.sequencer_candidates; s++) {
+      std::string chan = s == 0 ? pp + "-seq" : pp + "-seq" + std::to_string(s);
+      BERTHA_TRY_ASSIGN(seq_t, cluster->bind(Addr::mem(chan, 1), chan));
+      std::shared_ptr<Transport> seq_shared(std::move(seq_t));
+      BERTHA_TRY_ASSIGN(
+          seq, SoftwareSequencer::start_with(seq_shared, member_addrs,
+                                             c.tuning.sequencer_resend_log,
+                                             /*view=*/0, /*standby=*/s != 0));
+      seq_addrs.push_back(seq->addr());
+      cands.push_back(std::move(seq));
+    }
+    cluster->sequencers_.push_back(std::move(cands));
+    cluster->seq_addrs_.push_back(std::move(seq_addrs));
+    cluster->member_addrs_.push_back(std::move(member_addrs));
+    cluster->rpc_addrs_.push_back(std::move(rpc_addrs));
 
     std::vector<std::unique_ptr<DiscoveryReplica>> group;
     for (size_t r = 0; r < c.replicas; r++) {
-      DiscoveryReplicaOptions opts = c.replica;
-      opts.replica_id = pp + "-r" + std::to_string(r);
-      opts.partition_index = p;
-      opts.sequencer = seq_addr;
-      BERTHA_TRY_ASSIGN(rep, DiscoveryReplica::start(std::move(rpcs[r]),
-                                                     std::move(members[r]),
-                                                     std::move(opts)));
+      BERTHA_TRY_ASSIGN(
+          rep, DiscoveryReplica::start(std::move(rpcs[r]), std::move(members[r]),
+                                       cluster->replica_opts(p, r)));
       group.push_back(std::move(rep));
     }
     cluster->replicas_.push_back(std::move(group));
-    cluster->rpc_addrs_.push_back(std::move(rpc_addrs));
   }
+  cluster->epoch_ = 1;
   return cluster;
 }
 
@@ -207,6 +247,24 @@ void DiscoveryCluster::stop() {
   sequencers_.clear();
 }
 
+std::vector<Addr> DiscoveryCluster::partition_servers(size_t p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rpc_addrs_[p];
+}
+
+std::vector<std::vector<Addr>> DiscoveryCluster::all_servers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rpc_addrs_;
+}
+
+ClusterMembership DiscoveryCluster::membership() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ClusterMembership m;
+  m.epoch = epoch_;
+  m.partitions = rpc_addrs_;
+  return m;
+}
+
 void DiscoveryCluster::kill_replica(size_t p, size_t r) {
   if (p >= replicas_.size() || r >= replicas_[p].size()) return;
   replicas_[p][r].reset();
@@ -217,12 +275,83 @@ bool DiscoveryCluster::alive(size_t p, size_t r) const {
          replicas_[p][r] != nullptr;
 }
 
+Result<void> DiscoveryCluster::restart_replica(size_t p, size_t r) {
+  if (p >= replicas_.size() || r >= replicas_[p].size())
+    return err(Errc::invalid_argument, "no such replica");
+  if (replicas_[p][r])
+    return err(Errc::already_exists, "replica still alive (kill it first)");
+  std::string rr = replica_name(p, r);
+  BERTHA_TRY_ASSIGN(rpc_t, bind(Addr::mem(rr, 1), rr + "-rpc"));
+  BERTHA_TRY_ASSIGN(mem_t, bind(Addr::mem(rr, 2), rr + "-member"));
+  DiscoveryReplicaOptions opts = replica_opts(p, r);
+  // Catch up from the surviving peers; a lone replica has nobody to ask
+  // and boots empty instead.
+  opts.catch_up = !opts.peers.empty();
+  BERTHA_TRY_ASSIGN(rep, DiscoveryReplica::start(std::move(rpc_t),
+                                                 std::move(mem_t),
+                                                 std::move(opts)));
+  replicas_[p][r] = std::move(rep);
+  return ok();
+}
+
+Result<size_t> DiscoveryCluster::add_replica(size_t p) {
+  if (p >= replicas_.size())
+    return err(Errc::invalid_argument, "no such partition");
+  size_t r = replicas_[p].size();
+  std::string rr = replica_name(p, r);
+  BERTHA_TRY_ASSIGN(rpc_t, bind(Addr::mem(rr, 1), rr + "-rpc"));
+  BERTHA_TRY_ASSIGN(mem_t, bind(Addr::mem(rr, 2), rr + "-member"));
+  Addr rpc_addr = rpc_t->local_addr();
+  Addr mem_addr = mem_t->local_addr();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    member_addrs_[p].push_back(mem_addr);
+  }
+  DiscoveryReplicaOptions opts = replica_opts(p, r);
+  opts.catch_up = true;
+  auto rep_r = DiscoveryReplica::start(std::move(rpc_t), std::move(mem_t),
+                                       std::move(opts));
+  if (!rep_r.ok()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    member_addrs_[p].pop_back();
+    return rep_r.error();
+  }
+  replicas_[p].push_back(std::move(rep_r).value());
+  // Steer the partition's live sequencers at the widened member list so
+  // the joiner receives the multicast stream, then publish the config.
+  std::vector<Addr> members;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    members = member_addrs_[p];
+  }
+  for (auto& s : sequencers_[p])
+    if (s) s->update_members(members);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    rpc_addrs_[p].push_back(rpc_addr);
+    epoch_++;
+  }
+  return r;
+}
+
+void DiscoveryCluster::kill_sequencer(size_t p, size_t c) {
+  if (p >= sequencers_.size() || c >= sequencers_[p].size()) return;
+  sequencers_[p][c].reset();
+}
+
+bool DiscoveryCluster::sequencer_alive(size_t p, size_t c) const {
+  return p < sequencers_.size() && c < sequencers_[p].size() &&
+         sequencers_[p][c] != nullptr;
+}
+
 Result<std::shared_ptr<ClusterDiscovery>> DiscoveryCluster::client(
     const std::string& host_id, RemoteDiscovery::Options rpc) {
   ClusterDiscovery::Config ccfg;
   ccfg.partitions = all_servers();
   ccfg.transports = cfg_.transports;
   ccfg.host_id = host_id;
+  if (rpc.watchdog_interval <= Duration::zero())
+    rpc.watchdog_interval = cfg_.tuning.watchdog_interval;
   ccfg.rpc = std::move(rpc);
   return ClusterDiscovery::connect(std::move(ccfg));
 }

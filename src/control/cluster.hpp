@@ -9,14 +9,19 @@
 //    through a multi-server RemoteDiscovery that fails over between the
 //    partition's replicas on RPC timeout or watch-stream silence. The
 //    catalogue-wide watch (empty filter) fans in every partition's
-//    stream into one watcher.
+//    stream into one watcher. apply_membership() adopts a newer
+//    versioned cluster config (replicas added/removed online) and
+//    re-steers every partition client.
 //
 //  * DiscoveryCluster — the in-process harness that stands up the whole
-//    control plane (per partition: one SoftwareSequencer plus R
+//    control plane (per partition: a sequencer candidate list plus R
 //    DiscoveryReplicas) on mem transports, used by tests, the chaos
-//    suite and the failover bench. kill_replica() tears one replica down
-//    the hard way, exactly like a process death: its transports close
-//    and clients discover it by timeout.
+//    suite and the failover bench. kill_replica()/kill_sequencer() tear
+//    components down the hard way, exactly like a process death: their
+//    transports close and clients discover it by timeout.
+//    restart_replica() and add_replica() exercise the recovery layer:
+//    the (re)joining replica boots with catch_up and installs a peer
+//    snapshot before serving.
 #pragma once
 
 #include <atomic>
@@ -30,6 +35,7 @@
 #include "control/partition_map.hpp"
 #include "control/replica.hpp"
 #include "core/discovery.hpp"
+#include "core/runtime.hpp"
 
 namespace bertha {
 
@@ -59,6 +65,12 @@ class ClusterDiscovery final : public DiscoveryClient {
   // locally (the merged stream has its own seq domain).
   Result<WatcherPtr> watch(const std::string& type_filter) override;
   bool degraded() const override;
+
+  // Adopts a newer cluster config: records the epoch in the partition
+  // map and re-steers every partition client at the config's replica
+  // list (the client keeps its current server when it is still a
+  // member). Rejects stale/equal epochs and partition-count changes.
+  Result<void> apply_membership(const ClusterMembership& m);
 
   const PartitionMap& partition_map() const { return map_; }
   // The per-partition client (diagnostics/tests).
@@ -93,39 +105,74 @@ class DiscoveryCluster {
     size_t replicas = 3;
     std::shared_ptr<TransportFactory> transports;
     // Mem-channel prefix: partition p replica r binds
-    // mem://<prefix>-p<p>-r<r>:{1,2} (rpc, member); the sequencer binds
-    // mem://<prefix>-p<p>-seq:1.
+    // mem://<prefix>-p<p>-r<r>:{1,2} (rpc, member); sequencer candidate
+    // 0 binds mem://<prefix>-p<p>-seq:1, candidate k > 0
+    // mem://<prefix>-p<p>-seq<k>:1.
     std::string prefix = "ctrl";
-    // Template for every replica (replica_id / partition_index /
-    // sequencer are filled per replica).
+    // Template for every replica. replica_id / partition_index /
+    // sequencer(s) / peers are filled per replica; the recovery knobs
+    // (catchup / view-change timeouts) come from `tuning` below, not
+    // from this template.
     DiscoveryReplicaOptions replica;
-    // Sequencer retransmit log (gap recovery window).
-    size_t sequencer_window = 4096;
+    // Sequencer candidates per partition. Candidate 0 starts active in
+    // view 0; the rest stand by until a view change elects them
+    // (view v -> candidate v % sequencer_candidates). 1 = no sequencer
+    // failover (and view-change detection stays disabled).
+    size_t sequencer_candidates = 1;
+    // Recovery tuning: sequencer resend-log bound, catch-up and
+    // view-change timeouts, client watchdog poll (see core/runtime.hpp).
+    // view_silence_timeout only takes effect with >= 2 candidates.
+    ControlTuning tuning;
     // Optional wrapper applied to every bound transport; `role` is
-    // "p<p>-r<r>-rpc", "p<p>-r<r>-member" or "p<p>-seq" so a test can
-    // fault-inject one replica and leave the rest clean.
+    // "<prefix>-p<p>-r<r>-rpc", "<prefix>-p<p>-r<r>-member",
+    // "<prefix>-p<p>-seq" (candidate 0) or "<prefix>-p<p>-seq<k>" so a
+    // test can fault-inject one component and leave the rest clean.
     std::function<TransportPtr(TransportPtr, const std::string& role)> decorate;
   };
 
   static Result<std::unique_ptr<DiscoveryCluster>> start(Config cfg);
   ~DiscoveryCluster();
 
-  size_t partitions() const { return rpc_addrs_.size(); }
-  size_t replicas() const { return cfg_.replicas; }
-  // Stable rpc address list of one partition (survives replica death —
-  // a restarted replica would rebind the same channel).
-  const std::vector<Addr>& partition_servers(size_t p) const {
-    return rpc_addrs_[p];
-  }
-  std::vector<std::vector<Addr>> all_servers() const { return rpc_addrs_; }
+  size_t partitions() const { return member_addrs_.size(); }
+  size_t replicas(size_t p) const { return replicas_[p].size(); }
+  // Replica rpc address list of one partition under the current
+  // membership (grows with add_replica; a restarted replica rebinds the
+  // same channel, so kills don't shrink it).
+  std::vector<Addr> partition_servers(size_t p) const;
+  std::vector<std::vector<Addr>> all_servers() const;
+
+  // The current versioned cluster config (epoch starts at 1; every
+  // add_replica bumps it). Feed to ClusterDiscovery::apply_membership.
+  ClusterMembership membership() const;
 
   // Hard-kills one replica: transports close, in-flight RPCs time out,
   // clients rotate. Idempotent.
   void kill_replica(size_t p, size_t r);
   bool alive(size_t p, size_t r) const;
+  // Boots the killed replica again on the same addresses, catch_up set:
+  // it installs a peer snapshot (state + watch event log + dedup) and
+  // replays the sequenced suffix before serving. No-op error when still
+  // alive. With no peers (single-replica partition) the restart comes
+  // back empty instead.
+  Result<void> restart_replica(size_t p, size_t r);
+  // Grows partition p by one catch-up replica, steers the partition's
+  // live sequencers at the widened member list and bumps the membership
+  // epoch. Returns the new replica's index.
+  Result<size_t> add_replica(size_t p);
+
+  // Hard-kills one sequencer candidate (the view-change trigger when
+  // it's the active one). Idempotent.
+  void kill_sequencer(size_t p, size_t c = 0);
+  bool sequencer_alive(size_t p, size_t c = 0) const;
+
   // nullptr after kill_replica.
   DiscoveryReplica* replica(size_t p, size_t r) { return replicas_[p][r].get(); }
-  SoftwareSequencer& sequencer(size_t p) { return *sequencers_[p]; }
+  // Candidate 0 (the view-0 sequencer); invalid after kill_sequencer(p).
+  SoftwareSequencer& sequencer(size_t p) { return *sequencers_[p][0]; }
+  // nullptr after kill_sequencer(p, c).
+  SoftwareSequencer* sequencer_at(size_t p, size_t c) {
+    return sequencers_[p][c].get();
+  }
 
   // A routing client over this cluster. `host_id` must be unique per
   // client (mem bind channel + lease identity namespace).
@@ -137,10 +184,19 @@ class DiscoveryCluster {
  private:
   explicit DiscoveryCluster(Config cfg) : cfg_(std::move(cfg)) {}
   Result<TransportPtr> bind(const Addr& addr, const std::string& role);
+  DiscoveryReplicaOptions replica_opts(size_t p, size_t r) const;
+  std::string replica_name(size_t p, size_t r) const;
 
   Config cfg_;
+  // rpc_addrs_ and epoch_ change online (add_replica) while clients
+  // read them; the topology vectors below them are start()-time fixed
+  // per partition except for push_back under the same lock.
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
   std::vector<std::vector<Addr>> rpc_addrs_;
-  std::vector<std::unique_ptr<SoftwareSequencer>> sequencers_;
+  std::vector<std::vector<Addr>> member_addrs_;
+  std::vector<std::vector<Addr>> seq_addrs_;  // [partition][candidate]
+  std::vector<std::vector<std::unique_ptr<SoftwareSequencer>>> sequencers_;
   std::vector<std::vector<std::unique_ptr<DiscoveryReplica>>> replicas_;
 };
 

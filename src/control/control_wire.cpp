@@ -30,4 +30,285 @@ Result<CtrlOp> decode_ctrl_op(BytesView b) {
   return op;
 }
 
+// --- Recovery frames ---
+
+// Serde glue for the snapshot payload. Every decoder validates its
+// ranges and its callers check at_end(), so a truncated or corrupted
+// frame fails cleanly before anything is installed.
+
+template <>
+struct Serde<DiscoverySnapshot::PoolEntry> {
+  static void put(Writer& w, const DiscoverySnapshot::PoolEntry& p) {
+    w.put_string(p.name);
+    w.put_varint(p.capacity);
+    w.put_varint(p.used);
+  }
+  static Result<DiscoverySnapshot::PoolEntry> get(Reader& r) {
+    DiscoverySnapshot::PoolEntry p;
+    BERTHA_TRY_ASSIGN(name, r.get_string());
+    BERTHA_TRY_ASSIGN(cap, r.get_varint());
+    BERTHA_TRY_ASSIGN(used, r.get_varint());
+    p.name = std::move(name);
+    p.capacity = cap;
+    p.used = used;
+    if (p.used > p.capacity)
+      return err(Errc::protocol_error, "pool used exceeds capacity");
+    return p;
+  }
+};
+
+template <>
+struct Serde<DiscoverySnapshot::AllocEntry> {
+  static void put(Writer& w, const DiscoverySnapshot::AllocEntry& a) {
+    w.put_varint(a.id);
+    serde_put(w, a.reqs);
+  }
+  static Result<DiscoverySnapshot::AllocEntry> get(Reader& r) {
+    DiscoverySnapshot::AllocEntry a;
+    BERTHA_TRY_ASSIGN(id, r.get_varint());
+    BERTHA_TRY_ASSIGN(reqs, serde_get<std::vector<ResourceReq>>(r));
+    a.id = id;
+    a.reqs = std::move(reqs);
+    return a;
+  }
+};
+
+template <>
+struct Serde<DiscoverySnapshot::LeaseEntry> {
+  static void put(Writer& w, const DiscoverySnapshot::LeaseEntry& l) {
+    w.put_string(l.owner);
+    w.put_svarint(l.ttl_ns);
+    w.put_svarint(l.expires_ns);
+    serde_put(w, l.impls);
+    serde_put(w, l.allocs);
+  }
+  static Result<DiscoverySnapshot::LeaseEntry> get(Reader& r) {
+    DiscoverySnapshot::LeaseEntry l;
+    BERTHA_TRY_ASSIGN(owner, r.get_string());
+    BERTHA_TRY_ASSIGN(ttl, r.get_svarint());
+    BERTHA_TRY_ASSIGN(expires, r.get_svarint());
+    BERTHA_TRY_ASSIGN(
+        impls, (serde_get<std::vector<std::pair<std::string, std::string>>>(r)));
+    BERTHA_TRY_ASSIGN(allocs, serde_get<std::vector<uint64_t>>(r));
+    l.owner = std::move(owner);
+    l.ttl_ns = ttl;
+    l.expires_ns = expires;
+    l.impls = std::move(impls);
+    l.allocs = std::move(allocs);
+    return l;
+  }
+};
+
+template <>
+struct Serde<DiscoverySnapshot> {
+  static void put(Writer& w, const DiscoverySnapshot& s) {
+    serde_put(w, s.impls);
+    serde_put(w, s.pools);
+    serde_put(w, s.allocs);
+    w.put_varint(s.next_alloc);
+    serde_put(w, s.leases);
+    w.put_varint(s.watch_seq);
+  }
+  static Result<DiscoverySnapshot> get(Reader& r) {
+    DiscoverySnapshot s;
+    BERTHA_TRY_ASSIGN(impls, serde_get<std::vector<ImplInfo>>(r));
+    BERTHA_TRY_ASSIGN(pools,
+                      serde_get<std::vector<DiscoverySnapshot::PoolEntry>>(r));
+    BERTHA_TRY_ASSIGN(allocs,
+                      serde_get<std::vector<DiscoverySnapshot::AllocEntry>>(r));
+    BERTHA_TRY_ASSIGN(next_alloc, r.get_varint());
+    BERTHA_TRY_ASSIGN(leases,
+                      serde_get<std::vector<DiscoverySnapshot::LeaseEntry>>(r));
+    BERTHA_TRY_ASSIGN(watch_seq, r.get_varint());
+    s.impls = std::move(impls);
+    s.pools = std::move(pools);
+    s.allocs = std::move(allocs);
+    s.next_alloc = next_alloc;
+    s.leases = std::move(leases);
+    s.watch_seq = watch_seq;
+    return s;
+  }
+};
+
+template <>
+struct Serde<EventLogSnapshot> {
+  static void put(Writer& w, const EventLogSnapshot& l) {
+    serde_put(w, l.events);
+    w.put_varint(l.pruned_through);
+    w.put_varint(l.observed_through);
+  }
+  static Result<EventLogSnapshot> get(Reader& r) {
+    EventLogSnapshot l;
+    BERTHA_TRY_ASSIGN(events, serde_get<std::vector<WatchEvent>>(r));
+    BERTHA_TRY_ASSIGN(pruned, r.get_varint());
+    BERTHA_TRY_ASSIGN(observed, r.get_varint());
+    l.events = std::move(events);
+    l.pruned_through = pruned;
+    l.observed_through = observed;
+    if (l.observed_through < l.pruned_through)
+      return err(Errc::protocol_error, "event log observed < pruned");
+    return l;
+  }
+};
+
+namespace {
+
+constexpr uint8_t kCtrlMagic0 = 'C';
+constexpr uint8_t kCtrlMagic1 = 'T';
+
+Writer ctrl_frame_header(CtrlFrameKind kind) {
+  Writer w;
+  w.put_u8(kCtrlMagic0);
+  w.put_u8(kCtrlMagic1);
+  w.put_u8(static_cast<uint8_t>(kind));
+  return w;
+}
+
+// Strips magic + kind, checking `kind` matches.
+Result<Reader> ctrl_frame_body(BytesView b, CtrlFrameKind kind) {
+  Reader r(b);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != kCtrlMagic0 || m1 != kCtrlMagic1)
+    return err(Errc::protocol_error, "bad ctrl frame magic");
+  BERTHA_TRY_ASSIGN(k, r.get_u8());
+  if (k != static_cast<uint8_t>(kind))
+    return err(Errc::protocol_error, "ctrl frame kind mismatch");
+  return r;
+}
+
+}  // namespace
+
+Result<CtrlFrameKind> peek_ctrl_frame(BytesView b) {
+  Reader r(b);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != kCtrlMagic0 || m1 != kCtrlMagic1)
+    return err(Errc::protocol_error, "bad ctrl frame magic");
+  BERTHA_TRY_ASSIGN(k, r.get_u8());
+  if (k < 1 || k > 4)
+    return err(Errc::protocol_error, "unknown ctrl frame kind");
+  return static_cast<CtrlFrameKind>(k);
+}
+
+Bytes encode_snapshot_req(const CtrlSnapshotReq& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::snapshot_req);
+  w.put_string(m.from);
+  w.put_string(m.reply_uri);
+  return std::move(w).take();
+}
+
+Result<CtrlSnapshotReq> decode_snapshot_req(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::snapshot_req));
+  CtrlSnapshotReq m;
+  BERTHA_TRY_ASSIGN(from, r.get_string());
+  BERTHA_TRY_ASSIGN(reply, r.get_string());
+  m.from = std::move(from);
+  m.reply_uri = std::move(reply);
+  BERTHA_TRY(Addr::parse(m.reply_uri));  // must be answerable
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing snapshot-req bytes");
+  return m;
+}
+
+Bytes encode_snapshot_rsp(const CtrlSnapshotRsp& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::snapshot_rsp);
+  w.put_string(m.from);
+  w.put_varint(m.view);
+  w.put_varint(m.next_seq);
+  serde_put(w, m.state);
+  serde_put(w, m.dedup);
+  serde_put(w, m.applied);
+  serde_put(w, m.event_log);
+  return std::move(w).take();
+}
+
+Result<CtrlSnapshotRsp> decode_snapshot_rsp(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::snapshot_rsp));
+  CtrlSnapshotRsp m;
+  BERTHA_TRY_ASSIGN(from, r.get_string());
+  BERTHA_TRY_ASSIGN(view, r.get_varint());
+  if (view > 0xffff)
+    return err(Errc::protocol_error, "snapshot-rsp view range");
+  BERTHA_TRY_ASSIGN(next_seq, r.get_varint());
+  BERTHA_TRY_ASSIGN(state, serde_get<DiscoverySnapshot>(r));
+  BERTHA_TRY_ASSIGN(dedup,
+                    (serde_get<std::vector<std::pair<std::string, Bytes>>>(r)));
+  BERTHA_TRY_ASSIGN(applied, serde_get<std::vector<std::string>>(r));
+  BERTHA_TRY_ASSIGN(log, serde_get<EventLogSnapshot>(r));
+  m.from = std::move(from);
+  m.view = static_cast<uint32_t>(view);
+  m.next_seq = next_seq;
+  m.state = std::move(state);
+  m.dedup = std::move(dedup);
+  m.applied = std::move(applied);
+  m.event_log = std::move(log);
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing snapshot-rsp bytes");
+  return m;
+}
+
+Bytes encode_view_change(const CtrlViewChangeMsg& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::view_change);
+  w.put_varint(m.view);
+  w.put_string(m.from);
+  w.put_varint(m.last_contig);
+  return std::move(w).take();
+}
+
+Result<CtrlViewChangeMsg> decode_view_change(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::view_change));
+  CtrlViewChangeMsg m;
+  BERTHA_TRY_ASSIGN(view, r.get_varint());
+  if (view == 0 || view > 0xffff)
+    return err(Errc::protocol_error, "view-change view range");
+  BERTHA_TRY_ASSIGN(from, r.get_string());
+  BERTHA_TRY_ASSIGN(last, r.get_varint());
+  m.view = static_cast<uint32_t>(view);
+  m.from = std::move(from);
+  m.last_contig = last;
+  if (m.from.empty())
+    return err(Errc::protocol_error, "view-change without sender");
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing view-change bytes");
+  return m;
+}
+
+Bytes encode_membership(const ClusterMembership& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::membership);
+  w.put_varint(m.epoch);
+  w.put_varint(m.partitions.size());
+  for (const auto& replicas : m.partitions) {
+    w.put_varint(replicas.size());
+    for (const auto& a : replicas) w.put_string(a.to_string());
+  }
+  return std::move(w).take();
+}
+
+Result<ClusterMembership> decode_membership(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::membership));
+  ClusterMembership m;
+  BERTHA_TRY_ASSIGN(epoch, r.get_varint());
+  m.epoch = epoch;
+  BERTHA_TRY_ASSIGN(nparts, r.get_varint());
+  if (nparts == 0 || nparts > r.remaining())
+    return err(Errc::protocol_error, "membership partition count");
+  for (uint64_t p = 0; p < nparts; p++) {
+    BERTHA_TRY_ASSIGN(nreps, r.get_varint());
+    if (nreps == 0 || nreps > r.remaining())
+      return err(Errc::protocol_error, "membership replica count");
+    std::vector<Addr> replicas;
+    replicas.reserve(nreps);
+    for (uint64_t i = 0; i < nreps; i++) {
+      BERTHA_TRY_ASSIGN(uri, r.get_string());
+      BERTHA_TRY_ASSIGN(addr, Addr::parse(uri));
+      replicas.push_back(std::move(addr));
+    }
+    m.partitions.push_back(std::move(replicas));
+  }
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing membership bytes");
+  return m;
+}
+
 }  // namespace bertha

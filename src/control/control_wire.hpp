@@ -16,11 +16,23 @@
 // `origin` + `submit_id` identify the proposal: the proposing replica
 // completes its pending client RPC when it sees its own op come back out
 // of the sequencer; every other replica just applies it.
+//
+// Recovery frames ('C' 'T' magic + kind byte) ride the same member
+// transport as the sequenced stream and never pass through the
+// sequencer: snapshot request/response implement replica catch-up,
+// view-change messages implement the sequencer election round, and a
+// membership frame carries the versioned cluster config. Decoding is
+// strict — truncation or garbage degrades to a clean protocol_error,
+// never a partial apply (fuzz-covered in tests/fuzz_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "control/partition_map.hpp"
+#include "core/discovery.hpp"
 #include "serialize/codec.hpp"
 #include "util/bytes.hpp"
 #include "util/result.hpp"
@@ -44,5 +56,57 @@ struct CtrlOp {
 
 Bytes encode_ctrl_op(const CtrlOp& op);
 Result<CtrlOp> decode_ctrl_op(BytesView b);
+
+// --- Recovery frames ---
+
+enum class CtrlFrameKind : uint8_t {
+  snapshot_req = 1,
+  snapshot_rsp = 2,
+  view_change = 3,
+  membership = 4,
+};
+
+// Kind of a recovery frame, or protocol_error if `b` is not one (the
+// member-loop demux tries sequenced traffic first, then this).
+Result<CtrlFrameKind> peek_ctrl_frame(BytesView b);
+
+// Catch-up: a joining/restarted replica asks a live peer for its full
+// state; the peer answers with a consistent cut.
+struct CtrlSnapshotReq {
+  std::string from;       // requesting replica id
+  std::string reply_uri;  // member address to answer on
+};
+
+struct CtrlSnapshotRsp {
+  std::string from;       // serving replica id
+  uint32_t view = 0;      // serving replica's current sequencer view
+  uint64_t next_seq = 0;  // first seq NOT reflected in the snapshot
+  DiscoverySnapshot state;
+  // Replicated RPC idempotency cache, FIFO order: "<client>#<idem>" ->
+  // encoded response.
+  std::vector<std::pair<std::string, Bytes>> dedup;
+  // Applied-proposal ids ("<origin>#<submit_id>", FIFO order): the
+  // at-most-once guard for ops re-proposed across a view change.
+  std::vector<std::string> applied;
+  EventLogSnapshot event_log;
+};
+
+// View change: broadcast by a replica that suspects the sequencer of
+// `view - 1`; carries the sender's last contiguous seq so the quorum
+// can agree where the next sequencer resumes.
+struct CtrlViewChangeMsg {
+  uint32_t view = 0;
+  std::string from;  // sender replica id
+  uint64_t last_contig = 0;
+};
+
+Bytes encode_snapshot_req(const CtrlSnapshotReq& m);
+Result<CtrlSnapshotReq> decode_snapshot_req(BytesView b);
+Bytes encode_snapshot_rsp(const CtrlSnapshotRsp& m);
+Result<CtrlSnapshotRsp> decode_snapshot_rsp(BytesView b);
+Bytes encode_view_change(const CtrlViewChangeMsg& m);
+Result<CtrlViewChangeMsg> decode_view_change(BytesView b);
+Bytes encode_membership(const ClusterMembership& m);
+Result<ClusterMembership> decode_membership(BytesView b);
 
 }  // namespace bertha

@@ -23,6 +23,33 @@ size_t PartitionMap::index_for_alloc(uint64_t alloc_id) {
   return static_cast<size_t>(alloc_id >> DiscoveryState::kAllocNamespaceShift);
 }
 
+Result<void> PartitionMap::apply(const ClusterMembership& m) {
+  if (m.partitions.size() != partitions_)
+    return err(Errc::invalid_argument,
+               "membership partition count mismatch (online repartitioning "
+               "is not supported)");
+  for (const auto& replicas : m.partitions)
+    if (replicas.empty())
+      return err(Errc::invalid_argument, "membership with empty partition");
+  std::lock_guard<std::mutex> lk(mu_);
+  if (m.epoch <= epoch_)
+    return err(Errc::already_exists, "stale membership epoch");
+  epoch_ = m.epoch;
+  replicas_ = m.partitions;
+  return ok();
+}
+
+uint64_t PartitionMap::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return epoch_;
+}
+
+std::vector<Addr> PartitionMap::replicas(size_t p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (p >= replicas_.size()) return {};
+  return replicas_[p];
+}
+
 Result<size_t> PartitionMap::index_for_request(const DiscRequest& req) const {
   switch (req.op) {
     case DiscOp::register_impl:

@@ -13,11 +13,25 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/discovery_wire.hpp"
+#include "net/addr.hpp"
 
 namespace bertha {
+
+// Versioned cluster configuration: which replicas (RPC addresses) serve
+// each partition, stamped with a monotonically increasing epoch so a
+// client can never regress onto a stale view. Replicas can be added or
+// removed within a partition online; changing the partition *count*
+// (repartitioning with catalogue migration) is a separate, future
+// protocol — apply() rejects it.
+struct ClusterMembership {
+  uint64_t epoch = 0;
+  std::vector<std::vector<Addr>> partitions;  // [partition] -> replica RPC addrs
+};
 
 class PartitionMap {
  public:
@@ -25,6 +39,15 @@ class PartitionMap {
       : partitions_(partitions == 0 ? 1 : partitions) {}
 
   size_t partitions() const { return partitions_; }
+
+  // Adopt a newer cluster config. Rejects a stale or equal epoch
+  // (already applied — callers treat it as a no-op failure) and any
+  // config whose partition count differs from the steering hash's.
+  Result<void> apply(const ClusterMembership& m);
+  uint64_t epoch() const;
+  // Replica RPC addresses of partition p under the current config
+  // (empty until the first apply()).
+  std::vector<Addr> replicas(size_t p) const;
 
   // Impl entries: partition of a chunnel type.
   size_t index_for_type(const std::string& type) const;
@@ -43,6 +66,11 @@ class PartitionMap {
 
  private:
   size_t partitions_;
+  // Steering (partitions_) is immutable; only the membership view below
+  // changes, guarded for concurrent readers.
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::vector<std::vector<Addr>> replicas_;
 };
 
 }  // namespace bertha

@@ -1,7 +1,7 @@
 #include "control/replica.hpp"
 
-#include "apps/rsm.hpp"
-#include "chunnels/ordered_mcast.hpp"
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace bertha {
@@ -13,24 +13,27 @@ Result<std::unique_ptr<DiscoveryReplica>> DiscoveryReplica::start(
     return err(Errc::invalid_argument, "replica needs rpc + member transports");
   if (opts.replica_id.empty())
     return err(Errc::invalid_argument, "replica needs an id");
-  if (!opts.sequencer.valid())
+  if (!opts.sequencer.valid() && opts.sequencers.empty())
     return err(Errc::invalid_argument, "replica needs a sequencer address");
+  if (!opts.sequencer.valid()) opts.sequencer = opts.sequencers.front();
+  if (opts.catch_up && opts.peers.empty())
+    return err(Errc::invalid_argument, "catch-up boot needs peers");
 
   std::shared_ptr<Transport> member_shared(std::move(member));
   auto rep = std::unique_ptr<DiscoveryReplica>(
       new DiscoveryReplica(std::move(member_shared), std::move(opts)));
 
-  DiscoveryServer::Options sopts = rep->opts_.server;
-  if (!sopts.tracer) sopts.tracer = rep->opts_.tracer;
-  // The server routes every mutation here; `rep` outlives the server
-  // (stop() tears the server down first).
-  DiscoveryReplica* raw = rep.get();
-  sopts.mutation_executor = [raw](const DiscRequest& req) {
-    return raw->propose(req);
-  };
   rep->rpc_addr_ = rpc_transport->local_addr();
-  rep->server_ = std::make_unique<DiscoveryServer>(std::move(rpc_transport),
-                                                   rep->state_, sopts);
+  rep->boot_rpc_ = std::move(rpc_transport);
+  if (!rep->opts_.catch_up) {
+    // Fresh partition: serve immediately over the (empty) local state. A
+    // catch-up boot defers this until a peer snapshot has installed, so
+    // clients never observe a stale-empty replica (see member_loop()).
+    std::lock_guard<std::mutex> lk(rep->server_mu_);
+    rep->create_server_locked();
+    rep->ready_.store(true, std::memory_order_release);
+  }
+  DiscoveryReplica* raw = rep.get();
   rep->member_thread_ = std::thread([raw] { raw->member_loop(); });
   if (rep->opts_.sweep_period > Duration::zero())
     rep->sweep_thread_ = std::thread([raw] { raw->sweep_loop(); });
@@ -62,11 +65,46 @@ void DiscoveryReplica::stop() {
       w->cv.notify_all();
     }
   }
-  server_.reset();  // closes the rpc transport, joins serve/push threads
+  {
+    std::lock_guard<std::mutex> lk(server_mu_);
+    server_.reset();  // closes the rpc transport, joins serve/push threads
+    if (boot_rpc_) boot_rpc_->close();  // server never got created
+  }
   sweep_cv_.notify_all();
   if (sweep_thread_.joinable()) sweep_thread_.join();
   member_->close();
   if (member_thread_.joinable()) member_thread_.join();
+}
+
+bool DiscoveryReplica::wait_ready(Duration timeout) {
+  Deadline dl = Deadline::after(timeout);
+  while (!ready_.load(std::memory_order_acquire)) {
+    if (dl.expired() || stopping_.load()) return false;
+    sleep_for(ms(2));
+  }
+  return true;
+}
+
+void DiscoveryReplica::create_server_locked() {
+  if (!boot_rpc_) return;
+  DiscoveryServer::Options sopts = opts_.server;
+  if (!sopts.tracer) sopts.tracer = opts_.tracer;
+  // The server routes every mutation here; `this` outlives the server
+  // (stop() tears the server down first).
+  sopts.mutation_executor = [this](const DiscRequest& req) {
+    return propose(req);
+  };
+  server_ =
+      std::make_unique<DiscoveryServer>(std::move(boot_rpc_), state_, sopts);
+  if (boot_log_) {
+    server_->install_event_log(*boot_log_, boot_log_seq_);
+    boot_log_.reset();
+  }
+}
+
+Addr DiscoveryReplica::sequencer_for(uint32_t view) const {
+  if (opts_.sequencers.empty()) return opts_.sequencer;
+  return opts_.sequencers[view % opts_.sequencers.size()];
 }
 
 DiscResponse DiscoveryReplica::propose(const DiscRequest& req) {
@@ -80,12 +118,17 @@ DiscResponse DiscoveryReplica::propose(const DiscRequest& req) {
   op.req = encode_request(req);
 
   auto waiter = std::make_shared<PendingApply>();
+  // Kept around so a view change can re-propose the op to the newly
+  // elected sequencer (written before the pending_mu_ insert publishes
+  // the waiter to the member thread).
+  waiter->ctrl_op = encode_ctrl_op(op);
   {
     std::lock_guard<std::mutex> lk(pending_mu_);
     pending_[op.submit_id] = waiter;
   }
   auto sent =
-      member_->send_to(opts_.sequencer, mcast_frame(member_addr_, encode_ctrl_op(op)));
+      member_->send_to(sequencer_for(cur_view_.load(std::memory_order_acquire)),
+                       mcast_frame(member_addr_, waiter->ctrl_op));
   bool done = false;
   DiscResponse rsp;
   if (sent.ok()) {
@@ -114,48 +157,422 @@ DiscResponse DiscoveryReplica::propose(const DiscRequest& req) {
 }
 
 void DiscoveryReplica::member_loop() {
-  SequencedApplyWindow window;
-  bool fetch_sent = false;
-  TimePoint gap_since{};
+  if (opts_.catch_up) {
+    // Joining/restarting: install a peer snapshot before serving anyone.
+    while (!stopping_.load()) {
+      if (do_catchup("boot")) break;
+      if (stopping_.load()) return;
+      sleep_for(ms(10));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(server_mu_);
+    if (stopping_.load()) return;
+    if (!server_) create_server_locked();
+  }
+  ready_.store(true, std::memory_order_release);
+  last_seen_ = now();
   for (;;) {
-    Deadline d = window.has_gap() ? Deadline::after(opts_.gap_timeout)
-                                  : Deadline::never();
-    auto pkt_r = member_->recv(d);
+    check_timers();
+    auto pkt_r = member_->recv(next_deadline());
     if (!pkt_r.ok()) {
       if (pkt_r.error().code != Errc::timed_out) return;  // closed
-    } else {
-      auto op_r = parse_sequenced_mcast(pkt_r.value().payload);
-      if (op_r.ok()) {
-        const McastOp& op = op_r.value();
-        auto released =
-            window.offer(op.seq, Bytes(op.payload.begin(), op.payload.end()));
-        for (auto& [seq, frame] : released) apply(seq, frame);
-      }
-    }
-    if (!window.has_gap()) {
-      fetch_sent = false;
       continue;
     }
-    if (!fetch_sent) {
-      // First resort: ask the sequencer to re-send the missing range.
+    dispatch(pkt_r.value().payload);
+  }
+}
+
+bool DiscoveryReplica::detection_enabled() {
+  if (opts_.view_silence_timeout <= Duration::zero()) return false;
+  if (opts_.sequencers.size() < 2) return false;
+  // Silence only means failure when traffic was expected: replicated
+  // sweeps are the keepalive; otherwise in-flight proposals are.
+  if (opts_.sweep_period > Duration::zero()) return true;
+  std::lock_guard<std::mutex> lk(pending_mu_);
+  return !pending_.empty();
+}
+
+Deadline DiscoveryReplica::next_deadline() {
+  std::optional<TimePoint> tp;
+  auto consider = [&](TimePoint t) {
+    if (!tp || t < *tp) tp = t;
+  };
+  if (window_.has_gap() && fetch_sent_)
+    consider(gap_since_ + opts_.gap_timeout);
+  if (vc_.view > cur_view_.load(std::memory_order_acquire)) {
+    consider(vc_.started + opts_.view_ack_timeout);
+    consider(vc_.started + opts_.view_silence_timeout +
+             2 * opts_.view_ack_timeout);
+  } else if (detection_enabled()) {
+    consider(last_seen_ + opts_.view_silence_timeout);
+  }
+  return tp ? Deadline::at(*tp) : Deadline::never();
+}
+
+void DiscoveryReplica::check_timers() {
+  // Gap recovery ladder: sequencer retransmit → peer catch-up → bounded
+  // skip (last resort, counted so the chaos harness can assert zero).
+  if (window_.has_gap()) {
+    if (!fetch_sent_) {
       (void)member_->send_to(
-          opts_.sequencer,
-          mcast_fetch_frame(member_addr_, window.next_seq(), window.gap_end()));
+          sequencer_for(cur_view_.load(std::memory_order_acquire)),
+          mcast_fetch_frame(member_addr_, window_.next_seq(),
+                            window_.gap_end()));
       fetches_.fetch_add(1, std::memory_order_relaxed);
-      fetch_sent = true;
-      gap_since = now();
-    } else if (now() - gap_since >= opts_.gap_timeout) {
-      // Retransmission didn't land either; skip like the datapath does.
-      auto released = window.skip_to(window.gap_end());
-      gaps_skipped_.fetch_add(1, std::memory_order_relaxed);
-      BLOG(debug, "control") << opts_.replica_id << " skipped seq gap";
-      for (auto& [seq, frame] : released) apply(seq, frame);
-      fetch_sent = false;  // a further gap gets its own fetch
+      fetch_sent_ = true;
+      gap_since_ = now();
+    } else if (now() - gap_since_ >= opts_.gap_timeout) {
+      if (!gap_catchup_tried_ && !opts_.peers.empty()) {
+        gap_catchup_tried_ = true;
+        if (do_catchup("gap")) return;  // window replaced, gap gone
+        gap_since_ = now();  // one more fetch window before skipping
+      } else {
+        auto released = window_.skip_to(window_.gap_end());
+        gaps_skipped_.fetch_add(1, std::memory_order_relaxed);
+        BLOG(debug, "control") << opts_.replica_id << " skipped seq gap";
+        for (auto& [seq, frame] : released) apply(seq, frame);
+        fetch_sent_ = false;
+        gap_catchup_tried_ = false;
+      }
     }
+  } else {
+    fetch_sent_ = false;
+    gap_catchup_tried_ = false;
+  }
+
+  uint32_t cur = cur_view_.load(std::memory_order_acquire);
+  if (vc_.view > cur) {
+    maybe_send_view_start();
+    // The round itself went stale (elected candidate dead too, or no
+    // quorum): escalate to the next view.
+    if (vc_.view > cur_view_.load(std::memory_order_acquire) &&
+        now() - vc_.started >
+            opts_.view_silence_timeout + 2 * opts_.view_ack_timeout)
+      initiate_view_change(vc_.view + 1);
+  } else if (detection_enabled() &&
+             now() - last_seen_ >= opts_.view_silence_timeout) {
+    initiate_view_change(cur + 1);
+  }
+}
+
+void DiscoveryReplica::dispatch(BytesView payload) {
+  if (auto op_r = parse_sequenced_mcast(payload); op_r.ok()) {
+    handle_sequenced(op_r.value());
+    return;
+  }
+  if (auto miss_r = parse_mcast_fetch_miss(payload); miss_r.ok()) {
+    handle_fetch_miss(miss_r.value());
+    return;
+  }
+  auto kind_r = peek_ctrl_frame(payload);
+  if (!kind_r.ok()) {
+    BLOG(debug, "control") << opts_.replica_id
+                           << " unrecognised member frame dropped";
+    return;
+  }
+  switch (kind_r.value()) {
+    case CtrlFrameKind::snapshot_req:
+      if (auto r = decode_snapshot_req(payload); r.ok())
+        serve_snapshot(r.value());
+      break;
+    case CtrlFrameKind::view_change:
+      if (auto r = decode_view_change(payload); r.ok())
+        handle_view_change(r.value());
+      break;
+    case CtrlFrameKind::snapshot_rsp:
+      break;  // straggler answer from an already-finished catch-up
+    case CtrlFrameKind::membership:
+      break;  // membership rides the client RPC path, not the member bus
+  }
+}
+
+void DiscoveryReplica::handle_sequenced(const McastOp& op) {
+  uint32_t cur = cur_view_.load(std::memory_order_acquire);
+  if (op.view < cur) return;  // deposed sequencer still multicasting
+  if (op.view > cur) adopt_view(op.view, "stamp");
+  last_seen_ = now();
+  auto released =
+      window_.offer(op.seq, Bytes(op.payload.begin(), op.payload.end()));
+  for (auto& [seq, frame] : released) apply(seq, frame);
+}
+
+void DiscoveryReplica::handle_fetch_miss(const McastFetchMiss& miss) {
+  if (!window_.has_gap()) return;          // gap already resolved
+  if (miss.to <= window_.next_seq()) return;  // stale answer
+  gap_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.stats) opts_.stats->gap_misses.fetch_add(1);
+  if (opts_.tracer) {
+    Span span = trace_span(opts_.tracer, "ctrl.gap_miss");
+    span.tag_u64("from", miss.from);
+    span.tag_u64("to", miss.to);
+  }
+  BLOG(info, "control") << opts_.replica_id << " fetch miss [" << miss.from
+                        << "," << miss.to << "): sequencer log evicted";
+  if (!opts_.peers.empty() && do_catchup("gap_miss")) {
+    fetch_sent_ = false;
+    gap_catchup_tried_ = false;
+    return;
+  }
+  // No peer could help: give up on exactly the evicted prefix — anything
+  // past miss.to may still be retransmitted from the sequencer log.
+  auto released = window_.skip_to(std::min(miss.to, window_.gap_end()));
+  gaps_skipped_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [seq, frame] : released) apply(seq, frame);
+  fetch_sent_ = false;
+  gap_catchup_tried_ = false;
+}
+
+void DiscoveryReplica::handle_view_change(const CtrlViewChangeMsg& m) {
+  uint32_t cur = cur_view_.load(std::memory_order_acquire);
+  // Stale round: the peer will adopt the current view from the next
+  // stamped packet it sees.
+  if (m.view <= cur) return;
+  if (m.view > vc_.view) {
+    // Join the (higher) round: reset, record our own ack, relay once.
+    vc_ = ViewChangeRound{};
+    vc_.view = m.view;
+    vc_.started = now();
+    vc_.acks[opts_.replica_id] = window_.next_seq();
+    broadcast_view_change(m.view);
+    last_seen_ = now();  // don't re-trip silence during the round
+  }
+  if (m.view == vc_.view) {
+    auto& slot = vc_.acks[m.from];
+    slot = std::max(slot, m.last_contig);
+    maybe_send_view_start();
+  }
+}
+
+void DiscoveryReplica::initiate_view_change(uint32_t target) {
+  if (target <= cur_view_.load(std::memory_order_acquire)) return;
+  if (target <= vc_.view) return;  // already running a round ≥ target
+  vc_ = ViewChangeRound{};
+  vc_.view = target;
+  vc_.started = now();
+  vc_.acks[opts_.replica_id] = window_.next_seq();
+  BLOG(info, "control") << opts_.replica_id
+                        << " sequencer silent: starting view change -> "
+                        << target;
+  broadcast_view_change(target);
+  last_seen_ = now();
+}
+
+void DiscoveryReplica::broadcast_view_change(uint32_t view) {
+  CtrlViewChangeMsg out;
+  out.view = view;
+  out.from = opts_.replica_id;
+  out.last_contig = window_.next_seq();
+  Bytes frame = encode_view_change(out);
+  for (const auto& p : opts_.peers) (void)member_->send_to(p, frame);
+}
+
+void DiscoveryReplica::maybe_send_view_start() {
+  if (vc_.view == 0 || vc_.start_sent) return;
+  if (vc_.view <= cur_view_.load(std::memory_order_acquire)) return;
+  size_t quorum = (opts_.peers.size() + 1) / 2 + 1;
+  if (vc_.acks.size() < quorum) return;
+  // Grace past the majority: stragglers may still raise the resume seq.
+  if (now() - vc_.started < opts_.view_ack_timeout) return;
+  uint64_t start = 0;
+  for (const auto& [id, s] : vc_.acks) start = std::max(start, s);
+  (void)member_->send_to(sequencer_for(vc_.view),
+                         mcast_view_start_frame(vc_.view, start));
+  vc_.start_sent = true;
+  BLOG(info, "control") << opts_.replica_id << " activating view " << vc_.view
+                        << " at seq " << start << " (" << vc_.acks.size()
+                        << "/" << opts_.peers.size() + 1 << " acks)";
+}
+
+void DiscoveryReplica::adopt_view(uint32_t view, const char* how) {
+  uint32_t old = cur_view_.load(std::memory_order_acquire);
+  if (view <= old) return;
+  cur_view_.store(view, std::memory_order_release);
+  vc_ = ViewChangeRound{};
+  last_seen_ = now();
+  view_changes_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.stats) opts_.stats->view_changes.fetch_add(1);
+  if (opts_.tracer) {
+    Span span = trace_span(opts_.tracer, "ctrl.view_change");
+    span.tag_u64("view", view);
+    span.tag_u64("from_view", old);
+    span.tag("via", how);
+  }
+  BLOG(info, "control") << opts_.replica_id << " adopted sequencer view "
+                        << view << " (" << how << ")";
+  // Re-propose in-flight ops: the old sequencer may have died holding
+  // them. The replicated applied-ids make this at-most-once even when
+  // the original stamp did land somewhere.
+  std::vector<Bytes> inflight;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    inflight.reserve(pending_.size());
+    for (auto& [id, w] : pending_) inflight.push_back(w->ctrl_op);
+  }
+  Addr seq_addr = sequencer_for(view);
+  for (auto& f : inflight)
+    (void)member_->send_to(seq_addr, mcast_frame(member_addr_, f));
+}
+
+bool DiscoveryReplica::do_catchup(const char* reason) {
+  if (opts_.peers.empty()) return false;
+  struct Stashed {
+    uint64_t seq;
+    uint32_t view;
+    Bytes payload;
+  };
+  for (size_t i = 0; i < opts_.peers.size(); i++) {
+    if (stopping_.load()) return false;
+    const Addr& peer = opts_.peers[(catchup_rr_ + i) % opts_.peers.size()];
+    CtrlSnapshotReq req;
+    req.from = opts_.replica_id;
+    req.reply_uri = member_addr_.to_string();
+    if (!member_->send_to(peer, encode_snapshot_req(req)).ok()) continue;
+    Deadline dl = Deadline::after(opts_.catchup_timeout);
+    std::vector<Stashed> stash;  // sequenced traffic racing the snapshot
+    while (!dl.expired() && !stopping_.load()) {
+      auto pkt_r = member_->recv(dl);
+      if (!pkt_r.ok()) {
+        if (pkt_r.error().code == Errc::timed_out) break;  // next peer
+        return false;                                      // closed
+      }
+      BytesView payload = pkt_r.value().payload;
+      if (auto op_r = parse_sequenced_mcast(payload); op_r.ok()) {
+        const McastOp& op = op_r.value();
+        stash.push_back({op.seq, op.view,
+                         Bytes(op.payload.begin(), op.payload.end())});
+        continue;
+      }
+      auto kind_r = peek_ctrl_frame(payload);
+      if (!kind_r.ok()) continue;  // fetch-miss/garbage: moot after install
+      if (kind_r.value() == CtrlFrameKind::view_change) {
+        if (auto m_r = decode_view_change(payload); m_r.ok())
+          handle_view_change(m_r.value());
+        continue;
+      }
+      if (kind_r.value() != CtrlFrameKind::snapshot_rsp) continue;
+      auto rsp_r = decode_snapshot_rsp(payload);
+      if (!rsp_r.ok()) {
+        BLOG(debug, "control") << opts_.replica_id << " bad snapshot: "
+                               << rsp_r.error().to_string();
+        continue;
+      }
+      const CtrlSnapshotRsp& rsp = rsp_r.value();
+      // A peer behind our own apply point can't help (installing would
+      // rewind acked state); try the next one.
+      if (rsp.next_seq < window_.next_seq()) break;
+      install_peer_snapshot(rsp, reason);
+      catchup_rr_ = (catchup_rr_ + i + 1) % opts_.peers.size();
+      uint32_t cur = cur_view_.load(std::memory_order_acquire);
+      for (auto& s : stash) {
+        if (s.view < cur) continue;
+        if (s.view > cur) {
+          adopt_view(s.view, "stamp");
+          cur = s.view;
+        }
+        auto released = window_.offer(s.seq, std::move(s.payload));
+        for (auto& [seq, frame] : released) apply(seq, frame);
+      }
+      last_seen_ = now();
+      return true;
+    }
+  }
+  BLOG(info, "control") << opts_.replica_id
+                        << " catch-up found no usable peer (" << reason << ")";
+  return false;
+}
+
+void DiscoveryReplica::install_peer_snapshot(const CtrlSnapshotRsp& rsp,
+                                             const char* reason) {
+  // Received-but-gapped items may extend past the snapshot; re-offer
+  // them below (offer() drops anything the snapshot already covers).
+  auto leftover = window_.take_buffered();
+  state_->install_snapshot(rsp.state);
+  apply_dedup_.clear();
+  apply_dedup_order_.clear();
+  for (const auto& [k, v] : rsp.dedup)
+    if (apply_dedup_.emplace(k, v).second) apply_dedup_order_.push_back(k);
+  applied_ids_.clear();
+  applied_ids_order_.clear();
+  for (const auto& id : rsp.applied)
+    if (applied_ids_.insert(id).second) applied_ids_order_.push_back(id);
+  window_ = SequencedApplyWindow(rsp.next_seq);
+  {
+    std::lock_guard<std::mutex> lk(server_mu_);
+    if (server_) {
+      server_->install_event_log(rsp.event_log, rsp.state.watch_seq);
+    } else {
+      boot_log_ = rsp.event_log;
+      boot_log_seq_ = rsp.state.watch_seq;
+    }
+  }
+  if (rsp.view > cur_view_.load(std::memory_order_acquire))
+    adopt_view(rsp.view, "snapshot");
+  for (auto& [seq, frame] : leftover) {
+    auto released = window_.offer(seq, std::move(frame));
+    for (auto& [s, f] : released) apply(s, f);
+  }
+  catchups_.fetch_add(1, std::memory_order_relaxed);
+  if (opts_.stats) opts_.stats->catchups.fetch_add(1);
+  if (opts_.tracer) {
+    Span span = trace_span(opts_.tracer, "ctrl.catchup");
+    span.tag("from", rsp.from);
+    span.tag("reason", reason);
+    span.tag_u64("next_seq", rsp.next_seq);
+    span.tag_u64("view", rsp.view);
+  }
+  BLOG(info, "control") << opts_.replica_id << " installed snapshot from "
+                        << rsp.from << " at seq " << rsp.next_seq << " ("
+                        << reason << ")";
+}
+
+void DiscoveryReplica::serve_snapshot(const CtrlSnapshotReq& req) {
+  if (!ready_.load(std::memory_order_acquire)) return;  // catching up too
+  auto to_r = Addr::parse(req.reply_uri);
+  if (!to_r.ok()) return;
+  CtrlSnapshotRsp rsp;
+  rsp.from = opts_.replica_id;
+  rsp.view = cur_view_.load(std::memory_order_acquire);
+  // Consistent cut: next_seq, state, dedup, and applied-ids all reflect
+  // the same apply point because only this (member) thread applies.
+  rsp.next_seq = window_.next_seq();
+  rsp.state = state_->export_snapshot();
+  rsp.dedup.reserve(apply_dedup_order_.size());
+  for (const auto& k : apply_dedup_order_) {
+    auto it = apply_dedup_.find(k);
+    if (it != apply_dedup_.end()) rsp.dedup.emplace_back(k, it->second);
+  }
+  rsp.applied.assign(applied_ids_order_.begin(), applied_ids_order_.end());
+  {
+    std::lock_guard<std::mutex> lk(server_mu_);
+    if (server_) {
+      rsp.event_log =
+          server_->export_event_log(rsp.state.watch_seq, Deadline::after(ms(100)));
+    } else {
+      rsp.event_log.pruned_through = rsp.state.watch_seq;
+      rsp.event_log.observed_through = rsp.state.watch_seq;
+    }
+  }
+  (void)member_->send_to(to_r.value(), encode_snapshot_rsp(rsp));
+  snapshots_served_.fetch_add(1, std::memory_order_relaxed);
+  BLOG(info, "control") << opts_.replica_id << " served snapshot to "
+                        << req.from << " at seq " << rsp.next_seq;
+}
+
+void DiscoveryReplica::record_applied_id(std::string op_id) {
+  if (op_id.empty()) return;
+  if (!applied_ids_.insert(op_id).second) return;
+  applied_ids_order_.push_back(std::move(op_id));
+  if (applied_ids_order_.size() > kAppliedIdsCap) {
+    applied_ids_.erase(applied_ids_order_.front());
+    applied_ids_order_.pop_front();
   }
 }
 
 void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
+  // The sequencer emits an empty payload to announce a new view (it
+  // consumes a seq so the window stays contiguous): nothing to apply.
+  if (ctrl_frame.empty()) return;
   auto op_r = decode_ctrl_op(ctrl_frame);
   if (!op_r.ok()) {
     BLOG(debug, "control") << "undecodable ctrl op: "
@@ -187,6 +604,15 @@ void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
     span.tag("origin", op.origin);
     span.tag_u64("seq", seq);
 
+    // At-most-once across re-proposal: a view change re-sends in-flight
+    // ops, and the original stamp may have landed too. The applied-ids
+    // set is replicated state (snapshot-transferred, FIFO-bounded), so
+    // every replica skips the same duplicates.
+    std::string op_id;
+    if (op.submit_id != 0 && !op.origin.empty())
+      op_id = op.origin + "#" + std::to_string(op.submit_id);
+    bool replayed = !op_id.empty() && applied_ids_.count(op_id) > 0;
+
     // Replicated idempotency: a client retry that was re-proposed (e.g.
     // it landed on a different replica after failover) must not execute
     // twice. The cache is part of the replicated state — maintained only
@@ -197,10 +623,18 @@ void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
       dedup_key = req.client_id + "#" + std::to_string(req.idem_key);
     auto hit = dedup_key.empty() ? apply_dedup_.end()
                                  : apply_dedup_.find(dedup_key);
-    if (hit != apply_dedup_.end()) {
+    if (replayed) {
+      // Second sequencing of the same proposal: don't execute. Answer
+      // the waiter from the cache when possible; otherwise the client's
+      // own retry gets absorbed by it.
+      if (hit != apply_dedup_.end()) encoded = hit->second;
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      span.tag("replayed", "1");
+    } else if (hit != apply_dedup_.end()) {
       encoded = hit->second;
       dedup_hits_.fetch_add(1, std::memory_order_relaxed);
       span.tag("dedup", "1");
+      record_applied_id(std::move(op_id));
     } else {
       DiscResponse rsp = execute_request(*state_, req, at);
       if (!rsp.success) span.tag("error", rsp.error);
@@ -213,13 +647,16 @@ void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
           apply_dedup_order_.pop_front();
         }
       }
+      record_applied_id(std::move(op_id));
     }
     applied_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Our own proposal came back out of the sequencer: the mutation is
-  // replicated, answer the waiting client RPC.
-  if (op.submit_id != 0 && op.origin == opts_.replica_id) {
+  // replicated, answer the waiting client RPC. (A replayed op with no
+  // cached response leaves the waiter to time out transiently.)
+  if (op.submit_id != 0 && op.origin == opts_.replica_id &&
+      !encoded.empty()) {
     std::shared_ptr<PendingApply> w;
     {
       std::lock_guard<std::mutex> lk(pending_mu_);
@@ -243,13 +680,15 @@ void DiscoveryReplica::sweep_loop() {
     // Idempotent replicated sweep: every replica proposes one, all
     // replicas apply all of them; expiry happens at a point *in the op
     // stream*, not at a local clock tick. The steady trickle doubles as
-    // keepalive traffic that exposes sequence gaps promptly.
+    // keepalive traffic that exposes sequence gaps promptly — and as the
+    // sequencer liveness signal view-change detection relies on.
     CtrlOp op;
     op.kind = CtrlOpKind::sweep;
     op.origin = opts_.replica_id;
     op.time_ns = now().time_since_epoch().count();
-    (void)member_->send_to(opts_.sequencer,
-                           mcast_frame(member_addr_, encode_ctrl_op(op)));
+    (void)member_->send_to(
+        sequencer_for(cur_view_.load(std::memory_order_acquire)),
+        mcast_frame(member_addr_, encode_ctrl_op(op)));
   }
 }
 

@@ -387,6 +387,64 @@ std::pair<std::vector<ImplInfo>, uint64_t> DiscoveryState::catalogue_snapshot()
   return {std::move(all), watch_seq_};
 }
 
+DiscoverySnapshot DiscoveryState::export_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  DiscoverySnapshot snap;
+  for (const auto& [type, v] : entries_)
+    snap.impls.insert(snap.impls.end(), v.begin(), v.end());
+  // Deterministic order (the maps are unordered): a snapshot's bytes
+  // should not depend on which peer served it.
+  std::sort(snap.impls.begin(), snap.impls.end(),
+            [](const ImplInfo& a, const ImplInfo& b) {
+              return std::tie(a.type, a.name) < std::tie(b.type, b.name);
+            });
+  for (const auto& [name, p] : pools_)
+    snap.pools.push_back({name, p.capacity, p.used});
+  std::sort(snap.pools.begin(), snap.pools.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  for (const auto& [id, reqs] : allocs_) snap.allocs.push_back({id, reqs});
+  std::sort(snap.allocs.begin(), snap.allocs.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  snap.next_alloc = next_alloc_;
+  for (const auto& [owner, l] : leases_) {
+    DiscoverySnapshot::LeaseEntry e;
+    e.owner = owner;
+    e.ttl_ns = l.ttl.count();
+    e.expires_ns = l.expires.time_since_epoch().count();
+    e.impls = l.impls;
+    e.allocs = l.allocs;
+    snap.leases.push_back(std::move(e));
+  }
+  std::sort(snap.leases.begin(), snap.leases.end(),
+            [](const auto& a, const auto& b) { return a.owner < b.owner; });
+  snap.watch_seq = watch_seq_;
+  return snap;
+}
+
+void DiscoveryState::install_snapshot(const DiscoverySnapshot& snap) {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+  for (const auto& info : snap.impls) entries_[info.type].push_back(info);
+  pools_.clear();
+  for (const auto& p : snap.pools) pools_[p.name] = Pool{p.capacity, p.used};
+  allocs_.clear();
+  for (const auto& a : snap.allocs) allocs_[a.id] = a.reqs;
+  next_alloc_ = snap.next_alloc;
+  leases_.clear();
+  for (const auto& e : snap.leases) {
+    Lease l;
+    l.ttl = Duration(e.ttl_ns);
+    l.expires = TimePoint(
+        std::chrono::duration_cast<TimePoint::duration>(Duration(e.expires_ns)));
+    l.impls = e.impls;
+    l.allocs = e.allocs;
+    leases_[e.owner] = std::move(l);
+  }
+  // Adopt the peer's event history position verbatim; no events are
+  // emitted, so watchers resume by seq against the installed log.
+  watch_seq_ = snap.watch_seq;
+}
+
 // --- Leases ---
 
 Result<void> DiscoveryState::register_impl_leased(const ImplInfo& info,
@@ -686,6 +744,51 @@ size_t DiscoveryServer::subscriber_count() const {
   return subs_.size();
 }
 
+EventLogSnapshot DiscoveryServer::export_event_log(uint64_t through_seq,
+                                                   Deadline deadline) const {
+  // The push loop observes state events asynchronously; wait for it to
+  // absorb everything up to the state snapshot's seq so the exported
+  // log and snapshot describe the same instant.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(push_mu_);
+      if (observed_through_ >= through_seq) {
+        EventLogSnapshot log;
+        log.events.assign(event_log_.begin(), event_log_.end());
+        // Trim events past the snapshot's cut; the joiner regenerates
+        // those by replaying the sequenced suffix.
+        while (!log.events.empty() && log.events.back().seq > through_seq)
+          log.events.pop_back();
+        log.pruned_through = pruned_through_;
+        log.observed_through = through_seq;
+        return log;
+      }
+    }
+    if (deadline.expired() || !push_watch_) break;
+    sleep_for(ms(2));
+  }
+  // Could not observe the cut in time: hand over an empty, fully-pruned
+  // log. Resuming subscribers on the joiner get a snapshot batch.
+  EventLogSnapshot log;
+  log.pruned_through = through_seq;
+  log.observed_through = through_seq;
+  return log;
+}
+
+void DiscoveryServer::install_event_log(const EventLogSnapshot& log,
+                                        uint64_t state_seq) {
+  std::lock_guard<std::mutex> lk(push_mu_);
+  event_log_.assign(log.events.begin(), log.events.end());
+  pruned_through_ = log.pruned_through;
+  observed_through_ = std::max(log.observed_through, state_seq);
+  if (log.observed_through < state_seq) {
+    // The exported log stopped short of the installed state; anything
+    // between is unreplayable.
+    event_log_.clear();
+    pruned_through_ = state_seq;
+  }
+}
+
 namespace {
 
 std::string sub_key(const std::string& client_id, uint64_t sub_id) {
@@ -868,7 +971,9 @@ void DiscoveryServer::push_loop() {
     std::lock_guard<std::mutex> lk(push_mu_);
     bool lost = false;
     for (auto& ev : round) {
-      if (ev.seq <= pruned_through_) continue;  // pre-baseline straggler
+      // Pre-baseline stragglers, and — after an install_event_log() —
+      // events the installed log already covers.
+      if (ev.seq <= observed_through_) continue;
       // A gap against the log tail means our own watcher overflowed;
       // resume past it is impossible, so snapshot everyone.
       if (observed_through_ != 0 && ev.seq != observed_through_ + 1)
@@ -1064,6 +1169,25 @@ Addr RemoteDiscovery::active_server() const {
   return servers_[active_];
 }
 
+size_t RemoteDiscovery::server_count() const {
+  std::lock_guard<std::mutex> lk(srv_mu_);
+  return servers_.size();
+}
+
+void RemoteDiscovery::update_servers(std::vector<Addr> servers) {
+  if (servers.empty()) return;
+  std::lock_guard<std::mutex> lk(srv_mu_);
+  Addr cur = servers_[active_];
+  servers_ = std::move(servers);
+  active_ = 0;
+  for (size_t i = 0; i < servers_.size(); i++) {
+    if (servers_[i].to_string() == cur.to_string()) {
+      active_ = i;  // keep the live server; only removal forces a move
+      break;
+    }
+  }
+}
+
 RemoteDiscovery::~RemoteDiscovery() {
   std::vector<std::pair<WatcherPtr, std::thread>> pollers;
   std::unordered_map<uint64_t, std::shared_ptr<Sub>> subs;
@@ -1186,9 +1310,9 @@ void RemoteDiscovery::send_subscribe(const Sub& sub, uint64_t last_seq,
 }
 
 void RemoteDiscovery::rotate_server(size_t observed) {
-  if (servers_.size() < 2) return;
   {
     std::lock_guard<std::mutex> lk(srv_mu_);
+    if (servers_.size() < 2) return;
     if (observed != active_) return;  // a concurrent caller already rotated
     active_ = (active_ + 1) % servers_.size();
   }
@@ -1222,7 +1346,7 @@ void RemoteDiscovery::rotate_server(size_t observed) {
 }
 
 void RemoteDiscovery::ensure_watchdog() {
-  if (opts_.watch_failover_timeout <= Duration::zero() || servers_.size() < 2)
+  if (opts_.watch_failover_timeout <= Duration::zero() || server_count() < 2)
     return;
   std::lock_guard<std::mutex> lk(watch_mu_);
   if (watchdog_started_ || stopping_) return;
@@ -1238,9 +1362,15 @@ void RemoteDiscovery::watchdog_loop() {
   // pushing (died, or we're partitioned from it) even though no RPC has
   // timed out to notice — so rotate proactively.
   const Duration limit = opts_.watch_failover_timeout;
+  // The poll period bounds detection latency past the timeout; it was a
+  // hardcoded limit/2, now an operator knob (RuntimeConfig control
+  // tuning plumbs it through).
+  const Duration tick =
+      opts_.watchdog_interval > Duration::zero() ? opts_.watchdog_interval
+                                                 : limit / 2;
   std::unique_lock<std::mutex> lk(watch_mu_);
   while (!stopping_) {
-    watchdog_cv_.wait_for(lk, limit / 2);
+    watchdog_cv_.wait_for(lk, tick);
     if (stopping_) break;
     if (subs_.empty()) continue;
     int64_t last = last_push_ns_.load(std::memory_order_relaxed);

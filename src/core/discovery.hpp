@@ -251,6 +251,36 @@ class DiscoveryClient {
   virtual bool degraded() const { return false; }
 };
 
+// Full-state snapshot of a DiscoveryState — the unit of replica
+// catch-up (src/control/): a joining or restarted replica installs a
+// live peer's snapshot, then replays the sequenced suffix. Exported
+// under the state lock, so the snapshot is a consistent cut and
+// `watch_seq` names exactly the event history it reflects.
+struct DiscoverySnapshot {
+  struct PoolEntry {
+    std::string name;
+    uint64_t capacity = 0;
+    uint64_t used = 0;
+  };
+  struct AllocEntry {
+    uint64_t id = 0;
+    std::vector<ResourceReq> reqs;
+  };
+  struct LeaseEntry {
+    std::string owner;
+    int64_t ttl_ns = 0;
+    int64_t expires_ns = 0;  // steady-clock ns (origin-stamped time basis)
+    std::vector<std::pair<std::string, std::string>> impls;
+    std::vector<uint64_t> allocs;
+  };
+  std::vector<ImplInfo> impls;
+  std::vector<PoolEntry> pools;
+  std::vector<AllocEntry> allocs;
+  uint64_t next_alloc = 1;  // includes the alloc-namespace bits
+  std::vector<LeaseEntry> leases;
+  uint64_t watch_seq = 0;
+};
+
 // In-process discovery state; also the backing store for DiscoveryServer.
 // Note: `final` was dropped so tests can interpose on release() to verify
 // the drain-before-release invariant; override points stay virtual via
@@ -321,6 +351,13 @@ class DiscoveryState : public DiscoveryClient {
   // to a subscriber that resumed from beyond the event-log horizon.
   std::pair<std::vector<ImplInfo>, uint64_t> catalogue_snapshot() const;
 
+  // Full-state export/install for replica catch-up. install_snapshot()
+  // replaces every table wholesale and emits NO watch events — the
+  // matching event history arrives separately (the peer's event log) so
+  // subscribers resume by seq instead of replaying a fake diff.
+  DiscoverySnapshot export_snapshot() const;
+  void install_snapshot(const DiscoverySnapshot& snap);
+
   // Introspection for tests and the scheduling bench.
   uint64_t pool_in_use(const std::string& pool) const;
   uint64_t pool_capacity(const std::string& pool) const;
@@ -369,6 +406,16 @@ class DiscoveryState : public DiscoveryClient {
 using DiscoveryPtr = std::shared_ptr<DiscoveryClient>;
 
 // --- Wire protocol ---
+
+// The watch-event resume window of a DiscoveryServer, exported for
+// replica catch-up alongside the state snapshot: installing it lets the
+// restarted replica's server answer seq-resume subscriptions for events
+// it never pushed itself.
+struct EventLogSnapshot {
+  std::vector<WatchEvent> events;
+  uint64_t pruned_through = 0;
+  uint64_t observed_through = 0;
+};
 
 // A DiscoveryServer answers RemoteDiscovery requests over any Transport
 // (typically a unix socket: the service is host-local in our
@@ -427,6 +474,17 @@ class DiscoveryServer {
   uint64_t events_pushed() const;
   uint64_t snapshots_served() const;
   size_t subscriber_count() const;
+
+  // Replica catch-up: export the resume window once the push loop has
+  // observed the state's events through `through_seq` (polls briefly up
+  // to `deadline`; on expiry returns a log marked fully pruned at
+  // `through_seq`, which downgrades resumers to a snapshot — safe,
+  // never wrong). install_event_log() replaces the window wholesale;
+  // `state_seq` is the installed state's watch seq, the fallback
+  // horizon when the exported log fell short.
+  EventLogSnapshot export_event_log(uint64_t through_seq,
+                                    Deadline deadline) const;
+  void install_event_log(const EventLogSnapshot& log, uint64_t state_seq);
 
  private:
   struct Sub {
@@ -539,6 +597,11 @@ class RemoteDiscovery final : public DiscoveryClient {
     // resume. Zero disables the watchdog (RPC timeouts still rotate).
     // Should comfortably exceed the server's keepalive period.
     Duration watch_failover_timeout = Duration::zero();
+    // Poll period of the push-silence watchdog. Zero (the default)
+    // derives watch_failover_timeout / 2; tightening it bounds how long
+    // past the failover timeout a silent server can go unnoticed
+    // (detection latency ≈ timeout + interval).
+    Duration watchdog_interval = Duration::zero();
   };
 
   // `transport` is a bound client endpoint used solely for discovery RPCs.
@@ -574,6 +637,11 @@ class RemoteDiscovery final : public DiscoveryClient {
   // us here. Diagnostics/tests only.
   Addr active_server() const;
   size_t server_failovers() const { return failovers_.load(); }
+  size_t server_count() const;
+  // Membership reconfiguration: replace the replica set. The active
+  // server is kept if it survives in the new list; otherwise RPCs
+  // rotate to the first entry.
+  void update_servers(std::vector<Addr> servers);
   // The effective jitter seed (after client-id derivation).
   uint64_t backoff_seed() const { return backoff_seed_; }
 

@@ -48,6 +48,8 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
     RemoteDiscovery::Options ropts = cfg.discovery_rpc;
     if (!ropts.stats) ropts.stats = cfg.fault_stats;
     if (!ropts.tracer) ropts.tracer = cfg.tracer;
+    if (ropts.watchdog_interval <= Duration::zero())
+      ropts.watchdog_interval = cfg.control.watchdog_interval;
     cfg.discovery = std::make_shared<RemoteDiscovery>(
         std::move(t), cfg.discovery_servers, std::move(ropts));
   }

@@ -42,6 +42,32 @@ struct IoOptions {
   size_t rx_batch = 32;  // datagrams per recv_batch / handler call
 };
 
+// Control-plane recovery knobs (src/control/ replicas and the
+// ordered_mcast sequencer). Tests and latency-sensitive deployments
+// tighten the timeouts; the defaults favour stability over detection
+// speed.
+struct ControlTuning {
+  // Sequenced-traffic silence before a replica starts a view-change
+  // round against the sequencer. Zero disables failure detection
+  // (single-sequencer deployments). Replicated sweeps double as
+  // sequencer keepalives, so with sweeps on, silence means failure.
+  Duration view_silence_timeout = ms(250);
+  // Grace a view-change initiator waits collecting acks past the
+  // majority before activating the new sequencer — lets stragglers
+  // raise the agreed resume seq.
+  Duration view_ack_timeout = ms(50);
+  // Per-peer wait for a catch-up snapshot response before trying the
+  // next peer.
+  Duration catchup_timeout = ms(250);
+  // Sequencer resend-log bound: stamped packets retained for gap
+  // fetches. Fetches past this horizon come back as misses and trigger
+  // a peer catch-up.
+  size_t sequencer_resend_log = 4096;
+  // Push-silence watchdog poll period for discovery clients; zero
+  // derives watch_failover_timeout / 2 (see RemoteDiscovery::Options).
+  Duration watchdog_interval = Duration::zero();
+};
+
 struct RuntimeConfig {
   // Identity used for scope decisions (host-local fast paths) and, by
   // convention, as this process's SimNet node name. Defaults to the OS
@@ -108,6 +134,12 @@ struct RuntimeConfig {
 
   // Batched I/O runtime (src/io/).
   IoOptions io;
+
+  // Control-plane recovery tuning. create() folds watchdog_interval
+  // into discovery_rpc when a bootstrap RemoteDiscovery is built from
+  // discovery_servers; DiscoveryCluster (src/control/) consumes the
+  // rest.
+  ControlTuning control;
 };
 
 class Runtime : public std::enable_shared_from_this<Runtime> {

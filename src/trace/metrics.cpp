@@ -76,6 +76,9 @@ void attach_fault_stats_provider(MetricsRegistry& m, FaultStatsPtr stats) {
     c["fault.watch_resubscribes"] = stats->watch_resubscribes.load();
     c["fault.watch_snapshots"] = stats->watch_snapshots.load();
     c["fault.server_failovers"] = stats->server_failovers.load();
+    c["ctrl.view_change"] = stats->view_changes.load();
+    c["ctrl.catchup"] = stats->catchups.load();
+    c["ctrl.gap_miss"] = stats->gap_misses.load();
   });
 }
 

@@ -15,7 +15,8 @@ std::string FaultStats::to_string() const {
       "lease_renewals=%llu lease_expiries=%llu heartbeats_sent=%llu "
       "lease_recoveries=%llu degraded_entries=%llu degraded_exits=%llu "
       "catalogue_hits=%llu watch_batches=%llu watch_resubscribes=%llu "
-      "watch_snapshots=%llu server_failovers=%llu",
+      "watch_snapshots=%llu server_failovers=%llu view_changes=%llu "
+      "catchups=%llu gap_misses=%llu",
       static_cast<unsigned long long>(rpc_retries.load()),
       static_cast<unsigned long long>(rpc_failures.load()),
       static_cast<unsigned long long>(dedup_hits.load()),
@@ -30,7 +31,10 @@ std::string FaultStats::to_string() const {
       static_cast<unsigned long long>(watch_batches.load()),
       static_cast<unsigned long long>(watch_resubscribes.load()),
       static_cast<unsigned long long>(watch_snapshots.load()),
-      static_cast<unsigned long long>(server_failovers.load()));
+      static_cast<unsigned long long>(server_failovers.load()),
+      static_cast<unsigned long long>(view_changes.load()),
+      static_cast<unsigned long long>(catchups.load()),
+      static_cast<unsigned long long>(gap_misses.load()));
   return buf;
 }
 

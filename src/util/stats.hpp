@@ -38,6 +38,10 @@ struct FaultStats {
   std::atomic<uint64_t> watch_snapshots{0};     // snapshot batches applied
   // Multi-server failover (replicated discovery control plane).
   std::atomic<uint64_t> server_failovers{0};  // rotations to the next replica
+  // Control-plane self-healing (src/control/replica).
+  std::atomic<uint64_t> view_changes{0};  // sequencer views adopted
+  std::atomic<uint64_t> catchups{0};      // peer snapshots installed
+  std::atomic<uint64_t> gap_misses{0};    // fetches past the resend log
 
   std::string to_string() const;
 };

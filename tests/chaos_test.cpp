@@ -3,10 +3,12 @@
 // chaos, so these are regular tier-1 tests, not a flaky soak suite.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
 
 #include "control/cluster.hpp"
+#include "util/clock.hpp"
 #include "core/discovery_cache.hpp"
 #include "core/renegotiation.hpp"
 #include "net/fault.hpp"
@@ -454,6 +456,204 @@ TEST(ChaosTest, ReplicatedControlPlaneSurvivesReplicaLossUnderDrop) {
       if (cluster->alive(p, r)) {
         EXPECT_EQ(cluster->replica(p, r)->server().snapshots_served(), 0u);
       }
+}
+
+// Sanitizer runs are legitimately slower; scale the latency assertions,
+// not the correctness ones.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr int kLatencyMult = 5;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr int kLatencyMult = 5;
+#else
+constexpr int kLatencyMult = 1;
+#endif
+#else
+constexpr int kLatencyMult = 1;
+#endif
+
+// The self-healing acceptance run: a 2x3 cluster with standby sequencers
+// under 5% client-link loss. Mid-run the active sequencer of the pool's
+// partition is killed (view change) AND a replica is killed and later
+// restarted (snapshot catch-up). Required: zero acknowledged
+// registrations/leases/allocations lost, the restarted replica converges
+// to the identical watch seq via snapshot + suffix replay with zero
+// bounded skips, and establishment keeps succeeding throughout — the
+// view-change outage stays inside one establishment's retry budget.
+TEST(ChaosTest, SelfHealingControlPlaneSurvivesSequencerAndReplicaLoss) {
+  uint64_t seed = 0xBE27A;
+  if (const char* s = std::getenv("BERTHA_CHAOS_SEED"))
+    seed = std::strtoull(s, nullptr, 0);
+  auto net = MemNetwork::create();
+  auto stats = std::make_shared<FaultStats>();
+
+  DiscoveryCluster::Config ccfg;
+  ccfg.partitions = 2;
+  ccfg.replicas = 3;
+  ccfg.sequencer_candidates = 2;
+  ccfg.transports =
+      std::make_shared<DefaultTransportFactory>(net, nullptr, "ctrl");
+  ccfg.replica.sweep_period = ms(20);
+  ccfg.replica.apply_timeout = ms(250);
+  ccfg.replica.server.coalesce_window = ms(2);
+  ccfg.replica.server.keepalive = ms(30);
+  ccfg.replica.stats = stats;
+  ccfg.tuning.view_silence_timeout = ms(120);
+  ccfg.tuning.view_ack_timeout = ms(25);
+  ccfg.tuning.catchup_timeout = ms(200);
+  ccfg.decorate = [seed](TransportPtr t,
+                         const std::string& role) -> TransportPtr {
+    if (role.find("-rpc") == std::string::npos) return t;
+    FaultInjectingTransport::Options fo;
+    fo.drop = 0.05;
+    fo.seed = (std::hash<std::string>{}(role) ^ seed) | 1;
+    return TransportPtr(new FaultInjectingTransport(std::move(t), fo));
+  };
+  auto cluster = DiscoveryCluster::start(std::move(ccfg)).value();
+
+  RemoteDiscovery::Options rpc;
+  rpc.rpc_timeout = ms(80);
+  rpc.retries = 8;
+  rpc.backoff = {ms(5), 2.0, ms(40), 0.3};
+  rpc.backoff_seed = seed;
+  rpc.watch_failover_timeout = ms(250);
+  rpc.stats = stats;
+
+  RemoteDiscovery::Options wrpc = rpc;
+  wrpc.lease_ttl = ms(400);
+  auto writer = cluster->client("heal-wr", wrpc).value();
+  ASSERT_TRUE(writer->set_pool("pool.hw", 64).ok());
+  ImplInfo hw = offload_info("offload/hw", 50, {{"pool.hw", 1}});
+  ImplInfo sw = offload_info("offload/sw", 0);
+  ASSERT_TRUE(writer->register_impl(hw).ok());
+  ASSERT_TRUE(writer->register_impl(sw).ok());
+
+  auto obs = cluster->client("heal-obs", rpc).value();
+  auto w = obs->watch("offload").value();
+
+  auto mk = [&](const std::string& host) {
+    RuntimeConfig cfg;
+    cfg.host_id = host;
+    cfg.transports =
+        std::make_shared<DefaultTransportFactory>(net, nullptr, host);
+    cfg.discovery = cluster->client(host + "-disc", rpc).value();
+    cfg.fault_stats = stats;
+    cfg.handshake_timeout = ms(500);
+    cfg.handshake_retries = 10;
+    auto rt = Runtime::create(std::move(cfg)).value();
+    EXPECT_TRUE(rt->register_chunnel(std::make_shared<InfoChunnel>(hw)).ok());
+    EXPECT_TRUE(rt->register_chunnel(std::make_shared<InfoChunnel>(sw)).ok());
+    return rt;
+  };
+  auto srv_rt = mk("heal-srv");
+  auto cli_rt = mk("heal-cli");
+
+  auto listener = srv_rt->endpoint("srv", wrap(ChunnelSpec("offload")))
+                      .value()
+                      .listen(Addr::mem("heal-srv", 100))
+                      .value();
+  auto ep = cli_rt->endpoint("cli", ChunnelDag::empty()).value();
+
+  std::vector<std::pair<ConnPtr, ConnPtr>> held;
+  auto establish = [&](int i) {
+    auto conn = ep.connect(listener->addr(), Deadline::after(seconds(10)));
+    ASSERT_TRUE(conn.ok()) << "establishment " << i << " failed: "
+                           << conn.error().to_string();
+    auto srv = listener->accept(Deadline::after(seconds(10)));
+    ASSERT_TRUE(srv.ok());
+    EXPECT_EQ(bound_impl(srv.value(), "offload"), "offload/hw")
+        << "conn " << i << " degraded instead of riding the recovery";
+    ASSERT_TRUE(round_trip(conn.value(), srv.value(), i));
+    held.emplace_back(conn.value(), srv.value());
+  };
+
+  const int kTotal = 12;
+  for (int i = 0; i < kTotal / 3; i++) {
+    establish(i);
+    if (HasFatalFailure()) return;
+  }
+
+  // Fault 1: kill the active sequencer of the partition that admits
+  // pool.hw acquires. Establishment's mutation path now depends on the
+  // view change; the very next connection must still land within its
+  // normal retry budget.
+  size_t pool_part = writer->partition_map().index_for_pool("pool.hw");
+  cluster->kill_sequencer(pool_part, 0);
+  Stopwatch outage;
+  establish(kTotal / 3);
+  if (HasFatalFailure()) return;
+  EXPECT_LT(outage.elapsed(), seconds(1) * kLatencyMult)
+      << "view-change unavailability exceeded one establishment budget";
+
+  // Fault 2: kill a replica of the same partition mid-run, keep
+  // mutating while it is down, then restart it.
+  size_t victim = 2;
+  cluster->kill_replica(pool_part, victim);
+  for (int i = kTotal / 3 + 1; i < 2 * kTotal / 3; i++) {
+    establish(i);
+    if (HasFatalFailure()) return;
+  }
+  ASSERT_TRUE(cluster->restart_replica(pool_part, victim).ok());
+  ASSERT_TRUE(cluster->replica(pool_part, victim)->wait_ready(seconds(15)))
+      << "restarted replica never finished catch-up";
+  for (int i = 2 * kTotal / 3; i < kTotal; i++) {
+    establish(i);
+    if (HasFatalFailure()) return;
+  }
+
+  // Zero acknowledged loss: every replica of the pool partition —
+  // including the restarted one — accounts for every held allocation,
+  // and the catalogue/watch-seq are byte-identical across the group.
+  Deadline dl = Deadline::after(seconds(10));
+  auto settled = [&] {
+    auto [e0, s0] = cluster->replica(pool_part, 0)->state()->catalogue_snapshot();
+    for (size_t r = 0; r < 3; r++) {
+      auto* rep = cluster->replica(pool_part, r);
+      if (rep->state()->pool_in_use("pool.hw") !=
+          static_cast<uint64_t>(kTotal))
+        return false;
+      auto [e, s] = rep->state()->catalogue_snapshot();
+      if (s != s0 || e.size() != e0.size()) return false;
+    }
+    return true;
+  };
+  while (!settled() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(settled())
+      << "replicas diverged or lost acknowledged allocations";
+
+  auto* restarted = cluster->replica(pool_part, victim);
+  EXPECT_GE(restarted->catchups(), 1u);
+  EXPECT_GE(restarted->current_view(), 1u);
+  for (size_t p = 0; p < 2; p++)
+    for (size_t r = 0; r < 3; r++)
+      EXPECT_EQ(cluster->replica(p, r)->gaps_skipped(), 0u)
+          << "p" << p << "-r" << r << " healed by bounded skip";
+  for (size_t r = 0; r < 3; r++)
+    EXPECT_GE(cluster->replica(pool_part, r)->view_changes(), 1u);
+
+  // The catalogue survived from a fresh client's view, and the watch
+  // stream delivered each registration exactly once, by seq — never a
+  // snapshot — across the loss, the view change, and the replica kill.
+  auto audit = cluster->client("heal-audit", rpc).value();
+  auto q = audit->query("offload");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  std::set<std::string> names;
+  for (const auto& e : q.value()) names.insert(e.name);
+  EXPECT_TRUE(names.count("offload/hw"));
+  EXPECT_TRUE(names.count("offload/sw"));
+
+  std::map<std::string, int> seen;
+  dl = Deadline::after(seconds(10));
+  while (seen.size() < 2 && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (!ev.ok()) continue;
+    ASSERT_NE(ev.value().kind, WatchKind::impl_unregistered)
+        << "spurious lease expiry for " << ev.value().name;
+    seen[ev.value().name]++;
+  }
+  EXPECT_EQ(seen["offload/hw"], 1);
+  EXPECT_EQ(seen["offload/sw"], 1);
+  EXPECT_EQ(stats->watch_snapshots.load(), 0u);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include "chunnels/shard.hpp"
 #include "control/cluster.hpp"
 #include "core/wire.hpp"
+#include "net/fault.hpp"
+#include "util/clock.hpp"
 #include "test_helpers.hpp"
 
 namespace bertha {
@@ -465,6 +467,349 @@ TEST(ControlTest, LeasesSurviveReplicaFailoverWithoutSpuriousExpiry) {
           cluster->replica(0, r)->state()->query("offload").value().empty());
       EXPECT_EQ(cluster->replica(0, r)->state()->lease_count(), 0u);
     }
+}
+
+// --- Self-healing: catch-up, view change, gap-miss, membership ---
+
+TEST(ControlRecoveryTest, RestartedReplicaCatchesUpFromPeerSnapshot) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = ms(20);
+  cfg.replica.server.coalesce_window = ms(2);
+  cfg.replica.server.keepalive = ms(25);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  auto stats = std::make_shared<FaultStats>();
+  RemoteDiscovery::Options orpc;
+  orpc.rpc_timeout = ms(60);
+  orpc.retries = 5;
+  orpc.watch_failover_timeout = ms(150);
+  orpc.stats = stats;
+  auto obs = cluster->client("obs", orpc).value();
+  auto w = obs->watch("offload").value();
+
+  RemoteDiscovery::Options wrpc;
+  wrpc.rpc_timeout = ms(60);
+  wrpc.retries = 5;
+  auto writer = cluster->client("wr", wrpc).value();
+  ASSERT_TRUE(writer->set_pool("pool.r", 4).ok());
+  for (int i = 0; i < 5; i++)
+    ASSERT_TRUE(
+        writer->register_impl(info_of("offload", "pre" + std::to_string(i)))
+            .ok());
+  auto alloc = writer->acquire({{"pool.r", 2}});
+  ASSERT_TRUE(alloc.ok());
+
+  // Kill one replica, mutate while it is down, then restart it: the
+  // rejoin must come back through a peer snapshot + sequenced suffix,
+  // not from an assumed-empty partition and not via bounded skips.
+  cluster->kill_replica(0, 2);
+  for (int i = 0; i < 5; i++)
+    ASSERT_TRUE(
+        writer->register_impl(info_of("offload", "post" + std::to_string(i)))
+            .ok());
+  ASSERT_TRUE(cluster->restart_replica(0, 2).ok());
+  ASSERT_TRUE(cluster->replica(0, 2)->wait_ready(seconds(10)))
+      << "restarted replica never installed a snapshot";
+
+  auto converged = [&] {
+    auto [e0, s0] = cluster->replica(0, 0)->state()->catalogue_snapshot();
+    for (size_t r = 1; r < 3; r++) {
+      auto [e, s] = cluster->replica(0, r)->state()->catalogue_snapshot();
+      if (s != s0 || e.size() != e0.size()) return false;
+      if (cluster->replica(0, r)->state()->pool_in_use("pool.r") != 2)
+        return false;
+    }
+    return e0.size() == 10;
+  };
+  Deadline dl = Deadline::after(seconds(10));
+  while (!converged() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(converged()) << "restarted replica diverged";
+  EXPECT_GE(cluster->replica(0, 2)->catchups(), 1u);
+  EXPECT_EQ(cluster->replica(0, 2)->gaps_skipped(), 0u)
+      << "catch-up must replace bounded skips";
+  // The lease table transferred too: the writer's lease is live on the
+  // restarted replica (not re-granted, not missing).
+  EXPECT_EQ(cluster->replica(0, 2)->state()->lease_count(),
+            cluster->replica(0, 0)->state()->lease_count());
+
+  // The restarted replica can serve a seq-resumed watch stream: kill
+  // the other two and push one more registration through it.
+  cluster->kill_replica(0, 0);
+  cluster->kill_replica(0, 1);
+  ASSERT_TRUE(writer->register_impl(info_of("offload", "after/x")).ok());
+  bool seen_after = false;
+  dl = Deadline::after(seconds(10));
+  uint64_t last_seq = 0;
+  while (!seen_after && !dl.expired()) {
+    auto ev = w->next(Deadline::after(ms(100)));
+    if (!ev.ok()) continue;
+    EXPECT_GT(ev.value().seq, last_seq) << "watch seq regressed";
+    last_seq = ev.value().seq;
+    seen_after = ev.value().name == "after/x";
+  }
+  EXPECT_TRUE(seen_after);
+  // Resume came from the transferred event log by seq — no snapshot.
+  EXPECT_EQ(stats->watch_snapshots.load(), 0u);
+}
+
+TEST(ControlRecoveryTest, SequencerKillTriggersViewChangeAndServiceResumes) {
+  auto net = MemNetwork::create();
+  auto stats = std::make_shared<FaultStats>();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.sequencer_candidates = 2;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = ms(15);
+  cfg.replica.stats = stats;
+  cfg.tuning.view_silence_timeout = ms(100);
+  cfg.tuning.view_ack_timeout = ms(25);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  RemoteDiscovery::Options rpc;
+  rpc.rpc_timeout = ms(250);
+  rpc.retries = 6;
+  auto client = cluster->client("c0", rpc).value();
+  for (int i = 0; i < 3; i++)
+    ASSERT_TRUE(
+        client->register_impl(info_of("offload", "pre" + std::to_string(i)))
+            .ok());
+  EXPECT_TRUE(cluster->sequencer_at(0, 1) != nullptr &&
+              !cluster->sequencer_at(0, 1)->active())
+      << "candidate 1 must start standing by";
+
+  // Kill the active (view-0) sequencer: replicas detect silence, agree
+  // on view 1, and the standby takes over at the agreed seq. A mutation
+  // issued immediately afterwards must land within its retry budget.
+  cluster->kill_sequencer(0, 0);
+  Stopwatch sw;
+  ASSERT_TRUE(client->register_impl(info_of("offload", "during/x")).ok());
+  EXPECT_LT(sw.elapsed(), seconds(2)) << "view change took too long";
+
+  for (int i = 0; i < 3; i++)
+    ASSERT_TRUE(
+        client->register_impl(info_of("offload", "post" + std::to_string(i)))
+            .ok());
+
+  auto converged = [&] {
+    auto [e0, s0] = cluster->replica(0, 0)->state()->catalogue_snapshot();
+    for (size_t r = 1; r < 3; r++) {
+      auto [e, s] = cluster->replica(0, r)->state()->catalogue_snapshot();
+      if (s != s0 || e.size() != e0.size()) return false;
+    }
+    return e0.size() == 7;
+  };
+  Deadline dl = Deadline::after(seconds(10));
+  while (!converged() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(converged()) << "replicas diverged across the view change";
+
+  EXPECT_TRUE(cluster->sequencer_at(0, 1)->active());
+  EXPECT_GE(cluster->sequencer_at(0, 1)->view(), 1u);
+  for (size_t r = 0; r < 3; r++) {
+    EXPECT_GE(cluster->replica(0, r)->current_view(), 1u);
+    EXPECT_GE(cluster->replica(0, r)->view_changes(), 1u);
+    EXPECT_EQ(cluster->replica(0, r)->gaps_skipped(), 0u);
+  }
+  EXPECT_GE(stats->view_changes.load(), 3u);  // ctrl.view_change counter
+
+  // Exactly-once across the change: every registration exists once on
+  // every replica (re-proposals were absorbed by the applied-ids set).
+  for (size_t r = 0; r < 3; r++) {
+    auto entries = cluster->replica(0, r)->state()->query("offload").value();
+    std::set<std::string> names;
+    for (const auto& e : entries) names.insert(e.name);
+    EXPECT_EQ(names.size(), entries.size()) << "duplicate applies";
+  }
+}
+
+TEST(ControlRecoveryTest, EvictedGapTriggersCatchupNotSkip) {
+  auto net = MemNetwork::create();
+  auto stats = std::make_shared<FaultStats>();
+  // Tiny sequencer resend log: a replica that falls behind by more than
+  // 4 seqs can no longer be healed by retransmission.
+  FaultInjectingTransport* lossy = nullptr;
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = Duration::zero();  // only explicit ops
+  cfg.replica.gap_timeout = ms(30);
+  cfg.replica.stats = stats;
+  cfg.tuning.sequencer_resend_log = 4;
+  cfg.decorate = [&](TransportPtr t, const std::string& role) -> TransportPtr {
+    if (role != "ctrl-p0-r2-member") return t;
+    auto* ft = new FaultInjectingTransport(std::move(t),
+                                           FaultInjectingTransport::Options{});
+    lossy = ft;
+    return TransportPtr(ft);
+  };
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+  ASSERT_NE(lossy, nullptr);
+
+  RemoteDiscovery::Options rpc;
+  rpc.rpc_timeout = ms(100);
+  rpc.retries = 5;
+  auto client = cluster->client("c0", rpc).value();
+  ASSERT_TRUE(client->register_impl(info_of("offload", "seed/x")).ok());
+
+  // Deafen r2, push far more ops than the resend log holds, then heal:
+  // r2's fetch for the lost prefix comes back as a miss and must be
+  // answered by a peer snapshot — never by a bounded skip.
+  lossy->partition(/*tx=*/false, /*rx=*/true);
+  for (int i = 0; i < 24; i++)
+    ASSERT_TRUE(
+        client->register_impl(info_of("offload", "o" + std::to_string(i)))
+            .ok());
+  lossy->partition(false, false);
+  // One more sequenced op exposes the gap to r2.
+  ASSERT_TRUE(client->register_impl(info_of("offload", "tail/x")).ok());
+
+  auto converged = [&] {
+    auto [e0, s0] = cluster->replica(0, 0)->state()->catalogue_snapshot();
+    auto [e2, s2] = cluster->replica(0, 2)->state()->catalogue_snapshot();
+    return s2 == s0 && e2.size() == e0.size() && e0.size() == 26;
+  };
+  Deadline dl = Deadline::after(seconds(10));
+  while (!converged() && !dl.expired()) sleep_for(ms(10));
+  EXPECT_TRUE(converged()) << "deafened replica never caught up";
+  EXPECT_GE(cluster->replica(0, 2)->gap_misses(), 1u);
+  EXPECT_GE(cluster->replica(0, 2)->catchups(), 1u);
+  EXPECT_EQ(cluster->replica(0, 2)->gaps_skipped(), 0u)
+      << "evicted range must heal via peer catch-up, not skip";
+  EXPECT_GE(stats->gap_misses.load(), 1u);  // ctrl.gap_miss counter
+  EXPECT_GE(stats->catchups.load(), 1u);    // ctrl.catchup counter
+}
+
+TEST(ControlRecoveryTest, TightenedWatchdogDetectsPushSilenceFaster) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 3;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.server.coalesce_window = ms(2);
+  cfg.replica.server.keepalive = ms(25);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  // Same failover threshold, two watchdog cadences: the control knob
+  // under test. The slow client's poll period dominates its detection
+  // latency; the fast client is bounded by threshold + one tick.
+  auto make_obs = [&](const std::string& id, Duration watchdog) {
+    RemoteDiscovery::Options rpc;
+    rpc.rpc_timeout = ms(60);
+    rpc.retries = 5;
+    rpc.watch_failover_timeout = ms(120);
+    rpc.watchdog_interval = watchdog;
+    return cluster->client(id, rpc).value();
+  };
+  auto slow = make_obs("slow", ms(900));
+  auto fast = make_obs("fast", ms(25));
+  auto ws = slow->watch("offload").value();
+  auto wf = fast->watch("offload").value();
+
+  auto writer = cluster->client("wr").value();
+  ASSERT_TRUE(writer->register_impl(info_of("offload", "w/x")).ok());
+  auto wait_event = [](WatcherPtr& w) {
+    auto ev = w->next(Deadline::after(seconds(5)));
+    ASSERT_TRUE(ev.ok()) << "stream never started";
+  };
+  wait_event(ws);
+  wait_event(wf);
+
+  // Kill each observer's push source promptly after client creation so
+  // the slow watchdog's first post-kill tick is most of its period away.
+  std::set<size_t> victims;
+  for (auto* obs : {slow.get(), fast.get()}) {
+    Addr active = obs->partition_client(0).active_server();
+    auto servers = cluster->partition_servers(0);
+    for (size_t r = 0; r < servers.size(); r++)
+      if (servers[r] == active) victims.insert(r);
+  }
+  ASSERT_LT(victims.size(), 3u) << "need one surviving replica";
+  for (size_t v : victims) cluster->kill_replica(0, v);
+
+  Stopwatch sw;
+  Duration fast_detect = Duration::zero(), slow_detect = Duration::zero();
+  Deadline dl = Deadline::after(seconds(5));
+  while ((fast_detect == Duration::zero() ||
+          slow_detect == Duration::zero()) &&
+         !dl.expired()) {
+    if (fast_detect == Duration::zero() && fast->server_failovers() >= 1)
+      fast_detect = sw.elapsed();
+    if (slow_detect == Duration::zero() && slow->server_failovers() >= 1)
+      slow_detect = sw.elapsed();
+    sleep_for(ms(5));
+  }
+  ASSERT_NE(fast_detect, Duration::zero()) << "fast watchdog never rotated";
+  ASSERT_NE(slow_detect, Duration::zero()) << "slow watchdog never rotated";
+  EXPECT_LT(fast_detect, slow_detect)
+      << "tightened watchdog_interval must speed up detection";
+}
+
+TEST(ControlRecoveryTest, MembershipEpochAddsReplicaAndResteersClients) {
+  auto net = MemNetwork::create();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 1;
+  cfg.replicas = 2;
+  cfg.transports = mem_factory(net, "ctrl");
+  cfg.replica.sweep_period = ms(20);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+
+  RemoteDiscovery::Options rpc;
+  rpc.rpc_timeout = ms(60);
+  rpc.retries = 6;
+  auto client = cluster->client("c0", rpc).value();
+  ASSERT_TRUE(client->register_impl(info_of("offload", "m/x")).ok());
+
+  // Epoch 1 is the boot config; applying it twice is a stale no-op.
+  ClusterMembership m1 = cluster->membership();
+  EXPECT_EQ(m1.epoch, 1u);
+  ASSERT_TRUE(client->apply_membership(m1).ok());
+  EXPECT_EQ(client->partition_map().epoch(), 1u);
+  auto stale = client->apply_membership(m1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, Errc::already_exists);
+
+  // Grow the partition online: the joiner catches up from its peers and
+  // the bumped epoch steers the client at three replicas.
+  auto added = cluster->add_replica(0);
+  ASSERT_TRUE(added.ok()) << added.error().to_string();
+  EXPECT_EQ(added.value(), 2u);
+  ASSERT_TRUE(cluster->replica(0, 2)->wait_ready(seconds(10)));
+  ClusterMembership m2 = cluster->membership();
+  EXPECT_EQ(m2.epoch, 2u);
+  EXPECT_EQ(m2.partitions[0].size(), 3u);
+  ASSERT_TRUE(client->apply_membership(m2).ok());
+  EXPECT_EQ(client->partition_client(0).server_count(), 3u);
+  EXPECT_EQ(client->partition_map().replicas(0).size(), 3u);
+
+  // Wait for the joiner to fully converge, then retire the two original
+  // replicas: the client must keep answering from the added one.
+  auto caught_up = [&] {
+    auto [e0, s0] = cluster->replica(0, 0)->state()->catalogue_snapshot();
+    auto [e2, s2] = cluster->replica(0, 2)->state()->catalogue_snapshot();
+    return s2 == s0 && e2.size() == e0.size();
+  };
+  Deadline dl = Deadline::after(seconds(10));
+  while (!caught_up() && !dl.expired()) sleep_for(ms(10));
+  ASSERT_TRUE(caught_up());
+  EXPECT_GE(cluster->replica(0, 2)->catchups(), 1u);
+
+  cluster->kill_replica(0, 0);
+  cluster->kill_replica(0, 1);
+  auto q = client->query("offload");
+  ASSERT_TRUE(q.ok()) << q.error().to_string();
+  EXPECT_EQ(q.value().size(), 1u);
+
+  // A membership with a different partition count is structurally
+  // invalid — online repartitioning is a separate protocol.
+  ClusterMembership bad;
+  bad.epoch = 99;
+  bad.partitions = {m2.partitions[0], m2.partitions[0]};
+  EXPECT_FALSE(client->apply_membership(bad).ok());
 }
 
 // --- Satellite: retry jitter decorrelation ---

@@ -7,6 +7,7 @@
 
 #include "apps/kvproto.hpp"
 #include "chunnels/ordered_mcast.hpp"
+#include "control/control_wire.hpp"
 #include "core/discovery.hpp"
 #include "chunnels/shard.hpp"
 #include "core/negotiation.hpp"
@@ -48,6 +49,15 @@ TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
     (void)parse_shard_frame(data);
     (void)parse_mcast_frame(data);
     (void)parse_sequenced_mcast(data);
+    (void)parse_mcast_fetch(data);
+    (void)parse_mcast_fetch_miss(data);
+    (void)parse_mcast_view_start(data);
+    (void)decode_ctrl_op(data);
+    (void)peek_ctrl_frame(data);
+    (void)decode_snapshot_req(data);
+    (void)decode_snapshot_rsp(data);
+    (void)decode_view_change(data);
+    (void)decode_membership(data);
     (void)text_decode(data);
     (void)deserialize_from_bytes<ChunnelDag>(data);
     (void)deserialize_from_bytes<ImplInfo>(data);
@@ -340,6 +350,122 @@ TEST(AdversarialListener, DiscoveryServerSurvivesGarbageSubscriptions) {
   ASSERT_TRUE(ev.ok()) << ev.error().to_string();
   EXPECT_EQ(ev.value().name, "enc/real");
 }
+
+// --- control-plane recovery frames (snapshot / view-change /
+// membership, src/control/control_wire.hpp) ---
+//
+// A catching-up replica installs whatever decode_snapshot_rsp accepts
+// wholesale; a truncated or garbled frame must be a clean decode error,
+// never a crash and never a partial structure.
+
+CtrlSnapshotRsp fuzz_snapshot_rsp() {
+  CtrlSnapshotRsp rsp;
+  rsp.from = "p0-r1";
+  rsp.view = 3;
+  rsp.next_seq = 4242;
+  ImplInfo info;
+  info.type = "enc";
+  info.name = "enc/aes";
+  info.resources = {{"pool.a", 1}};
+  info.props = {{"k", "v"}};
+  rsp.state.impls = {info};
+  rsp.state.pools = {{"pool.a", 8, 2}};
+  rsp.state.allocs = {{77, {{"pool.a", 2}}}};
+  rsp.state.next_alloc = 78;
+  DiscoverySnapshot::LeaseEntry lease;
+  lease.owner = "client-7";
+  lease.ttl_ns = 1000000;
+  lease.expires_ns = 2000000;
+  lease.impls = {{"enc", "enc/aes"}};
+  lease.allocs = {77};
+  rsp.state.leases = {lease};
+  rsp.state.watch_seq = 12;
+  rsp.dedup = {{"client-7#5", to_bytes("cached-response")}};
+  rsp.applied = {"p0-r0#3", "p0-r1#9"};
+  rsp.event_log.events = {fuzz_event(11, "enc/a"), fuzz_event(12, "enc/b")};
+  rsp.event_log.pruned_through = 10;
+  rsp.event_log.observed_through = 12;
+  return rsp;
+}
+
+TEST(CtrlFrameFuzz, SnapshotFramePrefixesAllFail) {
+  CtrlSnapshotReq req;
+  req.from = "p0-r2";
+  req.reply_uri = "mem://ctrl-p0-r2:2";
+  Bytes full = encode_snapshot_req(req);
+  ASSERT_EQ(peek_ctrl_frame(full).value(), CtrlFrameKind::snapshot_req);
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_snapshot_req(BytesView(full.data(), n)).ok()) << n;
+  auto rt = decode_snapshot_req(full);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value().reply_uri, req.reply_uri);
+
+  Bytes rsp_full = encode_snapshot_rsp(fuzz_snapshot_rsp());
+  ASSERT_EQ(peek_ctrl_frame(rsp_full).value(), CtrlFrameKind::snapshot_rsp);
+  for (size_t n = 0; n < rsp_full.size(); n++)
+    EXPECT_FALSE(decode_snapshot_rsp(BytesView(rsp_full.data(), n)).ok()) << n;
+  auto rsp = decode_snapshot_rsp(rsp_full);
+  ASSERT_TRUE(rsp.ok());
+  EXPECT_EQ(rsp.value().next_seq, 4242u);
+  EXPECT_EQ(rsp.value().state.leases.size(), 1u);
+  EXPECT_EQ(rsp.value().event_log.events.size(), 2u);
+  EXPECT_EQ(rsp.value().applied.size(), 2u);
+}
+
+TEST(CtrlFrameFuzz, ViewChangeAndMembershipPrefixesAllFail) {
+  CtrlViewChangeMsg vc;
+  vc.view = 2;
+  vc.from = "p1-r0";
+  vc.last_contig = 999;
+  Bytes full = encode_view_change(vc);
+  ASSERT_EQ(peek_ctrl_frame(full).value(), CtrlFrameKind::view_change);
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_view_change(BytesView(full.data(), n)).ok()) << n;
+  auto vt = decode_view_change(full);
+  ASSERT_TRUE(vt.ok());
+  EXPECT_EQ(vt.value().last_contig, 999u);
+
+  ClusterMembership m;
+  m.epoch = 7;
+  m.partitions = {{Addr::mem("a", 1), Addr::mem("b", 1)}, {Addr::mem("c", 1)}};
+  Bytes mf = encode_membership(m);
+  ASSERT_EQ(peek_ctrl_frame(mf).value(), CtrlFrameKind::membership);
+  for (size_t n = 0; n < mf.size(); n++)
+    EXPECT_FALSE(decode_membership(BytesView(mf.data(), n)).ok()) << n;
+  auto mt = decode_membership(mf);
+  ASSERT_TRUE(mt.ok());
+  EXPECT_EQ(mt.value().epoch, 7u);
+  ASSERT_EQ(mt.value().partitions.size(), 2u);
+  EXPECT_EQ(mt.value().partitions[0].size(), 2u);
+}
+
+// Bit flips across the snapshot response: either a clean decode error
+// or a structurally complete decode — never a crash, and never success
+// on a mangled kind byte.
+class CtrlBitflipFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CtrlBitflipFuzz, SnapshotRspBitflipsNeverCrash) {
+  Rng rng(GetParam());
+  Bytes good = encode_snapshot_rsp(fuzz_snapshot_rsp());
+  for (int iter = 0; iter < 400; iter++) {
+    Bytes bad = good;
+    size_t byte = rng.next_below(bad.size());
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+    (void)decode_snapshot_rsp(bad);
+    (void)peek_ctrl_frame(bad);
+    // The member-loop demux path: a mangled frame must fall out of all
+    // three parsers without crashing.
+    (void)parse_sequenced_mcast(bad);
+    (void)parse_mcast_fetch_miss(bad);
+  }
+  // A wrong kind byte can never decode as a snapshot.
+  Bytes wrong_kind = good;
+  wrong_kind[2] = static_cast<uint8_t>(CtrlFrameKind::view_change);
+  EXPECT_FALSE(decode_snapshot_rsp(wrong_kind).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtrlBitflipFuzz,
+                         ::testing::Values(101, 202, 303));
 
 // Bit flips in a KV request must be caught by the shard-field integrity
 // check or the structural checks whenever they alter semantics.

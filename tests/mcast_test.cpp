@@ -344,6 +344,126 @@ TEST(McastInstanceScoping, HandoverPreservesSequenceEpoch) {
 namespace bertha {
 namespace {
 
+// --- view stamps, standby election, fetch-miss ---
+
+TEST(McastViewTest, ViewStampedRoundTrip) {
+  // The stamp packs (view, seq): the seq domain is continuous across
+  // views, so replicas' holdback windows survive a sequencer change.
+  uint64_t stamp = mcast_stamp(3, 77);
+  EXPECT_EQ(stamp & kMcastSeqMask, 77u);
+  EXPECT_EQ(stamp >> kMcastSeqBits, 3u);
+
+  Addr reply = Addr::sim("client", 9);
+  Bytes sequenced;
+  put_u64_le(sequenced, stamp);
+  append(sequenced, mcast_frame(reply, to_bytes("op")));
+  auto op = parse_sequenced_mcast(sequenced);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(op.value().seq, 77u);
+  EXPECT_EQ(op.value().view, 3u);
+  EXPECT_EQ(op.value().reply_to, reply);
+
+  // View-start and fetch-miss control frames round-trip too.
+  auto vs = parse_mcast_view_start(mcast_view_start_frame(2, 41));
+  ASSERT_TRUE(vs.ok());
+  EXPECT_EQ(vs.value().view, 2u);
+  EXPECT_EQ(vs.value().start_seq, 41u);
+  auto miss = parse_mcast_fetch_miss(mcast_fetch_miss_frame(1, 5, 9));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss.value().view, 1u);
+  EXPECT_EQ(miss.value().from, 5u);
+  EXPECT_EQ(miss.value().to, 9u);
+  EXPECT_FALSE(parse_mcast_view_start(mcast_fetch_miss_frame(1, 5, 9)).ok());
+}
+
+TEST(McastViewTest, StandbyActivatesOnViewStartAndAnnounces) {
+  auto world = TestWorld::make();
+  DefaultTransportFactory factory(world.mem, world.sim, "seq");
+  auto m1 = world.sim->attach("r1", 7).value();
+  auto seq = SoftwareSequencer::start(factory, Addr::sim("seq", 103),
+                                      {m1->local_addr()},
+                                      /*retransmit_window=*/0, /*view=*/0,
+                                      /*standby=*/true)
+                 .value();
+  EXPECT_FALSE(seq->active());
+
+  // Standing by: client traffic is dropped, not stamped.
+  auto cli = world.sim->attach("c", 1).value();
+  Bytes framed = mcast_frame(cli->local_addr(), to_bytes("early"));
+  ASSERT_TRUE(cli->send_to(seq->addr(), framed).ok());
+  EXPECT_FALSE(m1->recv(Deadline::after(ms(200))).ok());
+  EXPECT_EQ(seq->sequenced(), 0u);
+
+  // Election result: wake in view 1 at seq 5. The sequencer announces
+  // the view with a stamped no-op so replicas adopt it immediately.
+  ASSERT_TRUE(cli->send_to(seq->addr(), mcast_view_start_frame(1, 5)).ok());
+  auto announce = m1->recv(Deadline::after(seconds(5)));
+  ASSERT_TRUE(announce.ok());
+  auto aop = parse_sequenced_mcast(announce.value().payload);
+  ASSERT_TRUE(aop.ok());
+  EXPECT_EQ(aop.value().view, 1u);
+  EXPECT_EQ(aop.value().seq, 5u);
+  EXPECT_TRUE(aop.value().payload.empty());
+  EXPECT_TRUE(seq->active());
+  EXPECT_EQ(seq->view(), 1u);
+
+  // Client ops now continue the seq chain under the new view.
+  ASSERT_TRUE(cli->send_to(seq->addr(), framed).ok());
+  auto pkt = m1->recv(Deadline::after(seconds(5)));
+  ASSERT_TRUE(pkt.ok());
+  auto op = parse_sequenced_mcast(pkt.value().payload);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(op.value().view, 1u);
+  EXPECT_EQ(op.value().seq, 6u);
+
+  // A stale (lower-view) election result is ignored.
+  ASSERT_TRUE(cli->send_to(seq->addr(), mcast_view_start_frame(0, 99)).ok());
+  ASSERT_TRUE(cli->send_to(seq->addr(), framed).ok());
+  pkt = m1->recv(Deadline::after(seconds(5)));
+  ASSERT_TRUE(pkt.ok());
+  op = parse_sequenced_mcast(pkt.value().payload);
+  ASSERT_TRUE(op.ok());
+  EXPECT_EQ(op.value().view, 1u);
+  EXPECT_EQ(op.value().seq, 7u);
+}
+
+TEST(McastViewTest, FetchMissForEvictedRange) {
+  auto world = TestWorld::make();
+  DefaultTransportFactory factory(world.mem, world.sim, "seq");
+  auto m1 = world.sim->attach("r1", 7).value();
+  auto seq = SoftwareSequencer::start(factory, Addr::sim("seq", 104),
+                                      {m1->local_addr()},
+                                      /*retransmit_window=*/2)
+                 .value();
+  auto cli = world.sim->attach("c", 1).value();
+  for (int i = 0; i < 5; i++) {
+    ASSERT_TRUE(cli->send_to(seq->addr(),
+                             mcast_frame(cli->local_addr(), to_bytes("op")))
+                    .ok());
+    ASSERT_TRUE(m1->recv(Deadline::after(seconds(5))).ok());
+  }
+
+  // Seqs 0..2 are pruned from the two-slot log. A fetch of the full
+  // range answers the evicted prefix with a miss frame and retransmits
+  // the still-covered tail.
+  ASSERT_TRUE(
+      cli->send_to(seq->addr(), mcast_fetch_frame(cli->local_addr(), 0, 5))
+          .ok());
+  auto first = cli->recv(Deadline::after(seconds(5)));
+  ASSERT_TRUE(first.ok());
+  auto miss = parse_mcast_fetch_miss(first.value().payload);
+  ASSERT_TRUE(miss.ok()) << "expected the miss frame first";
+  EXPECT_EQ(miss.value().from, 0u);
+  EXPECT_EQ(miss.value().to, 3u);
+  for (uint64_t want = 3; want < 5; want++) {
+    auto pkt = cli->recv(Deadline::after(seconds(5)));
+    ASSERT_TRUE(pkt.ok());
+    auto op = parse_sequenced_mcast(pkt.value().payload);
+    ASSERT_TRUE(op.ok());
+    EXPECT_EQ(op.value().seq, want);
+  }
+}
+
 // Loss on the sequenced stream: the replica must skip aged-out gaps
 // (counting them for recovery) instead of stalling behind a lost
 // sequence number.
