@@ -3,18 +3,32 @@
 #include <condition_variable>
 #include <thread>
 
+#include "io/timer_wheel.hpp"
+
 namespace bertha {
 
 namespace {
 
-class KeepaliveConnection final : public Connection {
+// Two beat engines share this connection class:
+//  - Wheel mode (ctx.wheel set): a periodic timer-wheel entry fires
+//    every `interval` and sends the heartbeat from the wheel's tick
+//    thread. An idle connection costs one wheel entry and zero threads
+//    — the property the 100k-connection soak asserts.
+//  - Thread mode (no wheel): the original dedicated beater thread. Kept
+//    as the fallback for raw stacks built without a runtime and as the
+//    reference behaviour the chaos parity test compares against.
+// Dead-peer detection is recv-side in both modes and identical.
+class KeepaliveConnection final
+    : public Connection,
+      public std::enable_shared_from_this<KeepaliveConnection> {
  public:
   KeepaliveConnection(ConnPtr inner, KeepaliveOptions opts,
-                      ConnLivenessPtr liveness)
+                      ConnLivenessPtr liveness, TimerWheelPtr wheel)
       : inner_(std::move(inner)),
         opts_(opts),
         live_(liveness ? std::move(liveness)
-                       : std::make_shared<ConnLiveness>()) {
+                       : std::make_shared<ConnLiveness>()),
+        wheel_(std::move(wheel)) {
     // Shared-liveness carry-over: a stack rebuilt mid-transition inherits
     // the previous epoch's timestamps, so a peer that went silent before
     // the cutover still trips dead_after on the original schedule. Only
@@ -26,7 +40,27 @@ class KeepaliveConnection final : public Connection {
     zero = 0;
     live_->last_heard.compare_exchange_strong(zero, t,
                                               std::memory_order_relaxed);
-    beater_ = std::thread([this] { beat_loop(); });
+    if (!wheel_) beater_ = std::thread([this] { beat_loop(); });
+  }
+
+  // Wheel mode only; called by wrap() right after make_shared (a
+  // weak_from_this inside the constructor would be empty). The callback
+  // holds a weak self so an abandoned connection can't be kept alive by
+  // its own timer; once the weak expires the callback cancels itself.
+  void arm() {
+    if (!wheel_) return;
+    std::weak_ptr<KeepaliveConnection> wself = weak_from_this();
+    std::weak_ptr<TimerWheel> wwheel = wheel_;
+    auto id = std::make_shared<uint64_t>(0);
+    *id = wheel_->schedule_periodic(opts_.interval, [wself, wwheel, id] {
+      if (auto self = wself.lock()) {
+        self->beat_once();
+      } else if (auto w = wwheel.lock()) {
+        (void)w->cancel(*id);
+      }
+    });
+    std::lock_guard<std::mutex> lk(mu_);
+    timer_id_ = *id;
   }
 
   ~KeepaliveConnection() override { close(); }
@@ -45,14 +79,20 @@ class KeepaliveConnection final : public Connection {
 
   Result<Msg> recv(Deadline deadline) override {
     for (;;) {
-      // Wake at least every interval to check the silence threshold.
+      // Wake at least every interval to check the silence threshold. A
+      // stale last_heard alone is not a dead verdict: frames queued on the
+      // inner transport are proof the peer spoke, so once the threshold
+      // passes we switch to non-blocking pops and only an *empty* queue
+      // plus silence condemns the peer. (A consumer that stays away from
+      // recv longer than dead_after would otherwise false-kill a live
+      // connection whose heartbeats were waiting the whole time.)
       auto silence_deadline =
           TimePoint(
               Duration(live_->last_heard.load(std::memory_order_relaxed))) +
           opts_.dead_after;
-      if (now() >= silence_deadline)
-        return err(Errc::unavailable, "peer silent beyond dead_after");
-      Deadline slice = Deadline::at(silence_deadline);
+      bool silent = now() >= silence_deadline;
+      Deadline slice =
+          silent ? Deadline::after(Duration::zero()) : Deadline::at(silence_deadline);
       if (!deadline.is_never() &&
           deadline.as_time_point() < slice.as_time_point())
         slice = deadline;
@@ -60,6 +100,8 @@ class KeepaliveConnection final : public Connection {
       auto m = inner_->recv(slice);
       if (!m.ok()) {
         if (m.error().code == Errc::timed_out) {
+          if (silent)
+            return err(Errc::unavailable, "peer silent beyond dead_after");
           if (deadline.expired()) return m.error();
           continue;  // silence check fires at the top
         }
@@ -82,17 +124,40 @@ class KeepaliveConnection final : public Connection {
   const Addr& peer_addr() const override { return inner_->peer_addr(); }
 
   void close() override {
+    uint64_t timer = 0;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (closed_) return;
       closed_ = true;
+      timer = timer_id_;
     }
+    // Async cancel is enough: a beat that already started sees closed_
+    // and returns without touching inner_ past its close().
+    if (timer && wheel_) (void)wheel_->cancel(timer);
     cv_.notify_all();
     inner_->close();
     if (beater_.joinable()) beater_.join();
   }
 
  private:
+  // One wheel-driven beat: send a heartbeat iff the connection has been
+  // send-idle for a full interval. Runs on the wheel tick thread, so it
+  // must stay short — a datagram send, no waits.
+  void beat_once() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+    }
+    auto idle = now().time_since_epoch().count() -
+                live_->last_sent.load(std::memory_order_relaxed);
+    if (Duration(idle) < opts_.interval) return;  // traffic is flowing
+    Msg hb;
+    hb.payload = {'K', 'H'};
+    (void)inner_->send(std::move(hb));
+    live_->last_sent.store(now().time_since_epoch().count(),
+                           std::memory_order_relaxed);
+  }
+
   void beat_loop() {
     std::unique_lock<std::mutex> lk(mu_);
     while (!closed_) {
@@ -114,10 +179,12 @@ class KeepaliveConnection final : public Connection {
   ConnPtr inner_;
   KeepaliveOptions opts_;
   ConnLivenessPtr live_;
+  TimerWheelPtr wheel_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool closed_ = false;
-  std::thread beater_;
+  uint64_t timer_id_ = 0;  // wheel mode; guarded by mu_
+  std::thread beater_;     // thread mode only
 };
 
 }  // namespace
@@ -142,8 +209,10 @@ Result<ConnPtr> KeepaliveChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
       static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                 opts_.dead_after)
                                 .count()))));
-  return ConnPtr(std::make_shared<KeepaliveConnection>(std::move(inner), opts,
-                                                       ctx.liveness));
+  auto conn = std::make_shared<KeepaliveConnection>(std::move(inner), opts,
+                                                    ctx.liveness, ctx.wheel);
+  conn->arm();
+  return ConnPtr(conn);
 }
 
 }  // namespace bertha

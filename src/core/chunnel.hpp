@@ -137,6 +137,8 @@ struct ConnLiveness {
 
 using ConnLivenessPtr = std::shared_ptr<ConnLiveness>;
 
+class TimerWheel;  // io/timer_wheel.hpp
+
 // Passed to wrap() when building one side of a negotiated connection.
 struct WrapContext {
   Role role = Role::client;
@@ -156,6 +158,11 @@ struct WrapContext {
   // (null when the endpoint layer doesn't track it, e.g. raw stacks
   // built in tests).
   ConnLivenessPtr liveness;
+  // Shared timer wheel for liveness deadlines (io/timer_wheel.hpp).
+  // Chunnels that need periodic work (keepalive beats) arm wheel timers
+  // instead of spawning a thread per connection; null reverts them to
+  // the per-connection-thread path.
+  std::shared_ptr<TimerWheel> wheel;
 };
 
 // One implementation of a chunnel type. Thread-safe: a single instance

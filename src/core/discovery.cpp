@@ -5,6 +5,7 @@
 #include <random>
 
 #include "core/wire.hpp"
+#include "io/timer_wheel.hpp"
 #include "util/log.hpp"
 
 namespace bertha {
@@ -1110,6 +1111,12 @@ struct RemoteDiscovery::Pending {
   std::condition_variable cv;
   bool done = false;
   Result<DiscResponse> result = err(Errc::internal, "pending");
+  // Fire-and-forget completion (wheel-mode heartbeats): invoked exactly
+  // once, outside `mu`, by whichever path completes the request — the
+  // reader thread on a response, or the orphan sweep when the transport
+  // dies. When set, the completer also erases the pending_ entry, since
+  // no blocked rpc() caller exists to do it.
+  std::function<void(const Result<DiscResponse>&)> on_done;
 };
 
 // A server-push watch subscription. The reader thread applies pushed
@@ -1189,6 +1196,21 @@ void RemoteDiscovery::update_servers(std::vector<Addr> servers) {
 }
 
 RemoteDiscovery::~RemoteDiscovery() {
+  // Wheel-mode heartbeat first: cancel_sync waits out a beat that is
+  // mid-callback, so nothing races the teardown below. If the wheel
+  // itself already stopped, the entry is still kArmed and the cancel
+  // succeeds without waiting.
+  {
+    uint64_t hb_timer = 0;
+    std::shared_ptr<TimerWheel> hb_wheel;
+    {
+      std::lock_guard<std::mutex> lk(hb_mu_);
+      hb_stop_ = true;
+      hb_timer = hb_timer_;
+      hb_wheel = std::move(hb_wheel_);
+    }
+    if (hb_wheel && hb_timer) hb_wheel->cancel_sync(hb_timer);
+  }
   std::vector<std::pair<WatcherPtr, std::thread>> pollers;
   std::unordered_map<uint64_t, std::shared_ptr<Sub>> subs;
   {
@@ -1219,6 +1241,9 @@ RemoteDiscovery::~RemoteDiscovery() {
   if (hb_thread_.joinable()) hb_thread_.join();
   if (watchdog_.joinable()) watchdog_.join();
   if (reader_.joinable()) reader_.join();
+  // After the reader joins, nobody can spawn a new replay; an in-flight
+  // one fails fast (reader_dead_ short-circuits its RPCs).
+  if (hb_replay_.joinable()) hb_replay_.join();
   for (auto& [w, t] : pollers)
     if (t.joinable()) t.join();
 }
@@ -1248,14 +1273,25 @@ void RemoteDiscovery::reader_loop() {
       p = it->second;
     }
     auto rsp_r = decode_response(frame_r.value().payload);
+    std::function<void(const Result<DiscResponse>&)> on_done;
     {
       std::lock_guard<std::mutex> lk(p->mu);
       if (p->done) continue;  // duplicate response
       if (rsp_r.ok()) p->result = std::move(rsp_r).value();
       else p->result = rsp_r.error();
       p->done = true;
+      on_done = std::move(p->on_done);
     }
     p->cv.notify_all();
+    if (on_done) {
+      {
+        std::lock_guard<std::mutex> lk(pending_mu_);
+        pending_.erase(frame_r.value().token);
+      }
+      // `result` is stable once done is set (duplicates are suppressed
+      // above), so reading it without p->mu here is fine.
+      on_done(p->result);
+    }
   }
   // Fail everything still waiting so callers don't block on a dead link.
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> orphans;
@@ -1265,13 +1301,16 @@ void RemoteDiscovery::reader_loop() {
     orphans.swap(pending_);
   }
   for (auto& [id, p] : orphans) {
+    std::function<void(const Result<DiscResponse>&)> on_done;
     {
       std::lock_guard<std::mutex> lk(p->mu);
       if (p->done) continue;
       p->result = err(Errc::cancelled, "discovery client closed");
       p->done = true;
+      on_done = std::move(p->on_done);
     }
     p->cv.notify_all();
+    if (on_done) on_done(p->result);
   }
 }
 
@@ -1636,8 +1675,103 @@ void RemoteDiscovery::ensure_heartbeat() {
   if (opts_.lease_ttl <= Duration::zero()) return;
   std::lock_guard<std::mutex> lk(hb_mu_);
   if (hb_started_ || hb_stop_) return;
+  if (opts_.wheel_source && !hb_wheel_) hb_wheel_ = opts_.wheel_source();
   hb_started_ = true;
+  if (hb_wheel_) {
+    // Wheel mode: lease renewal is one periodic wheel entry and the RPC
+    // is fire-and-forget (the reader thread completes it), so N leased
+    // clients in a process cost zero heartbeat threads. The period gets
+    // the same ±12.5% per-client jitter as the thread path, fixed once
+    // at arm time — wheel entries re-arm at a constant period.
+    Duration period = opts_.heartbeat_period > Duration::zero()
+                          ? opts_.heartbeat_period
+                          : opts_.lease_ttl / 4;
+    if (period <= Duration::zero()) period = ms(10);
+    Rng jitter(backoff_seed_ ^ 0x48454152544a4954ull);
+    int64_t half_spread = std::max<int64_t>(period.count() / 8, 1);
+    period += Duration(jitter.next_in(-half_spread, half_spread));
+    hb_timer_ = hb_wheel_->schedule_periodic(period, [this] { beat_async(); });
+    return;
+  }
   hb_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void RemoteDiscovery::beat_async() {
+  // Wheel tick thread: register the pending, send, return. Never waits —
+  // the tick thread beats every connection in the process.
+  uint64_t req_id = next_req_.fetch_add(1);
+  uint64_t stale = 0;
+  {
+    std::lock_guard<std::mutex> lk(hb_mu_);
+    if (hb_stop_) return;
+    stale = hb_inflight_;
+    hb_inflight_ = req_id;
+  }
+  DiscRequest req;
+  req.op = DiscOp::heartbeat;
+  req.client_id = client_id_;
+  Bytes frame = encode_frame(MsgKind::discovery, req_id, encode_request(req));
+  auto p = std::make_shared<Pending>();
+  p->on_done = [this, req_id](const Result<DiscResponse>& r) {
+    {
+      std::lock_guard<std::mutex> lk(hb_mu_);
+      if (hb_inflight_ == req_id) hb_inflight_ = 0;
+    }
+    on_heartbeat_done(r);
+  };
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    if (reader_dead_) return;
+    ensure_reader_locked();
+    // A beat the server never answered would leak its pending entry;
+    // reap the previous one when arming the next. No retry/rotation
+    // here: the next beat is the retry, and missing lease_ttl/4 worth of
+    // beats is exactly what the TTL budget tolerates.
+    if (stale) pending_.erase(stale);
+    pending_[req_id] = p;
+  }
+  (void)transport_->send_to(active_server(), frame);
+  if (opts_.stats) opts_.stats->heartbeats_sent++;
+}
+
+void RemoteDiscovery::on_heartbeat_done(Result<DiscResponse> rsp) {
+  // Reader-thread context: blocking rpc() here would deadlock (this very
+  // thread completes those RPCs), so the lease-loss replay — the only
+  // heavy reaction — runs on a transient thread instead.
+  bool lease_lost = rsp.ok() && !rsp.value().success &&
+                    rsp.value().errc == static_cast<uint8_t>(Errc::not_found);
+  if (!lease_lost) return;
+  std::lock_guard<std::mutex> lk(hb_mu_);
+  if (hb_stop_) return;
+  if (hb_replay_running_.exchange(true)) return;  // one replay at a time
+  if (hb_replay_.joinable()) hb_replay_.join();   // reap the finished one
+  std::vector<ImplInfo> replay = leased_impls_;
+  hb_replay_ = std::thread([this, replay = std::move(replay)] {
+    BLOG(warn, "discovery") << "lease lost for " << client_id_
+                            << "; re-registering " << replay.size()
+                            << " impls";
+    for (const auto& info : replay) {
+      DiscRequest rr;
+      rr.op = DiscOp::register_impl;
+      rr.entry = info;
+      rr.client_id = client_id_;
+      rr.idem_key = next_idem();
+      rr.ttl_ms = lease_ttl_ms(opts_);
+      Span span = trace_span(opts_.tracer, "rpc.replay_register");
+      span.tag("impl", info.name);
+      rr.trace = span.context();
+      (void)rpc(encode_request(rr), &span);
+    }
+    if (opts_.stats && !replay.empty()) opts_.stats->lease_recoveries++;
+    hb_replay_running_.store(false);
+  });
+}
+
+void RemoteDiscovery::set_wheel_source(
+    std::function<std::shared_ptr<TimerWheel>()> source) {
+  std::lock_guard<std::mutex> lk(hb_mu_);
+  if (hb_started_) return;  // engine already chosen; too late to switch
+  opts_.wheel_source = std::move(source);
 }
 
 void RemoteDiscovery::heartbeat_loop() {

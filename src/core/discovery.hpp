@@ -602,6 +602,15 @@ class RemoteDiscovery final : public DiscoveryClient {
     // past the failover timeout a silent server can go unnoticed
     // (detection latency ≈ timeout + interval).
     Duration watchdog_interval = Duration::zero();
+    // Timer-wheel mode for lease renewal: when this returns a wheel (and
+    // lease_ttl > 0), heartbeats are armed as a periodic wheel entry
+    // instead of a dedicated thread — the beat fires the RPC without
+    // waiting (the reader thread completes it asynchronously), so a
+    // process holding many leased clients carries zero heartbeat
+    // threads. Resolved lazily at first lease so wiring it up doesn't
+    // force the wheel (and its tick thread) into runtimes that never
+    // lease anything. Null / returning null keeps the thread path.
+    std::function<std::shared_ptr<TimerWheel>()> wheel_source;
   };
 
   // `transport` is a bound client endpoint used solely for discovery RPCs.
@@ -642,6 +651,10 @@ class RemoteDiscovery final : public DiscoveryClient {
   // server is kept if it survives in the new list; otherwise RPCs
   // rotate to the first entry.
   void update_servers(std::vector<Addr> servers);
+  // Late binding for Options::wheel_source (the runtime constructs its
+  // bootstrap discovery client before the runtime object — and hence its
+  // wheel — exists). No-op once the heartbeat engine has started.
+  void set_wheel_source(std::function<std::shared_ptr<TimerWheel>()> source);
   // The effective jitter seed (after client-id derivation).
   uint64_t backoff_seed() const { return backoff_seed_; }
 
@@ -656,6 +669,12 @@ class RemoteDiscovery final : public DiscoveryClient {
   void ensure_reader_locked();
   void heartbeat_loop();
   void ensure_heartbeat();
+  // Wheel-mode beat: sends the heartbeat RPC and returns without
+  // waiting; runs on the wheel tick thread.
+  void beat_async();
+  // Completion of an async beat; runs on the reader thread (or the
+  // orphan-failure path). Must not issue blocking RPCs inline.
+  void on_heartbeat_done(Result<DiscResponse> rsp);
   void poll_watch(WatcherPtr w);
   Result<void> subscribe_watch(WatcherPtr w, const std::string& filter);
   void handle_event_batch(uint64_t token, BytesView payload);
@@ -703,14 +722,22 @@ class RemoteDiscovery final : public DiscoveryClient {
   // keepalives included).
   std::atomic<int64_t> last_push_ns_{0};
 
-  // Heartbeat thread (lazily started once leased state exists) plus a
-  // mirror of leased registrations to replay after a lost lease.
+  // Heartbeat engine (lazily started once leased state exists) plus a
+  // mirror of leased registrations to replay after a lost lease. Wheel
+  // mode arms hb_timer_ on hb_wheel_; thread mode runs hb_thread_.
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;
   std::thread hb_thread_;
   bool hb_started_ = false;
   bool hb_stop_ = false;
   std::vector<ImplInfo> leased_impls_;  // guarded by hb_mu_
+  std::shared_ptr<TimerWheel> hb_wheel_;  // guarded by hb_mu_
+  uint64_t hb_timer_ = 0;                 // guarded by hb_mu_
+  uint64_t hb_inflight_ = 0;  // outstanding async beat req id; hb_mu_
+  // Lease-loss replay runs blocking RPCs, so it gets a transient thread
+  // (the reader thread completes those RPCs and must not wait on them).
+  std::atomic<bool> hb_replay_running_{false};
+  std::thread hb_replay_;  // guarded by hb_mu_
 };
 
 }  // namespace bertha

@@ -11,8 +11,10 @@
 #include "core/renegotiation.hpp"
 #include "core/wire.hpp"
 #include "io/batch.hpp"
+#include "io/timer_wheel.hpp"
 #include "util/log.hpp"
 #include "util/queue.hpp"
+#include "util/sharded_map.hpp"
 
 namespace bertha {
 
@@ -89,9 +91,21 @@ class ClientChannelGroup
   void route(RoutedFrame f);
 
   void channel_gone(const std::vector<uint64_t>& tokens) {
-    std::lock_guard<std::mutex> lk(mu_);
     for (uint64_t t : tokens) by_token_.erase(t);
   }
+
+  // Drops tokens whose channel died without a clean close (the weak_ptr
+  // expired while the token was still registered). Cheap enough to run
+  // from a periodic wheel timer; route() also self-heals the entry it
+  // trips over, so this only catches tokens no frame ever hits again.
+  size_t sweep_dead_tokens() {
+    return by_token_.erase_if(
+        [](uint64_t, const std::weak_ptr<ClientChannel>& w) {
+          return w.expired();
+        });
+  }
+
+  size_t tokens_live() const { return by_token_.size(); }
 
   void set_transition_handler(TransitionHandler h) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -108,8 +122,8 @@ class ClientChannelGroup
 
  private:
   friend class ClientChannel;
-  std::mutex mu_;
-  std::unordered_map<uint64_t, std::weak_ptr<ClientChannel>> by_token_;
+  std::mutex mu_;  // ports and handlers; by_token_ stripes its own locks
+  ShardedMap<std::weak_ptr<ClientChannel>> by_token_{8};
   TransitionHandler handler_;
   CancelHandler cancel_handler_;
 };
@@ -425,17 +439,19 @@ std::shared_ptr<ClientChannel> ClientChannelGroup::add_channel(
   {
     std::lock_guard<std::mutex> lk(mu_);
     port->users++;
-    for (const auto& p : peers) by_token_[p.token] = ch;
   }
+  for (const auto& p : peers) by_token_.put(p.token, ch);
   return ch;
 }
 
 void ClientChannelGroup::route(RoutedFrame f) {
   std::shared_ptr<ClientChannel> ch;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = by_token_.find(f.token);
-    if (it != by_token_.end()) ch = it->second.lock();
+  std::weak_ptr<ClientChannel> w;
+  if (by_token_.get(f.token, &w)) {
+    ch = w.lock();
+    // Self-heal: the channel died without erasing its token (no clean
+    // close); drop the dead entry so churn can't accumulate them.
+    if (!ch) by_token_.erase(f.token);
   }
   if (ch) {
     ch->deliver(std::move(f));
@@ -650,6 +666,11 @@ class Listener::Impl : public TransitionHost,
     return n;
   }
 
+  // Live connection-table entries across all shards (both epochs of an
+  // in-flight transition count until the drain finishes). Regression
+  // hook for the churn tests: must return to zero after teardown.
+  uint64_t connections_live() const { return conns_.size(); }
+
   void close() {
     std::vector<std::shared_ptr<Transport>> transports;
     std::vector<std::shared_ptr<ServerConnState>> states;
@@ -661,7 +682,6 @@ class Listener::Impl : public TransitionHost,
     // transition record (or connection entry) here can release the last
     // reference to a connection stack whose destructor re-enters
     // connection_closed() and takes mu_ again.
-    std::unordered_map<uint64_t, std::shared_ptr<ServerConnState>> conns;
     std::unordered_map<uint64_t, ConnMeta> metas;
     std::unordered_map<uint64_t, std::shared_ptr<TransitionRecord>> recs;
     {
@@ -669,7 +689,9 @@ class Listener::Impl : public TransitionHost,
       if (closing_) return;
       closing_ = true;
       transports = transports_;
-      for (auto& [tok, st] : conns_) states.push_back(st);
+      conns_.for_each([&](uint64_t, const std::shared_ptr<ServerConnState>& st) {
+        states.push_back(st);
+      });
       for (auto& [tok, m] : meta_)
         for (const auto& a : m.allocs) allocs.push_back(a.alloc_id);
       // In-flight transitions hold slots the meta map doesn't: the
@@ -682,7 +704,7 @@ class Listener::Impl : public TransitionHost,
           for (uint64_t id : rec->retired_allocs) allocs.push_back(id);
         }
       }
-      conns.swap(conns_);
+      conns_.clear();  // states keeps the refs alive past the lock
       metas.swap(meta_);
       recs.swap(transitions_);
       threads.swap(demux_threads_);
@@ -713,10 +735,7 @@ class Listener::Impl : public TransitionHost,
     std::shared_ptr<TransitionRecord> rec;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      auto it = conns_.find(token);
-      if (it == conns_.end()) return;
-      st = it->second;
-      conns_.erase(it);
+      if (!conns_.take(token, &st)) return;
       auto mit = meta_.find(token);
       if (mit != meta_.end()) {
         for (const auto& a : mit->second.allocs) ids.push_back(a.alloc_id);
@@ -733,11 +752,7 @@ class Listener::Impl : public TransitionHost,
             token == rec->old_token ? rec->new_token : rec->old_token;
         transitions_.erase(rec->old_token);
         transitions_.erase(rec->new_token);
-        auto oit = conns_.find(other);
-        if (oit != conns_.end()) {
-          other_st = oit->second;
-          conns_.erase(oit);
-        }
+        (void)conns_.take(other, &other_st);
         auto omit = meta_.find(other);
         if (omit != meta_.end()) {
           for (const auto& a : omit->second.allocs) ids.push_back(a.alloc_id);
@@ -868,12 +883,10 @@ class Listener::Impl : public TransitionHost,
         handle_hello(transport, src, f.payload);
         break;
       case MsgKind::data: {
+        // Hot path: one striped-shard lock, never the listener mu_ — rx
+        // workers demuxing different connections proceed in parallel.
         std::shared_ptr<ServerConnState> st;
-        {
-          std::lock_guard<std::mutex> lk(mu_);
-          auto it = conns_.find(f.token);
-          if (it != conns_.end()) st = it->second;
-        }
+        (void)conns_.get(f.token, &st);
         if (!st) break;  // unknown token: connection gone
         st->set_reply_path(transport, src);
         Packet data;
@@ -957,7 +970,11 @@ class Listener::Impl : public TransitionHost,
   ReactorPtr reactor_;
   std::vector<uint64_t> reactor_ids_;
   std::map<std::string, ChunnelArgs> advertisements_;
-  std::unordered_map<uint64_t, std::shared_ptr<ServerConnState>> conns_;
+  // Token -> connection state, looked up on every data datagram. Lock-
+  // striped so rx workers demuxing different connections never contend;
+  // mutations that must stay coherent with meta_/transitions_ happen
+  // under mu_ (mu_ -> shard lock is the only permitted order).
+  ShardedMap<std::shared_ptr<ServerConnState>> conns_{32};
   std::unordered_map<uint64_t, ConnMeta> meta_;
   // Both tokens of an in-flight transition map to the same record.
   std::unordered_map<uint64_t, std::shared_ptr<TransitionRecord>> transitions_;
@@ -1140,7 +1157,7 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (closing_) return;
-    conns_[token] = st;
+    conns_.put(token, st);
     meta_[token] = std::move(meta);
     if (hello_cache_.emplace(cache_key, accept_frame).second) {
       hello_cache_order_.push_back(cache_key);
@@ -1163,6 +1180,7 @@ void Listener::Impl::handle_hello(const std::shared_ptr<Transport>& transport,
   ctx.listen_addr = primary_addr_;
   ctx.transports = &rt_->transports();
   ctx.liveness = liveness;
+  ctx.wheel = rt_->timer_wheel();
   Span build_span =
       trace_span(rt_->tracer(), "server.build_stack", neg_span.context());
   auto wrapped = build_stack(*rt_, accept.chain, std::move(base), ctx);
@@ -1224,8 +1242,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
     epoch = epoch_salt_ | ((it->second.epoch + 1) & kEpochCounterMask);
     liveness = it->second.liveness;
     tconn = it->second.conn.lock();
-    auto cit = conns_.find(token);
-    if (cit != conns_.end()) old_st = cit->second;
+    (void)conns_.get(token, &old_st);
   }
   auto abandon = [&] {
     std::lock_guard<std::mutex> lk(mu_);
@@ -1276,6 +1293,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   ctx.listen_addr = primary_addr_;
   ctx.transports = &rt_->transports();
   ctx.liveness = liveness;
+  ctx.wheel = rt_->timer_wheel();
   Span stage_span =
       trace_span(rt_->tracer(), "transition.stage", offer_span.context());
   stage_span.tag_u64("epoch", epoch);
@@ -1325,7 +1343,7 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!closing_ && meta_.count(token)) {
-      conns_[new_token] = new_st;
+      conns_.put(new_token, new_st);
       transitions_[token] = rec;
       transitions_[new_token] = rec;
       registered = true;
@@ -1583,6 +1601,9 @@ uint64_t Listener::connections_accepted() const {
 uint64_t Listener::degraded_connections() const {
   return impl_->degraded_connections();
 }
+uint64_t Listener::connections_live() const {
+  return impl_->connections_live();
+}
 
 // --- Endpoint ---
 
@@ -1710,6 +1731,24 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   auto port = ClientChannelGroup::make_port(transport);
   auto channel = group->add_channel(port, peers);
 
+  // Fold dead-token sweeping into the timer wheel: a channel that dies
+  // without a clean close leaves an expired weak_ptr in the routing
+  // table; route() self-heals entries it trips over and this periodic
+  // sweep catches tokens no frame ever hits again, so the table stays
+  // bounded under churn. Self-cancels once the group is gone.
+  if (auto wheel = rt_->timer_wheel()) {
+    std::weak_ptr<ClientChannelGroup> wg = group;
+    std::weak_ptr<TimerWheel> ww = wheel;
+    auto sweep_id = std::make_shared<uint64_t>(0);
+    *sweep_id = wheel->schedule_periodic(seconds(30), [wg, ww, sweep_id] {
+      if (auto g = wg.lock()) {
+        g->sweep_dead_tokens();
+      } else if (auto w = ww.lock()) {
+        (void)w->cancel(*sweep_id);
+      }
+    });
+  }
+
   auto liveness = std::make_shared<ConnLiveness>();
 
   WrapContext ctx;
@@ -1719,6 +1758,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
   ctx.token = peers.front().token;
   ctx.transports = &rt_->transports();
   ctx.liveness = liveness;
+  ctx.wheel = rt_->timer_wheel();
   if (peers.size() == 1) {
     std::weak_ptr<ClientChannel> weak = channel;
     ctx.rebase = [weak](TransportPtr nt, Addr np) -> Result<void> {
@@ -1819,6 +1859,7 @@ Result<ConnPtr> Endpoint::connect(const std::vector<Addr>& servers,
     ctx.token = msg.new_token;
     ctx.transports = &runtime->transports();
     ctx.liveness = liveness;
+    ctx.wheel = runtime->timer_wheel();
     std::weak_ptr<ClientChannel> wnch = nch;
     ctx.rebase = [wnch](TransportPtr nt, Addr np) -> Result<void> {
       auto conn = wnch.lock();

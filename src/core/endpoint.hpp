@@ -70,6 +70,12 @@ class Listener {
   // were considered). Drops back to 0 once renegotiation upgrades them.
   uint64_t degraded_connections() const;
 
+  // Entries in the (lock-striped) server connection table. Bounded by
+  // the number of live connections plus in-flight transition epochs;
+  // returns to zero after every connection closes — the churn regression
+  // tests assert exactly that.
+  uint64_t connections_live() const;
+
   class Impl;  // public: constructed via make_shared in Endpoint::listen
 
  private:

@@ -41,6 +41,7 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
     cfg.tracer = std::make_shared<Tracer>(topts);
   }
   if (!cfg.metrics) cfg.metrics = std::make_shared<MetricsRegistry>();
+  std::shared_ptr<RemoteDiscovery> bootstrap_disc;
   if (!cfg.discovery && !cfg.discovery_servers.empty()) {
     BERTHA_TRY_ASSIGN(
         t, cfg.transports->bind(
@@ -50,8 +51,9 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
     if (!ropts.tracer) ropts.tracer = cfg.tracer;
     if (ropts.watchdog_interval <= Duration::zero())
       ropts.watchdog_interval = cfg.control.watchdog_interval;
-    cfg.discovery = std::make_shared<RemoteDiscovery>(
+    bootstrap_disc = std::make_shared<RemoteDiscovery>(
         std::move(t), cfg.discovery_servers, std::move(ropts));
+    cfg.discovery = bootstrap_disc;
   }
   if (!cfg.discovery) {
     auto state = std::make_shared<DiscoveryState>();
@@ -71,6 +73,17 @@ Result<std::shared_ptr<Runtime>> Runtime::create(RuntimeConfig cfg) {
   attach_tracer_provider(*rt->cfg_.metrics, rt->cfg_.tracer);
   attach_hop_stats_provider(*rt->cfg_.metrics, rt->hop_stats_);
   attach_buffer_pool_provider(*rt->cfg_.metrics);
+  // The bootstrap discovery client predates `rt`, so its lease heartbeat
+  // gets the runtime's wheel by late binding. Resolved lazily (at first
+  // lease), so runtimes that never lease anything never pay for a wheel;
+  // the weak capture keeps the discovery client from pinning the runtime.
+  if (bootstrap_disc && rt->cfg_.io.use_wheel) {
+    std::weak_ptr<Runtime> wrt = rt;
+    bootstrap_disc->set_wheel_source([wrt]() -> TimerWheelPtr {
+      auto r = wrt.lock();
+      return r ? r->timer_wheel() : nullptr;
+    });
+  }
   return rt;
 }
 
@@ -82,6 +95,8 @@ ReactorPtr Runtime::reactor() {
     opts.workers = cfg_.io.reactor_workers;
     opts.batch_size = cfg_.io.rx_batch;
     opts.metrics = cfg_.metrics;
+    opts.wheel_tick = cfg_.io.wheel_tick;
+    opts.wheel_slots = cfg_.io.wheel_slots;
     auto r = Reactor::create(opts);
     if (!r.ok()) {
       reactor_failed_ = true;  // callers fall back to demux threads
@@ -92,17 +107,40 @@ ReactorPtr Runtime::reactor() {
   return reactor_;
 }
 
+TimerWheelPtr Runtime::timer_wheel() {
+  if (!cfg_.io.use_wheel) return nullptr;
+  // Prefer the reactor's wheel: one tick thread serves the whole
+  // datapath. (reactor() takes reactor_mu_, so call it unlocked.)
+  if (auto r = reactor()) {
+    if (auto w = r->wheel()) return w;
+  }
+  std::lock_guard<std::mutex> lk(reactor_mu_);
+  if (!wheel_) {
+    TimerWheel::Options opts;
+    opts.tick = cfg_.io.wheel_tick;
+    opts.slots = cfg_.io.wheel_slots;
+    opts.metrics = cfg_.metrics;
+    wheel_ = TimerWheel::create(opts);
+    attach_timer_wheel_provider(*cfg_.metrics, wheel_);
+  }
+  return wheel_;
+}
+
 // Out of line: stop the controller's watch/sweep thread before cfg_
 // (and with it the discovery handle) is torn down; then stop the
-// reactor so no handler runs against a dying runtime.
+// reactor (and its timer wheel) so no handler runs against a dying
+// runtime.
 Runtime::~Runtime() {
   transitions_->stop();
   ReactorPtr reactor;
+  TimerWheelPtr wheel;
   {
     std::lock_guard<std::mutex> lk(reactor_mu_);
     reactor = std::move(reactor_);
+    wheel = std::move(wheel_);
   }
   if (reactor) reactor->shutdown();
+  if (wheel) wheel->stop();
 }
 
 Result<void> Runtime::register_chunnel(ChunnelImplPtr impl) {

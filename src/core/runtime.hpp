@@ -40,6 +40,16 @@ struct IoOptions {
   bool use_reactor = true;
   int reactor_workers = 2;
   size_t rx_batch = 32;  // datagrams per recv_batch / handler call
+
+  // Timer wheel (io/timer_wheel.hpp): when true, per-connection
+  // keepalive beats, dead-peer deadlines, and discovery lease
+  // heartbeats arm entries on one shared wheel instead of spawning a
+  // thread per connection — the difference between 100k idle
+  // connections costing 100k parked threads and costing one tick
+  // thread. Disable to fall back to the per-connection-thread path.
+  bool use_wheel = true;
+  Duration wheel_tick = ms(10);
+  size_t wheel_slots = 512;
 };
 
 // Control-plane recovery knobs (src/control/ replicas and the
@@ -182,6 +192,13 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
   // then fall back to thread-per-transport demux).
   ReactorPtr reactor();
 
+  // Shared timer wheel for connection liveness deadlines. Prefers the
+  // reactor's wheel (one tick thread for the whole datapath); falls
+  // back to a standalone wheel when the reactor is disabled or failed.
+  // Null when IoOptions.use_wheel is false — callers then revert to the
+  // per-connection thread path.
+  TimerWheelPtr timer_wheel();
+
   // Per-hop streaming latency histograms, recorded by every traced
   // connection stack (see trace/hop_stats.hpp). Never null.
   const HopStatsPtr& hop_stats() const { return hop_stats_; }
@@ -203,6 +220,7 @@ class Runtime : public std::enable_shared_from_this<Runtime> {
   std::mutex reactor_mu_;
   ReactorPtr reactor_;        // guarded by reactor_mu_
   bool reactor_failed_ = false;
+  TimerWheelPtr wheel_;       // standalone fallback; guarded by reactor_mu_
 };
 
 // Returns a process-unique random identifier (hex).

@@ -106,6 +106,29 @@ void Reactor::shutdown() {
     if (w.joinable()) w.join();
   for (auto& reg : regs)
     if (reg->puller.joinable()) reg->puller.join();
+  TimerWheelPtr wheel;
+  {
+    std::lock_guard<std::mutex> lk(wheel_mu_);
+    wheel = std::move(wheel_);
+  }
+  if (wheel) wheel->stop();
+}
+
+TimerWheelPtr Reactor::wheel() {
+  std::lock_guard<std::mutex> lk(wheel_mu_);
+  if (!wheel_) {
+    {
+      std::lock_guard<std::mutex> slk(mu_);
+      if (stopping_) return nullptr;
+    }
+    TimerWheel::Options wopts;
+    wopts.tick = opts_.wheel_tick;
+    wopts.slots = opts_.wheel_slots;
+    wopts.metrics = opts_.metrics;
+    wheel_ = TimerWheel::create(wopts);
+    if (opts_.metrics) attach_timer_wheel_provider(*opts_.metrics, wheel_);
+  }
+  return wheel_;
 }
 
 Reactor::Stats Reactor::stats() const {

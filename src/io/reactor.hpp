@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "io/batch.hpp"
+#include "io/timer_wheel.hpp"
 #include "net/fd_util.hpp"
 #include "trace/metrics.hpp"
 
@@ -32,6 +33,8 @@ class Reactor {
     int workers = 2;         // epoll worker threads
     size_t batch_size = 32;  // rx slots per registration / handler call
     MetricsPtr metrics;      // optional io.reactor.* counters
+    Duration wheel_tick = ms(10);  // timer wheel granularity (wheel())
+    size_t wheel_slots = 512;      // timer wheel slot count
   };
 
   // Called with a borrowed batch: the datagrams (and their pooled
@@ -56,8 +59,14 @@ class Reactor {
   void remove(uint64_t id);
 
   // Retires every registration and joins all threads. Idempotent; called
-  // by the destructor.
+  // by the destructor. Also stops the timer wheel, if one was created.
   void shutdown();
+
+  // The reactor's timer wheel, created lazily on first call and driven
+  // by its own tick thread for the reactor's lifetime (stopped in
+  // shutdown()). This is where per-connection keepalive/lease deadlines
+  // live, so 100k idle connections cost one tick thread, not 100k.
+  TimerWheelPtr wheel();
 
   struct Stats {
     uint64_t batches = 0;    // handler invocations
@@ -97,6 +106,9 @@ class Reactor {
   std::unordered_map<uint64_t, RegPtr> regs_;
   Stats stats_;  // guarded by mu_
   std::vector<std::thread> workers_;
+
+  std::mutex wheel_mu_;
+  TimerWheelPtr wheel_;  // guarded by wheel_mu_
 };
 
 using ReactorPtr = std::shared_ptr<Reactor>;

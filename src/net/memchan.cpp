@@ -67,10 +67,17 @@ Result<TransportPtr> MemNetwork::bind(const Addr& addr) {
   std::lock_guard<std::mutex> lk(mu_);
   Addr bound = addr;
   if (bound.port == 0) {
-    do {
+    // ~25k ephemeral ports per host. A full range must fail, not spin:
+    // the connection-scale tests bind tens of thousands of clients and
+    // an exhausted host used to hang here scanning forever.
+    for (uint32_t tried = 0;; tried++) {
+      if (tried > 65535u - 40000u)
+        return err(Errc::resource_exhausted,
+                   "mem ephemeral ports exhausted on " + bound.host);
       bound.port = next_ephemeral_++;
       if (next_ephemeral_ == 0) next_ephemeral_ = 40000;
-    } while (endpoints_.count(bound));
+      if (!endpoints_.count(bound)) break;
+    }
   } else if (endpoints_.count(bound)) {
     return err(Errc::already_exists, "mem addr in use: " + bound.to_string());
   }
