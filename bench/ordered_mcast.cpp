@@ -41,7 +41,7 @@ McastResult run(bool use_switch, int ops) {
 
   std::vector<Addr> members = {Addr::sim("r0", 7000), Addr::sim("r1", 7000),
                                Addr::sim("r2", 7000)};
-  std::unique_ptr<SimSwitch> sw;
+  std::shared_ptr<SimSwitch> sw;
   std::unique_ptr<SoftwareSequencer> soft;
   std::shared_ptr<Runtime> seq_rt;
   if (use_switch) {

@@ -47,7 +47,7 @@ int main() {
                                Addr::sim("replica1", 7000),
                                Addr::sim("replica2", 7000)};
 
-  std::unique_ptr<SimSwitch> sw;
+  std::shared_ptr<SimSwitch> sw;
   std::unique_ptr<SoftwareSequencer> soft;
   std::shared_ptr<Runtime> seq_rt;
   if (use_switch) {

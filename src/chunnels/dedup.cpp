@@ -82,6 +82,9 @@ DedupChunnel::DedupChunnel(DedupOptions opts) : opts_(opts) {
   info_.scope = Scope::application;
   info_.endpoints = EndpointConstraint::both;
   info_.priority = 0;
+  // Offload synthesis (src/synth/): the seen-window duplicate check is
+  // compilable into a switch match-action stage.
+  info_.props["synth.pattern"] = "dedup";
 }
 
 Result<ConnPtr> DedupChunnel::wrap(ConnPtr inner, WrapContext& ctx) {

@@ -61,6 +61,9 @@ FrameChunnel::FrameChunnel() {
   // The optimizer may move framing across encryption and reliability
   // (framing bytes are opaque to both).
   info_.props["commutes_with"] = "encrypt,tcpish,reliable";
+  // Offload synthesis (src/synth/): the fixed header + length varint is
+  // parseable (and strippable) by a compiled program.
+  info_.props["synth.pattern"] = "frame";
 }
 
 Result<ConnPtr> FrameChunnel::wrap(ConnPtr inner, WrapContext& ctx) {

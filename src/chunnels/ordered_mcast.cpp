@@ -405,6 +405,9 @@ SoftwareOrderedMcastChunnel::SoftwareOrderedMcastChunnel()
   info_.priority = 5;
   // Usable only against a running, discovery-advertised sequencer.
   info_.factory_only = true;
+  // Offload synthesis (src/synth/): the sequencing duty can move into a
+  // switch sequencer slot (stamp + forward to the group).
+  info_.props["synth.pattern"] = "mcast_seq";
 }
 
 // --- software sequencer ---
@@ -555,6 +558,7 @@ Result<void> SoftwareSequencer::register_with(DiscoveryClient& discovery,
   info.props["sequencer_addr"] = addr_.to_string();
   info.props["sequencer"] = "software";
   info.props["instance"] = instance;
+  info.props["synth.pattern"] = "mcast_seq";
   return discovery.register_impl(info);
 }
 

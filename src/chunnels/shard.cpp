@@ -99,6 +99,13 @@ class ShardClientConnection final : public Connection {
   }
 
   Result<Msg> recv(Deadline deadline) override {
+    // The negotiated control connection carries no application data on
+    // the shard path (backends reply straight to this transport), but
+    // server-initiated live-transition offers do arrive on it, and they
+    // are only processed inside its recv. Drain it without blocking so a
+    // renegotiation onto a better dispatcher (e.g. a synthesized switch
+    // program) can reach an established shard connection.
+    (void)inner_->recv(Deadline::after(ms(0)));
     BERTHA_TRY_ASSIGN(pkt, transport_->recv(deadline));
     Msg m;
     m.src = std::move(pkt.src);
@@ -154,6 +161,9 @@ ShardClientPushChunnel::ShardClientPushChunnel() {
   info_.scope = Scope::application;
   info_.endpoints = EndpointConstraint::client;
   info_.priority = 5;
+  // Offload synthesis (src/synth/): this stage's wire format is the
+  // shard frame, recognizable and steerable by a compiled program.
+  info_.props["synth.pattern"] = "shard";
 }
 
 Result<ConnPtr> ShardClientPushChunnel::wrap(ConnPtr inner, WrapContext& ctx) {
@@ -170,6 +180,7 @@ ShardXdpChunnel::ShardXdpChunnel() {
   info_.scope = Scope::host;
   info_.endpoints = EndpointConstraint::server;
   info_.priority = 10;
+  info_.props["synth.pattern"] = "shard";
 }
 
 ShardXdpChunnel::~ShardXdpChunnel() { teardown(); }
@@ -296,6 +307,7 @@ ShardFallbackChunnel::ShardFallbackChunnel() {
   info_.scope = Scope::application;
   info_.endpoints = EndpointConstraint::server;
   info_.priority = 0;
+  info_.props["synth.pattern"] = "shard";
 }
 
 ShardFallbackChunnel::~ShardFallbackChunnel() { teardown(); }

@@ -1261,11 +1261,14 @@ Result<TransitionHost::Begin> Listener::Impl::begin_transition(
   SpanScope offer_scope(offer_span);
 
   // Re-run selection with the incumbent seeded in (renegotiate_server
-  // does not touch slots the connection already holds).
+  // does not touch slots the connection already holds). The runtime's
+  // optimizer rides along so a mid-life stage rewrite — a merged offload
+  // or a synthesized switch program appearing after establishment — can
+  // restage the chain before cutover.
   auto reneg_r = renegotiate_server(
       chain_, current, cur_allocs, hello, rt_->registry(), rt_->discovery(),
       *rt_->config().policy, advertisements_snapshot(), rt_->config().host_id,
-      banned);
+      banned, rt_->config().optimizer.get());
   if (!reneg_r.ok()) {
     abandon();
     return reneg_r.error();
@@ -1460,6 +1463,14 @@ void Listener::Impl::do_cutover(const std::shared_ptr<TransitionRecord>& rec) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (rec->phase != TransitionRecord::Phase::awaiting_ack) return;
+    // An ack racing the sweep's give-up: rollback() may have erased the
+    // record (and released its staged slot allocations) between this
+    // thread's phase check in handle_transition_ack and here. Cutting
+    // over anyway would resurrect freed reservations into the meta
+    // entry — a staged-but-rolled-back transition must stay rolled
+    // back, its slots released exactly once.
+    auto tit = transitions_.find(rec->old_token);
+    if (tit == transitions_.end() || tit->second != rec) return;
     rec->phase = TransitionRecord::Phase::draining;
     rec->drain_deadline =
         Deadline::after(rt_->transitions().tuning().drain_timeout);

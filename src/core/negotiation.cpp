@@ -259,26 +259,8 @@ Result<NegotiationResult> select_chain(
 // props chunnel authors declare on their implementations.
 std::vector<OptStage> to_opt_stages(const NegotiationResult& bound) {
   std::vector<OptStage> stages;
-  for (const auto& node : bound.chain) {
-    OptStage s;
-    s.type = node.type;
-    s.offloadable = node.args.get_or("offloadable", "false") == "true";
-    char* end = nullptr;
-    std::string sf = node.args.get_or("size_factor", "1");
-    double f = std::strtod(sf.c_str(), &end);
-    s.size_factor = (end && *end == '\0' && f > 0) ? f : 1.0;
-    std::string csv = node.args.get_or("commutes_with", "");
-    size_t start = 0;
-    while (start < csv.size()) {
-      size_t comma = csv.find(',', start);
-      std::string item = csv.substr(
-          start, comma == std::string::npos ? std::string::npos : comma - start);
-      if (!item.empty()) s.commutes_with.insert(item);
-      if (comma == std::string::npos) break;
-      start = comma + 1;
-    }
-    stages.push_back(std::move(s));
-  }
+  for (auto& info : describe_stages(bound.chain))
+    stages.push_back(std::move(info.opt));
   return stages;
 }
 
@@ -314,6 +296,36 @@ std::vector<ChunnelSpec> specs_from_plan(
 }
 
 }  // namespace
+
+std::vector<StageInfo> describe_stages(
+    const std::vector<NegotiatedNode>& chain) {
+  std::vector<StageInfo> out;
+  out.reserve(chain.size());
+  for (const auto& node : chain) {
+    StageInfo s;
+    s.type = node.type;
+    s.impl_name = node.impl_name;
+    s.args = node.args;
+    s.opt.type = node.type;
+    s.opt.offloadable = node.args.get_or("offloadable", "false") == "true";
+    char* end = nullptr;
+    std::string sf = node.args.get_or("size_factor", "1");
+    double f = std::strtod(sf.c_str(), &end);
+    s.opt.size_factor = (end && *end == '\0' && f > 0) ? f : 1.0;
+    std::string csv = node.args.get_or("commutes_with", "");
+    size_t start = 0;
+    while (start < csv.size()) {
+      size_t comma = csv.find(',', start);
+      std::string item = csv.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      if (!item.empty()) s.opt.commutes_with.insert(item);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
 
 Result<NegotiationResult> negotiate_server(
     const std::vector<ChunnelSpec>& server_chain, const HelloMsg& hello,
@@ -380,16 +392,32 @@ Result<RenegotiationResult> renegotiate_server(
     const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
     const std::map<std::string, ChunnelArgs>& advertisements,
     const std::string& server_host_id,
-    const std::vector<std::pair<std::string, std::string>>& banned) {
+    const std::vector<std::pair<std::string, std::string>>& banned,
+    const DagOptimizer* optimizer) {
   RenegotiationResult unchanged;
   unchanged.chain = current;
   unchanged.kept_allocs = current_allocs;
 
-  // Only positionally-matching chains transition; an optimizer-rewritten
-  // pipeline keeps its binding for life (ROADMAP follow-on).
-  if (current.size() != server_chain.size()) return unchanged;
-  for (size_t i = 0; i < current.size(); i++)
-    if (current[i].type != server_chain[i].type) return unchanged;
+  bool positional = current.size() == server_chain.size();
+  for (size_t i = 0; positional && i < current.size(); i++)
+    positional = current[i].type == server_chain[i].type;
+
+  // An optimizer-rewritten incumbent chain: without an optimizer the
+  // binding is kept for life (the pre-synthesis behavior); with one,
+  // rebuild positional specs for the *current* stage sequence from the
+  // original server specs (a merged stage re-absorbs the args of the
+  // originals it replaced) so the rewritten pipeline can still swap
+  // implementations position by position.
+  std::vector<ChunnelSpec> derived;
+  const std::vector<ChunnelSpec>* specs = &server_chain;
+  if (!positional) {
+    if (!optimizer) return unchanged;
+    std::vector<OptStage> cur_stages;
+    for (auto& info : describe_stages(current))
+      cur_stages.push_back(std::move(info.opt));
+    derived = specs_from_plan(server_chain, cur_stages);
+    specs = &derived;
+  }
 
   const bool same_host = hello.host_id == server_host_id;
   auto is_banned = [&](const std::string& type, const std::string& name) {
@@ -404,8 +432,51 @@ Result<RenegotiationResult> renegotiate_server(
     result.new_allocs.clear();
   };
 
-  for (size_t i = 0; i < server_chain.size(); i++) {
-    const ChunnelSpec& spec = server_chain[i];
+  // Binds one spec with no incumbent — used for stages the optimizer
+  // introduces mid-life (a merged offload that only now has a usable
+  // implementation). Returns the node and the reservation it made
+  // (0 = the chosen implementation needed none).
+  auto select_fresh = [&](const ChunnelSpec& spec)
+      -> Result<std::pair<NegotiatedNode, uint64_t>> {
+    static const std::vector<ImplInfo> kNoOffers;
+    const std::vector<ImplInfo>* offered = &kNoOffers;
+    if (auto it = hello.offers.find(spec.type); it != hello.offers.end())
+      offered = &it->second;
+    std::vector<ImplInfo> network_entries;
+    if (auto q = discovery.query(spec.type); q.ok())
+      network_entries = std::move(q).value();
+    else
+      result.degraded = true;
+    if (discovery.degraded()) result.degraded = true;
+    auto candidates =
+        rank_candidates(spec, *offered, registry.infos_for(spec.type),
+                        network_entries, policy, same_host);
+    for (const auto& c : candidates) {
+      if (is_banned(spec.type, c.info.name)) continue;
+      uint64_t alloc_id = 0;
+      if (!c.info.resources.empty()) {
+        auto alloc = discovery.acquire(c.info.resources);
+        if (!alloc.ok()) {
+          BLOG(debug, "renegotiate")
+              << c.info.name << " skipped: " << alloc.error().to_string();
+          continue;
+        }
+        alloc_id = alloc.value();
+      }
+      NegotiatedNode node;
+      node.type = spec.type;
+      node.impl_name = c.info.name;
+      node.args = spec.args.merged_with(ChunnelArgs(c.info.props));
+      if (auto it = advertisements.find(spec.type); it != advertisements.end())
+        node.args = node.args.merged_with(it->second);
+      return std::make_pair(std::move(node), alloc_id);
+    }
+    return err(Errc::incompatible,
+               "no usable implementation for chunnel type '" + spec.type + "'");
+  };
+
+  for (size_t i = 0; i < specs->size(); i++) {
+    const ChunnelSpec& spec = (*specs)[i];
     const NegotiatedNode& cur = current[i];
 
     static const std::vector<ImplInfo> kNone;
@@ -474,6 +545,81 @@ Result<RenegotiationResult> renegotiate_server(
     result.chain.push_back(std::move(node));
     for (const auto& a : current_allocs)
       if (a.node == i) result.retired_allocs.push_back(a.alloc_id);
+  }
+
+  // Transition-aware §6 re-run: a stage-sequence rewrite that only
+  // became possible mid-life (a merged offload registered, a synthesized
+  // program subsuming a prefix) restages the chain before the offer goes
+  // out. Surviving stages carry their nodes and slots over; introduced
+  // stages bind fresh; reservations acquired this run for stages the
+  // rewrite drops are released immediately (superseded — they never
+  // carried traffic) while dropped incumbents' slots retire under the
+  // drain-before-release invariant.
+  if (optimizer) {
+    std::vector<OptStage> stages;
+    for (auto& info : describe_stages(result.chain))
+      stages.push_back(std::move(info.opt));
+    auto plan_r = optimizer->optimize(std::move(stages));
+    if (plan_r.ok()) {
+      const PipelinePlan& plan = plan_r.value();
+      bool rewritten = plan.stages.size() != result.chain.size();
+      for (size_t i = 0; !rewritten && i < plan.stages.size(); i++)
+        rewritten = plan.stages[i].type != result.chain[i].type;
+      if (rewritten) {
+        auto rewritten_specs = specs_from_plan(*specs, plan.stages);
+        RenegotiationResult out;
+        out.degraded = result.degraded;
+        out.retired_allocs = result.retired_allocs;
+        std::vector<bool> used(result.chain.size(), false);
+        std::vector<uint64_t> staged_here;  // rolled back if the restage aborts
+        bool aborted = false;
+        for (size_t j = 0; j < plan.stages.size(); j++) {
+          size_t i = result.chain.size();
+          for (size_t k = 0; k < result.chain.size(); k++)
+            if (!used[k] && result.chain[k].type == plan.stages[j].type) {
+              i = k;
+              break;
+            }
+          if (i < result.chain.size()) {  // surviving stage: carry over
+            used[i] = true;
+            out.chain.push_back(result.chain[i]);
+            for (const auto& a : result.kept_allocs)
+              if (a.node == i) out.kept_allocs.push_back({j, a.alloc_id});
+            for (const auto& a : result.new_allocs)
+              if (a.node == i) out.new_allocs.push_back({j, a.alloc_id});
+            continue;
+          }
+          auto fresh = select_fresh(rewritten_specs[j]);
+          if (!fresh.ok()) {  // rewrite unusable: keep the phase-1 chain
+            BLOG(info, "renegotiate")
+                << "restage abandoned: " << fresh.error().to_string();
+            aborted = true;
+            break;
+          }
+          auto [node, alloc_id] = std::move(fresh).value();
+          out.chain.push_back(std::move(node));
+          if (alloc_id != 0) {
+            out.new_allocs.push_back({j, alloc_id});
+            staged_here.push_back(alloc_id);
+          }
+        }
+        if (aborted) {
+          for (uint64_t id : staged_here) (void)discovery.release(id);
+        } else {
+          for (size_t i = 0; i < result.chain.size(); i++) {
+            if (used[i]) continue;
+            for (const auto& a : result.new_allocs)
+              if (a.node == i) (void)discovery.release(a.alloc_id);
+            for (const auto& a : result.kept_allocs)
+              if (a.node == i) out.retired_allocs.push_back(a.alloc_id);
+          }
+          for (const auto& what : plan.applied)
+            BLOG(info, "renegotiate") << "restage: " << what;
+          out.changed = true;
+          result = std::move(out);
+        }
+      }
+    }
   }
 
   if (!result.changed) return unchanged;

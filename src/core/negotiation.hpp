@@ -121,6 +121,22 @@ struct NegotiationResult {
   bool degraded = false;
 };
 
+// Post-binding stage description (§6 "StageInfo"): the bound chain with
+// each node's optimizer-relevant props parsed out of its merged args.
+// This is the contract between negotiation, the DAG optimizer, and the
+// offload synthesizer (src/synth/): anything that wants to reason about
+// a negotiated pipeline — cost it, reorder it, or compile a prefix of it
+// into a switch program — consumes this list instead of re-parsing args.
+struct StageInfo {
+  std::string type;
+  std::string impl_name;
+  ChunnelArgs args;  // the merged args the implementation was bound with
+  OptStage opt;      // offloadable / size_factor / commutes_with
+};
+
+std::vector<StageInfo> describe_stages(
+    const std::vector<NegotiatedNode>& chain);
+
 // Server-side selection. `advertisements` are per-type args contributed
 // by chunnel on_listen() hooks (e.g. the fast path's unix socket addr).
 // When `optimizer` is non-null the §6 DAG rewrites run after a first
@@ -163,10 +179,21 @@ struct RenegotiationResult {
 // (type, impl name) pairs are excluded outright, which is how revocation
 // forces a fallback even while the registry still has the factory.
 // `current_allocs` are the connection's live reservations by chain
-// position. If the current chain's types no longer match `server_chain`
-// (e.g. the DAG optimizer rewrote it), returns unchanged — transitions
-// of rewritten pipelines are a ROADMAP follow-on. On error, any
-// newly-acquired slots have been released.
+// position.
+//
+// Optimizer-rewritten pipelines: without `optimizer`, a current chain
+// whose types no longer match `server_chain` positionally returns
+// unchanged (the pre-synthesis limitation). With `optimizer`, selection
+// falls back to specs derived from the *current* chain (so a rewritten
+// pipeline can still swap implementations position by position), and
+// after selection the §6 optimizer re-runs over the candidate chain: if
+// it proposes a different stage sequence (e.g. a merged offload became
+// available mid-life, or a synthesized program subsumes a prefix), the
+// staged chain is rewritten before the offer goes out. Reservations
+// acquired for stages the rewrite drops are released immediately
+// (superseded — they never carried traffic); incumbent slots of dropped
+// stages are retired under the drain-before-release invariant. On
+// error, any newly-acquired slots have been released.
 Result<RenegotiationResult> renegotiate_server(
     const std::vector<ChunnelSpec>& server_chain,
     const std::vector<NegotiatedNode>& current,
@@ -174,7 +201,8 @@ Result<RenegotiationResult> renegotiate_server(
     const Registry& registry, DiscoveryClient& discovery, const Policy& policy,
     const std::map<std::string, ChunnelArgs>& advertisements,
     const std::string& server_host_id,
-    const std::vector<std::pair<std::string, std::string>>& banned = {});
+    const std::vector<std::pair<std::string, std::string>>& banned = {},
+    const DagOptimizer* optimizer = nullptr);
 
 // Pure candidate assembly/filter/rank (exposed for tests and the
 // scheduling bench): returns candidates for one node ordered best-first.

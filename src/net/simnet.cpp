@@ -145,15 +145,28 @@ void SimNet::remove_group(const std::string& group, uint16_t port) {
 }
 
 Result<void> SimNet::install_program(
-    const Addr& vip, std::function<Result<Addr>(BytesView)> steer) {
+    const Addr& vip, std::function<Result<ProgramAction>(BytesView)> act) {
   if (vip.kind != AddrKind::sim)
     return err(Errc::invalid_argument, "program vip must be a sim addr");
-  if (!steer) return err(Errc::invalid_argument, "null steering program");
+  if (!act) return err(Errc::invalid_argument, "null steering program");
   std::lock_guard<std::mutex> lk(mu_);
   if (programs_.count(vip))
     return err(Errc::already_exists, "program exists at " + vip.to_string());
-  programs_[vip] = Program{std::move(steer), 0};
+  programs_[vip] = Program{std::move(act), 0};
   return ok();
+}
+
+Result<void> SimNet::install_program(
+    const Addr& vip, std::function<Result<Addr>(BytesView)> steer) {
+  if (!steer) return err(Errc::invalid_argument, "null steering program");
+  return install_program(
+      vip, std::function<Result<ProgramAction>(BytesView)>(
+               [steer = std::move(steer)](BytesView b) -> Result<ProgramAction> {
+                 BERTHA_TRY_ASSIGN(dst, steer(b));
+                 ProgramAction a;
+                 a.dst = std::move(dst);
+                 return a;
+               }));
 }
 
 void SimNet::remove_program(const Addr& vip) {
@@ -209,16 +222,23 @@ Result<void> SimNet::send(const Addr& from, const Addr& to, BytesView payload) {
   std::lock_guard<std::mutex> lk(mu_);
   if (stopping_) return err(Errc::cancelled, "simnet shut down");
 
-  // Match-action program: the "switch" steers the packet in transit.
+  // Match-action program: the "switch" steers (and possibly rewrites)
+  // the packet in transit.
   Addr dst = to;
+  Bytes rewritten;
   if (auto pit = programs_.find(dst); pit != programs_.end()) {
-    auto steered = pit->second.steer(payload);
-    if (!steered.ok()) {
-      dropped_++;  // the program rejected the packet
+    auto acted = pit->second.act(payload);
+    if (!acted.ok()) {
+      dropped_++;  // the program rejected the packet (table miss / dup)
       return ok();
     }
     pit->second.hits++;
-    dst = std::move(steered).value();
+    ProgramAction a = std::move(acted).value();
+    dst = std::move(a.dst);
+    if (a.rewrite) {
+      rewritten = std::move(a.payload);
+      payload = BytesView(rewritten);
+    }
   }
 
   // Anycast: rewrite destination to the nearest advertiser.

@@ -73,12 +73,26 @@ class SimNet : public std::enable_shared_from_this<SimNet> {
   void remove_group(const std::string& group, uint16_t port);
 
   // --- Match-action programs (SimSwitch P4 model) ---
+  // What a program decides for one packet: where it goes next and,
+  // optionally, a rewritten payload (header strip, sequencer stamp) —
+  // the switch modifying the packet in transit, still with no extra hop.
+  struct ProgramAction {
+    Addr dst;
+    bool rewrite = false;
+    Bytes payload;  // replaces the packet bytes when rewrite is set
+  };
+
   // Installs a steering program on a virtual address: packets sent to
-  // `vip` are redirected, in transit and with no extra hop, to the
-  // address the program computes from the payload (the P4 match-action
-  // model; used for in-switch sharding). The program runs on the
-  // delivery path under SimNet's lock: it must be pure computation and
-  // must not call back into SimNet. Returning an error drops the packet.
+  // `vip` are redirected, in transit and with no extra hop, per the
+  // action the program computes from the payload (the P4 match-action
+  // model; used for in-switch sharding and synthesized offloads). The
+  // program runs on the delivery path under SimNet's lock: it must be
+  // pure computation and must not call back into SimNet. Returning an
+  // error drops the packet (a table miss, never a mis-steer).
+  Result<void> install_program(
+      const Addr& vip, std::function<Result<ProgramAction>(BytesView)> act);
+  // Steer-only convenience: the original packet is forwarded unmodified
+  // to the address `steer` picks.
   Result<void> install_program(const Addr& vip,
                                std::function<Result<Addr>(BytesView)> steer);
   void remove_program(const Addr& vip);
@@ -156,7 +170,7 @@ class SimNet : public std::enable_shared_from_this<SimNet> {
   std::unordered_map<Addr, Group, AddrHash> groups_;
   std::unordered_map<Addr, std::vector<AnycastEntry>, AddrHash> anycast_;
   struct Program {
-    std::function<Result<Addr>(BytesView)> steer;
+    std::function<Result<ProgramAction>(BytesView)> act;
     uint64_t hits = 0;
   };
   std::unordered_map<Addr, Program, AddrHash> programs_;

@@ -1,0 +1,132 @@
+#include "sim/ir_exec.hpp"
+
+#include "util/hash.hpp"
+
+namespace bertha {
+
+Result<std::shared_ptr<CompiledProgram>> CompiledProgram::compile(
+    const ProgramIR& ir) {
+  BERTHA_TRY(validate_program(ir));
+  auto prog = std::shared_ptr<CompiledProgram>(new CompiledProgram(ir));
+  prog->table_.reserve(ir.table.size());
+  for (const auto& uri : ir.table) {
+    BERTHA_TRY_ASSIGN(addr, Addr::parse(uri));
+    prog->table_.push_back(std::move(addr));
+  }
+  for (const auto& in : ir.instrs)
+    if (in.op == IrOp::drop_dup) prog->dedup_window_ = in.a;
+  prog->stats_.next_seq = ir.initial_seq;
+  return prog;
+}
+
+std::function<Result<SimNet::ProgramAction>(BytesView)>
+CompiledProgram::action() {
+  auto self = shared_from_this();
+  return [self](BytesView b) { return self->run(b); };
+}
+
+ProgramStats CompiledProgram::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+Result<SimNet::ProgramAction> CompiledProgram::run(BytesView payload) {
+  Reader r(payload);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto miss = [&](const char* why) -> Result<SimNet::ProgramAction> {
+    stats_.missed++;
+    return err(Errc::protocol_error, why);
+  };
+
+  size_t strip_at = 0;  // bytes [0, strip_at) are shed on rewrite
+  bool strip = false;
+  bool stamp = false;
+  const Addr* dst = nullptr;
+
+  for (const IrInstr& in : ir_.instrs) {
+    switch (in.op) {
+      case IrOp::match_magic: {
+        auto m0 = r.get_u8();
+        auto m1 = r.get_u8();
+        if (!m0.ok() || !m1.ok() || m0.value() != in.a || m1.value() != in.b)
+          return miss("program: magic mismatch");
+        break;
+      }
+      case IrOp::skip_fixed: {
+        auto skipped = r.get_raw(in.a);
+        if (!skipped.ok()) return miss("program: truncated fixed header");
+        break;
+      }
+      case IrOp::skip_varint: {
+        if (!r.get_varint().ok()) return miss("program: bad varint");
+        break;
+      }
+      case IrOp::skip_varint_body: {
+        auto len = r.get_varint();
+        if (!len.ok()) return miss("program: bad length varint");
+        if (!r.get_raw(len.value()).ok())
+          return miss("program: truncated body");
+        break;
+      }
+      case IrOp::hash_steer: {
+        BytesView rest = r.rest();
+        // Short field falls back to backend 0, matching the software
+        // dispatcher's ShardArgs::pick.
+        size_t idx = 0;
+        if (rest.size() >= in.a + in.b && table_.size() > 1)
+          idx = static_cast<size_t>(fnv1a64(rest.subspan(in.a, in.b)) %
+                                    table_.size());
+        dst = &table_[idx];
+        break;
+      }
+      case IrOp::drop_dup: {
+        auto id = r.get_varint();
+        if (!id.ok()) return miss("program: bad msg-id");
+        if (seen_.count(id.value())) {
+          stats_.dups++;
+          return err(Errc::protocol_error, "program: duplicate");
+        }
+        if (seen_order_.size() < dedup_window_) {
+          seen_order_.push_back(id.value());
+        } else {
+          // Ring eviction: forget the oldest id (bounded switch memory).
+          seen_.erase(seen_order_[seen_next_]);
+          seen_order_[seen_next_] = id.value();
+          seen_next_ = (seen_next_ + 1) % seen_order_.size();
+        }
+        seen_.insert(id.value());
+        break;
+      }
+      case IrOp::strip_to_cursor: {
+        strip_at = payload.size() - r.remaining();
+        strip = true;
+        break;
+      }
+      case IrOp::prepend_seq: {
+        stamp = true;
+        break;
+      }
+      case IrOp::forward: {
+        dst = &table_[in.a];
+        break;
+      }
+    }
+  }
+
+  // validate_program guarantees the final instruction steered.
+  if (!dst) return miss("program: no destination");
+  stats_.matched++;
+
+  SimNet::ProgramAction act;
+  act.dst = *dst;
+  if (strip || stamp) {
+    act.rewrite = true;
+    BytesView body = strip ? payload.subspan(strip_at) : payload;
+    act.payload.reserve(body.size() + (stamp ? 8 : 0));
+    if (stamp) put_u64_le(act.payload, stats_.next_seq++);
+    append(act.payload, body);
+  }
+  return act;
+}
+
+}  // namespace bertha

@@ -1,0 +1,56 @@
+// ProgramIR execution for the SimSwitch (DESIGN.md §11).
+//
+// compile_program turns a validated ProgramIR into the closure SimNet
+// runs on its delivery path. The closure is pure computation over one
+// datagram plus the small mutable state a real pipeline would keep in
+// registers: the dedup seen-window and the sequencer counter. It runs
+// under SimNet's lock (single delivery thread), never calls back into
+// SimNet, and answers with a ProgramAction or an error — an error is a
+// table miss or a duplicate and means "drop", never "mis-steer".
+#pragma once
+
+#include <unordered_set>
+
+#include "net/simnet.hpp"
+#include "synth/ir.hpp"
+
+namespace bertha {
+
+// Observable state of one running program (tests, metrics).
+struct ProgramStats {
+  uint64_t matched = 0;   // packets that parsed and were forwarded
+  uint64_t missed = 0;    // match failures (not this program's traffic)
+  uint64_t dups = 0;      // drop_dup suppressions
+  uint64_t next_seq = 0;  // sequencer programs: next stamp to assign
+};
+
+class CompiledProgram : public std::enable_shared_from_this<CompiledProgram> {
+ public:
+  // Validates + compiles. Table addresses are parsed here, so a program
+  // with an unparsable destination fails at install time, not per-packet.
+  static Result<std::shared_ptr<CompiledProgram>> compile(
+      const ProgramIR& ir);
+
+  // The closure to hand to SimNet::install_program. Holds a shared_ptr
+  // to this program, so the program outlives removal races.
+  std::function<Result<SimNet::ProgramAction>(BytesView)> action();
+
+  ProgramStats stats() const;
+  const ProgramIR& ir() const { return ir_; }
+
+ private:
+  explicit CompiledProgram(ProgramIR ir) : ir_(std::move(ir)) {}
+
+  Result<SimNet::ProgramAction> run(BytesView payload);
+
+  ProgramIR ir_;
+  std::vector<Addr> table_;
+  mutable std::mutex mu_;
+  ProgramStats stats_;                 // guarded by mu_
+  std::vector<uint64_t> seen_order_;   // dedup ring, guarded by mu_
+  size_t seen_next_ = 0;
+  std::unordered_set<uint64_t> seen_;  // guarded by mu_
+  uint64_t dedup_window_ = 0;
+};
+
+}  // namespace bertha

@@ -4,15 +4,16 @@
 
 namespace bertha {
 
-Result<std::unique_ptr<SimSwitch>> SimSwitch::create(
+Result<std::shared_ptr<SimSwitch>> SimSwitch::create(
     std::shared_ptr<SimNet> net, DiscoveryPtr discovery, Config cfg) {
   if (!net || !discovery)
     return err(Errc::invalid_argument, "SimSwitch needs a net and discovery");
-  auto sw = std::unique_ptr<SimSwitch>(
+  auto sw = std::shared_ptr<SimSwitch>(
       new SimSwitch(std::move(net), std::move(discovery), cfg));
   BERTHA_TRY(sw->discovery_->set_pool(sw->slot_pool(), cfg.sequencer_slots));
   BERTHA_TRY(sw->discovery_->set_pool(sw->match_action_pool(),
                                       cfg.match_action_slots));
+  BERTHA_TRY(sw->discovery_->set_pool(sw->flow_pool(), cfg.flow_entries));
   return sw;
 }
 
@@ -115,9 +116,103 @@ Result<void> SimSwitch::remove_match_action(const std::string& vip,
   return discovery_->release(alloc);
 }
 
+Result<Addr> SimSwitch::install_program(const ProgramIR& ir) {
+  // Compile before admission: a malformed program must not burn a slot.
+  BERTHA_TRY_ASSIGN(prog, CompiledProgram::compile(ir));
+  BERTHA_TRY_ASSIGN(vaddr, Addr::parse(ir.vip));
+  const std::string pool =
+      ir.slot == SlotKind::sequencer ? slot_pool() : match_action_pool();
+  BERTHA_TRY_ASSIGN(alloc, discovery_->acquire({ResourceReq{pool, 1}}));
+  auto installed = net_->install_program(vaddr, prog->action());
+  if (!installed.ok()) {
+    (void)discovery_->release(alloc);
+    return installed.error();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    programs_[vaddr] = ProgramEntry{alloc, std::move(prog)};
+  }
+  BLOG(info, "simswitch") << cfg_.name << " installed synthesized program "
+                          << to_string(ir);
+  return vaddr;
+}
+
+Result<void> SimSwitch::remove_program(const Addr& vip) {
+  uint64_t alloc = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = programs_.find(vip);
+    if (it == programs_.end())
+      return err(Errc::not_found, "no program at " + vip.to_string());
+    alloc = it->second.alloc;
+    programs_.erase(it);
+  }
+  net_->remove_program(vip);
+  return discovery_->release(alloc);
+}
+
+Result<ProgramStats> SimSwitch::program_stats(const Addr& vip) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = programs_.find(vip);
+  if (it == programs_.end())
+    return err(Errc::not_found, "no program at " + vip.to_string());
+  return it->second.prog->stats();
+}
+
+std::vector<Addr> SimSwitch::program_vips() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Addr> vips;
+  for (const auto& [vip, entry] : programs_) vips.push_back(vip);
+  for (const auto& [vip, alloc] : match_actions_) vips.push_back(vip);
+  return vips;
+}
+
 uint64_t SimSwitch::groups_installed() const {
   std::lock_guard<std::mutex> lk(mu_);
   return groups_.size();
+}
+
+uint64_t SimSwitch::sequencer_slots_used() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t used = groups_.size();
+  for (const auto& [vip, entry] : programs_)
+    if (entry.prog->ir().slot == SlotKind::sequencer) used++;
+  return used;
+}
+
+uint64_t SimSwitch::match_action_slots_used() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t used = match_actions_.size();
+  for (const auto& [vip, entry] : programs_)
+    if (entry.prog->ir().slot == SlotKind::match_action) used++;
+  return used;
+}
+
+void attach_simswitch_metrics_provider(MetricsRegistry& m,
+                                       std::shared_ptr<SimSwitch> sw) {
+  m.attach_provider(
+      "simswitch." + sw->name(), [sw](MetricsRegistry::Snapshot& snap) {
+        const std::string p = "simswitch." + sw->name() + ".";
+        snap.gauges[p + "sequencer_slots.used"] =
+            static_cast<double>(sw->sequencer_slots_used());
+        snap.gauges[p + "sequencer_slots.capacity"] =
+            static_cast<double>(sw->config().sequencer_slots);
+        snap.gauges[p + "match_action_slots.used"] =
+            static_cast<double>(sw->match_action_slots_used());
+        snap.gauges[p + "match_action_slots.capacity"] =
+            static_cast<double>(sw->config().match_action_slots);
+        for (const auto& vip : sw->program_vips()) {
+          snap.counters[p + "steered." + vip.to_string()] = sw->steered(vip);
+          auto stats = sw->program_stats(vip);
+          if (!stats.ok()) continue;
+          snap.counters[p + "program." + vip.to_string() + ".matched"] =
+              stats.value().matched;
+          snap.counters[p + "program." + vip.to_string() + ".missed"] =
+              stats.value().missed;
+          snap.counters[p + "program." + vip.to_string() + ".dups"] =
+              stats.value().dups;
+        }
+      });
 }
 
 }  // namespace bertha

@@ -4,11 +4,13 @@
 // Paxos that the ordered_mcast chunnel offloads to (paper §3.2,
 // "Network-Assisted Consensus"). The switch:
 //
-//  * owns a bounded number of sequencer program slots (the §6 scheduling
-//    example: "the switch only has capacity for one"),
+//  * owns a bounded number of sequencer and match-action program slots
+//    (the §6 scheduling example: "the switch only has capacity for one"),
 //  * installs hardware-sequenced multicast groups into a SimNet (the
 //    actual stamping happens in SimNet's delivery path, modeling the
 //    switch ASIC rewriting packets at line rate with no extra hop),
+//  * executes synthesized ProgramIR match-action programs (src/synth/)
+//    in those slots — the compiled form of negotiated chunnel prefixes,
 //  * advertises each installed group to the Bertha discovery service as
 //    an "ordered_mcast/switch" implementation with the group address in
 //    its props.
@@ -19,19 +21,28 @@
 
 #include "core/discovery.hpp"
 #include "net/simnet.hpp"
+#include "sim/ir_exec.hpp"
+#include "trace/metrics.hpp"
 
 namespace bertha {
 
-class SimSwitch {
+class SimSwitch : public std::enable_shared_from_this<SimSwitch> {
  public:
   struct Config {
     std::string name = "switch0";
     uint64_t sequencer_slots = 1;
     uint64_t match_action_slots = 4;
+    // Per-connection flow-table capacity. Implementations that steer on
+    // this switch (synthesized or hand-registered) list one flow entry
+    // in their ResourceReqs, so every negotiated binding reserves one —
+    // and every rolled-back or revoked binding must release it.
+    uint64_t flow_entries = 1024;
   };
 
-  // Creates the switch and its resource pool in the discovery service.
-  static Result<std::unique_ptr<SimSwitch>> create(
+  // Creates the switch and its resource pools in the discovery service.
+  // Shared ownership so metrics providers and offload handles can keep
+  // the switch alive while they reference its programs.
+  static Result<std::shared_ptr<SimSwitch>> create(
       std::shared_ptr<SimNet> net, DiscoveryPtr discovery, Config cfg);
 
   // Installs a hardware-sequenced multicast group, consuming one
@@ -59,18 +70,44 @@ class SimSwitch {
       const std::string& vip, uint16_t port,
       std::function<Result<Addr>(BytesView)> steer);
   Result<void> remove_match_action(const std::string& vip, uint16_t port);
+
+  // --- Synthesized programs (src/synth/, DESIGN.md §11) ---
+  // Installs a compiled ProgramIR at ir.vip, consuming one slot of the
+  // kind the program needs (match-action stage or the sequencer
+  // register). The program is validated and its destination table
+  // parsed before the slot is taken; on any failure the slot is
+  // released. Registration with discovery is the synthesizer's job
+  // (synth/offload.hpp), mirroring install_match_action.
+  Result<Addr> install_program(const ProgramIR& ir);
+  Result<void> remove_program(const Addr& vip);
+  // Execution counters of an installed ProgramIR (not_found otherwise).
+  Result<ProgramStats> program_stats(const Addr& vip) const;
+  // VIPs with a program attached (synthesized and hand-installed).
+  std::vector<Addr> program_vips() const;
+
   uint64_t steered(const Addr& vip) const { return net_->program_hits(vip); }
 
   const std::string& name() const { return cfg_.name; }
+  const Config& config() const { return cfg_; }
   std::string slot_pool() const { return cfg_.name + ".sequencer_slots"; }
   std::string match_action_pool() const {
     return cfg_.name + ".match_action_slots";
   }
+  std::string flow_pool() const { return cfg_.name + ".flow_entries"; }
   uint64_t groups_installed() const;
+  // Local slot occupancy (groups + hand-installed + synthesized), the
+  // switch's own view of what discovery's pool_in_use tracks.
+  uint64_t sequencer_slots_used() const;
+  uint64_t match_action_slots_used() const;
 
  private:
   SimSwitch(std::shared_ptr<SimNet> net, DiscoveryPtr discovery, Config cfg)
       : net_(std::move(net)), discovery_(std::move(discovery)), cfg_(cfg) {}
+
+  struct ProgramEntry {
+    uint64_t alloc = 0;
+    std::shared_ptr<CompiledProgram> prog;
+  };
 
   std::shared_ptr<SimNet> net_;
   DiscoveryPtr discovery_;
@@ -78,8 +115,16 @@ class SimSwitch {
   mutable std::mutex mu_;
   // group addr -> discovery impl name + slot allocation id
   std::map<Addr, std::pair<std::string, uint64_t>> groups_;
-  // vip addr -> slot allocation id
+  // vip addr -> slot allocation id (hand-installed steer closures)
   std::map<Addr, uint64_t> match_actions_;
+  // vip addr -> synthesized program + its slot allocation
+  std::map<Addr, ProgramEntry> programs_;
 };
+
+// Folds the switch's state into metric snapshots: per-VIP steered()
+// counts, per-program match/miss/dup counters, and slot occupancy
+// gauges (used + capacity per pool). Satellite of DESIGN.md §11.
+void attach_simswitch_metrics_provider(MetricsRegistry& m,
+                                       std::shared_ptr<SimSwitch> sw);
 
 }  // namespace bertha

@@ -1,0 +1,187 @@
+#include "synth/ir.hpp"
+
+#include <sstream>
+
+namespace bertha {
+
+namespace {
+
+// Hard bounds: the decoder is wire-facing, so a corrupt length field
+// must not drive allocation or execution cost.
+constexpr uint64_t kMaxInstrs = 64;
+constexpr uint64_t kMaxTable = 1024;
+constexpr uint64_t kMaxWindow = 1 << 20;
+constexpr uint64_t kMaxSkip = 1 << 20;
+
+bool steering_op(IrOp op) { return op == IrOp::hash_steer || op == IrOp::forward; }
+
+}  // namespace
+
+Result<void> validate_program(const ProgramIR& ir) {
+  if (ir.slot != SlotKind::match_action && ir.slot != SlotKind::sequencer)
+    return err(Errc::invalid_argument, "program: unknown slot kind");
+  if (ir.vip.empty())
+    return err(Errc::invalid_argument, "program: missing vip");
+  if (ir.instrs.empty() || ir.instrs.size() > kMaxInstrs)
+    return err(Errc::invalid_argument, "program: instruction count");
+  if (ir.table.size() > kMaxTable)
+    return err(Errc::invalid_argument, "program: table too large");
+  bool stamped = false;
+  for (size_t i = 0; i < ir.instrs.size(); i++) {
+    const IrInstr& in = ir.instrs[i];
+    bool last = i + 1 == ir.instrs.size();
+    switch (in.op) {
+      case IrOp::match_magic:
+        break;
+      case IrOp::skip_fixed:
+        if (in.a > kMaxSkip)
+          return err(Errc::invalid_argument, "program: skip too large");
+        break;
+      case IrOp::skip_varint:
+      case IrOp::skip_varint_body:
+      case IrOp::strip_to_cursor:
+        break;
+      case IrOp::hash_steer:
+        if (!last)
+          return err(Errc::invalid_argument,
+                     "program: steering must be the final instruction");
+        if (ir.table.empty())
+          return err(Errc::invalid_argument, "program: hash_steer needs a table");
+        if (in.b == 0 || in.b > 64)
+          return err(Errc::invalid_argument, "program: hash_steer field length");
+        if (in.a > kMaxSkip)
+          return err(Errc::invalid_argument, "program: hash_steer field offset");
+        break;
+      case IrOp::drop_dup:
+        if (in.a == 0 || in.a > kMaxWindow)
+          return err(Errc::invalid_argument, "program: drop_dup window");
+        break;
+      case IrOp::prepend_seq:
+        stamped = true;
+        break;
+      case IrOp::forward:
+        if (!last)
+          return err(Errc::invalid_argument,
+                     "program: steering must be the final instruction");
+        if (in.a >= ir.table.size())
+          return err(Errc::invalid_argument, "program: forward index out of range");
+        break;
+      default:
+        return err(Errc::invalid_argument, "program: unknown op");
+    }
+  }
+  if (!steering_op(ir.instrs.back().op))
+    return err(Errc::invalid_argument,
+               "program: no destination decision (hash_steer/forward)");
+  if (stamped && ir.slot != SlotKind::sequencer)
+    return err(Errc::invalid_argument,
+               "program: prepend_seq requires a sequencer slot");
+  if (!stamped && ir.slot == SlotKind::sequencer)
+    return err(Errc::invalid_argument,
+               "program: sequencer slot without prepend_seq");
+  return ok();
+}
+
+Bytes encode_program(const ProgramIR& ir) {
+  Writer w;
+  w.put_u8('P');
+  w.put_u8('1');
+  w.put_u8(static_cast<uint8_t>(ir.slot));
+  w.put_string(ir.vip);
+  w.put_varint(ir.table.size());
+  for (const auto& t : ir.table) w.put_string(t);
+  w.put_varint(ir.instrs.size());
+  for (const auto& in : ir.instrs) {
+    w.put_u8(static_cast<uint8_t>(in.op));
+    w.put_varint(in.a);
+    w.put_varint(in.b);
+  }
+  w.put_varint(ir.initial_seq);
+  w.put_varint(ir.source_fingerprint);
+  return std::move(w).take();
+}
+
+Result<ProgramIR> decode_program(BytesView b) {
+  Reader r(b);
+  BERTHA_TRY_ASSIGN(m0, r.get_u8());
+  BERTHA_TRY_ASSIGN(m1, r.get_u8());
+  if (m0 != 'P' || m1 != '1')
+    return err(Errc::invalid_argument, "not a program frame");
+  ProgramIR ir;
+  BERTHA_TRY_ASSIGN(slot, r.get_u8());
+  ir.slot = static_cast<SlotKind>(slot);
+  BERTHA_TRY_ASSIGN(vip, r.get_string());
+  ir.vip = std::move(vip);
+  BERTHA_TRY_ASSIGN(nt, r.get_varint());
+  if (nt > kMaxTable)
+    return err(Errc::invalid_argument, "program: table too large");
+  ir.table.reserve(nt);
+  for (uint64_t i = 0; i < nt; i++) {
+    BERTHA_TRY_ASSIGN(t, r.get_string());
+    ir.table.push_back(std::move(t));
+  }
+  BERTHA_TRY_ASSIGN(ni, r.get_varint());
+  if (ni > kMaxInstrs)
+    return err(Errc::invalid_argument, "program: too many instructions");
+  ir.instrs.reserve(ni);
+  for (uint64_t i = 0; i < ni; i++) {
+    IrInstr in;
+    BERTHA_TRY_ASSIGN(op, r.get_u8());
+    in.op = static_cast<IrOp>(op);
+    BERTHA_TRY_ASSIGN(a, r.get_varint());
+    BERTHA_TRY_ASSIGN(bb, r.get_varint());
+    in.a = a;
+    in.b = bb;
+    ir.instrs.push_back(in);
+  }
+  BERTHA_TRY_ASSIGN(seq, r.get_varint());
+  ir.initial_seq = seq;
+  BERTHA_TRY_ASSIGN(fp, r.get_varint());
+  ir.source_fingerprint = fp;
+  if (!r.at_end())
+    return err(Errc::invalid_argument, "program: trailing bytes");
+  BERTHA_TRY(validate_program(ir));
+  return ir;
+}
+
+std::string to_string(const ProgramIR& ir) {
+  std::ostringstream os;
+  os << (ir.slot == SlotKind::sequencer ? "sequencer" : "match-action") << "@"
+     << ir.vip << ":";
+  for (const auto& in : ir.instrs) {
+    os << " ";
+    switch (in.op) {
+      case IrOp::match_magic:
+        os << "match '" << static_cast<char>(in.a) << static_cast<char>(in.b)
+           << "';";
+        break;
+      case IrOp::skip_fixed:
+        os << "skip " << in.a << ";";
+        break;
+      case IrOp::skip_varint:
+        os << "skipv;";
+        break;
+      case IrOp::skip_varint_body:
+        os << "skipvb;";
+        break;
+      case IrOp::hash_steer:
+        os << "hash_steer(+" << in.a << "," << in.b << ")%" << ir.table.size();
+        break;
+      case IrOp::drop_dup:
+        os << "drop_dup(w=" << in.a << ");";
+        break;
+      case IrOp::strip_to_cursor:
+        os << "strip;";
+        break;
+      case IrOp::prepend_seq:
+        os << "prepend_seq(from=" << ir.initial_seq << ");";
+        break;
+      case IrOp::forward:
+        os << "forward[" << in.a << "]";
+        break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace bertha

@@ -1,0 +1,91 @@
+// ProgramIR: the match-action intermediate representation offload
+// synthesis compiles negotiated chunnel prefixes into (DESIGN.md §11).
+//
+// A program is a straight-line instruction list executed over one
+// datagram with a read cursor. Match instructions inspect header bytes;
+// a mismatch is a *table miss* (the packet is not for this program's
+// source chain — it is dropped, never mis-steered). Action instructions
+// pick a destination (hash_steer / forward), drop duplicates against a
+// bounded seen-window, strip already-parsed header bytes, or prepend a
+// sequencer stamp. This is deliberately tiny: it models what a
+// reconfigurable pipeline (P4 match-action stages plus a sequencer
+// register) can actually do at line rate — no loops, no writes past the
+// parsed region, bounded state.
+//
+// The encoded form travels through discovery props and the control
+// plane, so the decoder is wire-facing: it must reject truncated or
+// corrupted frames (fuzzed in tests/fuzz_test.cpp) — a bad program
+// frame degrades to "no offload installed", never a crash.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serialize/codec.hpp"
+
+namespace bertha {
+
+enum class IrOp : uint8_t {
+  // Matches (miss => drop):
+  match_magic = 1,  // a,b: the two bytes at the cursor; advances 2
+  // Parses (cursor movement through headers already validated upstream):
+  skip_fixed = 2,        // a: advance a bytes
+  skip_varint = 3,       // advance past one varint (its bytes only)
+  skip_varint_body = 4,  // read varint L, advance past the varint and L bytes
+  // Actions:
+  hash_steer = 5,  // a=field_offset, b=field_len (relative to the cursor):
+                   // dst = table[fnv1a64(field) % table.size()]
+  drop_dup = 6,    // a=window: varint msg-id at cursor; drop if recently seen
+  strip_to_cursor = 7,  // rewrite the packet to drop bytes [0, cursor)
+  prepend_seq = 8,      // prepend a u64 LE global sequence stamp
+  forward = 9,          // a=table index: fixed destination
+};
+
+struct IrInstr {
+  IrOp op{};
+  uint64_t a = 0;
+  uint64_t b = 0;
+
+  bool operator==(const IrInstr& o) const {
+    return op == o.op && a == o.a && b == o.b;
+  }
+};
+
+// Which kind of switch slot the program occupies: a stamping program
+// needs the sequencer register; everything else is a match-action stage.
+enum class SlotKind : uint8_t { match_action = 1, sequencer = 2 };
+
+struct ProgramIR {
+  SlotKind slot = SlotKind::match_action;
+  std::string vip;  // virtual service address the program attaches to
+  // Destination table (addresses in URI form) for hash_steer / forward.
+  std::vector<std::string> table;
+  std::vector<IrInstr> instrs;
+  uint64_t initial_seq = 0;  // prepend_seq seed (sequence-epoch handover)
+  // FNV digest of the source chain (types + impls + steering args) this
+  // program was compiled from; negotiation surfaces it so a bound
+  // connection can be traced back to the software chain it replaced.
+  uint64_t source_fingerprint = 0;
+
+  bool operator==(const ProgramIR& o) const {
+    return slot == o.slot && vip == o.vip && table == o.table &&
+           instrs == o.instrs && initial_seq == o.initial_seq &&
+           source_fingerprint == o.source_fingerprint;
+  }
+};
+
+// Structural validity: ops in range, exactly one destination decision
+// (hash_steer or forward) and it is the final instruction, table indices
+// in bounds, non-empty table iff a steering op needs it, bounded window
+// and instruction count. Decoded programs are validated before install.
+Result<void> validate_program(const ProgramIR& ir);
+
+// Wire form: 'P' '1' | slot | vip | table | instrs | initial_seq | fp.
+Bytes encode_program(const ProgramIR& ir);
+Result<ProgramIR> decode_program(BytesView b);
+
+// One-line human form for golden tests and logs, e.g.
+//   "match-action@sim://vip:9: match 'S1'; skipvb; hash_steer(+0,4)%3"
+std::string to_string(const ProgramIR& ir);
+
+}  // namespace bertha

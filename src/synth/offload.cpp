@@ -1,0 +1,227 @@
+#include "synth/offload.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace bertha {
+
+namespace {
+
+// The steering anchor decides what the registered impl claims to be: a
+// shard-steering program advertises as an in-network shard dispatcher
+// (same contract as the hand-written "shard/switch" offload, so the
+// existing client factory binds it), a sequencer program as an
+// in-network ordered_mcast sequencer.
+struct Anchor {
+  std::string pattern;  // "shard" / "mcast_seq" / "" (transparent)
+  std::string type;
+  const StageInfo* stage = nullptr;
+};
+
+Anchor find_anchor(const std::vector<StageInfo>& stages, size_t covered) {
+  Anchor a;
+  for (size_t i = 0; i < covered && i < stages.size(); i++) {
+    std::string p = stages[i].args.get_or("synth.pattern", "");
+    if (p == "shard" || p == "mcast_seq") {
+      a.pattern = p;
+      a.type = stages[i].type;
+      a.stage = &stages[i];
+    }
+  }
+  return a;
+}
+
+std::string join_covered(const std::vector<std::string>& covered) {
+  std::ostringstream os;
+  for (size_t i = 0; i < covered.size(); i++) os << (i ? "," : "") << covered[i];
+  return os.str();
+}
+
+}  // namespace
+
+Result<SynthesizedOffloadPtr> synthesize_offload(
+    const std::vector<StageInfo>& stages, const SynthOptions& opts,
+    const SynthContext& ctx) {
+  if (!ctx.sw || !ctx.discovery)
+    return err(Errc::invalid_argument,
+               "synthesize_offload needs a switch and discovery");
+
+  // --- compile ---
+  Span compile_span = trace_span(ctx.tracer, "synth.compile", ctx.parent);
+  auto plan_r = synthesize_prefix(stages, opts);
+  if (!plan_r.ok()) {
+    compile_span.tag("outcome", "declined");
+    compile_span.tag("reason", plan_r.error().message);
+    metrics_add(ctx.metrics, "synth.declined");
+    return plan_r.error();
+  }
+  SynthPlan plan = std::move(plan_r).value();
+  compile_span.tag("outcome", "ok");
+  compile_span.tag_u64("stages_covered", plan.stages_covered);
+  compile_span.tag_u64("fingerprint", plan.ir.source_fingerprint);
+  compile_span.tag("program", to_string(plan.ir));
+  metrics_add(ctx.metrics, "synth.compiled");
+
+  // Wire roundtrip before install: the program ships through discovery
+  // props and the control plane in encoded form, so a program that does
+  // not survive its own codec must never reach a switch slot.
+  auto decoded = decode_program(BytesView(encode_program(plan.ir)));
+  if (!decoded.ok() || !(decoded.value() == plan.ir)) {
+    metrics_add(ctx.metrics, "synth.codec_reject");
+    return err(Errc::internal, "synth: program failed codec roundtrip");
+  }
+  TraceContext compile_ctx = compile_span.context();
+  compile_span.finish();
+
+  // --- install ---
+  Span install_span = trace_span(ctx.tracer, "synth.install", compile_ctx);
+  auto vip_r = ctx.sw->install_program(plan.ir);
+  if (!vip_r.ok()) {
+    install_span.tag("outcome", vip_r.error().to_string());
+    metrics_add(ctx.metrics, "synth.install_failed");
+    return vip_r.error();
+  }
+  Addr vip = std::move(vip_r).value();
+  install_span.tag("outcome", "ok");
+  install_span.tag("vip", vip.to_string());
+  install_span.tag("slot", plan.ir.slot == SlotKind::sequencer
+                              ? "sequencer"
+                              : "match_action");
+  install_span.finish();
+  metrics_add(ctx.metrics, "synth.installed");
+
+  auto offload = SynthesizedOffloadPtr(new SynthesizedOffload());
+  offload->ctx_ = ctx;
+  offload->plan_ = plan;
+  offload->vip_ = vip;
+
+  // --- bind into the catalogue (steering programs only) ---
+  Anchor anchor = find_anchor(stages, plan.stages_covered);
+  if (anchor.pattern.empty()) {
+    // Transparent offload (framing strip / dedup in front of a fixed
+    // destination): it holds its slot and rewrites traffic, but there is
+    // no implementation for negotiation to pick — nothing to register.
+    BLOG(info, "synth") << "installed transparent program at "
+                        << vip.to_string() << " [" << plan.summary << "]";
+    return offload;
+  }
+
+  Span bind_span = trace_span(ctx.tracer, "synth.bind", compile_ctx);
+  ImplInfo info;
+  info.type = anchor.type;
+  if (anchor.pattern == "shard") {
+    // Same negotiation contract as the hand-registered switch offload
+    // (clients resolve the "shard/switch" factory by base name), but
+    // distinguishable in the catalogue by its synth props.
+    info.name = "shard/switch:synth:" + vip.to_string();
+    info.priority = 15;  // in-network beats the host XDP path
+    info.props["vip_addr"] = vip.to_string();
+  } else {  // mcast_seq
+    info.name = "ordered_mcast/switch:synth:" + vip.to_string();
+    info.priority = 20;  // hardware beats software sequencers
+    info.props["group_addr"] = vip.to_string();
+    info.props["sequencer"] = "switch";
+  }
+  info.scope = Scope::rack;
+  info.endpoints = EndpointConstraint::server;
+  // Each negotiated binding claims one flow-table entry on the switch;
+  // staged-then-rolled-back transitions must hand the entry back (the
+  // slot-leak regression in tests/synth_test.cpp).
+  info.resources = {ResourceReq{ctx.sw->flow_pool(), 1}};
+  info.props["switch"] = ctx.sw->name();
+  if (!ctx.instance.empty()) info.props["instance"] = ctx.instance;
+  info.props["offloadable"] = "true";
+  info.props["size_factor"] =
+      anchor.stage->args.get_or("size_factor", "1");
+  info.props["synthesized"] = "true";
+  info.props["synth.fingerprint"] =
+      std::to_string(plan.ir.source_fingerprint);
+  info.props["synth.chain"] = join_covered(plan.covered);
+
+  auto reg = ctx.discovery->register_impl(info);
+  if (!reg.ok()) {
+    bind_span.tag("outcome", reg.error().to_string());
+    // Unwind fully: the slot must not leak behind a failed registration.
+    (void)ctx.sw->remove_program(vip);
+    metrics_add(ctx.metrics, "synth.bind_failed");
+    return reg.error();
+  }
+  offload->info_ = info;
+  bind_span.tag("outcome", "ok");
+  bind_span.tag("impl", info.name);
+  bind_span.finish();
+  metrics_add(ctx.metrics, "synth.registered");
+  BLOG(info, "synth") << "synthesized " << info.name << " at "
+                      << vip.to_string() << " [" << plan.summary << "]";
+
+  offload->start_watch();
+  return offload;
+}
+
+SynthesizedOffload::~SynthesizedOffload() {
+  (void)remove();
+  if (!watch_thread_.joinable()) return;
+  // The watch thread itself can run the final release (it holds a
+  // transient strong ref while reacting to a revocation): it must not
+  // join itself.
+  if (watch_thread_.get_id() == std::this_thread::get_id())
+    watch_thread_.detach();
+  else
+    watch_thread_.join();
+}
+
+bool SynthesizedOffload::removed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return removed_;
+}
+
+Result<void> SynthesizedOffload::remove() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (removed_) return ok();
+    removed_ = true;
+  }
+  if (watcher_) watcher_->cancel();
+  auto removed = ctx_.sw->remove_program(vip_);
+  if (!info_.name.empty())
+    (void)ctx_.discovery->unregister_impl(info_.type, info_.name);
+  metrics_add(ctx_.metrics, "synth.withdrawn");
+  BLOG(info, "synth") << "withdrew program at " << vip_.to_string();
+  return removed;
+}
+
+void SynthesizedOffload::start_watch() {
+  auto watch_r = ctx_.discovery->watch(info_.type);
+  if (!watch_r.ok()) {
+    // No watch support (e.g. a bare cache): manual remove() still works,
+    // only remote revocation reclaim is unavailable.
+    BLOG(warn, "synth") << "no revocation watch for " << info_.name << ": "
+                        << watch_r.error().to_string();
+    return;
+  }
+  watcher_ = watch_r.value();
+  std::weak_ptr<SynthesizedOffload> weak = weak_from_this();
+  WatcherPtr watcher = watcher_;
+  std::string type = info_.type;
+  std::string name = info_.name;
+  watch_thread_ = std::thread([weak, watcher, type, name] {
+    for (;;) {
+      auto ev = watcher->next();
+      if (!ev.ok()) return;  // cancelled / source gone
+      if (ev.value().kind != WatchKind::impl_unregistered) continue;
+      if (ev.value().type != type || ev.value().name != name) continue;
+      // Registration revoked remotely (operator pull, lease expiry):
+      // reclaim the switch slot. The revocation already removed the
+      // catalogue entry, so the teardown here must not unregister again
+      // — remove() tolerates that (unregister_impl of a missing entry
+      // is ignored), and connections bound to the program renegotiate
+      // off it through the normal revocation fallback.
+      if (auto self = weak.lock()) (void)self->remove();
+      return;
+    }
+  });
+}
+
+}  // namespace bertha

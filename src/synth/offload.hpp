@@ -1,0 +1,104 @@
+// Offload synthesis driver (DESIGN.md §11): the pipeline that takes a
+// negotiated chain, compiles its offloadable prefix into ProgramIR
+// (synth/pattern.hpp), installs the program into a SimSwitch slot, and
+// registers the resulting implementation with the discovery catalogue so
+// negotiation — and the live transition controller, via its watch on the
+// catalogue — can bind connections to it with no hand-registered offload
+// anywhere.
+//
+// Lifecycle of a synthesized offload:
+//
+//   synthesize_offload()            compile + install + register
+//       │
+//       ├─ connections bind it through normal negotiation (the impl's
+//       │  priority mirrors the hand-written switch offloads'), or the
+//       │  transition controller migrates live connections onto it when
+//       │  its registration event arrives,
+//       │
+//       └─ remove() / revocation    uninstall + slot release + unregister.
+//          A revocation observed through the catalogue watch (someone
+//          called unregister_impl on this impl, e.g. an operator pulling
+//          the offload) triggers the same teardown, so the switch slot is
+//          reclaimed even when the withdrawal originated remotely —
+//          bound connections renegotiate onto software via the usual
+//          revocation fallback.
+#pragma once
+
+#include "sim/simswitch.hpp"
+#include "synth/pattern.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace bertha {
+
+struct SynthContext {
+  std::shared_ptr<SimSwitch> sw;
+  // The deployment catalogue to register with: the switch's own
+  // discovery handle, or a RemoteDiscovery client into the replicated
+  // control plane (src/control/).
+  DiscoveryPtr discovery;
+  TracerPtr tracer;    // optional: synth.compile / synth.install spans
+  MetricsPtr metrics;  // optional: synth.* counters
+  // Parent context for the synthesis spans (e.g. the negotiation that
+  // triggered it).
+  TraceContext parent;
+  // Value for the impl's "instance" prop: scopes the offload to one
+  // application/service so negotiation for unrelated chains ignores it.
+  std::string instance;
+};
+
+// A live synthesized offload. Owns the switch slot transitively (the
+// program holds it) and the discovery registration.
+class SynthesizedOffload
+    : public std::enable_shared_from_this<SynthesizedOffload> {
+ public:
+  ~SynthesizedOffload();
+
+  // Uninstalls the program (releasing its slot) and withdraws the
+  // discovery registration. Idempotent; also invoked by the watch when
+  // the registration is revoked remotely.
+  Result<void> remove();
+  bool removed() const;
+
+  const SynthPlan& plan() const { return plan_; }
+  const Addr& vip() const { return vip_; }
+  // Empty info().name when the program steers to a fixed destination
+  // (framing strip, dedup-only): those are transparent offloads — they
+  // occupy a slot and rewrite traffic but are not separately negotiable,
+  // so nothing is registered for them.
+  const ImplInfo& info() const { return info_; }
+
+ private:
+  friend Result<std::shared_ptr<SynthesizedOffload>> synthesize_offload(
+      const std::vector<StageInfo>& stages, const SynthOptions& opts,
+      const SynthContext& ctx);
+
+  SynthesizedOffload() = default;
+  void start_watch();
+  void watch_loop();
+
+  SynthContext ctx_;
+  SynthPlan plan_;
+  Addr vip_;
+  ImplInfo info_;       // name empty = not registered
+  mutable std::mutex mu_;
+  bool removed_ = false;
+  WatcherPtr watcher_;
+  std::thread watch_thread_;
+};
+
+using SynthesizedOffloadPtr = std::shared_ptr<SynthesizedOffload>;
+
+// Compiles the offloadable prefix of `stages` and brings it live:
+// validate → install into a switch slot → register with discovery
+// (steering programs only). Fails with not_found when nothing in the
+// chain is offloadable (synthesis declining is not an error condition
+// for the connection — it just stays in software), resource_exhausted
+// when the switch is out of slots. On failure nothing is left behind:
+// a slot acquired for a program that later failed registration has been
+// released.
+Result<SynthesizedOffloadPtr> synthesize_offload(
+    const std::vector<StageInfo>& stages, const SynthOptions& opts,
+    const SynthContext& ctx);
+
+}  // namespace bertha

@@ -1,0 +1,164 @@
+#include "synth/pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "chunnels/common.hpp"
+#include "util/hash.hpp"
+
+namespace bertha {
+
+namespace {
+
+// The frame chunnel's fixed header: 3 id bytes + 1 flag byte, followed
+// by a varint body length (chunnels/framing.cpp).
+constexpr uint64_t kFrameFixedHeader = 4;
+
+struct Lowering {
+  std::vector<IrInstr> instrs;
+  std::vector<std::string> table;
+  SlotKind slot = SlotKind::match_action;
+  bool steers = false;       // emitted a terminal hash_steer/forward
+  bool does_work = false;    // drop/strip/stamp/steer beyond pure parsing
+  std::vector<std::string> notes;
+};
+
+Result<void> lower_shard(const StageInfo& s, Lowering& out) {
+  BERTHA_TRY_ASSIGN(csv, s.args.get("shards"));
+  BERTHA_TRY_ASSIGN(shards, parse_addr_list(csv));
+  if (shards.empty())
+    return err(Errc::invalid_argument, "synth: shard stage with no shards");
+  uint64_t off = s.args.get_u64_or("field_offset", 0);
+  uint64_t len = s.args.get_u64_or("field_len", 4);
+  out.instrs.push_back({IrOp::match_magic, 'S', '1'});
+  out.instrs.push_back({IrOp::skip_varint_body, 0, 0});  // reply uri
+  out.instrs.push_back({IrOp::hash_steer, off, len});
+  for (const auto& a : shards) out.table.push_back(a.to_string());
+  out.steers = true;
+  out.does_work = true;
+  std::ostringstream os;
+  os << "shard: steer field(+" << off << "," << len << ") over "
+     << shards.size() << " backends";
+  out.notes.push_back(os.str());
+  return ok();
+}
+
+Result<void> lower_dedup(const StageInfo& s, Lowering& out) {
+  uint64_t window = s.args.get_u64_or("window", 4096);
+  out.instrs.push_back({IrOp::match_magic, 'D', '1'});
+  out.instrs.push_back({IrOp::drop_dup, window, 0});
+  out.does_work = true;
+  out.notes.push_back("dedup: drop ids seen within window " +
+                      std::to_string(window));
+  return ok();
+}
+
+Result<void> lower_frame(const StageInfo& s, const SynthOptions& opts,
+                         Lowering& out) {
+  (void)s;
+  out.instrs.push_back({IrOp::skip_fixed, kFrameFixedHeader, 0});
+  out.instrs.push_back({IrOp::skip_varint, 0, 0});  // body length
+  out.notes.push_back(opts.strip_parsed_headers ? "frame: parse + strip"
+                                                : "frame: parse through");
+  return ok();
+}
+
+Result<void> lower_mcast_seq(const StageInfo& s, const SynthOptions& opts,
+                             Lowering& out) {
+  BERTHA_TRY_ASSIGN(group, s.args.get("group_addr"));
+  out.slot = SlotKind::sequencer;
+  out.instrs.push_back({IrOp::prepend_seq, 0, 0});
+  out.instrs.push_back({IrOp::forward, out.table.size(), 0});
+  out.table.push_back(group);
+  out.steers = true;
+  out.does_work = true;
+  out.notes.push_back("mcast_seq: stamp from " +
+                      std::to_string(opts.initial_seq) + ", forward to " +
+                      group);
+  return ok();
+}
+
+}  // namespace
+
+std::vector<StageInfo> wire_order_stages(
+    const std::vector<NegotiatedNode>& chain) {
+  auto stages = describe_stages(chain);
+  std::reverse(stages.begin(), stages.end());
+  return stages;
+}
+
+uint64_t chain_fingerprint(const std::vector<StageInfo>& stages, size_t n) {
+  Writer w;
+  for (size_t i = 0; i < n && i < stages.size(); i++) {
+    w.put_string(stages[i].type);
+    w.put_string(stages[i].impl_name);
+    serde_put(w, stages[i].args);
+  }
+  return fnv1a64(w.bytes());
+}
+
+Result<SynthPlan> synthesize_prefix(const std::vector<StageInfo>& stages,
+                                    const SynthOptions& opts) {
+  if (opts.vip.empty())
+    return err(Errc::invalid_argument, "synth: options need a vip");
+
+  Lowering low;
+  SynthPlan plan;
+  for (const auto& s : stages) {
+    if (low.steers) break;  // a steering decision ends the program
+    std::string pattern = s.args.get_or("synth.pattern", "");
+    Result<void> lowered = ok();
+    if (pattern == "shard") {
+      lowered = lower_shard(s, low);
+    } else if (pattern == "dedup") {
+      lowered = lower_dedup(s, low);
+    } else if (pattern == "frame") {
+      lowered = lower_frame(s, opts, low);
+      if (opts.strip_parsed_headers) low.does_work = true;
+    } else if (pattern == "mcast_seq") {
+      lowered = lower_mcast_seq(s, opts, low);
+    } else {
+      break;  // unannotated stage: the walk must not look past it
+    }
+    // A malformed annotated stage (e.g. shard with an unparsable shard
+    // list) also stops the walk rather than failing synthesis outright:
+    // whatever was lowered before it may still be worth offloading.
+    if (!lowered.ok()) break;
+    plan.stages_covered++;
+    plan.covered.push_back(s.type + "/" + s.impl_name);
+  }
+
+  if (plan.stages_covered == 0)
+    return err(Errc::not_found, "synth: no offloadable prefix");
+  if (!low.does_work)
+    return err(Errc::not_found,
+               "synth: covered prefix performs no offloadable work");
+
+  // Non-steering programs (dedup-only, framing strip) continue to a
+  // fixed software destination.
+  if (!low.steers) {
+    if (opts.default_dst.empty())
+      return err(Errc::not_found,
+                 "synth: prefix does not steer and no default destination");
+    if (opts.strip_parsed_headers)
+      low.instrs.push_back({IrOp::strip_to_cursor, 0, 0});
+    low.instrs.push_back({IrOp::forward, low.table.size(), 0});
+    low.table.push_back(opts.default_dst);
+  }
+
+  plan.ir.slot = low.slot;
+  plan.ir.vip = opts.vip;
+  plan.ir.table = std::move(low.table);
+  plan.ir.instrs = std::move(low.instrs);
+  plan.ir.initial_seq = low.slot == SlotKind::sequencer ? opts.initial_seq : 0;
+  plan.ir.source_fingerprint = chain_fingerprint(stages, plan.stages_covered);
+  BERTHA_TRY(validate_program(plan.ir));
+
+  std::ostringstream os;
+  for (size_t i = 0; i < low.notes.size(); i++)
+    os << (i ? "; " : "") << low.notes[i];
+  plan.summary = os.str();
+  return plan;
+}
+
+}  // namespace bertha

@@ -1,0 +1,80 @@
+// Offload pattern library: recognizes compilable prefixes of a
+// negotiated chunnel chain and lowers them to ProgramIR (DESIGN.md §11).
+//
+// The walk consumes stages outermost-first as seen on the wire. Note
+// that this is the REVERSE of the negotiated chain order: chain[0] is
+// the app-facing wrapper, so its header is applied first on send and
+// every later stage wraps around it — the LAST chain element's header is
+// what a switch parser sees first. Use wire_order_stages() to get the
+// walk's input from a negotiated chain.
+// Each implementation opts in by annotating its ImplInfo props with
+// "synth.pattern"; the annotation travels through negotiation into the
+// bound node's merged args, which is where StageInfo exposes it. Known
+// patterns:
+//
+//   shard      'S1' | varint reply-uri | payload   -> match, skip the
+//              reply uri, hash the shard field, steer to table[h % n].
+//              Terminal: steering decides the destination.
+//   dedup      'D1' | varint msg-id | payload      -> match, drop the
+//              packet if the id was recently seen (bounded window).
+//   frame      [id0 id1 id2 flags][varint len][..] -> parse through the
+//              fixed header and length varint; with strip_parsed_headers
+//              the program also rewrites the packet to shed the framing
+//              (the "framing strip" offload: backends receive bare
+//              payloads and skip the frame chunnel entirely).
+//   mcast_seq  'M1' | ...                          -> sequencer slot:
+//              stamp a global sequence number and forward to the real
+//              group address (the NOPaxos-style in-network sequencer).
+//
+// Unknown or unannotated stages (encrypt, serialize, ...) stop the walk:
+// a program never reaches past bytes it cannot prove it parsed. If the
+// walk consumes nothing offloadable, synthesis reports not_found and the
+// chain simply stays in software — synthesis failing is never an error
+// at the connection level.
+#pragma once
+
+#include "core/negotiation.hpp"
+#include "synth/ir.hpp"
+
+namespace bertha {
+
+struct SynthOptions {
+  // Virtual address the compiled program will attach to (ProgramIR.vip).
+  std::string vip;
+  // Fallthrough destination for programs whose covered prefix does not
+  // itself steer (dedup-only, framing-strip): the software endpoint the
+  // packet continues to. Required for those patterns.
+  std::string default_dst;
+  // Rewrite packets to shed the headers the program parsed (framing
+  // strip). Only meaningful for non-steering programs: a steering
+  // program forwards the original bytes so the backend's software chain
+  // still parses its own headers.
+  bool strip_parsed_headers = false;
+  // Seed for sequencer programs (sequence-epoch handover, §3.2).
+  uint64_t initial_seq = 0;
+};
+
+struct SynthPlan {
+  ProgramIR ir;
+  size_t stages_covered = 0;          // prefix length consumed
+  std::vector<std::string> covered;   // "type/impl_name" per covered stage
+  std::string summary;                // human-readable lowering, for spans
+};
+
+// StageInfos of `chain` in wire order (outermost header first) — the
+// input synthesize_prefix expects. describe_stages() order, reversed.
+std::vector<StageInfo> wire_order_stages(
+    const std::vector<NegotiatedNode>& chain);
+
+// Digest of the first `n` stages (types + impls + merged args): the
+// provenance a synthesized impl advertises so a bound connection can be
+// traced back to the software chain its program replaced.
+uint64_t chain_fingerprint(const std::vector<StageInfo>& stages, size_t n);
+
+// Lowers the longest recognizable prefix of `stages`. not_found when no
+// prefix compiles to a program that does real work (nothing annotated,
+// or parse-only coverage with nothing to strip, drop, or steer).
+Result<SynthPlan> synthesize_prefix(const std::vector<StageInfo>& stages,
+                                    const SynthOptions& opts);
+
+}  // namespace bertha

@@ -14,6 +14,8 @@
 #include "core/renegotiation.hpp"
 #include "core/wire.hpp"
 #include "serialize/text_codec.hpp"
+#include "sim/ir_exec.hpp"
+#include "synth/ir.hpp"
 #include "test_helpers.hpp"
 #include "util/rand.hpp"
 
@@ -58,6 +60,7 @@ TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
     (void)decode_snapshot_rsp(data);
     (void)decode_view_change(data);
     (void)decode_membership(data);
+    (void)decode_program(data);
     (void)text_decode(data);
     (void)deserialize_from_bytes<ChunnelDag>(data);
     (void)deserialize_from_bytes<ImplInfo>(data);
@@ -492,6 +495,65 @@ TEST_P(BitflipFuzz, KvRequestBitflipsNeverCrash) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitflipFuzz, ::testing::Values(11, 22, 33));
+
+// A representative synthesized program: match + parse + dedup + strip
+// ahead of a hash steer over a multi-entry table — every encoder branch
+// (tables, varint args, initial_seq, fingerprint) is exercised.
+ProgramIR fuzz_program_ir() {
+  ProgramIR ir;
+  ir.slot = SlotKind::match_action;
+  ir.vip = "sim://fuzz-vip:80";
+  ir.table = {"sim://b:1", "sim://b:2", "sim://b:3"};
+  ir.instrs = {{IrOp::match_magic, 'S', '1'},
+               {IrOp::skip_varint_body, 0, 0},
+               {IrOp::hash_steer, 2, 8}};
+  ir.source_fingerprint = 0x1234abcdULL;
+  return ir;
+}
+
+TEST(TruncationFuzz, SynthProgramPrefixes) {
+  Bytes full = encode_program(fuzz_program_ir());
+  for (size_t n = 0; n < full.size(); n++)
+    EXPECT_FALSE(decode_program(BytesView(full.data(), n)).ok()) << n;
+  EXPECT_TRUE(decode_program(BytesView(full)).ok());
+}
+
+// Bit flips in a program frame: the decoder either rejects cleanly or
+// yields a program that still passes structural validation and compiles
+// to something that can only forward to an address that was in some
+// table — a corrupt frame can deny an offload, never mis-program the
+// switch. Exercises the deploy path (control plane ships programs in
+// encoded form, DESIGN.md §11).
+class ProgramBitflipFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProgramBitflipFuzz, ProgramBitflipsNeverCrashOrMisprogram) {
+  Rng rng(GetParam());
+  Bytes good = encode_program(fuzz_program_ir());
+  Bytes sample = random_bytes(rng, 64);
+  for (int iter = 0; iter < 400; iter++) {
+    Bytes bad = good;
+    size_t byte = rng.next_below(bad.size());
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+    auto r = decode_program(bad);
+    if (!r.ok()) continue;
+    // decode re-validates internally: anything it admits must be a
+    // structurally sound program...
+    ASSERT_TRUE(validate_program(r.value()).ok())
+        << "decode admitted an invalid program: " << to_string(r.value());
+    // ...and installable ones must execute without crashing (a flipped
+    // table address may still fail compilation — that is a clean
+    // install-time error, not a hazard).
+    auto prog = CompiledProgram::compile(r.value());
+    if (!prog.ok()) continue;
+    auto act = prog.value()->action();
+    (void)act(BytesView(sample));
+    (void)act(BytesView(good));  // magic-shaped input through the parser
+    (void)act(BytesView());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgramBitflipFuzz,
+                         ::testing::Values(7, 77, 777));
 
 // A live listener bombarded with garbage keeps accepting and serving.
 TEST(AdversarialListener, SurvivesGarbageAndKeepsServing) {

@@ -105,7 +105,7 @@ struct RsmFixture : ::testing::TestWithParam<bool /*use_switch*/> {
                                       Addr::sim("r1", 7000),
                                       Addr::sim("r2", 7000)};
 
-    std::unique_ptr<SimSwitch> sw;
+    std::shared_ptr<SimSwitch> sw;
     std::unique_ptr<SoftwareSequencer> soft;
     if (use_switch) {
       SimSwitch::Config scfg;

@@ -301,7 +301,7 @@ struct SwitchShardFixture : ::testing::Test {
   }
 
   TestWorld world;
-  std::unique_ptr<SimSwitch> sw;
+  std::shared_ptr<SimSwitch> sw;
   std::shared_ptr<Runtime> srv_rt, cli_rt;
   std::unique_ptr<KvBackend> backend;
   ShardArgs sargs;

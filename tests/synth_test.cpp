@@ -1,0 +1,1072 @@
+// Offload synthesis (src/synth/, DESIGN.md §11): pattern lowering to
+// ProgramIR (golden tests per pattern), the IR codec's structural
+// validation, compiled-program execution on the SimSwitch, slot and
+// flow-entry accounting through discovery, registration/revocation of
+// synthesized implementations — including through the replicated control
+// plane — and the end-to-end story: a negotiated shard+framing chain
+// with no hand-registered offload anywhere is compiled into a switch
+// program, live connections transition onto it with zero loss, and
+// removal falls back cleanly with every switch resource reclaimed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "chunnels/common.hpp"
+#include "chunnels/framing.hpp"
+#include "chunnels/shard.hpp"
+#include "control/cluster.hpp"
+#include "core/renegotiation.hpp"
+#include "core/wire.hpp"
+#include "net/fault.hpp"
+#include "synth/offload.hpp"
+#include "test_helpers.hpp"
+#include "util/rand.hpp"
+
+namespace bertha {
+namespace {
+
+using testing_support::TestWorld;
+
+// --- shared helpers ---
+
+StageInfo make_stage(const std::string& type, const std::string& impl,
+                     const std::string& pattern) {
+  StageInfo s;
+  s.type = type;
+  s.impl_name = impl;
+  if (!pattern.empty()) s.args.set("synth.pattern", pattern);
+  return s;
+}
+
+StageInfo shard_stage(const std::vector<Addr>& shards, uint64_t off = 0,
+                      uint64_t len = 4) {
+  StageInfo s = make_stage("shard", "shard/xdp", "shard");
+  s.args.set("shards", format_addr_list(shards));
+  s.args.set_u64("field_offset", off);
+  s.args.set_u64("field_len", len);
+  return s;
+}
+
+StageInfo dedup_stage(uint64_t window) {
+  StageInfo s = make_stage("dedup", "dedup/window", "dedup");
+  s.args.set_u64("window", window);
+  return s;
+}
+
+StageInfo frame_stage() {
+  return make_stage("frame", "frame/http2ish", "frame");
+}
+
+StageInfo mcast_stage(const std::string& group) {
+  StageInfo s = make_stage("ordered_mcast", "ordered_mcast/sw", "mcast_seq");
+  s.args.set("group_addr", group);
+  return s;
+}
+
+SynthOptions vip_opts(const std::string& vip) {
+  SynthOptions o;
+  o.vip = vip;
+  return o;
+}
+
+std::vector<Addr> three_sim_shards() {
+  return {Addr::sim("b", 1), Addr::sim("b", 2), Addr::sim("b", 3)};
+}
+
+template <typename F>
+[[nodiscard]] bool poll_until(F&& f, Duration timeout = seconds(5)) {
+  Deadline dl = Deadline::after(timeout);
+  while (!f()) {
+    if (dl.expired()) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+uint64_t counter_of(const MetricsPtr& m, const std::string& name) {
+  auto snap = m->snapshot();
+  auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+// --- pattern lowering: golden IR per pattern ---
+
+TEST(SynthPatternTest, ShardPrefixLowersToSteeringProgram) {
+  auto shards = three_sim_shards();
+  std::vector<StageInfo> stages = {shard_stage(shards, 2, 4)};
+  auto plan = synthesize_prefix(stages, vip_opts("sim://vip:80"));
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+
+  const ProgramIR& ir = plan.value().ir;
+  EXPECT_EQ(ir.slot, SlotKind::match_action);
+  EXPECT_EQ(ir.vip, "sim://vip:80");
+  std::vector<IrInstr> want = {{IrOp::match_magic, 'S', '1'},
+                               {IrOp::skip_varint_body, 0, 0},
+                               {IrOp::hash_steer, 2, 4}};
+  EXPECT_EQ(ir.instrs, want);
+  ASSERT_EQ(ir.table.size(), 3u);
+  EXPECT_EQ(ir.table[0], "sim://b:1");
+  EXPECT_EQ(ir.initial_seq, 0u);
+  EXPECT_NE(ir.source_fingerprint, 0u);
+  EXPECT_EQ(plan.value().stages_covered, 1u);
+  ASSERT_EQ(plan.value().covered.size(), 1u);
+  EXPECT_EQ(plan.value().covered[0], "shard/shard/xdp");
+  EXPECT_EQ(to_string(ir),
+            "match-action@sim://vip:80: match 'S1'; skipvb; hash_steer(+2,4)%3");
+  EXPECT_TRUE(validate_program(ir).ok());
+  auto round = decode_program(BytesView(encode_program(ir)));
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value() == ir);
+}
+
+TEST(SynthPatternTest, DedupFramePrefixLowersToRewriteProgram) {
+  std::vector<StageInfo> stages = {dedup_stage(16), frame_stage()};
+  SynthOptions opts = vip_opts("sim://dvip:80");
+  opts.default_dst = "sim://backend:9";
+  opts.strip_parsed_headers = true;
+  auto plan = synthesize_prefix(stages, opts);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+
+  const ProgramIR& ir = plan.value().ir;
+  EXPECT_EQ(ir.slot, SlotKind::match_action);
+  std::vector<IrInstr> want = {{IrOp::match_magic, 'D', '1'},
+                               {IrOp::drop_dup, 16, 0},
+                               {IrOp::skip_fixed, 4, 0},
+                               {IrOp::skip_varint, 0, 0},
+                               {IrOp::strip_to_cursor, 0, 0},
+                               {IrOp::forward, 0, 0}};
+  EXPECT_EQ(ir.instrs, want);
+  ASSERT_EQ(ir.table.size(), 1u);
+  EXPECT_EQ(ir.table[0], "sim://backend:9");
+  EXPECT_EQ(plan.value().stages_covered, 2u);
+}
+
+TEST(SynthPatternTest, FrameWithoutStripDoesNoOffloadableWork) {
+  // Parsing through framing without shedding it saves the backend
+  // nothing: synthesis must decline rather than burn a switch slot.
+  std::vector<StageInfo> stages = {frame_stage()};
+  SynthOptions opts = vip_opts("sim://fvip:80");
+  opts.default_dst = "sim://backend:9";
+  auto plan = synthesize_prefix(stages, opts);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Errc::not_found);
+}
+
+TEST(SynthPatternTest, McastSeqLowersToSequencerProgram) {
+  std::vector<StageInfo> stages = {mcast_stage("sim://grp:7")};
+  SynthOptions opts = vip_opts("sim://mvip:80");
+  opts.initial_seq = 41;
+  auto plan = synthesize_prefix(stages, opts);
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+
+  const ProgramIR& ir = plan.value().ir;
+  EXPECT_EQ(ir.slot, SlotKind::sequencer);
+  std::vector<IrInstr> want = {{IrOp::prepend_seq, 0, 0},
+                               {IrOp::forward, 0, 0}};
+  EXPECT_EQ(ir.instrs, want);
+  ASSERT_EQ(ir.table.size(), 1u);
+  EXPECT_EQ(ir.table[0], "sim://grp:7");
+  EXPECT_EQ(ir.initial_seq, 41u);
+}
+
+TEST(SynthPatternTest, UnannotatedStageStopsTheWalk) {
+  // Encrypt-first chain: the program cannot prove it parses ciphertext,
+  // so nothing is offloadable — the negative case of the pattern walk.
+  std::vector<StageInfo> stages = {make_stage("encrypt", "encrypt/sw", ""),
+                                   shard_stage(three_sim_shards())};
+  auto plan = synthesize_prefix(stages, vip_opts("sim://evip:80"));
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Errc::not_found);
+}
+
+TEST(SynthPatternTest, MalformedAnnotatedStageStopsTheWalk) {
+  // A shard stage with no shard list cannot lower; alone it yields
+  // nothing...
+  StageInfo broken = make_stage("shard", "shard/xdp", "shard");
+  auto none = synthesize_prefix({broken}, vip_opts("sim://vip:80"));
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.error().code, Errc::not_found);
+
+  // ...but a valid prefix before it still compiles.
+  SynthOptions opts = vip_opts("sim://vip:80");
+  opts.default_dst = "sim://backend:9";
+  auto partial = synthesize_prefix({dedup_stage(8), broken}, opts);
+  ASSERT_TRUE(partial.ok()) << partial.error().to_string();
+  EXPECT_EQ(partial.value().stages_covered, 1u);
+  EXPECT_EQ(partial.value().ir.instrs.back().op, IrOp::forward);
+}
+
+TEST(SynthPatternTest, SteeringDecisionEndsTheProgram) {
+  // Stages behind a steering stage are unreachable for the program (the
+  // packet has left the switch): the walk must not consume them.
+  std::vector<StageInfo> stages = {shard_stage(three_sim_shards()),
+                                   dedup_stage(8)};
+  auto plan = synthesize_prefix(stages, vip_opts("sim://vip:80"));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().stages_covered, 1u);
+  EXPECT_EQ(plan.value().ir.instrs.back().op, IrOp::hash_steer);
+}
+
+TEST(SynthPatternTest, OptionsRequireVip) {
+  auto plan = synthesize_prefix({shard_stage(three_sim_shards())},
+                                SynthOptions{});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.error().code, Errc::invalid_argument);
+}
+
+TEST(SynthPatternTest, FingerprintTracksChainIdentity) {
+  auto base = shard_stage(three_sim_shards(), 2, 4);
+  uint64_t fp = chain_fingerprint({base}, 1);
+  EXPECT_EQ(chain_fingerprint({base}, 1), fp);  // deterministic
+
+  auto moved = shard_stage(three_sim_shards(), 3, 4);  // steering args differ
+  EXPECT_NE(chain_fingerprint({moved}, 1), fp);
+  auto renamed = base;
+  renamed.impl_name = "shard/fallback";
+  EXPECT_NE(chain_fingerprint({renamed}, 1), fp);
+}
+
+TEST(SynthPatternTest, WireOrderReversesNegotiatedChain) {
+  // chain[0] is the app-facing wrapper whose header goes on first, so
+  // the LAST chain element's header is outermost on the wire — the
+  // parser order a switch program sees.
+  NegotiatedNode frame_node;
+  frame_node.type = "frame";
+  frame_node.impl_name = "frame/http2ish";
+  NegotiatedNode shard_node;
+  shard_node.type = "shard";
+  shard_node.impl_name = "shard/xdp";
+  auto stages = wire_order_stages({frame_node, shard_node});
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].type, "shard");
+  EXPECT_EQ(stages[1].type, "frame");
+}
+
+// --- IR codec structural validation ---
+
+ProgramIR valid_shard_ir(const std::string& vip) {
+  ProgramIR ir;
+  ir.vip = vip;
+  ir.table = {"sim://b:1", "sim://b:2", "sim://b:3"};
+  ir.instrs = {{IrOp::match_magic, 'S', '1'},
+               {IrOp::skip_varint_body, 0, 0},
+               {IrOp::hash_steer, 0, 4}};
+  ir.source_fingerprint = 0xfeedULL;
+  return ir;
+}
+
+TEST(ProgramIrCodecTest, ValidateRejectsStructurallyBadPrograms) {
+  auto bad = [](std::function<void(ProgramIR&)> mutate) {
+    ProgramIR ir = valid_shard_ir("sim://vip:80");
+    mutate(ir);
+    return validate_program(ir);
+  };
+  EXPECT_FALSE(bad([](ProgramIR& ir) { ir.vip.clear(); }).ok());
+  EXPECT_FALSE(bad([](ProgramIR& ir) { ir.instrs.clear(); }).ok());
+  // Steering must be terminal and unique.
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) { ir.instrs.push_back({IrOp::skip_fixed, 1, 0}); })
+          .ok());
+  // hash_steer needs a table and a bounded field.
+  EXPECT_FALSE(bad([](ProgramIR& ir) { ir.table.clear(); }).ok());
+  EXPECT_FALSE(bad([](ProgramIR& ir) { ir.instrs.back().b = 0; }).ok());
+  EXPECT_FALSE(bad([](ProgramIR& ir) { ir.instrs.back().b = 65; }).ok());
+  // forward must index into the table.
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) { ir.instrs.back() = {IrOp::forward, 9, 0}; })
+          .ok());
+  // drop_dup window is bounded and non-zero.
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) {
+        ir.instrs.insert(ir.instrs.begin(), {IrOp::drop_dup, 0, 0});
+      }).ok());
+  EXPECT_FALSE(bad([](ProgramIR& ir) {
+                 ir.instrs.insert(ir.instrs.begin(),
+                                  {IrOp::drop_dup, (1u << 20) + 1, 0});
+               }).ok());
+  // prepend_seq only in a sequencer slot, and vice versa.
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) {
+        ir.instrs.insert(ir.instrs.begin(), {IrOp::prepend_seq, 0, 0});
+      }).ok());
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) { ir.slot = SlotKind::sequencer; }).ok());
+  // Unknown ops and slot kinds.
+  EXPECT_FALSE(bad([](ProgramIR& ir) {
+                 ir.instrs.insert(ir.instrs.begin(),
+                                  {static_cast<IrOp>(42), 0, 0});
+               }).ok());
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) { ir.slot = static_cast<SlotKind>(7); }).ok());
+  // Bounded instruction count and table.
+  EXPECT_FALSE(bad([](ProgramIR& ir) {
+                 ir.instrs.assign(65, {IrOp::skip_fixed, 1, 0});
+                 ir.instrs.push_back({IrOp::forward, 0, 0});
+               }).ok());
+  EXPECT_FALSE(
+      bad([](ProgramIR& ir) { ir.table.assign(1025, "sim://b:1"); }).ok());
+}
+
+TEST(ProgramIrCodecTest, DecodeRejectsTrailingAndTamperedFrames) {
+  Bytes good = encode_program(valid_shard_ir("sim://vip:80"));
+  ASSERT_TRUE(decode_program(BytesView(good)).ok());
+
+  Bytes trailing = good;
+  trailing.push_back(0);
+  EXPECT_FALSE(decode_program(BytesView(trailing)).ok());
+
+  Bytes bad_magic = good;
+  bad_magic[0] = 'Q';
+  EXPECT_FALSE(decode_program(BytesView(bad_magic)).ok());
+
+  Bytes bad_slot = good;
+  bad_slot[2] = 9;  // unknown slot kind must fail validation inside decode
+  EXPECT_FALSE(decode_program(BytesView(bad_slot)).ok());
+}
+
+// --- compiled execution on the SimSwitch ---
+
+struct ProgramExecTest : ::testing::Test {
+  void SetUp() override {
+    world = TestWorld::make();
+    sw = SimSwitch::create(world.sim, world.discovery, SimSwitch::Config{})
+             .value();
+    for (int i = 0; i < 3; i++)
+      taps.push_back(
+          world.sim->attach("tap" + std::to_string(i), 1).value());
+  }
+
+  std::vector<Addr> tap_addrs() const {
+    std::vector<Addr> a;
+    for (const auto& t : taps) a.push_back(t->local_addr());
+    return a;
+  }
+
+  TestWorld world;
+  std::shared_ptr<SimSwitch> sw;
+  std::vector<TransportPtr> taps;
+};
+
+TEST_F(ProgramExecTest, ShardProgramAgreesWithSoftwarePick) {
+  std::vector<StageInfo> stages = {shard_stage(tap_addrs(), 0, 4)};
+  auto plan = synthesize_prefix(stages, vip_opts("sim://xvip:80")).value();
+  auto vip = sw->install_program(plan.ir);
+  ASSERT_TRUE(vip.ok()) << vip.error().to_string();
+
+  ShardArgs sargs;
+  sargs.shards = tap_addrs();
+  sargs.field_offset = 0;
+  sargs.field_len = 4;
+  auto probe = world.sim->attach("probe", 1).value();
+  Rng rng(7);
+  for (int i = 0; i < 40; i++) {
+    Bytes payload(8 + rng.next_below(32));
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.next_below(256));
+    size_t expected = sargs.pick(payload);
+    Bytes framed = shard_frame(probe->local_addr(), payload);
+    ASSERT_TRUE(probe->send_to(vip.value(), framed).ok());
+    auto got = taps[expected]->recv(Deadline::after(seconds(5)));
+    ASSERT_TRUE(got.ok()) << "iteration " << i << ": program steered away "
+                          << "from the software dispatcher's pick";
+    EXPECT_EQ(got.value().payload, framed) << i;  // steer forwards unmodified
+  }
+  EXPECT_EQ(sw->steered(vip.value()), 40u);
+  EXPECT_EQ(sw->program_stats(vip.value()).value().matched, 40u);
+}
+
+TEST_F(ProgramExecTest, GarbagePacketsMissNeverMisSteer) {
+  std::vector<StageInfo> stages = {shard_stage(tap_addrs(), 0, 4)};
+  auto plan = synthesize_prefix(stages, vip_opts("sim://gvip:80")).value();
+  Addr vip = sw->install_program(plan.ir).value();
+
+  auto probe = world.sim->attach("probe", 1).value();
+  ASSERT_TRUE(probe->send_to(vip, to_bytes("XY-not-a-shard-frame")).ok());
+  ASSERT_TRUE(probe->send_to(vip, to_bytes("S")).ok());  // truncated magic
+  Writer w;  // valid magic, length varint promising more bytes than exist
+  w.put_u8('S');
+  w.put_u8('1');
+  w.put_u8(200);
+  ASSERT_TRUE(probe->send_to(vip, w.bytes()).ok());
+
+  ASSERT_TRUE(poll_until(
+      [&] { return sw->program_stats(vip).value().missed == 3; }))
+      << "corrupt packets not accounted as misses";
+  EXPECT_EQ(sw->program_stats(vip).value().matched, 0u);
+  EXPECT_EQ(sw->steered(vip), 0u);
+  for (auto& t : taps)
+    EXPECT_FALSE(t->recv(Deadline::after(ms(50))).ok())
+        << "a corrupt packet was mis-steered to a backend";
+}
+
+TEST_F(ProgramExecTest, DedupProgramDropsWithinWindowAndEvicts) {
+  SynthOptions opts = vip_opts("sim://dvip:80");
+  opts.default_dst = taps[0]->local_addr().to_string();
+  auto plan = synthesize_prefix({dedup_stage(2)}, opts).value();
+  Addr vip = sw->install_program(plan.ir).value();
+
+  auto probe = world.sim->attach("probe", 1).value();
+  auto dedup_pkt = [](uint64_t id) {
+    Writer w;
+    w.put_u8('D');
+    w.put_u8('1');
+    w.put_varint(id);
+    return std::move(w).take();
+  };
+  // 1 delivers, the repeat drops, 2 and 3 deliver (3 evicts 1 from the
+  // two-entry ring), then 1 delivers again — bounded memory, no false
+  // drops after eviction.
+  for (uint64_t id : {1u, 1u, 2u, 3u, 1u})
+    ASSERT_TRUE(probe->send_to(vip, dedup_pkt(id)).ok());
+
+  int delivered = 0;
+  while (taps[0]->recv(Deadline::after(ms(300))).ok()) delivered++;
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(sw->program_stats(vip).value().dups, 1u);
+  EXPECT_EQ(sw->program_stats(vip).value().matched, 4u);
+}
+
+TEST_F(ProgramExecTest, FramingStripRewritesThePacket) {
+  SynthOptions opts = vip_opts("sim://svip:80");
+  opts.default_dst = taps[1]->local_addr().to_string();
+  opts.strip_parsed_headers = true;
+  auto plan = synthesize_prefix({frame_stage()}, opts).value();
+  Addr vip = sw->install_program(plan.ir).value();
+
+  Writer w;  // the frame chunnel's wire form: 3 id bytes, flags, varint body
+  w.put_u8(9);
+  w.put_u8(0);
+  w.put_u8(0);
+  w.put_u8(0);
+  w.put_bytes(to_bytes("bare-body"));
+  auto probe = world.sim->attach("probe", 1).value();
+  ASSERT_TRUE(probe->send_to(vip, w.bytes()).ok());
+
+  auto got = taps[1]->recv(Deadline::after(seconds(5)));
+  ASSERT_TRUE(got.ok());
+  // The backend receives the bare payload: the switch shed the framing.
+  EXPECT_EQ(to_string(got.value().payload), "bare-body");
+}
+
+TEST_F(ProgramExecTest, SequencerProgramStampsContinuously) {
+  SynthOptions opts = vip_opts("sim://qvip:80");
+  opts.initial_seq = 7;
+  auto plan =
+      synthesize_prefix({mcast_stage(taps[2]->local_addr().to_string())},
+                        opts)
+          .value();
+  ASSERT_EQ(plan.ir.slot, SlotKind::sequencer);
+  Addr vip = sw->install_program(plan.ir).value();
+  EXPECT_EQ(sw->sequencer_slots_used(), 1u);
+  EXPECT_EQ(world.discovery->pool_in_use(sw->slot_pool()), 1u);
+
+  auto probe = world.sim->attach("probe", 1).value();
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(
+        probe->send_to(vip, to_bytes("m" + std::to_string(i))).ok());
+    auto got = taps[2]->recv(Deadline::after(seconds(5)));
+    ASSERT_TRUE(got.ok()) << i;
+    ASSERT_GE(got.value().payload.size(), 8u);
+    uint64_t stamp = 0;
+    for (int j = 7; j >= 0; j--)
+      stamp = (stamp << 8) | got.value().payload[j];
+    EXPECT_EQ(stamp, 7u + static_cast<uint64_t>(i));  // continuous stream
+    EXPECT_EQ(to_string(BytesView(got.value().payload).subspan(8)),
+              "m" + std::to_string(i));
+  }
+  EXPECT_EQ(sw->program_stats(vip).value().next_seq, 10u);
+}
+
+TEST_F(ProgramExecTest, SlotAccountingExhaustionAndReclaim) {
+  SimSwitch::Config tiny;
+  tiny.name = "tiny";
+  tiny.match_action_slots = 1;
+  auto ts = SimSwitch::create(world.sim, world.discovery, tiny).value();
+
+  // A malformed program must not burn a slot.
+  ProgramIR malformed = valid_shard_ir("sim://t0:80");
+  malformed.instrs.clear();
+  ASSERT_FALSE(ts->install_program(malformed).ok());
+  EXPECT_EQ(world.discovery->pool_in_use(ts->match_action_pool()), 0u);
+  // Unparsable table addresses fail at install, not per-packet.
+  ProgramIR bad_table = valid_shard_ir("sim://t0:80");
+  bad_table.table = {"not an addr", "sim://b:2", "sim://b:3"};
+  ASSERT_FALSE(ts->install_program(bad_table).ok());
+  EXPECT_EQ(world.discovery->pool_in_use(ts->match_action_pool()), 0u);
+
+  ASSERT_TRUE(ts->install_program(valid_shard_ir("sim://t1:80")).ok());
+  EXPECT_EQ(world.discovery->pool_in_use(ts->match_action_pool()), 1u);
+  EXPECT_EQ(ts->match_action_slots_used(), 1u);
+
+  auto second = ts->install_program(valid_shard_ir("sim://t2:80"));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, Errc::resource_exhausted);
+
+  ASSERT_TRUE(ts->remove_program(Addr::sim("t1", 80)).ok());
+  EXPECT_EQ(world.discovery->pool_in_use(ts->match_action_pool()), 0u);
+  EXPECT_TRUE(ts->install_program(valid_shard_ir("sim://t2:80")).ok());
+
+  EXPECT_EQ(ts->remove_program(Addr::sim("gone", 1)).error().code,
+            Errc::not_found);
+  EXPECT_EQ(ts->program_stats(Addr::sim("gone", 1)).error().code,
+            Errc::not_found);
+}
+
+TEST_F(ProgramExecTest, MetricsProviderExportsOccupancyAndCounters) {
+  auto metrics = std::make_shared<MetricsRegistry>();
+  attach_simswitch_metrics_provider(*metrics, sw);
+
+  std::vector<StageInfo> stages = {shard_stage(tap_addrs(), 0, 4)};
+  auto plan = synthesize_prefix(stages, vip_opts("sim://mvip:80")).value();
+  Addr vip = sw->install_program(plan.ir).value();
+
+  auto probe = world.sim->attach("probe", 1).value();
+  for (int i = 0; i < 2; i++) {
+    Bytes framed =
+        shard_frame(probe->local_addr(), to_bytes("k" + std::to_string(i)));
+    ASSERT_TRUE(probe->send_to(vip, framed).ok());
+  }
+  ASSERT_TRUE(probe->send_to(vip, to_bytes("garbage")).ok());
+  ASSERT_TRUE(poll_until([&] {
+    auto s = sw->program_stats(vip).value();
+    return s.matched == 2 && s.missed == 1;
+  }));
+
+  auto snap = metrics->snapshot();
+  const std::string p = "simswitch." + sw->name() + ".";
+  EXPECT_EQ(snap.gauges.at(p + "match_action_slots.used"), 1.0);
+  EXPECT_EQ(snap.gauges.at(p + "match_action_slots.capacity"),
+            static_cast<double>(sw->config().match_action_slots));
+  EXPECT_EQ(snap.gauges.at(p + "sequencer_slots.used"), 0.0);
+  EXPECT_EQ(snap.counters.at(p + "steered." + vip.to_string()), 2u);
+  EXPECT_EQ(snap.counters.at(p + "program." + vip.to_string() + ".matched"),
+            2u);
+  EXPECT_EQ(snap.counters.at(p + "program." + vip.to_string() + ".missed"),
+            1u);
+}
+
+// --- synthesize_offload: install + catalogue binding lifecycle ---
+
+struct SynthOffloadTest : ::testing::Test {
+  void SetUp() override {
+    world = TestWorld::make();
+    sw = SimSwitch::create(world.sim, world.discovery, SimSwitch::Config{})
+             .value();
+    metrics = std::make_shared<MetricsRegistry>();
+  }
+
+  SynthContext ctx() {
+    SynthContext c;
+    c.sw = sw;
+    c.discovery = world.discovery;
+    c.metrics = metrics;
+    c.instance = "kv-main";
+    return c;
+  }
+
+  TestWorld world;
+  std::shared_ptr<SimSwitch> sw;
+  MetricsPtr metrics;
+};
+
+TEST_F(SynthOffloadTest, RegistersSynthesizedShardImpl) {
+  std::vector<StageInfo> stages = {shard_stage(three_sim_shards(), 5, 4)};
+  auto r = synthesize_offload(stages, vip_opts("sim://vip:80"), ctx());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  auto offload = r.value();
+
+  const ImplInfo& info = offload->info();
+  EXPECT_EQ(info.type, "shard");
+  EXPECT_EQ(info.name, "shard/switch:synth:sim://vip:80");
+  EXPECT_EQ(info.priority, 15);  // in-network beats the host XDP path
+  EXPECT_EQ(info.props.at("vip_addr"), "sim://vip:80");
+  EXPECT_EQ(info.props.at("switch"), sw->name());
+  EXPECT_EQ(info.props.at("instance"), "kv-main");
+  EXPECT_EQ(info.props.at("offloadable"), "true");
+  EXPECT_EQ(info.props.at("synthesized"), "true");
+  EXPECT_EQ(info.props.at("synth.fingerprint"),
+            std::to_string(offload->plan().ir.source_fingerprint));
+  EXPECT_EQ(info.props.at("synth.chain"), "shard/shard/xdp");
+  // Every negotiated binding of this impl reserves one flow-table entry.
+  ASSERT_EQ(info.resources.size(), 1u);
+  EXPECT_EQ(info.resources[0].pool, sw->flow_pool());
+  EXPECT_EQ(info.resources[0].amount, 1u);
+
+  auto q = world.discovery->query("shard").value();
+  bool found = false;
+  for (const auto& i : q) found |= i.name == info.name;
+  EXPECT_TRUE(found) << "synthesized impl missing from the catalogue";
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 1u);
+  EXPECT_EQ(world.discovery->pool_in_use(sw->flow_pool()), 0u)
+      << "no connection bound yet: flow entries are per-binding";
+  EXPECT_EQ(counter_of(metrics, "synth.compiled"), 1u);
+  EXPECT_EQ(counter_of(metrics, "synth.installed"), 1u);
+  EXPECT_EQ(counter_of(metrics, "synth.registered"), 1u);
+}
+
+TEST_F(SynthOffloadTest, RemoveIsIdempotentAndReleasesEverything) {
+  auto offload =
+      synthesize_offload({shard_stage(three_sim_shards())},
+                         vip_opts("sim://vip:80"), ctx())
+          .value();
+  const std::string name = offload->info().name;
+  ASSERT_TRUE(offload->remove().ok());
+  EXPECT_TRUE(offload->removed());
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 0u);
+  auto q = world.discovery->query("shard").value();
+  for (const auto& i : q) EXPECT_NE(i.name, name);
+  EXPECT_TRUE(offload->remove().ok());  // idempotent
+  EXPECT_EQ(counter_of(metrics, "synth.withdrawn"), 1u);
+}
+
+TEST_F(SynthOffloadTest, RemoteRevocationReclaimsTheSlot) {
+  auto offload =
+      synthesize_offload({shard_stage(three_sim_shards())},
+                         vip_opts("sim://vip:80"), ctx())
+          .value();
+  // An operator pulls the registration out from under the offload: the
+  // watch must tear the program down and hand the slot back.
+  ASSERT_TRUE(
+      world.discovery->unregister_impl("shard", offload->info().name).ok());
+  EXPECT_TRUE(poll_until([&] { return offload->removed(); }))
+      << "revocation watch never fired";
+  EXPECT_TRUE(poll_until([&] {
+    return world.discovery->pool_in_use(sw->match_action_pool()) == 0;
+  })) << "switch slot leaked after remote revocation";
+}
+
+TEST_F(SynthOffloadTest, TransparentProgramsAreNotRegistered) {
+  SynthOptions opts = vip_opts("sim://tvip:80");
+  opts.default_dst = "sim://backend:9";
+  opts.strip_parsed_headers = true;
+  auto offload =
+      synthesize_offload({dedup_stage(32), frame_stage()}, opts, ctx())
+          .value();
+  // Holds its slot and rewrites traffic, but is not negotiable.
+  EXPECT_TRUE(offload->info().name.empty());
+  EXPECT_TRUE(world.discovery->query("dedup").value().empty());
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 1u);
+  ASSERT_TRUE(offload->remove().ok());
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 0u);
+}
+
+TEST_F(SynthOffloadTest, DeclinedSynthesisLeavesNothingBehind) {
+  std::vector<StageInfo> stages = {make_stage("encrypt", "encrypt/sw", ""),
+                                   shard_stage(three_sim_shards())};
+  auto r = synthesize_offload(stages, vip_opts("sim://vip:80"), ctx());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::not_found);
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 0u);
+  EXPECT_TRUE(world.discovery->query("shard").value().empty());
+  EXPECT_EQ(counter_of(metrics, "synth.declined"), 1u);
+}
+
+class RegisterRejectingDiscovery : public DiscoveryState {
+ public:
+  Result<void> register_impl(const ImplInfo& info) override {
+    if (info.props.count("synthesized"))
+      return err(Errc::unavailable, "catalogue refuses synthesized impls");
+    return DiscoveryState::register_impl(info);
+  }
+};
+
+TEST_F(SynthOffloadTest, BindFailureUnwindsProgramAndSlot) {
+  auto rej = std::make_shared<RegisterRejectingDiscovery>();
+  SimSwitch::Config cfg;
+  cfg.name = "rej-sw";
+  auto rsw = SimSwitch::create(world.sim, rej, cfg).value();
+  SynthContext c;
+  c.sw = rsw;
+  c.discovery = rej;
+  c.metrics = metrics;
+  auto r = synthesize_offload({shard_stage(three_sim_shards())},
+                              vip_opts("sim://rvip:80"), c);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::unavailable);
+  // The program was installed, then fully unwound: no slot leak behind
+  // a failed registration.
+  EXPECT_EQ(rej->pool_in_use(rsw->match_action_pool()), 0u);
+  EXPECT_EQ(rsw->match_action_slots_used(), 0u);
+  EXPECT_EQ(counter_of(metrics, "synth.bind_failed"), 1u);
+}
+
+// --- through the replicated control plane ---
+
+TEST(ClusterSynthTest, SynthesisRegistersThroughReplicatedCatalogue) {
+  auto world = TestWorld::make();
+  DiscoveryCluster::Config cfg;
+  cfg.partitions = 2;
+  cfg.replicas = 1;
+  cfg.transports =
+      std::make_shared<DefaultTransportFactory>(world.mem, nullptr, "ctrl");
+  cfg.replica.sweep_period = ms(20);
+  auto cluster = DiscoveryCluster::start(std::move(cfg)).value();
+  auto client = cluster->client("synth-host").value();
+
+  // The switch's pools land on the replicated catalogue...
+  SimSwitch::Config scfg;
+  scfg.name = "rack-sw";
+  auto sw = SimSwitch::create(world.sim, client, scfg).value();
+  const auto& pm = client->partition_map();
+  size_t slots_p = pm.index_for_pool(sw->match_action_pool());
+  EXPECT_EQ(cluster->replica(slots_p, 0)
+                ->state()
+                ->pool_capacity(sw->match_action_pool()),
+            scfg.match_action_slots);
+  size_t flow_p = pm.index_for_pool(sw->flow_pool());
+  EXPECT_EQ(cluster->replica(flow_p, 0)->state()->pool_capacity(
+                sw->flow_pool()),
+            scfg.flow_entries);
+
+  // ...and so does the synthesized impl: registration, admission, and
+  // the revocation watch all ride the control plane.
+  SynthContext ctx;
+  ctx.sw = sw;
+  ctx.discovery = client;
+  ctx.instance = "kv-main";
+  auto offload = synthesize_offload({shard_stage(three_sim_shards())},
+                                    vip_opts("sim://cvip:80"), ctx)
+                     .value();
+  auto obs = cluster->client("obs").value();
+  auto q = obs->query("shard").value();
+  bool found = false;
+  for (const auto& i : q)
+    if (i.name == offload->info().name)
+      found = i.props.at("synthesized") == "true";
+  EXPECT_TRUE(found) << "synthesized impl not visible to other clients";
+  EXPECT_EQ(cluster->replica(slots_p, 0)
+                ->state()
+                ->pool_in_use(sw->match_action_pool()),
+            1u);
+
+  // Revocation issued by a different client travels back through the
+  // partition's watch stream and reclaims the slot.
+  ASSERT_TRUE(obs->unregister_impl("shard", offload->info().name).ok());
+  EXPECT_TRUE(poll_until([&] { return offload->removed(); }, seconds(10)))
+      << "cluster watch never delivered the revocation";
+  EXPECT_TRUE(poll_until([&] {
+    return cluster->replica(slots_p, 0)
+               ->state()
+               ->pool_in_use(sw->match_action_pool()) == 0;
+  })) << "switch slot leaked across the control plane";
+}
+
+// --- end to end: negotiation, live transition, revocation fallback ---
+
+TransitionTuning fast_tuning() {
+  TransitionTuning t;
+  t.offer_retry = ms(25);
+  t.ack_timeout = ms(1000);
+  t.drain_timeout = ms(300);
+  t.sweep_period = ms(10);
+  return t;
+}
+
+// The impl currently bound for `type` in a connection's chain.
+std::string bound_impl(const ConnPtr& conn, const std::string& type) {
+  auto* t = dynamic_cast<TransitionableConnection*>(conn.get());
+  if (!t) return "";
+  for (const auto& n : t->chain())
+    if (n.type == type) return n.impl_name;
+  return "";
+}
+
+struct SynthE2E : ::testing::Test {
+  void SetUp() override {
+    world = TestWorld::make();
+    sw = SimSwitch::create(world.sim, world.discovery, SimSwitch::Config{})
+             .value();
+    // Raw echo backends: shard-framed requests bounce straight back to
+    // the sender, so the app payload (still frame-wrapped) round-trips
+    // without a KV stack — the test observes the pure data path.
+    for (int i = 0; i < 3; i++) {
+      auto t = world.sim->attach("bk" + std::to_string(i), 1).value();
+      Transport* tp = t.get();
+      backends.push_back(std::move(t));
+      echoers.emplace_back([tp] {
+        for (;;) {
+          auto p = tp->recv();
+          if (!p.ok()) return;
+          auto req = parse_shard_frame(p.value().payload);
+          if (!req.ok()) continue;
+          (void)tp->send_to(req.value().reply_to, req.value().payload);
+        }
+      });
+    }
+  }
+
+  void TearDown() override {
+    for (auto& t : backends) t->close();
+    for (auto& th : echoers) th.join();
+  }
+
+  ChunnelArgs dag_args() {
+    std::vector<Addr> addrs;
+    for (const auto& t : backends) addrs.push_back(t->local_addr());
+    ChunnelArgs a;
+    a.set("shards", format_addr_list(addrs));
+    // Steer on the first app bytes *behind* the frame header: 4 fixed
+    // bytes + the 1-byte length varint of a short body.
+    a.set_u64("field_offset", 5);
+    a.set_u64("field_len", 4);
+    a.set("instance", "kv-main");
+    return a;
+  }
+
+  std::shared_ptr<Runtime> make_runtime(
+      const std::string& host, bool builtins, TransitionTuning tuning,
+      std::shared_ptr<TransportFactory> transports = nullptr) {
+    RuntimeConfig cfg;
+    cfg.host_id = host;
+    cfg.transports = transports
+                         ? transports
+                         : std::make_shared<DefaultTransportFactory>(
+                               world.mem, world.sim, host);
+    cfg.discovery = world.discovery;
+    cfg.transition_tuning = tuning;
+    auto rt = Runtime::create(std::move(cfg)).value();
+    if (builtins) EXPECT_TRUE(register_builtin_chunnels(*rt).ok());
+    return rt;
+  }
+
+  // A thin client: frame for the app protocol plus the shard client
+  // factories, but no client-push impl, so the server's dispatcher (and
+  // later the synthesized switch program) carries the data path.
+  void register_client_chunnels(Runtime& rt) {
+    ASSERT_TRUE(rt.register_chunnel(std::make_shared<FrameChunnel>()).ok());
+    ASSERT_TRUE(register_shard_chunnels(rt, /*client_push=*/false,
+                                        /*xdp=*/true, /*fallback=*/true)
+                    .ok());
+  }
+
+  SynthContext synth_ctx() {
+    SynthContext c;
+    c.sw = sw;
+    c.discovery = world.discovery;
+    c.metrics = metrics;
+    c.instance = "kv-main";
+    return c;
+  }
+
+  // One application round trip via the echo backends; false on loss.
+  [[nodiscard]] bool echo_trip(const ConnPtr& conn, int i) {
+    std::string body = std::to_string(1000 + i) + "-echo-payload";
+    if (!conn->send(Msg::of(body)).ok()) return false;
+    auto back = conn->recv(Deadline::after(seconds(5)));
+    return back.ok() && back.value().payload_str() == body;
+  }
+
+  TestWorld world;
+  std::shared_ptr<SimSwitch> sw;
+  std::vector<TransportPtr> backends;
+  std::vector<std::thread> echoers;
+  MetricsPtr metrics = std::make_shared<MetricsRegistry>();
+};
+
+TEST_F(SynthE2E, SynthesizedProgramWinsLiveTransitionAndRevokesCleanly) {
+  auto srv_rt = make_runtime("srv", /*builtins=*/true, fast_tuning());
+  auto cli_rt = make_runtime("cli", /*builtins=*/false, fast_tuning());
+  register_client_chunnels(*cli_rt);
+
+  // frame |> shard: on the wire the shard header is outermost (chain[0]
+  // is the app-facing wrapper), which is exactly the prefix a switch
+  // parser can consume.
+  auto listener =
+      srv_rt->endpoint("kv", wrap(ChunnelSpec("frame"),
+                                  ChunnelSpec("shard", dag_args())))
+          .value()
+          .listen(Addr::sim("srv", 9000))
+          .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv_conn = listener->accept(Deadline::after(seconds(5))).value();
+  // No offload is registered anywhere: negotiation lands on the host
+  // XDP dispatcher.
+  ASSERT_EQ(bound_impl(srv_conn, "shard"), "shard/xdp");
+  for (int i = 0; i < 3; i++) ASSERT_TRUE(echo_trip(conn, i));
+  EXPECT_EQ(world.discovery->pool_in_use(sw->flow_pool()), 0u);
+
+  // Compile the connection's own negotiated chain — no hand-registered
+  // switch impl, no bespoke steering closure.
+  auto* tc = dynamic_cast<TransitionableConnection*>(srv_conn.get());
+  ASSERT_NE(tc, nullptr);
+  auto r = synthesize_offload(wire_order_stages(tc->chain()),
+                              vip_opts("sim://kv-vip:80"), synth_ctx());
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  auto offload = r.value();
+  const std::string synth_name = offload->info().name;
+  EXPECT_EQ(synth_name, "shard/switch:synth:sim://kv-vip:80");
+  EXPECT_EQ(offload->plan().stages_covered, 1u);  // steering ends the walk
+
+  // The registration event drives a live transition onto the program;
+  // every message in flight during the cutover must be answered.
+  int sent = 10;
+  Deadline dl = Deadline::after(seconds(15));
+  while (bound_impl(conn, "shard") != synth_name) {
+    ASSERT_FALSE(dl.expired()) << "upgrade onto synthesized program never "
+                               << "happened; still on "
+                               << bound_impl(conn, "shard");
+    ASSERT_TRUE(echo_trip(conn, ++sent)) << "message lost mid-transition";
+    (void)srv_conn->recv(Deadline::after(ms(10)));  // surface control frames
+  }
+  ASSERT_TRUE(echo_trip(conn, ++sent));
+  EXPECT_GT(sw->steered(offload->vip()), 0u)
+      << "traffic still flows in software despite the switch binding";
+
+  // Server side finishes the transition (ack arrives on its channel)
+  // and the binding's admission shows up in the pools: one program
+  // slot, one flow-table entry for the bound connection.
+  ASSERT_TRUE(poll_until([&] {
+    (void)srv_conn->recv(Deadline::after(ms(10)));
+    return srv_rt->transitions().stats().completed >= 1;
+  })) << "server never completed the transition";
+  EXPECT_EQ(srv_rt->transitions().stats().closed_mandatory, 0u);
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 1u);
+  EXPECT_EQ(world.discovery->pool_in_use(sw->flow_pool()), 1u);
+  auto q = world.discovery->query("shard").value();
+  bool advertised = false;
+  for (const auto& i : q)
+    if (i.name == synth_name)
+      advertised = i.props.at("synthesized") == "true" &&
+                   i.props.at("synth.chain") == "shard/shard/xdp";
+  EXPECT_TRUE(advertised);
+
+  // Withdraw the offload: bound connections must fall back to software
+  // (packets sent at the dead VIP in the window are lost by design, so
+  // probes are tolerant), and every switch resource must come back.
+  ASSERT_TRUE(offload->remove().ok());
+  Deadline rdl = Deadline::after(seconds(15));
+  while (bound_impl(conn, "shard") != "shard/xdp") {
+    ASSERT_FALSE(rdl.expired()) << "revocation fallback never happened";
+    (void)conn->send(Msg::of("probe"));
+    (void)conn->recv(Deadline::after(ms(20)));
+    (void)srv_conn->recv(Deadline::after(ms(10)));
+  }
+  // Mop up stale probe echoes, then prove the software path serves.
+  while (conn->recv(Deadline::after(ms(100))).ok()) {
+  }
+  ASSERT_TRUE(echo_trip(conn, 900));
+  EXPECT_FALSE(sw->program_stats(offload->vip()).ok())
+      << "program survived withdrawal";
+  EXPECT_TRUE(poll_until([&] {
+    (void)srv_conn->recv(Deadline::after(ms(10)));
+    return world.discovery->pool_in_use(sw->flow_pool()) == 0;
+  })) << "flow-table entry leaked after revocation";
+  EXPECT_EQ(world.discovery->pool_in_use(sw->match_action_pool()), 0u);
+  for (const auto& i : world.discovery->query("shard").value())
+    EXPECT_NE(i.name, synth_name);
+}
+
+// Regression for the slot-leak bug: a transition staged onto the
+// synthesized impl reserves its flow-table entry at offer time; when the
+// client's ack is lost and the server rolls the transition back, that
+// entry must be handed back — otherwise every failed upgrade attempt
+// permanently shrinks the switch's flow table. The switch here has
+// exactly ONE flow entry, and the controller re-offers after every
+// rollback (the release emits pool_freed, which restarts the upgrade
+// pass): a leaked entry would make the second offer cycle — and the
+// eventual successful upgrade — impossible to admit.
+TEST_F(SynthE2E, RolledBackUpgradeReleasesFlowEntry) {
+  // ack_timeout < drain_timeout: the client has cut over (and acked into
+  // the void) while its old stack still drains, so the server's rollback
+  // cancel can revert it.
+  TransitionTuning tuning;
+  tuning.offer_retry = ms(25);
+  tuning.ack_timeout = ms(250);
+  tuning.drain_timeout = ms(2000);
+  tuning.sweep_period = ms(10);
+
+  auto drop_acks = std::make_shared<std::atomic<bool>>(false);
+  auto cli_factory = std::make_shared<FaultInjectingFactory>(
+      std::make_shared<DefaultTransportFactory>(world.mem, world.sim, "cli"),
+      FaultInjectingTransport::Options{});
+  cli_factory->set_send_filter([drop_acks](const Addr&, BytesView p) {
+    return drop_acks->load() && p.size() >= kWireHeaderSize &&
+           p[2] == static_cast<uint8_t>(MsgKind::transition_ack);
+  });
+
+  auto srv_rt = make_runtime("srv", /*builtins=*/true, tuning);
+  auto cli_rt = make_runtime("cli", /*builtins=*/false, tuning, cli_factory);
+  register_client_chunnels(*cli_rt);
+
+  auto listener =
+      srv_rt->endpoint("kv", wrap(ChunnelSpec("frame"),
+                                  ChunnelSpec("shard", dag_args())))
+          .value()
+          .listen(Addr::sim("srv", 9100))
+          .value();
+  auto conn = cli_rt->endpoint("cli", ChunnelDag::empty())
+                  .value()
+                  .connect(listener->addr(), Deadline::after(seconds(5)))
+                  .value();
+  auto srv_conn = listener->accept(Deadline::after(seconds(5))).value();
+  ASSERT_EQ(bound_impl(srv_conn, "shard"), "shard/xdp");
+  ASSERT_TRUE(echo_trip(conn, 0));
+
+  // A switch whose flow table admits exactly one binding: the canary.
+  SimSwitch::Config tight;
+  tight.name = "tight";
+  tight.flow_entries = 1;
+  auto tsw = SimSwitch::create(world.sim, world.discovery, tight).value();
+  SynthContext tctx;
+  tctx.sw = tsw;
+  tctx.discovery = world.discovery;
+  tctx.metrics = metrics;
+  tctx.instance = "kv-main";
+
+  // Black-hole the acks, then register the synthesized impl to provoke
+  // the upgrade offer.
+  drop_acks->store(true);
+  auto* tc = dynamic_cast<TransitionableConnection*>(srv_conn.get());
+  ASSERT_NE(tc, nullptr);
+  auto offload = synthesize_offload(wire_order_stages(tc->chain()),
+                                    vip_opts("sim://kv-vip2:80"), tctx)
+                     .value();
+
+  // Each cycle: the offer stages a binding and reserves the single flow
+  // entry, the lost ack rolls it back, the rollback releases the entry,
+  // and pool_freed restarts the upgrade pass. Two completed rollbacks
+  // therefore prove the entry came back after the first — with a leak,
+  // cycle two could never have admitted the impl. Messages sent on an
+  // orphaned token are lost by design — keep both recv paths pumped, no
+  // round-trip asserts inside this window.
+  Deadline dl = Deadline::after(seconds(20));
+  while (srv_rt->transitions().stats().rolled_back < 2 ||
+         cli_rt->transitions().stats().reverts == 0) {
+    ASSERT_FALSE(dl.expired())
+        << "second rollback cycle never happened (flow entry leaked?): "
+        << srv_rt->transitions().stats().rolled_back << " rollbacks";
+    (void)conn->send(Msg::of("probe"));
+    (void)conn->recv(Deadline::after(ms(20)));
+    (void)srv_conn->recv(Deadline::after(ms(10)));
+  }
+  EXPECT_EQ(world.discovery->pool_in_use(tsw->match_action_pool()), 1u);
+  EXPECT_FALSE(offload->removed());
+
+  // With acks flowing again the next re-offer must complete — claiming
+  // the entry the last rollback returned.
+  drop_acks->store(false);
+  int sent = 100;
+  dl = Deadline::after(seconds(15));
+  while (bound_impl(conn, "shard") != offload->info().name) {
+    ASSERT_FALSE(dl.expired()) << "post-rollback upgrade never completed";
+    (void)conn->send(Msg::of("probe" + std::to_string(++sent)));
+    (void)conn->recv(Deadline::after(ms(20)));
+    (void)srv_conn->recv(Deadline::after(ms(10)));
+  }
+  // Back to request/response: mop up stale probe echoes first.
+  while (conn->recv(Deadline::after(ms(100))).ok()) {
+  }
+  ASSERT_TRUE(echo_trip(conn, 999));
+  EXPECT_TRUE(poll_until([&] {
+    (void)srv_conn->recv(Deadline::after(ms(10)));
+    return world.discovery->pool_in_use(tsw->flow_pool()) == 1;
+  })) << "bound binding does not hold exactly the one flow entry";
+  EXPECT_GE(srv_rt->transitions().stats().rolled_back, 2u);
+  EXPECT_GE(srv_rt->transitions().stats().completed, 1u);
+}
+
+}  // namespace
+}  // namespace bertha
