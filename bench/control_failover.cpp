@@ -16,10 +16,13 @@
 // establishment above BERTHA_CONTROL_VIEW_MAX_MS (default 1000) exits
 // non-zero. CI runs this in the bench-smoke job.
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "apps/ping.hpp"
 #include "bench_util.hpp"
 #include "control/cluster.hpp"
+#include "control/reshard.hpp"
 #include "util/clock.hpp"
 
 using namespace bertha;
@@ -178,6 +181,65 @@ int main() {
   bool write_ok = probe->register_impl(probe_info).ok();
   double write_ms = vc_sw.elapsed_us() / 1000.0;
 
+  // Phase 5: online repartitioning. Steady-state mutation baseline
+  // first, then a live 2 -> 4 split followed by a 4 -> 2 merge while a
+  // mutation loop keeps writing. Every mutation retries until it lands,
+  // so its observed latency IS the write unavailability it sat through;
+  // with BERTHA_RESHARD_GATE=1 the migration must keep the worst one
+  // under BERTHA_RESHARD_UNAVAIL_MS (default 1000) and the
+  // during-migration mutation p99 within BERTHA_RESHARD_P99_X (default
+  // 4x) of the steady-state mutation p99.
+  const bool reshard_gate = std::getenv("BERTHA_RESHARD_GATE") != nullptr;
+  double reshard_p99_x = 4.0;
+  if (const char* env = std::getenv("BERTHA_RESHARD_P99_X"))
+    reshard_p99_x = std::atof(env);
+  double reshard_unavail_ms = 1000;
+  if (const char* env = std::getenv("BERTHA_RESHARD_UNAVAIL_MS"))
+    reshard_unavail_ms = std::atof(env);
+
+  auto wr = die_on_err(cluster->client("reshard-wr", rpc), "reshard writer");
+  std::atomic<int> mut_id{0};
+  std::atomic<int> mut_failures{0};
+  auto mutate = [&](SampleSet& out) {
+    int i = mut_id.fetch_add(1);
+    ImplInfo mi;
+    mi.type = "rsb.t" + std::to_string(i % 64);
+    mi.name = mi.type + "/m" + std::to_string(i);
+    mi.scope = Scope::host;
+    mi.endpoints = EndpointConstraint::server;
+    Stopwatch sw;
+    Deadline dl = Deadline::after(seconds(10));
+    bool landed = false;
+    while (!landed && !dl.expired()) landed = wr->register_impl(mi).ok();
+    if (landed)
+      out.add(sw.elapsed_us());
+    else
+      mut_failures.fetch_add(1);
+  };
+
+  SampleSet steady_mut;
+  const int mut_n = scaled(300, 50);
+  for (int i = 0; i < mut_n; i++) mutate(steady_mut);
+  Summary steady_mut_s = steady_mut.summarize();
+
+  SampleSet migrate_mut;
+  std::atomic<bool> reshard_done{false};
+  std::thread mut_thread([&] {
+    while (!reshard_done.load()) mutate(migrate_mut);
+  });
+  auto coord =
+      die_on_err(ReshardCoordinator::create(*cluster), "reshard coordinator");
+  Stopwatch split_sw;
+  die_on_err(coord->split(), "split");
+  double split_ms = split_sw.elapsed_us() / 1000.0;
+  Stopwatch merge_sw;
+  die_on_err(coord->merge(), "merge");
+  double merge_ms = merge_sw.elapsed_us() / 1000.0;
+  reshard_done.store(true);
+  mut_thread.join();
+  Summary migrate_mut_s = migrate_mut.summarize();
+  Phase resharded = measure(ep, server->addr(), failover_conns);
+
   size_t rotations = srv_disc->server_failovers();
   auto cli_disc =
       std::dynamic_pointer_cast<ClusterDiscovery>(cli_rt->config().discovery);
@@ -202,6 +264,7 @@ int main() {
   row("failover (replica killed)", failover_conns, failover);
   row("rejoined (after catch-up)", failover_conns, rejoined);
   row("view change (seq killed)", failover_conns, viewchange);
+  row("resharded (split + merge)", failover_conns, resharded);
   std::printf("=> killed p%zu-r%zu mid-run; clients rotated %zu time(s); the\n"
               "   failover p99 absorbs one RPC timeout (%lldms) + retry\n",
               part, victim, rotations,
@@ -215,6 +278,14 @@ int main() {
               "establishment during the\n   change %.1fms\n",
               static_cast<unsigned long long>(view_changes), election_ms,
               write_ms, viewchange.connect_us.max / 1000.0);
+  std::printf("=> reshard: split 2->4 in %.1fms, merge 4->2 in %.1fms\n"
+              "   mutations: steady p50/p99 %.1f/%.1fus (%zu), during "
+              "migration\n   p50/p99 %.1f/%.1fus (%zu), worst "
+              "time-to-land %.1fms, %d never landed\n",
+              split_ms, merge_ms, steady_mut_s.p50, steady_mut_s.p99,
+              steady_mut_s.count, migrate_mut_s.p50, migrate_mut_s.p99,
+              migrate_mut_s.count, migrate_mut_s.max / 1000.0,
+              mut_failures.load());
 
   if (gate) {
     bool ok = true;
@@ -264,6 +335,52 @@ int main() {
                 "view-change max %.1fus <= %.0fms, catch-up converged\n",
                 failover.connect_us.p99, p99_bound_ms,
                 viewchange.connect_us.max, view_max_ms);
+  }
+
+  if (reshard_gate) {
+    bool ok = true;
+    if (mut_failures.load() > 0) {
+      std::fprintf(stderr,
+                   "RESHARD GATE FAIL: %d mutation(s) never landed "
+                   "(writes unavailable > 10s)\n",
+                   mut_failures.load());
+      ok = false;
+    }
+    if (resharded.failures > 0) {
+      std::fprintf(stderr,
+                   "RESHARD GATE FAIL: %d establishment failures after the "
+                   "split + merge (want 0)\n",
+                   resharded.failures);
+      ok = false;
+    }
+    if (migrate_mut_s.count > 0) {
+      if (migrate_mut_s.p99 > reshard_p99_x * steady_mut_s.p99) {
+        std::fprintf(stderr,
+                     "RESHARD GATE FAIL: during-migration mutation p99 "
+                     "%.1fus exceeds %.1fx steady p99 %.1fus\n",
+                     migrate_mut_s.p99, reshard_p99_x, steady_mut_s.p99);
+        ok = false;
+      }
+      if (migrate_mut_s.max > reshard_unavail_ms * 1000.0) {
+        std::fprintf(stderr,
+                     "RESHARD GATE FAIL: worst mutation time-to-land "
+                     "%.1fms exceeds %.0fms\n",
+                     migrate_mut_s.max / 1000.0, reshard_unavail_ms);
+        ok = false;
+      }
+    }
+    if (cluster->active_partitions() != 2) {
+      std::fprintf(stderr,
+                   "RESHARD GATE FAIL: %zu partitions active after merge "
+                   "(want 2)\n",
+                   cluster->active_partitions());
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("RESHARD GATE PASS: mutation p99 %.1fus <= %.1fx steady "
+                "%.1fus, worst %.1fms <= %.0fms, zero stuck writes\n",
+                migrate_mut_s.p99, reshard_p99_x, steady_mut_s.p99,
+                migrate_mut_s.max / 1000.0, reshard_unavail_ms);
   }
   return 0;
 }

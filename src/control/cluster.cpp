@@ -4,6 +4,14 @@
 
 namespace bertha {
 
+namespace {
+std::vector<uint32_t> identity_home_for(uint64_t modulo) {
+  std::vector<uint32_t> home(static_cast<size_t>(modulo));
+  for (size_t i = 0; i < home.size(); i++) home[i] = static_cast<uint32_t>(i);
+  return home;
+}
+}  // namespace
+
 // --- ClusterDiscovery ---
 
 Result<std::shared_ptr<ClusterDiscovery>> ClusterDiscovery::connect(
@@ -18,18 +26,34 @@ Result<std::shared_ptr<ClusterDiscovery>> ClusterDiscovery::connect(
 
   auto cd = std::shared_ptr<ClusterDiscovery>(
       new ClusterDiscovery(cfg.partitions.size()));
-  for (size_t i = 0; i < cfg.partitions.size(); i++) {
-    // One client transport and one failover RemoteDiscovery per
-    // partition. Each per-partition client owns its own client_id,
-    // leases and heartbeats, so lease state lives exactly where the
-    // leased registrations do.
-    BERTHA_TRY_ASSIGN(
-        t, cfg.transports->bind(
-               client_bind_for(cfg.partitions[i][0], cfg.host_id)));
-    cd->clients_.push_back(std::make_shared<RemoteDiscovery>(
-        std::move(t), cfg.partitions[i], cfg.rpc));
+  cd->cfg_ = std::move(cfg);
+  for (const auto& servers : cd->cfg_.partitions) {
+    BERTHA_TRY_ASSIGN(c, cd->connect_partition(servers));
+    cd->clients_.push_back(std::move(c));
   }
   return cd;
+}
+
+Result<std::shared_ptr<RemoteDiscovery>> ClusterDiscovery::connect_partition(
+    const std::vector<Addr>& servers) const {
+  // One client transport and one failover RemoteDiscovery per partition.
+  // Each per-partition client owns its own client_id, leases and
+  // heartbeats, so lease state lives exactly where the leased
+  // registrations do.
+  BERTHA_TRY_ASSIGN(
+      t, cfg_.transports->bind(client_bind_for(servers[0], cfg_.host_id)));
+  return std::make_shared<RemoteDiscovery>(std::move(t), servers, cfg_.rpc);
+}
+
+std::shared_ptr<RemoteDiscovery> ClusterDiscovery::client_for(
+    size_t idx) const {
+  std::lock_guard<std::mutex> lk(cl_mu_);
+  return idx < clients_.size() ? clients_[idx] : nullptr;
+}
+
+size_t ClusterDiscovery::partitions() const {
+  std::lock_guard<std::mutex> lk(cl_mu_);
+  return clients_.size();
 }
 
 ClusterDiscovery::~ClusterDiscovery() {
@@ -37,7 +61,7 @@ ClusterDiscovery::~ClusterDiscovery() {
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lk(fan_mu_);
-    for (auto& w : fan_upstreams_) w->cancel();
+    for (auto& [idx, w] : fan_upstreams_) w->cancel();
     for (auto& w : fan_outs_) w->cancel();
     threads.swap(fan_threads_);
   }
@@ -46,16 +70,22 @@ ClusterDiscovery::~ClusterDiscovery() {
 }
 
 Result<void> ClusterDiscovery::register_impl(const ImplInfo& info) {
-  return clients_[map_.index_for_type(info.type)]->register_impl(info);
+  auto c = client_for(map_.index_for_type(info.type));
+  if (!c) return err(Errc::unavailable, "partition client re-steering");
+  return c->register_impl(info);
 }
 
 Result<void> ClusterDiscovery::unregister_impl(const std::string& type,
                                                const std::string& name) {
-  return clients_[map_.index_for_type(type)]->unregister_impl(type, name);
+  auto c = client_for(map_.index_for_type(type));
+  if (!c) return err(Errc::unavailable, "partition client re-steering");
+  return c->unregister_impl(type, name);
 }
 
 Result<std::vector<ImplInfo>> ClusterDiscovery::query(const std::string& type) {
-  return clients_[map_.index_for_type(type)]->query(type);
+  auto c = client_for(map_.index_for_type(type));
+  if (!c) return err(Errc::unavailable, "partition client re-steering");
+  return c->query(type);
 }
 
 Result<uint64_t> ClusterDiscovery::acquire(
@@ -69,39 +99,54 @@ Result<uint64_t> ClusterDiscovery::acquire(
       // them separately with caller-side rollback.
       return err(Errc::invalid_argument,
                  "acquire spans partitions: " + reqs[0].pool + " vs " + r.pool);
-  return clients_[idx]->acquire(reqs);
+  auto c = client_for(idx);
+  if (!c) return err(Errc::unavailable, "partition client re-steering");
+  return c->acquire(reqs);
 }
 
 Result<void> ClusterDiscovery::release(uint64_t alloc_id) {
-  size_t idx = PartitionMap::index_for_alloc(alloc_id);
-  if (idx >= clients_.size())
-    return err(Errc::invalid_argument, "alloc id names unknown partition");
-  return clients_[idx]->release(alloc_id);
+  // Ids are namespaced by the partition that minted them; the namespace
+  // is a steering bucket, so a split/merge re-homes release routing
+  // exactly like the catalogue (the old home forwards one hop for
+  // clients whose map is still a stale epoch).
+  BERTHA_TRY_ASSIGN(idx, map_.index_for_alloc_routed(alloc_id));
+  auto c = client_for(idx);
+  if (!c) return err(Errc::unavailable, "partition client re-steering");
+  return c->release(alloc_id);
 }
 
 Result<void> ClusterDiscovery::set_pool(const std::string& pool,
                                         uint64_t capacity) {
-  return clients_[map_.index_for_pool(pool)]->set_pool(pool, capacity);
+  auto c = client_for(map_.index_for_pool(pool));
+  if (!c) return err(Errc::unavailable, "partition client re-steering");
+  return c->set_pool(pool, capacity);
 }
 
 Result<WatcherPtr> ClusterDiscovery::watch(const std::string& type_filter) {
-  if (!type_filter.empty())
-    return clients_[map_.index_for_type(type_filter)]->watch(type_filter);
+  if (!type_filter.empty()) {
+    auto c = client_for(map_.index_for_type(type_filter));
+    if (!c) return err(Errc::unavailable, "partition client re-steering");
+    return c->watch(type_filter);
+  }
   // Catalogue-wide: fan in one stream per partition. The merged stream
   // is its own seq domain (per-partition seqs are incomparable), so
   // events are re-stamped from a local counter; per-partition order is
   // preserved because each upstream has exactly one forwarder.
   auto out = std::make_shared<DiscoveryWatcher>("");
-  std::vector<WatcherPtr> ups;
-  for (auto& c : clients_) {
+  std::vector<std::pair<size_t, std::shared_ptr<RemoteDiscovery>>> cs;
+  {
+    std::lock_guard<std::mutex> lk(cl_mu_);
+    for (size_t i = 0; i < clients_.size(); i++) cs.emplace_back(i, clients_[i]);
+  }
+  std::vector<std::pair<size_t, WatcherPtr>> ups;
+  for (auto& [i, c] : cs) {
     BERTHA_TRY_ASSIGN(w, c->watch(""));
-    ups.push_back(std::move(w));
+    ups.emplace_back(i, std::move(w));
   }
   std::lock_guard<std::mutex> lk(fan_mu_);
-  for (auto& w : ups) {
-    fan_upstreams_.push_back(w);
-    fan_threads_.emplace_back(
-        [this, w, out] { fan_in_loop(w, out); });
+  for (auto& [i, w] : ups) {
+    fan_upstreams_.emplace_back(i, w);
+    fan_threads_.emplace_back([this, w, out] { fan_in_loop(w, out); });
   }
   fan_outs_.push_back(out);
   return out;
@@ -114,7 +159,7 @@ void ClusterDiscovery::fan_in_loop(WatcherPtr upstream, WatcherPtr out) {
     auto batch = upstream->next_batch(Deadline::after(ms(50)));
     if (!batch.ok()) {
       if (batch.error().code == Errc::timed_out) continue;
-      break;  // upstream cancelled (client shutdown)
+      break;  // upstream cancelled (client shutdown or partition retired)
     }
     std::vector<WatchEvent> evs = std::move(batch).value();
     for (auto& ev : evs) ev.seq = fan_seq_.fetch_add(1) + 1;
@@ -124,23 +169,77 @@ void ClusterDiscovery::fan_in_loop(WatcherPtr upstream, WatcherPtr out) {
 }
 
 bool ClusterDiscovery::degraded() const {
-  for (const auto& c : clients_)
+  std::vector<std::shared_ptr<RemoteDiscovery>> cs;
+  {
+    std::lock_guard<std::mutex> lk(cl_mu_);
+    cs = clients_;
+  }
+  for (const auto& c : cs)
     if (c->degraded()) return true;
   return false;
 }
 
 Result<void> ClusterDiscovery::apply_membership(const ClusterMembership& m) {
   BERTHA_TRY(map_.apply(m));
-  // The epoch is recorded; steer every partition client at its new
-  // replica list (no-op for a client already on a member server).
-  for (size_t i = 0; i < clients_.size() && i < m.partitions.size(); i++)
-    clients_[i]->update_servers(m.partitions[i]);
+  // The epoch and steering are recorded; steer every partition client at
+  // its new replica list (no-op for a client already on a member
+  // server), connect clients for partitions a split added and drop the
+  // ones a merge retired. Dropped clients are destroyed outside cl_mu_
+  // (their reader threads join in the destructor).
+  std::vector<std::shared_ptr<RemoteDiscovery>> dropped;
+  std::vector<std::pair<size_t, std::shared_ptr<RemoteDiscovery>>> grown;
+  {
+    std::lock_guard<std::mutex> lk(cl_mu_);
+    for (size_t i = 0; i < clients_.size() && i < m.partitions.size(); i++)
+      clients_[i]->update_servers(m.partitions[i]);
+    while (clients_.size() > m.partitions.size()) {
+      dropped.push_back(std::move(clients_.back()));
+      clients_.pop_back();
+    }
+    while (clients_.size() < m.partitions.size()) {
+      size_t idx = clients_.size();
+      BERTHA_TRY_ASSIGN(c, connect_partition(m.partitions[idx]));
+      clients_.push_back(c);
+      grown.emplace_back(idx, std::move(c));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(fan_mu_);
+    // Merge: cancel the retired partitions' upstream streams (their
+    // forwarder threads exit on the cancel).
+    size_t live = 0;
+    for (auto& [idx, w] : fan_upstreams_) {
+      if (idx >= m.partitions.size())
+        w->cancel();
+      else
+        fan_upstreams_[live++] = {idx, w};
+    }
+    fan_upstreams_.resize(live);
+    // Split: every active fan-in watch subscribes to each new
+    // partition. A fresh subscribe starts with a snapshot batch, so the
+    // out stream sees the new home's full catalogue — duplicates of
+    // events already fanned in are idempotent for catalogue consumers.
+    for (auto& [idx, c] : grown) {
+      for (auto& out : fan_outs_) {
+        auto w_r = c->watch("");
+        if (!w_r.ok()) continue;
+        WatcherPtr w = std::move(w_r).value();
+        fan_upstreams_.emplace_back(idx, w);
+        fan_threads_.emplace_back([this, w, out] { fan_in_loop(w, out); });
+      }
+    }
+  }
   return ok();
 }
 
 size_t ClusterDiscovery::server_failovers() const {
+  std::vector<std::shared_ptr<RemoteDiscovery>> cs;
+  {
+    std::lock_guard<std::mutex> lk(cl_mu_);
+    cs = clients_;
+  }
   size_t n = 0;
-  for (const auto& c : clients_) n += c->server_failovers();
+  for (const auto& c : cs) n += c->server_failovers();
   return n;
 }
 
@@ -165,7 +264,65 @@ DiscoveryReplicaOptions DiscoveryCluster::replica_opts(size_t p,
   opts.view_silence_timeout = cfg_.sequencer_candidates > 1
                                   ? cfg_.tuning.view_silence_timeout
                                   : Duration::zero();
+  // Lazy-bound one-shot channel for forwarding resharded requests to
+  // their new home (decorated like everything else, so fault injection
+  // applies to the forward hop too).
+  std::string fwd = replica_name(p, r) + "-fwd";
+  opts.forward_bind = [this, fwd]() { return bind(Addr::mem(fwd, 1), fwd); };
   return opts;
+}
+
+Result<void> DiscoveryCluster::start_partition(size_t p) {
+  const Config& c = cfg_;
+  std::string pp = c.prefix + "-p" + std::to_string(p);
+
+  // Bind every replica's transports first: the sequencers need the
+  // member list up front.
+  std::vector<TransportPtr> rpcs, members;
+  std::vector<Addr> member_addrs, rpc_addrs;
+  for (size_t r = 0; r < c.replicas; r++) {
+    std::string rr = replica_name(p, r);
+    BERTHA_TRY_ASSIGN(rpc_t, bind(Addr::mem(rr, 1), rr + "-rpc"));
+    BERTHA_TRY_ASSIGN(mem_t, bind(Addr::mem(rr, 2), rr + "-member"));
+    rpc_addrs.push_back(rpc_t->local_addr());
+    member_addrs.push_back(mem_t->local_addr());
+    rpcs.push_back(std::move(rpc_t));
+    members.push_back(std::move(mem_t));
+  }
+
+  // Sequencer candidates: candidate 0 starts active in view 0, the
+  // rest stand by until a view-start frame elects them.
+  std::vector<std::unique_ptr<SoftwareSequencer>> cands;
+  std::vector<Addr> seq_addrs;
+  for (size_t s = 0; s < c.sequencer_candidates; s++) {
+    std::string chan = s == 0 ? pp + "-seq" : pp + "-seq" + std::to_string(s);
+    BERTHA_TRY_ASSIGN(seq_t, bind(Addr::mem(chan, 1), chan));
+    std::shared_ptr<Transport> seq_shared(std::move(seq_t));
+    BERTHA_TRY_ASSIGN(
+        seq, SoftwareSequencer::start_with(seq_shared, member_addrs,
+                                           c.tuning.sequencer_resend_log,
+                                           /*view=*/0, /*standby=*/s != 0));
+    seq_addrs.push_back(seq->addr());
+    cands.push_back(std::move(seq));
+  }
+  sequencers_.push_back(std::move(cands));
+  seq_addrs_.push_back(std::move(seq_addrs));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    member_addrs_.push_back(std::move(member_addrs));
+    rpc_addrs_.push_back(std::move(rpc_addrs));
+  }
+
+  std::vector<std::unique_ptr<DiscoveryReplica>> group;
+  for (size_t r = 0; r < c.replicas; r++) {
+    BERTHA_TRY_ASSIGN(rep,
+                      DiscoveryReplica::start(std::move(rpcs[r]),
+                                              std::move(members[r]),
+                                              replica_opts(p, r)));
+    group.push_back(std::move(rep));
+  }
+  replicas_.push_back(std::move(group));
+  return ok();
 }
 
 Result<std::unique_ptr<DiscoveryCluster>> DiscoveryCluster::start(Config cfg) {
@@ -179,58 +336,26 @@ Result<std::unique_ptr<DiscoveryCluster>> DiscoveryCluster::start(Config cfg) {
       new DiscoveryCluster(std::move(cfg)));
   const Config& c = cluster->cfg_;
 
-  for (size_t p = 0; p < c.partitions; p++) {
-    std::string pp = c.prefix + "-p" + std::to_string(p);
+  // Reserved so prepare_partition's push_back never reallocates the
+  // outer vectors under a concurrent accessor.
+  constexpr size_t kMaxPartitions = 64;
+  cluster->sequencers_.reserve(kMaxPartitions);
+  cluster->seq_addrs_.reserve(kMaxPartitions);
+  cluster->member_addrs_.reserve(kMaxPartitions);
+  cluster->rpc_addrs_.reserve(kMaxPartitions);
+  cluster->replicas_.reserve(kMaxPartitions);
 
-    // Bind every replica's transports first: the sequencers need the
-    // member list up front.
-    std::vector<TransportPtr> rpcs, members;
-    std::vector<Addr> member_addrs, rpc_addrs;
-    for (size_t r = 0; r < c.replicas; r++) {
-      std::string rr = cluster->replica_name(p, r);
-      BERTHA_TRY_ASSIGN(rpc_t, cluster->bind(Addr::mem(rr, 1), rr + "-rpc"));
-      BERTHA_TRY_ASSIGN(mem_t, cluster->bind(Addr::mem(rr, 2), rr + "-member"));
-      rpc_addrs.push_back(rpc_t->local_addr());
-      member_addrs.push_back(mem_t->local_addr());
-      rpcs.push_back(std::move(rpc_t));
-      members.push_back(std::move(mem_t));
-    }
-
-    // Sequencer candidates: candidate 0 starts active in view 0, the
-    // rest stand by until a view-start frame elects them.
-    std::vector<std::unique_ptr<SoftwareSequencer>> cands;
-    std::vector<Addr> seq_addrs;
-    for (size_t s = 0; s < c.sequencer_candidates; s++) {
-      std::string chan = s == 0 ? pp + "-seq" : pp + "-seq" + std::to_string(s);
-      BERTHA_TRY_ASSIGN(seq_t, cluster->bind(Addr::mem(chan, 1), chan));
-      std::shared_ptr<Transport> seq_shared(std::move(seq_t));
-      BERTHA_TRY_ASSIGN(
-          seq, SoftwareSequencer::start_with(seq_shared, member_addrs,
-                                             c.tuning.sequencer_resend_log,
-                                             /*view=*/0, /*standby=*/s != 0));
-      seq_addrs.push_back(seq->addr());
-      cands.push_back(std::move(seq));
-    }
-    cluster->sequencers_.push_back(std::move(cands));
-    cluster->seq_addrs_.push_back(std::move(seq_addrs));
-    cluster->member_addrs_.push_back(std::move(member_addrs));
-    cluster->rpc_addrs_.push_back(std::move(rpc_addrs));
-
-    std::vector<std::unique_ptr<DiscoveryReplica>> group;
-    for (size_t r = 0; r < c.replicas; r++) {
-      BERTHA_TRY_ASSIGN(
-          rep, DiscoveryReplica::start(std::move(rpcs[r]), std::move(members[r]),
-                                       cluster->replica_opts(p, r)));
-      group.push_back(std::move(rep));
-    }
-    cluster->replicas_.push_back(std::move(group));
-  }
+  for (size_t p = 0; p < c.partitions; p++)
+    BERTHA_TRY(cluster->start_partition(p));
   cluster->epoch_ = 1;
+  cluster->modulo_ = c.partitions;
+  cluster->home_ = identity_home_for(c.partitions);
+  cluster->active_ = c.partitions;
   return cluster;
 }
 
 Result<TransportPtr> DiscoveryCluster::bind(const Addr& addr,
-                                            const std::string& role) {
+                                            const std::string& role) const {
   BERTHA_TRY_ASSIGN(t, cfg_.transports->bind(addr));
   if (cfg_.decorate) {
     t = cfg_.decorate(std::move(t), role);
@@ -257,11 +382,29 @@ std::vector<std::vector<Addr>> DiscoveryCluster::all_servers() const {
   return rpc_addrs_;
 }
 
+std::vector<Addr> DiscoveryCluster::partition_members(size_t p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return member_addrs_[p];
+}
+
+std::vector<Addr> DiscoveryCluster::sequencer_addrs(size_t p) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return seq_addrs_[p];
+}
+
+size_t DiscoveryCluster::active_partitions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
 ClusterMembership DiscoveryCluster::membership() const {
   std::lock_guard<std::mutex> lk(mu_);
   ClusterMembership m;
   m.epoch = epoch_;
-  m.partitions = rpc_addrs_;
+  m.partitions.assign(rpc_addrs_.begin(),
+                      rpc_addrs_.begin() + static_cast<long>(active_));
+  m.modulo = modulo_;
+  m.home = home_;
   return m;
 }
 
@@ -334,6 +477,80 @@ Result<size_t> DiscoveryCluster::add_replica(size_t p) {
   return r;
 }
 
+Result<size_t> DiscoveryCluster::prepare_partition() {
+  size_t p = replicas_.size();
+  if (p >= 64) return err(Errc::resource_exhausted, "partition slots");
+  BERTHA_TRY(start_partition(p));
+  return p;
+}
+
+Result<void> DiscoveryCluster::revive_partition(size_t p) {
+  if (p >= replicas_.size())
+    return err(Errc::invalid_argument, "no such partition");
+  for (const auto& rep : replicas_[p])
+    if (rep) return err(Errc::already_exists, "partition not retired");
+  std::string pp = cfg_.prefix + "-p" + std::to_string(p);
+  std::vector<Addr> members = partition_members(p);
+  for (size_t s = 0; s < sequencers_[p].size(); s++) {
+    std::string chan = s == 0 ? pp + "-seq" : pp + "-seq" + std::to_string(s);
+    BERTHA_TRY_ASSIGN(seq_t, bind(Addr::mem(chan, 1), chan));
+    std::shared_ptr<Transport> seq_shared(std::move(seq_t));
+    BERTHA_TRY_ASSIGN(
+        seq, SoftwareSequencer::start_with(seq_shared, members,
+                                           cfg_.tuning.sequencer_resend_log,
+                                           /*view=*/0, /*standby=*/s != 0));
+    sequencers_[p][s] = std::move(seq);
+  }
+  for (size_t r = 0; r < replicas_[p].size(); r++) {
+    std::string rr = replica_name(p, r);
+    BERTHA_TRY_ASSIGN(rpc_t, bind(Addr::mem(rr, 1), rr + "-rpc"));
+    BERTHA_TRY_ASSIGN(mem_t, bind(Addr::mem(rr, 2), rr + "-member"));
+    // Fresh boot, no catch-up: the revived slot has no peers with state;
+    // it is about to receive a reshard install.
+    BERTHA_TRY_ASSIGN(rep, DiscoveryReplica::start(std::move(rpc_t),
+                                                   std::move(mem_t),
+                                                   replica_opts(p, r)));
+    replicas_[p][r] = std::move(rep);
+  }
+  return ok();
+}
+
+void DiscoveryCluster::retire_partition(size_t p) {
+  if (p >= replicas_.size()) return;
+  for (auto& rep : replicas_[p]) rep.reset();
+  for (auto& s : sequencers_[p]) s.reset();
+}
+
+uint64_t DiscoveryCluster::set_steering(uint64_t modulo,
+                                        std::vector<uint32_t> home,
+                                        size_t active) {
+  std::lock_guard<std::mutex> lk(mu_);
+  modulo_ = modulo;
+  home_ = std::move(home);
+  active_ = active;
+  return ++epoch_;
+}
+
+size_t DiscoveryCluster::push_membership() {
+  ClusterMembership m = membership();
+  std::vector<std::shared_ptr<ClusterDiscovery>> clients;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    size_t live = 0;
+    for (auto& w : client_registry_) {
+      auto sp = w.lock();
+      if (!sp) continue;
+      client_registry_[live++] = w;
+      clients.push_back(std::move(sp));
+    }
+    client_registry_.resize(live);
+  }
+  size_t adopted = 0;
+  for (auto& c : clients)
+    if (c->apply_membership(m).ok()) adopted++;
+  return adopted;
+}
+
 void DiscoveryCluster::kill_sequencer(size_t p, size_t c) {
   if (p >= sequencers_.size() || c >= sequencers_[p].size()) return;
   sequencers_[p][c].reset();
@@ -346,14 +563,24 @@ bool DiscoveryCluster::sequencer_alive(size_t p, size_t c) const {
 
 Result<std::shared_ptr<ClusterDiscovery>> DiscoveryCluster::client(
     const std::string& host_id, RemoteDiscovery::Options rpc) {
+  ClusterMembership m = membership();
   ClusterDiscovery::Config ccfg;
-  ccfg.partitions = all_servers();
+  ccfg.partitions = m.partitions;
   ccfg.transports = cfg_.transports;
   ccfg.host_id = host_id;
   if (rpc.watchdog_interval <= Duration::zero())
     rpc.watchdog_interval = cfg_.tuning.watchdog_interval;
   ccfg.rpc = std::move(rpc);
-  return ClusterDiscovery::connect(std::move(ccfg));
+  BERTHA_TRY_ASSIGN(cd, ClusterDiscovery::connect(std::move(ccfg)));
+  // Adopt the current steering (a fresh map starts at epoch 0 with an
+  // identity home, which is wrong after any split/merge), then register
+  // for future pushes.
+  (void)cd->apply_membership(m);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    client_registry_.push_back(cd);
+  }
+  return cd;
 }
 
 }  // namespace bertha

@@ -66,30 +66,44 @@ class ClusterDiscovery final : public DiscoveryClient {
   Result<WatcherPtr> watch(const std::string& type_filter) override;
   bool degraded() const override;
 
-  // Adopts a newer cluster config: records the epoch in the partition
-  // map and re-steers every partition client at the config's replica
-  // list (the client keeps its current server when it is still a
-  // member). Rejects stale/equal epochs and partition-count changes.
+  // Adopts a newer cluster config: records the epoch (and any steering
+  // change — split/merge re-homes hash buckets) in the partition map and
+  // re-steers every partition client at the config's replica list (the
+  // client keeps its current server when it is still a member). Grows
+  // new partition clients on a split (active fan-in watches subscribe to
+  // the new partitions; the snapshot batch makes that idempotent) and
+  // drops retired ones on a merge. Rejects stale/equal epochs and
+  // steering-modulo regressions.
   Result<void> apply_membership(const ClusterMembership& m);
 
   const PartitionMap& partition_map() const { return map_; }
   // The per-partition client (diagnostics/tests).
-  RemoteDiscovery& partition_client(size_t i) { return *clients_[i]; }
-  size_t partitions() const { return clients_.size(); }
+  RemoteDiscovery& partition_client(size_t i) { return *client_for(i); }
+  size_t partitions() const;
   // Total replica failovers across all partition clients.
   size_t server_failovers() const;
 
  private:
   explicit ClusterDiscovery(size_t partitions) : map_(partitions) {}
   void fan_in_loop(WatcherPtr upstream, WatcherPtr out);
+  std::shared_ptr<RemoteDiscovery> client_for(size_t idx) const;
+  Result<std::shared_ptr<RemoteDiscovery>> connect_partition(
+      const std::vector<Addr>& servers) const;
 
+  Config cfg_;  // retained so apply_membership can grow new partitions
   PartitionMap map_;
+  // clients_ changes size under cl_mu_ when a membership push adds or
+  // retires partitions; ops grab the shared_ptr under the lock and call
+  // outside it.
+  mutable std::mutex cl_mu_;
   std::vector<std::shared_ptr<RemoteDiscovery>> clients_;
 
-  // Fan-in watch plumbing (empty-filter watches only).
+  // Fan-in watch plumbing (empty-filter watches only). Upstreams are
+  // tagged with their partition index so a merge can cancel the streams
+  // of retired partitions.
   std::mutex fan_mu_;
   std::atomic<uint64_t> fan_seq_{0};
-  std::vector<WatcherPtr> fan_upstreams_;
+  std::vector<std::pair<size_t, WatcherPtr>> fan_upstreams_;
   std::vector<WatcherPtr> fan_outs_;
   std::vector<std::thread> fan_threads_;
   std::atomic<bool> stopping_{false};
@@ -133,7 +147,11 @@ class DiscoveryCluster {
   static Result<std::unique_ptr<DiscoveryCluster>> start(Config cfg);
   ~DiscoveryCluster();
 
-  size_t partitions() const { return member_addrs_.size(); }
+  // Total partition slots ever created, retired ones included (their
+  // replica pointers are null). active_partitions() is the number that
+  // the current membership steers traffic to.
+  size_t partitions() const { return replicas_.size(); }
+  size_t active_partitions() const;
   size_t replicas(size_t p) const { return replicas_[p].size(); }
   // Replica rpc address list of one partition under the current
   // membership (grows with add_replica; a restarted replica rebinds the
@@ -165,6 +183,35 @@ class DiscoveryCluster {
   void kill_sequencer(size_t p, size_t c = 0);
   bool sequencer_alive(size_t p, size_t c = 0) const;
 
+  // --- Online repartitioning hooks (driven by ReshardCoordinator) ---
+  //
+  // prepare_partition() appends one fully-replicated partition (replica
+  // group + sequencer candidates) that no membership steers traffic to
+  // yet; revive_partition() reboots a retired slot the same way. Both
+  // leave steering untouched: the new group idles until set_steering()
+  // re-homes hash buckets onto it and push_membership() tells every
+  // registered client. retire_partition() hard-stops a partition's
+  // replicas and sequencers after a merge drained it.
+  Result<size_t> prepare_partition();
+  Result<void> revive_partition(size_t p);
+  void retire_partition(size_t p);
+  // Adopts a new steering table (see PartitionMap: index =
+  // home[shard_pick(key, modulo)]), bumps the membership epoch and
+  // records how many leading partitions the config exports. Returns the
+  // new epoch.
+  uint64_t set_steering(uint64_t modulo, std::vector<uint32_t> home,
+                        size_t active);
+  // Pushes the current membership to every live client minted by
+  // client(); returns how many adopted it.
+  size_t push_membership();
+  // Topology for the reshard coordinator.
+  std::vector<Addr> partition_members(size_t p) const;
+  std::vector<Addr> sequencer_addrs(size_t p) const;
+  const std::shared_ptr<TransportFactory>& transports() const {
+    return cfg_.transports;
+  }
+  const std::string& prefix() const { return cfg_.prefix; }
+
   // nullptr after kill_replica.
   DiscoveryReplica* replica(size_t p, size_t r) { return replicas_[p][r].get(); }
   // Candidate 0 (the view-0 sequencer); invalid after kill_sequencer(p).
@@ -183,16 +230,23 @@ class DiscoveryCluster {
 
  private:
   explicit DiscoveryCluster(Config cfg) : cfg_(std::move(cfg)) {}
-  Result<TransportPtr> bind(const Addr& addr, const std::string& role);
+  Result<TransportPtr> bind(const Addr& addr, const std::string& role) const;
+  Result<void> start_partition(size_t p);
   DiscoveryReplicaOptions replica_opts(size_t p, size_t r) const;
   std::string replica_name(size_t p, size_t r) const;
 
   Config cfg_;
-  // rpc_addrs_ and epoch_ change online (add_replica) while clients
-  // read them; the topology vectors below them are start()-time fixed
-  // per partition except for push_back under the same lock.
+  // rpc_addrs_, the steering fields and epoch_ change online
+  // (add_replica / set_steering) while clients read them; the topology
+  // vectors below them are start()-time fixed per partition except for
+  // push_back under the same lock (and the outer vectors are reserved up
+  // front so prepare_partition never reallocates under a reader).
   mutable std::mutex mu_;
   uint64_t epoch_ = 0;
+  uint64_t modulo_ = 0;           // steering modulo (monotone, >= active)
+  std::vector<uint32_t> home_;    // bucket -> partition
+  size_t active_ = 0;             // leading partitions the config exports
+  std::vector<std::weak_ptr<ClusterDiscovery>> client_registry_;
   std::vector<std::vector<Addr>> rpc_addrs_;
   std::vector<std::vector<Addr>> member_addrs_;
   std::vector<std::vector<Addr>> seq_addrs_;  // [partition][candidate]

@@ -16,7 +16,7 @@ Result<CtrlOp> decode_ctrl_op(BytesView b) {
   Reader r(b);
   CtrlOp op;
   BERTHA_TRY_ASSIGN(kind, r.get_u8());
-  if (kind < 1 || kind > 2) return err(Errc::protocol_error, "bad ctrl op kind");
+  if (kind < 1 || kind > 3) return err(Errc::protocol_error, "bad ctrl op kind");
   op.kind = static_cast<CtrlOpKind>(kind);
   BERTHA_TRY_ASSIGN(origin, r.get_string());
   BERTHA_TRY_ASSIGN(submit, r.get_varint());
@@ -27,6 +27,59 @@ Result<CtrlOp> decode_ctrl_op(BytesView b) {
   op.time_ns = time_ns;
   op.req = std::move(req);
   if (!r.at_end()) return err(Errc::protocol_error, "trailing ctrl op bytes");
+  return op;
+}
+
+// --- Resharding ops ---
+
+Bytes encode_reshard_op(const ReshardOp& op) {
+  Writer w;
+  w.put_u8(static_cast<uint8_t>(op.phase));
+  w.put_varint(op.epoch);
+  w.put_varint(op.modulo);
+  w.put_varint(op.range);
+  w.put_varint(op.from_partition);
+  w.put_varint(op.to_partition);
+  serde_put(w, op.dst_rpc);
+  w.put_string(op.reply_uri);
+  w.put_varint(op.cmd_id);
+  w.put_bytes(op.payload);
+  return std::move(w).take();
+}
+
+Result<ReshardOp> decode_reshard_op(BytesView b) {
+  Reader r(b);
+  ReshardOp op;
+  BERTHA_TRY_ASSIGN(phase, r.get_u8());
+  if (phase < 1 || phase > 4)
+    return err(Errc::protocol_error, "bad reshard phase");
+  op.phase = static_cast<ReshardPhase>(phase);
+  BERTHA_TRY_ASSIGN(epoch, r.get_varint());
+  BERTHA_TRY_ASSIGN(modulo, r.get_varint());
+  BERTHA_TRY_ASSIGN(range, r.get_varint());
+  if (modulo == 0 || range >= modulo)
+    return err(Errc::protocol_error, "reshard range outside modulo");
+  BERTHA_TRY_ASSIGN(from, r.get_varint());
+  BERTHA_TRY_ASSIGN(to, r.get_varint());
+  if (from > 0xffffffffull || to > 0xffffffffull)
+    return err(Errc::protocol_error, "reshard partition index range");
+  BERTHA_TRY_ASSIGN(dst_rpc, serde_get<std::vector<std::string>>(r));
+  for (const auto& uri : dst_rpc) BERTHA_TRY(Addr::parse(uri));
+  BERTHA_TRY_ASSIGN(reply, r.get_string());
+  if (!reply.empty()) BERTHA_TRY(Addr::parse(reply));
+  BERTHA_TRY_ASSIGN(cmd_id, r.get_varint());
+  BERTHA_TRY_ASSIGN(payload, r.get_bytes());
+  op.epoch = epoch;
+  op.modulo = modulo;
+  op.range = range;
+  op.from_partition = static_cast<uint32_t>(from);
+  op.to_partition = static_cast<uint32_t>(to);
+  op.dst_rpc = std::move(dst_rpc);
+  op.reply_uri = std::move(reply);
+  op.cmd_id = cmd_id;
+  op.payload = std::move(payload);
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing reshard op bytes");
   return op;
 }
 
@@ -151,6 +204,73 @@ struct Serde<EventLogSnapshot> {
   }
 };
 
+template <>
+struct Serde<ReshardRangeState> {
+  static void put(Writer& w, const ReshardRangeState& s) {
+    w.put_varint(s.range);
+    w.put_varint(s.modulo);
+    w.put_varint(s.epoch);
+    w.put_u8(s.role);
+    w.put_u8(s.phase);
+    serde_put(w, s.dst_rpc);
+    serde_put(w, s.migrated_allocs);
+    w.put_bytes(s.payload);
+  }
+  static Result<ReshardRangeState> get(Reader& r) {
+    ReshardRangeState s;
+    BERTHA_TRY_ASSIGN(range, r.get_varint());
+    BERTHA_TRY_ASSIGN(modulo, r.get_varint());
+    BERTHA_TRY_ASSIGN(epoch, r.get_varint());
+    BERTHA_TRY_ASSIGN(role, r.get_u8());
+    BERTHA_TRY_ASSIGN(phase, r.get_u8());
+    if (modulo == 0 || range >= modulo)
+      return err(Errc::protocol_error, "reshard state range outside modulo");
+    if (role < 1 || role > 2)
+      return err(Errc::protocol_error, "reshard state role");
+    if (phase < 1 || phase > 4)
+      return err(Errc::protocol_error, "reshard state phase");
+    BERTHA_TRY_ASSIGN(dst_rpc, serde_get<std::vector<std::string>>(r));
+    for (const auto& uri : dst_rpc) BERTHA_TRY(Addr::parse(uri));
+    BERTHA_TRY_ASSIGN(migrated, serde_get<std::vector<uint64_t>>(r));
+    BERTHA_TRY_ASSIGN(payload, r.get_bytes());
+    s.range = range;
+    s.modulo = modulo;
+    s.epoch = epoch;
+    s.role = role;
+    s.phase = phase;
+    s.dst_rpc = std::move(dst_rpc);
+    s.migrated_allocs = std::move(migrated);
+    s.payload = std::move(payload);
+    return s;
+  }
+};
+
+Bytes encode_reshard_payload(const ReshardPayload& p) {
+  Writer w;
+  serde_put(w, p.state);
+  serde_put(w, p.dedup);
+  serde_put(w, p.applied);
+  serde_put(w, p.event_log);
+  return std::move(w).take();
+}
+
+Result<ReshardPayload> decode_reshard_payload(BytesView b) {
+  Reader r(b);
+  ReshardPayload p;
+  BERTHA_TRY_ASSIGN(state, serde_get<DiscoverySnapshot>(r));
+  BERTHA_TRY_ASSIGN(dedup,
+                    (serde_get<std::vector<std::pair<std::string, Bytes>>>(r)));
+  BERTHA_TRY_ASSIGN(applied, serde_get<std::vector<std::string>>(r));
+  BERTHA_TRY_ASSIGN(log, serde_get<EventLogSnapshot>(r));
+  p.state = std::move(state);
+  p.dedup = std::move(dedup);
+  p.applied = std::move(applied);
+  p.event_log = std::move(log);
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing reshard payload bytes");
+  return p;
+}
+
 namespace {
 
 constexpr uint8_t kCtrlMagic0 = 'C';
@@ -186,7 +306,7 @@ Result<CtrlFrameKind> peek_ctrl_frame(BytesView b) {
   if (m0 != kCtrlMagic0 || m1 != kCtrlMagic1)
     return err(Errc::protocol_error, "bad ctrl frame magic");
   BERTHA_TRY_ASSIGN(k, r.get_u8());
-  if (k < 1 || k > 4)
+  if (k < 1 || k > 7)
     return err(Errc::protocol_error, "unknown ctrl frame kind");
   return static_cast<CtrlFrameKind>(k);
 }
@@ -220,6 +340,7 @@ Bytes encode_snapshot_rsp(const CtrlSnapshotRsp& m) {
   serde_put(w, m.dedup);
   serde_put(w, m.applied);
   serde_put(w, m.event_log);
+  serde_put(w, m.reshard);
   return std::move(w).take();
 }
 
@@ -236,6 +357,7 @@ Result<CtrlSnapshotRsp> decode_snapshot_rsp(BytesView b) {
                     (serde_get<std::vector<std::pair<std::string, Bytes>>>(r)));
   BERTHA_TRY_ASSIGN(applied, serde_get<std::vector<std::string>>(r));
   BERTHA_TRY_ASSIGN(log, serde_get<EventLogSnapshot>(r));
+  BERTHA_TRY_ASSIGN(reshard, serde_get<std::vector<ReshardRangeState>>(r));
   m.from = std::move(from);
   m.view = static_cast<uint32_t>(view);
   m.next_seq = next_seq;
@@ -243,6 +365,7 @@ Result<CtrlSnapshotRsp> decode_snapshot_rsp(BytesView b) {
   m.dedup = std::move(dedup);
   m.applied = std::move(applied);
   m.event_log = std::move(log);
+  m.reshard = std::move(reshard);
   if (!r.at_end())
     return err(Errc::protocol_error, "trailing snapshot-rsp bytes");
   return m;
@@ -282,6 +405,8 @@ Bytes encode_membership(const ClusterMembership& m) {
     w.put_varint(replicas.size());
     for (const auto& a : replicas) w.put_string(a.to_string());
   }
+  w.put_varint(m.modulo);
+  serde_put(w, m.home);
   return std::move(w).take();
 }
 
@@ -306,8 +431,90 @@ Result<ClusterMembership> decode_membership(BytesView b) {
     }
     m.partitions.push_back(std::move(replicas));
   }
+  BERTHA_TRY_ASSIGN(modulo, r.get_varint());
+  BERTHA_TRY_ASSIGN(home, serde_get<std::vector<uint32_t>>(r));
+  // Steering invariants: a home table is sized by the modulo it steers
+  // under, and every home names a real partition. Empty table + zero
+  // modulo is the identity steady state.
+  if (modulo > 0xffffffffull)
+    return err(Errc::protocol_error, "membership modulo range");
+  if (!home.empty() && home.size() != modulo)
+    return err(Errc::protocol_error, "membership home table size");
+  for (uint32_t h : home)
+    if (h >= m.partitions.size())
+      return err(Errc::protocol_error, "membership home names no partition");
+  m.modulo = modulo;
+  m.home = std::move(home);
   if (!r.at_end())
     return err(Errc::protocol_error, "trailing membership bytes");
+  return m;
+}
+
+Bytes encode_reshard_ack(const ReshardAck& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::reshard_ack);
+  w.put_varint(m.cmd_id);
+  w.put_string(m.from);
+  return std::move(w).take();
+}
+
+Result<ReshardAck> decode_reshard_ack(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::reshard_ack));
+  ReshardAck m;
+  BERTHA_TRY_ASSIGN(cmd_id, r.get_varint());
+  BERTHA_TRY_ASSIGN(from, r.get_string());
+  m.cmd_id = cmd_id;
+  m.from = std::move(from);
+  if (m.from.empty())
+    return err(Errc::protocol_error, "reshard ack without sender");
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing reshard-ack bytes");
+  return m;
+}
+
+Bytes encode_reshard_snapshot_req(const ReshardSnapshotReq& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::reshard_snapshot_req);
+  w.put_varint(m.modulo);
+  w.put_varint(m.range);
+  w.put_string(m.reply_uri);
+  return std::move(w).take();
+}
+
+Result<ReshardSnapshotReq> decode_reshard_snapshot_req(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::reshard_snapshot_req));
+  ReshardSnapshotReq m;
+  BERTHA_TRY_ASSIGN(modulo, r.get_varint());
+  BERTHA_TRY_ASSIGN(range, r.get_varint());
+  BERTHA_TRY_ASSIGN(reply, r.get_string());
+  if (modulo == 0 || range >= modulo)
+    return err(Errc::protocol_error, "reshard snapshot-req range");
+  m.modulo = modulo;
+  m.range = range;
+  m.reply_uri = std::move(reply);
+  BERTHA_TRY(Addr::parse(m.reply_uri));  // must be answerable
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing reshard snapshot-req bytes");
+  return m;
+}
+
+Bytes encode_reshard_snapshot_rsp(const ReshardSnapshotRsp& m) {
+  Writer w = ctrl_frame_header(CtrlFrameKind::reshard_snapshot_rsp);
+  w.put_varint(m.range);
+  w.put_string(m.from);
+  w.put_bytes(m.payload);
+  return std::move(w).take();
+}
+
+Result<ReshardSnapshotRsp> decode_reshard_snapshot_rsp(BytesView b) {
+  BERTHA_TRY_ASSIGN(r, ctrl_frame_body(b, CtrlFrameKind::reshard_snapshot_rsp));
+  ReshardSnapshotRsp m;
+  BERTHA_TRY_ASSIGN(range, r.get_varint());
+  BERTHA_TRY_ASSIGN(from, r.get_string());
+  BERTHA_TRY_ASSIGN(payload, r.get_bytes());
+  m.range = range;
+  m.from = std::move(from);
+  m.payload = std::move(payload);
+  if (!r.at_end())
+    return err(Errc::protocol_error, "trailing reshard snapshot-rsp bytes");
   return m;
 }
 

@@ -40,8 +40,9 @@
 namespace bertha {
 
 enum class CtrlOpKind : uint8_t {
-  disc = 1,   // req holds an encoded DiscRequest
-  sweep = 2,  // expire leases as of time_ns
+  disc = 1,     // req holds an encoded DiscRequest
+  sweep = 2,    // expire leases as of time_ns
+  reshard = 3,  // req holds an encoded ReshardOp (live split/merge phase)
 };
 
 struct CtrlOp {
@@ -57,6 +58,66 @@ struct CtrlOp {
 Bytes encode_ctrl_op(const CtrlOp& op);
 Result<CtrlOp> decode_ctrl_op(BytesView b);
 
+// --- Resharding ops (CtrlOpKind::reshard) ---
+//
+enum class ReshardPhase : uint8_t {
+  fence = 1,
+  install = 2,
+  cutover = 3,
+  retire = 4,
+};
+//
+// One live split/merge migrates key *ranges*: hash buckets under the
+// steering modulo (shard_pick(key, modulo)). Because x % N ==
+// (x % 2N) % N, a doubling split moves bucket q in [N, 2N) from
+// partition q % N to the new partition q, and a halving merge moves it
+// back — no key ever changes bucket under the modulo that defines the
+// migration. Each phase is a sequenced op in the affected partition's
+// own stream, so every replica of the group transitions at the same
+// point of the apply order:
+//
+//   fence    (source) freeze the range at this exact apply point:
+//            extract its catalogue/pools/allocs/leases into a frozen
+//            side-state, answer range reads from it, fail range
+//            mutations transiently (clients retry through cutover).
+//   install  (destination) ingest the fenced payload — catalogue,
+//            leases, dedup cache, applied ids, watch-event log.
+//   cutover  (source) forward every range request one-hop to the
+//            destination's replicas (the stale-client fallback).
+//   retire   (source) drop the range's reshard state after drain.
+struct ReshardOp {
+  ReshardPhase phase = ReshardPhase::fence;
+  uint64_t epoch = 0;   // steering epoch this migration mints
+  uint64_t modulo = 0;  // steering modulo the range lives under (>= 1)
+  uint64_t range = 0;   // hash bucket being migrated (< modulo)
+  uint32_t from_partition = 0;
+  uint32_t to_partition = 0;
+  // Destination replica RPC addresses (cutover: the forward targets).
+  std::vector<std::string> dst_rpc;
+  // Non-empty: every replica acks the applied phase to this member-bus
+  // address, echoing cmd_id (coordinator retries are idempotent —
+  // phases are monotonic per range).
+  std::string reply_uri;
+  uint64_t cmd_id = 0;
+  Bytes payload;  // install only: an encoded ReshardPayload
+};
+
+Bytes encode_reshard_op(const ReshardOp& op);
+Result<ReshardOp> decode_reshard_op(BytesView b);
+
+// The fenced consistent cut of one key range: what fence extracts on
+// the source and install ingests on the destination. dedup/applied are
+// transferred whole (they are not keyed by range; extras are harmless).
+struct ReshardPayload {
+  DiscoverySnapshot state;
+  std::vector<std::pair<std::string, Bytes>> dedup;
+  std::vector<std::string> applied;
+  EventLogSnapshot event_log;
+};
+
+Bytes encode_reshard_payload(const ReshardPayload& p);
+Result<ReshardPayload> decode_reshard_payload(BytesView b);
+
 // --- Recovery frames ---
 
 enum class CtrlFrameKind : uint8_t {
@@ -64,6 +125,9 @@ enum class CtrlFrameKind : uint8_t {
   snapshot_rsp = 2,
   view_change = 3,
   membership = 4,
+  reshard_ack = 5,           // replica -> coordinator: phase applied
+  reshard_snapshot_req = 6,  // coordinator -> source: fenced range cut
+  reshard_snapshot_rsp = 7,  // source -> coordinator: the frozen payload
 };
 
 // Kind of a recovery frame, or protocol_error if `b` is not one (the
@@ -75,6 +139,20 @@ Result<CtrlFrameKind> peek_ctrl_frame(BytesView b);
 struct CtrlSnapshotReq {
   std::string from;       // requesting replica id
   std::string reply_uri;  // member address to answer on
+};
+
+// Per-range reshard state a replica carries between fence and retire —
+// replicated (it is mutated only by sequenced reshard ops), so it rides
+// the catch-up snapshot like every other piece of replicated state.
+struct ReshardRangeState {
+  uint64_t range = 0;
+  uint64_t modulo = 0;
+  uint64_t epoch = 0;
+  uint8_t role = 1;   // 1 = source, 2 = destination
+  uint8_t phase = 0;  // highest ReshardPhase applied for this range
+  std::vector<std::string> dst_rpc;       // forward targets (source)
+  std::vector<uint64_t> migrated_allocs;  // ids extracted at fence
+  Bytes payload;  // frozen range cut (source, fence..cutover), else empty
 };
 
 struct CtrlSnapshotRsp {
@@ -89,6 +167,8 @@ struct CtrlSnapshotRsp {
   // at-most-once guard for ops re-proposed across a view change.
   std::vector<std::string> applied;
   EventLogSnapshot event_log;
+  // In-flight range migrations (empty outside a reshard window).
+  std::vector<ReshardRangeState> reshard;
 };
 
 // View change: broadcast by a replica that suspects the sequencer of
@@ -104,9 +184,36 @@ Bytes encode_snapshot_req(const CtrlSnapshotReq& m);
 Result<CtrlSnapshotReq> decode_snapshot_req(BytesView b);
 Bytes encode_snapshot_rsp(const CtrlSnapshotRsp& m);
 Result<CtrlSnapshotRsp> decode_snapshot_rsp(BytesView b);
+// Reshard coordination frames. The ack closes the loop on a sequenced
+// reshard op (each replica acks its apply to op.reply_uri); the
+// snapshot pair moves the fenced range cut from a source replica to the
+// coordinator, which re-injects it as the install op's payload.
+struct ReshardAck {
+  uint64_t cmd_id = 0;
+  std::string from;  // acking replica id
+};
+
+struct ReshardSnapshotReq {
+  uint64_t modulo = 0;
+  uint64_t range = 0;
+  std::string reply_uri;
+};
+
+struct ReshardSnapshotRsp {
+  uint64_t range = 0;
+  std::string from;
+  Bytes payload;  // encoded ReshardPayload
+};
+
 Bytes encode_view_change(const CtrlViewChangeMsg& m);
 Result<CtrlViewChangeMsg> decode_view_change(BytesView b);
 Bytes encode_membership(const ClusterMembership& m);
 Result<ClusterMembership> decode_membership(BytesView b);
+Bytes encode_reshard_ack(const ReshardAck& m);
+Result<ReshardAck> decode_reshard_ack(BytesView b);
+Bytes encode_reshard_snapshot_req(const ReshardSnapshotReq& m);
+Result<ReshardSnapshotReq> decode_reshard_snapshot_req(BytesView b);
+Bytes encode_reshard_snapshot_rsp(const ReshardSnapshotRsp& m);
+Result<ReshardSnapshotRsp> decode_reshard_snapshot_rsp(BytesView b);
 
 }  // namespace bertha

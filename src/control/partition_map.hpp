@@ -6,13 +6,25 @@
 // the client-side router and any future in-network steer agree byte-for-
 // byte on where a key lives.
 //
+// Steering is epoch-stamped and *mutable*: a key hashes to a bucket
+// under the steering modulo (shard_pick(key, modulo)), and a home table
+// maps buckets to partitions. In the steady state the table is the
+// identity (bucket i lives on partition i % count); online
+// repartitioning (src/control/reshard.hpp) re-homes individual buckets
+// between partitions and pushes the new table with a bumped epoch.
+// Because x % N == (x % 2N) % N, the modulo only ever grows — a split
+// doubles it, a merge rewrites the home table back to the aliased
+// identity — so no key ever changes bucket under the modulo that
+// defined a migration.
+//
 // Allocation ids route themselves: each partition mints ids namespaced
-// with its own index in the high bits (DiscoveryState::
+// with its own *bucket* in the high bits (DiscoveryState::
 // set_alloc_namespace), so release() needs no key — the id names its
-// partition.
+// bucket, and the home table names the bucket's current partition.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -24,25 +36,27 @@ namespace bertha {
 
 // Versioned cluster configuration: which replicas (RPC addresses) serve
 // each partition, stamped with a monotonically increasing epoch so a
-// client can never regress onto a stale view. Replicas can be added or
-// removed within a partition online; changing the partition *count*
-// (repartitioning with catalogue migration) is a separate, future
-// protocol — apply() rejects it.
+// client can never regress onto a stale view, plus the bucket steering
+// (modulo + home table) minted by the reshard coordinator. modulo == 0
+// / empty home mean "identity over partitions.size()".
 struct ClusterMembership {
   uint64_t epoch = 0;
   std::vector<std::vector<Addr>> partitions;  // [partition] -> replica RPC addrs
+  uint64_t modulo = 0;         // steering modulo (0 => partitions.size())
+  std::vector<uint32_t> home;  // [bucket] -> partition (empty => identity)
 };
 
 class PartitionMap {
  public:
-  explicit PartitionMap(size_t partitions)
-      : partitions_(partitions == 0 ? 1 : partitions) {}
+  explicit PartitionMap(size_t partitions);
 
-  size_t partitions() const { return partitions_; }
+  size_t partitions() const;
+  // Current steering modulo (>= partitions(), grows on split).
+  uint64_t modulo() const;
 
   // Adopt a newer cluster config. Rejects a stale or equal epoch
-  // (already applied — callers treat it as a no-op failure) and any
-  // config whose partition count differs from the steering hash's.
+  // (already applied — callers treat it as a no-op failure), malformed
+  // steering, and a modulo regression (buckets must stay stable).
   Result<void> apply(const ClusterMembership& m);
   uint64_t epoch() const;
   // Replica RPC addresses of partition p under the current config
@@ -54,21 +68,27 @@ class PartitionMap {
   // Resource pools: partition of a pool name.
   size_t index_for_pool(const std::string& pool) const;
 
-  // Partition encoded in an allocation id minted by this cluster.
+  // Bucket encoded in an allocation id minted by this cluster. Under
+  // identity steering this IS the partition; under re-homed steering
+  // use index_for_alloc_routed.
   static size_t index_for_alloc(uint64_t alloc_id);
+  // Partition currently homing an allocation id's bucket.
+  Result<size_t> index_for_alloc_routed(uint64_t alloc_id) const;
 
   // Routes a decoded request to its partition. Multi-pool acquires must
   // resolve to one partition (admission is atomic only within a
-  // partition); invalid_argument otherwise. release/heartbeat callers
-  // should prefer index_for_alloc / fan-out respectively — this routes
-  // the single-partition ops.
+  // partition); invalid_argument otherwise. release routes by the id's
+  // bucket through the home table; heartbeat callers should fan out —
+  // this routes the single-partition ops.
   Result<size_t> index_for_request(const DiscRequest& req) const;
 
  private:
-  size_t partitions_;
-  // Steering (partitions_) is immutable; only the membership view below
-  // changes, guarded for concurrent readers.
+  size_t home_of_locked(uint64_t bucket) const { return home_[bucket]; }
+
   mutable std::mutex mu_;
+  size_t partitions_;
+  uint64_t modulo_;
+  std::vector<uint32_t> home_;  // size modulo_, entries < partitions_
   uint64_t epoch_ = 0;
   std::vector<std::vector<Addr>> replicas_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "chunnels/shard.hpp"
+#include "core/wire.hpp"
 #include "util/log.hpp"
 
 namespace bertha {
@@ -74,6 +76,15 @@ void DiscoveryReplica::stop() {
   if (sweep_thread_.joinable()) sweep_thread_.join();
   member_->close();
   if (member_thread_.joinable()) member_thread_.join();
+  {
+    std::lock_guard<std::mutex> lk(fwd_mu_);
+    if (fwd_) fwd_->close();
+  }
+}
+
+size_t DiscoveryReplica::reshard_ranges() const {
+  std::lock_guard<std::mutex> lk(reshard_mu_);
+  return reshard_.size();
 }
 
 bool DiscoveryReplica::wait_ready(Duration timeout) {
@@ -93,6 +104,9 @@ void DiscoveryReplica::create_server_locked() {
   // (stop() tears the server down first).
   sopts.mutation_executor = [this](const DiscRequest& req) {
     return propose(req);
+  };
+  sopts.request_interceptor = [this](const DiscRequest& req) {
+    return intercept(req);
   };
   server_ =
       std::make_unique<DiscoveryServer>(std::move(boot_rpc_), state_, sopts);
@@ -284,6 +298,13 @@ void DiscoveryReplica::dispatch(BytesView payload) {
       break;  // straggler answer from an already-finished catch-up
     case CtrlFrameKind::membership:
       break;  // membership rides the client RPC path, not the member bus
+    case CtrlFrameKind::reshard_snapshot_req:
+      if (auto r = decode_reshard_snapshot_req(payload); r.ok())
+        handle_reshard_snapshot_req(r.value());
+      break;
+    case CtrlFrameKind::reshard_ack:
+    case CtrlFrameKind::reshard_snapshot_rsp:
+      break;  // coordinator-bound frames; not ours to consume
   }
 }
 
@@ -506,6 +527,34 @@ void DiscoveryReplica::install_peer_snapshot(const CtrlSnapshotRsp& rsp,
       boot_log_seq_ = rsp.state.watch_seq;
     }
   }
+  {
+    // Reshard range state is replicated state too: a replica that
+    // catches up mid-migration must keep fencing/forwarding like its
+    // peers, or a client landing on it would see the moved range as
+    // silently empty.
+    std::lock_guard<std::mutex> rlk(reshard_mu_);
+    reshard_.clear();
+    for (const auto& s : rsp.reshard) {
+      RangeState rs;
+      rs.modulo = s.modulo;
+      rs.epoch = s.epoch;
+      rs.role = s.role;
+      rs.phase = s.phase;
+      for (const auto& uri : s.dst_rpc)
+        if (auto a = Addr::parse(uri); a.ok())
+          rs.dst_rpc.push_back(std::move(a).value());
+      rs.migrated.insert(s.migrated_allocs.begin(), s.migrated_allocs.end());
+      rs.payload = s.payload;
+      if (rs.role == 1 && !rs.payload.empty()) {
+        if (auto p = decode_reshard_payload(rs.payload); p.ok()) {
+          rs.frozen = std::make_shared<DiscoveryState>();
+          rs.frozen->set_manual_sweep(true);
+          rs.frozen->install_snapshot(p.value().state);
+        }
+      }
+      reshard_[s.range] = std::move(rs);
+    }
+  }
   if (rsp.view > cur_view_.load(std::memory_order_acquire))
     adopt_view(rsp.view, "snapshot");
   for (auto& [seq, frame] : leftover) {
@@ -553,6 +602,22 @@ void DiscoveryReplica::serve_snapshot(const CtrlSnapshotReq& req) {
       rsp.event_log.observed_through = rsp.state.watch_seq;
     }
   }
+  {
+    std::lock_guard<std::mutex> rlk(reshard_mu_);
+    for (const auto& [range, rs] : reshard_) {
+      ReshardRangeState s;
+      s.range = range;
+      s.modulo = rs.modulo;
+      s.epoch = rs.epoch;
+      s.role = rs.role;
+      s.phase = rs.phase;
+      for (const auto& a : rs.dst_rpc) s.dst_rpc.push_back(a.to_string());
+      s.migrated_allocs.assign(rs.migrated.begin(), rs.migrated.end());
+      std::sort(s.migrated_allocs.begin(), s.migrated_allocs.end());
+      s.payload = rs.payload;
+      rsp.reshard.push_back(std::move(s));
+    }
+  }
   (void)member_->send_to(to_r.value(), encode_snapshot_rsp(rsp));
   snapshots_served_.fetch_add(1, std::memory_order_relaxed);
   BLOG(info, "control") << opts_.replica_id << " served snapshot to "
@@ -593,6 +658,31 @@ void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
       span.tag("op", "sweep");
       span.tag_u64("seq", seq);
       span.tag_u64("reaped", reaped);
+    }
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  } else if (op.kind == CtrlOpKind::reshard) {
+    auto rop_r = decode_reshard_op(op.req);
+    if (!rop_r.ok()) return;
+    const ReshardOp& rop = rop_r.value();
+    std::string op_id;
+    if (op.submit_id != 0 && !op.origin.empty())
+      op_id = op.origin + "#" + std::to_string(op.submit_id);
+    // apply_reshard is phase-monotonic (duplicates no-op), but the
+    // applied-ids guard keeps a double-sequenced coordinator retry from
+    // even logging twice.
+    if (op_id.empty() || applied_ids_.count(op_id) == 0) {
+      apply_reshard(rop, seq);
+      record_applied_id(std::move(op_id));
+    }
+    // Always ack — including duplicates — so coordinator retries
+    // converge even when the first ack was lost.
+    if (!rop.reply_uri.empty()) {
+      if (auto to = Addr::parse(rop.reply_uri); to.ok()) {
+        ReshardAck ack;
+        ack.cmd_id = rop.cmd_id;
+        ack.from = opts_.replica_id;
+        (void)member_->send_to(to.value(), encode_reshard_ack(ack));
+      }
     }
     applied_.fetch_add(1, std::memory_order_relaxed);
   } else {
@@ -670,6 +760,340 @@ void DiscoveryReplica::apply(uint64_t seq, BytesView ctrl_frame) {
       w->cv.notify_all();
     }
   }
+}
+
+// --- Online repartitioning ---
+
+namespace {
+uint64_t bucket_of(const std::string& key, uint64_t modulo) {
+  return shard_pick(
+      BytesView(reinterpret_cast<const uint8_t*>(key.data()), key.size()),
+      static_cast<size_t>(modulo));
+}
+}  // namespace
+
+void DiscoveryReplica::apply_reshard(const ReshardOp& rop, uint64_t seq) {
+  std::vector<Addr> dst;
+  for (const auto& uri : rop.dst_rpc)
+    if (auto a = Addr::parse(uri); a.ok()) dst.push_back(std::move(a).value());
+
+  std::lock_guard<std::mutex> lk(reshard_mu_);
+  // Idempotence across coordinator retries and migrations: within one
+  // migration (epoch) phases are monotonic, and a newer migration of the
+  // same range supersedes whatever marker an older one left behind.
+  auto stale_or_dup = [&](uint64_t range) {
+    auto it = reshard_.find(range);
+    if (it == reshard_.end() || it->second.phase == 0) return false;
+    if (it->second.epoch > rop.epoch) return true;  // op from an older epoch
+    if (it->second.epoch == rop.epoch &&
+        it->second.phase >= static_cast<uint8_t>(rop.phase))
+      return true;  // duplicate of an applied phase
+    if (it->second.epoch < rop.epoch) it->second = RangeState{};
+    return false;
+  };
+  const char* phase_name = "?";
+  switch (rop.phase) {
+    case ReshardPhase::fence: {
+      phase_name = "fence";
+      if (stale_or_dup(rop.range)) break;
+      auto& rs = reshard_[rop.range];
+      rs.modulo = rop.modulo;
+      rs.epoch = rop.epoch;
+      rs.role = 1;
+      rs.dst_rpc = dst;
+      // The consistent cut happens AT this apply point: nothing later in
+      // the op stream (sweeps included) can touch the range or emit
+      // events for it, because it is no longer in the live state.
+      DiscoverySnapshot cut = state_->extract_range(rop.modulo, rop.range);
+      ReshardPayload p;
+      p.dedup.reserve(apply_dedup_order_.size());
+      for (const auto& k : apply_dedup_order_) {
+        auto dit = apply_dedup_.find(k);
+        if (dit != apply_dedup_.end()) p.dedup.emplace_back(k, dit->second);
+      }
+      p.applied.assign(applied_ids_order_.begin(), applied_ids_order_.end());
+      {
+        std::lock_guard<std::mutex> slk(server_mu_);
+        if (server_) {
+          p.event_log = server_->export_event_log(cut.watch_seq,
+                                                  Deadline::after(ms(100)));
+        } else {
+          p.event_log.pruned_through = cut.watch_seq;
+          p.event_log.observed_through = cut.watch_seq;
+        }
+      }
+      for (const auto& a : cut.allocs) rs.migrated.insert(a.id);
+      rs.frozen = std::make_shared<DiscoveryState>();
+      rs.frozen->set_manual_sweep(true);
+      rs.frozen->install_snapshot(cut);
+      p.state = std::move(cut);
+      rs.payload = encode_reshard_payload(p);
+      rs.phase = static_cast<uint8_t>(ReshardPhase::fence);
+      if (opts_.stats) opts_.stats->reshard_fences.fetch_add(1);
+      break;
+    }
+    case ReshardPhase::install: {
+      phase_name = "install";
+      if (stale_or_dup(rop.range)) break;
+      auto pay_r = decode_reshard_payload(rop.payload);
+      if (!pay_r.ok()) {
+        BLOG(info, "control") << opts_.replica_id << " undecodable reshard "
+                              << "payload: " << pay_r.error().to_string();
+        break;
+      }
+      const ReshardPayload& pay = pay_r.value();
+      // A brand-new destination (split) has never published an event, so
+      // it adopts the source's event log and seq outright — the range's
+      // watch domain forks and subscribers seq-resume. An established
+      // destination (merge) keeps its own log; the max-seq merge below
+      // means re-homed subscribers fall back to a snapshot batch instead
+      // of seeing a seq rewind.
+      bool fresh = state_->catalogue_snapshot().second == 0;
+      state_->ingest_snapshot(pay.state, /*emit_events=*/!fresh);
+      for (const auto& [k, v] : pay.dedup) {
+        if (apply_dedup_.emplace(k, v).second) {
+          apply_dedup_order_.push_back(k);
+          if (apply_dedup_order_.size() > kApplyDedupCap) {
+            apply_dedup_.erase(apply_dedup_order_.front());
+            apply_dedup_order_.pop_front();
+          }
+        }
+      }
+      for (const auto& id : pay.applied) record_applied_id(id);
+      if (fresh) {
+        std::lock_guard<std::mutex> slk(server_mu_);
+        if (server_) {
+          server_->install_event_log(pay.event_log, pay.state.watch_seq);
+        } else {
+          boot_log_ = pay.event_log;
+          boot_log_seq_ = pay.state.watch_seq;
+        }
+      }
+      auto& rs = reshard_[rop.range];
+      rs.modulo = rop.modulo;
+      rs.epoch = rop.epoch;
+      rs.role = 2;
+      rs.phase = static_cast<uint8_t>(ReshardPhase::install);
+      if (opts_.stats) opts_.stats->reshard_installs.fetch_add(1);
+      break;
+    }
+    case ReshardPhase::cutover: {
+      phase_name = "cutover";
+      if (stale_or_dup(rop.range)) break;
+      auto& rs = reshard_[rop.range];
+      rs.modulo = rop.modulo;
+      rs.epoch = rop.epoch;
+      rs.role = 1;
+      if (!dst.empty()) rs.dst_rpc = dst;
+      // Frozen reads end here: every range request — stale-client
+      // queries, mutations, releases of migrated allocs — now forwards
+      // one hop to the new home.
+      rs.frozen.reset();
+      rs.payload.clear();
+      rs.phase = static_cast<uint8_t>(ReshardPhase::cutover);
+      if (opts_.stats) opts_.stats->reshard_cutovers.fetch_add(1);
+      break;
+    }
+    case ReshardPhase::retire: {
+      phase_name = "retire";
+      auto it = reshard_.find(rop.range);
+      if (it != reshard_.end() && it->second.epoch <= rop.epoch)
+        reshard_.erase(it);
+      break;
+    }
+  }
+  if (opts_.tracer) {
+    Span span = trace_span(opts_.tracer, std::string("ctrl.reshard.") +
+                                             phase_name);
+    span.tag_u64("range", rop.range);
+    span.tag_u64("modulo", rop.modulo);
+    span.tag_u64("epoch", rop.epoch);
+    span.tag_u64("seq", seq);
+  }
+  BLOG(info, "control") << opts_.replica_id << " reshard " << phase_name
+                        << " range " << rop.range << "/" << rop.modulo
+                        << " epoch " << rop.epoch;
+}
+
+void DiscoveryReplica::handle_reshard_snapshot_req(
+    const ReshardSnapshotReq& req) {
+  auto to = Addr::parse(req.reply_uri);
+  if (!to.ok()) return;
+  ReshardSnapshotRsp rsp;
+  rsp.range = req.range;
+  rsp.from = opts_.replica_id;
+  {
+    std::lock_guard<std::mutex> lk(reshard_mu_);
+    auto it = reshard_.find(req.range);
+    if (it == reshard_.end() || it->second.role != 1 ||
+        it->second.modulo != req.modulo || it->second.payload.empty())
+      return;  // not fenced here (yet): coordinator retries elsewhere
+    rsp.payload = it->second.payload;
+  }
+  (void)member_->send_to(to.value(), encode_reshard_snapshot_rsp(rsp));
+}
+
+std::optional<DiscResponse> DiscoveryReplica::intercept(
+    const DiscRequest& req) {
+  enum class Act { none, unavail, frozen_query, fwd, spans };
+  Act act = Act::none;
+  std::shared_ptr<DiscoveryState> frozen;
+  std::vector<Addr> dst;
+  {
+    std::lock_guard<std::mutex> lk(reshard_mu_);
+    if (reshard_.empty()) return std::nullopt;
+    // Source-side range lookup for one scope key.
+    auto range_for = [&](const std::string& key) -> RangeState* {
+      for (auto& [range, rs] : reshard_) {
+        if (rs.role != 1 || rs.phase == 0) continue;
+        if (bucket_of(key, rs.modulo) == range) return &rs;
+      }
+      return nullptr;
+    };
+    auto classify = [&](RangeState* rs) {
+      if (!rs) return;
+      if (rs->phase == static_cast<uint8_t>(ReshardPhase::fence)) {
+        if (req.op == DiscOp::query && rs->frozen) {
+          act = Act::frozen_query;
+          frozen = rs->frozen;
+        } else {
+          act = Act::unavail;
+        }
+      } else if (rs->phase >= static_cast<uint8_t>(ReshardPhase::cutover)) {
+        act = Act::fwd;
+        dst = rs->dst_rpc;
+      }
+    };
+    switch (req.op) {
+      case DiscOp::register_impl:
+        if (req.entry) classify(range_for(req.entry->type));
+        break;
+      case DiscOp::unregister_impl:
+      case DiscOp::query:
+      case DiscOp::set_pool:
+        classify(range_for(req.type));
+        break;
+      case DiscOp::acquire: {
+        RangeState* first = nullptr;
+        bool mixed = false;
+        for (const auto& r : req.resources) {
+          RangeState* rs = range_for(r.pool);
+          if (!first) first = rs;
+          if (rs != first) mixed = true;
+        }
+        if (mixed && first)
+          act = Act::spans;  // pools straddle a migration boundary
+        else
+          classify(first);
+        break;
+      }
+      case DiscOp::release: {
+        for (auto& [range, rs] : reshard_) {
+          if (rs.role != 1 || rs.migrated.count(req.alloc_id) == 0) continue;
+          classify(&rs);
+          break;
+        }
+        break;
+      }
+      case DiscOp::heartbeat:
+        break;  // handled below (mirror + local execution)
+    }
+  }
+  if (req.op == DiscOp::heartbeat) {
+    mirror_heartbeat(req);
+    return std::nullopt;
+  }
+  switch (act) {
+    case Act::none:
+      return std::nullopt;
+    case Act::unavail:
+      return error_response(
+          err(Errc::unavailable, "key range fenced for migration"));
+    case Act::spans:
+      return error_response(err(
+          Errc::invalid_argument,
+          "acquire spans partitions: pools split by an in-flight reshard"));
+    case Act::frozen_query:
+      return execute_request(*frozen, req, now());
+    case Act::fwd: {
+      auto r = forward(req, dst);
+      if (!r.ok()) return error_response(r.error());
+      return std::move(r).value();
+    }
+  }
+  return std::nullopt;
+}
+
+Result<DiscResponse> DiscoveryReplica::forward(const DiscRequest& req,
+                                               const std::vector<Addr>& dst) {
+  if (dst.empty())
+    return err(Errc::unavailable, "resharded range has no forward target");
+  std::lock_guard<std::mutex> lk(fwd_mu_);
+  if (!fwd_) {
+    if (!opts_.forward_bind)
+      return err(Errc::unavailable, "replica has no forward transport");
+    auto t = opts_.forward_bind();
+    if (!t.ok()) return t.error();
+    fwd_ = std::move(t).value();
+  }
+  // One-shot RPC with the client's own identity: the destination's
+  // replicated dedup cache (which migrated with the range) still keys on
+  // the original client#idem, so a forwarded retry stays exactly-once.
+  uint64_t token = fwd_token_.fetch_add(1) + 1;
+  Bytes frame = encode_frame(MsgKind::discovery, token, encode_request(req));
+  for (const auto& d : dst) {
+    if (stopping_.load()) break;
+    if (!fwd_->send_to(d, frame).ok()) continue;
+    Deadline dl = Deadline::after(opts_.forward_timeout);
+    while (!dl.expired() && !stopping_.load()) {
+      auto pkt = fwd_->recv(dl);
+      if (!pkt.ok()) break;
+      auto fr = decode_frame(pkt.value().payload);
+      if (!fr.ok() || fr.value().kind != MsgKind::discovery ||
+          fr.value().token != token)
+        continue;  // stray mirror response from an earlier forward
+      auto rsp = decode_response(fr.value().payload);
+      if (!rsp.ok()) break;
+      reshard_forwards_.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.stats) opts_.stats->reshard_forwards.fetch_add(1);
+      return std::move(rsp).value();
+    }
+  }
+  // Transient by design: the client retries, and usually re-steers to
+  // the new home from the pushed membership before the next attempt.
+  return err(Errc::unavailable, "new range home unreachable (forward)");
+}
+
+void DiscoveryReplica::mirror_heartbeat(const DiscRequest& req) {
+  std::vector<Addr> dst;
+  {
+    std::lock_guard<std::mutex> lk(reshard_mu_);
+    for (const auto& [range, rs] : reshard_) {
+      if (rs.role != 1 ||
+          rs.phase < static_cast<uint8_t>(ReshardPhase::cutover))
+        continue;
+      for (const auto& a : rs.dst_rpc) {
+        bool dup = false;
+        for (const auto& have : dst) dup = dup || have == a;
+        if (!dup) dst.push_back(a);
+      }
+    }
+  }
+  if (dst.empty()) return;
+  std::lock_guard<std::mutex> lk(fwd_mu_);
+  if (!fwd_) {
+    if (!opts_.forward_bind) return;
+    auto t = opts_.forward_bind();
+    if (!t.ok()) return;
+    fwd_ = std::move(t).value();
+  }
+  // Fire-and-forget: responses (if any) are drained and discarded by the
+  // next forward's token filter. The migrated lease rows keep their
+  // original owners, who still heartbeat *us* — the mirror is what keeps
+  // those rows alive on the new home until the owners re-steer.
+  uint64_t token = fwd_token_.fetch_add(1) + 1;
+  Bytes frame = encode_frame(MsgKind::discovery, token, encode_request(req));
+  for (const auto& d : dst) (void)fwd_->send_to(d, frame);
 }
 
 void DiscoveryReplica::sweep_loop() {

@@ -99,6 +99,14 @@ struct DiscoveryReplicaOptions {
   // Grace collecting view-change acks past the majority before sending
   // view-start to the new sequencer.
   Duration view_ack_timeout = ms(50);
+  // Online repartitioning: factory for the one-shot transport used to
+  // forward cut-over range requests to their new home (and mirror
+  // heartbeats during the handoff). Bound lazily on first forward, so
+  // clusters that never reshard pay nothing. Unset: forwards fail
+  // transiently (stale clients retry until they re-steer).
+  std::function<Result<TransportPtr>()> forward_bind;
+  // Per-destination-replica wait for a forwarded request's response.
+  Duration forward_timeout = ms(250);
   DiscoveryServer::Options server;  // serving options (tracer, coalesce…)
   TracerPtr tracer;                 // ctrl.apply / ctrl.catchup / view spans
   FaultStatsPtr stats;
@@ -161,6 +169,13 @@ class DiscoveryReplica {
   uint32_t current_view() const {
     return cur_view_.load(std::memory_order_acquire);
   }
+  // Key ranges this replica is migrating (fence..cutover as source, or
+  // retained dest markers). Zero outside a reshard window.
+  size_t reshard_ranges() const;
+  // Requests forwarded one-hop to a range's new home after cutover.
+  uint64_t reshard_forwards() const {
+    return reshard_forwards_.load(std::memory_order_relaxed);
+  }
 
   void stop();
 
@@ -210,6 +225,33 @@ class DiscoveryReplica {
   void create_server_locked();
   void record_applied_id(std::string op_id);
 
+  // --- Online repartitioning (see control_wire.hpp ReshardOp) ---
+  // Per-range migration state. Mutated only at sequenced-op apply points
+  // (member thread) or snapshot install; read by the serve thread's
+  // interceptor — hence the dedicated mutex.
+  struct RangeState {
+    uint64_t modulo = 0;
+    uint64_t epoch = 0;
+    uint8_t role = 1;   // 1 = source, 2 = destination
+    uint8_t phase = 0;  // highest ReshardPhase applied
+    std::vector<Addr> dst_rpc;
+    // Frozen cut of the range (source, fence..cutover): answers range
+    // queries while mutations fail transiently.
+    std::shared_ptr<DiscoveryState> frozen;
+    std::unordered_set<uint64_t> migrated;  // alloc ids that moved
+    Bytes payload;  // encoded ReshardPayload (serves snapshot fetches)
+  };
+  // Applies one sequenced reshard op (member thread / apply path).
+  void apply_reshard(const ReshardOp& rop, uint64_t seq);
+  void handle_reshard_snapshot_req(const ReshardSnapshotReq& req);
+  // Serve-thread hook: fence/forward requests touching migrating ranges.
+  std::optional<DiscResponse> intercept(const DiscRequest& req);
+  Result<DiscResponse> forward(const DiscRequest& req,
+                               const std::vector<Addr>& dst);
+  // Fire-and-forget copy of a heartbeat to cut-over destinations, so
+  // migrated leases stay refreshed until their owners re-steer.
+  void mirror_heartbeat(const DiscRequest& req);
+
   std::shared_ptr<Transport> member_;
   Addr member_addr_;
   Addr rpc_addr_;
@@ -256,6 +298,17 @@ class DiscoveryReplica {
   static constexpr size_t kAppliedIdsCap = 4096;
   std::unordered_set<std::string> applied_ids_;
   std::deque<std::string> applied_ids_order_;
+
+  // In-flight range migrations, keyed by range (one migration per range
+  // at a time). Guarded by reshard_mu_.
+  mutable std::mutex reshard_mu_;
+  std::map<uint64_t, RangeState> reshard_;
+  std::atomic<uint64_t> reshard_forwards_{0};
+  // One-shot forward transport (lazily bound; serialized by fwd_mu_,
+  // which is also held across a forward's send/recv round).
+  std::mutex fwd_mu_;
+  TransportPtr fwd_;
+  std::atomic<uint64_t> fwd_token_{0};
 
   // Ordered-release window + gap/view/catch-up state (member thread).
   SequencedApplyWindow window_;

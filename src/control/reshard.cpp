@@ -1,0 +1,259 @@
+#include "control/reshard.hpp"
+
+#include <set>
+
+#include "chunnels/ordered_mcast.hpp"
+#include "util/log.hpp"
+
+namespace bertha {
+
+namespace {
+std::vector<uint32_t> identity(uint64_t modulo) {
+  std::vector<uint32_t> home(static_cast<size_t>(modulo));
+  for (size_t i = 0; i < home.size(); i++) home[i] = static_cast<uint32_t>(i);
+  return home;
+}
+}  // namespace
+
+Result<std::unique_ptr<ReshardCoordinator>> ReshardCoordinator::create(
+    DiscoveryCluster& cluster, ReshardOptions opts) {
+  auto rc = std::unique_ptr<ReshardCoordinator>(
+      new ReshardCoordinator(cluster, std::move(opts)));
+  // One bus for acks and snapshot payloads, bound like any client of the
+  // cluster's transport family.
+  Addr seed = cluster.partition_servers(0).at(0);
+  BERTHA_TRY_ASSIGN(bus, cluster.transports()->bind(client_bind_for(
+                             seed, cluster.prefix() + "-reshard-coord")));
+  rc->bus_ = std::move(bus);
+  rc->bus_uri_ = rc->bus_->local_addr().to_string();
+  return rc;
+}
+
+std::vector<std::string> ReshardCoordinator::rpc_uris(size_t partition) const {
+  std::vector<std::string> uris;
+  for (const auto& a : cluster_.partition_servers(partition))
+    uris.push_back(a.to_string());
+  return uris;
+}
+
+Result<void> ReshardCoordinator::phase_op(size_t partition, ReshardOp rop) {
+  rop.cmd_id = ++cmd_seq_;
+  rop.reply_uri = bus_uri_;
+
+  CtrlOp op;
+  op.kind = CtrlOpKind::reshard;
+  op.origin = "reshard-coord";
+  op.submit_id = rop.cmd_id;
+  op.time_ns = now().time_since_epoch().count();
+  op.req = encode_reshard_op(rop);
+  Bytes frame = mcast_frame(bus_->local_addr(), encode_ctrl_op(op));
+
+  std::vector<Addr> seqs = cluster_.sequencer_addrs(partition);
+  if (seqs.empty()) return err(Errc::internal, "partition has no sequencer");
+  size_t majority = cluster_.replicas(partition) / 2 + 1;
+  std::set<std::string> acked;
+  for (size_t attempt = 0; attempt < opts_.attempts; attempt++) {
+    // Rotate across sequencer candidates: a dead or standby candidate
+    // just costs one silent attempt. Re-sends are idempotent — the op
+    // keeps its origin#submit identity, so replicas that already applied
+    // it only re-ack.
+    (void)bus_->send_to(seqs[attempt % seqs.size()], frame);
+    Deadline dl = Deadline::after(opts_.ack_timeout);
+    while (!dl.expired()) {
+      auto pkt = bus_->recv(dl);
+      if (!pkt.ok()) break;
+      auto kind = peek_ctrl_frame(pkt.value().payload);
+      if (!kind.ok() || kind.value() != CtrlFrameKind::reshard_ack) continue;
+      auto ack = decode_reshard_ack(pkt.value().payload);
+      if (!ack.ok() || ack.value().cmd_id != rop.cmd_id) continue;
+      acked.insert(ack.value().from);
+      if (acked.size() >= majority) return ok();
+    }
+  }
+  return err(Errc::unavailable,
+             "reshard phase op not acked by a majority of partition " +
+                 std::to_string(partition));
+}
+
+Result<Bytes> ReshardCoordinator::fetch_payload(size_t partition,
+                                                uint64_t modulo,
+                                                uint64_t range) {
+  ReshardSnapshotReq req;
+  req.modulo = modulo;
+  req.range = range;
+  req.reply_uri = bus_uri_;
+  Bytes frame = encode_reshard_snapshot_req(req);
+  std::vector<Addr> members = cluster_.partition_members(partition);
+  for (size_t attempt = 0; attempt < opts_.attempts; attempt++) {
+    // Any fenced replica can serve the payload: it is a deterministic
+    // function of the apply point, identical on all of them.
+    (void)bus_->send_to(members[attempt % members.size()], frame);
+    Deadline dl = Deadline::after(opts_.ack_timeout);
+    while (!dl.expired()) {
+      auto pkt = bus_->recv(dl);
+      if (!pkt.ok()) break;
+      auto kind = peek_ctrl_frame(pkt.value().payload);
+      if (!kind.ok() || kind.value() != CtrlFrameKind::reshard_snapshot_rsp)
+        continue;
+      auto rsp = decode_reshard_snapshot_rsp(pkt.value().payload);
+      if (!rsp.ok() || rsp.value().range != range) continue;
+      return std::move(rsp).value().payload;
+    }
+  }
+  return err(Errc::unavailable, "no replica served the fenced payload");
+}
+
+Result<void> ReshardCoordinator::run(const char* what, uint64_t modulo,
+                                     std::vector<uint32_t> home, size_t active,
+                                     const std::vector<Move>& moves,
+                                     bool retire_sources) {
+  Span span = trace_span(opts_.tracer, std::string("ctrl.reshard.") + what);
+  span.tag_u64("moves", moves.size());
+  span.tag_u64("modulo", modulo);
+  uint64_t ep = cluster_.membership().epoch + 1;
+
+  // Per range: fence at the source, pull the fenced cut, install it at
+  // the destination. The range stays answerable throughout — reads from
+  // the source's frozen state, mutations as transient retries.
+  for (const auto& mv : moves) {
+    Span rspan = trace_span(opts_.tracer, "ctrl.reshard.range");
+    rspan.tag_u64("range", mv.range);
+    rspan.tag_u64("from", mv.from);
+    rspan.tag_u64("to", mv.to);
+    ReshardOp fence;
+    fence.phase = ReshardPhase::fence;
+    fence.epoch = ep;
+    fence.modulo = modulo;
+    fence.range = mv.range;
+    fence.from_partition = static_cast<uint32_t>(mv.from);
+    fence.to_partition = static_cast<uint32_t>(mv.to);
+    fence.dst_rpc = rpc_uris(mv.to);
+    BERTHA_TRY(phase_op(mv.from, fence));
+
+    BERTHA_TRY_ASSIGN(payload, fetch_payload(mv.from, modulo, mv.range));
+
+    ReshardOp install = fence;
+    install.phase = ReshardPhase::install;
+    install.payload = std::move(payload);
+    BERTHA_TRY(phase_op(mv.to, install));
+  }
+
+  // Publish the new steering BEFORE cutover: registered clients re-home
+  // now, so the moment the sources start forwarding, almost nobody needs
+  // the forward path — it is the stale-client safety net.
+  cluster_.set_steering(modulo, std::move(home), active);
+  size_t adopted = cluster_.push_membership();
+  span.tag_u64("clients_resteered", adopted);
+
+  for (const auto& mv : moves) {
+    ReshardOp cut;
+    cut.phase = ReshardPhase::cutover;
+    cut.epoch = ep;
+    cut.modulo = modulo;
+    cut.range = mv.range;
+    cut.from_partition = static_cast<uint32_t>(mv.from);
+    cut.to_partition = static_cast<uint32_t>(mv.to);
+    cut.dst_rpc = rpc_uris(mv.to);
+    BERTHA_TRY(phase_op(mv.from, cut));
+  }
+
+  if (retire_sources) {
+    sleep_for(opts_.drain);
+    std::set<size_t> sources;
+    for (const auto& mv : moves) {
+      ReshardOp retire;
+      retire.phase = ReshardPhase::retire;
+      retire.epoch = ep;
+      retire.modulo = modulo;
+      retire.range = mv.range;
+      retire.from_partition = static_cast<uint32_t>(mv.from);
+      retire.to_partition = static_cast<uint32_t>(mv.to);
+      BERTHA_TRY(phase_op(mv.from, retire));
+      sources.insert(mv.from);
+    }
+    for (size_t p : sources) cluster_.retire_partition(p);
+  }
+  BLOG(info, "control") << "reshard " << what << " complete: modulo "
+                        << modulo << ", " << moves.size() << " ranges, epoch "
+                        << ep;
+  return ok();
+}
+
+Result<void> ReshardCoordinator::split() {
+  ClusterMembership m = cluster_.membership();
+  size_t active = m.partitions.size();
+  uint64_t modulo = m.modulo ? m.modulo : active;
+  std::vector<uint32_t> home =
+      m.home.empty() ? identity(modulo) : m.home;
+
+  bool aliased = false;
+  for (size_t q = 0; q < home.size(); q++) aliased |= home[q] != q;
+
+  std::vector<Move> moves;
+  if (!aliased) {
+    // Identity steering: double the modulo, bucket q in [N, 2N) forks
+    // off partition q % N onto a brand-new partition q.
+    uint64_t new_modulo = modulo * 2;
+    for (uint64_t q = modulo; q < new_modulo; q++) {
+      if (q < cluster_.partitions()) {
+        BERTHA_TRY(cluster_.revive_partition(static_cast<size_t>(q)));
+      } else {
+        BERTHA_TRY_ASSIGN(p, cluster_.prepare_partition());
+        if (p != q)
+          return err(Errc::internal, "partition slots out of order");
+      }
+      moves.push_back({q, static_cast<size_t>(home[q % modulo]),
+                       static_cast<size_t>(q)});
+    }
+    return run("split", new_modulo, identity(new_modulo),
+               static_cast<size_t>(new_modulo), moves,
+               /*retire_sources=*/false);
+  }
+  // Aliased steering (a previous merge): de-alias by reviving partition
+  // q for every bucket steered elsewhere and moving the bucket home.
+  // The modulo is already wide enough; it never shrinks.
+  for (uint64_t q = 0; q < home.size(); q++) {
+    if (home[q] == q) continue;
+    if (q < cluster_.partitions()) {
+      BERTHA_TRY(cluster_.revive_partition(static_cast<size_t>(q)));
+    } else {
+      BERTHA_TRY_ASSIGN(p, cluster_.prepare_partition());
+      if (p != q) return err(Errc::internal, "partition slots out of order");
+    }
+    moves.push_back({q, static_cast<size_t>(home[q]), static_cast<size_t>(q)});
+  }
+  if (moves.empty()) return err(Errc::invalid_argument, "nothing to split");
+  return run("split", modulo, identity(modulo), static_cast<size_t>(modulo),
+             moves, /*retire_sources=*/false);
+}
+
+Result<void> ReshardCoordinator::merge() {
+  ClusterMembership m = cluster_.membership();
+  size_t active = m.partitions.size();
+  uint64_t modulo = m.modulo ? m.modulo : active;
+  std::vector<uint32_t> home = m.home.empty() ? identity(modulo) : m.home;
+  if (active < 2 || active % 2 != 0)
+    return err(Errc::invalid_argument, "merge needs an even partition count");
+  for (size_t q = 0; q < home.size(); q++)
+    if (home[q] != q)
+      return err(Errc::invalid_argument,
+                 "merge requires identity steering (split first)");
+  if (modulo != active)
+    return err(Errc::invalid_argument, "steering modulo != active count");
+
+  // Bucket q in the upper half folds into partition q - A/2. The modulo
+  // stays: home becomes the aliased identity, so ids minted under
+  // namespace q keep routing and namespaces >= modulo stay garbage.
+  size_t half = active / 2;
+  std::vector<Move> moves;
+  std::vector<uint32_t> new_home(home.size());
+  for (size_t q = 0; q < home.size(); q++)
+    new_home[q] = static_cast<uint32_t>(q % half);
+  for (uint64_t q = half; q < active; q++)
+    moves.push_back(
+        {q, static_cast<size_t>(q), static_cast<size_t>(q - half)});
+  return run("merge", modulo, std::move(new_home), half, moves,
+             /*retire_sources=*/true);
+}
+
+}  // namespace bertha

@@ -1,0 +1,96 @@
+// Online repartitioning: the coordinator that drives a live partition
+// split or merge through the per-range protocol in control_wire.hpp
+// (fence -> install -> cutover -> retire), migrating each range's
+// catalogue, leases, replicated dedup cache, applied-proposal ids and
+// watch-event log through the snapshot-transfer machinery — while both
+// the old and the new home keep answering.
+//
+// Ranges are hash buckets under the steering modulo, and the modulo is
+// monotone non-decreasing (see PartitionMap):
+//
+//   split, identity steering  modulo N -> 2N; bucket q in [N, 2N) moves
+//                             from partition q % N to a fresh partition
+//                             q (prepare_partition), home = identity.
+//   split, aliased steering   de-alias: every bucket q with home[q] != q
+//                             moves back onto a revived partition q;
+//                             modulo unchanged, home = identity.
+//   merge (identity only)     bucket q in [A/2, A) moves from partition
+//                             q to q - A/2 (A = active count); modulo
+//                             KEEPS its value and home becomes the
+//                             aliased identity [i % (A/2)], so alloc-id
+//                             namespaces from the retired partitions
+//                             keep routing and garbage namespaces >=
+//                             modulo stay rejectable.
+//
+// Phase ops are submitted to the affected partition's own sequencer
+// (every replica transitions at the same apply point) and acknowledged
+// by a majority of its replicas before the coordinator advances; every
+// phase is idempotent under retry (phases are monotonic per range and
+// epoch). The steering push happens BETWEEN install and cutover, so a
+// range always has at least one answering home: source (fenced reads /
+// transient-retry writes) until the push, destination after it, with
+// the source forwarding one hop for stale clients from cutover on.
+#pragma once
+
+#include <memory>
+
+#include "control/cluster.hpp"
+#include "control/control_wire.hpp"
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace bertha {
+
+struct ReshardOptions {
+  // Per attempt: how long to wait for a majority of per-replica acks of
+  // one phase op (or for a fenced-payload snapshot response).
+  Duration ack_timeout = ms(300);
+  size_t attempts = 10;
+  // Cutover -> retire grace on a merge: stale clients still steering at
+  // the doomed source get their one-hop forwards in before it stops.
+  Duration drain = ms(150);
+  std::shared_ptr<Tracer> tracer;
+  FaultStatsPtr stats;
+};
+
+class ReshardCoordinator {
+ public:
+  static Result<std::unique_ptr<ReshardCoordinator>> create(
+      DiscoveryCluster& cluster, ReshardOptions opts = {});
+
+  // Doubles the active partition count (identity steering) or revives
+  // the retired halves of an aliased one. Blocks until every migrated
+  // range is cut over and the new membership is pushed.
+  Result<void> split();
+  // Halves the active partition count: migrates the upper half's
+  // buckets into the lower half, pushes the aliased membership, drains,
+  // retires the upper partitions.
+  Result<void> merge();
+
+ private:
+  ReshardCoordinator(DiscoveryCluster& cluster, ReshardOptions opts)
+      : cluster_(cluster), opts_(std::move(opts)) {}
+
+  struct Move {
+    uint64_t range = 0;
+    size_t from = 0;
+    size_t to = 0;
+  };
+  Result<void> run(const char* what, uint64_t modulo,
+                   std::vector<uint32_t> home, size_t active,
+                   const std::vector<Move>& moves, bool retire_sources);
+  // Submits one phase op into `partition`'s sequenced stream and waits
+  // for a majority of its replicas to ack the apply.
+  Result<void> phase_op(size_t partition, ReshardOp rop);
+  Result<Bytes> fetch_payload(size_t partition, uint64_t modulo,
+                              uint64_t range);
+  std::vector<std::string> rpc_uris(size_t partition) const;
+
+  DiscoveryCluster& cluster_;
+  ReshardOptions opts_;
+  TransportPtr bus_;      // receives reshard acks + snapshot responses
+  std::string bus_uri_;
+  uint64_t cmd_seq_ = 0;
+};
+
+}  // namespace bertha

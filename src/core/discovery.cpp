@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <random>
 
+#include "chunnels/shard.hpp"
 #include "core/wire.hpp"
 #include "io/timer_wheel.hpp"
 #include "util/log.hpp"
@@ -444,6 +445,150 @@ void DiscoveryState::install_snapshot(const DiscoverySnapshot& snap) {
   // Adopt the peer's event history position verbatim; no events are
   // emitted, so watchers resume by seq against the installed log.
   watch_seq_ = snap.watch_seq;
+}
+
+DiscoverySnapshot DiscoveryState::extract_range(uint64_t modulo,
+                                                uint64_t range) {
+  auto in_range = [&](const std::string& key) {
+    return shard_pick(BytesView(reinterpret_cast<const uint8_t*>(key.data()),
+                                key.size()),
+                      static_cast<size_t>(modulo)) == range;
+  };
+  std::lock_guard<std::mutex> lk(mu_);
+  DiscoverySnapshot snap;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (in_range(it->first)) {
+      snap.impls.insert(snap.impls.end(), it->second.begin(), it->second.end());
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(snap.impls.begin(), snap.impls.end(),
+            [](const ImplInfo& a, const ImplInfo& b) {
+              return std::tie(a.type, a.name) < std::tie(b.type, b.name);
+            });
+  for (auto it = pools_.begin(); it != pools_.end();) {
+    if (in_range(it->first)) {
+      snap.pools.push_back({it->first, it->second.capacity, it->second.used});
+      it = pools_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(snap.pools.begin(), snap.pools.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  // An allocation migrates with its pools — all of them must be in the
+  // range (a multi-pool alloc straddling buckets stays put; see the
+  // DESIGN.md §12 caveat — its namespaced id still routes to this
+  // partition, which keeps releases consistent).
+  std::vector<uint64_t> moved_ids;
+  for (auto it = allocs_.begin(); it != allocs_.end();) {
+    bool all = !it->second.empty();
+    for (const auto& r : it->second) all = all && in_range(r.pool);
+    if (all) {
+      snap.allocs.push_back({it->first, it->second});
+      moved_ids.push_back(it->first);
+      it = allocs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(snap.allocs.begin(), snap.allocs.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  std::sort(moved_ids.begin(), moved_ids.end());
+  // next_alloc stays: the destination mints under its own namespace.
+  snap.next_alloc = next_alloc_;
+  // Lease rows split per key: the owner keeps a row on both sides, each
+  // covering the impls/allocs that live there (heartbeats fan out to
+  // every partition, so both rows stay refreshed).
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    Lease& l = it->second;
+    DiscoverySnapshot::LeaseEntry e;
+    e.owner = it->first;
+    e.ttl_ns = l.ttl.count();
+    e.expires_ns = l.expires.time_since_epoch().count();
+    for (const auto& im : l.impls)
+      if (in_range(im.first)) e.impls.push_back(im);
+    for (uint64_t id : l.allocs)
+      if (std::binary_search(moved_ids.begin(), moved_ids.end(), id))
+        e.allocs.push_back(id);
+    if (!e.impls.empty() || !e.allocs.empty()) {
+      l.impls.erase(std::remove_if(l.impls.begin(), l.impls.end(),
+                                   [&](const auto& im) {
+                                     return in_range(im.first);
+                                   }),
+                    l.impls.end());
+      l.allocs.erase(
+          std::remove_if(l.allocs.begin(), l.allocs.end(),
+                         [&](uint64_t id) {
+                           return std::binary_search(moved_ids.begin(),
+                                                     moved_ids.end(), id);
+                         }),
+          l.allocs.end());
+      snap.leases.push_back(std::move(e));
+    }
+    if (l.impls.empty() && l.allocs.empty())
+      it = leases_.erase(it);
+    else
+      ++it;
+  }
+  std::sort(snap.leases.begin(), snap.leases.end(),
+            [](const auto& a, const auto& b) { return a.owner < b.owner; });
+  snap.watch_seq = watch_seq_;
+  return snap;
+}
+
+void DiscoveryState::ingest_snapshot(const DiscoverySnapshot& snap,
+                                     bool emit_events) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ImplInfo> added;
+  for (const auto& info : snap.impls) {
+    auto& v = entries_[info.type];
+    bool dup = false;
+    for (const auto& e : v) dup = dup || e.name == info.name;
+    if (!dup) {
+      v.push_back(info);
+      if (emit_events) added.push_back(info);
+    }
+  }
+  for (const auto& p : snap.pools) pools_[p.name] = Pool{p.capacity, p.used};
+  for (const auto& a : snap.allocs) allocs_[a.id] = a.reqs;
+  // Keep our own next_alloc_: ids stay namespaced by the minting bucket.
+  for (const auto& e : snap.leases) {
+    Lease& l = leases_[e.owner];
+    Duration ttl(e.ttl_ns);
+    TimePoint expires(
+        std::chrono::duration_cast<TimePoint::duration>(Duration(e.expires_ns)));
+    if (l.ttl == Duration::zero() || expires > l.expires) {
+      if (l.ttl == Duration::zero()) l.ttl = ttl;
+      l.expires = std::max(l.expires, expires);
+    }
+    for (const auto& im : e.impls)
+      if (std::find(l.impls.begin(), l.impls.end(), im) == l.impls.end())
+        l.impls.push_back(im);
+    for (uint64_t id : e.allocs)
+      if (std::find(l.allocs.begin(), l.allocs.end(), id) == l.allocs.end())
+        l.allocs.push_back(id);
+  }
+  // A fresh destination (nothing ever published) adopts the source's
+  // seq so its event-log fork resumes the same domain; an established
+  // one keeps the max so neither side's subscribers see a rewind.
+  watch_seq_ = std::max(watch_seq_, snap.watch_seq);
+  // Merge into an established domain: surface the migrated impls as
+  // ordinary register events. Emitting AFTER the max-seq bump puts them
+  // above every seq a re-homing source subscriber can carry, so both the
+  // destination's own subscribers (per-sub prev_seq chains across the
+  // jump) and re-homed ones (replay of events > their last_seq) get them
+  // without a gap. Deterministic across replicas: snap.impls order.
+  for (auto& info : added) {
+    WatchEvent ev;
+    ev.kind = WatchKind::impl_registered;
+    ev.type = info.type;
+    ev.name = info.name;
+    ev.info = std::move(info);
+    emit(std::move(ev));
+  }
 }
 
 // --- Leases ---
@@ -1037,10 +1182,16 @@ void DiscoveryServer::serve_loop() {
       rsp = error_response(req_r.error());
     } else {
       const DiscRequest& req = req_r.value();
+      // A fencing/forwarding interceptor (reshard) owns the request
+      // outright: no local dedup (the authoritative cache travelled with
+      // the migrated range) and no local execution.
+      std::optional<DiscResponse> icpt;
+      if (opts_.request_interceptor) icpt = opts_.request_interceptor(req);
       // Retried mutation we already executed? Replay the recorded answer
       // so the effect stays exactly-once (a lost acquire response must
       // not allocate twice).
-      if (req.idem_key != 0 && !req.client_id.empty() && is_mutation(req.op)) {
+      if (!icpt && req.idem_key != 0 && !req.client_id.empty() &&
+          is_mutation(req.op)) {
         dedup_key = req.client_id;
         dedup_key += '#';
         dedup_key += std::to_string(req.idem_key);
@@ -1067,7 +1218,10 @@ void DiscoveryServer::serve_loop() {
       }
       Span serve_span = trace_span(opts_.tracer, serve_span_name(req.op),
                                    req.trace);
-      if (opts_.mutation_executor && is_mutation(req.op)) {
+      if (icpt) {
+        serve_span.tag("intercepted", "1");
+        rsp = std::move(*icpt);
+      } else if (opts_.mutation_executor && is_mutation(req.op)) {
         serve_span.tag("replicated", "1");
         rsp = opts_.mutation_executor(req);
       } else {
@@ -1164,6 +1318,12 @@ RemoteDiscovery::RemoteDiscovery(TransportPtr transport,
   backoff_seed_ = opts_.backoff_seed != 0
                       ? opts_.backoff_seed
                       : (std::hash<std::string>{}(client_id_) | 1);
+  retry_backoff_.emplace(opts_.backoff, backoff_seed_);
+}
+
+Duration RemoteDiscovery::backoff_step() const {
+  std::lock_guard<std::mutex> lk(bo_mu_);
+  return retry_backoff_->current_step();
 }
 
 RemoteDiscovery::RemoteDiscovery(TransportPtr transport, Addr server,
@@ -1605,8 +1765,13 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
     pending_[req_id] = p;
   }
 
-  ExponentialBackoff backoff(opts_.backoff,
-                             backoff_seed_ ^ (req_id * 0x9e3779b9ull));
+  // The retry backoff is per-*client*, not per-call: escalation from one
+  // outage carries into the next RPC, and the first success resets it —
+  // a recovered server is charged nothing for its history.
+  auto backoff_delay = [this] {
+    std::lock_guard<std::mutex> lk(bo_mu_);
+    return retry_backoff_->next();
+  };
   Result<DiscResponse> outcome =
       err(Errc::unavailable, "discovery service unreachable at " +
                                  active_server().to_string());
@@ -1638,14 +1803,33 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
     if (p->cv.wait_for(lk, opts_.rpc_timeout, [&] { return p->done; })) {
       outcome = std::move(p->result);
       exhausted = false;
-      break;
+      // An `unavailable` *response* is the server saying "try again
+      // shortly" — a fenced key range mid-reshard, a sequencer timeout.
+      // The server is alive (it answered), so retry in place without
+      // rotating; idempotency keys make the resend exactly-once.
+      bool retry_rsp = outcome.ok() && !outcome.value().success &&
+                       outcome.value().errc ==
+                           static_cast<uint8_t>(Errc::unavailable) &&
+                       attempt < opts_.retries;
+      if (!retry_rsp) break;
+      lk.unlock();
+      att.tag("unavailable", "1");
+      auto fresh = std::make_shared<Pending>();
+      {
+        std::lock_guard<std::mutex> plk(pending_mu_);
+        if (reader_dead_) break;
+        pending_[req_id] = fresh;
+      }
+      p = std::move(fresh);
+      sleep_for(backoff_delay());
+      continue;
     }
     lk.unlock();
     att.tag("timeout", "1");
     // The active server let an RPC time out: assume it died and try the
     // next replica on the following attempt (no-op with one server).
     rotate_server(observed);
-    if (attempt < opts_.retries) sleep_for(backoff.next());
+    if (attempt < opts_.retries) sleep_for(backoff_delay());
   }
   {
     std::lock_guard<std::mutex> lk(pending_mu_);
@@ -1660,6 +1844,10 @@ Result<RemoteDiscovery::Rsp> RemoteDiscovery::rpc(const Bytes& request_body,
   if (exhausted && opts_.stats) opts_.stats->rpc_failures++;
   if (!outcome.ok()) return outcome.error();
   DiscResponse raw = std::move(outcome).value();
+  if (raw.success) {
+    std::lock_guard<std::mutex> blk(bo_mu_);
+    retry_backoff_->reset();
+  }
   if (!raw.success) {
     Errc code = raw.errc <= static_cast<uint8_t>(Errc::internal)
                     ? static_cast<Errc>(raw.errc)

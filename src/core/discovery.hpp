@@ -358,6 +358,25 @@ class DiscoveryState : public DiscoveryClient {
   DiscoverySnapshot export_snapshot() const;
   void install_snapshot(const DiscoverySnapshot& snap);
 
+  // Online repartitioning (src/control/reshard.hpp). extract_range()
+  // *removes* every entry whose scope key hashes to `range` under
+  // shard_pick(key, modulo) — impls by type, pools by name, allocs by
+  // their (single) pool, lease rows split per key — and returns them as
+  // a snapshot, emitting NO watch events (the range is migrating, not
+  // dying; its subscribers re-home instead of replaying a fake teardown).
+  // The returned watch_seq is this state's, so a destination forking a
+  // fresh seq domain can adopt it. ingest_snapshot() is the other half:
+  // it *merges* the tables in (same-key lease rows union), keeps its own
+  // next_alloc namespace and advances watch_seq to max(own, snap). With
+  // emit_events=false (a fresh destination adopting the source's event
+  // log) it emits nothing; with emit_events=true (merge into an
+  // established seq domain) the newly added impls are emitted as
+  // register events *above* the max-seq bump, so subscribers from either
+  // domain pick them up without a gap.
+  DiscoverySnapshot extract_range(uint64_t modulo, uint64_t range);
+  void ingest_snapshot(const DiscoverySnapshot& snap,
+                       bool emit_events = false);
+
   // Introspection for tests and the scheduling bench.
   uint64_t pool_in_use(const std::string& pool) const;
   uint64_t pool_capacity(const std::string& pool) const;
@@ -449,6 +468,12 @@ class DiscoveryServer {
     // idempotency cache, so a client retry re-submits instead of
     // replaying the outage.
     std::function<DiscResponse(const DiscRequest&)> mutation_executor;
+    // Consulted before dedup and execution for every decoded discovery
+    // request; a returned response short-circuits local handling (and,
+    // like any response, is cached only if non-transient). The reshard
+    // subsystem uses it to fence and forward migrating key ranges.
+    std::function<std::optional<DiscResponse>(const DiscRequest&)>
+        request_interceptor;
   };
 
   // Takes ownership of the transport; serves until destroyed.
@@ -657,6 +682,11 @@ class RemoteDiscovery final : public DiscoveryClient {
   void set_wheel_source(std::function<std::shared_ptr<TimerWheel>()> source);
   // The effective jitter seed (after client-id derivation).
   uint64_t backoff_seed() const { return backoff_seed_; }
+  // The jitter-free step the next retry delay draws around. The window
+  // escalates across failed attempts (of any RPC) and resets to base on
+  // the first success — a recovered server stops paying outage penalty.
+  // Diagnostics/tests only.
+  Duration backoff_step() const;
 
  private:
   struct Rsp;
@@ -697,6 +727,11 @@ class RemoteDiscovery final : public DiscoveryClient {
   std::atomic<size_t> failovers_{0};
   Options opts_;
   uint64_t backoff_seed_ = 0;
+  // Per-client retry backoff, shared across RPCs so the escalation
+  // state survives the call that observed the failure. Guarded by
+  // bo_mu_; see backoff_step().
+  mutable std::mutex bo_mu_;
+  std::optional<ExponentialBackoff> retry_backoff_;
   std::string client_id_;
   std::atomic<uint64_t> next_req_{1};
   std::atomic<uint64_t> next_idem_{0};

@@ -79,6 +79,10 @@ void attach_fault_stats_provider(MetricsRegistry& m, FaultStatsPtr stats) {
     c["ctrl.view_change"] = stats->view_changes.load();
     c["ctrl.catchup"] = stats->catchups.load();
     c["ctrl.gap_miss"] = stats->gap_misses.load();
+    c["ctrl.reshard.fences"] = stats->reshard_fences.load();
+    c["ctrl.reshard.installs"] = stats->reshard_installs.load();
+    c["ctrl.reshard.cutovers"] = stats->reshard_cutovers.load();
+    c["ctrl.reshard.forwards"] = stats->reshard_forwards.load();
   });
 }
 

@@ -8,7 +8,7 @@
 namespace bertha {
 
 std::string FaultStats::to_string() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "rpc_retries=%llu rpc_failures=%llu dedup_hits=%llu lease_grants=%llu "
@@ -16,7 +16,8 @@ std::string FaultStats::to_string() const {
       "lease_recoveries=%llu degraded_entries=%llu degraded_exits=%llu "
       "catalogue_hits=%llu watch_batches=%llu watch_resubscribes=%llu "
       "watch_snapshots=%llu server_failovers=%llu view_changes=%llu "
-      "catchups=%llu gap_misses=%llu",
+      "catchups=%llu gap_misses=%llu reshard_fences=%llu "
+      "reshard_installs=%llu reshard_cutovers=%llu reshard_forwards=%llu",
       static_cast<unsigned long long>(rpc_retries.load()),
       static_cast<unsigned long long>(rpc_failures.load()),
       static_cast<unsigned long long>(dedup_hits.load()),
@@ -34,7 +35,11 @@ std::string FaultStats::to_string() const {
       static_cast<unsigned long long>(server_failovers.load()),
       static_cast<unsigned long long>(view_changes.load()),
       static_cast<unsigned long long>(catchups.load()),
-      static_cast<unsigned long long>(gap_misses.load()));
+      static_cast<unsigned long long>(gap_misses.load()),
+      static_cast<unsigned long long>(reshard_fences.load()),
+      static_cast<unsigned long long>(reshard_installs.load()),
+      static_cast<unsigned long long>(reshard_cutovers.load()),
+      static_cast<unsigned long long>(reshard_forwards.load()));
   return buf;
 }
 

@@ -42,6 +42,11 @@ struct FaultStats {
   std::atomic<uint64_t> view_changes{0};  // sequencer views adopted
   std::atomic<uint64_t> catchups{0};      // peer snapshots installed
   std::atomic<uint64_t> gap_misses{0};    // fetches past the resend log
+  // Online repartitioning (src/control/reshard).
+  std::atomic<uint64_t> reshard_fences{0};    // ranges frozen at a source
+  std::atomic<uint64_t> reshard_installs{0};  // payloads ingested at a dest
+  std::atomic<uint64_t> reshard_cutovers{0};  // ranges flipped to forwarding
+  std::atomic<uint64_t> reshard_forwards{0};  // stale requests forwarded
 
   std::string to_string() const;
 };

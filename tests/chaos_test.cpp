@@ -8,6 +8,7 @@
 #include <set>
 
 #include "control/cluster.hpp"
+#include "control/reshard.hpp"
 #include "util/clock.hpp"
 #include "core/discovery_cache.hpp"
 #include "core/renegotiation.hpp"
@@ -578,6 +579,7 @@ TEST(ChaosTest, SelfHealingControlPlaneSurvivesSequencerAndReplicaLoss) {
   // view change; the very next connection must still land within its
   // normal retry budget.
   size_t pool_part = writer->partition_map().index_for_pool("pool.hw");
+  size_t kill_part = pool_part;  // where the faults land (pre-reshard)
   cluster->kill_sequencer(pool_part, 0);
   Stopwatch outage;
   establish(kTotal / 3);
@@ -596,6 +598,24 @@ TEST(ChaosTest, SelfHealingControlPlaneSurvivesSequencerAndReplicaLoss) {
   ASSERT_TRUE(cluster->restart_replica(pool_part, victim).ok());
   ASSERT_TRUE(cluster->replica(pool_part, victim)->wait_ready(seconds(15)))
       << "restarted replica never finished catch-up";
+
+  // Fault 3 (opt-in; one control-soak CI seed sets BERTHA_SOAK_RESHARD):
+  // split the control plane 2 -> 4 live, under the same 5% loss, after
+  // the view change and the replica rejoin. Establishments must keep
+  // succeeding across the migration and pool.hw admission continues at
+  // the pool's re-homed partition.
+  const char* soak_reshard = std::getenv("BERTHA_SOAK_RESHARD");
+  if (soak_reshard != nullptr && soak_reshard[0] != '\0') {
+    ReshardOptions ro;
+    ro.ack_timeout = ms(500);
+    ro.attempts = 20;
+    ro.stats = stats;
+    auto coord = ReshardCoordinator::create(*cluster, ro).value();
+    auto split = coord->split();
+    ASSERT_TRUE(split.ok()) << split.error().to_string();
+    ASSERT_EQ(cluster->active_partitions(), 4u);
+    pool_part = writer->partition_map().index_for_pool("pool.hw");
+  }
   for (int i = 2 * kTotal / 3; i < kTotal; i++) {
     establish(i);
     if (HasFatalFailure()) return;
@@ -621,7 +641,7 @@ TEST(ChaosTest, SelfHealingControlPlaneSurvivesSequencerAndReplicaLoss) {
   EXPECT_TRUE(settled())
       << "replicas diverged or lost acknowledged allocations";
 
-  auto* restarted = cluster->replica(pool_part, victim);
+  auto* restarted = cluster->replica(kill_part, victim);
   EXPECT_GE(restarted->catchups(), 1u);
   EXPECT_GE(restarted->current_view(), 1u);
   for (size_t p = 0; p < 2; p++)
@@ -629,7 +649,7 @@ TEST(ChaosTest, SelfHealingControlPlaneSurvivesSequencerAndReplicaLoss) {
       EXPECT_EQ(cluster->replica(p, r)->gaps_skipped(), 0u)
           << "p" << p << "-r" << r << " healed by bounded skip";
   for (size_t r = 0; r < 3; r++)
-    EXPECT_GE(cluster->replica(pool_part, r)->view_changes(), 1u);
+    EXPECT_GE(cluster->replica(kill_part, r)->view_changes(), 1u);
 
   // The catalogue survived from a fresh client's view, and the watch
   // stream delivered each registration exactly once, by seq — never a

@@ -764,10 +764,10 @@ TEST(ControlRecoveryTest, MembershipEpochAddsReplicaAndResteersClients) {
   auto client = cluster->client("c0", rpc).value();
   ASSERT_TRUE(client->register_impl(info_of("offload", "m/x")).ok());
 
-  // Epoch 1 is the boot config; applying it twice is a stale no-op.
+  // Epoch 1 is the boot config, adopted when the client was minted;
+  // applying it again is a stale no-op.
   ClusterMembership m1 = cluster->membership();
   EXPECT_EQ(m1.epoch, 1u);
-  ASSERT_TRUE(client->apply_membership(m1).ok());
   EXPECT_EQ(client->partition_map().epoch(), 1u);
   auto stale = client->apply_membership(m1);
   ASSERT_FALSE(stale.ok());
@@ -804,12 +804,27 @@ TEST(ControlRecoveryTest, MembershipEpochAddsReplicaAndResteersClients) {
   ASSERT_TRUE(q.ok()) << q.error().to_string();
   EXPECT_EQ(q.value().size(), 1u);
 
-  // A membership with a different partition count is structurally
-  // invalid — online repartitioning is a separate protocol.
+  // Partition-count changes are legal (that is what online
+  // repartitioning does), but the steering must stay sound: every home
+  // entry names a partition and the modulo never regresses — bucket
+  // identities, and with them alloc-id namespaces, must stay stable.
   ClusterMembership bad;
   bad.epoch = 99;
   bad.partitions = {m2.partitions[0], m2.partitions[0]};
+  bad.modulo = 2;
+  bad.home = {0, 2};  // names no partition
   EXPECT_FALSE(client->apply_membership(bad).ok());
+  bad.home = {0, 1};  // a sound split shape adopts fine
+  ASSERT_TRUE(client->apply_membership(bad).ok());
+  EXPECT_EQ(client->partitions(), 2u);
+  ClusterMembership shrunk;
+  shrunk.epoch = 100;
+  shrunk.partitions = {m2.partitions[0]};
+  shrunk.modulo = 1;
+  auto reg = client->apply_membership(shrunk);
+  ASSERT_FALSE(reg.ok());
+  EXPECT_EQ(reg.error().code, Errc::invalid_argument);
+  EXPECT_EQ(client->partition_map().epoch(), 99u);
 }
 
 // --- Satellite: retry jitter decorrelation ---

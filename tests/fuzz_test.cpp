@@ -60,6 +60,11 @@ TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
     (void)decode_snapshot_rsp(data);
     (void)decode_view_change(data);
     (void)decode_membership(data);
+    (void)decode_reshard_op(data);
+    (void)decode_reshard_payload(data);
+    (void)decode_reshard_ack(data);
+    (void)decode_reshard_snapshot_req(data);
+    (void)decode_reshard_snapshot_rsp(data);
     (void)decode_program(data);
     (void)text_decode(data);
     (void)deserialize_from_bytes<ChunnelDag>(data);
@@ -388,6 +393,17 @@ CtrlSnapshotRsp fuzz_snapshot_rsp() {
   rsp.event_log.events = {fuzz_event(11, "enc/a"), fuzz_event(12, "enc/b")};
   rsp.event_log.pruned_through = 10;
   rsp.event_log.observed_through = 12;
+  // A catch-up taken mid-migration carries the in-flight range state.
+  ReshardRangeState rr;
+  rr.range = 2;
+  rr.modulo = 4;
+  rr.epoch = 5;
+  rr.role = 1;
+  rr.phase = 3;
+  rr.dst_rpc = {"mem://ctrl-p2-r0:1"};
+  rr.migrated_allocs = {77};
+  rr.payload = to_bytes("frozen-cut");
+  rsp.reshard = {rr};
   return rsp;
 }
 
@@ -413,6 +429,11 @@ TEST(CtrlFrameFuzz, SnapshotFramePrefixesAllFail) {
   EXPECT_EQ(rsp.value().state.leases.size(), 1u);
   EXPECT_EQ(rsp.value().event_log.events.size(), 2u);
   EXPECT_EQ(rsp.value().applied.size(), 2u);
+  ASSERT_EQ(rsp.value().reshard.size(), 1u);
+  EXPECT_EQ(rsp.value().reshard[0].range, 2u);
+  EXPECT_EQ(rsp.value().reshard[0].phase, 3u);
+  EXPECT_EQ(rsp.value().reshard[0].migrated_allocs,
+            (std::vector<uint64_t>{77}));
 }
 
 TEST(CtrlFrameFuzz, ViewChangeAndMembershipPrefixesAllFail) {
@@ -431,6 +452,10 @@ TEST(CtrlFrameFuzz, ViewChangeAndMembershipPrefixesAllFail) {
   ClusterMembership m;
   m.epoch = 7;
   m.partitions = {{Addr::mem("a", 1), Addr::mem("b", 1)}, {Addr::mem("c", 1)}};
+  // Post-reshard shape: steering modulo wider than the partition count,
+  // home table aliasing buckets back onto live partitions.
+  m.modulo = 4;
+  m.home = {0, 1, 0, 1};
   Bytes mf = encode_membership(m);
   ASSERT_EQ(peek_ctrl_frame(mf).value(), CtrlFrameKind::membership);
   for (size_t n = 0; n < mf.size(); n++)
@@ -440,7 +465,144 @@ TEST(CtrlFrameFuzz, ViewChangeAndMembershipPrefixesAllFail) {
   EXPECT_EQ(mt.value().epoch, 7u);
   ASSERT_EQ(mt.value().partitions.size(), 2u);
   EXPECT_EQ(mt.value().partitions[0].size(), 2u);
+  EXPECT_EQ(mt.value().modulo, 4u);
+  EXPECT_EQ(mt.value().home, (std::vector<uint32_t>{0, 1, 0, 1}));
 }
+
+// --- resharding frames (fence/install/cutover/retire ops, acks and
+// the fenced-payload snapshot pair) ---
+
+ReshardPayload fuzz_reshard_payload() {
+  ReshardPayload p;
+  ImplInfo info;
+  info.type = "enc";
+  info.name = "enc/aes";
+  info.resources = {{"pool.a", 1}};
+  p.state.impls = {info};
+  p.state.pools = {{"pool.a", 8, 2}};
+  p.state.allocs = {{(uint64_t{2} << DiscoveryState::kAllocNamespaceShift) | 3,
+                     {{"pool.a", 2}}}};
+  p.state.next_alloc = 4;
+  p.state.watch_seq = 17;
+  p.dedup = {{"client-7#5", to_bytes("cached")}};
+  p.applied = {"p0-r0#3"};
+  p.event_log.events = {fuzz_event(16, "enc/a"), fuzz_event(17, "enc/aes")};
+  p.event_log.pruned_through = 15;
+  p.event_log.observed_through = 17;
+  return p;
+}
+
+ReshardOp fuzz_reshard_op(ReshardPhase phase) {
+  ReshardOp op;
+  op.phase = phase;
+  op.epoch = 3;
+  op.modulo = 4;
+  op.range = 2;
+  op.from_partition = 0;
+  op.to_partition = 2;
+  op.dst_rpc = {"mem://ctrl-p2-r0:1", "mem://ctrl-p2-r1:1"};
+  op.reply_uri = "mem://ctrl-reshard-coord:0";
+  op.cmd_id = 9;
+  if (phase == ReshardPhase::install)
+    op.payload = encode_reshard_payload(fuzz_reshard_payload());
+  return op;
+}
+
+TEST(ReshardFrameFuzz, OpAndPayloadPrefixesAllFail) {
+  for (ReshardPhase ph : {ReshardPhase::fence, ReshardPhase::install,
+                          ReshardPhase::cutover, ReshardPhase::retire}) {
+    Bytes full = encode_reshard_op(fuzz_reshard_op(ph));
+    for (size_t n = 0; n < full.size(); n++)
+      EXPECT_FALSE(decode_reshard_op(BytesView(full.data(), n)).ok())
+          << "phase " << int(ph) << " prefix " << n;
+    auto rt = decode_reshard_op(full);
+    ASSERT_TRUE(rt.ok()) << int(ph);
+    EXPECT_EQ(rt.value().phase, ph);
+    EXPECT_EQ(rt.value().range, 2u);
+    EXPECT_EQ(rt.value().dst_rpc.size(), 2u);
+  }
+
+  Bytes pf = encode_reshard_payload(fuzz_reshard_payload());
+  for (size_t n = 0; n < pf.size(); n++)
+    EXPECT_FALSE(decode_reshard_payload(BytesView(pf.data(), n)).ok()) << n;
+  auto pt = decode_reshard_payload(pf);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt.value().state.impls.size(), 1u);
+  EXPECT_EQ(pt.value().dedup.size(), 1u);
+  EXPECT_EQ(pt.value().event_log.events.size(), 2u);
+}
+
+TEST(ReshardFrameFuzz, AckAndSnapshotFramePrefixesAllFail) {
+  ReshardAck ack;
+  ack.cmd_id = 42;
+  ack.from = "p0-r1";
+  Bytes af = encode_reshard_ack(ack);
+  ASSERT_EQ(peek_ctrl_frame(af).value(), CtrlFrameKind::reshard_ack);
+  for (size_t n = 0; n < af.size(); n++)
+    EXPECT_FALSE(decode_reshard_ack(BytesView(af.data(), n)).ok()) << n;
+  auto at = decode_reshard_ack(af);
+  ASSERT_TRUE(at.ok());
+  EXPECT_EQ(at.value().cmd_id, 42u);
+  EXPECT_EQ(at.value().from, "p0-r1");
+
+  ReshardSnapshotReq req;
+  req.modulo = 4;
+  req.range = 2;
+  req.reply_uri = "mem://coord:0";
+  Bytes rf = encode_reshard_snapshot_req(req);
+  ASSERT_EQ(peek_ctrl_frame(rf).value(), CtrlFrameKind::reshard_snapshot_req);
+  for (size_t n = 0; n < rf.size(); n++)
+    EXPECT_FALSE(decode_reshard_snapshot_req(BytesView(rf.data(), n)).ok())
+        << n;
+  EXPECT_TRUE(decode_reshard_snapshot_req(rf).ok());
+
+  ReshardSnapshotRsp rsp;
+  rsp.range = 2;
+  rsp.from = "p0-r0";
+  rsp.payload = encode_reshard_payload(fuzz_reshard_payload());
+  Bytes sf = encode_reshard_snapshot_rsp(rsp);
+  ASSERT_EQ(peek_ctrl_frame(sf).value(), CtrlFrameKind::reshard_snapshot_rsp);
+  for (size_t n = 0; n < sf.size(); n++)
+    EXPECT_FALSE(decode_reshard_snapshot_rsp(BytesView(sf.data(), n)).ok())
+        << n;
+  auto st = decode_reshard_snapshot_rsp(sf);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(decode_reshard_payload(st.value().payload).ok());
+}
+
+// Bit flips across an install op (the frame whose payload gets applied
+// wholesale at a sequenced point): whatever decode admits must survive
+// the apply path — payload decode, range extraction, ingestion into a
+// live state — without crashing. A flip may deny a migration step
+// (clean decode error, coordinator retries), never corrupt the apply.
+class ReshardBitflipFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReshardBitflipFuzz, InstallOpBitflipsNeverCrashTheApplyPath) {
+  Rng rng(GetParam());
+  Bytes good = encode_reshard_op(fuzz_reshard_op(ReshardPhase::install));
+  for (int iter = 0; iter < 400; iter++) {
+    Bytes bad = good;
+    size_t byte = rng.next_below(bad.size());
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+    auto op = decode_reshard_op(bad);
+    if (!op.ok()) continue;
+    auto pay = decode_reshard_payload(op.value().payload);
+    if (!pay.ok()) continue;  // clean reject: the install is refused
+    DiscoveryState state;
+    state.ingest_snapshot(pay.value().state, /*emit_events=*/true);
+    (void)state.extract_range(op.value().modulo ? op.value().modulo : 1,
+                              op.value().range);
+    (void)state.export_snapshot();
+  }
+  // A truncated-then-patched payload length can never smuggle a partial
+  // structure: the whole-frame decode round-trips exactly.
+  auto rt = decode_reshard_op(good);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(encode_reshard_op(rt.value()), good);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReshardBitflipFuzz,
+                         ::testing::Values(17, 170, 1700));
 
 // Bit flips across the snapshot response: either a clean decode error
 // or a structurally complete decode — never a crash, and never success
